@@ -1,0 +1,28 @@
+//! Search baselines for the NewsLink evaluation (Table IV competitors).
+//!
+//! - [`doc2vec`] — random-indexing document embeddings (gensim Doc2Vec
+//!   substitute, DESIGN.md §6.4);
+//! - [`sbert`] — SIF-pooled deterministic word vectors (pretrained SBERT
+//!   substitute, §6.5);
+//! - [`lda`] — a real collapsed-Gibbs LDA (PLDA substitute, §6.6);
+//! - [`qeprf`] — KG-description + pseudo-relevance-feedback query
+//!   expansion (Xiong & Callan);
+//! - [`fasttext`] — the char-n-gram judge embedding used only for SIM@k
+//!   evaluation (§6.8);
+//! - [`vector`] — shared dense-vector helpers.
+//!
+//! The Lucene baseline is `newslink-text` itself (BM25 with default
+//! settings), used directly by the evaluation harness.
+
+pub mod doc2vec;
+pub mod fasttext;
+pub mod lda;
+pub mod qeprf;
+pub mod sbert;
+pub mod vector;
+
+pub use doc2vec::{Doc2Vec, Doc2VecConfig};
+pub use fasttext::FastTextEmbedder;
+pub use lda::{Lda, LdaConfig};
+pub use qeprf::{Qeprf, QeprfConfig};
+pub use sbert::SbertEmbedder;

@@ -1,0 +1,98 @@
+//! Property tests for the baseline models.
+
+use proptest::prelude::*;
+
+use newslink_baselines::vector::{cosine, hash_vector, normalize, ternary_vector};
+use newslink_baselines::{
+    Doc2Vec, Doc2VecConfig, FastTextEmbedder, Lda, LdaConfig, SbertEmbedder,
+};
+
+fn docs_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(
+        prop::collection::vec(0u8..12, 1..12)
+            .prop_map(|ws| ws.into_iter().map(|w| format!("w{w}")).collect()),
+        2..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cosine similarity is bounded and symmetric.
+    #[test]
+    fn cosine_bounded_and_symmetric(
+        a in prop::collection::vec(-10.0f32..10.0, 4..16),
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-12);
+        let aa = cosine(&a, &a);
+        prop_assert!(aa == 0.0 || (aa - 1.0).abs() < 1e-6);
+    }
+
+    /// Hash vectors are a pure function of (key, seed).
+    #[test]
+    fn hash_vectors_pure(key in "[a-z]{1,10}", seed in any::<u64>()) {
+        prop_assert_eq!(hash_vector(&key, 32, seed), hash_vector(&key, 32, seed));
+        prop_assert_eq!(
+            ternary_vector(&key, 64, 6, seed),
+            ternary_vector(&key, 64, 6, seed)
+        );
+    }
+
+    /// Normalization produces unit vectors (or leaves zero alone).
+    #[test]
+    fn normalize_unit_or_zero(mut v in prop::collection::vec(-5.0f32..5.0, 1..32)) {
+        normalize(&mut v);
+        let n: f64 = v.iter().map(|&x| f64::from(x).powi(2)).sum();
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4, "norm {n}");
+    }
+
+    /// SBERT/FastText similarities stay in [-1, 1] and self-similarity of
+    /// non-empty text is 1.
+    #[test]
+    fn embedder_similarity_bounds(text in "[a-z ]{1,60}") {
+        let sbert = SbertEmbedder::new(64, 1);
+        let ft = FastTextEmbedder::new(64, 2);
+        for s in [sbert.similarity(&text, "pakistan news story"),
+                  ft.similarity(&text, "pakistan news story")] {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        }
+        if text.split_whitespace().count() > 0 {
+            prop_assert!((ft.similarity(&text, &text) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// LDA inference always yields a proper distribution.
+    #[test]
+    fn lda_theta_is_distribution(docs in docs_strategy(), query in prop::collection::vec(0u8..12, 0..8)) {
+        let cfg = LdaConfig {
+            topics: 4,
+            train_sweeps: 5,
+            infer_sweeps: 5,
+            ..LdaConfig::default()
+        };
+        let m = Lda::train(&docs, cfg);
+        let q: Vec<String> = query.into_iter().map(|w| format!("w{w}")).collect();
+        let theta = m.infer(&q);
+        prop_assert_eq!(theta.len(), 4);
+        let sum: f64 = theta.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(theta.iter().all(|&t| t > 0.0));
+    }
+
+    /// Doc2Vec embeddings are unit-length (or zero for empty input) and
+    /// deterministic.
+    #[test]
+    fn doc2vec_embeddings_normalized(docs in docs_strategy()) {
+        let m = Doc2Vec::train(&docs, Doc2VecConfig::default());
+        for d in &docs {
+            let v = m.embed(d);
+            let n: f64 = v.iter().map(|&x| f64::from(x).powi(2)).sum();
+            prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4);
+            prop_assert_eq!(m.embed(d), v);
+        }
+    }
+}

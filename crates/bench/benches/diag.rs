@@ -1,0 +1,66 @@
+//! Internal diagnostic (not a paper table): per-query comparison of
+//! Lucene vs NewsLink(0.2) HIT@1 outcomes, categorizing where the BON
+//! blend rescues and where it hurts.
+
+use newslink_bench::{banner, cnn_context};
+use newslink_core::EmbeddingModel;
+use newslink_corpus::QueryStrategy;
+use newslink_eval::{LuceneMethod, NewsLinkMethod, SearchMethod};
+
+fn main() {
+    let ctx = cnn_context();
+    banner("diagnostic: BON rescue/hurt", &ctx);
+    let lucene = LuceneMethod::new(&ctx);
+    let newslink = if std::env::var("NEWSLINK_DIAG_RAW").is_ok() {
+        let mut cfg = newslink_core::NewsLinkConfig::default()
+            .with_beta(0.2)
+            .with_threads(
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            );
+        cfg.normalize_scores = false;
+        NewsLinkMethod::with_config(&ctx, cfg)
+    } else {
+        NewsLinkMethod::new(&ctx, 0.2, EmbeddingModel::Lcag)
+    };
+    let cases = ctx.queries(QueryStrategy::LargestEntityDensity);
+    let mut both = 0;
+    let mut rescued = 0;
+    let mut hurt = 0;
+    let mut neither = 0;
+    for c in &cases {
+        let l1 = lucene.rank(&c.query, 1).first() == Some(&c.doc);
+        let n1 = newslink.rank(&c.query, 1).first() == Some(&c.doc);
+        match (l1, n1) {
+            (true, true) => both += 1,
+            (false, true) => rescued += 1,
+            (true, false) => {
+                hurt += 1;
+                let lr = lucene.rank(&c.query, 3);
+                let nr = newslink.rank(&c.query, 3);
+                println!("HURT doc={} q={:?}", c.doc, &c.query[..c.query.len().min(70)]);
+                println!("  lucene top3   {lr:?}");
+                println!("  newslink top3 {nr:?}");
+                let winner = nr[0];
+                println!(
+                    "  winner event={} source event={}",
+                    ctx.corpus.docs[winner].event_idx, ctx.corpus.docs[c.doc].event_idx
+                );
+            }
+            (false, false) => neither += 1,
+        }
+    }
+    println!("\nboth={both} rescued={rescued} hurt={hurt} neither={neither} / {}", cases.len());
+    // Paired bootstrap: is the HIT@1 difference statistically meaningful?
+    for k in [1usize, 5] {
+        if let Some(r) =
+            newslink_eval::compare_hit_at_k(&newslink, &lucene, &cases, k, 5000, 0xB007)
+        {
+            println!(
+                "HIT@{k}: NewsLink − Lucene = {:+.4}, paired-bootstrap p = {:.3} ({})",
+                r.observed_diff,
+                r.p_value,
+                if r.significant_at(0.05) { "significant" } else { "not significant" }
+            );
+        }
+    }
+}

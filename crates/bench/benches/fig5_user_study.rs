@@ -1,0 +1,21 @@
+//! Figure 5: the (simulated) user study — 20 participants judge 10
+//! query/result pairs retrieved with subgraph embeddings only (β = 1).
+//! See DESIGN.md §6.7 for the simulation model.
+
+use newslink_bench::{banner, cnn_context};
+use newslink_eval::{render_user_study, run_user_study};
+
+fn main() {
+    let ctx = cnn_context();
+    banner("Figure 5", &ctx);
+    let result = run_user_study(&ctx, 10, 20, 0xF165);
+    newslink_eval::maybe_report("fig5", &result);
+    println!("{}", render_user_study(&result));
+    println!("pair features (path count / novel entities / embedding size):");
+    for p in &result.pairs {
+        println!(
+            "  docs {:>4} vs {:>4}: paths={:<3} novel={:<3} size={}",
+            p.query_doc, p.result_doc, p.path_count, p.novel_entities, p.embedding_size
+        );
+    }
+}

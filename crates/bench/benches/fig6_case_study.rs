@@ -1,0 +1,26 @@
+//! Figure 6 + Tables I/II/VI: the case study — a worked query/result pair
+//! with matched/unmatched/induced entities and rendered relationship
+//! paths.
+
+use newslink_bench::{banner, cnn_context};
+use newslink_eval::run_case_study;
+
+fn main() {
+    let ctx = cnn_context();
+    banner("Figure 6 / case study", &ctx);
+    match run_case_study(&ctx) {
+        Some(cs) => {
+            println!("{cs}");
+            if let Some(dir) = newslink_eval::report_dir() {
+                let path = dir.join("figure6.dot");
+                if std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::write(&path, &cs.dot))
+                    .is_ok()
+                {
+                    println!("(wrote {} — render with: dot -Tsvg)", path.display());
+                }
+            }
+        }
+        None => println!("no explainable pair found at this scale"),
+    }
+}

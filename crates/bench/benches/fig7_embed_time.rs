@@ -1,0 +1,15 @@
+//! Figure 7: average embedding time per news document, NewsLink (G*)
+//! vs TreeEmb, with the NLP/NE component split.
+
+use newslink_bench::{banner, cnn_context, kaggle_context};
+use newslink_eval::{render_embed_timing, run_fig7};
+
+fn main() {
+    let mut rows = Vec::new();
+    for ctx in [cnn_context(), kaggle_context()] {
+        banner("Figure 7", &ctx);
+        rows.push(run_fig7(&ctx));
+    }
+    newslink_eval::maybe_report("fig7", &rows);
+    println!("{}", render_embed_timing(&rows));
+}

@@ -1,0 +1,28 @@
+//! Table IV: effectiveness of search results against popular approaches.
+//!
+//! Reproduces SIM@{5,10,20} and HIT@{1,5} on both corpora for Doc2Vec,
+//! SBERT, LDA, QEPRF, Lucene, and NewsLink(0.2), under both the
+//! largest-entity-density and random query strategies.
+
+use newslink_bench::{banner, cnn_context, kaggle_context};
+use newslink_eval::{render_scores, run_table_iv};
+
+fn main() {
+    for ctx in [cnn_context(), kaggle_context()] {
+        banner("Table IV", &ctx);
+        let start = std::time::Instant::now();
+        let scores = run_table_iv(&ctx);
+        newslink_eval::maybe_report(
+            &format!("table_iv_{}", ctx.corpus.flavor.name().to_lowercase()),
+            &scores,
+        );
+        println!(
+            "{}",
+            render_scores(
+                &format!("Table IV — {}", ctx.corpus.flavor.name()),
+                &scores
+            )
+        );
+        println!("(took {:.1}s)", start.elapsed().as_secs_f64());
+    }
+}

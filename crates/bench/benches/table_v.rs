@@ -1,0 +1,14 @@
+//! Table V: average entity matching ratio per test query.
+
+use newslink_bench::{banner, cnn_context, kaggle_context};
+use newslink_eval::{render_matching, run_table_v};
+
+fn main() {
+    let mut rows = Vec::new();
+    for ctx in [cnn_context(), kaggle_context()] {
+        banner("Table V", &ctx);
+        rows.push(run_table_v(&ctx));
+    }
+    newslink_eval::maybe_report("table_v", &rows);
+    println!("{}", render_matching(&rows));
+}

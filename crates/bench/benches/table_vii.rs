@@ -1,0 +1,27 @@
+//! Table VII: NewsLink(β) vs TreeEmb(β) across β ∈ {0.2, 0.5, 0.8, 1.0}.
+//!
+//! β = 0 reduces to Lucene (see Table IV's Lucene row).
+
+use newslink_bench::{banner, cnn_context, kaggle_context};
+use newslink_eval::{render_scores, run_table_vii};
+
+fn main() {
+    let betas = [0.2, 0.5, 0.8, 1.0];
+    for ctx in [cnn_context(), kaggle_context()] {
+        banner("Table VII", &ctx);
+        let start = std::time::Instant::now();
+        let scores = run_table_vii(&ctx, &betas);
+        newslink_eval::maybe_report(
+            &format!("table_vii_{}", ctx.corpus.flavor.name().to_lowercase()),
+            &scores,
+        );
+        println!(
+            "{}",
+            render_scores(
+                &format!("Table VII — {}", ctx.corpus.flavor.name()),
+                &scores
+            )
+        );
+        println!("(took {:.1}s)", start.elapsed().as_secs_f64());
+    }
+}

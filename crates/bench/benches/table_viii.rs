@@ -1,0 +1,16 @@
+//! Table VIII: per-component query processing time (NLP / NE / NS).
+
+use newslink_bench::{banner, cnn_context, kaggle_context};
+use newslink_core::EmbeddingModel;
+use newslink_eval::{render_query_timing, run_table_viii, NewsLinkMethod};
+
+fn main() {
+    let mut rows = Vec::new();
+    for ctx in [cnn_context(), kaggle_context()] {
+        banner("Table VIII", &ctx);
+        let method = NewsLinkMethod::new(&ctx, 0.2, EmbeddingModel::Lcag);
+        rows.push(run_table_viii(&ctx, &method));
+    }
+    newslink_eval::maybe_report("table_viii", &rows);
+    println!("{}", render_query_timing(&rows));
+}

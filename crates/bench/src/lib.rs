@@ -1,0 +1,37 @@
+//! Shared setup for the benchmark targets.
+//!
+//! Every paper table/figure has its own `[[bench]]` target with
+//! `harness = false`; running `cargo bench` regenerates all of them.
+//! Scale is controlled with `NEWSLINK_SCALE=tiny|small|medium|large`
+//! (default `small`); see EXPERIMENTS.md for the scale each recorded
+//! result used.
+
+use newslink_corpus::CorpusFlavor;
+use newslink_eval::{EvalContext, EvalScale};
+
+/// The fixed seed the recorded CNN-flavor experiments use.
+pub const CNN_SEED: u64 = 1101;
+/// Kaggle-flavor fixture seed.
+pub const KAGGLE_SEED: u64 = 2202;
+
+/// Build the CNN-flavor fixture at the env-selected scale.
+pub fn cnn_context() -> EvalContext {
+    EvalContext::build(CorpusFlavor::CnnLike, EvalScale::from_env(), CNN_SEED)
+}
+
+/// Build the Kaggle-flavor fixture at the env-selected scale.
+pub fn kaggle_context() -> EvalContext {
+    EvalContext::build(CorpusFlavor::KaggleLike, EvalScale::from_env(), KAGGLE_SEED)
+}
+
+/// Print the standard experiment banner.
+pub fn banner(name: &str, ctx: &EvalContext) {
+    println!(
+        "\n### {name} | corpus={} docs={} kg_nodes={} kg_edges={} scale={:?}",
+        ctx.corpus.flavor.name(),
+        ctx.corpus.len(),
+        ctx.world.graph.node_count(),
+        ctx.world.graph.edge_count(),
+        EvalScale::from_env(),
+    );
+}

@@ -1,0 +1,118 @@
+//! Minimal flag parsing (no external dependencies).
+//!
+//! Supports `--flag value` and positional arguments; unknown flags are
+//! errors so typos fail fast.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: a subcommand, flags, and positionals.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding `argv[0]`).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("bare \"--\" is not supported".to_string());
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                if out.flags.insert(name.to_string(), value).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            } else if out.command.is_empty() {
+                out.command = arg;
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// A flag's value, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// A flag parsed to a type, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name} has invalid value {v:?}")),
+        }
+    }
+
+    /// Positional arguments after the subcommand.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Flags that were provided but not consumed by the command, for
+    /// unknown-flag detection.
+    pub fn flag_names(&self) -> impl Iterator<Item = &str> {
+        self.flags.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let a = parse("search --k 5 --query taliban extra").unwrap();
+        assert_eq!(a.command, "search");
+        assert_eq!(a.get("k"), Some("5"));
+        assert_eq!(a.get("query"), Some("taliban"));
+        assert_eq!(a.positionals(), &["extra".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse("cmd --flag").is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_error() {
+        assert!(parse("cmd --x 1 --x 2").is_err());
+    }
+
+    #[test]
+    fn require_and_parsed() {
+        let a = parse("cmd --n 42").unwrap();
+        assert_eq!(a.require("n").unwrap(), "42");
+        assert!(a.require("m").is_err());
+        assert_eq!(a.get_parsed("n", 0usize).unwrap(), 42);
+        assert_eq!(a.get_parsed("m", 7usize).unwrap(), 7);
+        let bad = parse("cmd --n x").unwrap();
+        assert!(bad.get_parsed("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse("").unwrap();
+        assert!(a.command.is_empty());
+    }
+}

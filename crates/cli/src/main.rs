@@ -1,0 +1,251 @@
+//! The `newslink` command-line tool.
+//!
+//! ```text
+//! newslink generate-world  --scale small|medium|large --seed N --out kg.tsv
+//! newslink generate-corpus --world kg.tsv --docs N --flavor cnn|kaggle --seed N --out corpus.txt
+//! newslink build-index     --world kg.tsv --corpus corpus.txt --beta B --out index.nlnk
+//! newslink search          --world kg.tsv --corpus corpus.txt --index index.nlnk \
+//!                          --query "..." --k 10 --explain true
+//! newslink stats           --world kg.tsv
+//! ```
+//!
+//! Corpora are stored one document per line (generated documents contain
+//! no newlines).
+
+mod args;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use args::Args;
+use newslink_core::{
+    load_newslink_index, save_newslink_index, NewsLink, NewsLinkConfig,
+};
+use newslink_corpus::{generate_corpus, CorpusConfig, CorpusFlavor};
+use newslink_embed::{describe_path, summarize_paths};
+use newslink_kg::{synth, triples, GraphStats, LabelIndex, SynthConfig};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.positionals().is_empty() {
+        eprintln!(
+            "error: unexpected arguments {:?} (flags take the form --name value)",
+            args.positionals()
+        );
+        return ExitCode::FAILURE;
+    }
+    let result = match args.command.as_str() {
+        "generate-world" => generate_world(&args),
+        "generate-corpus" => generate_corpus_cmd(&args),
+        "build-index" => build_index(&args),
+        "search" => search_cmd(&args),
+        "stats" => stats(&args),
+        "" | "help" | "--help" => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+newslink — intuitive news search with knowledge graphs
+
+commands:
+  generate-world  --scale small|medium|large --seed N --out kg.tsv
+  generate-corpus --world kg.tsv --docs N --flavor cnn|kaggle --seed N --out corpus.txt
+  build-index     --world kg.tsv --corpus corpus.txt --beta B --out index.nlnk
+  search          --world kg.tsv --corpus corpus.txt --index index.nlnk --query Q --k N --explain true|false
+  stats           --world kg.tsv
+";
+
+/// Reject flags not in `allowed` (typo guard).
+fn check_flags(args: &Args, allowed: &[&str]) -> Result<(), String> {
+    for name in args.flag_names() {
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag --{name} for {}", args.command));
+        }
+    }
+    Ok(())
+}
+
+fn load_world(args: &Args) -> Result<newslink_kg::KnowledgeGraph, String> {
+    let path = args.require("world")?;
+    triples::load_triples(Path::new(path)).map_err(|e| format!("loading world {path}: {e}"))
+}
+
+fn load_corpus_file(path: &str) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading corpus {path}: {e}"))?;
+    Ok(text.lines().map(str::to_string).collect())
+}
+
+fn generate_world(args: &Args) -> Result<(), String> {
+    check_flags(args, &["scale", "seed", "out"])?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let scale = args.get("scale").unwrap_or("small");
+    let config = match scale {
+        "small" => SynthConfig::small(seed),
+        "medium" => SynthConfig::medium(seed),
+        "large" => SynthConfig::large(seed),
+        other => return Err(format!("unknown scale {other:?}")),
+    };
+    let out = args.require("out")?;
+    let world = synth::generate(&config);
+    triples::save_triples(&world.graph, Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        world.graph.node_count(),
+        world.graph.edge_count()
+    );
+    Ok(())
+}
+
+fn generate_corpus_cmd(args: &Args) -> Result<(), String> {
+    check_flags(args, &["world", "scale", "world-seed", "seed", "docs", "flavor", "out"])?;
+    let seed: u64 = args.get_parsed("seed", 7)?;
+    let docs: usize = args.get_parsed("docs", 500)?;
+    let flavor = match args.get("flavor").unwrap_or("cnn") {
+        "cnn" => CorpusFlavor::CnnLike,
+        "kaggle" => CorpusFlavor::KaggleLike,
+        other => return Err(format!("unknown flavor {other:?}")),
+    };
+    let out = args.require("out")?;
+    // Re-generate the world registers (events, participants) from the same
+    // seed family the world file was produced with; the corpus generator
+    // needs them, and the seed is embedded in the caller's workflow.
+    let world_seed: u64 = args.get_parsed("world-seed", 42)?;
+    let scale = args.get("scale").unwrap_or("small");
+    let config = match scale {
+        "small" => SynthConfig::small(world_seed),
+        "medium" => SynthConfig::medium(world_seed),
+        "large" => SynthConfig::large(world_seed),
+        other => return Err(format!("unknown scale {other:?}")),
+    };
+    let world = synth::generate(&config);
+    let corpus = generate_corpus(&world, &CorpusConfig::new(seed, docs, flavor));
+    let mut text = String::new();
+    for d in &corpus.docs {
+        debug_assert!(!d.text.contains('\n'));
+        text.push_str(&d.text);
+        text.push('\n');
+    }
+    std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out} ({} documents)", corpus.len());
+    Ok(())
+}
+
+fn build_index(args: &Args) -> Result<(), String> {
+    check_flags(args, &["world", "corpus", "beta", "out"])?;
+    let graph = load_world(args)?;
+    let texts = load_corpus_file(args.require("corpus")?)?;
+    let beta: f64 = args.get_parsed("beta", 0.2)?;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let labels = LabelIndex::build(&graph);
+    let engine = NewsLink::new(
+        &graph,
+        &labels,
+        NewsLinkConfig::default().with_beta(beta).with_threads(threads),
+    );
+    let t = std::time::Instant::now();
+    let index = engine.index_corpus(&texts);
+    let out = args.require("out")?;
+    save_newslink_index(&index, &graph, Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "indexed {} docs in {:.2}s ({:.1}% embedded), wrote {}",
+        index.doc_count(),
+        t.elapsed().as_secs_f64(),
+        index.embedded_ratio() * 100.0,
+        out
+    );
+    Ok(())
+}
+
+fn search_cmd(args: &Args) -> Result<(), String> {
+    check_flags(
+        args,
+        &["world", "corpus", "index", "query", "k", "beta", "explain", "explain-score"],
+    )?;
+    let graph = load_world(args)?;
+    let texts = load_corpus_file(args.require("corpus")?)?;
+    let query = args.require("query")?;
+    let k: usize = args.get_parsed("k", 10)?;
+    let beta: f64 = args.get_parsed("beta", 0.2)?;
+    let explain: bool = args.get_parsed("explain", false)?;
+    let explain_score: bool = args.get_parsed("explain-score", false)?;
+    let labels = LabelIndex::build(&graph);
+    let config = NewsLinkConfig::default().with_beta(beta);
+    let engine = NewsLink::new(&graph, &labels, config);
+    let index = match args.get("index") {
+        Some(path) => load_newslink_index(&graph, Path::new(path))
+            .map_err(|e| format!("loading index {path}: {e}"))?,
+        None => engine.index_corpus(&texts),
+    };
+    if index.doc_count() != texts.len() {
+        return Err(format!(
+            "index holds {} docs but corpus file has {}",
+            index.doc_count(),
+            texts.len()
+        ));
+    }
+    let outcome = engine.search(&index, query, k);
+    if outcome.results.is_empty() {
+        println!("no results");
+        return Ok(());
+    }
+    for (rank, hit) in outcome.results.iter().enumerate() {
+        let text = &texts[hit.doc.index()];
+        println!(
+            "{:>2}. doc {:<6} score {:.3}  {}",
+            rank + 1,
+            hit.doc.0,
+            hit.score,
+            &text[..text.len().min(90)]
+        );
+        if explain {
+            let paths = engine.explain(&index, &outcome.embedding, hit.doc, 5, 20);
+            for p in summarize_paths(&graph, &paths, 3) {
+                println!("      {} — {}", p.render(&graph), describe_path(&graph, &p));
+            }
+        }
+        if explain_score {
+            let ex = newslink_core::explain_score(
+                &graph,
+                &labels,
+                engine.config(),
+                &index,
+                query,
+                hit.doc,
+            );
+            for line in ex.to_string().lines() {
+                println!("      {line}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    check_flags(args, &["world"])?;
+    let graph = load_world(args)?;
+    print!("{}", GraphStats::compute(&graph));
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! Standing-query news alerts (percolation).
+//!
+//! The inverse of search: journalists register *standing queries* ("tell
+//! me about Taliban activity near Khyber") and every incoming article is
+//! matched against all subscriptions as it arrives — Elasticsearch's
+//! percolator, with NewsLink's twist that matching uses *both* text
+//! containment and subgraph-embedding overlap, so an article about Kunar
+//! can trigger a Khyber subscription through the KG even with zero word
+//! overlap.
+//!
+//! Because subscriptions are matched per document (no corpus statistics),
+//! the two signals are containment fractions in `[0, 1]`:
+//!
+//! ```text
+//! match(q, d) = (1-β) · |terms(q) ∩ terms(d)| / |terms(q)|
+//!             +    β  · |nodes(q) ∩ nodes(d)| / |nodes(q)|
+//! ```
+
+use newslink_embed::DocEmbedding;
+use newslink_kg::{KnowledgeGraph, LabelIndex, NodeId};
+use newslink_util::FxHashSet;
+
+use crate::config::NewsLinkConfig;
+use crate::indexer::embed_one;
+
+/// A registered standing query.
+#[derive(Debug)]
+struct Subscription {
+    id: u64,
+    terms: FxHashSet<String>,
+    nodes: FxHashSet<NodeId>,
+    threshold: f64,
+}
+
+/// One triggered subscription for a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertMatch {
+    /// The subscription that fired.
+    pub subscription: u64,
+    /// The blended containment score (≥ the subscription's threshold).
+    pub score: f64,
+}
+
+/// The percolator: standing queries matched against incoming documents.
+pub struct AlertRegistry<'g> {
+    graph: &'g KnowledgeGraph,
+    label_index: &'g LabelIndex,
+    config: NewsLinkConfig,
+    subscriptions: Vec<Subscription>,
+    next_id: u64,
+}
+
+impl<'g> AlertRegistry<'g> {
+    /// Create an empty registry; `config.beta` weighs embedding overlap
+    /// against text overlap exactly as in search.
+    pub fn new(graph: &'g KnowledgeGraph, label_index: &'g LabelIndex, config: NewsLinkConfig) -> Self {
+        Self {
+            graph,
+            label_index,
+            config,
+            subscriptions: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Register a standing query; `threshold ∈ [0, 1]` is the minimum
+    /// blended containment for the alert to fire. Returns the
+    /// subscription id.
+    pub fn subscribe(&mut self, query: &str, threshold: f64) -> u64 {
+        let artifacts = embed_one(self.graph, self.label_index, &self.config, query);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.subscriptions.push(Subscription {
+            id,
+            terms: artifacts.analysis.terms.iter().cloned().collect(),
+            nodes: artifacts.embedding.all_nodes().into_iter().collect(),
+            threshold: threshold.clamp(0.0, 1.0),
+        });
+        id
+    }
+
+    /// Remove a subscription.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        let before = self.subscriptions.len();
+        self.subscriptions.retain(|s| s.id != id);
+        self.subscriptions.len() != before
+    }
+
+    /// Number of active subscriptions.
+    pub fn len(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// True when no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.subscriptions.is_empty()
+    }
+
+    /// Blended containment of a subscription in a document.
+    fn score(
+        &self,
+        sub: &Subscription,
+        doc_terms: &FxHashSet<String>,
+        doc_nodes: &FxHashSet<NodeId>,
+    ) -> f64 {
+        let beta = self.config.beta;
+        let bow = if sub.terms.is_empty() {
+            0.0
+        } else {
+            sub.terms.intersection(doc_terms).count() as f64 / sub.terms.len() as f64
+        };
+        let bon = if sub.nodes.is_empty() {
+            0.0
+        } else {
+            sub.nodes.intersection(doc_nodes).count() as f64 / sub.nodes.len() as f64
+        };
+        (1.0 - beta) * bow + beta * bon
+    }
+
+    /// Match one incoming document against every subscription; fired
+    /// alerts are returned best-score first (ties: lower subscription id).
+    pub fn match_document(&self, text: &str) -> (Vec<AlertMatch>, DocEmbedding) {
+        let artifacts = embed_one(self.graph, self.label_index, &self.config, text);
+        let doc_terms: FxHashSet<String> = artifacts.analysis.terms.iter().cloned().collect();
+        let doc_nodes: FxHashSet<NodeId> = artifacts.embedding.all_nodes().into_iter().collect();
+        let mut fired: Vec<AlertMatch> = self
+            .subscriptions
+            .iter()
+            .filter_map(|sub| {
+                let score = self.score(sub, &doc_terms, &doc_nodes);
+                (score >= sub.threshold && score > 0.0).then_some(AlertMatch {
+                    subscription: sub.id,
+                    score,
+                })
+            })
+            .collect();
+        fired.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.subscription.cmp(&b.subscription))
+        });
+        (fired, artifacts.embedding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newslink_kg::{EntityType, GraphBuilder};
+
+    fn world() -> (KnowledgeGraph, LabelIndex) {
+        let mut b = GraphBuilder::new();
+        let khyber = b.add_node("Khyber", EntityType::Gpe);
+        let kunar = b.add_node("Kunar", EntityType::Gpe);
+        let taliban = b.add_node("Taliban", EntityType::Organization);
+        let pakistan = b.add_node("Pakistan", EntityType::Gpe);
+        b.add_edge(kunar, khyber, "borders", 1);
+        b.add_edge(taliban, kunar, "operates in", 1);
+        b.add_edge(taliban, khyber, "operates in", 1);
+        b.add_edge(khyber, pakistan, "located in", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        (g, idx)
+    }
+
+    #[test]
+    fn matching_document_fires_alert() {
+        let (g, li) = world();
+        let mut reg = AlertRegistry::new(&g, &li, NewsLinkConfig::default());
+        let id = reg.subscribe("Taliban attack in Khyber", 0.4);
+        let (fired, _) = reg.match_document("Taliban forces attack a post near Khyber today.");
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].subscription, id);
+        assert!(fired[0].score >= 0.4);
+    }
+
+    #[test]
+    fn unrelated_document_does_not_fire() {
+        let (g, li) = world();
+        let mut reg = AlertRegistry::new(&g, &li, NewsLinkConfig::default());
+        reg.subscribe("Taliban attack in Khyber", 0.4);
+        let (fired, _) = reg.match_document("The annual flower festival drew record crowds.");
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn kg_overlap_triggers_without_word_overlap() {
+        let (g, li) = world();
+        // β = 1: pure embedding matching. The subscription mentions
+        // Khyber; the article mentions only Kunar and Taliban — but their
+        // G* runs through Khyber.
+        let mut reg = AlertRegistry::new(
+            &g,
+            &li,
+            NewsLinkConfig::default().with_beta(1.0),
+        );
+        let id = reg.subscribe("Trouble around Khyber and Taliban", 0.3);
+        let (fired, _) = reg.match_document("Taliban militants swept through Kunar overnight.");
+        assert_eq!(fired.len(), 1, "KG context must bridge the vocabulary gap");
+        assert_eq!(fired[0].subscription, id);
+    }
+
+    #[test]
+    fn threshold_controls_firing() {
+        let (g, li) = world();
+        let mut reg = AlertRegistry::new(&g, &li, NewsLinkConfig::default());
+        reg.subscribe("Taliban Khyber Pakistan offensive shelling", 0.95);
+        // Partial match: only some terms present — below 0.95.
+        let (fired, _) = reg.match_document("Taliban moved toward Khyber.");
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn multiple_subscriptions_rank_by_score() {
+        let (g, li) = world();
+        let mut reg = AlertRegistry::new(&g, &li, NewsLinkConfig::default());
+        let loose = reg.subscribe("Taliban", 0.1);
+        let tight = reg.subscribe("Taliban attack Khyber", 0.1);
+        let (fired, _) = reg.match_document("Taliban attack near Khyber intensified.");
+        assert_eq!(fired.len(), 2);
+        // The fully-contained subscription scores at least as high.
+        let scores: std::collections::HashMap<u64, f64> =
+            fired.iter().map(|m| (m.subscription, m.score)).collect();
+        assert!(scores[&loose] > 0.0);
+        assert!(scores[&tight] > 0.0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_alerts() {
+        let (g, li) = world();
+        let mut reg = AlertRegistry::new(&g, &li, NewsLinkConfig::default());
+        let id = reg.subscribe("Taliban", 0.1);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.unsubscribe(id));
+        assert!(!reg.unsubscribe(id));
+        assert!(reg.is_empty());
+        let (fired, _) = reg.match_document("Taliban statement released.");
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn empty_query_never_fires() {
+        let (g, li) = world();
+        let mut reg = AlertRegistry::new(&g, &li, NewsLinkConfig::default());
+        reg.subscribe("", 0.0);
+        let (fired, _) = reg.match_document("Taliban attack near Khyber.");
+        assert!(fired.is_empty(), "empty subscription must not fire on score 0");
+    }
+}

@@ -1,0 +1,115 @@
+//! NewsLink configuration.
+
+use newslink_embed::SearchConfig;
+
+/// Which subgraph-embedding model the NE component runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmbeddingModel {
+    /// The paper's Lowest Common Ancestor Graph `G*` (all shortest paths,
+    /// compactness-order optimal root).
+    Lcag,
+    /// The TreeEmb baseline of §VII-F (Group-Steiner-Tree star
+    /// approximation, one path per label).
+    Tree,
+}
+
+/// End-to-end pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct NewsLinkConfig {
+    /// Equation 3's `β ∈ [0, 1]`: 0 = pure BOW (reduces to Lucene),
+    /// 1 = pure BON (subgraph embeddings only). The paper's best setting
+    /// is 0.2.
+    pub beta: f64,
+    /// Subgraph-embedding model.
+    pub model: EmbeddingModel,
+    /// NE search knobs.
+    pub search: SearchConfig,
+    /// Worker threads for corpus embedding (1 = serial).
+    pub threads: usize,
+    /// Normalize BOW/BON score maps by their maxima before blending so β
+    /// weights two comparable [0, 1] signals. (The paper blends Lucene
+    /// scores; normalization pins the β semantics across index scales.)
+    pub normalize_scores: bool,
+    /// Rank with Fagin's Threshold Algorithm over the two ranked lists
+    /// (the top-k algorithm the paper cites in §VI) instead of exhaustive
+    /// union rescoring. Results are identical; TA terminates early.
+    pub use_threshold_algorithm: bool,
+}
+
+impl Default for NewsLinkConfig {
+    fn default() -> Self {
+        Self {
+            beta: 0.2,
+            model: EmbeddingModel::Lcag,
+            search: SearchConfig::default(),
+            threads: 1,
+            normalize_scores: true,
+            use_threshold_algorithm: false,
+        }
+    }
+}
+
+impl NewsLinkConfig {
+    /// The paper's best setting, `NewsLink(0.2)`.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Set β (clamped to [0, 1]).
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the embedding model.
+    pub fn with_model(mut self, model: EmbeddingModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Set worker threads (min 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable Threshold-Algorithm ranking.
+    pub fn with_threshold_algorithm(mut self, on: bool) -> Self {
+        self.use_threshold_algorithm = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_best() {
+        let c = NewsLinkConfig::default();
+        assert_eq!(c.beta, 0.2);
+        assert_eq!(c.model, EmbeddingModel::Lcag);
+        assert!(c.normalize_scores);
+    }
+
+    #[test]
+    fn beta_is_clamped() {
+        assert_eq!(NewsLinkConfig::default().with_beta(2.0).beta, 1.0);
+        assert_eq!(NewsLinkConfig::default().with_beta(-0.5).beta, 0.0);
+    }
+
+    #[test]
+    fn threads_floor_at_one() {
+        assert_eq!(NewsLinkConfig::default().with_threads(0).threads, 1);
+        assert_eq!(NewsLinkConfig::default().with_threads(8).threads, 8);
+    }
+
+    #[test]
+    fn builder_style_chains() {
+        let c = NewsLinkConfig::default()
+            .with_beta(1.0)
+            .with_model(EmbeddingModel::Tree);
+        assert_eq!(c.beta, 1.0);
+        assert_eq!(c.model, EmbeddingModel::Tree);
+    }
+}

@@ -1,0 +1,295 @@
+//! Corpus indexing: the NS component's *index building* half (§VI).
+//!
+//! For every document the pipeline runs NLP analysis, embeds each entity
+//! group of the maximal co-occurrence set to a `G*` (or TreeEmb), and
+//! feeds two inverted indexes: a BOW index over analyzed word terms and a
+//! BON index over node terms. Documents whose groups all fail to embed are
+//! kept searchable by text (the paper filters them from its corpus; we
+//! record them so experiments can report the same coverage statistic).
+
+use std::time::Instant;
+
+use newslink_embed::{bon_terms, find_lcag, find_tree_embedding, DocEmbedding};
+use newslink_kg::{KnowledgeGraph, LabelIndex};
+use newslink_nlp::{DocumentAnalysis, MatchStats, NlpPipeline};
+use newslink_text::{DocId, IndexBuilder, InvertedIndex};
+use newslink_util::ComponentTimer;
+
+use crate::config::{EmbeddingModel, NewsLinkConfig};
+
+/// The frozen search-side state for one corpus.
+#[derive(Debug)]
+pub struct NewsLinkIndex {
+    /// BOW inverted index over word terms.
+    pub bow: InvertedIndex,
+    /// BON inverted index over node terms.
+    pub bon: InvertedIndex,
+    /// Per-document subgraph embeddings (aligned with doc ids).
+    pub embeddings: Vec<DocEmbedding>,
+    /// Aggregated entity matching statistics (Table V's numerator /
+    /// denominator).
+    pub match_stats: MatchStats,
+    /// Documents for which at least one entity group embedded.
+    pub embedded_docs: usize,
+    /// Accumulated per-component indexing time ("nlp", "ne", "ns").
+    pub timer: ComponentTimer,
+}
+
+impl NewsLinkIndex {
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Fraction of documents with a non-empty subgraph embedding (the
+    /// paper reports 96.3% for CNN, 91.2% for Kaggle).
+    pub fn embedded_ratio(&self) -> f64 {
+        if self.embeddings.is_empty() {
+            0.0
+        } else {
+            self.embedded_docs as f64 / self.embeddings.len() as f64
+        }
+    }
+}
+
+/// Per-document artifacts produced by the embedding stage.
+pub(crate) struct DocArtifacts {
+    pub analysis: DocumentAnalysis,
+    pub embedding: DocEmbedding,
+    pub nlp_nanos: u64,
+    pub ne_nanos: u64,
+}
+
+/// Run NLP + NE for one document.
+pub(crate) fn embed_one(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    text: &str,
+) -> DocArtifacts {
+    let nlp = NlpPipeline::new(graph, label_index);
+    let t0 = Instant::now();
+    let analysis = nlp.analyze_document(text);
+    let nlp_nanos = t0.elapsed().as_nanos() as u64;
+
+    let t1 = Instant::now();
+    let mut groups = Vec::new();
+    for set in &analysis.entity_groups {
+        let labels: Vec<String> = set.iter().cloned().collect();
+        let result = match config.model {
+            EmbeddingModel::Lcag => find_lcag(graph, label_index, &labels, &config.search),
+            EmbeddingModel::Tree => {
+                find_tree_embedding(graph, label_index, &labels, &config.search)
+            }
+        };
+        // Groups that fail to embed (no sources / disconnected / budget)
+        // simply contribute nothing, as in the paper's corpus filtering.
+        if let Ok(g) = result {
+            groups.push(g);
+        }
+    }
+    let ne_nanos = t1.elapsed().as_nanos() as u64;
+
+    DocArtifacts {
+        analysis,
+        embedding: DocEmbedding::new(groups),
+        nlp_nanos,
+        ne_nanos,
+    }
+}
+
+/// Embed and index a whole corpus.
+///
+/// Embedding parallelizes across `config.threads` (the paper notes corpus
+/// embedding "can easily be parallelized"); index building is serial and
+/// deterministic in document order.
+pub fn index_corpus<S: AsRef<str> + Sync>(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    texts: &[S],
+) -> NewsLinkIndex {
+    let artifacts: Vec<DocArtifacts> = if config.threads <= 1 || texts.len() < 2 {
+        texts
+            .iter()
+            .map(|t| embed_one(graph, label_index, config, t.as_ref()))
+            .collect()
+    } else {
+        parallel_embed(graph, label_index, config, texts)
+    };
+
+    let mut timer = ComponentTimer::new();
+    let mut bow = IndexBuilder::new();
+    let mut bon = IndexBuilder::new();
+    let mut embeddings = Vec::with_capacity(texts.len());
+    let mut match_stats = MatchStats::default();
+    let mut embedded_docs = 0;
+
+    let t_ns = Instant::now();
+    for a in artifacts {
+        timer.record("nlp", std::time::Duration::from_nanos(a.nlp_nanos));
+        timer.record("ne", std::time::Duration::from_nanos(a.ne_nanos));
+        match_stats.identified += a.analysis.stats.identified;
+        match_stats.matched += a.analysis.stats.matched;
+        let doc = bow.add_document(&a.analysis.terms);
+        let bdoc = bon.add_document(&bon_terms(&a.embedding));
+        debug_assert_eq!(doc, bdoc, "BOW and BON doc ids must stay aligned");
+        if !a.embedding.is_empty() {
+            embedded_docs += 1;
+        }
+        embeddings.push(a.embedding);
+    }
+    timer.record_batch("ns", t_ns.elapsed(), embeddings.len().max(1) as u64);
+
+    NewsLinkIndex {
+        bow: bow.build(),
+        bon: bon.build(),
+        embeddings,
+        match_stats,
+        embedded_docs,
+        timer,
+    }
+}
+
+/// Chunked parallel embedding via crossbeam scoped threads.
+fn parallel_embed<S: AsRef<str> + Sync>(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    texts: &[S],
+) -> Vec<DocArtifacts> {
+    let threads = config.threads.min(texts.len()).max(1);
+    let chunk = texts.len().div_ceil(threads);
+    let mut out: Vec<Option<DocArtifacts>> = Vec::new();
+    out.resize_with(texts.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut slots = out.as_mut_slice();
+        let mut offset = 0usize;
+        let mut handles = Vec::new();
+        while offset < texts.len() {
+            let take = chunk.min(texts.len() - offset);
+            let (head, rest) = slots.split_at_mut(take);
+            slots = rest;
+            let batch = &texts[offset..offset + take];
+            handles.push(scope.spawn(move |_| {
+                for (slot, text) in head.iter_mut().zip(batch) {
+                    *slot = Some(embed_one(graph, label_index, config, text.as_ref()));
+                }
+            }));
+            offset += take;
+        }
+        for h in handles {
+            h.join().expect("embedding worker panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.into_iter().map(|a| a.expect("all docs embedded")).collect()
+}
+
+/// Convenience: doc ids of a freshly built index, in order.
+pub fn doc_ids(index: &NewsLinkIndex) -> impl Iterator<Item = DocId> {
+    (0..index.doc_count() as u32).map(DocId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newslink_kg::{EntityType, GraphBuilder};
+
+    fn world() -> (KnowledgeGraph, LabelIndex) {
+        let mut b = GraphBuilder::new();
+        let khyber = b.add_node("Khyber", EntityType::Gpe);
+        let kunar = b.add_node("Kunar", EntityType::Gpe);
+        let taliban = b.add_node("Taliban", EntityType::Organization);
+        let pakistan = b.add_node("Pakistan", EntityType::Gpe);
+        let lahore = b.add_node("Lahore", EntityType::Gpe);
+        b.add_edge(kunar, khyber, "shares border with", 1);
+        b.add_edge(taliban, kunar, "operates in", 1);
+        b.add_edge(taliban, khyber, "operates in", 1);
+        b.add_edge(khyber, pakistan, "located in", 1);
+        b.add_edge(lahore, pakistan, "located in", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        (g, idx)
+    }
+
+    const DOCS: &[&str] = &[
+        "Taliban attacked Kunar. Pakistan forces responded near Khyber.",
+        "Bombing hit Lahore. Pakistan blamed Taliban.",
+        "A plain story with no known names at all.",
+    ];
+
+    #[test]
+    fn index_builds_aligned_bow_and_bon() {
+        let (g, li) = world();
+        let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        assert_eq!(idx.doc_count(), 3);
+        assert_eq!(idx.bow.doc_count(), 3);
+        assert_eq!(idx.bon.doc_count(), 3);
+        assert_eq!(idx.embedded_docs, 2);
+        assert!((idx.embedded_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embeddings_contain_induced_entities() {
+        let (g, li) = world();
+        let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        // Doc 0 mentions Taliban+Kunar+Pakistan+Khyber; its embedding
+        // connects them.
+        assert!(!idx.embeddings[0].is_empty());
+        // Doc 2 has no entities -> empty embedding.
+        assert!(idx.embeddings[2].is_empty());
+        let _ = g;
+    }
+
+    #[test]
+    fn parallel_indexing_matches_serial() {
+        let (g, li) = world();
+        let serial = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        let par = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_threads(3),
+            DOCS,
+        );
+        assert_eq!(serial.doc_count(), par.doc_count());
+        assert_eq!(serial.embedded_docs, par.embedded_docs);
+        for (a, b) in serial.embeddings.iter().zip(&par.embeddings) {
+            assert_eq!(a.all_nodes(), b.all_nodes());
+        }
+        assert_eq!(
+            serial.match_stats.identified,
+            par.match_stats.identified
+        );
+    }
+
+    #[test]
+    fn tree_model_indexes_too() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_model(EmbeddingModel::Tree);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        assert_eq!(idx.embedded_docs, 2);
+        // Tree embeddings never exceed LCAG embeddings in node count.
+        let lcag = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        for (t, l) in idx.embeddings.iter().zip(&lcag.embeddings) {
+            assert!(t.all_nodes().len() <= l.all_nodes().len());
+        }
+    }
+
+    #[test]
+    fn timers_record_components() {
+        let (g, li) = world();
+        let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        assert_eq!(idx.timer.count("nlp"), 3);
+        assert_eq!(idx.timer.count("ne"), 3);
+        assert!(idx.timer.count("ns") >= 1);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let (g, li) = world();
+        let idx = index_corpus::<&str>(&g, &li, &NewsLinkConfig::default(), &[]);
+        assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.embedded_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The NewsLink framework (the paper's primary contribution, §III–§VI).
+//!
+//! Wires the NLP component (`newslink-nlp`), the NE component
+//! (`newslink-embed`) and the NS component (BOW/BON blending over
+//! `newslink-text`) into one engine:
+//!
+//! - [`config`] — β, embedding model, threading;
+//! - [`indexer`] — corpus embedding + dual inverted indexes;
+//! - [`searcher`] — Equation 3 blended scoring, top-k, explanations;
+//! - [`pipeline`] — the [`NewsLink`] facade.
+
+pub mod alerts;
+pub mod config;
+pub mod indexer;
+pub mod live;
+pub mod persist;
+pub mod pipeline;
+pub mod score_explain;
+pub mod searcher;
+pub mod ta;
+
+pub use alerts::{AlertMatch, AlertRegistry};
+pub use config::{EmbeddingModel, NewsLinkConfig};
+pub use indexer::{index_corpus, NewsLinkIndex};
+pub use live::{LiveHit, LiveNewsLink};
+pub use pipeline::NewsLink;
+pub use score_explain::{explain_score, ScoreExplanation, SideExplanation, TermContribution};
+pub use searcher::{explain, search, search_batch, QueryOutcome, SearchResult};
+pub use persist::{load_newslink_index, read_newslink_index, save_newslink_index, write_newslink_index};
+pub use ta::{threshold_algorithm, TaOutcome};

@@ -1,0 +1,277 @@
+//! Incremental NewsLink: the full blended engine over growing corpora.
+//!
+//! A news search deployment ingests a stream; re-embedding and re-indexing
+//! the whole corpus per article (the frozen [`crate::indexer`] path) does
+//! not scale. [`LiveNewsLink`] keeps *two* Lucene-style segmented indexes
+//! — BOW over word terms, BON over node terms — plus the per-document
+//! subgraph embeddings, supporting add / delete / commit with stable
+//! document ids and the same Equation 3 blended scoring as the frozen
+//! engine.
+
+use newslink_embed::{bon_terms, relationship_paths, DocEmbedding, RelationshipPath};
+use newslink_kg::{KnowledgeGraph, LabelIndex};
+use newslink_text::{Bm25, GlobalId, SegmentedIndex};
+use newslink_util::{FxHashMap, TopK};
+
+use crate::config::NewsLinkConfig;
+use crate::indexer::embed_one;
+
+/// A blended hit from the live engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveHit {
+    /// Stable document id.
+    pub id: GlobalId,
+    /// Blended score.
+    pub score: f64,
+}
+
+/// The incremental NewsLink engine.
+pub struct LiveNewsLink<'g> {
+    graph: &'g KnowledgeGraph,
+    label_index: &'g LabelIndex,
+    config: NewsLinkConfig,
+    bow: SegmentedIndex,
+    bon: SegmentedIndex,
+    embeddings: FxHashMap<GlobalId, DocEmbedding>,
+}
+
+impl<'g> LiveNewsLink<'g> {
+    /// Create an empty live engine; `max_segments` bounds both indexes'
+    /// segment counts.
+    pub fn new(
+        graph: &'g KnowledgeGraph,
+        label_index: &'g LabelIndex,
+        config: NewsLinkConfig,
+        max_segments: usize,
+    ) -> Self {
+        Self {
+            graph,
+            label_index,
+            config,
+            bow: SegmentedIndex::new(max_segments),
+            bon: SegmentedIndex::new(max_segments),
+            embeddings: FxHashMap::default(),
+        }
+    }
+
+    /// Analyze, embed and buffer one document; returns its stable id.
+    /// Searchable after the next [`commit`](Self::commit).
+    pub fn add_document(&mut self, text: &str) -> GlobalId {
+        let artifacts = embed_one(self.graph, self.label_index, &self.config, text);
+        let id = self.bow.add_document(&artifacts.analysis.terms);
+        let bon_id = self.bon.add_document(&bon_terms(&artifacts.embedding));
+        debug_assert_eq!(id, bon_id, "BOW/BON ids must stay aligned");
+        self.embeddings.insert(id, artifacts.embedding);
+        id
+    }
+
+    /// Delete a document (buffered or committed).
+    pub fn delete_document(&mut self, id: GlobalId) -> bool {
+        let ok = self.bow.delete_document(id);
+        let ok2 = self.bon.delete_document(id);
+        debug_assert_eq!(ok, ok2);
+        if ok {
+            self.embeddings.remove(&id);
+        }
+        ok
+    }
+
+    /// Flush buffered documents into searchable segments.
+    pub fn commit(&mut self) {
+        self.bow.commit();
+        self.bon.commit();
+    }
+
+    /// Live document count (including uncommitted).
+    pub fn doc_count(&self) -> usize {
+        self.bow.doc_count()
+    }
+
+    /// The stored embedding of a live document.
+    pub fn embedding(&self, id: GlobalId) -> Option<&DocEmbedding> {
+        self.embeddings.get(&id)
+    }
+
+    /// Blended top-k search over committed documents (Equation 3, same
+    /// scorers and normalization as the frozen engine).
+    pub fn search(&self, query_text: &str, k: usize) -> (Vec<LiveHit>, DocEmbedding) {
+        let artifacts = embed_one(self.graph, self.label_index, &self.config, query_text);
+        let beta = self.config.beta;
+        let mut bow_scores = if beta < 1.0 {
+            self.bow
+                .score_all_with(Bm25::default(), &artifacts.analysis.terms)
+        } else {
+            FxHashMap::default()
+        };
+        let mut bon_scores = if beta > 0.0 {
+            self.bon
+                .score_all_with(Bm25 { k1: 1.2, b: 0.0 }, &bon_terms(&artifacts.embedding))
+        } else {
+            FxHashMap::default()
+        };
+        if self.config.normalize_scores {
+            for scores in [&mut bow_scores, &mut bon_scores] {
+                let max = scores.values().copied().fold(0.0f64, f64::max);
+                if max > 0.0 {
+                    for v in scores.values_mut() {
+                        *v /= max;
+                    }
+                }
+            }
+        }
+        let mut ids: Vec<GlobalId> =
+            bow_scores.keys().chain(bon_scores.keys()).copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut topk = TopK::new(k);
+        for id in ids {
+            let bow = bow_scores.get(&id).copied().unwrap_or(0.0);
+            let bon = bon_scores.get(&id).copied().unwrap_or(0.0);
+            let score = (1.0 - beta) * bow + beta * bon;
+            if score > 0.0 {
+                topk.push(score, id);
+            }
+        }
+        let hits = topk
+            .into_sorted()
+            .into_iter()
+            .map(|(score, id)| LiveHit { id, score })
+            .collect();
+        (hits, artifacts.embedding)
+    }
+
+    /// Relationship-path explanations for a live result.
+    pub fn explain(
+        &self,
+        query_embedding: &DocEmbedding,
+        id: GlobalId,
+        max_len: usize,
+        max_paths: usize,
+    ) -> Vec<RelationshipPath> {
+        match self.embeddings.get(&id) {
+            Some(result) => relationship_paths(query_embedding, result, max_len, max_paths),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexer::index_corpus;
+    use crate::searcher::search;
+    use newslink_kg::{EntityType, GraphBuilder};
+
+    fn world() -> (KnowledgeGraph, LabelIndex) {
+        let mut b = GraphBuilder::new();
+        let khyber = b.add_node("Khyber", EntityType::Gpe);
+        let kunar = b.add_node("Kunar", EntityType::Gpe);
+        let taliban = b.add_node("Taliban", EntityType::Organization);
+        let pakistan = b.add_node("Pakistan", EntityType::Gpe);
+        let lahore = b.add_node("Lahore", EntityType::Gpe);
+        b.add_edge(kunar, khyber, "borders", 1);
+        b.add_edge(taliban, kunar, "operates in", 1);
+        b.add_edge(khyber, pakistan, "located in", 1);
+        b.add_edge(lahore, pakistan, "located in", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        (g, idx)
+    }
+
+    const DOCS: &[&str] = &[
+        "Taliban attacked Kunar. Pakistan responded near Khyber.",
+        "Explosions rocked Lahore. Pakistan blamed Taliban.",
+        "A plain story with no known names at all.",
+    ];
+
+    #[test]
+    fn live_matches_frozen_engine() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default();
+        // Frozen reference.
+        let frozen = index_corpus(&g, &li, &cfg, DOCS);
+        // Live engine with per-doc commits and merging.
+        let mut live = LiveNewsLink::new(&g, &li, cfg.clone(), 2);
+        for d in DOCS {
+            live.add_document(d);
+            live.commit();
+        }
+        for q in ["Taliban near Kunar", "Explosions in Lahore", "Pakistan"] {
+            let want = search(&g, &li, &cfg, &frozen, q, 3);
+            let (got, _) = live.search(q, 3);
+            assert_eq!(got.len(), want.results.len(), "query {q}");
+            for (x, y) in got.iter().zip(&want.results) {
+                assert_eq!(x.id, u64::from(y.doc.0), "query {q}");
+                assert!((x.score - y.score).abs() < 1e-9, "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncommitted_docs_invisible_then_searchable() {
+        let (g, li) = world();
+        let mut live = LiveNewsLink::new(&g, &li, NewsLinkConfig::default(), 4);
+        let id = live.add_document(DOCS[0]);
+        assert!(live.search("Taliban", 5).0.is_empty());
+        live.commit();
+        let (hits, _) = live.search("Taliban", 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, id);
+    }
+
+    #[test]
+    fn deletion_removes_doc_and_embedding() {
+        let (g, li) = world();
+        let mut live = LiveNewsLink::new(&g, &li, NewsLinkConfig::default(), 4);
+        let a = live.add_document(DOCS[0]);
+        let b = live.add_document(DOCS[1]);
+        live.commit();
+        assert!(live.delete_document(a));
+        assert!(live.embedding(a).is_none());
+        assert!(live.embedding(b).is_some());
+        live.commit();
+        let (hits, _) = live.search("Taliban", 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, b);
+        assert_eq!(live.doc_count(), 1);
+    }
+
+    #[test]
+    fn explanations_work_on_live_results() {
+        let (g, li) = world();
+        let mut live = LiveNewsLink::new(
+            &g,
+            &li,
+            NewsLinkConfig::default().with_beta(1.0),
+            4,
+        );
+        for d in DOCS {
+            live.add_document(d);
+        }
+        live.commit();
+        let (hits, qe) = live.search("Taliban strikes in Kunar.", 3);
+        let top = hits.first().expect("has hits");
+        let paths = live.explain(&qe, top.id, 4, 10);
+        assert!(!paths.is_empty());
+        assert!(live.explain(&qe, 999, 4, 10).is_empty());
+    }
+
+    #[test]
+    fn stable_ids_across_merges() {
+        let (g, li) = world();
+        let mut live = LiveNewsLink::new(&g, &li, NewsLinkConfig::default(), 1);
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let text = format!("Update {i}: Taliban activity near Kunar continued.");
+            ids.push(live.add_document(&text));
+            live.commit();
+        }
+        // Merged down to one segment; every id still resolves.
+        let (hits, _) = live.search("Taliban Kunar", 10);
+        assert_eq!(hits.len(), 8);
+        for h in &hits {
+            assert!(ids.contains(&h.id));
+            assert!(live.embedding(h.id).is_some());
+        }
+    }
+}

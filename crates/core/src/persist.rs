@@ -1,0 +1,208 @@
+//! Whole-index persistence: save a built [`NewsLinkIndex`] to one file and
+//! reload it without re-embedding the corpus.
+//!
+//! Corpus embedding dominates indexing cost (Figure 7), so a production
+//! deployment builds once and serves many sessions. The file embeds a
+//! *graph fingerprint* (node and edge counts); loading against a different
+//! graph build is rejected, since embeddings reference node ids.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use newslink_embed::codec as embed_codec;
+use newslink_kg::KnowledgeGraph;
+use newslink_nlp::MatchStats;
+use newslink_text::{read_index, write_index};
+use newslink_util::{varint, ComponentTimer};
+
+use crate::indexer::NewsLinkIndex;
+
+const MAGIC: &[u8; 4] = b"NLNK";
+const VERSION: u8 = 1;
+
+/// Serialize a built index.
+pub fn write_newslink_index<W: Write>(
+    index: &NewsLinkIndex,
+    graph: &KnowledgeGraph,
+    out: &mut W,
+) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&[VERSION])?;
+    // Graph fingerprint.
+    varint::write_u64(out, graph.node_count() as u64)?;
+    varint::write_u64(out, graph.edge_count() as u64)?;
+    write_index(&index.bow, out)?;
+    write_index(&index.bon, out)?;
+    varint::write_u64(out, index.embeddings.len() as u64)?;
+    for e in &index.embeddings {
+        embed_codec::write_embedding(e, out)?;
+    }
+    varint::write_u64(out, index.match_stats.identified as u64)?;
+    varint::write_u64(out, index.match_stats.matched as u64)?;
+    varint::write_u64(out, index.embedded_docs as u64)?;
+    Ok(())
+}
+
+/// Deserialize an index, verifying it was built against `graph`.
+pub fn read_newslink_index<R: Read>(
+    graph: &KnowledgeGraph,
+    input: &mut R,
+) -> io::Result<NewsLinkIndex> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut version = [0u8; 1];
+    input.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported index version {}", version[0]),
+        ));
+    }
+    let nodes = varint::read_u64(input)? as usize;
+    let edges = varint::read_u64(input)? as usize;
+    if nodes != graph.node_count() || edges != graph.edge_count() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "index was built against a different graph \
+                 ({nodes} nodes / {edges} edges vs {} / {})",
+                graph.node_count(),
+                graph.edge_count()
+            ),
+        ));
+    }
+    let bow = read_index(input)?;
+    let bon = read_index(input)?;
+    let n = varint::read_u64(input)? as usize;
+    if n != bow.doc_count() || n != bon.doc_count() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "embedding count does not match index doc count",
+        ));
+    }
+    let mut embeddings = Vec::with_capacity(n);
+    for _ in 0..n {
+        embeddings.push(embed_codec::read_embedding(input)?);
+    }
+    let identified = varint::read_u64(input)? as usize;
+    let matched = varint::read_u64(input)? as usize;
+    let embedded_docs = varint::read_u64(input)? as usize;
+    Ok(NewsLinkIndex {
+        bow,
+        bon,
+        embeddings,
+        match_stats: MatchStats {
+            identified,
+            matched,
+        },
+        embedded_docs,
+        timer: ComponentTimer::new(),
+    })
+}
+
+/// Save to a file.
+pub fn save_newslink_index(
+    index: &NewsLinkIndex,
+    graph: &KnowledgeGraph,
+    path: &Path,
+) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_newslink_index(index, graph, &mut f)?;
+    f.flush()
+}
+
+/// Load from a file.
+pub fn load_newslink_index(graph: &KnowledgeGraph, path: &Path) -> io::Result<NewsLinkIndex> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_newslink_index(graph, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NewsLinkConfig;
+    use crate::indexer::index_corpus;
+    use crate::searcher::search;
+    use newslink_kg::{EntityType, GraphBuilder, LabelIndex};
+
+    fn world() -> (KnowledgeGraph, LabelIndex) {
+        let mut b = GraphBuilder::new();
+        let khyber = b.add_node("Khyber", EntityType::Gpe);
+        let kunar = b.add_node("Kunar", EntityType::Gpe);
+        let taliban = b.add_node("Taliban", EntityType::Organization);
+        let pakistan = b.add_node("Pakistan", EntityType::Gpe);
+        b.add_edge(kunar, khyber, "borders", 1);
+        b.add_edge(taliban, kunar, "operates in", 1);
+        b.add_edge(khyber, pakistan, "located in", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        (g, idx)
+    }
+
+    const DOCS: &[&str] = &[
+        "Taliban attacked Kunar. Pakistan responded near Khyber.",
+        "Pakistan held talks in Khyber.",
+        "A story with no entities whatsoever.",
+    ];
+
+    #[test]
+    fn round_trip_preserves_search_behaviour() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        let back = read_newslink_index(&g, &mut &buf[..]).unwrap();
+        assert_eq!(back.doc_count(), idx.doc_count());
+        assert_eq!(back.embedded_docs, idx.embedded_docs);
+        assert_eq!(back.match_stats, idx.match_stats);
+        for q in ["Taliban near Kunar", "Pakistan talks"] {
+            let a = search(&g, &li, &cfg, &idx, q, 3);
+            let b = search(&g, &li, &cfg, &back, q, 3);
+            assert_eq!(a.results.len(), b.results.len(), "query {q}");
+            for (x, y) in a.results.iter().zip(&b.results) {
+                assert_eq!(x.doc, y.doc);
+                assert!((x.score - y.score).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_fingerprint_mismatch_rejected() {
+        let (g, li) = world();
+        let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        // A different graph: one extra node.
+        let mut b = GraphBuilder::new();
+        b.add_node("Lonely", EntityType::Gpe);
+        let other = b.freeze();
+        let err = read_newslink_index(&other, &mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("different graph"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (g, li) = world();
+        let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        assert!(read_newslink_index(&g, &mut &buf[..buf.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (g, li) = world();
+        let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        let dir = std::env::temp_dir().join("newslink_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.nlnk");
+        save_newslink_index(&idx, &g, &path).unwrap();
+        let back = load_newslink_index(&g, &path).unwrap();
+        assert_eq!(back.doc_count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,126 @@
+//! The user-facing NewsLink facade.
+//!
+//! Wires together the NLP, NE and NS components (Figure 2 of the paper)
+//! behind one handle. Typical use:
+//!
+//! ```
+//! use newslink_core::{NewsLink, NewsLinkConfig};
+//! use newslink_kg::{synth, LabelIndex, SynthConfig};
+//!
+//! let world = synth::generate(&SynthConfig::small(7));
+//! let labels = LabelIndex::build(&world.graph);
+//! let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
+//!
+//! let docs = vec!["Some news text mentioning entities.".to_string()];
+//! let index = engine.index_corpus(&docs);
+//! let outcome = engine.search(&index, "entities in the news", 5);
+//! for hit in &outcome.results {
+//!     println!("doc {} scored {:.3}", hit.doc.0, hit.score);
+//! }
+//! ```
+
+use newslink_embed::{DocEmbedding, RelationshipPath};
+use newslink_kg::{KnowledgeGraph, LabelIndex};
+use newslink_text::DocId;
+
+use crate::config::NewsLinkConfig;
+use crate::indexer::{index_corpus, NewsLinkIndex};
+use crate::searcher::{explain, search, QueryOutcome};
+
+/// The NewsLink engine: borrow a KG and its label index, hold a config.
+pub struct NewsLink<'g> {
+    graph: &'g KnowledgeGraph,
+    label_index: &'g LabelIndex,
+    config: NewsLinkConfig,
+}
+
+impl<'g> NewsLink<'g> {
+    /// Create an engine over `graph`.
+    pub fn new(graph: &'g KnowledgeGraph, label_index: &'g LabelIndex, config: NewsLinkConfig) -> Self {
+        Self {
+            graph,
+            label_index,
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &NewsLinkConfig {
+        &self.config
+    }
+
+    /// The underlying knowledge graph.
+    pub fn graph(&self) -> &'g KnowledgeGraph {
+        self.graph
+    }
+
+    /// The label index.
+    pub fn label_index(&self) -> &'g LabelIndex {
+        self.label_index
+    }
+
+    /// Embed and index a corpus (the *index building* half of the NS
+    /// component).
+    pub fn index_corpus<S: AsRef<str> + Sync>(&self, texts: &[S]) -> NewsLinkIndex {
+        index_corpus(self.graph, self.label_index, &self.config, texts)
+    }
+
+    /// Blended top-k search (the *query processing* half).
+    pub fn search(&self, index: &NewsLinkIndex, query: &str, k: usize) -> QueryOutcome {
+        search(self.graph, self.label_index, &self.config, index, query, k)
+    }
+
+    /// Relationship-path explanations for one result.
+    pub fn explain(
+        &self,
+        index: &NewsLinkIndex,
+        query_embedding: &DocEmbedding,
+        doc: DocId,
+        max_len: usize,
+        max_paths: usize,
+    ) -> Vec<RelationshipPath> {
+        explain(index, query_embedding, doc, max_len, max_paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newslink_kg::{synth, SynthConfig};
+
+    #[test]
+    fn end_to_end_on_synthetic_world() {
+        let world = synth::generate(&SynthConfig::small(3));
+        let labels = LabelIndex::build(&world.graph);
+        let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
+
+        // Two documents about the same country.
+        let country = world.graph.label(world.countries[0]);
+        let city = world.graph.label(world.cities[0]);
+        let docs = vec![
+            format!("Tensions rose in {country} as officials met in {city}."),
+            format!("A festival in {city} drew visitors from across {country}."),
+            "Completely unrelated filler text with no entity names.".to_string(),
+        ];
+        let index = engine.index_corpus(&docs);
+        assert_eq!(index.doc_count(), 3);
+
+        let outcome = engine.search(&index, &format!("News about {country}."), 3);
+        assert!(!outcome.results.is_empty());
+        let top = outcome.results[0].doc;
+        assert!(top.0 < 2, "entity-bearing docs must rank above filler");
+    }
+
+    #[test]
+    fn accessors_expose_parts() {
+        let world = synth::generate(&SynthConfig::small(4));
+        let labels = LabelIndex::build(&world.graph);
+        let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
+        assert_eq!(engine.config().beta, 0.2);
+        assert_eq!(
+            engine.graph().node_count(),
+            world.graph.node_count()
+        );
+        assert!(!engine.label_index().is_empty());
+    }
+}

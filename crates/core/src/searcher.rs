@@ -1,0 +1,396 @@
+//! Query processing: the NS component's scoring half (§VI, Equation 3).
+//!
+//! A query is treated exactly like a document: NLP analysis, `G*`
+//! embedding, then
+//!
+//! ```text
+//! F(Tq, Tc) = (1-β) · F_BOW(Tq, Tc) + β · F_BON(G*q, G*c)
+//! ```
+//!
+//! over the union of candidates from both inverted indexes (BM25 on each),
+//! followed by top-k selection.
+
+use std::time::Instant;
+
+use newslink_embed::{bon_terms, relationship_paths, DocEmbedding, RelationshipPath};
+use newslink_kg::{KnowledgeGraph, LabelIndex};
+use newslink_text::{Bm25, DocId, Searcher};
+use newslink_util::{ComponentTimer, FxHashMap, TopK};
+
+use crate::config::NewsLinkConfig;
+use crate::indexer::{embed_one, NewsLinkIndex};
+use crate::ta::threshold_algorithm;
+
+/// One blended search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The matched document.
+    pub doc: DocId,
+    /// The blended score `F`.
+    pub score: f64,
+    /// The BOW component (already normalized if configured).
+    pub bow: f64,
+    /// The BON component (already normalized if configured).
+    pub bon: f64,
+}
+
+/// The artifacts of processing one query (reused for explanations).
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Ranked results, best first.
+    pub results: Vec<SearchResult>,
+    /// The query's own subgraph embedding.
+    pub embedding: DocEmbedding,
+    /// Per-component latency ("nlp", "ne", "ns").
+    pub timer: ComponentTimer,
+}
+
+/// Max-normalize a score map in place (no-op for empty maps).
+fn max_normalize(scores: &mut FxHashMap<DocId, f64>) {
+    let max = scores.values().copied().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for v in scores.values_mut() {
+            *v /= max;
+        }
+    }
+}
+
+/// Execute a blended NewsLink query.
+pub fn search(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    index: &NewsLinkIndex,
+    query_text: &str,
+    k: usize,
+) -> QueryOutcome {
+    let mut timer = ComponentTimer::new();
+
+    // NLP + NE on the query, reusing the document path.
+    let artifacts = embed_one(graph, label_index, config, query_text);
+    timer.record("nlp", std::time::Duration::from_nanos(artifacts.nlp_nanos));
+    timer.record("ne", std::time::Duration::from_nanos(artifacts.ne_nanos));
+
+    let t_ns = Instant::now();
+    let beta = config.beta;
+
+    // BOW side (skipped entirely at β = 1, as in the paper's NewsLink(1)).
+    let mut bow_scores = if beta < 1.0 {
+        Searcher::new(&index.bow, Bm25::default()).score_all(&artifacts.analysis.terms)
+    } else {
+        FxHashMap::default()
+    };
+    // BON side (skipped at β = 0, which reduces to Lucene). Node streams
+    // are not prose: penalizing documents with rich embeddings would
+    // contradict the coverage goal, so BM25 runs without length
+    // normalization (b = 0) on the BON index.
+    let mut bon_scores = if beta > 0.0 {
+        let bon_bm25 = Bm25 { k1: 1.2, b: 0.0 };
+        Searcher::new(&index.bon, bon_bm25).score_all(&bon_terms(&artifacts.embedding))
+    } else {
+        FxHashMap::default()
+    };
+    if config.normalize_scores {
+        max_normalize(&mut bow_scores);
+        max_normalize(&mut bon_scores);
+    }
+
+    let results = if config.use_threshold_algorithm {
+        // Ranked-list construction + Fagin's TA (§VI's cited top-k
+        // algorithm); equivalent results with an early-terminating scan.
+        let mut bow_ranked: Vec<(DocId, f64)> = bow_scores.iter().map(|(&d, &s)| (d, s)).collect();
+        bow_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut bon_ranked: Vec<(DocId, f64)> = bon_scores.iter().map(|(&d, &s)| (d, s)).collect();
+        bon_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        threshold_algorithm(
+            &bow_ranked,
+            &bon_ranked,
+            |d| bow_scores.get(&d).copied().unwrap_or(0.0),
+            |d| bon_scores.get(&d).copied().unwrap_or(0.0),
+            beta,
+            k,
+        )
+        .results
+    } else {
+        // Union of candidates, exact blended rescoring, deterministic top-k.
+        let mut docs: Vec<DocId> =
+            bow_scores.keys().chain(bon_scores.keys()).copied().collect();
+        docs.sort_unstable();
+        docs.dedup();
+        let mut topk = TopK::new(k);
+        for doc in docs {
+            let bow = bow_scores.get(&doc).copied().unwrap_or(0.0);
+            let bon = bon_scores.get(&doc).copied().unwrap_or(0.0);
+            let score = (1.0 - beta) * bow + beta * bon;
+            if score > 0.0 {
+                topk.push(score, (doc, bow, bon));
+            }
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(score, (doc, bow, bon))| SearchResult {
+                doc,
+                score,
+                bow,
+                bon,
+            })
+            .collect()
+    };
+    timer.record("ns", t_ns.elapsed());
+
+    QueryOutcome {
+        results,
+        embedding: artifacts.embedding,
+        timer,
+    }
+}
+
+/// Execute many queries in parallel (scoped threads), preserving input
+/// order. The index and graph are shared read-only; results are identical
+/// to sequential [`search`] calls.
+pub fn search_batch<S: AsRef<str> + Sync>(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    index: &NewsLinkIndex,
+    queries: &[S],
+    k: usize,
+) -> Vec<QueryOutcome> {
+    let threads = config.threads.min(queries.len()).max(1);
+    if threads <= 1 {
+        return queries
+            .iter()
+            .map(|q| search(graph, label_index, config, index, q.as_ref(), k))
+            .collect();
+    }
+    let mut out: Vec<Option<QueryOutcome>> = Vec::new();
+    out.resize_with(queries.len(), || None);
+    let chunk = queries.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut slots = out.as_mut_slice();
+        let mut offset = 0usize;
+        while offset < queries.len() {
+            let take = chunk.min(queries.len() - offset);
+            let (head, rest) = slots.split_at_mut(take);
+            slots = rest;
+            let batch = &queries[offset..offset + take];
+            scope.spawn(move || {
+                for (slot, q) in head.iter_mut().zip(batch) {
+                    *slot = Some(search(graph, label_index, config, index, q.as_ref(), k));
+                }
+            });
+            offset += take;
+        }
+    });
+    out.into_iter().map(|o| o.expect("all queries ran")).collect()
+}
+
+/// Explain why `doc` matched: relationship paths linking the query's
+/// entities to the result's entities through the overlap of their subgraph
+/// embeddings (§VII-E).
+pub fn explain(
+    index: &NewsLinkIndex,
+    query_embedding: &DocEmbedding,
+    doc: DocId,
+    max_len: usize,
+    max_paths: usize,
+) -> Vec<RelationshipPath> {
+    let Some(result_embedding) = index.embeddings.get(doc.index()) else {
+        return Vec::new();
+    };
+    relationship_paths(query_embedding, result_embedding, max_len, max_paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexer::index_corpus;
+    use newslink_kg::{EntityType, GraphBuilder};
+
+    fn world() -> (KnowledgeGraph, LabelIndex) {
+        let mut b = GraphBuilder::new();
+        let khyber = b.add_node("Khyber", EntityType::Gpe);
+        let kunar = b.add_node("Kunar", EntityType::Gpe);
+        let taliban = b.add_node("Taliban", EntityType::Organization);
+        let pakistan = b.add_node("Pakistan", EntityType::Gpe);
+        let lahore = b.add_node("Lahore", EntityType::Gpe);
+        let peshawar = b.add_node("Peshawar", EntityType::Gpe);
+        b.add_edge(kunar, khyber, "shares border with", 1);
+        b.add_edge(taliban, kunar, "operates in", 1);
+        b.add_edge(taliban, khyber, "operates in", 1);
+        b.add_edge(khyber, pakistan, "located in", 1);
+        b.add_edge(lahore, pakistan, "located in", 1);
+        b.add_edge(peshawar, khyber, "located in", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        (g, idx)
+    }
+
+    const DOCS: &[&str] = &[
+        // 0: the Tq-like doc (conflict around Upper-Dir-ish places)
+        "Military conflicts between Pakistan and Taliban intensified near Kunar.",
+        // 1: the Tr-like doc: different words, related entities
+        "Explosions rocked Lahore and Peshawar. Authorities suspected Taliban operatives.",
+        // 2: unrelated sports story
+        "The championship match drew huge crowds and ended in a draw.",
+    ];
+
+    fn setup() -> (KnowledgeGraph, LabelIndex) {
+        world()
+    }
+
+    #[test]
+    fn blended_search_ranks_related_doc_above_unrelated() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let out = search(&g, &li, &cfg, &idx, "Pakistan and Taliban clash.", 3);
+        assert!(!out.results.is_empty());
+        let ranked: Vec<u32> = out.results.iter().map(|r| r.doc.0).collect();
+        assert!(ranked.contains(&0));
+        // The sports doc shares no words or entities.
+        assert!(!ranked.contains(&2));
+    }
+
+    #[test]
+    fn beta_one_uses_only_embeddings() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default().with_beta(1.0);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        // Query shares entities (via KG) but few words with doc 1.
+        let out = search(&g, &li, &cfg, &idx, "Taliban attack in Khyber.", 3);
+        for r in &out.results {
+            assert_eq!(r.bow, 0.0, "β=1 must ignore text");
+            assert!(r.bon > 0.0);
+        }
+        let ranked: Vec<u32> = out.results.iter().map(|r| r.doc.0).collect();
+        assert!(ranked.contains(&1), "KG overlap must retrieve doc 1");
+    }
+
+    #[test]
+    fn beta_zero_reduces_to_lucene() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default().with_beta(0.0);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let out = search(&g, &li, &cfg, &idx, "championship match crowds", 3);
+        assert_eq!(out.results[0].doc, DocId(2));
+        for r in &out.results {
+            assert_eq!(r.bon, 0.0);
+        }
+    }
+
+    #[test]
+    fn vocabulary_mismatch_bridged_by_embeddings() {
+        // Query about Kunar; doc 1 never mentions Kunar, but both embed
+        // near Khyber. With β > 0 doc 1 scores; with β = 0 it may not.
+        let (g, li) = setup();
+        let cfg1 = NewsLinkConfig::default().with_beta(0.8);
+        let idx = index_corpus(&g, &li, &cfg1, DOCS);
+        let out = search(&g, &li, &cfg1, &idx, "Clashes near Kunar and Peshawar.", 3);
+        let with_kg: Vec<u32> = out.results.iter().map(|r| r.doc.0).collect();
+        assert!(with_kg.contains(&1));
+        assert!(with_kg.contains(&0));
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let out = search(&g, &li, &cfg, &idx, "Taliban Pakistan Lahore Peshawar", 10);
+        assert!(out
+            .results
+            .windows(2)
+            .all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let out = search(&g, &li, &cfg, &idx, "", 5);
+        assert!(out.results.is_empty());
+        assert!(out.embedding.is_empty());
+    }
+
+    #[test]
+    fn timer_records_all_components() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let out = search(&g, &li, &cfg, &idx, "Taliban in Pakistan", 5);
+        for c in ["nlp", "ne", "ns"] {
+            assert_eq!(out.timer.count(c), 1, "component {c}");
+        }
+    }
+
+    #[test]
+    fn explain_produces_paths_for_kg_matched_result() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default().with_beta(1.0);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let out = search(&g, &li, &cfg, &idx, "Taliban strikes in Kunar.", 3);
+        let top = out.results.first().expect("has a result");
+        let paths = explain(&idx, &out.embedding, top.doc, 4, 10);
+        assert!(!paths.is_empty(), "expected relationship-path evidence");
+        // All rendered paths mention real labels.
+        for p in &paths {
+            let s = p.render(&g);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn threshold_algorithm_matches_exhaustive_ranking() {
+        let (g, li) = setup();
+        let exhaustive_cfg = NewsLinkConfig::default();
+        let ta_cfg = NewsLinkConfig::default().with_threshold_algorithm(true);
+        let idx = index_corpus(&g, &li, &exhaustive_cfg, DOCS);
+        for query in [
+            "Taliban in Pakistan",
+            "Explosions near Peshawar and Lahore",
+            "Kunar conflict",
+        ] {
+            let a = search(&g, &li, &exhaustive_cfg, &idx, query, 3);
+            let b = search(&g, &li, &ta_cfg, &idx, query, 3);
+            assert_eq!(a.results.len(), b.results.len(), "query {query}");
+            for (x, y) in a.results.iter().zip(&b.results) {
+                assert!((x.score - y.score).abs() < 1e-12, "query {query}");
+                assert_eq!(x.doc, y.doc, "query {query}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_search_matches_sequential() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default().with_threads(3);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let queries = [
+            "Taliban in Pakistan",
+            "Explosions near Peshawar",
+            "championship crowds",
+            "",
+        ];
+        let batch = search_batch(&g, &li, &cfg, &idx, &queries, 3);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            let want = search(&g, &li, &cfg, &idx, q, 3);
+            assert_eq!(got.results.len(), want.results.len(), "query {q}");
+            for (x, y) in got.results.iter().zip(&want.results) {
+                assert_eq!(x.doc, y.doc);
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn explain_out_of_range_doc_is_empty() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let out = search(&g, &li, &cfg, &idx, "Taliban", 1);
+        assert!(explain(&idx, &out.embedding, DocId(99), 4, 10).is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Fagin's Threshold Algorithm (TA) for the blended score of Equation 3.
+//!
+//! §VI: "we employ existing top-k ranking algorithms \[Threshold Algorithm;
+//! VSM\] to retrieve the top-k news documents ranked by Equation 3." The
+//! blended score is a monotone aggregation of two sources (BOW and BON),
+//! which is exactly TA's setting:
+//!
+//! 1. *Sorted access* walks both ranked lists in parallel, one position
+//!    per round.
+//! 2. Every newly seen document is completed by *random access* to the
+//!    other source and offered to the top-k heap.
+//! 3. The *threshold* `τ = (1-β)·s_bow(depth) + β·s_bon(depth)` bounds the
+//!    best possible score of any unseen document; once the k-th best
+//!    retained score reaches `τ`, no deeper document can qualify and the
+//!    scan stops.
+//!
+//! The implementation reports its sorted-access depth so tests and benches
+//! can verify the early termination that motivates TA.
+
+use newslink_text::DocId;
+use newslink_util::{FxHashSet, TopK};
+
+use crate::searcher::SearchResult;
+
+/// Outcome of a TA run.
+#[derive(Debug)]
+pub struct TaOutcome {
+    /// Top-k results, best first.
+    pub results: Vec<SearchResult>,
+    /// Sorted-access depth reached before the threshold cut off the scan
+    /// (the efficiency headline: usually ≪ list lengths).
+    pub depth: usize,
+}
+
+/// Run TA over two descending-sorted `(doc, score)` lists.
+///
+/// `bow_probe` / `bon_probe` provide random access for documents not yet
+/// seen on the respective list (return 0.0 for absent documents). Both
+/// lists must be sorted by score descending; ties in the blended score
+/// resolve toward the document seen earlier in the scan.
+pub fn threshold_algorithm(
+    bow_ranked: &[(DocId, f64)],
+    bon_ranked: &[(DocId, f64)],
+    bow_probe: impl Fn(DocId) -> f64,
+    bon_probe: impl Fn(DocId) -> f64,
+    beta: f64,
+    k: usize,
+) -> TaOutcome {
+    debug_assert!(
+        bow_ranked.windows(2).all(|w| w[0].1 >= w[1].1),
+        "BOW list must be sorted descending"
+    );
+    debug_assert!(
+        bon_ranked.windows(2).all(|w| w[0].1 >= w[1].1),
+        "BON list must be sorted descending"
+    );
+    let mut topk: TopK<(DocId, f64, f64)> = TopK::new(k);
+    let mut seen: FxHashSet<DocId> = FxHashSet::default();
+    let max_depth = bow_ranked.len().max(bon_ranked.len());
+    let mut depth = 0;
+
+    while depth < max_depth {
+        // Sorted access: one position on each list.
+        for (doc, this_score, other_probe, is_bow) in [
+            bow_ranked
+                .get(depth)
+                .map(|&(d, s)| (d, s, &bon_probe as &dyn Fn(DocId) -> f64, true)),
+            bon_ranked
+                .get(depth)
+                .map(|&(d, s)| (d, s, &bow_probe as &dyn Fn(DocId) -> f64, false)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if !seen.insert(doc) {
+                continue;
+            }
+            let other = other_probe(doc);
+            let (bow, bon) = if is_bow {
+                (this_score, other)
+            } else {
+                (other, this_score)
+            };
+            let score = (1.0 - beta) * bow + beta * bon;
+            if score > 0.0 {
+                topk.push(score, (doc, bow, bon));
+            }
+        }
+        depth += 1;
+
+        // Threshold: the best blended score any unseen document can have.
+        let s_bow = bow_ranked.get(depth).map_or(0.0, |&(_, s)| s);
+        let s_bon = bon_ranked.get(depth).map_or(0.0, |&(_, s)| s);
+        let tau = (1.0 - beta) * s_bow + beta * s_bon;
+        if topk.len() >= k {
+            if let Some(kth) = topk.threshold() {
+                if kth >= tau {
+                    break;
+                }
+            }
+        }
+        if tau <= 0.0 {
+            break;
+        }
+    }
+
+    let results = topk
+        .into_sorted()
+        .into_iter()
+        .map(|(score, (doc, bow, bon))| SearchResult {
+            doc,
+            score,
+            bow,
+            bon,
+        })
+        .collect();
+    TaOutcome { results, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newslink_util::FxHashMap;
+
+    type RankedList = Vec<(DocId, f64)>;
+    type ScoreMap = FxHashMap<DocId, f64>;
+
+    fn lists(
+        bow: &[(u32, f64)],
+        bon: &[(u32, f64)],
+    ) -> (RankedList, RankedList, ScoreMap, ScoreMap) {
+        let bow_l: Vec<(DocId, f64)> = bow.iter().map(|&(d, s)| (DocId(d), s)).collect();
+        let bon_l: Vec<(DocId, f64)> = bon.iter().map(|&(d, s)| (DocId(d), s)).collect();
+        let bow_m: FxHashMap<DocId, f64> = bow_l.iter().copied().collect();
+        let bon_m: FxHashMap<DocId, f64> = bon_l.iter().copied().collect();
+        (bow_l, bon_l, bow_m, bon_m)
+    }
+
+    fn exhaustive(
+        bow: &FxHashMap<DocId, f64>,
+        bon: &FxHashMap<DocId, f64>,
+        beta: f64,
+        k: usize,
+    ) -> Vec<(DocId, f64)> {
+        let mut docs: Vec<DocId> = bow.keys().chain(bon.keys()).copied().collect();
+        docs.sort_unstable();
+        docs.dedup();
+        let mut scored: Vec<(DocId, f64)> = docs
+            .into_iter()
+            .map(|d| {
+                let s = (1.0 - beta) * bow.get(&d).copied().unwrap_or(0.0)
+                    + beta * bon.get(&d).copied().unwrap_or(0.0);
+                (d, s)
+            })
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    #[test]
+    fn matches_exhaustive_blend() {
+        let (bow_l, bon_l, bow_m, bon_m) = lists(
+            &[(1, 0.9), (2, 0.8), (3, 0.5), (4, 0.2), (5, 0.1)],
+            &[(3, 1.0), (6, 0.7), (1, 0.6), (7, 0.3)],
+        );
+        for beta in [0.0, 0.2, 0.5, 1.0] {
+            let ta = threshold_algorithm(
+                &bow_l,
+                &bon_l,
+                |d| bow_m.get(&d).copied().unwrap_or(0.0),
+                |d| bon_m.get(&d).copied().unwrap_or(0.0),
+                beta,
+                3,
+            );
+            let want = exhaustive(&bow_m, &bon_m, beta, 3);
+            assert_eq!(ta.results.len(), want.len(), "beta {beta}");
+            for (got, (doc, score)) in ta.results.iter().zip(&want) {
+                assert!((got.score - score).abs() < 1e-12, "beta {beta}");
+                assert_eq!(got.doc, *doc, "beta {beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_on_deep_lists() {
+        // 1000-entry lists with one dominant document: TA must stop early.
+        let bow: Vec<(u32, f64)> = (0..1000u32).map(|i| (i, 1.0 / (i + 1) as f64)).collect();
+        let bon: Vec<(u32, f64)> = (0..1000u32).map(|i| (i, 1.0 / (i + 1) as f64)).collect();
+        let (bow_l, bon_l, bow_m, bon_m) = lists(&bow, &bon);
+        let ta = threshold_algorithm(
+            &bow_l,
+            &bon_l,
+            |d| bow_m.get(&d).copied().unwrap_or(0.0),
+            |d| bon_m.get(&d).copied().unwrap_or(0.0),
+            0.2,
+            5,
+        );
+        assert_eq!(ta.results.len(), 5);
+        assert!(ta.depth < 100, "depth {} should be far below 1000", ta.depth);
+        // Results match exhaustive.
+        let want = exhaustive(&bow_m, &bon_m, 0.2, 5);
+        for (got, (doc, _)) in ta.results.iter().zip(&want) {
+            assert_eq!(got.doc, *doc);
+        }
+    }
+
+    #[test]
+    fn disjoint_lists_are_combined() {
+        let (bow_l, bon_l, bow_m, bon_m) =
+            lists(&[(1, 1.0), (2, 0.4)], &[(3, 1.0), (4, 0.5)]);
+        let ta = threshold_algorithm(
+            &bow_l,
+            &bon_l,
+            |d| bow_m.get(&d).copied().unwrap_or(0.0),
+            |d| bon_m.get(&d).copied().unwrap_or(0.0),
+            0.5,
+            4,
+        );
+        assert_eq!(ta.results.len(), 4);
+        let want = exhaustive(&bow_m, &bon_m, 0.5, 4);
+        for (got, (doc, _)) in ta.results.iter().zip(&want) {
+            assert_eq!(got.doc, *doc);
+        }
+    }
+
+    #[test]
+    fn empty_lists() {
+        let ta = threshold_algorithm(&[], &[], |_| 0.0, |_| 0.0, 0.2, 5);
+        assert!(ta.results.is_empty());
+        assert_eq!(ta.depth, 0);
+    }
+
+    #[test]
+    fn beta_zero_ignores_bon_list_content() {
+        let (bow_l, bon_l, bow_m, bon_m) =
+            lists(&[(1, 0.9), (2, 0.5)], &[(9, 1.0), (8, 0.9)]);
+        let ta = threshold_algorithm(
+            &bow_l,
+            &bon_l,
+            |d| bow_m.get(&d).copied().unwrap_or(0.0),
+            |d| bon_m.get(&d).copied().unwrap_or(0.0),
+            0.0,
+            2,
+        );
+        let docs: Vec<u32> = ta.results.iter().map(|r| r.doc.0).collect();
+        assert_eq!(docs, vec![1, 2]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic news corpora for the NewsLink reproduction.
+//!
+//! The paper evaluates on the CNN and Kaggle "all-the-news" datasets,
+//! which are unavailable offline; this crate generates event-driven
+//! substitutes from the synthetic knowledge-graph world (DESIGN.md §6,
+//! S15):
+//!
+//! - [`gen`] — document generation over world events;
+//! - [`templates`] — per-event-kind sentence templates with synonym pools
+//!   (the controlled vocabulary-mismatch knob);
+//! - [`split`] — the paper's 80/10/10 train/validation/test split;
+//! - [`query`] — query-sentence selection (largest-entity-density and
+//!   random, §VII-B).
+
+pub mod gen;
+pub mod query;
+pub mod split;
+pub mod templates;
+
+pub use gen::{generate_corpus, Corpus, CorpusConfig, CorpusFlavor, NewsDoc};
+pub use query::{select_query, QueryStrategy};
+pub use split::Split;
+pub use templates::Cast;

@@ -1,0 +1,131 @@
+//! Query selection for the Partial Query Similarity Search task (§VII-B).
+//!
+//! The paper selects, from each test document, either the sentence with the
+//! largest *entity density* (entities per term) or a uniformly random
+//! sentence, then hides the rest of the document. Both strategies are
+//! evaluated side by side in Tables IV and VII.
+
+use newslink_nlp::DocumentAnalysis;
+use newslink_util::DetRng;
+
+/// How the query sentence is drawn from a test document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryStrategy {
+    /// The sentence with the largest entity density (ties: earliest).
+    LargestEntityDensity,
+    /// A uniformly random sentence.
+    Random,
+}
+
+impl QueryStrategy {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryStrategy::LargestEntityDensity => "density",
+            QueryStrategy::Random => "random",
+        }
+    }
+}
+
+/// Select a query sentence from an analyzed document; `None` when the
+/// document has no sentences.
+pub fn select_query(
+    analysis: &DocumentAnalysis,
+    strategy: QueryStrategy,
+    rng: &mut DetRng,
+) -> Option<String> {
+    if analysis.segments.is_empty() {
+        return None;
+    }
+    let segment = match strategy {
+        QueryStrategy::LargestEntityDensity => analysis
+            .segments
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.entity_density()
+                    .total_cmp(&b.entity_density())
+                    .then(ib.cmp(ia)) // earlier index wins ties
+            })
+            .map(|(_, s)| s)?,
+        QueryStrategy::Random => &analysis.segments[rng.below(analysis.segments.len())],
+    };
+    Some(segment.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newslink_kg::{EntityType, GraphBuilder, LabelIndex};
+    use newslink_nlp::NlpPipeline;
+
+    fn analysis(text: &str) -> DocumentAnalysis {
+        let mut b = GraphBuilder::new();
+        b.add_node("Pakistan", EntityType::Gpe);
+        b.add_node("Taliban", EntityType::Organization);
+        b.add_node("Khyber", EntityType::Gpe);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        let nlp = NlpPipeline::new(&g, &idx);
+        nlp.analyze_document(text)
+    }
+
+    #[test]
+    fn density_picks_entity_rich_sentence() {
+        let a = analysis(
+            "This first sentence rambles on with no names at all. \
+             Taliban hit Khyber in Pakistan. \
+             Another plain sentence follows here.",
+        );
+        let mut rng = DetRng::new(1);
+        let q = select_query(&a, QueryStrategy::LargestEntityDensity, &mut rng).unwrap();
+        assert_eq!(q, "Taliban hit Khyber in Pakistan");
+    }
+
+    #[test]
+    fn density_ties_prefer_earlier_sentence() {
+        let a = analysis("Pakistan acted fast. Taliban acted fast.");
+        let mut rng = DetRng::new(1);
+        let q = select_query(&a, QueryStrategy::LargestEntityDensity, &mut rng).unwrap();
+        assert_eq!(q, "Pakistan acted fast");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = analysis("One about Pakistan. Two about Taliban. Three about Khyber.");
+        let mut r1 = DetRng::new(42);
+        let mut r2 = DetRng::new(42);
+        assert_eq!(
+            select_query(&a, QueryStrategy::Random, &mut r1),
+            select_query(&a, QueryStrategy::Random, &mut r2)
+        );
+    }
+
+    #[test]
+    fn random_covers_multiple_sentences() {
+        let a = analysis("Alpha about Pakistan. Beta about Taliban. Gamma about Khyber.");
+        let mut rng = DetRng::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(select_query(&a, QueryStrategy::Random, &mut rng).unwrap());
+        }
+        assert!(seen.len() >= 2);
+    }
+
+    #[test]
+    fn empty_document_yields_none() {
+        let a = analysis("");
+        let mut rng = DetRng::new(1);
+        assert_eq!(select_query(&a, QueryStrategy::Random, &mut rng), None);
+        assert_eq!(
+            select_query(&a, QueryStrategy::LargestEntityDensity, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(QueryStrategy::LargestEntityDensity.name(), "density");
+        assert_eq!(QueryStrategy::Random.name(), "random");
+    }
+}

@@ -1,0 +1,89 @@
+//! Train / validation / test splits.
+//!
+//! §VII-A3: "We randomly split each news dataset into training (80%),
+//! validation (10%) and testing (10%) data." Training data feeds the
+//! trainable baselines (Doc2Vec-style, LDA); evaluation runs on the test
+//! split.
+
+use newslink_util::DetRng;
+
+/// Index sets of one split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// 80% — baseline training.
+    pub train: Vec<usize>,
+    /// 10% — baseline tuning.
+    pub validation: Vec<usize>,
+    /// 10% — evaluation queries.
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Randomly split `n` documents with the paper's 80/10/10 ratios.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = DetRng::new(seed);
+        rng.shuffle(&mut idx);
+        let n_test = n / 10;
+        let n_val = n / 10;
+        let test = idx.split_off(n - n_test);
+        let validation = idx.split_off(idx.len() - n_val);
+        Split {
+            train: idx,
+            validation,
+            test,
+        }
+    }
+
+    /// Total documents covered.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.validation.len() + self.test.len()
+    }
+
+    /// True for an empty split.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_disjoint_and_complete() {
+        let s = Split::new(100, 7);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.validation.len(), 10);
+        assert_eq!(s.test.len(), 10);
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.validation)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(Split::new(50, 1), Split::new(50, 1));
+        assert_ne!(Split::new(50, 1), Split::new(50, 2));
+    }
+
+    #[test]
+    fn small_n_keeps_everything_in_train() {
+        let s = Split::new(5, 3);
+        assert_eq!(s.train.len(), 5);
+        assert!(s.validation.is_empty());
+        assert!(s.test.is_empty());
+    }
+
+    #[test]
+    fn zero_documents() {
+        let s = Split::new(0, 3);
+        assert!(s.is_empty());
+    }
+}

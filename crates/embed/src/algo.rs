@@ -1,0 +1,657 @@
+//! The `G*` search algorithm (Algorithms 1–3 of the paper).
+//!
+//! For entity labels `L = {l_1, …, l_m}` the search runs one multi-source
+//! Dijkstra frontier per label (`F_i`, a distance min-priority queue). The
+//! *PathEnumeration* procedure always advances the globally smallest
+//! frontier (Equation 2), guaranteeing monotonically non-decreasing
+//! enumeration distances (Lemma 3). *CandidateCollection* records a node as
+//! a candidate root once every label's search has settled it. The loop
+//! terminates when `C_1` (a candidate exists) and `C_2` (the next frontier
+//! distance exceeds the collected minimum depth) both hold; the *compactness
+//! sorting* step then returns the candidate that is minimal under
+//! Definition 4.
+//!
+//! While searching, each label search keeps *all* tight predecessors, so
+//! the chosen root can be expanded into the full shortest-path DAG
+//! `∪_i P(l_i → r, D)` — the multi-path "width" that distinguishes `G*`
+//! from tree models.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use newslink_kg::{KnowledgeGraph, LabelIndex, NodeId, Symbol};
+use newslink_util::{FxHashMap, FxHashSet};
+
+use crate::model::{compactness_cmp, CommonAncestorGraph, EmbedEdge};
+
+/// Tuning knobs for the `G*` search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Upper bound on total settled nodes across all frontiers (the paper's
+    /// `while Not Timeout` guard, expressed deterministically).
+    pub max_settled: usize,
+    /// Optional wall-clock budget (checked coarsely).
+    pub timeout: Option<Duration>,
+    /// Cap on `|S(l)|` source nodes per label (highly ambiguous labels).
+    pub max_sources_per_label: usize,
+    /// Ablation knob: keep only ONE tight predecessor per node, collapsing
+    /// `G*`'s multi-path width to single shortest paths (the root selection
+    /// stays compactness-optimal). Used by the coverage ablation bench.
+    pub single_path: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            max_settled: 200_000,
+            timeout: None,
+            max_sources_per_label: 32,
+            single_path: false,
+        }
+    }
+}
+
+/// Why a `G*` could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedError {
+    /// A label had no matching KG nodes: `S(l)` is empty.
+    NoSources(String),
+    /// The label set was empty.
+    EmptyLabelSet,
+    /// The searches exhausted the graph or the budget without any node
+    /// being reached by every label.
+    NoCommonAncestor,
+}
+
+impl std::fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedError::NoSources(l) => write!(f, "label {l:?} matches no KG node"),
+            EmbedError::EmptyLabelSet => write!(f, "empty entity label set"),
+            EmbedError::NoCommonAncestor => write!(f, "no common ancestor found within budget"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+/// A tight-predecessor record: the traversal reached the owning node from
+/// `from` over `predicate`.
+#[derive(Debug, Clone, Copy)]
+struct Pred {
+    from: NodeId,
+    predicate: Symbol,
+    inverse: bool,
+}
+
+/// One label's Dijkstra frontier (`F_i`).
+struct LabelSearch {
+    dist: FxHashMap<NodeId, u32>,
+    settled: FxHashMap<NodeId, u32>,
+    heap: BinaryHeap<Reverse<(u32, NodeId)>>,
+    preds: FxHashMap<NodeId, Vec<Pred>>,
+}
+
+impl LabelSearch {
+    fn new(sources: Vec<NodeId>) -> Self {
+        let mut dist = FxHashMap::default();
+        let mut heap = BinaryHeap::new();
+        for &s in &sources {
+            dist.insert(s, 0);
+            heap.push(Reverse((0, s)));
+        }
+        Self {
+            dist,
+            settled: FxHashMap::default(),
+            heap,
+            preds: FxHashMap::default(),
+        }
+    }
+
+    /// Current frontier head distance, skipping stale (lazy-deleted)
+    /// entries.
+    fn peek(&mut self) -> Option<u32> {
+        while let Some(&Reverse((d, v))) = self.heap.peek() {
+            if self.settled.contains_key(&v) || self.dist.get(&v) != Some(&d) {
+                self.heap.pop();
+            } else {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Settle the head node and relax its neighbours (Algorithm 2 body).
+    fn settle(&mut self, graph: &KnowledgeGraph) -> Option<(NodeId, u32)> {
+        let Reverse((d, v)) = self.heap.pop()?;
+        debug_assert!(!self.settled.contains_key(&v));
+        self.settled.insert(v, d);
+        for e in graph.neighbors(v) {
+            let nd = d + e.weight;
+            match self.dist.get(&e.to) {
+                Some(&old) if nd > old => {}
+                Some(&old) if nd == old => {
+                    // A second tight predecessor: preserves path width.
+                    self.preds.entry(e.to).or_default().push(Pred {
+                        from: v,
+                        predicate: e.predicate,
+                        inverse: e.inverse,
+                    });
+                }
+                _ => {
+                    if self.settled.contains_key(&e.to) {
+                        continue; // already final (can happen only if nd >= settled dist)
+                    }
+                    self.dist.insert(e.to, nd);
+                    let preds = self.preds.entry(e.to).or_default();
+                    preds.clear();
+                    preds.push(Pred {
+                        from: v,
+                        predicate: e.predicate,
+                        inverse: e.inverse,
+                    });
+                    self.heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+        Some((v, d))
+    }
+}
+
+/// A collected candidate root with its compactness key.
+struct Candidate {
+    root: NodeId,
+    key: Vec<u32>,
+    distances: Vec<u32>,
+}
+
+/// Find the Lowest Common Ancestor Graph for `labels` (Algorithm 1).
+///
+/// `labels` are normalized entity surface forms; sources are resolved
+/// through [`LabelIndex::candidates`].
+pub fn find_lcag(
+    graph: &KnowledgeGraph,
+    index: &LabelIndex,
+    labels: &[String],
+    config: &SearchConfig,
+) -> Result<CommonAncestorGraph, EmbedError> {
+    Ok(find_top_cags(graph, index, labels, config, 1)?
+        .into_iter()
+        .next()
+        .expect("top-1 search returns one graph on success"))
+}
+
+/// Enumerate the `j` most compact candidate common-ancestor graphs, best
+/// first (ties: lowest root id).
+///
+/// Generalizes Algorithm 1's candidate collection: the loop runs until the
+/// next frontier distance exceeds the j-th smallest collected depth, which
+/// guarantees (by Lemma 3's monotonicity) that no unseen root can displace
+/// the returned prefix.
+pub fn find_top_cags(
+    graph: &KnowledgeGraph,
+    index: &LabelIndex,
+    labels: &[String],
+    config: &SearchConfig,
+    j: usize,
+) -> Result<Vec<CommonAncestorGraph>, EmbedError> {
+    if labels.is_empty() {
+        return Err(EmbedError::EmptyLabelSet);
+    }
+    if j == 0 {
+        return Ok(Vec::new());
+    }
+    let mut searches = Vec::with_capacity(labels.len());
+    for l in labels {
+        let mut sources = index.candidates(graph, l);
+        if sources.is_empty() {
+            return Err(EmbedError::NoSources(l.clone()));
+        }
+        sources.truncate(config.max_sources_per_label);
+        searches.push(LabelSearch::new(sources));
+    }
+    let m = searches.len();
+
+    let start = Instant::now();
+    let mut settled_total = 0usize;
+    let mut candidates: Vec<Candidate> = Vec::new();
+    // Depth below which the j-th best candidate must sit (C2 generalized).
+    let mut jth_depth = u32::MAX;
+
+    loop {
+        // Equation 2: pick the label whose frontier head is globally
+        // smallest (ties: lowest label index, deterministically).
+        let mut best: Option<(u32, usize)> = None;
+        for (i, s) in searches.iter_mut().enumerate() {
+            if let Some(d) = s.peek() {
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, i));
+                }
+            }
+        }
+        let Some((next_dist, li)) = best else {
+            break; // all frontiers exhausted
+        };
+
+        // Termination test C1 ∧ C2 (lines 11–13 of Algorithm 1),
+        // generalized to the j-th smallest collected depth.
+        if candidates.len() >= j && jth_depth < next_dist {
+            break;
+        }
+
+        // PathEnumeration: settle one node of the chosen frontier.
+        let Some((v_f, _)) = searches[li].settle(graph) else {
+            continue;
+        };
+        settled_total += 1;
+
+        // CandidateCollection (Algorithm 3): has every label settled v_f?
+        let mut distances = Vec::with_capacity(m);
+        let mut complete = true;
+        for s in &searches {
+            match s.settled.get(&v_f) {
+                Some(&d) => distances.push(d),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete && !candidates.iter().any(|c| c.root == v_f) {
+            let mut key = distances.clone();
+            key.sort_unstable_by(|a, b| b.cmp(a));
+            candidates.push(Candidate {
+                root: v_f,
+                key,
+                distances,
+            });
+            // j-th smallest depth among collected candidates.
+            let mut depths: Vec<u32> = candidates.iter().map(|c| c.key[0]).collect();
+            depths.sort_unstable();
+            jth_depth = depths[(j - 1).min(depths.len() - 1)];
+            if candidates.len() < j {
+                jth_depth = u32::MAX;
+            }
+        }
+
+        // Budget guards (the paper's `while Not Timeout`).
+        if settled_total >= config.max_settled {
+            break;
+        }
+        if let Some(t) = config.timeout {
+            if settled_total.is_multiple_of(256) && start.elapsed() > t {
+                break;
+            }
+        }
+    }
+
+    // Compactness sorting (Definition 4; ties: lowest root id).
+    if candidates.is_empty() {
+        return Err(EmbedError::NoCommonAncestor);
+    }
+    candidates.sort_by(|a, b| compactness_cmp(&a.key, &b.key).then(a.root.cmp(&b.root)));
+    candidates.truncate(j);
+    Ok(candidates
+        .into_iter()
+        .map(|c| materialize(labels, &searches, c, config.single_path))
+        .collect())
+}
+
+/// Expand the chosen root into `∪_i P(l_i → r, D)` by walking each label's
+/// tight-predecessor DAG backwards from the root.
+fn materialize(
+    labels: &[String],
+    searches: &[LabelSearch],
+    best: Candidate,
+    single_path: bool,
+) -> CommonAncestorGraph {
+    let mut nodes: FxHashSet<NodeId> = FxHashSet::default();
+    let mut edges: FxHashSet<EmbedEdge> = FxHashSet::default();
+    let mut sources: Vec<Vec<NodeId>> = Vec::with_capacity(searches.len());
+    nodes.insert(best.root);
+
+    for s in searches {
+        let mut reached_sources = Vec::new();
+        let mut visited: FxHashSet<NodeId> = FxHashSet::default();
+        let mut stack = vec![best.root];
+        visited.insert(best.root);
+        while let Some(v) = stack.pop() {
+            nodes.insert(v);
+            if s.dist.get(&v) == Some(&0) {
+                reached_sources.push(v);
+            }
+            if let Some(preds) = s.preds.get(&v) {
+                let dv = s.settled.get(&v).copied().unwrap_or(u32::MAX);
+                let mut taken = 0usize;
+                for p in preds {
+                    // Only tight predecessors on *final* shortest paths: the
+                    // predecessor's settled distance must step down exactly.
+                    let Some(&du) = s.settled.get(&p.from) else {
+                        continue;
+                    };
+                    if du >= dv {
+                        continue;
+                    }
+                    if single_path && taken == 1 {
+                        break;
+                    }
+                    taken += 1;
+                    edges.insert(EmbedEdge {
+                        from: p.from,
+                        to: v,
+                        predicate: p.predicate,
+                        inverse: p.inverse,
+                    });
+                    if visited.insert(p.from) {
+                        stack.push(p.from);
+                    }
+                }
+            }
+        }
+        reached_sources.sort_unstable();
+        reached_sources.dedup();
+        sources.push(reached_sources);
+    }
+
+    let mut nodes: Vec<NodeId> = nodes.into_iter().collect();
+    nodes.sort_unstable();
+    let mut edges: Vec<EmbedEdge> = edges.into_iter().collect();
+    edges.sort_unstable_by_key(|e| (e.from, e.to, e.predicate, e.inverse));
+
+    CommonAncestorGraph {
+        root: best.root,
+        labels: labels.to_vec(),
+        distances: best.distances,
+        nodes,
+        edges,
+        sources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newslink_kg::{EntityType, GraphBuilder};
+
+    /// The paper's Figure 1 topology (weights 1):
+    /// v2 (Taliban) → v1 (Waziristan) → v0 (Khyber)
+    /// v2 (Taliban) → v3 (Kunar)      → v0 (Khyber)
+    /// v7 (Upper Dir) → v0, v8 (Swat Valley) → v0, v6 (Pakistan) → v0
+    fn figure1() -> (KnowledgeGraph, LabelIndex) {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node("Khyber", EntityType::Gpe); // 0
+        let v1 = b.add_node("Waziristan", EntityType::Gpe); // 1
+        let v2 = b.add_node("Taliban", EntityType::Organization); // 2
+        let v3 = b.add_node("Kunar", EntityType::Gpe); // 3
+        let v6 = b.add_node("Pakistan", EntityType::Gpe); // 4
+        let v7 = b.add_node("Upper Dir", EntityType::Gpe); // 5
+        let v8 = b.add_node("Swat Valley", EntityType::Location); // 6
+        b.add_edge(v2, v1, "operates in", 1);
+        b.add_edge(v2, v3, "operates in", 1);
+        b.add_edge(v1, v0, "located in", 1);
+        b.add_edge(v3, v0, "shares border with", 1);
+        b.add_edge(v7, v0, "located in", 1);
+        b.add_edge(v8, v0, "located in", 1);
+        b.add_edge(v6, v0, "contains", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        (g, idx)
+    }
+
+    fn labels(ls: &[&str]) -> Vec<String> {
+        ls.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn figure1_query_embedding() {
+        let (g, idx) = figure1();
+        let l = labels(&["upper dir", "swat valley", "pakistan", "taliban"]);
+        let e = find_lcag(&g, &idx, &l, &SearchConfig::default()).unwrap();
+        assert_eq!(g.label(e.root), "Khyber");
+        let mut key = e.compactness_key();
+        key.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(key, vec![2, 1, 1, 1]);
+        // Width: BOTH two-hop Taliban paths are retained.
+        assert!(e.contains_node(NodeId(1)), "Waziristan path kept");
+        assert!(e.contains_node(NodeId(3)), "Kunar path kept");
+        assert_eq!(e.depth(), 2);
+    }
+
+    #[test]
+    fn figure1_edges_are_oriented_toward_root() {
+        let (g, idx) = figure1();
+        let l = labels(&["taliban", "pakistan"]);
+        let e = find_lcag(&g, &idx, &l, &SearchConfig::default()).unwrap();
+        // Every non-root node has an outgoing edge chain reaching the root.
+        assert!(e.edges.iter().any(|ed| ed.to == e.root));
+        for ed in &e.edges {
+            assert!(e.contains_node(ed.from));
+            assert!(e.contains_node(ed.to));
+        }
+        let _ = g;
+    }
+
+    #[test]
+    fn single_label_is_its_own_ancestor() {
+        let (g, idx) = figure1();
+        let l = labels(&["pakistan"]);
+        let e = find_lcag(&g, &idx, &l, &SearchConfig::default()).unwrap();
+        assert_eq!(g.label(e.root), "Pakistan");
+        assert_eq!(e.depth(), 0);
+        assert_eq!(e.nodes.len(), 1);
+        assert!(e.edges.is_empty());
+    }
+
+    #[test]
+    fn missing_label_is_reported() {
+        let (g, idx) = figure1();
+        let l = labels(&["atlantis"]);
+        assert_eq!(
+            find_lcag(&g, &idx, &l, &SearchConfig::default()).unwrap_err(),
+            EmbedError::NoSources("atlantis".to_string())
+        );
+    }
+
+    #[test]
+    fn empty_label_set_is_reported() {
+        let (g, idx) = figure1();
+        assert_eq!(
+            find_lcag(&g, &idx, &[], &SearchConfig::default()).unwrap_err(),
+            EmbedError::EmptyLabelSet
+        );
+    }
+
+    #[test]
+    fn disconnected_labels_have_no_ancestor() {
+        let mut b = GraphBuilder::new();
+        b.add_node("IslandA", EntityType::Gpe);
+        b.add_node("IslandB", EntityType::Gpe);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        let l = labels(&["islanda", "islandb"]);
+        assert_eq!(
+            find_lcag(&g, &idx, &l, &SearchConfig::default()).unwrap_err(),
+            EmbedError::NoCommonAncestor
+        );
+    }
+
+    #[test]
+    fn two_entities_meet_in_the_middle() {
+        // a - b - c: LCAG of {a, c} may root anywhere with key {1,1}
+        // (b) rather than {2,0} (a or c); {1,1} < {2,0}.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("Alpha", EntityType::Gpe);
+        let mid = b.add_node("Mid", EntityType::Gpe);
+        let c = b.add_node("Gamma", EntityType::Gpe);
+        b.add_edge(a, mid, "p", 1);
+        b.add_edge(mid, c, "p", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        let e = find_lcag(&g, &idx, &labels(&["alpha", "gamma"]), &SearchConfig::default())
+            .unwrap();
+        assert_eq!(e.root, mid);
+        assert_eq!(e.compactness_key(), vec![1, 1]);
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn ambiguous_label_uses_closest_source() {
+        // Two nodes named "Springfield": one adjacent to "Capital", one far.
+        let mut b = GraphBuilder::new();
+        let near = b.add_node("Springfield", EntityType::Gpe);
+        let far = b.add_node("Springfield", EntityType::Gpe);
+        let capital = b.add_node("Capital", EntityType::Gpe);
+        let hop = b.add_node("Hop", EntityType::Gpe);
+        b.add_edge(near, capital, "p", 1);
+        b.add_edge(far, hop, "p", 1);
+        b.add_edge(hop, capital, "p", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        let e = find_lcag(
+            &g,
+            &idx,
+            &labels(&["springfield", "capital"]),
+            &SearchConfig::default(),
+        )
+        .unwrap();
+        // Entity-node distance (Definition 2) is the min over S(l).
+        assert_eq!(e.depth(), 1);
+        assert!(e.sources[0].contains(&near));
+        assert!(!e.sources[0].contains(&far));
+    }
+
+    #[test]
+    fn weighted_edges_respected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A", EntityType::Gpe);
+        let c = b.add_node("C", EntityType::Gpe);
+        let mid = b.add_node("M", EntityType::Gpe);
+        b.add_edge(a, c, "direct", 5);
+        b.add_edge(a, mid, "p", 1);
+        b.add_edge(mid, c, "p", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        let e =
+            find_lcag(&g, &idx, &labels(&["a", "c"]), &SearchConfig::default()).unwrap();
+        // Shortest A–C route is through M (cost 2), so the best root has
+        // key {1,1}; the direct weight-5 edge must not be in the embedding.
+        assert_eq!(e.root, mid);
+        assert!(!e
+            .edges
+            .iter()
+            .any(|ed| g.resolve(ed.predicate) == "direct"));
+    }
+
+    #[test]
+    fn budget_exhaustion_still_returns_candidate_if_found() {
+        let (g, idx) = figure1();
+        let l = labels(&["taliban", "pakistan"]);
+        let tight = SearchConfig {
+            max_settled: 4,
+            ..SearchConfig::default()
+        };
+        // With a tiny budget we may or may not find the optimum, but we
+        // must never panic; either a candidate or NoCommonAncestor.
+        match find_lcag(&g, &idx, &l, &tight) {
+            Ok(e) => assert!(e.depth() >= 1),
+            Err(EmbedError::NoCommonAncestor) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_path_ablation_drops_width() {
+        let (g, idx) = figure1();
+        let l = labels(&["upper dir", "swat valley", "pakistan", "taliban"]);
+        let full = find_lcag(&g, &idx, &l, &SearchConfig::default()).unwrap();
+        let narrow = find_lcag(
+            &g,
+            &idx,
+            &l,
+            &SearchConfig {
+                single_path: true,
+                ..SearchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(full.root, narrow.root, "root selection unchanged");
+        assert!(narrow.node_count() < full.node_count());
+        // Exactly one of the two Taliban mid nodes survives.
+        let mids = [NodeId(1), NodeId(3)];
+        assert_eq!(
+            mids.iter().filter(|n| narrow.contains_node(**n)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn top_cags_are_sorted_by_compactness() {
+        let (g, idx) = figure1();
+        let l = labels(&["taliban", "pakistan"]);
+        let cags = find_top_cags(&g, &idx, &l, &SearchConfig::default(), 4).unwrap();
+        assert!(!cags.is_empty());
+        assert!(cags.len() <= 4);
+        for w in cags.windows(2) {
+            use std::cmp::Ordering;
+            assert_ne!(
+                crate::model::compactness_cmp(&w[1].compactness_key(), &w[0].compactness_key()),
+                Ordering::Less,
+                "candidates out of order"
+            );
+        }
+        // Top-1 agrees with find_lcag.
+        let best = find_lcag(&g, &idx, &l, &SearchConfig::default()).unwrap();
+        assert_eq!(cags[0].root, best.root);
+        assert_eq!(cags[0].nodes, best.nodes);
+    }
+
+    #[test]
+    fn top_cags_roots_are_distinct() {
+        let (g, idx) = figure1();
+        let l = labels(&["upper dir", "taliban"]);
+        let cags = find_top_cags(&g, &idx, &l, &SearchConfig::default(), 10).unwrap();
+        let roots: FxHashSet<_> = cags.iter().map(|c| c.root).collect();
+        assert_eq!(roots.len(), cags.len());
+    }
+
+    #[test]
+    fn top_cags_zero_is_empty() {
+        let (g, idx) = figure1();
+        let l = labels(&["taliban"]);
+        assert!(find_top_cags(&g, &idx, &l, &SearchConfig::default(), 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn lemma2_pairwise_distance_bound() {
+        // Every pair of embedding nodes is within 2·d(G*) in the embedding
+        // (via the root), hence also in the graph.
+        let (g, idx) = figure1();
+        let l = labels(&["upper dir", "swat valley", "pakistan", "taliban"]);
+        let e = find_lcag(&g, &idx, &l, &SearchConfig::default()).unwrap();
+        let bound = 2 * e.depth();
+        // BFS in the bidirected graph between all embedding node pairs.
+        for &a in &e.nodes {
+            let mut dist: FxHashMap<NodeId, u32> = FxHashMap::default();
+            dist.insert(a, 0);
+            let mut q = std::collections::VecDeque::from([a]);
+            while let Some(v) = q.pop_front() {
+                let dv = dist[&v];
+                for ed in g.neighbors(v) {
+                    dist.entry(ed.to).or_insert_with(|| {
+                        q.push_back(ed.to);
+                        dv + 1
+                    });
+                }
+            }
+            for &bn in &e.nodes {
+                assert!(
+                    dist[&bn] <= bound,
+                    "nodes {a:?},{bn:?} exceed 2·depth bound"
+                );
+            }
+        }
+    }
+}

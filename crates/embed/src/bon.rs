@@ -1,0 +1,85 @@
+//! The Bag-Of-Node (BON) model (§VI).
+//!
+//! A document embedding is flattened to "node terms" — one occurrence per
+//! group containing the node — and fed to the same inverted-index machinery
+//! as words. This is the paper's *scoring compatibility*: TF-IDF/BM25
+//! weighting and top-k retrieval apply unchanged with words replaced by KG
+//! nodes.
+
+use newslink_kg::NodeId;
+
+use crate::union::DocEmbedding;
+
+/// The index term used for a KG node in the BON index.
+///
+/// BON terms live in their own index, so plain decimal ids are
+/// collision-free; the `n` prefix only aids debugging.
+pub fn node_term(node: NodeId) -> String {
+    format!("n{}", node.0)
+}
+
+/// Parse a term produced by [`node_term`].
+pub fn parse_node_term(term: &str) -> Option<NodeId> {
+    term.strip_prefix('n')?.parse().ok().map(NodeId)
+}
+
+/// Flatten a document embedding into BON terms: each node contributes one
+/// occurrence per group containing it, so overlap across groups raises
+/// term frequency exactly as Figure 4's orange nodes suggest.
+pub fn bon_terms(embedding: &DocEmbedding) -> Vec<String> {
+    let mut terms: Vec<(NodeId, u32)> = embedding.node_counts().into_iter().collect();
+    terms.sort_unstable_by_key(|(n, _)| *n);
+    let mut out = Vec::new();
+    for (node, count) in terms {
+        for _ in 0..count {
+            out.push(node_term(node));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CommonAncestorGraph;
+
+    fn group(nodes: &[u32]) -> CommonAncestorGraph {
+        CommonAncestorGraph {
+            root: NodeId(nodes[0]),
+            labels: vec!["l".into()],
+            distances: vec![0],
+            nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+            edges: vec![],
+            sources: vec![],
+        }
+    }
+
+    #[test]
+    fn node_term_round_trips() {
+        assert_eq!(node_term(NodeId(42)), "n42");
+        assert_eq!(parse_node_term("n42"), Some(NodeId(42)));
+        assert_eq!(parse_node_term("x42"), None);
+        assert_eq!(parse_node_term("n"), None);
+    }
+
+    #[test]
+    fn term_frequency_equals_group_count() {
+        let e = DocEmbedding::new(vec![group(&[0, 1]), group(&[0, 2])]);
+        let terms = bon_terms(&e);
+        assert_eq!(terms.iter().filter(|t| *t == "n0").count(), 2);
+        assert_eq!(terms.iter().filter(|t| *t == "n1").count(), 1);
+        assert_eq!(terms.iter().filter(|t| *t == "n2").count(), 1);
+        assert_eq!(terms.len(), 4);
+    }
+
+    #[test]
+    fn empty_embedding_has_no_terms() {
+        assert!(bon_terms(&DocEmbedding::default()).is_empty());
+    }
+
+    #[test]
+    fn terms_deterministically_ordered() {
+        let e = DocEmbedding::new(vec![group(&[3, 1, 2])]);
+        assert_eq!(bon_terms(&e), vec!["n1", "n2", "n3"]);
+    }
+}

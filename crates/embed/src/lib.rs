@@ -1,0 +1,32 @@
+//! The NE component: subgraph embeddings from knowledge graphs (§V).
+//!
+//! - [`model`] — Common Ancestor Graphs and the compactness order
+//!   (Definitions 3–5);
+//! - [`algo`] — the `G*` search (Algorithms 1–3): per-label Dijkstra
+//!   frontiers, path enumeration, candidate collection, compactness
+//!   sorting;
+//! - [`tree`] — the TreeEmb baseline (Group-Steiner-Tree approximation) the
+//!   paper compares against in Table VII;
+//! - [`union`] — document embeddings as unions of per-segment `G*`;
+//! - [`bon`] — the Bag-Of-Node representation feeding the NS component;
+//! - [`explain`] — relationship-path extraction from embedding overlap, the
+//!   intuitive-search feature of the paper's case study.
+
+pub mod algo;
+pub mod bon;
+pub mod codec;
+pub mod dot;
+pub mod explain;
+pub mod model;
+pub mod summarize;
+pub mod tree;
+pub mod union;
+
+pub use algo::{find_lcag, find_top_cags, EmbedError, SearchConfig};
+pub use bon::{bon_terms, node_term, parse_node_term};
+pub use dot::{embedding_to_dot, overlap_to_dot};
+pub use explain::{relationship_paths, RelationshipPath};
+pub use model::{compactness_cmp, CommonAncestorGraph, EmbedEdge};
+pub use summarize::{describe_path, path_informativeness, summarize_paths};
+pub use tree::find_tree_embedding;
+pub use union::DocEmbedding;

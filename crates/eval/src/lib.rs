@@ -1,0 +1,38 @@
+//! Evaluation harness: reproduces every table and figure of the paper's
+//! experiment section (§VII).
+//!
+//! - [`context`] — the pinned fixture (world, corpus, split, text index);
+//! - [`metrics`] — SIM@k / HIT@k under the FastText-substitute judge;
+//! - [`methods`] — all Table IV / VII competitors behind one trait;
+//! - [`runner`] — per-table experiment runners;
+//! - [`user_study`] — the simulated panel of Figure 5;
+//! - [`case_study`] — the worked example of Figure 6 / Tables I, II, VI;
+//! - [`tables`] — paper-style text rendering.
+
+pub mod case_study;
+pub mod context;
+pub mod methods;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod significance;
+pub mod tables;
+pub mod user_study;
+
+pub use case_study::{run_case_study, CaseStudy};
+pub use context::{EvalContext, EvalScale, QueryCase};
+pub use methods::{
+    Doc2VecMethod, LdaMethod, LuceneMethod, NewsLinkMethod, QeprfMethod, SbertMethod,
+    SearchMethod,
+};
+pub use metrics::{hit_at_k, judge_vectors, sim_at_k, RankedCase};
+pub use report::{maybe_report, report_dir, write_report};
+pub use significance::{compare_hit_at_k, hit_indicators, paired_bootstrap, BootstrapResult};
+pub use runner::{
+    evaluate_method, judge, run_fig7, run_table_iv, run_table_v, run_table_vii, run_table_viii,
+    EmbeddingTiming, MatchingRatio, MethodScores, QueryTiming, HIT_KS, SIM_KS,
+};
+pub use tables::{
+    render_embed_timing, render_matching, render_query_timing, render_scores, render_user_study,
+};
+pub use user_study::{build_pairs, run_user_study, PairFeatures, UserStudyResult, Verdict};

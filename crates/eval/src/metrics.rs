@@ -1,0 +1,129 @@
+//! Evaluation metrics: SIM@k and HIT@k (§VII-B).
+//!
+//! SIM@k averages, over test cases and over the top-k results, the cosine
+//! similarity between the *full query document* and each result document
+//! in the judge (FastText-substitute) embedding space. HIT@k is the
+//! fraction of test queries whose own source document appears in the
+//! top-k.
+
+use newslink_baselines::vector::cosine;
+use newslink_baselines::FastTextEmbedder;
+
+/// One evaluated query: the source document index and the ranked result
+/// document indices a method returned.
+#[derive(Debug, Clone)]
+pub struct RankedCase {
+    /// Index of the query's source document in the corpus.
+    pub query_doc: usize,
+    /// Ranked result document indices (best first).
+    pub results: Vec<usize>,
+}
+
+/// SIM@k over a set of cases.
+///
+/// `doc_vectors[d]` must hold the judge embedding of document `d`'s full
+/// text. Queries with fewer than `k` results average over what they have;
+/// queries with no results contribute 0 (a method that returns nothing is
+/// maximally unhelpful, matching the paper's averaging over all test
+/// cases).
+pub fn sim_at_k(cases: &[RankedCase], doc_vectors: &[Vec<f32>], k: usize) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for case in cases {
+        let q = &doc_vectors[case.query_doc];
+        let top = &case.results[..case.results.len().min(k)];
+        if top.is_empty() {
+            continue;
+        }
+        let s: f64 = top.iter().map(|&r| cosine(q, &doc_vectors[r])).sum();
+        total += s / top.len() as f64;
+    }
+    total / cases.len() as f64
+}
+
+/// HIT@k over a set of cases.
+pub fn hit_at_k(cases: &[RankedCase], k: usize) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    let hits = cases
+        .iter()
+        .filter(|c| c.results.iter().take(k).any(|&r| r == c.query_doc))
+        .count();
+    hits as f64 / cases.len() as f64
+}
+
+/// Precompute judge embeddings for every document text.
+pub fn judge_vectors(judge: &FastTextEmbedder, texts: &[String]) -> Vec<Vec<f32>> {
+    texts.iter().map(|t| judge.embed(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectors() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 0.0],  // 0
+            vec![1.0, 0.0],  // 1 — identical to 0
+            vec![0.0, 1.0],  // 2 — orthogonal to 0
+            vec![0.7, 0.7],  // 3 — diagonal
+        ]
+    }
+
+    #[test]
+    fn hit_at_k_counts_self_recovery() {
+        let cases = vec![
+            RankedCase { query_doc: 0, results: vec![0, 2] },
+            RankedCase { query_doc: 1, results: vec![2, 1] },
+            RankedCase { query_doc: 2, results: vec![0, 1] },
+        ];
+        assert!((hit_at_k(&cases, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((hit_at_k(&cases, 2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_at_k_averages_cosines() {
+        let v = vectors();
+        let cases = vec![RankedCase { query_doc: 0, results: vec![1, 2] }];
+        // cos(0,1)=1, cos(0,2)=0 → SIM@2 = 0.5
+        assert!((sim_at_k(&cases, &v, 2) - 0.5).abs() < 1e-9);
+        // SIM@1 = 1.0
+        assert!((sim_at_k(&cases, &v, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_results_than_k_average_over_available() {
+        let v = vectors();
+        let cases = vec![RankedCase { query_doc: 0, results: vec![1] }];
+        assert!((sim_at_k(&cases, &v, 10) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_results_contribute_zero() {
+        let v = vectors();
+        let cases = vec![
+            RankedCase { query_doc: 0, results: vec![] },
+            RankedCase { query_doc: 0, results: vec![0] },
+        ];
+        assert!((sim_at_k(&cases, &v, 5) - 0.5).abs() < 1e-9);
+        assert_eq!(hit_at_k(&cases, 5), 0.5);
+    }
+
+    #[test]
+    fn empty_cases_are_zero() {
+        assert_eq!(sim_at_k(&[], &[], 5), 0.0);
+        assert_eq!(hit_at_k(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn judge_vectors_embed_all_texts() {
+        let judge = FastTextEmbedder::new(64, 1);
+        let texts = vec!["one story".to_string(), "another story".to_string()];
+        let vs = judge_vectors(&judge, &texts);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].len(), 64);
+    }
+}

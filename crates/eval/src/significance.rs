@@ -1,0 +1,177 @@
+//! Paired bootstrap significance testing.
+//!
+//! Table IV compares methods on the same query set, so per-query outcomes
+//! are *paired*. The paired bootstrap (Efron & Tibshirani) resamples
+//! queries with replacement and asks how often the observed metric
+//! difference would flip sign — the standard IR significance test. Used to
+//! substantiate statements like "NewsLink's HIT@1 edge over Lucene is a
+//! statistical tie at this corpus scale" (EXPERIMENTS.md).
+
+use serde::Serialize;
+
+use newslink_util::DetRng;
+
+use crate::context::QueryCase;
+use crate::methods::SearchMethod;
+
+/// The bootstrap outcome for a paired metric difference (method A − B).
+#[derive(Debug, Clone, Serialize)]
+pub struct BootstrapResult {
+    /// Observed difference of means.
+    pub observed_diff: f64,
+    /// Two-sided bootstrap p-value for the null `diff == 0`.
+    pub p_value: f64,
+    /// Resampling iterations.
+    pub iterations: usize,
+    /// Paired sample size.
+    pub samples: usize,
+}
+
+impl BootstrapResult {
+    /// Conventional significance at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Paired bootstrap over per-query scores (e.g. 0/1 hit indicators).
+///
+/// Returns `None` when the slices are empty or lengths differ.
+pub fn paired_bootstrap(
+    a: &[f64],
+    b: &[f64],
+    iterations: usize,
+    seed: u64,
+) -> Option<BootstrapResult> {
+    if a.is_empty() || a.len() != b.len() || iterations == 0 {
+        return None;
+    }
+    let n = a.len();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let observed: f64 = diffs.iter().sum::<f64>() / n as f64;
+    let mut rng = DetRng::new(seed);
+    let mut le = 0usize; // resampled mean <= 0
+    let mut ge = 0usize; // resampled mean >= 0
+    for _ in 0..iterations {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += diffs[rng.below(n)];
+        }
+        let mean = sum / n as f64;
+        if mean <= 0.0 {
+            le += 1;
+        }
+        if mean >= 0.0 {
+            ge += 1;
+        }
+    }
+    // Two-sided p-value with the +1 continuity correction.
+    let tail = le.min(ge);
+    let p = (2.0 * (tail as f64 + 1.0) / (iterations as f64 + 1.0)).min(1.0);
+    Some(BootstrapResult {
+        observed_diff: observed,
+        p_value: p,
+        iterations,
+        samples: n,
+    })
+}
+
+/// HIT@k indicators (1.0 / 0.0) per query for a method.
+pub fn hit_indicators(method: &dyn SearchMethod, cases: &[QueryCase], k: usize) -> Vec<f64> {
+    cases
+        .iter()
+        .map(|c| {
+            let hit = method.rank(&c.query, k).contains(&c.doc);
+            if hit {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Convenience: paired bootstrap of HIT@k between two methods on the same
+/// cases.
+pub fn compare_hit_at_k(
+    a: &dyn SearchMethod,
+    b: &dyn SearchMethod,
+    cases: &[QueryCase],
+    k: usize,
+    iterations: usize,
+    seed: u64,
+) -> Option<BootstrapResult> {
+    let ha = hit_indicators(a, cases, k);
+    let hb = hit_indicators(b, cases, k);
+    paired_bootstrap(&ha, &hb, iterations, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = vec![1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let r = paired_bootstrap(&a, &a, 500, 1).unwrap();
+        assert_eq!(r.observed_diff, 0.0);
+        assert!(r.p_value > 0.9, "p {}", r.p_value);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn consistent_advantage_is_significant() {
+        // A beats B on 30 of 40 queries, never loses.
+        let a: Vec<f64> = (0..40).map(|i| if i < 35 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..40).map(|i| if i < 5 { 1.0 } else { 0.0 }).collect();
+        let r = paired_bootstrap(&a, &b, 2000, 2).unwrap();
+        assert!(r.observed_diff > 0.7);
+        assert!(r.significant_at(0.05), "p {}", r.p_value);
+    }
+
+    #[test]
+    fn tiny_noisy_difference_is_not_significant() {
+        // A and B each win 3 disjoint queries of 40.
+        let mut a = vec![0.0; 40];
+        let mut b = vec![0.0; 40];
+        for i in 0..3 {
+            a[i] = 1.0;
+            b[39 - i] = 1.0;
+        }
+        let r = paired_bootstrap(&a, &b, 2000, 3).unwrap();
+        assert_eq!(r.observed_diff, 0.0);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(paired_bootstrap(&[], &[], 100, 1).is_none());
+        assert!(paired_bootstrap(&[1.0], &[1.0, 0.0], 100, 1).is_none());
+        assert!(paired_bootstrap(&[1.0], &[0.0], 0, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = vec![1.0, 0.0, 1.0, 0.0, 1.0];
+        let b = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        let r1 = paired_bootstrap(&a, &b, 300, 7).unwrap();
+        let r2 = paired_bootstrap(&a, &b, 300, 7).unwrap();
+        assert_eq!(r1.p_value, r2.p_value);
+    }
+
+    #[test]
+    fn hit_indicators_against_real_methods() {
+        use crate::context::{EvalContext, EvalScale};
+        use crate::methods::LuceneMethod;
+        use newslink_corpus::{CorpusFlavor, QueryStrategy};
+        let ctx = EvalContext::build(CorpusFlavor::CnnLike, EvalScale::Tiny, 51);
+        let cases = ctx.queries(QueryStrategy::LargestEntityDensity);
+        let lucene = LuceneMethod::new(&ctx);
+        let hits = hit_indicators(&lucene, &cases, 5);
+        assert_eq!(hits.len(), cases.len());
+        assert!(hits.iter().all(|&h| h == 0.0 || h == 1.0));
+        // A method compared with itself is never significant.
+        let r = compare_hit_at_k(&lucene, &lucene, &cases, 5, 200, 9).unwrap();
+        assert!(!r.significant_at(0.05));
+    }
+}

@@ -1,0 +1,200 @@
+//! Paper-style table rendering for experiment reports.
+
+use crate::runner::{EmbeddingTiming, MatchingRatio, MethodScores, QueryTiming};
+use crate::user_study::UserStudyResult;
+
+/// `(metric name, density value, random value)` cells for one method.
+type MergedCells = Vec<(String, f64, f64)>;
+
+/// Pair up density/random rows of the same method:
+/// the paper prints `density/random` in one cell.
+fn merged_rows(scores: &[MethodScores]) -> Vec<(String, MergedCells)> {
+    let mut out: Vec<(String, MergedCells)> = Vec::new();
+    for s in scores.iter().filter(|s| s.strategy == "density") {
+        let partner = scores
+            .iter()
+            .find(|r| r.method == s.method && r.strategy == "random");
+        let mut cells = Vec::new();
+        for (i, &(k, v)) in s.sim.iter().enumerate() {
+            let rv = partner.map(|p| p.sim[i].1).unwrap_or(f64::NAN);
+            cells.push((format!("SIM@{k}"), v, rv));
+        }
+        for (i, &(k, v)) in s.hit.iter().enumerate() {
+            let rv = partner.map(|p| p.hit[i].1).unwrap_or(f64::NAN);
+            cells.push((format!("HIT@{k}"), v, rv));
+        }
+        out.push((s.method.clone(), cells));
+    }
+    out
+}
+
+/// Render a Table IV / VII style block for one corpus.
+pub fn render_scores(title: &str, scores: &[MethodScores]) -> String {
+    let rows = merged_rows(scores);
+    let mut out = String::new();
+    out.push_str(&format!("== {title} (cells: density/random) ==\n"));
+    if rows.is_empty() {
+        out.push_str("(no rows)\n");
+        return out;
+    }
+    // Header.
+    out.push_str(&format!("{:<16}", "method"));
+    for (name, _, _) in &rows[0].1 {
+        out.push_str(&format!(" {name:>12}"));
+    }
+    out.push('\n');
+    for (method, cells) in &rows {
+        out.push_str(&format!("{method:<16}"));
+        for (_, d, r) in cells {
+            out.push_str(&format!(" {:>5.3}/{:<5.3}", d, r));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table V.
+pub fn render_matching(rows: &[MatchingRatio]) -> String {
+    let mut out = String::from("== Table V: average entity matching ratio ==\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>7.2}%  ({} test queries)\n",
+            r.corpus,
+            r.ratio * 100.0,
+            r.queries
+        ));
+    }
+    out
+}
+
+/// Render Table VIII.
+pub fn render_query_timing(rows: &[QueryTiming]) -> String {
+    let mut out = String::from(
+        "== Table VIII: query processing time per component (ms/query) ==\n",
+    );
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>10} {:>10}\n",
+        "corpus", "NLP", "NE", "NS"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3}   ({} queries)\n",
+            r.corpus, r.nlp_ms, r.ne_ms, r.ns_ms, r.queries
+        ));
+    }
+    out
+}
+
+/// Render Figure 7.
+pub fn render_embed_timing(rows: &[EmbeddingTiming]) -> String {
+    let mut out =
+        String::from("== Figure 7: average embedding time per news document (ms/doc) ==\n");
+    for r in rows {
+        for (model, nlp, ne) in &r.rows {
+            out.push_str(&format!(
+                "{:<8} {:<10} NLP {:>8.3}  NE {:>8.3}\n",
+                r.corpus, model, nlp, ne
+            ));
+        }
+    }
+    out
+}
+
+/// Render Figure 5 as a text bar chart.
+pub fn render_user_study(r: &UserStudyResult) -> String {
+    let total = (r.helpful + r.neutral + r.not_helpful).max(1);
+    let bar = |n: usize| "#".repeat(n * 40 / total);
+    format!(
+        "== Figure 5: simulated user study ({} participants x {} pairs) ==\n\
+         helpful     {:>4} {}\n\
+         neutral     {:>4} {}\n\
+         not helpful {:>4} {}\n\
+         helpful fraction: {:.1}%\n",
+        r.participants,
+        r.pairs.len(),
+        r.helpful,
+        bar(r.helpful),
+        r.neutral,
+        bar(r.neutral),
+        r.not_helpful,
+        bar(r.not_helpful),
+        r.helpful_fraction() * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores() -> Vec<MethodScores> {
+        vec![
+            MethodScores {
+                method: "Lucene".into(),
+                strategy: "density".into(),
+                sim: vec![(5, 0.964), (10, 0.958), (20, 0.954)],
+                hit: vec![(1, 0.807), (5, 0.917)],
+            },
+            MethodScores {
+                method: "Lucene".into(),
+                strategy: "random".into(),
+                sim: vec![(5, 0.953), (10, 0.947), (20, 0.941)],
+                hit: vec![(1, 0.806), (5, 0.926)],
+            },
+        ]
+    }
+
+    #[test]
+    fn render_scores_merges_strategies() {
+        let s = render_scores("CNN", &scores());
+        assert!(s.contains("Lucene"));
+        assert!(s.contains("SIM@5"));
+        assert!(s.contains("HIT@1"));
+        assert!(s.contains("0.964/0.953"));
+    }
+
+    #[test]
+    fn render_scores_empty() {
+        assert!(render_scores("x", &[]).contains("no rows"));
+    }
+
+    #[test]
+    fn render_matching_formats_percent() {
+        let s = render_matching(&[MatchingRatio {
+            corpus: "CNN".into(),
+            ratio: 0.9754,
+            queries: 100,
+        }]);
+        assert!(s.contains("97.54%"));
+    }
+
+    #[test]
+    fn render_user_study_shows_fraction() {
+        let r = UserStudyResult {
+            pairs: vec![],
+            participants: 20,
+            helpful: 120,
+            neutral: 50,
+            not_helpful: 30,
+        };
+        let s = render_user_study(&r);
+        assert!(s.contains("60.0%"));
+        assert!(s.contains("helpful"));
+    }
+
+    #[test]
+    fn render_timings() {
+        let s = render_query_timing(&[QueryTiming {
+            corpus: "CNN".into(),
+            nlp_ms: 0.5,
+            ne_ms: 12.0,
+            ns_ms: 1.25,
+            queries: 50,
+        }]);
+        assert!(s.contains("12.000"));
+        let s = render_embed_timing(&[EmbeddingTiming {
+            corpus: "CNN".into(),
+            rows: vec![("NewsLink".into(), 0.4, 9.0)],
+        }]);
+        assert!(s.contains("NewsLink"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Natural-language entity descriptions.
+//!
+//! Wikidata entities carry a short description ("province of Pakistan");
+//! the QEPRF baseline [Xiong & Callan 2015] expands queries with terms from
+//! the descriptions of linked entities. Our graph has no stored
+//! descriptions, so we derive one per node from its type and its first few
+//! forward relationships — the same information a dump description
+//! summarizes.
+
+use std::fmt::Write as _;
+
+use crate::graph::{EntityType, KnowledgeGraph, NodeId};
+
+/// Maximum forward relationships folded into one description.
+const MAX_FACTS: usize = 4;
+
+/// Human-readable phrase for an entity type.
+fn type_phrase(ty: EntityType) -> &'static str {
+    match ty {
+        EntityType::Person => "person",
+        EntityType::Norp => "group",
+        EntityType::Facility => "facility",
+        EntityType::Organization => "organization",
+        EntityType::Gpe => "geopolitical entity",
+        EntityType::Location => "location",
+        EntityType::Product => "product",
+        EntityType::Event => "event",
+        EntityType::WorkOfArt => "work of art",
+        EntityType::Law => "law",
+        EntityType::Language => "language",
+        EntityType::Quantity => "quantity",
+    }
+}
+
+/// Produce a one-paragraph description of `node`.
+///
+/// Example: `Khyber is a geopolitical entity. Khyber shares border with
+/// Kunar. Khyber located in Pakistan.`
+pub fn describe(graph: &KnowledgeGraph, node: NodeId) -> String {
+    let label = graph.label(node);
+    let mut out = String::with_capacity(96);
+    let _ = write!(out, "{label} is a {}.", type_phrase(graph.entity_type(node)));
+    let mut facts = 0;
+    for e in graph.neighbors(node) {
+        if e.inverse {
+            continue;
+        }
+        if facts == MAX_FACTS {
+            break;
+        }
+        let _ = write!(
+            out,
+            " {label} {} {}.",
+            graph.resolve(e.predicate),
+            graph.label(e.to)
+        );
+        facts += 1;
+    }
+    out
+}
+
+/// The description's terms, lowercased, for query expansion.
+pub fn description_terms(graph: &KnowledgeGraph, node: NodeId) -> Vec<String> {
+    describe(graph, node)
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let khyber = b.add_node("Khyber", EntityType::Gpe);
+        let kunar = b.add_node("Kunar", EntityType::Gpe);
+        let pakistan = b.add_node("Pakistan", EntityType::Gpe);
+        b.add_edge(khyber, kunar, "shares border with", 1);
+        b.add_edge(khyber, pakistan, "located in", 1);
+        b.freeze()
+    }
+
+    #[test]
+    fn description_mentions_type_and_facts() {
+        let g = sample();
+        let d = describe(&g, NodeId(0));
+        assert!(d.contains("Khyber is a geopolitical entity."));
+        assert!(d.contains("shares border with Kunar"));
+        assert!(d.contains("located in Pakistan"));
+    }
+
+    #[test]
+    fn inverse_edges_are_not_described() {
+        let g = sample();
+        let d = describe(&g, NodeId(1)); // Kunar only has an inverse edge
+        assert_eq!(d, "Kunar is a geopolitical entity.");
+    }
+
+    #[test]
+    fn fact_count_is_bounded() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("Hub", EntityType::Organization);
+        for i in 0..10 {
+            let n = b.add_node(&format!("Spoke{i}"), EntityType::Gpe);
+            b.add_edge(hub, n, "operates in", 1);
+        }
+        let g = b.freeze();
+        let d = describe(&g, hub);
+        let sentences = d.matches('.').count();
+        assert_eq!(sentences, 1 + MAX_FACTS);
+    }
+
+    #[test]
+    fn terms_are_lowercased_tokens() {
+        let g = sample();
+        let terms = description_terms(&g, NodeId(0));
+        assert!(terms.contains(&"khyber".to_string()));
+        assert!(terms.contains(&"pakistan".to_string()));
+        assert!(terms.iter().all(|t| t.chars().all(|c| c.is_alphanumeric())));
+    }
+}

@@ -1,0 +1,273 @@
+//! Entity-label → node resolution: the paper's `S(l)`.
+//!
+//! §V-A: *"Given an entity l, it is mapped to a set of nodes S(l) from K
+//! whose labels contain l through exact string matching."* We implement
+//! this as (a) exact match on the normalized full label, unioned with (b)
+//! *token containment*: nodes whose label contains the query's token
+//! sequence as a contiguous run (so `Sanders` resolves to `Bernie Sanders`,
+//! matching the paper's case study where one surface form maps to several
+//! nodes).
+
+use newslink_util::{FxHashMap, FxHashSet};
+
+use crate::graph::{KnowledgeGraph, NodeId};
+
+/// Normalize a surface form / label for matching: lowercase, collapse runs
+/// of whitespace, trim.
+pub fn normalize_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_space = false;
+    for part in s.split_whitespace() {
+        if pending_space {
+            out.push(' ');
+        }
+        for ch in part.chars() {
+            out.extend(ch.to_lowercase());
+        }
+        pending_space = true;
+    }
+    out
+}
+
+/// Immutable index from normalized labels to node sets.
+#[derive(Debug, Clone)]
+pub struct LabelIndex {
+    /// normalized full label -> nodes carrying exactly that label
+    exact: FxHashMap<String, Vec<NodeId>>,
+    /// normalized token -> nodes whose label contains the token
+    token: FxHashMap<String, Vec<NodeId>>,
+    /// longest label length in tokens (gazetteer window bound)
+    max_tokens: usize,
+}
+
+impl LabelIndex {
+    /// Build the index over every node label and alias in `graph`.
+    pub fn build(graph: &KnowledgeGraph) -> Self {
+        let mut idx = Self {
+            exact: FxHashMap::default(),
+            token: FxHashMap::default(),
+            max_tokens: 0,
+        };
+        for node in graph.nodes() {
+            idx.insert_surface(node, graph.label(node));
+        }
+        // Wikidata-style aliases resolve to the same node.
+        for (node, alias) in graph.aliases() {
+            idx.insert_surface(node, alias);
+        }
+        for bucket in idx.exact.values_mut() {
+            bucket.sort_unstable();
+            bucket.dedup();
+        }
+        idx
+    }
+
+    fn insert_surface(&mut self, node: NodeId, surface: &str) {
+        let norm = normalize_label(surface);
+        if norm.is_empty() {
+            return;
+        }
+        let ntok = norm.split(' ').count();
+        self.max_tokens = self.max_tokens.max(ntok);
+        for tok in norm.split(' ') {
+            let bucket = self.token.entry(tok.to_string()).or_default();
+            // labels repeat tokens ("New York, New York"); avoid dupes
+            if bucket.last() != Some(&node) {
+                bucket.push(node);
+            }
+        }
+        let bucket = self.exact.entry(norm).or_default();
+        if bucket.last() != Some(&node) {
+            bucket.push(node);
+        }
+    }
+
+    /// Nodes whose label is exactly `surface` (normalized).
+    pub fn exact(&self, surface: &str) -> &[NodeId] {
+        self.exact
+            .get(&normalize_label(surface))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The paper's `S(l)`: exact matches unioned with labels *containing*
+    /// the surface form's token run. Results are sorted and deduplicated.
+    pub fn candidates(&self, graph: &KnowledgeGraph, surface: &str) -> Vec<NodeId> {
+        let norm = normalize_label(surface);
+        if norm.is_empty() {
+            return Vec::new();
+        }
+        let mut out: FxHashSet<NodeId> = FxHashSet::default();
+        out.extend(self.exact.get(&norm).into_iter().flatten().copied());
+
+        // Containment: intersect the token postings, then verify the token
+        // run is contiguous in the candidate's label.
+        let toks: Vec<&str> = norm.split(' ').collect();
+        let postings: Option<Vec<&Vec<NodeId>>> =
+            toks.iter().map(|t| self.token.get(*t)).collect();
+        if let Some(mut postings) = postings {
+            postings.sort_by_key(|p| p.len());
+            if let Some((first, rest)) = postings.split_first() {
+                'cand: for &node in first.iter() {
+                    if out.contains(&node) {
+                        continue;
+                    }
+                    for p in rest {
+                        if !p.contains(&node) {
+                            continue 'cand;
+                        }
+                    }
+                    let label_hit = contains_run(&normalize_label(graph.label(node)), &toks);
+                    let alias_hit = || {
+                        graph
+                            .aliases_of(node)
+                            .any(|a| contains_run(&normalize_label(a), &toks))
+                    };
+                    if label_hit || alias_hit() {
+                        out.insert(node);
+                    }
+                }
+            }
+        }
+
+        let mut v: Vec<NodeId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True when some node label matches `surface` exactly.
+    pub fn has_exact(&self, surface: &str) -> bool {
+        self.exact.contains_key(&normalize_label(surface))
+    }
+
+    /// Longest indexed label, in tokens — the NER gazetteer window bound.
+    pub fn max_label_tokens(&self) -> usize {
+        self.max_tokens
+    }
+
+    /// Iterate all normalized labels with their exact node sets (for
+    /// building gazetteers).
+    pub fn labels(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
+        self.exact.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Number of distinct normalized labels.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// True when the index holds no labels.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+}
+
+/// Does `label` (normalized, space-separated) contain `toks` as a contiguous
+/// token run?
+fn contains_run(label: &str, toks: &[&str]) -> bool {
+    let ltoks: Vec<&str> = label.split(' ').collect();
+    if toks.len() > ltoks.len() {
+        return false;
+    }
+    ltoks.windows(toks.len()).any(|w| w == toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::EntityType;
+
+    fn world() -> (KnowledgeGraph, LabelIndex) {
+        let mut b = GraphBuilder::new();
+        b.add_node("Bernie Sanders", EntityType::Person);
+        b.add_node("Sanders", EntityType::Person);
+        b.add_node("Pakistan", EntityType::Gpe);
+        b.add_node("Springfield", EntityType::Gpe);
+        b.add_node("Springfield", EntityType::Gpe);
+        b.add_node("New York City", EntityType::Gpe);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        (g, idx)
+    }
+
+    #[test]
+    fn normalization_lowercases_and_collapses() {
+        assert_eq!(normalize_label("  Upper   DIR "), "upper dir");
+        assert_eq!(normalize_label("Taliban"), "taliban");
+        assert_eq!(normalize_label(""), "");
+        assert_eq!(normalize_label("   "), "");
+    }
+
+    #[test]
+    fn exact_match_finds_all_homonyms() {
+        let (_, idx) = world();
+        assert_eq!(idx.exact("springfield").len(), 2);
+        assert_eq!(idx.exact("SPRINGFIELD").len(), 2);
+        assert_eq!(idx.exact("nowhere").len(), 0);
+    }
+
+    #[test]
+    fn candidates_include_containment_matches() {
+        let (g, idx) = world();
+        let s = idx.candidates(&g, "Sanders");
+        // exact "Sanders" node + containment in "Bernie Sanders"
+        assert_eq!(s.len(), 2);
+        let labels: Vec<_> = s.iter().map(|&n| g.label(n)).collect();
+        assert!(labels.contains(&"Bernie Sanders"));
+        assert!(labels.contains(&"Sanders"));
+    }
+
+    #[test]
+    fn containment_requires_contiguous_run() {
+        let (g, idx) = world();
+        // "new city" is a subset of the tokens but not a contiguous run
+        assert!(idx.candidates(&g, "new city").is_empty());
+        assert_eq!(idx.candidates(&g, "york city").len(), 1);
+        assert_eq!(idx.candidates(&g, "new york city").len(), 1);
+    }
+
+    #[test]
+    fn empty_surface_yields_nothing() {
+        let (g, idx) = world();
+        assert!(idx.candidates(&g, "").is_empty());
+        assert!(idx.candidates(&g, "   ").is_empty());
+    }
+
+    #[test]
+    fn max_label_tokens_tracks_longest() {
+        let (_, idx) = world();
+        assert_eq!(idx.max_label_tokens(), 3); // "new york city"
+    }
+
+    #[test]
+    fn has_exact_and_len() {
+        let (_, idx) = world();
+        assert!(idx.has_exact("pakistan"));
+        assert!(!idx.has_exact("pak"));
+        assert_eq!(idx.len(), 5); // springfield deduped into one label
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn aliases_resolve_to_their_node() {
+        let mut b = GraphBuilder::new();
+        let who = b.add_node("World Health Organization", EntityType::Organization);
+        b.add_alias(who, "WHO");
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        assert_eq!(idx.exact("who"), &[who]);
+        assert_eq!(idx.candidates(&g, "WHO"), vec![who]);
+        // Token containment inside an alias works too.
+        let c = idx.candidates(&g, "health organization");
+        assert_eq!(c, vec![who]);
+    }
+
+    #[test]
+    fn candidates_sorted_and_unique() {
+        let (g, idx) = world();
+        let c = idx.candidates(&g, "springfield");
+        assert_eq!(c.len(), 2);
+        assert!(c[0] < c[1]);
+    }
+}

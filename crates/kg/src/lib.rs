@@ -1,0 +1,38 @@
+//! Knowledge-graph substrate for NewsLink.
+//!
+//! The paper (§V) models the KG as a connected, labeled, weighted graph
+//! `K(V, R)` made bi-directed by adding a reversed edge per relationship.
+//! This crate provides:
+//!
+//! - [`graph::KnowledgeGraph`] — the frozen CSR property graph, built with
+//!   [`builder::GraphBuilder`];
+//! - [`label_index::LabelIndex`] — entity label → node resolution, the
+//!   paper's `S(l)`;
+//! - [`synth`] — a deterministic Wikidata-like world generator (the offline
+//!   stand-in for the paper's Wikidata dump; see DESIGN.md §6.1);
+//! - [`triples`] — plain-text persistence;
+//! - [`describe`] — derived entity descriptions (consumed by the QEPRF
+//!   baseline);
+//! - [`stats`] — descriptive statistics for reports.
+
+pub mod builder;
+pub mod describe;
+pub mod graph;
+pub mod interner;
+pub mod label_index;
+pub mod ntriples;
+pub mod reweight;
+pub mod stats;
+pub mod synth;
+pub mod traverse;
+pub mod triples;
+
+pub use builder::GraphBuilder;
+pub use graph::{Edge, EntityType, KnowledgeGraph, NodeId};
+pub use interner::{StringInterner, Symbol};
+pub use label_index::{normalize_label, LabelIndex};
+pub use ntriples::{read_ntriples, NtConfig};
+pub use reweight::{reweight, reweight_by_predicate_rarity};
+pub use stats::GraphStats;
+pub use traverse::{bfs_distances, connected_components, dijkstra_distances, is_connected};
+pub use synth::{EventInfo, EventKind, SynthConfig, SynthWorld};

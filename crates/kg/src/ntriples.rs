@@ -1,0 +1,343 @@
+//! N-Triples loader: ingest real Wikidata-style RDF dumps.
+//!
+//! A downstream user adopting this library against the actual Wikidata
+//! truthy dump needs an RDF ingestion path, not just our TSV format. This
+//! module parses the N-Triples subset those dumps use:
+//!
+//! ```text
+//! <http://e/Q1> <http://www.w3.org/2000/01/rdf-schema#label> "Earth"@en .
+//! <http://e/Q1> <http://e/P31> <http://e/Q634> .
+//! <http://e/Q1> <http://www.w3.org/2004/02/skos/core#altLabel> "Blue Planet"@en .
+//! ```
+//!
+//! - `rdfs:label` literals become node labels;
+//! - `skos:altLabel` literals become aliases;
+//! - an optional type-predicate mapping turns designated object IRIs into
+//!   [`EntityType`]s (Wikidata's `P31` values);
+//! - every other IRI-object triple becomes a relationship edge whose
+//!   predicate name is the IRI's local name.
+//!
+//! Entities without an explicit label fall back to their local name; only
+//! `@en` (or untagged) literals are consumed.
+
+use std::io::{BufRead, BufReader, Read};
+
+use newslink_util::FxHashMap;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{EntityType, KnowledgeGraph};
+use crate::triples::TripleError;
+
+const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+const SKOS_ALT: &str = "http://www.w3.org/2004/02/skos/core#altLabel";
+
+/// Configuration for the N-Triples import.
+#[derive(Debug, Clone, Default)]
+pub struct NtConfig {
+    /// Predicate IRI whose object assigns the subject's entity type (e.g.
+    /// Wikidata's `P31` "instance of"), with the object-IRI → type map.
+    pub type_predicate: Option<(String, FxHashMap<String, EntityType>)>,
+}
+
+/// One parsed term of a triple.
+#[derive(Debug, PartialEq)]
+enum Term<'a> {
+    Iri(&'a str),
+    /// (lexical value, language tag if any)
+    Literal(String, Option<&'a str>),
+}
+
+/// Parse one term starting at `s`; returns the term and the rest.
+fn parse_term(s: &str) -> Result<(Term<'_>, &str), String> {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('<') {
+        let end = rest.find('>').ok_or("unterminated IRI")?;
+        return Ok((Term::Iri(&rest[..end]), &rest[end + 1..]));
+    }
+    if let Some(rest) = s.strip_prefix('"') {
+        // Scan for the closing quote, honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, 't')) => value.push('\t'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, other)) => value.push(other),
+                    None => return Err("dangling escape".into()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = end.ok_or("unterminated literal")?;
+        let mut rest = &rest[end + 1..];
+        let mut lang = None;
+        if let Some(tagged) = rest.strip_prefix('@') {
+            let stop = tagged
+                .find(|c: char| c.is_whitespace() || c == '.')
+                .unwrap_or(tagged.len());
+            lang = Some(&tagged[..stop]);
+            rest = &tagged[stop..];
+        } else if let Some(typed) = rest.strip_prefix("^^") {
+            // datatype IRI: skip it
+            let t = typed.trim_start();
+            if let Some(r2) = t.strip_prefix('<') {
+                let e = r2.find('>').ok_or("unterminated datatype IRI")?;
+                rest = &r2[e + 1..];
+            }
+        }
+        return Ok((Term::Literal(value, lang), rest));
+    }
+    Err(format!("unsupported term start: {s:.20?}"))
+}
+
+/// The local name of an IRI (after the last `/` or `#`).
+fn local_name(iri: &str) -> &str {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri)
+}
+
+/// Humanize a predicate local name: `sharesBorderWith` / `shares_border`
+/// → `shares border with` / `shares border`.
+fn humanize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for c in name.chars() {
+        if c == '_' || c == '-' {
+            out.push(' ');
+        } else if c.is_uppercase() && !out.is_empty() && !out.ends_with(' ') {
+            out.push(' ');
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parse an N-Triples stream into a knowledge graph.
+pub fn read_ntriples<R: Read>(input: R, config: &NtConfig) -> Result<KnowledgeGraph, TripleError> {
+    struct Entity {
+        label: Option<String>,
+        aliases: Vec<String>,
+        ty: EntityType,
+        edges: Vec<(String, String)>, // (predicate IRI, object IRI)
+    }
+    let mut entities: FxHashMap<String, Entity> = FxHashMap::default();
+    let mut order: Vec<String> = Vec::new();
+    let touch = |entities: &mut FxHashMap<String, Entity>,
+                     order: &mut Vec<String>,
+                     iri: &str| {
+        if !entities.contains_key(iri) {
+            entities.insert(
+                iri.to_string(),
+                Entity {
+                    label: None,
+                    aliases: Vec::new(),
+                    ty: EntityType::Location,
+                    edges: Vec::new(),
+                },
+            );
+            order.push(iri.to_string());
+        }
+    };
+
+    let reader = BufReader::new(input);
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| TripleError::Parse {
+            line: lineno,
+            message,
+        };
+        let (subject, rest) = parse_term(trimmed).map_err(err)?;
+        let (predicate, rest) = parse_term(rest).map_err(err)?;
+        let (object, rest) = parse_term(rest).map_err(err)?;
+        if !rest.trim_start().starts_with('.') {
+            return Err(err("missing terminating '.'".into()));
+        }
+        let Term::Iri(subj) = subject else {
+            return Err(err("subject must be an IRI".into()));
+        };
+        let Term::Iri(pred) = predicate else {
+            return Err(err("predicate must be an IRI".into()));
+        };
+        touch(&mut entities, &mut order, subj);
+        match object {
+            Term::Literal(value, lang) => {
+                if lang.is_some_and(|l| !l.starts_with("en")) {
+                    continue; // non-English literal
+                }
+                let e = entities.get_mut(subj).expect("touched");
+                if pred == RDFS_LABEL {
+                    if e.label.is_none() {
+                        e.label = Some(value);
+                    }
+                } else if pred == SKOS_ALT {
+                    e.aliases.push(value);
+                }
+                // other literal predicates (descriptions etc.) are skipped
+            }
+            Term::Iri(obj) => {
+                if let Some((type_pred, map)) = &config.type_predicate {
+                    if pred == type_pred {
+                        if let Some(&ty) = map.get(obj) {
+                            touch(&mut entities, &mut order, subj);
+                            entities.get_mut(subj).expect("touched").ty = ty;
+                        }
+                        continue; // type triples do not become edges
+                    }
+                }
+                touch(&mut entities, &mut order, obj);
+                entities
+                    .get_mut(subj)
+                    .expect("touched")
+                    .edges
+                    .push((pred.to_string(), obj.to_string()));
+            }
+        }
+    }
+
+    // Materialize: nodes in first-seen order, labels defaulting to local
+    // names, then edges and aliases.
+    let mut builder = GraphBuilder::new();
+    let mut ids = FxHashMap::default();
+    for iri in &order {
+        let e = &entities[iri];
+        let label = e.label.clone().unwrap_or_else(|| local_name(iri).to_string());
+        let id = builder.add_node(&label, e.ty);
+        for alias in &e.aliases {
+            builder.add_alias(id, alias);
+        }
+        ids.insert(iri.clone(), id);
+    }
+    for iri in &order {
+        let e = &entities[iri];
+        let src = ids[iri];
+        for (pred, obj) in &e.edges {
+            let dst = ids[obj];
+            builder.add_edge(src, dst, &humanize(local_name(pred)), 1);
+        }
+    }
+    Ok(builder.freeze())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a comment
+<http://e/Q1> <http://www.w3.org/2000/01/rdf-schema#label> "Khyber"@en .
+<http://e/Q2> <http://www.w3.org/2000/01/rdf-schema#label> "Kunar"@en .
+<http://e/Q2> <http://e/sharesBorderWith> <http://e/Q1> .
+<http://e/Q3> <http://www.w3.org/2000/01/rdf-schema#label> "Taliban"@en .
+<http://e/Q3> <http://www.w3.org/2004/02/skos/core#altLabel> "TB"@en .
+<http://e/Q3> <http://e/operates_in> <http://e/Q2> .
+<http://e/Q3> <http://e/P31> <http://e/Organization> .
+"#;
+
+    fn config() -> NtConfig {
+        let mut map = FxHashMap::default();
+        map.insert("http://e/Organization".to_string(), EntityType::Organization);
+        NtConfig {
+            type_predicate: Some(("http://e/P31".to_string(), map)),
+        }
+    }
+
+    #[test]
+    fn parses_labels_edges_aliases_types() {
+        let g = read_ntriples(SAMPLE.as_bytes(), &config()).unwrap();
+        // Q1, Q2, Q3 (the type-object IRI does not become a node because
+        // type triples are consumed).
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let labels: Vec<&str> = g.nodes().map(|n| g.label(n)).collect();
+        assert!(labels.contains(&"Khyber"));
+        assert!(labels.contains(&"Taliban"));
+        let taliban = g.nodes().find(|&n| g.label(n) == "Taliban").unwrap();
+        assert_eq!(g.entity_type(taliban), EntityType::Organization);
+        assert_eq!(g.aliases_of(taliban).collect::<Vec<_>>(), vec!["TB"]);
+        // Predicate names humanized.
+        let preds: Vec<&str> = g
+            .neighbors(taliban)
+            .iter()
+            .map(|e| g.resolve(e.predicate))
+            .collect();
+        assert!(preds.contains(&"operates in"), "{preds:?}");
+    }
+
+    #[test]
+    fn camel_case_predicates_humanized() {
+        assert_eq!(humanize("sharesBorderWith"), "shares border with");
+        assert_eq!(humanize("operates_in"), "operates in");
+        assert_eq!(humanize("located-in"), "located in");
+        assert_eq!(humanize("simple"), "simple");
+    }
+
+    #[test]
+    fn unlabeled_entities_use_local_names() {
+        let nt = "<http://e/Q9> <http://e/p> <http://e/Q10> .\n";
+        let g = read_ntriples(nt.as_bytes(), &NtConfig::default()).unwrap();
+        let labels: Vec<&str> = g.nodes().map(|n| g.label(n)).collect();
+        assert!(labels.contains(&"Q9"));
+        assert!(labels.contains(&"Q10"));
+    }
+
+    #[test]
+    fn non_english_literals_skipped() {
+        let nt = concat!(
+            "<http://e/Q1> <http://www.w3.org/2000/01/rdf-schema#label> \"Chaiber\"@de .\n",
+            "<http://e/Q1> <http://www.w3.org/2000/01/rdf-schema#label> \"Khyber\"@en .\n",
+        );
+        let g = read_ntriples(nt.as_bytes(), &NtConfig::default()).unwrap();
+        assert_eq!(g.label(crate::NodeId(0)), "Khyber");
+    }
+
+    #[test]
+    fn escaped_literals_decoded() {
+        let nt = "<http://e/Q1> <http://www.w3.org/2000/01/rdf-schema#label> \"Line\\n\\\"Quote\\\"\"@en .\n";
+        let g = read_ntriples(nt.as_bytes(), &NtConfig::default()).unwrap();
+        assert_eq!(g.label(crate::NodeId(0)), "Line\n\"Quote\"");
+    }
+
+    #[test]
+    fn typed_literals_skipped_without_error() {
+        let nt = "<http://e/Q1> <http://e/population> \"123\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+        let g = read_ntriples(nt.as_bytes(), &NtConfig::default()).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_numbers() {
+        for bad in [
+            "<http://e/Q1> <http://e/p> \"unterminated .\n",
+            "<http://e/Q1> <http://e/p> <http://e/Q2>\n", // missing dot
+            "\"literal subject\" <http://e/p> <http://e/Q2> .\n",
+            "<unterminated\n",
+        ] {
+            let res = read_ntriples(bad.as_bytes(), &NtConfig::default());
+            assert!(res.is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn searchable_through_label_index() {
+        // End-to-end: NT import → label index → S(l) resolution with alias.
+        let g = read_ntriples(SAMPLE.as_bytes(), &config()).unwrap();
+        let idx = crate::LabelIndex::build(&g);
+        let taliban = g.nodes().find(|&n| g.label(n) == "Taliban").unwrap();
+        assert_eq!(idx.candidates(&g, "TB"), vec![taliban]);
+        assert_eq!(idx.candidates(&g, "taliban"), vec![taliban]);
+    }
+}

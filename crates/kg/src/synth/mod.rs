@@ -1,0 +1,727 @@
+//! Synthetic Wikidata-like world generation.
+//!
+//! The paper embeds news into the public Wikidata dump (30M nodes, 135M
+//! edges), which is unavailable in this offline reproduction. This module
+//! generates a deterministic world with the *structural* properties the
+//! NewsLink algorithms depend on (see DESIGN.md §6.1):
+//!
+//! - a geographic containment spine (world → continent → country →
+//!   province → city) so every node is connected and geo common-ancestors
+//!   exist, mirroring the paper's Figure 1 example;
+//! - typed entities across the full NER type inventory;
+//! - *parallel* relationship paths (a person relates to a country both
+//!   directly and through organizations/events), which is what gives `G*`
+//!   its extra "width" over tree embeddings;
+//! - ambiguous labels (several nodes per surface form) exercising
+//!   `|S(l)| > 1`;
+//! - per-event participant structure that the corpus generator turns into
+//!   news documents.
+
+pub mod names;
+
+use newslink_util::DetRng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{EntityType, KnowledgeGraph, NodeId};
+
+/// Predicate names used by the generator (a stable vocabulary so tests and
+/// explanations can rely on them).
+pub mod predicates {
+    pub const LOCATED_IN: &str = "located in";
+    pub const CAPITAL_OF: &str = "capital of";
+    pub const SHARES_BORDER: &str = "shares border with";
+    pub const CITIZEN_OF: &str = "citizen of";
+    pub const MEMBER_OF: &str = "member of";
+    pub const LEADER_OF: &str = "leader of";
+    pub const HEADQUARTERED_IN: &str = "headquartered in";
+    pub const OPERATES_IN: &str = "operates in";
+    pub const PARTICIPANT_OF: &str = "participant of";
+    pub const CANDIDATE_IN: &str = "candidate in";
+    pub const SPOUSE_OF: &str = "spouse of";
+    pub const PLAYS_FOR: &str = "plays for";
+    pub const CREATED_BY: &str = "created by";
+    pub const OFFICIAL_LANGUAGE: &str = "official language";
+    pub const ENACTED_BY: &str = "enacted by";
+    pub const PART_OF: &str = "part of";
+    pub const AFFECTED: &str = "affected";
+}
+
+/// The flavor of a generated event; drives both KG structure and the news
+/// templates in `newslink-corpus`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A presidential election with candidate structure (the paper's case
+    /// study topic).
+    Election,
+    /// An armed conflict between a militant group and a state.
+    Conflict,
+    /// A bombing / attack in a city.
+    Attack,
+    /// A diplomatic summit between countries.
+    Summit,
+    /// A sports championship between teams.
+    Championship,
+}
+
+impl EventKind {
+    /// All kinds, for iteration.
+    pub const ALL: [EventKind; 5] = [
+        EventKind::Election,
+        EventKind::Conflict,
+        EventKind::Attack,
+        EventKind::Summit,
+        EventKind::Championship,
+    ];
+}
+
+/// Structured record of one generated event, consumed by the corpus
+/// generator.
+#[derive(Debug, Clone)]
+pub struct EventInfo {
+    /// The event's node in the graph.
+    pub node: NodeId,
+    /// The event flavor.
+    pub kind: EventKind,
+    /// People and organizations linked to the event.
+    pub participants: Vec<NodeId>,
+    /// Places linked to the event (city, province, country).
+    pub places: Vec<NodeId>,
+    /// The year baked into the event name.
+    pub year: u32,
+}
+
+/// Size and shape knobs for the generator. All sampling is driven by
+/// `seed`, so equal configs produce byte-identical worlds.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of continents.
+    pub continents: usize,
+    /// Number of countries.
+    pub countries: usize,
+    /// Provinces per country (inclusive range).
+    pub provinces_per_country: (usize, usize),
+    /// Cities per province (inclusive range).
+    pub cities_per_province: (usize, usize),
+    /// Number of people.
+    pub people: usize,
+    /// Number of organizations (parties, companies, groups, teams, agencies).
+    pub organizations: usize,
+    /// Number of events.
+    pub events: usize,
+    /// Number of works of art.
+    pub works: usize,
+    /// Number of laws.
+    pub laws: usize,
+    /// Probability that a new node reuses an existing label (ambiguity).
+    pub label_ambiguity: f64,
+    /// Probability of an extra border edge between provinces of a country.
+    pub extra_border_prob: f64,
+}
+
+impl SynthConfig {
+    /// A tiny world for unit tests (≈150 nodes).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            continents: 2,
+            countries: 4,
+            provinces_per_country: (2, 3),
+            cities_per_province: (1, 3),
+            people: 40,
+            organizations: 16,
+            events: 20,
+            works: 8,
+            laws: 4,
+            label_ambiguity: 0.05,
+            extra_border_prob: 0.4,
+        }
+    }
+
+    /// The default experiment world (≈6k nodes, ≈20k edges).
+    pub fn medium(seed: u64) -> Self {
+        Self {
+            seed,
+            continents: 5,
+            countries: 36,
+            provinces_per_country: (3, 7),
+            cities_per_province: (2, 5),
+            people: 2400,
+            organizations: 500,
+            events: 700,
+            works: 260,
+            laws: 90,
+            label_ambiguity: 0.04,
+            extra_border_prob: 0.5,
+        }
+    }
+
+    /// A larger world for stress benchmarks (≈60k nodes).
+    pub fn large(seed: u64) -> Self {
+        Self {
+            seed,
+            continents: 6,
+            countries: 120,
+            provinces_per_country: (4, 9),
+            cities_per_province: (3, 8),
+            people: 30_000,
+            organizations: 6_000,
+            events: 8_000,
+            works: 3_000,
+            laws: 900,
+            label_ambiguity: 0.04,
+            extra_border_prob: 0.5,
+        }
+    }
+}
+
+/// The generated world: the frozen graph plus the structured registers the
+/// corpus generator consumes.
+#[derive(Debug, Clone)]
+pub struct SynthWorld {
+    /// The knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// Generated events with participant structure.
+    pub events: Vec<EventInfo>,
+    /// Country nodes.
+    pub countries: Vec<NodeId>,
+    /// Province nodes.
+    pub provinces: Vec<NodeId>,
+    /// City nodes.
+    pub cities: Vec<NodeId>,
+    /// Person nodes.
+    pub people: Vec<NodeId>,
+    /// Organization nodes.
+    pub organizations: Vec<NodeId>,
+}
+
+struct Gen {
+    b: GraphBuilder,
+    labels_seen: Vec<String>,
+    ambiguity: f64,
+}
+
+impl Gen {
+    fn node(&mut self, rng: &mut DetRng, label: String, ty: EntityType) -> NodeId {
+        // With small probability reuse an earlier label so that |S(l)| > 1.
+        let label = if !self.labels_seen.is_empty() && rng.chance(self.ambiguity) {
+            self.labels_seen[rng.below(self.labels_seen.len())].clone()
+        } else {
+            self.labels_seen.push(label.clone());
+            label
+        };
+        self.b.add_node(&label, ty)
+    }
+
+    fn fresh_node(&mut self, label: String, ty: EntityType) -> NodeId {
+        self.labels_seen.push(label.clone());
+        self.b.add_node(&label, ty)
+    }
+}
+
+/// Generate a world from `config`.
+pub fn generate(config: &SynthConfig) -> SynthWorld {
+    let root_rng = DetRng::new(config.seed);
+    let mut geo_rng = root_rng.fork(1);
+    let mut people_rng = root_rng.fork(2);
+    let mut org_rng = root_rng.fork(3);
+    let mut event_rng = root_rng.fork(4);
+    let mut misc_rng = root_rng.fork(5);
+
+    let mut gen = Gen {
+        b: GraphBuilder::new(),
+        labels_seen: Vec::new(),
+        ambiguity: config.label_ambiguity,
+    };
+
+    use predicates::*;
+
+    // --- Geographic spine ------------------------------------------------
+    let world = gen.fresh_node("Earth".to_string(), EntityType::Location);
+    let mut continents = Vec::new();
+    for _ in 0..config.continents.max(1) {
+        let c = gen.fresh_node(names::place(&mut geo_rng), EntityType::Location);
+        gen.b.add_edge(c, world, PART_OF, 1);
+        continents.push(c);
+    }
+
+    let mut countries = Vec::new();
+    let mut provinces = Vec::new();
+    let mut cities = Vec::new();
+    let mut country_provinces: Vec<Vec<NodeId>> = Vec::new();
+    let mut country_cities: Vec<Vec<NodeId>> = Vec::new();
+    let mut country_languages = Vec::new();
+
+    for ci in 0..config.countries.max(1) {
+        let continent = continents[ci % continents.len()];
+        let cname = names::place(&mut geo_rng);
+        let country = gen.fresh_node(cname.clone(), EntityType::Gpe);
+        gen.b.add_edge(country, continent, LOCATED_IN, 1);
+        countries.push(country);
+
+        let lang = gen.fresh_node(
+            names::language(&mut geo_rng, &cname),
+            EntityType::Language,
+        );
+        gen.b.add_edge(country, lang, OFFICIAL_LANGUAGE, 1);
+        country_languages.push(lang);
+
+        let np = geo_rng.range(
+            config.provinces_per_country.0,
+            config.provinces_per_country.1 + 1,
+        );
+        let mut provs = Vec::with_capacity(np);
+        let mut ccities = Vec::new();
+        for _ in 0..np {
+            let pname = names::place(&mut geo_rng);
+            let prov = gen.node(&mut geo_rng, pname, EntityType::Gpe);
+            gen.b.add_edge(prov, country, LOCATED_IN, 1);
+            // Extra borders between sibling provinces create the short
+            // multi-path structure of the paper's Figure 1.
+            if let Some(&prev) = provs.last() {
+                if geo_rng.chance(config.extra_border_prob) {
+                    gen.b.add_edge(prov, prev, SHARES_BORDER, 1);
+                }
+            }
+            let nc = geo_rng.range(
+                config.cities_per_province.0,
+                config.cities_per_province.1 + 1,
+            );
+            for k in 0..nc {
+                let cname = names::place(&mut geo_rng);
+                let city = gen.node(&mut geo_rng, cname, EntityType::Gpe);
+                gen.b.add_edge(city, prov, LOCATED_IN, 1);
+                if k == 0 && geo_rng.chance(0.5) {
+                    gen.b.add_edge(city, country, CAPITAL_OF, 1);
+                }
+                ccities.push(city);
+                cities.push(city);
+            }
+            provs.push(prov);
+            provinces.push(prov);
+        }
+        // Ensure at least one city exists per country for anchoring.
+        if ccities.is_empty() {
+            let cname = names::place(&mut geo_rng);
+            let city = gen.node(&mut geo_rng, cname, EntityType::Gpe);
+            gen.b.add_edge(city, provs[0], LOCATED_IN, 1);
+            ccities.push(city);
+            cities.push(city);
+        }
+        country_provinces.push(provs);
+        country_cities.push(ccities);
+    }
+
+    // Some cross-country borders within a continent.
+    for w in countries.windows(2) {
+        if geo_rng.chance(0.5) {
+            gen.b.add_edge(w[0], w[1], SHARES_BORDER, 1);
+        }
+    }
+
+    // --- Organizations ----------------------------------------------------
+    // Kinds cycle deterministically; each org is anchored at a country/city.
+    let mut organizations = Vec::new();
+    let mut parties_by_country: Vec<Vec<NodeId>> = vec![Vec::new(); countries.len()];
+    let mut militant_groups = Vec::new();
+    let mut teams_by_country: Vec<Vec<NodeId>> = vec![Vec::new(); countries.len()];
+    for oi in 0..config.organizations.max(4) {
+        let ci = org_rng.below(countries.len());
+        let country = countries[ci];
+        let country_name = gen.b_label(country);
+        let city = *org_rng.pick(&country_cities[ci]);
+        let (node, is_party, is_militant, is_team) = match oi % 5 {
+            0 => {
+                let name = names::party(&mut org_rng, &country_name);
+                let n = gen.node(&mut org_rng, name, EntityType::Organization);
+                (n, true, false, false)
+            }
+            1 => {
+                let name = names::company(&mut org_rng);
+                let n = gen.node(&mut org_rng, name, EntityType::Organization);
+                (n, false, false, false)
+            }
+            2 => {
+                let pname = gen.b_label(*org_rng.pick(&country_provinces[ci]));
+                let name = names::militant_group(&mut org_rng, &pname);
+                let n = gen.node(&mut org_rng, name, EntityType::Norp);
+                (n, false, true, false)
+            }
+            3 => {
+                let cname = gen.b_label(city);
+                let name = names::team(&mut org_rng, &cname);
+                let n = gen.node(&mut org_rng, name, EntityType::Organization);
+                (n, false, false, true)
+            }
+            _ => {
+                let name = names::agency(&mut org_rng, &country_name);
+                let n = gen.node(&mut org_rng, name, EntityType::Organization);
+                (n, false, false, false)
+            }
+        };
+        gen.b.add_edge(node, city, HEADQUARTERED_IN, 1);
+        gen.b.add_edge(node, country, OPERATES_IN, 1);
+        // Multi-word organizations get a Wikidata-style acronym alias
+        // ("Pighusoush National Party" → "PNP"): real news switches
+        // between the two surface forms freely.
+        let acronym: String = gen
+            .b
+            .label(node)
+            .split_whitespace()
+            .filter(|w| w.len() >= 3 && w.chars().next().is_some_and(char::is_uppercase))
+            .filter_map(|w| w.chars().next())
+            .collect();
+        if acronym.len() >= 2 {
+            gen.b.add_alias(node, &acronym);
+        }
+        if is_militant {
+            // Militant groups also operate in neighbouring provinces —
+            // the Taliban/Khyber pattern of the running example.
+            for _ in 0..org_rng.range(1, 3) {
+                let prov = *org_rng.pick(&country_provinces[ci]);
+                gen.b.add_edge(node, prov, OPERATES_IN, 1);
+            }
+            militant_groups.push(node);
+        }
+        if is_party {
+            parties_by_country[ci].push(node);
+        }
+        if is_team {
+            teams_by_country[ci].push(node);
+        }
+        organizations.push(node);
+    }
+
+    // --- People -----------------------------------------------------------
+    let mut people = Vec::new();
+    for _ in 0..config.people.max(4) {
+        let ci = people_rng.below(countries.len());
+        let name = names::person(&mut people_rng);
+        let p = gen.node(&mut people_rng, name, EntityType::Person);
+        gen.b.add_edge(p, countries[ci], CITIZEN_OF, 1);
+        // Party membership gives a parallel person→country path.
+        if !parties_by_country[ci].is_empty() && people_rng.chance(0.45) {
+            let party = *people_rng.pick(&parties_by_country[ci]);
+            gen.b.add_edge(p, party, MEMBER_OF, 1);
+            if people_rng.chance(0.08) {
+                gen.b.add_edge(p, party, LEADER_OF, 1);
+            }
+        }
+        if !teams_by_country[ci].is_empty() && people_rng.chance(0.2) {
+            gen.b.add_edge(p, *people_rng.pick(&teams_by_country[ci]), PLAYS_FOR, 1);
+        }
+        if people_rng.chance(0.15) && !people.is_empty() {
+            let spouse = *people_rng.pick(&people);
+            gen.b.add_edge(p, spouse, SPOUSE_OF, 1);
+        }
+        people.push(p);
+    }
+
+    // --- Events -----------------------------------------------------------
+    let mut events = Vec::new();
+    for ei in 0..config.events.max(EventKind::ALL.len()) {
+        let kind = EventKind::ALL[ei % EventKind::ALL.len()];
+        let year = 2008 + event_rng.below(12) as u32;
+        let ci = event_rng.below(countries.len());
+        let country = countries[ci];
+        let country_name = gen.b_label(country);
+        let city = *event_rng.pick(&country_cities[ci]);
+        let city_name = gen.b_label(city);
+        let mut participants = Vec::new();
+        let mut places = vec![country];
+        let node = match kind {
+            EventKind::Election => {
+                let ev = gen.fresh_node(
+                    names::election(year, &country_name),
+                    EntityType::Event,
+                );
+                gen.b.add_edge(ev, country, LOCATED_IN, 1);
+                let ncand = event_rng.range(2, 5).min(people.len());
+                for i in rand_distinct(&mut event_rng, people.len(), ncand) {
+                    let cand = people[i];
+                    gen.b.add_edge(cand, ev, CANDIDATE_IN, 1);
+                    participants.push(cand);
+                }
+                ev
+            }
+            EventKind::Conflict => {
+                let pname = gen.b_label(*event_rng.pick(&country_provinces[ci]));
+                let ev = gen.fresh_node(
+                    names::conflict(&mut event_rng, &pname),
+                    EntityType::Event,
+                );
+                let prov = *event_rng.pick(&country_provinces[ci]);
+                gen.b.add_edge(ev, prov, LOCATED_IN, 1);
+                places.push(prov);
+                if !militant_groups.is_empty() {
+                    let group = *event_rng.pick(&militant_groups);
+                    gen.b.add_edge(group, ev, PARTICIPANT_OF, 1);
+                    participants.push(group);
+                }
+                ev
+            }
+            EventKind::Attack => {
+                let ev = gen.fresh_node(
+                    names::attack(&mut event_rng, year, &city_name),
+                    EntityType::Event,
+                );
+                gen.b.add_edge(ev, city, LOCATED_IN, 1);
+                gen.b.add_edge(ev, city, AFFECTED, 1);
+                places.push(city);
+                if !militant_groups.is_empty() && event_rng.chance(0.8) {
+                    let group = *event_rng.pick(&militant_groups);
+                    gen.b.add_edge(group, ev, PARTICIPANT_OF, 1);
+                    participants.push(group);
+                }
+                ev
+            }
+            EventKind::Summit => {
+                let ev = gen.fresh_node(names::summit(year, &city_name), EntityType::Event);
+                gen.b.add_edge(ev, city, LOCATED_IN, 1);
+                places.push(city);
+                let nc = event_rng.range(2, 4).min(countries.len());
+                for i in rand_distinct(&mut event_rng, countries.len(), nc) {
+                    gen.b.add_edge(countries[i], ev, PARTICIPANT_OF, 1);
+                    participants.push(countries[i]);
+                }
+                ev
+            }
+            EventKind::Championship => {
+                let ev = gen.fresh_node(
+                    names::championship(year, &country_name),
+                    EntityType::Event,
+                );
+                gen.b.add_edge(ev, country, LOCATED_IN, 1);
+                let all_teams: Vec<NodeId> =
+                    teams_by_country.iter().flatten().copied().collect();
+                let nt = event_rng.range(2, 4).min(all_teams.len());
+                if nt > 0 {
+                    for i in rand_distinct(&mut event_rng, all_teams.len(), nt) {
+                        gen.b.add_edge(all_teams[i], ev, PARTICIPANT_OF, 1);
+                        participants.push(all_teams[i]);
+                    }
+                }
+                ev
+            }
+        };
+        // Occasionally chain events ("part of" a larger event).
+        if event_rng.chance(0.1) {
+            if let Some(parent) = events.last() {
+                let parent: &EventInfo = parent;
+                gen.b.add_edge(node, parent.node, PART_OF, 1);
+            }
+        }
+        events.push(EventInfo {
+            node,
+            kind,
+            participants,
+            places,
+            year,
+        });
+    }
+
+    // --- Works & laws -------------------------------------------------------
+    for _ in 0..config.works {
+        let ci = misc_rng.below(countries.len());
+        let pname = gen.b_label(countries[ci]);
+        let name = names::work(&mut misc_rng, &pname);
+        let w = gen.node(&mut misc_rng, name, EntityType::WorkOfArt);
+        let author = *misc_rng.pick(&people);
+        gen.b.add_edge(w, author, CREATED_BY, 1);
+    }
+    for _ in 0..config.laws {
+        let ci = misc_rng.below(countries.len());
+        let cname = gen.b_label(countries[ci]);
+        let name = names::law(&mut misc_rng, &cname);
+        let l = gen.node(&mut misc_rng, name, EntityType::Law);
+        gen.b.add_edge(l, countries[ci], ENACTED_BY, 1);
+    }
+
+    SynthWorld {
+        graph: gen.b.freeze(),
+        events,
+        countries,
+        provinces,
+        cities,
+        people,
+        organizations,
+    }
+}
+
+impl Gen {
+    /// Label of an already-added node (builder-time lookup).
+    fn b_label(&self, node: NodeId) -> String {
+        self.b.label(node).to_string()
+    }
+}
+
+/// Sample `k` distinct indices in `[0, n)`.
+fn rand_distinct(rng: &mut DetRng, n: usize, k: usize) -> Vec<usize> {
+    rng.sample_indices(n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+    use newslink_util::FxHashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&SynthConfig::small(42));
+        let b = generate(&SynthConfig::small(42));
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        for node in a.graph.nodes() {
+            assert_eq!(a.graph.label(node), b.graph.label(node));
+        }
+        assert_eq!(a.events.len(), b.events.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthConfig::small(1));
+        let b = generate(&SynthConfig::small(2));
+        let differing = a
+            .graph
+            .nodes()
+            .take(50)
+            .filter(|&n| b.graph.contains(n) && a.graph.label(n) != b.graph.label(n))
+            .count();
+        assert!(differing > 10);
+    }
+
+    #[test]
+    fn world_is_connected() {
+        let w = generate(&SynthConfig::small(7));
+        let g = &w.graph;
+        let mut seen = vec![false; g.node_count()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(v) = stack.pop() {
+            for e in g.neighbors(v) {
+                if !seen[e.to.index()] {
+                    seen[e.to.index()] = true;
+                    visited += 1;
+                    stack.push(e.to);
+                }
+            }
+        }
+        assert_eq!(visited, g.node_count(), "world must be connected");
+    }
+
+    #[test]
+    fn registers_are_consistent() {
+        let w = generate(&SynthConfig::small(11));
+        let g = &w.graph;
+        for &c in &w.countries {
+            assert_eq!(g.entity_type(c), EntityType::Gpe);
+        }
+        for &p in &w.people {
+            assert_eq!(g.entity_type(p), EntityType::Person);
+        }
+        for ev in &w.events {
+            assert_eq!(g.entity_type(ev.node), EntityType::Event);
+            assert!(!ev.places.is_empty());
+            for &pl in &ev.places {
+                assert!(g.contains(pl));
+            }
+        }
+    }
+
+    #[test]
+    fn events_cover_all_kinds() {
+        let w = generate(&SynthConfig::small(13));
+        let kinds: FxHashSet<_> = w.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn elections_have_candidates() {
+        let w = generate(&SynthConfig::small(17));
+        let election = w
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Election)
+            .expect("some election generated");
+        assert!(election.participants.len() >= 2);
+        for &cand in &election.participants {
+            assert_eq!(w.graph.entity_type(cand), EntityType::Person);
+        }
+    }
+
+    #[test]
+    fn ambiguous_labels_exist_at_medium_scale() {
+        let w = generate(&SynthConfig::medium(23));
+        let s = GraphStats::compute(&w.graph);
+        assert!(
+            s.ambiguous_nodes > 0,
+            "label ambiguity knob must produce homonyms"
+        );
+        assert!(s.nodes > 4000, "medium world too small: {}", s.nodes);
+    }
+
+    #[test]
+    fn graph_has_parallel_structure() {
+        // At least one node pair should be connected by 2+ distinct paths of
+        // length <= 2 — the width property G* exploits. Cheap proxy: some
+        // node has two distinct neighbors that share another neighbor.
+        let w = generate(&SynthConfig::small(29));
+        let g = &w.graph;
+        let mut found = false;
+        'outer: for v in g.nodes() {
+            let ns: Vec<NodeId> = g.neighbors(v).iter().map(|e| e.to).collect();
+            for (i, &a) in ns.iter().enumerate() {
+                for &b in &ns[i + 1..] {
+                    if a == b {
+                        continue;
+                    }
+                    let an: FxHashSet<NodeId> =
+                        g.neighbors(a).iter().map(|e| e.to).collect();
+                    if g.neighbors(b).iter().any(|e| e.to != v && an.contains(&e.to)) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "no diamond structure found in synthetic world");
+    }
+
+    #[test]
+    fn organizations_carry_acronym_aliases() {
+        let w = generate(&SynthConfig::small(47));
+        let with_alias = w
+            .organizations
+            .iter()
+            .filter(|&&o| w.graph.aliases_of(o).next().is_some())
+            .count();
+        assert!(with_alias > 0, "expected some acronym aliases");
+        // Every alias is an uppercase acronym at least 2 chars long.
+        for (_, alias) in w.graph.aliases() {
+            assert!(alias.len() >= 2);
+            assert!(alias.chars().all(|c| c.is_uppercase()));
+        }
+    }
+
+    #[test]
+    fn all_searchable_types_present_at_medium_scale() {
+        let w = generate(&SynthConfig::medium(31));
+        let s = GraphStats::compute(&w.graph);
+        for ty in [
+            EntityType::Person,
+            EntityType::Gpe,
+            EntityType::Organization,
+            EntityType::Norp,
+            EntityType::Event,
+            EntityType::WorkOfArt,
+            EntityType::Law,
+            EntityType::Language,
+            EntityType::Location,
+        ] {
+            assert!(s.count_of(ty) > 0, "missing type {:?}", ty);
+        }
+    }
+}

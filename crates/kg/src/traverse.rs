@@ -1,0 +1,172 @@
+//! Graph traversal utilities: BFS distances and connected components.
+//!
+//! Shared by tests (brute-force verification of the `G*` search), the
+//! synthetic-world sanity checks, and graph statistics.
+
+use std::collections::VecDeque;
+
+use newslink_util::FxHashMap;
+
+use crate::graph::{KnowledgeGraph, NodeId};
+
+/// Unweighted BFS distances from `src` over the bi-directed graph.
+/// Unreachable nodes are absent from the map.
+pub fn bfs_distances(graph: &KnowledgeGraph, src: NodeId) -> FxHashMap<NodeId, u32> {
+    let mut dist = FxHashMap::default();
+    dist.insert(src, 0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for e in graph.neighbors(v) {
+            dist.entry(e.to).or_insert_with(|| {
+                queue.push_back(e.to);
+                d + 1
+            });
+        }
+    }
+    dist
+}
+
+/// Weighted shortest-path distances from `src` (Dijkstra) over the
+/// bi-directed graph.
+pub fn dijkstra_distances(graph: &KnowledgeGraph, src: NodeId) -> FxHashMap<NodeId, u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist: FxHashMap<NodeId, u64> = FxHashMap::default();
+    dist.insert(src, 0);
+    let mut heap = BinaryHeap::from([Reverse((0u64, src))]);
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if dist.get(&v).is_some_and(|&cur| d > cur) {
+            continue; // stale
+        }
+        for e in graph.neighbors(v) {
+            let nd = d + u64::from(e.weight);
+            if dist.get(&e.to).is_none_or(|&cur| nd < cur) {
+                dist.insert(e.to, nd);
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components (bi-directed ⇒ weak components): returns one
+/// component id per node, ids dense from 0 in first-seen order, plus the
+/// component count.
+pub fn connected_components(graph: &KnowledgeGraph) -> (Vec<u32>, usize) {
+    let n = graph.node_count();
+    let mut component = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for start in graph.nodes() {
+        if component[start.index()] != u32::MAX {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut queue = VecDeque::from([start]);
+        component[start.index()] = id;
+        while let Some(v) = queue.pop_front() {
+            for e in graph.neighbors(v) {
+                if component[e.to.index()] == u32::MAX {
+                    component[e.to.index()] = id;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+    }
+    (component, next as usize)
+}
+
+/// True when the whole graph is one component (or empty).
+pub fn is_connected(graph: &KnowledgeGraph) -> bool {
+    connected_components(graph).1 <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::EntityType;
+
+    fn chain(n: usize) -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(&format!("n{i}"), EntityType::Gpe))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], "p", 1);
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn bfs_on_chain() {
+        let g = chain(5);
+        let d = bfs_distances(&g, NodeId(0));
+        for i in 0..5u32 {
+            assert_eq!(d[&NodeId(i)], i);
+        }
+    }
+
+    #[test]
+    fn bfs_respects_bidirection() {
+        let g = chain(4);
+        let d = bfs_distances(&g, NodeId(3));
+        assert_eq!(d[&NodeId(0)], 3);
+    }
+
+    #[test]
+    fn dijkstra_uses_weights() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", EntityType::Gpe);
+        let c = b.add_node("b", EntityType::Gpe);
+        let m = b.add_node("m", EntityType::Gpe);
+        b.add_edge(a, c, "direct", 10);
+        b.add_edge(a, m, "p", 2);
+        b.add_edge(m, c, "p", 3);
+        let g = b.freeze();
+        let d = dijkstra_distances(&g, a);
+        assert_eq!(d[&c], 5, "detour beats the weight-10 edge");
+        assert_eq!(d[&m], 2);
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_bfs_on_unit_weights() {
+        let g = chain(8);
+        let bd = bfs_distances(&g, NodeId(2));
+        let dd = dijkstra_distances(&g, NodeId(2));
+        for (node, d) in &bd {
+            assert_eq!(dd[node], u64::from(*d));
+        }
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", EntityType::Gpe);
+        let c = b.add_node("b", EntityType::Gpe);
+        b.add_node("isolated", EntityType::Gpe);
+        b.add_edge(a, c, "p", 1);
+        let g = b.freeze();
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = GraphBuilder::new().freeze();
+        assert!(is_connected(&g));
+        let g = chain(1);
+        assert!(is_connected(&g));
+        assert_eq!(bfs_distances(&g, NodeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn synthetic_world_is_connected() {
+        let w = crate::synth::generate(&crate::synth::SynthConfig::small(3));
+        assert!(is_connected(&w.graph));
+    }
+}

@@ -1,0 +1,295 @@
+//! Plain-text persistence for knowledge graphs.
+//!
+//! A line-oriented TSV format analogous to a Wikidata truthy dump:
+//!
+//! ```text
+//! N <id> <type> <label>
+//! E <src-id> <dst-id> <weight> <predicate>
+//! ```
+//!
+//! Only forward edges are written; bi-direction is re-materialized on load
+//! by [`GraphBuilder::freeze`]. Labels and predicates may contain spaces but
+//! not tabs or newlines.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{EntityType, KnowledgeGraph, NodeId};
+
+/// Errors from parsing the TSV triple format.
+#[derive(Debug)]
+pub enum TripleError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for TripleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TripleError::Io(e) => write!(f, "i/o error: {e}"),
+            TripleError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TripleError {}
+
+impl From<io::Error> for TripleError {
+    fn from(e: io::Error) -> Self {
+        TripleError::Io(e)
+    }
+}
+
+/// Serialize `graph` to the TSV format.
+pub fn write_triples<W: Write>(graph: &KnowledgeGraph, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    let mut line = String::new();
+    for node in graph.nodes() {
+        line.clear();
+        let _ = write!(
+            line,
+            "N\t{}\t{}\t{}",
+            node.0,
+            graph.entity_type(node).as_str(),
+            graph.label(node)
+        );
+        writeln!(w, "{line}")?;
+    }
+    for (node, alias) in graph.aliases() {
+        line.clear();
+        let _ = write!(line, "A\t{}\t{}", node.0, alias);
+        writeln!(w, "{line}")?;
+    }
+    for node in graph.nodes() {
+        for e in graph.neighbors(node) {
+            if e.inverse {
+                continue;
+            }
+            line.clear();
+            let _ = write!(
+                line,
+                "E\t{}\t{}\t{}\t{}",
+                node.0,
+                e.to.0,
+                e.weight,
+                graph.resolve(e.predicate)
+            );
+            writeln!(w, "{line}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Serialize `graph` to a file.
+pub fn save_triples(graph: &KnowledgeGraph, path: &Path) -> io::Result<()> {
+    write_triples(graph, std::fs::File::create(path)?)
+}
+
+/// Parse a graph from the TSV format.
+///
+/// Node ids must be dense and appear in increasing order starting at 0
+/// (which [`write_triples`] guarantees); edges may reference any node that
+/// appears in the file.
+pub fn read_triples<R: Read>(input: R) -> Result<KnowledgeGraph, TripleError> {
+    let reader = BufReader::new(input);
+    let mut builder = GraphBuilder::new();
+    let mut edges: Vec<(u32, u32, u32, String)> = Vec::new();
+    let mut aliases: Vec<(u32, String)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let tag = fields.next().unwrap_or("");
+        let parse = |line: usize, message: &str| TripleError::Parse {
+            line,
+            message: message.to_string(),
+        };
+        match tag {
+            "N" => {
+                let id: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad node id"))?;
+                let ty = fields
+                    .next()
+                    .and_then(EntityType::parse)
+                    .ok_or_else(|| parse(lineno, "bad entity type"))?;
+                let label = fields
+                    .next()
+                    .ok_or_else(|| parse(lineno, "missing label"))?;
+                if id as usize != builder.node_count() {
+                    return Err(parse(lineno, "node ids must be dense and in order"));
+                }
+                builder.add_node(label, ty);
+            }
+            "E" => {
+                let src: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad source id"))?;
+                let dst: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad target id"))?;
+                let weight: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad weight"))?;
+                let predicate = fields
+                    .next()
+                    .ok_or_else(|| parse(lineno, "missing predicate"))?;
+                edges.push((src, dst, weight, predicate.to_string()));
+            }
+            "A" => {
+                let node: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad alias node id"))?;
+                let alias = fields
+                    .next()
+                    .ok_or_else(|| parse(lineno, "missing alias text"))?;
+                aliases.push((node, alias.to_string()));
+            }
+            other => {
+                return Err(parse(lineno, &format!("unknown record tag {other:?}")));
+            }
+        }
+    }
+    let n = builder.node_count() as u32;
+    for (lineno, (node, alias)) in aliases.iter().enumerate() {
+        if *node >= n {
+            return Err(TripleError::Parse {
+                line: lineno + 1,
+                message: "alias references unknown node".to_string(),
+            });
+        }
+        builder.add_alias(NodeId(*node), alias);
+    }
+    for (lineno, (src, dst, weight, predicate)) in edges.iter().enumerate() {
+        if *src >= n || *dst >= n {
+            return Err(TripleError::Parse {
+                line: lineno + 1,
+                message: "edge references unknown node".to_string(),
+            });
+        }
+        builder.add_edge(NodeId(*src), NodeId(*dst), predicate, *weight);
+    }
+    Ok(builder.freeze())
+}
+
+/// Parse a graph from a file.
+pub fn load_triples(path: &Path) -> Result<KnowledgeGraph, TripleError> {
+    read_triples(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let khyber = b.add_node("Khyber", EntityType::Gpe);
+        let kunar = b.add_node("Kunar", EntityType::Gpe);
+        let taliban = b.add_node("Taliban", EntityType::Organization);
+        b.add_edge(kunar, khyber, "shares border with", 1);
+        b.add_edge(taliban, kunar, "operates in", 2);
+        b.freeze()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_triples(&g, &mut buf).unwrap();
+        let g2 = read_triples(&buf[..]).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for node in g.nodes() {
+            assert_eq!(g.label(node), g2.label(node));
+            assert_eq!(g.entity_type(node), g2.entity_type(node));
+            let a: Vec<_> = g.neighbors(node).iter().map(|e| (e.to, e.weight, e.inverse)).collect();
+            let b: Vec<_> = g2.neighbors(node).iter().map(|e| (e.to, e.weight, e.inverse)).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let mut b = GraphBuilder::new();
+        b.add_node("Swat Valley", EntityType::Location);
+        let g = b.freeze();
+        let mut buf = Vec::new();
+        write_triples(&g, &mut buf).unwrap();
+        let g2 = read_triples(&buf[..]).unwrap();
+        assert_eq!(g2.label(NodeId(0)), "Swat Valley");
+    }
+
+    #[test]
+    fn aliases_survive_round_trip() {
+        let mut b = GraphBuilder::new();
+        let who = b.add_node("World Health Organization", EntityType::Organization);
+        b.add_alias(who, "WHO");
+        let g = b.freeze();
+        let mut buf = Vec::new();
+        write_triples(&g, &mut buf).unwrap();
+        let g2 = read_triples(&buf[..]).unwrap();
+        let aliases: Vec<&str> = g2.aliases_of(who).collect();
+        assert_eq!(aliases, vec!["WHO"]);
+    }
+
+    #[test]
+    fn alias_to_unknown_node_rejected() {
+        let text = "N\t0\tGPE\tPakistan\nA\t7\tPK\n";
+        assert!(read_triples(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# a comment\n\nN\t0\tGPE\tPakistan\n";
+        let g = read_triples(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn bad_tag_is_error() {
+        let text = "X\t0\n";
+        assert!(matches!(
+            read_triples(text.as_bytes()),
+            Err(TripleError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_order_node_ids_rejected() {
+        let text = "N\t1\tGPE\tPakistan\n";
+        assert!(read_triples(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let text = "N\t0\tGPE\tPakistan\nE\t0\t5\t1\tp\n";
+        assert!(read_triples(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("newslink_triples_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kg.tsv");
+        save_triples(&g, &path).unwrap();
+        let g2 = load_triples(&path).unwrap();
+        assert_eq!(g2.node_count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the knowledge-graph substrate.
+
+use proptest::prelude::*;
+
+use newslink_kg::{
+    normalize_label, triples, EntityType, GraphBuilder, KnowledgeGraph, LabelIndex, NodeId,
+};
+
+/// Strategy: random node labels over a small alphabet (collisions likely)
+/// and random edges among them.
+fn graph_strategy() -> impl Strategy<Value = (Vec<String>, Vec<(usize, usize, u8)>)> {
+    let labels = prop::collection::vec("[a-c]{1,3}( [a-c]{1,3})?", 1..20);
+    labels.prop_flat_map(|ls| {
+        let n = ls.len();
+        let edges = prop::collection::vec((0..n, 0..n, 1u8..4), 0..30);
+        (Just(ls), edges)
+    })
+}
+
+fn build(labels: &[String], edges: &[(usize, usize, u8)]) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    let types = [
+        EntityType::Gpe,
+        EntityType::Person,
+        EntityType::Organization,
+        EntityType::Event,
+    ];
+    let ids: Vec<NodeId> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| b.add_node(l, types[i % types.len()]))
+        .collect();
+    for &(u, v, w) in edges {
+        if u != v {
+            b.add_edge(ids[u], ids[v], "p", u32::from(w));
+        }
+    }
+    b.freeze()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bi-direction invariant: every forward edge has its inverse twin.
+    #[test]
+    fn every_edge_has_inverse_twin((labels, edges) in graph_strategy()) {
+        let g = build(&labels, &edges);
+        for v in g.nodes() {
+            for e in g.neighbors(v) {
+                let twin_exists = g.neighbors(e.to).iter().any(|back| {
+                    back.to == v
+                        && back.predicate == e.predicate
+                        && back.weight == e.weight
+                        && back.inverse != e.inverse
+                });
+                prop_assert!(twin_exists, "missing twin for {v:?} -> {:?}", e.to);
+            }
+        }
+        prop_assert_eq!(g.directed_edge_count(), 2 * g.edge_count());
+    }
+
+    /// TSV persistence round-trips arbitrary graphs exactly.
+    #[test]
+    fn triples_round_trip((labels, edges) in graph_strategy()) {
+        let g = build(&labels, &edges);
+        let mut buf = Vec::new();
+        triples::write_triples(&g, &mut buf).unwrap();
+        let back = triples::read_triples(&buf[..]).unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            prop_assert_eq!(back.label(v), g.label(v));
+            prop_assert_eq!(back.entity_type(v), g.entity_type(v));
+            prop_assert_eq!(back.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    /// The label index's exact buckets contain precisely the nodes whose
+    /// normalized label matches.
+    #[test]
+    fn label_index_exact_is_correct((labels, edges) in graph_strategy()) {
+        let g = build(&labels, &edges);
+        let idx = LabelIndex::build(&g);
+        for v in g.nodes() {
+            let bucket = idx.exact(g.label(v));
+            prop_assert!(bucket.contains(&v), "node missing from own label bucket");
+            for &other in bucket {
+                prop_assert_eq!(
+                    normalize_label(g.label(other)),
+                    normalize_label(g.label(v))
+                );
+            }
+        }
+    }
+
+    /// Candidates always include every exact match, and every candidate's
+    /// label (or alias) contains the query tokens contiguously.
+    #[test]
+    fn candidates_are_sound((labels, edges) in graph_strategy(), probe in "[a-c]{1,3}") {
+        let g = build(&labels, &edges);
+        let idx = LabelIndex::build(&g);
+        let cands = idx.candidates(&g, &probe);
+        for &e in idx.exact(&probe) {
+            prop_assert!(cands.contains(&e));
+        }
+        let norm = normalize_label(&probe);
+        for &c in &cands {
+            let label = normalize_label(g.label(c));
+            let hit = label.split(' ').any(|t| t == norm) || label == norm;
+            prop_assert!(hit, "candidate {label:?} does not contain {norm:?}");
+        }
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_is_idempotent(s in "\\PC{0,40}") {
+        let once = normalize_label(&s);
+        prop_assert_eq!(normalize_label(&once), once.clone());
+    }
+}

@@ -1,0 +1,106 @@
+//! The term analyzer: text → indexing/search terms.
+//!
+//! Pipeline: tokenize → lowercase → stopword removal → light suffix
+//! stemming (an S-stemmer: plurals and a few verbal suffixes). This is the
+//! BOW term stream for the Lucene-substitute index and every bag-of-words
+//! baseline, applied identically at index and query time.
+
+use crate::stopwords::is_stopword;
+use crate::token::tokenize;
+
+/// Light suffix stemmer (Harman's S-stemmer extended with -ing/-ed).
+///
+/// Deliberately conservative: over-stemming hurts BM25 precision more than
+/// under-stemming hurts recall at our corpus sizes.
+pub fn stem(word: &str) -> String {
+    let w = word;
+    let n = w.len();
+    if n > 4 && w.ends_with("ies") {
+        return format!("{}y", &w[..n - 3]);
+    }
+    if n > 4 && w.ends_with("ing") && !w.ends_with("thing") {
+        return w[..n - 3].to_string();
+    }
+    if n > 3 && w.ends_with("ed") && !w.ends_with("eed") {
+        return w[..n - 2].to_string();
+    }
+    if n > 3 && w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is")
+    {
+        return w[..n - 1].to_string();
+    }
+    w.to_string()
+}
+
+/// Analyze `text` into the canonical term stream.
+pub fn analyze(text: &str) -> Vec<String> {
+    tokenize(text)
+        .iter()
+        .filter_map(|t| {
+            let lower = t.text(text).to_lowercase();
+            if is_stopword(&lower) {
+                None
+            } else {
+                Some(stem(&lower))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_stopwords_and_lowercases() {
+        let terms = analyze("The Taliban in Pakistan");
+        assert_eq!(terms, vec!["taliban", "pakistan"]);
+    }
+
+    #[test]
+    fn stems_plurals() {
+        assert_eq!(stem("attacks"), "attack");
+        assert_eq!(stem("parties"), "party");
+        assert_eq!(stem("armies"), "army");
+    }
+
+    #[test]
+    fn stems_verb_suffixes() {
+        assert_eq!(stem("bombing"), "bomb");
+        assert_eq!(stem("attacked"), "attack");
+    }
+
+    #[test]
+    fn avoids_overstemming() {
+        assert_eq!(stem("glass"), "glass");
+        assert_eq!(stem("crisis"), "crisis");
+        assert_eq!(stem("status"), "status");
+        assert_eq!(stem("thing"), "thing");
+        assert_eq!(stem("agreed"), "agreed");
+        assert_eq!(stem("is"), "is");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("us"), "us");
+        assert_eq!(stem("ed"), "ed");
+    }
+
+    #[test]
+    fn query_and_doc_analysis_agree() {
+        let a = analyze("Bombing attacks by the Taliban");
+        let b = analyze("bombing attack by taliban");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn numbers_survive() {
+        assert_eq!(analyze("2016 election"), vec!["2016", "election"]);
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(analyze("").is_empty());
+        assert!(analyze("the of and").is_empty());
+    }
+}

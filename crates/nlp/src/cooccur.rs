@@ -1,0 +1,131 @@
+//! Maximal entity co-occurrence sets (Definition 1 of the paper).
+//!
+//! Given the entity sets `U = {L_1, …, L_n}` identified per news segment,
+//! only the sets that are not proper subsets of any other set are kept;
+//! equal sets are kept once. This bounds the number of subgraph-embedding
+//! searches per document.
+
+use std::collections::BTreeSet;
+
+/// An entity group: normalized entity labels of one news segment.
+pub type EntitySet = BTreeSet<String>;
+
+/// Compute the maximal entity co-occurrence set `U_m ⊆ U`.
+///
+/// `L_i ∈ U_m` iff `L_i ⊄ L_j` for all `L_j ∈ U`; duplicates collapse to
+/// one representative. Output preserves first-occurrence order of the
+/// surviving sets. Empty input sets are dropped (they carry no entities to
+/// embed).
+pub fn maximal_cooccurrence(sets: &[EntitySet]) -> Vec<EntitySet> {
+    let mut out: Vec<EntitySet> = Vec::new();
+    'candidate: for s in sets {
+        if s.is_empty() {
+            continue;
+        }
+        // Skip if s is a subset of (or equal to) an already-kept set…
+        for kept in &out {
+            if s.is_subset(kept) {
+                continue 'candidate;
+            }
+        }
+        // …or a proper subset of any later set in U.
+        for other in sets {
+            if s.len() < other.len() && s.is_subset(other) {
+                continue 'candidate;
+            }
+        }
+        // s supersedes any kept strict subsets.
+        out.retain(|kept| !kept.is_subset(s) || kept == s);
+        out.push(s.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> EntitySet {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_example_2() {
+        // L1={Pakistan,Taliban,Afghan}, L2={Upper Dir,Afghanistan,Taliban},
+        // L3={Upper Dir,Swat Valley,Pakistan,Taliban}, L4={Upper Dir,Taliban}
+        // L4 ⊂ L2 ⇒ U_m = {L1, L2, L3}.
+        let u = vec![
+            set(&["pakistan", "taliban", "afghan"]),
+            set(&["upper dir", "afghanistan", "taliban"]),
+            set(&["upper dir", "swat valley", "pakistan", "taliban"]),
+            set(&["upper dir", "taliban"]),
+        ];
+        let um = maximal_cooccurrence(&u);
+        assert_eq!(um.len(), 3);
+        assert!(um.contains(&u[0]));
+        assert!(um.contains(&u[1]));
+        assert!(um.contains(&u[2]));
+        assert!(!um.contains(&u[3]));
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let u = vec![set(&["a", "b"]), set(&["a", "b"]), set(&["c"])];
+        let um = maximal_cooccurrence(&u);
+        assert_eq!(um.len(), 2);
+    }
+
+    #[test]
+    fn subset_before_superset_is_dropped() {
+        let u = vec![set(&["a"]), set(&["a", "b"])];
+        let um = maximal_cooccurrence(&u);
+        assert_eq!(um, vec![set(&["a", "b"])]);
+    }
+
+    #[test]
+    fn superset_before_subset_is_kept() {
+        let u = vec![set(&["a", "b"]), set(&["a"])];
+        let um = maximal_cooccurrence(&u);
+        assert_eq!(um, vec![set(&["a", "b"])]);
+    }
+
+    #[test]
+    fn incomparable_sets_all_survive() {
+        let u = vec![set(&["a", "b"]), set(&["b", "c"]), set(&["c", "a"])];
+        let um = maximal_cooccurrence(&u);
+        assert_eq!(um.len(), 3);
+    }
+
+    #[test]
+    fn empty_sets_dropped() {
+        let u = vec![set(&[]), set(&["a"])];
+        let um = maximal_cooccurrence(&u);
+        assert_eq!(um, vec![set(&["a"])]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(maximal_cooccurrence(&[]).is_empty());
+    }
+
+    #[test]
+    fn no_survivor_is_subset_of_another() {
+        let u = vec![
+            set(&["a"]),
+            set(&["a", "b"]),
+            set(&["a", "b", "c"]),
+            set(&["d", "e"]),
+            set(&["e"]),
+            set(&["d", "e"]),
+        ];
+        let um = maximal_cooccurrence(&u);
+        for (i, a) in um.iter().enumerate() {
+            for (j, b) in um.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset(b), "{a:?} ⊆ {b:?}");
+                }
+            }
+        }
+        assert_eq!(um.len(), 2);
+    }
+}

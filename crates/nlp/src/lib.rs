@@ -1,0 +1,27 @@
+//! NLP substrate for NewsLink (the paper's NLP component, §IV).
+//!
+//! The paper uses spaCy for tokenization, sentence splitting and NER; this
+//! crate is the from-scratch offline substitute:
+//!
+//! - [`token`] — span-preserving tokenizer;
+//! - [`sentence`] — sentence splitter (each sentence is a *news segment*);
+//! - [`analyzer`] — BOW term analysis (lowercase, stopwords, light stems);
+//! - [`ner`] — gazetteer NER against the KG label index with a
+//!   capitalization fallback for out-of-KG names;
+//! - [`cooccur`] — maximal entity co-occurrence sets (Definition 1);
+//! - [`segment`] — the end-to-end [`segment::NlpPipeline`].
+
+pub mod analyzer;
+pub mod cooccur;
+pub mod ner;
+pub mod segment;
+pub mod sentence;
+pub mod stopwords;
+pub mod token;
+
+pub use analyzer::{analyze, stem};
+pub use cooccur::{maximal_cooccurrence, EntitySet};
+pub use ner::{EntityMention, MatchStats, Recognizer};
+pub use segment::{DocumentAnalysis, NlpPipeline, Segment};
+pub use sentence::{split_sentences, Sentence};
+pub use token::{tokenize, tokenize_lower, Token};

@@ -1,0 +1,275 @@
+//! Binary persistence of inverted indexes.
+//!
+//! A versioned, varint-compressed on-disk format in the spirit of Lucene's
+//! index files: the dictionary (terms + document frequencies), per-term
+//! posting lists with delta-coded document ids, and the document-length
+//! table. Round-trips byte-exactly through [`write_index`] /
+//! [`read_index`].
+//!
+//! Layout (all integers LEB128 unless noted):
+//!
+//! ```text
+//! magic    "NLIX"           4 raw bytes
+//! version  u8               raw byte (currently 1)
+//! n_terms  varint
+//! terms    n_terms × (len-prefixed UTF-8, doc_freq varint)
+//! postings n_terms × (count varint, count × (doc_delta varint, tf varint))
+//! n_docs   varint
+//! doc_len  n_docs × varint
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use newslink_util::varint;
+
+use crate::dictionary::{TermDictionary, TermId};
+use crate::inverted::{DocId, InvertedIndex, Posting};
+
+const MAGIC: &[u8; 4] = b"NLIX";
+const VERSION: u8 = 1;
+/// Defensive cap on term length when decoding untrusted input.
+const MAX_TERM_BYTES: usize = 1 << 16;
+
+/// Serialize `index` to `out`.
+pub fn write_index<W: Write>(index: &InvertedIndex, out: &mut W) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&[VERSION])?;
+    let dict = index.dictionary();
+    varint::write_u64(out, dict.len() as u64)?;
+    for t in 0..dict.len() {
+        let term = TermId(t as u32);
+        varint::write_str(out, dict.term(term))?;
+        varint::write_u32(out, dict.doc_freq(term))?;
+    }
+    for t in 0..dict.len() {
+        let postings = index.postings(TermId(t as u32));
+        varint::write_u64(out, postings.len() as u64)?;
+        let mut prev = 0u32;
+        for p in postings {
+            varint::write_u32(out, p.doc.0 - prev)?;
+            varint::write_u32(out, p.tf)?;
+            prev = p.doc.0;
+        }
+    }
+    varint::write_u64(out, index.doc_count() as u64)?;
+    for d in 0..index.doc_count() {
+        varint::write_u32(out, index.doc_len(DocId(d as u32)))?;
+    }
+    Ok(())
+}
+
+/// Deserialize an index from `input`.
+pub fn read_index<R: Read>(input: &mut R) -> io::Result<InvertedIndex> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut version = [0u8; 1];
+    input.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported index version {}", version[0]),
+        ));
+    }
+    let n_terms = varint::read_u64(input)? as usize;
+    let mut terms = Vec::with_capacity(n_terms.min(1 << 20));
+    let mut doc_freq = Vec::with_capacity(n_terms.min(1 << 20));
+    for _ in 0..n_terms {
+        terms.push(varint::read_str(input, MAX_TERM_BYTES)?);
+        doc_freq.push(varint::read_u32(input)?);
+    }
+    let mut postings: Vec<Vec<Posting>> = Vec::with_capacity(n_terms.min(1 << 20));
+    for _ in 0..n_terms {
+        let count = varint::read_u64(input)? as usize;
+        let mut list = Vec::with_capacity(count.min(1 << 20));
+        let mut prev = 0u32;
+        for i in 0..count {
+            let delta = varint::read_u32(input)?;
+            let tf = varint::read_u32(input)?;
+            let doc = if i == 0 { delta } else {
+                prev.checked_add(delta).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "doc id overflow")
+                })?
+            };
+            list.push(Posting {
+                doc: DocId(doc),
+                tf,
+            });
+            prev = doc;
+        }
+        postings.push(list);
+    }
+    let n_docs = varint::read_u64(input)? as usize;
+    let mut doc_len = Vec::with_capacity(n_docs.min(1 << 24));
+    let mut total_len = 0u64;
+    for _ in 0..n_docs {
+        let l = varint::read_u32(input)?;
+        total_len += u64::from(l);
+        doc_len.push(l);
+    }
+    // Structural validation: postings must reference existing docs.
+    for list in &postings {
+        if let Some(last) = list.last() {
+            if last.doc.index() >= n_docs {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "posting references unknown document",
+                ));
+            }
+        }
+    }
+    Ok(InvertedIndex {
+        dict: TermDictionary::from_parts(terms, doc_freq),
+        postings,
+        doc_len,
+        total_len,
+    })
+}
+
+/// Save an index to a file.
+pub fn save_index(index: &InvertedIndex, path: &Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_index(index, &mut f)?;
+    f.flush()
+}
+
+/// Load an index from a file.
+pub fn load_index(path: &Path) -> io::Result<InvertedIndex> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_index(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverted::IndexBuilder;
+    use crate::score::Bm25;
+    use crate::search::Searcher;
+    use newslink_util::DetRng;
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document(&["taliban", "attack", "pakistan", "attack"]);
+        b.add_document(&["pakistan", "election", "results"]);
+        b.add_document::<&str>(&[]);
+        b.add_document(&["swat", "valley", "clashes"]);
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let idx = sample();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let back = read_index(&mut &buf[..]).unwrap();
+        assert_eq!(back.doc_count(), idx.doc_count());
+        assert_eq!(back.avg_doc_len(), idx.avg_doc_len());
+        let d = idx.dictionary();
+        let bd = back.dictionary();
+        assert_eq!(bd.len(), d.len());
+        for t in 0..d.len() {
+            let term = TermId(t as u32);
+            assert_eq!(bd.term(term), d.term(term));
+            assert_eq!(bd.doc_freq(term), d.doc_freq(term));
+            assert_eq!(back.postings(term), idx.postings(term));
+        }
+        assert_eq!(bd.doc_freq_slice(), d.doc_freq_slice());
+    }
+
+    #[test]
+    fn round_trip_preserves_scores() {
+        let mut rng = DetRng::new(7);
+        let mut b = IndexBuilder::new();
+        for _ in 0..200 {
+            let len = rng.range(2, 20);
+            let terms: Vec<String> =
+                (0..len).map(|_| format!("w{}", rng.zipf(60, 1.3))).collect();
+            b.add_document(&terms);
+        }
+        let idx = b.build();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let back = read_index(&mut &buf[..]).unwrap();
+        let s1 = Searcher::new(&idx, Bm25::default());
+        let s2 = Searcher::new(&back, Bm25::default());
+        for q in [vec!["w0", "w3"], vec!["w1"], vec!["w2", "w2", "w7"]] {
+            let a = s1.search(&q, 10);
+            let b = s2.search(&q, 10);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc);
+                assert!((x.score - y.score).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let idx = IndexBuilder::new().build();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let back = read_index(&mut &buf[..]).unwrap();
+        assert_eq!(back.doc_count(), 0);
+        assert_eq!(back.dictionary().len(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(read_index(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(read_index(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        for cut in [3, 5, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                read_index(&mut &buf[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let idx = sample();
+        let dir = std::env::temp_dir().join("newslink_codec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.nlix");
+        save_index(&idx, &path).unwrap();
+        let back = load_index(&path).unwrap();
+        assert_eq!(back.doc_count(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compression_is_effective_on_dense_postings() {
+        // 1000 docs sharing one term: deltas of 1 → ~2 bytes/posting.
+        let mut b = IndexBuilder::new();
+        for _ in 0..1000 {
+            b.add_document(&["common"]);
+        }
+        let idx = b.build();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        assert!(
+            buf.len() < 1000 * 4,
+            "expected delta compression, got {} bytes",
+            buf.len()
+        );
+    }
+}

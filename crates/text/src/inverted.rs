@@ -1,0 +1,230 @@
+//! The inverted index.
+//!
+//! Frozen posting lists per term, document lengths, and collection
+//! statistics — the substrate both the "Lucene" baseline and NewsLink's
+//! BOW/BON scoring run on. Build with [`IndexBuilder`], then query through
+//! [`crate::search::Searcher`].
+
+use newslink_util::FxHashMap;
+
+use crate::dictionary::{TermDictionary, TermId};
+
+/// Dense document id within one index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The document's index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One `(document, term-frequency)` entry in a posting list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The containing document.
+    pub doc: DocId,
+    /// Occurrences of the term in that document.
+    pub tf: u32,
+}
+
+/// A frozen inverted index.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    pub(crate) dict: TermDictionary,
+    pub(crate) postings: Vec<Vec<Posting>>,
+    pub(crate) doc_len: Vec<u32>,
+    pub(crate) total_len: u64,
+}
+
+impl InvertedIndex {
+    /// Number of indexed documents.
+    #[inline]
+    pub fn doc_count(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Token length of `doc` (as counted at indexing time).
+    #[inline]
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_len[doc.index()]
+    }
+
+    /// Mean document length; 0 for an empty index.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    /// The term dictionary.
+    pub fn dictionary(&self) -> &TermDictionary {
+        &self.dict
+    }
+
+    /// Posting list for a term id (sorted by doc id).
+    #[inline]
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        &self.postings[term.index()]
+    }
+
+    /// Posting list for a term string, empty when unindexed.
+    pub fn postings_for(&self, term: &str) -> &[Posting] {
+        match self.dict.get(term) {
+            Some(id) => self.postings(id),
+            None => &[],
+        }
+    }
+
+    /// Term frequency of `term` in `doc` (binary search over the posting
+    /// list).
+    pub fn term_freq(&self, term: &str, doc: DocId) -> u32 {
+        let p = self.postings_for(term);
+        match p.binary_search_by_key(&doc, |e| e.doc) {
+            Ok(i) => p[i].tf,
+            Err(_) => 0,
+        }
+    }
+}
+
+/// Accumulates documents, then freezes into an [`InvertedIndex`].
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    dict: TermDictionary,
+    postings: Vec<Vec<Posting>>,
+    doc_len: Vec<u32>,
+    total_len: u64,
+}
+
+impl IndexBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one document given its term stream; returns its [`DocId`].
+    ///
+    /// Documents are assigned consecutive ids starting at 0, so callers can
+    /// keep a parallel store of originals.
+    pub fn add_document<S: AsRef<str>>(&mut self, terms: &[S]) -> DocId {
+        let doc = DocId(
+            u32::try_from(self.doc_len.len()).expect("index overflow: more than 2^32 documents"),
+        );
+        let mut tf: FxHashMap<TermId, u32> = FxHashMap::default();
+        for t in terms {
+            let id = self.dict.get_or_insert(t.as_ref());
+            *tf.entry(id).or_default() += 1;
+        }
+        let mut entries: Vec<(TermId, u32)> = tf.into_iter().collect();
+        entries.sort_unstable_by_key(|(t, _)| *t);
+        for (term, tf) in entries {
+            if term.index() >= self.postings.len() {
+                self.postings.resize_with(term.index() + 1, Vec::new);
+            }
+            self.postings[term.index()].push(Posting { doc, tf });
+            self.dict.bump_doc_freq(term);
+        }
+        self.doc_len.push(terms.len() as u32);
+        self.total_len += terms.len() as u64;
+        doc
+    }
+
+    /// Number of documents added so far.
+    pub fn doc_count(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// The dictionary built so far.
+    pub fn dictionary(&self) -> &TermDictionary {
+        &self.dict
+    }
+
+    /// Freeze into an immutable index.
+    pub fn build(mut self) -> InvertedIndex {
+        // Terms interned but never posted (impossible through the public
+        // API, defensive for future extension).
+        self.postings.resize_with(self.dict.len(), Vec::new);
+        InvertedIndex {
+            dict: self.dict,
+            postings: self.postings,
+            doc_len: self.doc_len,
+            total_len: self.total_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document(&["taliban", "attack", "pakistan", "attack"]);
+        b.add_document(&["pakistan", "election"]);
+        b.add_document(&["sports", "match"]);
+        b.build()
+    }
+
+    #[test]
+    fn doc_ids_are_sequential() {
+        let mut b = IndexBuilder::new();
+        assert_eq!(b.add_document(&["a"]), DocId(0));
+        assert_eq!(b.add_document(&["b"]), DocId(1));
+        assert_eq!(b.doc_count(), 2);
+    }
+
+    #[test]
+    fn postings_sorted_with_tf() {
+        let idx = sample();
+        let p = idx.postings_for("pakistan");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].doc, DocId(0));
+        assert_eq!(p[1].doc, DocId(1));
+        assert!(p.windows(2).all(|w| w[0].doc < w[1].doc));
+        assert_eq!(idx.term_freq("attack", DocId(0)), 2);
+        assert_eq!(idx.term_freq("attack", DocId(1)), 0);
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let idx = sample();
+        let d = idx.dictionary();
+        assert_eq!(d.doc_freq(d.get("attack").unwrap()), 1);
+        assert_eq!(d.doc_freq(d.get("pakistan").unwrap()), 2);
+    }
+
+    #[test]
+    fn lengths_and_average() {
+        let idx = sample();
+        assert_eq!(idx.doc_len(DocId(0)), 4);
+        assert_eq!(idx.doc_len(DocId(1)), 2);
+        assert!((idx.avg_doc_len() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_terms_have_empty_postings() {
+        let idx = sample();
+        assert!(idx.postings_for("zebra").is_empty());
+        assert_eq!(idx.term_freq("zebra", DocId(0)), 0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IndexBuilder::new().build();
+        assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.avg_doc_len(), 0.0);
+    }
+
+    #[test]
+    fn empty_document_indexable() {
+        let mut b = IndexBuilder::new();
+        let d = b.add_document::<&str>(&[]);
+        let idx = b.build();
+        assert_eq!(idx.doc_len(d), 0);
+        assert_eq!(idx.doc_count(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Text retrieval substrate (the paper's Apache Lucene substitute).
+//!
+//! A from-scratch inverted index with BM25 and TF-IDF cosine scoring and a
+//! deterministic top-k executor. It plays three roles in the reproduction:
+//! the standalone "Lucene" baseline of Table IV, the BOW half of NewsLink's
+//! blended score (Equation 3), and — fed node-id terms instead of words —
+//! the BON half as well (§VI "scoring compatibility").
+
+pub mod codec;
+pub mod dictionary;
+pub mod inverted;
+pub mod live;
+pub mod maxscore;
+pub mod positions;
+pub mod score;
+pub mod search;
+
+pub use dictionary::{TermDictionary, TermId};
+pub use inverted::{DocId, IndexBuilder, InvertedIndex, Posting};
+pub use score::{Bm25, Scorer, TfIdfCosine};
+pub use codec::{load_index, read_index, save_index, write_index};
+pub use live::{GlobalId, SegmentedIndex};
+pub use maxscore::maxscore_search;
+pub use positions::{PositionalBuilder, PositionalIndex};
+pub use search::{Hit, Searcher};

@@ -1,0 +1,435 @@
+//! Incremental (segmented) indexing — the Lucene architecture the paper's
+//! NS component builds on.
+//!
+//! News corpora grow continuously; a production NS component cannot
+//! rebuild its inverted index per document. Like Lucene, [`SegmentedIndex`]
+//! buffers added documents, flushes them into immutable segments on
+//! [`commit`], tracks deletions in a live-document set, and merges the
+//! smallest segments when their number exceeds the merge policy's bound.
+//! Queries run across all segments with *collection-global* statistics
+//! (document frequency, average length), so scores are identical to a
+//! single-segment index over the same live documents — a property the
+//! tests pin down.
+//!
+//! [`commit`]: SegmentedIndex::commit
+
+use newslink_util::{FxHashMap, FxHashSet, TopK};
+
+use crate::inverted::{DocId, IndexBuilder, InvertedIndex};
+use crate::score::Bm25;
+
+/// A stable external document id, preserved across merges.
+pub type GlobalId = u64;
+
+/// One immutable segment: a frozen index plus the global id of each local
+/// document.
+#[derive(Debug, Clone)]
+struct Segment {
+    index: InvertedIndex,
+    globals: Vec<GlobalId>,
+}
+
+impl Segment {
+    fn live_docs(&self, deleted: &FxHashSet<GlobalId>) -> usize {
+        self.globals.iter().filter(|g| !deleted.contains(g)).count()
+    }
+}
+
+/// An incrementally updatable index with Lucene-style segments.
+#[derive(Debug)]
+pub struct SegmentedIndex {
+    segments: Vec<Segment>,
+    buffer: Vec<(GlobalId, Vec<String>)>,
+    deleted: FxHashSet<GlobalId>,
+    next_id: GlobalId,
+    /// Merge policy: merge the two smallest segments whenever more than
+    /// this many exist after a flush.
+    max_segments: usize,
+}
+
+impl SegmentedIndex {
+    /// Create an empty index; `max_segments` bounds the segment count
+    /// (minimum 1).
+    pub fn new(max_segments: usize) -> Self {
+        Self {
+            segments: Vec::new(),
+            buffer: Vec::new(),
+            deleted: FxHashSet::default(),
+            next_id: 0,
+            max_segments: max_segments.max(1),
+        }
+    }
+
+    /// Buffer a document for the next commit; returns its stable id.
+    pub fn add_document<S: AsRef<str>>(&mut self, terms: &[S]) -> GlobalId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buffer
+            .push((id, terms.iter().map(|t| t.as_ref().to_string()).collect()));
+        id
+    }
+
+    /// Mark a document deleted (buffered or committed). Returns whether
+    /// the id was known and live.
+    pub fn delete_document(&mut self, id: GlobalId) -> bool {
+        if id >= self.next_id || self.deleted.contains(&id) {
+            return false;
+        }
+        self.deleted.insert(id);
+        true
+    }
+
+    /// Live (non-deleted) document count, including uncommitted ones.
+    pub fn doc_count(&self) -> usize {
+        let buffered = self
+            .buffer
+            .iter()
+            .filter(|(id, _)| !self.deleted.contains(id))
+            .count();
+        let committed: usize = self
+            .segments
+            .iter()
+            .map(|s| s.live_docs(&self.deleted))
+            .sum();
+        buffered + committed
+    }
+
+    /// Number of on-disk-style segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Flush buffered documents into a new segment and apply the merge
+    /// policy.
+    pub fn commit(&mut self) {
+        if !self.buffer.is_empty() {
+            let mut builder = IndexBuilder::new();
+            let mut globals = Vec::with_capacity(self.buffer.len());
+            for (id, terms) in self.buffer.drain(..) {
+                // Deleted-while-buffered documents are simply dropped.
+                if self.deleted.contains(&id) {
+                    continue;
+                }
+                builder.add_document(&terms);
+                globals.push(id);
+            }
+            if !globals.is_empty() {
+                self.segments.push(Segment {
+                    index: builder.build(),
+                    globals,
+                });
+            }
+        }
+        while self.segments.len() > self.max_segments {
+            self.merge_smallest_pair();
+        }
+    }
+
+    /// Merge the two segments with the fewest live documents, dropping
+    /// deleted documents in the process (Lucene's expunge-on-merge).
+    fn merge_smallest_pair(&mut self) {
+        debug_assert!(self.segments.len() >= 2);
+        let mut order: Vec<usize> = (0..self.segments.len()).collect();
+        order.sort_by_key(|&i| self.segments[i].live_docs(&self.deleted));
+        let (a, b) = (order[0].min(order[1]), order[0].max(order[1]));
+        let seg_b = self.segments.remove(b);
+        let seg_a = self.segments.remove(a);
+        let merged = merge_two(&seg_a, &seg_b, &self.deleted);
+        // Deletions inside the merged pair are now physically gone.
+        for s in [&seg_a, &seg_b] {
+            for g in &s.globals {
+                self.deleted.remove(g);
+            }
+        }
+        self.segments.push(merged);
+    }
+
+    /// BM25 top-k across all committed segments with collection-global
+    /// statistics. Buffered (uncommitted) documents are not searchable,
+    /// as in Lucene before a refresh.
+    pub fn search<T: AsRef<str>>(&self, query_terms: &[T], k: usize) -> Vec<(GlobalId, f64)> {
+        self.search_with(Bm25::default(), query_terms, k)
+    }
+
+    /// Top-k under an explicit BM25 parameterization.
+    pub fn search_with<T: AsRef<str>>(
+        &self,
+        scorer: Bm25,
+        query_terms: &[T],
+        k: usize,
+    ) -> Vec<(GlobalId, f64)> {
+        let acc = self.score_all_with(scorer, query_terms);
+        let mut entries: Vec<(GlobalId, f64)> = acc.into_iter().collect();
+        entries.sort_unstable_by_key(|(g, _)| *g);
+        let mut topk = TopK::new(k);
+        for (g, s) in entries {
+            topk.push(s, g);
+        }
+        topk.into_sorted().into_iter().map(|(s, g)| (g, s)).collect()
+    }
+
+    /// Score every live document matching at least one query term — the
+    /// blending primitive (the incremental engine combines a BOW and a BON
+    /// map, exactly like the frozen path).
+    pub fn score_all_with<T: AsRef<str>>(
+        &self,
+        scorer: Bm25,
+        query_terms: &[T],
+    ) -> FxHashMap<GlobalId, f64> {
+        // Global stats over LIVE docs only, so scores equal a fresh
+        // single-segment index over the same documents.
+        let mut n_docs = 0usize;
+        let mut total_len = 0u64;
+        for seg in &self.segments {
+            for (local, &g) in seg.globals.iter().enumerate() {
+                if !self.deleted.contains(&g) {
+                    n_docs += 1;
+                    total_len += u64::from(seg.index.doc_len(DocId(local as u32)));
+                }
+            }
+        }
+        if n_docs == 0 {
+            return FxHashMap::default();
+        }
+        let avgdl = (total_len as f64 / n_docs as f64).max(1e-9);
+
+        // Query-side tfs.
+        let mut qtf: FxHashMap<&str, u32> = FxHashMap::default();
+        for t in query_terms {
+            *qtf.entry(t.as_ref()).or_default() += 1;
+        }
+        // Global df per query term (live docs only).
+        let mut global_df: FxHashMap<&str, u32> = FxHashMap::default();
+        for &term in qtf.keys() {
+            let mut df = 0u32;
+            for seg in &self.segments {
+                for p in seg.index.postings_for(term) {
+                    if !self.deleted.contains(&seg.globals[p.doc.index()]) {
+                        df += 1;
+                    }
+                }
+            }
+            if df > 0 {
+                global_df.insert(term, df);
+            }
+        }
+
+        let mut acc: FxHashMap<GlobalId, f64> = FxHashMap::default();
+        for seg in &self.segments {
+            for (&term, &qtf) in &qtf {
+                let Some(&df) = global_df.get(term) else { continue };
+                for p in seg.index.postings_for(term) {
+                    let g = seg.globals[p.doc.index()];
+                    if self.deleted.contains(&g) {
+                        continue;
+                    }
+                    let tf = p.tf as f64;
+                    let dl = f64::from(seg.index.doc_len(p.doc));
+                    let norm = 1.0 - scorer.b + scorer.b * (dl / avgdl);
+                    let sat = tf * (scorer.k1 + 1.0) / (tf + scorer.k1 * norm);
+                    let idf = scorer.idf(n_docs, df);
+                    *acc.entry(g).or_default() += f64::from(qtf) * idf * sat;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Merge two segments into one, dropping deleted documents.
+fn merge_two(a: &Segment, b: &Segment, deleted: &FxHashSet<GlobalId>) -> Segment {
+    // Rebuild via term streams reconstructed from postings: walk each
+    // source document's terms with frequencies. Term order within a
+    // document does not matter for bag-of-words scoring.
+    let mut builder = IndexBuilder::new();
+    let mut globals = Vec::new();
+    for seg in [a, b] {
+        let dict = seg.index.dictionary();
+        // doc-local term lists
+        let mut per_doc: Vec<Vec<(String, u32)>> =
+            (0..seg.index.doc_count()).map(|_| Vec::new()).collect();
+        for t in 0..dict.len() {
+            let term = crate::dictionary::TermId(t as u32);
+            let text = dict.term(term).to_string();
+            for p in seg.index.postings(term) {
+                per_doc[p.doc.index()].push((text.clone(), p.tf));
+            }
+        }
+        for (local, terms) in per_doc.into_iter().enumerate() {
+            let g = seg.globals[local];
+            if deleted.contains(&g) {
+                continue;
+            }
+            let mut flat: Vec<&str> = Vec::new();
+            for (t, tf) in &terms {
+                for _ in 0..*tf {
+                    flat.push(t);
+                }
+            }
+            builder.add_document(&flat);
+            globals.push(g);
+        }
+    }
+    Segment {
+        index: builder.build(),
+        globals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Searcher;
+
+    fn terms(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn add_commit_search_roundtrip() {
+        let mut idx = SegmentedIndex::new(4);
+        let a = idx.add_document(&terms("taliban attack pakistan"));
+        let b = idx.add_document(&terms("cricket match score"));
+        assert_eq!(idx.doc_count(), 2);
+        assert!(idx.search(&["taliban"], 5).is_empty(), "uncommitted invisible");
+        idx.commit();
+        let hits = idx.search(&["taliban"], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, a);
+        let _ = b;
+    }
+
+    #[test]
+    fn global_ids_stable_across_commits_and_merges() {
+        let mut idx = SegmentedIndex::new(1); // aggressive merging
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            ids.push(idx.add_document(&terms(&format!("common word{i}"))));
+            if i % 3 == 0 {
+                idx.commit();
+            }
+        }
+        idx.commit();
+        assert_eq!(idx.segment_count(), 1);
+        for (i, &id) in ids.iter().enumerate() {
+            let hits = idx.search(&[format!("word{i}")], 2);
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].0, id, "doc {i} lost its id");
+        }
+    }
+
+    #[test]
+    fn deletions_remove_from_results() {
+        let mut idx = SegmentedIndex::new(4);
+        let a = idx.add_document(&terms("shared text alpha"));
+        let b = idx.add_document(&terms("shared text beta"));
+        idx.commit();
+        assert!(idx.delete_document(a));
+        assert!(!idx.delete_document(a), "double delete");
+        assert!(!idx.delete_document(999), "unknown id");
+        let hits = idx.search(&["shared"], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, b);
+        assert_eq!(idx.doc_count(), 1);
+    }
+
+    #[test]
+    fn delete_while_buffered_never_lands() {
+        let mut idx = SegmentedIndex::new(4);
+        let a = idx.add_document(&terms("ephemeral doc"));
+        assert!(idx.delete_document(a));
+        idx.commit();
+        assert_eq!(idx.doc_count(), 0);
+        assert!(idx.search(&["ephemeral"], 5).is_empty());
+    }
+
+    #[test]
+    fn merge_policy_bounds_segment_count() {
+        let mut idx = SegmentedIndex::new(3);
+        for i in 0..10 {
+            idx.add_document(&terms(&format!("doc number{i}")));
+            idx.commit();
+        }
+        assert!(idx.segment_count() <= 3);
+        assert_eq!(idx.doc_count(), 10);
+    }
+
+    #[test]
+    fn scores_match_single_segment_index() {
+        // The invariant that makes segments transparent: global-stat
+        // scoring across segments == one fresh index over the live docs.
+        let docs = [
+            "taliban attack pakistan border",
+            "pakistan election results announced",
+            "cricket final pakistan won",
+            "taliban conflict continues",
+            "weather sunny tomorrow",
+        ];
+        let mut seg = SegmentedIndex::new(2);
+        for d in docs {
+            seg.add_document(&terms(d));
+            seg.commit(); // one segment each, then merged down to 2
+        }
+        let mut flat = IndexBuilder::new();
+        for d in docs {
+            flat.add_document(&terms(d));
+        }
+        let flat = flat.build();
+        let searcher = Searcher::new(&flat, Bm25::default());
+        for q in [vec!["taliban"], vec!["pakistan", "taliban"], vec!["cricket", "final"]] {
+            let seg_hits = seg.search(&q, 10);
+            let flat_hits = searcher.search(&q, 10);
+            assert_eq!(seg_hits.len(), flat_hits.len(), "query {q:?}");
+            for (s, f) in seg_hits.iter().zip(&flat_hits) {
+                assert_eq!(s.0, u64::from(f.doc.0), "query {q:?}");
+                assert!((s.1 - f.score).abs() < 1e-9, "query {q:?}: {} vs {}", s.1, f.score);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_match_after_deletions_and_merge() {
+        let docs = [
+            "alpha beta gamma",
+            "alpha alpha delta",
+            "beta delta epsilon",
+            "alpha zeta",
+        ];
+        let mut seg = SegmentedIndex::new(1);
+        let mut ids = Vec::new();
+        for d in docs {
+            ids.push(seg.add_document(&terms(d)));
+            seg.commit();
+        }
+        seg.delete_document(ids[1]);
+        seg.commit(); // merge expunges the deletion
+
+        // Fresh index over live docs (0, 2, 3).
+        let mut flat = IndexBuilder::new();
+        for (i, d) in docs.iter().enumerate() {
+            if i != 1 {
+                flat.add_document(&terms(d));
+            }
+        }
+        let flat = flat.build();
+        let searcher = Searcher::new(&flat, Bm25::default());
+        let live_globals = [ids[0], ids[2], ids[3]];
+        for q in [vec!["alpha"], vec!["beta", "delta"]] {
+            let seg_hits = seg.search(&q, 10);
+            let flat_hits = searcher.search(&q, 10);
+            assert_eq!(seg_hits.len(), flat_hits.len(), "query {q:?}");
+            for (s, f) in seg_hits.iter().zip(&flat_hits) {
+                assert_eq!(s.0, live_globals[f.doc.index()], "query {q:?}");
+                assert!((s.1 - f.score).abs() < 1e-9, "query {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_searches_empty() {
+        let idx = SegmentedIndex::new(2);
+        assert!(idx.search(&["anything"], 5).is_empty());
+        assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.segment_count(), 0);
+    }
+}

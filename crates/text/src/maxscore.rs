@@ -1,0 +1,273 @@
+//! Document-at-a-time top-k with MaxScore pruning.
+//!
+//! The paper's NS component "employ\[s\] existing top-k ranking algorithms
+//! \[Threshold Algorithm; VSM\]" (§VI). This module provides the
+//! single-index half: a document-at-a-time evaluator with per-term score
+//! upper bounds (Turtle & Flood's MaxScore). Terms are split into an
+//! *essential* set — at least one of which any new top-k document must
+//! contain — and a non-essential remainder evaluated only for candidates,
+//! with early exit once the candidate's score bound falls below the
+//! current threshold.
+
+use newslink_util::{FxHashMap, TopK};
+
+use crate::dictionary::TermId;
+use crate::inverted::{DocId, InvertedIndex, Posting};
+use crate::score::{Bm25, Scorer};
+use crate::search::Hit;
+
+/// Per-query-term state for DAAT traversal.
+struct TermCursor<'i> {
+    postings: &'i [Posting],
+    pos: usize,
+    df: u32,
+    qtf: u32,
+    /// Upper bound on this term's contribution to any document.
+    max_contribution: f64,
+}
+
+impl TermCursor<'_> {
+    #[inline]
+    fn current(&self) -> Option<Posting> {
+        self.postings.get(self.pos).copied()
+    }
+
+    /// Advance to the first posting with `doc >= target` (galloping).
+    fn seek(&mut self, target: DocId) {
+        if self.current().is_some_and(|p| p.doc >= target) {
+            return;
+        }
+        let mut step = 1;
+        let mut lo = self.pos;
+        let mut hi = self.pos;
+        while hi < self.postings.len() && self.postings[hi].doc < target {
+            lo = hi;
+            hi = (hi + step).min(self.postings.len());
+            step *= 2;
+        }
+        // Binary search in (lo, hi].
+        let slice = &self.postings[lo..hi.min(self.postings.len())];
+        let offset = slice.partition_point(|p| p.doc < target);
+        self.pos = lo + offset;
+    }
+}
+
+/// Top-k search with MaxScore pruning; identical results to exhaustive
+/// BM25 evaluation (same scores, same deterministic tie-breaking).
+pub fn maxscore_search<T: AsRef<str>>(
+    index: &InvertedIndex,
+    scorer: Bm25,
+    query_terms: &[T],
+    k: usize,
+) -> Vec<Hit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Aggregate query-side term frequencies and build cursors.
+    let mut qtf: FxHashMap<TermId, u32> = FxHashMap::default();
+    let dict = index.dictionary();
+    for t in query_terms {
+        if let Some(id) = dict.get(t.as_ref()) {
+            *qtf.entry(id).or_default() += 1;
+        }
+    }
+    let mut cursors: Vec<TermCursor<'_>> = qtf
+        .into_iter()
+        .filter_map(|(term, qtf)| {
+            let postings = index.postings(term);
+            if postings.is_empty() {
+                return None;
+            }
+            let df = dict.doc_freq(term);
+            // BM25 contribution is bounded by idf · (k1+1) · qtf (the tf
+            // saturation limit with the smallest possible length norm).
+            let max_contribution =
+                f64::from(qtf) * scorer.idf(index.doc_count(), df) * (scorer.k1 + 1.0);
+            Some(TermCursor {
+                postings,
+                pos: 0,
+                df,
+                qtf,
+                max_contribution,
+            })
+        })
+        .collect();
+    if cursors.is_empty() {
+        return Vec::new();
+    }
+    // Ascending by bound: prefix terms are the non-essential ones.
+    cursors.sort_by(|a, b| a.max_contribution.total_cmp(&b.max_contribution));
+    // prefix_bounds[i] = sum of bounds of cursors[0..i].
+    let mut prefix_bounds = vec![0.0f64; cursors.len() + 1];
+    for i in 0..cursors.len() {
+        prefix_bounds[i + 1] = prefix_bounds[i] + cursors[i].max_contribution;
+    }
+
+    let mut topk: TopK<DocId> = TopK::new(k);
+    // Number of non-essential (prefix) terms; grows as threshold rises.
+    let mut first_essential = 0usize;
+
+    loop {
+        // Raise the essential boundary as far as the threshold allows.
+        if let Some(theta) = topk.threshold() {
+            while first_essential < cursors.len()
+                && prefix_bounds[first_essential + 1] <= theta
+            {
+                first_essential += 1;
+            }
+        }
+        if first_essential >= cursors.len() {
+            break; // no essential terms left: nothing new can qualify
+        }
+        // Next candidate: smallest current doc among essential cursors.
+        let mut pivot: Option<DocId> = None;
+        for c in &cursors[first_essential..] {
+            if let Some(p) = c.current() {
+                pivot = Some(match pivot {
+                    Some(d) if d <= p.doc => d,
+                    _ => p.doc,
+                });
+            }
+        }
+        let Some(doc) = pivot else { break };
+
+        // Score essential terms for `doc`, advancing their cursors.
+        let mut score = 0.0;
+        for c in cursors[first_essential..].iter_mut() {
+            c.seek(doc);
+            if let Some(p) = c.current() {
+                if p.doc == doc {
+                    score += scorer.contribution(index, doc, p.tf, c.df, c.qtf);
+                    c.pos += 1;
+                }
+            }
+        }
+        // Add non-essential terms most-promising-first, abandoning the
+        // candidate as soon as even full bounds cannot reach the threshold.
+        for i in (0..first_essential).rev() {
+            if let Some(theta) = topk.threshold() {
+                if score + prefix_bounds[i + 1] <= theta {
+                    score = f64::NEG_INFINITY; // cannot qualify
+                    break;
+                }
+            }
+            let c = &mut cursors[i];
+            c.seek(doc);
+            if let Some(p) = c.current() {
+                if p.doc == doc {
+                    score += scorer.contribution(index, doc, p.tf, c.df, c.qtf);
+                }
+            }
+        }
+        if score > 0.0 {
+            topk.push(score, doc);
+        }
+    }
+
+    let mut hits: Vec<Hit> = topk
+        .into_sorted()
+        .into_iter()
+        .map(|(score, doc)| Hit { doc, score })
+        .collect();
+    // TopK ties break by insertion order, which here is doc order — same
+    // as the exhaustive Searcher. Re-sort defensively for determinism.
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverted::IndexBuilder;
+    use crate::search::Searcher;
+    use newslink_util::DetRng;
+
+    fn random_index(seed: u64, docs: usize, vocab: usize) -> (InvertedIndex, Vec<Vec<String>>) {
+        let mut rng = DetRng::new(seed);
+        let mut b = IndexBuilder::new();
+        let mut all = Vec::new();
+        for _ in 0..docs {
+            let len = rng.range(3, 30);
+            let terms: Vec<String> = (0..len)
+                .map(|_| format!("t{}", rng.zipf(vocab, 1.2)))
+                .collect();
+            b.add_document(&terms);
+            all.push(terms);
+        }
+        (b.build(), all)
+    }
+
+    #[test]
+    fn matches_exhaustive_search_exactly() {
+        let (index, _) = random_index(1, 300, 50);
+        let searcher = Searcher::new(&index, Bm25::default());
+        for qseed in 0..20u64 {
+            let mut rng = DetRng::new(1000 + qseed);
+            let qlen = rng.range(1, 6);
+            let query: Vec<String> = (0..qlen).map(|_| format!("t{}", rng.zipf(50, 1.2))).collect();
+            let naive = searcher.search(&query, 10);
+            let pruned = maxscore_search(&index, Bm25::default(), &query, 10);
+            assert_eq!(naive.len(), pruned.len(), "query {query:?}");
+            for (a, b) in naive.iter().zip(&pruned) {
+                assert_eq!(a.doc, b.doc, "query {query:?}");
+                assert!((a.score - b.score).abs() < 1e-9, "query {query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_unknown_terms() {
+        let (index, _) = random_index(2, 50, 20);
+        assert!(maxscore_search(&index, Bm25::default(), &["zzz"], 5).is_empty());
+        let mixed = maxscore_search(&index, Bm25::default(), &["zzz", "t1"], 5);
+        let naive = Searcher::new(&index, Bm25::default()).search(&["zzz", "t1"], 5);
+        assert_eq!(mixed.len(), naive.len());
+    }
+
+    #[test]
+    fn k_zero_and_empty_query() {
+        let (index, _) = random_index(3, 50, 20);
+        assert!(maxscore_search(&index, Bm25::default(), &["t1"], 0).is_empty());
+        assert!(maxscore_search::<&str>(&index, Bm25::default(), &[], 10).is_empty());
+    }
+
+    #[test]
+    fn small_k_prunes_but_stays_exact() {
+        let (index, _) = random_index(4, 1000, 30);
+        let query = ["t0", "t1", "t2", "t3", "t4"];
+        let naive = Searcher::new(&index, Bm25::default()).search(&query, 1);
+        let pruned = maxscore_search(&index, Bm25::default(), &query, 1);
+        assert_eq!(naive[0].doc, pruned[0].doc);
+        assert!((naive[0].score - pruned[0].score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_query_terms_weighted() {
+        let (index, _) = random_index(5, 200, 20);
+        let naive = Searcher::new(&index, Bm25::default()).search(&["t1", "t1", "t2"], 8);
+        let pruned = maxscore_search(&index, Bm25::default(), &["t1", "t1", "t2"], 8);
+        for (a, b) in naive.iter().zip(&pruned) {
+            assert_eq!(a.doc, b.doc);
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seek_gallops_correctly() {
+        let mut b = IndexBuilder::new();
+        for i in 0..100 {
+            if i % 3 == 0 {
+                b.add_document(&["x"]);
+            } else {
+                b.add_document(&["y"]);
+            }
+        }
+        let index = b.build();
+        let naive = Searcher::new(&index, Bm25::default()).search(&["x", "y"], 10);
+        let pruned = maxscore_search(&index, Bm25::default(), &["x", "y"], 10);
+        assert_eq!(naive.len(), pruned.len());
+        for (a, b) in naive.iter().zip(&pruned) {
+            assert_eq!(a.doc, b.doc);
+        }
+    }
+}

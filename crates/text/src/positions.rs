@@ -1,0 +1,265 @@
+//! Positional indexing and phrase matching.
+//!
+//! Lucene indexes term positions so quoted phrases ("swat valley") match
+//! as units instead of as independent bags; news queries are full of such
+//! multi-word names. [`PositionalIndex`] wraps the ordinary
+//! [`InvertedIndex`] (reusing all its scoring machinery) and stores, for
+//! each posting, the term's positions within the document.
+
+use newslink_util::{FxHashMap, TopK};
+
+use crate::dictionary::TermId;
+use crate::inverted::{DocId, IndexBuilder, InvertedIndex};
+use crate::score::{Bm25, Scorer};
+use crate::search::Hit;
+
+/// An inverted index with per-posting term positions.
+#[derive(Debug, Clone)]
+pub struct PositionalIndex {
+    inner: InvertedIndex,
+    /// `positions[term][i]` — sorted positions of the term in the document
+    /// of posting `i` (aligned with `inner.postings(term)`).
+    positions: Vec<Vec<Vec<u32>>>,
+}
+
+/// Builder for [`PositionalIndex`].
+#[derive(Debug, Default)]
+pub struct PositionalBuilder {
+    inner: IndexBuilder,
+    positions: Vec<Vec<Vec<u32>>>,
+}
+
+impl PositionalBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document; returns its id.
+    pub fn add_document<S: AsRef<str>>(&mut self, terms: &[S]) -> DocId {
+        // Record positions per term first (term ids may be new).
+        let doc = self.inner.add_document(terms);
+        let mut per_term: FxHashMap<TermId, Vec<u32>> = FxHashMap::default();
+        let dict = self.inner.dictionary();
+        for (pos, t) in terms.iter().enumerate() {
+            let id = dict.get(t.as_ref()).expect("term was just indexed");
+            per_term.entry(id).or_default().push(pos as u32);
+        }
+        for (term, positions) in per_term {
+            if term.index() >= self.positions.len() {
+                self.positions.resize_with(term.index() + 1, Vec::new);
+            }
+            self.positions[term.index()].push(positions);
+        }
+        doc
+    }
+
+    /// Freeze into an immutable positional index.
+    pub fn build(mut self) -> PositionalIndex {
+        let inner = self.inner.build();
+        self.positions
+            .resize_with(inner.dictionary().len(), Vec::new);
+        // Alignment sanity: one position list per posting.
+        debug_assert!((0..inner.dictionary().len()).all(|t| {
+            inner.postings(TermId(t as u32)).len() == self.positions[t].len()
+        }));
+        PositionalIndex {
+            inner,
+            positions: self.positions,
+        }
+    }
+}
+
+impl PositionalIndex {
+    /// The wrapped bag-of-words index (for ordinary scoring).
+    pub fn inner(&self) -> &InvertedIndex {
+        &self.inner
+    }
+
+    /// Positions of `term` within `doc`, empty when absent.
+    pub fn positions(&self, term: &str, doc: DocId) -> &[u32] {
+        let Some(id) = self.inner.dictionary().get(term) else {
+            return &[];
+        };
+        let postings = self.inner.postings(id);
+        match postings.binary_search_by_key(&doc, |p| p.doc) {
+            Ok(i) => &self.positions[id.index()][i],
+            Err(_) => &[],
+        }
+    }
+
+    /// Documents containing `phrase` as consecutive terms, with the number
+    /// of phrase occurrences, sorted by doc id.
+    pub fn phrase_docs<S: AsRef<str>>(&self, phrase: &[S]) -> Vec<(DocId, u32)> {
+        if phrase.is_empty() {
+            return Vec::new();
+        }
+        let dict = self.inner.dictionary();
+        // Resolve ids; any unknown word ⇒ no matches.
+        let Some(ids) = phrase
+            .iter()
+            .map(|t| dict.get(t.as_ref()))
+            .collect::<Option<Vec<TermId>>>()
+        else {
+            return Vec::new();
+        };
+        // Drive from the rarest term's postings.
+        let rare = *ids
+            .iter()
+            .min_by_key(|id| self.inner.postings(**id).len())
+            .expect("non-empty phrase");
+        let mut out = Vec::new();
+        'doc: for p in self.inner.postings(rare) {
+            let doc = p.doc;
+            // Gather position lists for all words in this doc.
+            let mut lists: Vec<&[u32]> = Vec::with_capacity(ids.len());
+            for &id in &ids {
+                let postings = self.inner.postings(id);
+                match postings.binary_search_by_key(&doc, |e| e.doc) {
+                    Ok(i) => lists.push(&self.positions[id.index()][i]),
+                    Err(_) => continue 'doc,
+                }
+            }
+            // Count start positions s where word k sits at s + k.
+            let mut count = 0u32;
+            for &start in lists[0] {
+                let ok = lists
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .all(|(k, l)| l.binary_search(&(start + k as u32)).is_ok());
+                if ok {
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                out.push((doc, count));
+            }
+        }
+        out
+    }
+
+    /// BM25 top-k where the phrase acts as one unit: the candidate set is
+    /// phrase-matching documents and the "term frequency" is the phrase
+    /// occurrence count (Lucene's `PhraseQuery` semantics, with the
+    /// phrase's df being the number of matching documents).
+    pub fn phrase_search<S: AsRef<str>>(&self, phrase: &[S], k: usize) -> Vec<Hit> {
+        let matches = self.phrase_docs(phrase);
+        if matches.is_empty() {
+            return Vec::new();
+        }
+        let scorer = Bm25::default();
+        let df = matches.len() as u32;
+        let mut topk = TopK::new(k);
+        for &(doc, tf) in &matches {
+            let score = scorer.contribution(&self.inner, doc, tf, df, 1);
+            topk.push(score, doc);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(score, doc)| Hit { doc, score })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn sample() -> PositionalIndex {
+        let mut b = PositionalBuilder::new();
+        b.add_document(&terms("fighting in swat valley continued")); // 0
+        b.add_document(&terms("the valley swat region")); // 1 (reversed)
+        b.add_document(&terms("swat valley swat valley twice")); // 2
+        b.add_document(&terms("unrelated words only")); // 3
+        b.build()
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let idx = sample();
+        assert_eq!(idx.positions("swat", DocId(0)), &[2]);
+        assert_eq!(idx.positions("swat", DocId(2)), &[0, 2]);
+        assert!(idx.positions("swat", DocId(3)).is_empty());
+        assert!(idx.positions("zzz", DocId(0)).is_empty());
+    }
+
+    #[test]
+    fn phrase_matches_consecutive_only() {
+        let idx = sample();
+        let docs = idx.phrase_docs(&["swat", "valley"]);
+        let ids: Vec<(u32, u32)> = docs.iter().map(|&(d, c)| (d.0, c)).collect();
+        assert_eq!(ids, vec![(0, 1), (2, 2)], "doc 1 has the words reversed");
+    }
+
+    #[test]
+    fn single_word_phrase_equals_term_match() {
+        let idx = sample();
+        let docs = idx.phrase_docs(&["valley"]);
+        let ids: Vec<u32> = docs.iter().map(|&(d, _)| d.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unknown_word_matches_nothing() {
+        let idx = sample();
+        assert!(idx.phrase_docs(&["swat", "zzz"]).is_empty());
+        assert!(idx.phrase_docs::<&str>(&[]).is_empty());
+    }
+
+    #[test]
+    fn phrase_search_ranks_by_occurrences() {
+        let idx = sample();
+        let hits = idx.phrase_search(&["swat", "valley"], 5);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc, DocId(2), "two occurrences outrank one");
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn inner_index_scores_normally() {
+        let idx = sample();
+        use crate::search::Searcher;
+        let s = Searcher::new(idx.inner(), Bm25::default());
+        let hits = s.search(&["valley"], 5);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn phrase_matches_agree_with_naive_scan() {
+        use newslink_util::DetRng;
+        let mut rng = DetRng::new(77);
+        let mut b = PositionalBuilder::new();
+        let mut raw_docs: Vec<Vec<String>> = Vec::new();
+        for _ in 0..80 {
+            let len = rng.range(3, 20);
+            let doc: Vec<String> = (0..len).map(|_| format!("w{}", rng.below(6))).collect();
+            b.add_document(&doc);
+            raw_docs.push(doc);
+        }
+        let idx = b.build();
+        for _ in 0..30 {
+            let plen = rng.range(2, 4);
+            let phrase: Vec<String> = (0..plen).map(|_| format!("w{}", rng.below(6))).collect();
+            let got = idx.phrase_docs(&phrase);
+            // Naive scan.
+            let mut want = Vec::new();
+            for (d, doc) in raw_docs.iter().enumerate() {
+                let mut count = 0u32;
+                for w in doc.windows(plen) {
+                    if w == phrase.as_slice() {
+                        count += 1;
+                    }
+                }
+                if count > 0 {
+                    want.push((DocId(d as u32), count));
+                }
+            }
+            assert_eq!(got, want, "phrase {phrase:?}");
+        }
+    }
+}

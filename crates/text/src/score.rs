@@ -1,0 +1,221 @@
+//! Similarity scoring functions over the inverted index.
+//!
+//! Two families, matching the paper's setup:
+//!
+//! - [`Bm25`] — the probabilistic relevance function Lucene 7.x uses by
+//!   default (the paper's NS component scores with "BM25 with default
+//!   settings provided by Lucene"); and
+//! - [`TfIdfCosine`] — classic VSM cosine with `(1+ln tf)·ln(N/df)`
+//!   weighting, provided for the scoring-compatibility claim of §VI.
+//!
+//! Both implement [`Scorer`], which scores one `(query-term, document)`
+//! contribution at a time; the search executor accumulates contributions
+//! term-at-a-time.
+
+use crate::inverted::{DocId, InvertedIndex};
+
+/// Per-(term, doc) additive scoring.
+pub trait Scorer {
+    /// Contribution of a query term with document frequency `df` occurring
+    /// `tf` times in `doc`, given the query-side term count `qtf`.
+    fn contribution(&self, index: &InvertedIndex, doc: DocId, tf: u32, df: u32, qtf: u32) -> f64;
+
+    /// Optional document-level normalization applied after accumulation.
+    fn normalize(&self, _index: &InvertedIndex, _doc: DocId, accumulated: f64) -> f64 {
+        accumulated
+    }
+}
+
+/// Okapi BM25 (Robertson & Zaragoza), Lucene defaults `k1 = 1.2`,
+/// `b = 0.75`, with Lucene's non-negative idf formulation.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25 {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization strength.
+    pub b: f64,
+}
+
+impl Default for Bm25 {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+impl Bm25 {
+    /// Lucene-style idf: `ln(1 + (N - df + 0.5) / (df + 0.5))`.
+    pub fn idf(&self, n_docs: usize, df: u32) -> f64 {
+        let n = n_docs as f64;
+        let df = df as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+}
+
+impl Scorer for Bm25 {
+    fn contribution(&self, index: &InvertedIndex, doc: DocId, tf: u32, df: u32, qtf: u32) -> f64 {
+        if tf == 0 {
+            return 0.0;
+        }
+        let tf = tf as f64;
+        let avg = index.avg_doc_len().max(1e-9);
+        let norm = 1.0 - self.b + self.b * (index.doc_len(doc) as f64 / avg);
+        let sat = tf * (self.k1 + 1.0) / (tf + self.k1 * norm);
+        qtf as f64 * self.idf(index.doc_count(), df) * sat
+    }
+}
+
+/// TF-IDF cosine similarity with logarithmic term frequency.
+///
+/// The document norm is supplied through [`TfIdfCosine::doc_norms`]
+/// precomputation so normalization stays O(1) per candidate.
+#[derive(Debug, Clone)]
+pub struct TfIdfCosine {
+    norms: Vec<f64>,
+}
+
+impl TfIdfCosine {
+    /// Precompute document vector norms for `index`.
+    pub fn new(index: &InvertedIndex) -> Self {
+        Self {
+            norms: Self::doc_norms(index),
+        }
+    }
+
+    /// `(1 + ln tf) · ln(N / df)` weight; 0 for `tf = 0`.
+    pub fn weight(n_docs: usize, tf: u32, df: u32) -> f64 {
+        if tf == 0 || df == 0 {
+            return 0.0;
+        }
+        let idf = ((n_docs as f64) / (df as f64)).ln().max(0.0);
+        (1.0 + (tf as f64).ln()) * idf
+    }
+
+    /// Per-document Euclidean norms of the TF-IDF vectors.
+    pub fn doc_norms(index: &InvertedIndex) -> Vec<f64> {
+        let n = index.doc_count();
+        let mut sq = vec![0.0f64; n];
+        let dict = index.dictionary();
+        for t in 0..dict.len() {
+            let term = crate::dictionary::TermId(t as u32);
+            let df = dict.doc_freq(term);
+            for p in index.postings(term) {
+                let w = Self::weight(n, p.tf, df);
+                sq[p.doc.index()] += w * w;
+            }
+        }
+        sq.into_iter().map(f64::sqrt).collect()
+    }
+}
+
+impl Scorer for TfIdfCosine {
+    fn contribution(&self, index: &InvertedIndex, _doc: DocId, tf: u32, df: u32, qtf: u32) -> f64 {
+        let n = index.doc_count();
+        Self::weight(n, qtf, df) * Self::weight(n, tf, df)
+    }
+
+    fn normalize(&self, _index: &InvertedIndex, doc: DocId, accumulated: f64) -> f64 {
+        let norm = self.norms[doc.index()];
+        if norm > 0.0 {
+            accumulated / norm
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverted::IndexBuilder;
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document(&["taliban", "attack", "pakistan", "attack"]);
+        b.add_document(&["pakistan", "election", "results", "pakistan"]);
+        b.add_document(&["cricket", "match", "score"]);
+        b.build()
+    }
+
+    #[test]
+    fn bm25_idf_decreases_with_df() {
+        let s = Bm25::default();
+        assert!(s.idf(100, 1) > s.idf(100, 10));
+        assert!(s.idf(100, 10) > s.idf(100, 99));
+        assert!(s.idf(100, 100) >= 0.0);
+    }
+
+    #[test]
+    fn bm25_contribution_positive_and_saturating() {
+        let idx = sample();
+        let s = Bm25::default();
+        let c1 = s.contribution(&idx, DocId(0), 1, 1, 1);
+        let c2 = s.contribution(&idx, DocId(0), 2, 1, 1);
+        let c10 = s.contribution(&idx, DocId(0), 10, 1, 1);
+        assert!(c1 > 0.0);
+        assert!(c2 > c1);
+        // saturation: the step from 2→10 is less than 8× the step 0→1
+        assert!(c10 - c2 < 8.0 * c1);
+        assert_eq!(s.contribution(&idx, DocId(0), 0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn bm25_rewards_rarity() {
+        let idx = sample();
+        let s = Bm25::default();
+        // "taliban" (df=1) vs "pakistan" (df=2), same tf in same doc
+        let rare = s.contribution(&idx, DocId(0), 1, 1, 1);
+        let common = s.contribution(&idx, DocId(0), 1, 2, 1);
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn bm25_length_normalization_penalizes_long_docs() {
+        let mut b = IndexBuilder::new();
+        b.add_document(&["x", "y"]);
+        let long: Vec<&str> = std::iter::once("x")
+            .chain(std::iter::repeat_n("z", 50))
+            .collect();
+        b.add_document(&long);
+        let idx = b.build();
+        let s = Bm25::default();
+        let short = s.contribution(&idx, DocId(0), 1, 2, 1);
+        let long = s.contribution(&idx, DocId(1), 1, 2, 1);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn tfidf_weight_properties() {
+        assert_eq!(TfIdfCosine::weight(10, 0, 1), 0.0);
+        assert!(TfIdfCosine::weight(10, 1, 1) > TfIdfCosine::weight(10, 1, 5));
+        assert!(TfIdfCosine::weight(10, 3, 1) > TfIdfCosine::weight(10, 1, 1));
+        // df == N ⇒ idf = 0
+        assert_eq!(TfIdfCosine::weight(10, 5, 10), 0.0);
+    }
+
+    #[test]
+    fn tfidf_norms_positive_for_nonempty_docs() {
+        let idx = sample();
+        let norms = TfIdfCosine::doc_norms(&idx);
+        assert_eq!(norms.len(), 3);
+        assert!(norms.iter().all(|&n| n > 0.0));
+    }
+
+    #[test]
+    fn tfidf_normalize_divides_by_norm() {
+        let idx = sample();
+        let s = TfIdfCosine::new(&idx);
+        let raw = 2.0;
+        let normed = s.normalize(&idx, DocId(0), raw);
+        assert!(normed < raw);
+        assert!(normed > 0.0);
+    }
+
+    #[test]
+    fn tfidf_zero_norm_doc_scores_zero() {
+        let mut b = IndexBuilder::new();
+        b.add_document::<&str>(&[]);
+        let idx = b.build();
+        let s = TfIdfCosine::new(&idx);
+        assert_eq!(s.normalize(&idx, DocId(0), 1.0), 0.0);
+    }
+}

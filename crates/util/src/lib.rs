@@ -1,0 +1,26 @@
+//! Shared utilities for the NewsLink workspace.
+//!
+//! This crate deliberately has no knowledge of news, graphs or search; it
+//! provides the low-level building blocks the other crates share:
+//!
+//! - [`fxhash`] — a fast, non-cryptographic hasher (FxHash) plus
+//!   [`FxHashMap`]/[`FxHashSet`] aliases, following the guidance of the Rust
+//!   Performance Book for integer-keyed tables on hot paths.
+//! - [`rng`] — deterministic, seedable random-number helpers so every
+//!   synthetic artifact in the workspace (knowledge graph, corpora,
+//!   simulated user panel) is reproducible from a single seed.
+//! - [`topk`] — a bounded min-heap for streaming top-k selection, the
+//!   retrieval primitive used by every ranking component.
+//! - [`timer`] — a component stopwatch used to reproduce the paper's
+//!   per-component time breakdowns (Table VIII, Figure 7).
+
+pub mod fxhash;
+pub mod rng;
+pub mod timer;
+pub mod topk;
+pub mod varint;
+
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use rng::DetRng;
+pub use timer::ComponentTimer;
+pub use topk::TopK;

@@ -1,0 +1,367 @@
+//! Deterministic random-number helpers.
+//!
+//! Everything synthetic in the workspace — the knowledge graph, the news
+//! corpora, the simulated user panel — must be reproducible from a single
+//! seed so that experiment tables are stable across runs and machines.
+//! [`DetRng`] wraps a small, fast PCG-style generator (xoshiro256**) seeded
+//! through SplitMix64, with convenience methods for the sampling patterns
+//! the generators need. `rand`'s distributions remain available through the
+//! [`rand::RngCore`] impl.
+
+use rand::RngCore;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+///
+/// Chosen over `StdRng` so the byte streams are pinned by this crate rather
+/// than by `rand`'s (version-dependent) choice of algorithm.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Derive an independent child generator for a named sub-stream.
+    ///
+    /// Use this to give each synthetic subsystem (geo, people, events, …)
+    /// its own stream: adding draws in one subsystem then never perturbs
+    /// another.
+    pub fn fork(&self, stream: u64) -> Self {
+        // Mix the current state with the stream id; children are decorrelated
+        // by the SplitMix64 avalanche.
+        let mut sm = self
+            .s
+            .iter()
+            .fold(stream, |acc, w| acc.rotate_left(17) ^ *w);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below() requires a positive bound");
+        // Lemire's multiply-shift rejection method (bias-free).
+        let bound = bound as u64;
+        loop {
+            let x = self.next();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "range({lo}, {hi}) is empty");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0, 1).
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    #[inline]
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Sample an index from unnormalized non-negative weights.
+    ///
+    /// Returns `None` when every weight is zero or the slice is empty.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            target -= w;
+            if target <= 0.0 {
+                return Some(i);
+            }
+        }
+        // Floating-point underflow on the last positive weight.
+        weights.iter().rposition(|&w| w > 0.0)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k is clamped to n).
+    ///
+    /// Uses Floyd's algorithm: O(k) expected draws, no allocation of `n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut chosen = crate::FxHashSet::default();
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.below(j + 1);
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out
+    }
+
+    /// Standard normal draw (Box–Muller, one value per call).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.unit();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Zipf-like rank draw over `[0, n)` with exponent `s` using inverse
+    /// transform over the truncated harmonic weights; cheap approximation
+    /// adequate for heavy-tailed degree/term distributions.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0);
+        // Inverse-CDF approximation for P(X >= x) ~ x^(1-s).
+        if s <= 1.0 + 1e-9 {
+            // Fall back to weighted sampling over 1/rank.
+            let u = self.unit();
+            let hn: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += 1.0 / ((i + 1) as f64 * hn);
+                if u < acc {
+                    return i;
+                }
+            }
+            return n - 1;
+        }
+        let u = self.unit();
+        let x = ((1.0 - u * (1.0 - (n as f64).powf(1.0 - s))).powf(1.0 / (1.0 - s))).floor();
+        (x as usize).clamp(1, n) - 1
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(8);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn fork_is_independent_of_parent_consumption() {
+        let parent = DetRng::new(3);
+        let mut child1 = parent.fork(1);
+        let parent2 = DetRng::new(3);
+        let _ = parent2; // forks derive from state, not draws
+        let mut child1b = parent.fork(1);
+        for _ in 0..20 {
+            assert_eq!(child1.next_u64(), child1b.next_u64());
+        }
+        let mut child2 = parent.fork(2);
+        assert_ne!(child1.next_u64(), child2.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = DetRng::new(11);
+        for bound in [1usize, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_small_range() {
+        let mut rng = DetRng::new(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.below(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut rng = DetRng::new(13);
+        for _ in 0..1000 {
+            let x = rng.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pick_weighted_prefers_heavy_weight() {
+        let mut rng = DetRng::new(17);
+        let weights = [0.0, 10.0, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            counts[rng.pick_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > counts[2] * 10);
+    }
+
+    #[test]
+    fn pick_weighted_all_zero_is_none() {
+        let mut rng = DetRng::new(19);
+        assert_eq!(rng.pick_weighted(&[0.0, 0.0]), None);
+        assert_eq!(rng.pick_weighted(&[]), None);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = DetRng::new(23);
+        let sample = rng.sample_indices(100, 20);
+        assert_eq!(sample.len(), 20);
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(sample.iter().all(|&i| i < 100));
+        // k > n clamps
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(29);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = DetRng::new(31);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let mut rng = DetRng::new(37);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[rng.zipf(100, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50]);
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = DetRng::new(41);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,163 @@
+//! LEB128 variable-length integer coding.
+//!
+//! The persistence layer stores posting lists as delta-coded varints —
+//! the standard inverted-index compression (Lucene's VInt). Small deltas
+//! dominate sorted posting lists, so most entries take one byte.
+
+use std::io::{self, Read, Write};
+
+/// Write `value` as unsigned LEB128.
+pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Read an unsigned LEB128 value.
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        value |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint too long",
+            ));
+        }
+    }
+}
+
+/// Write a `u32` as varint.
+pub fn write_u32<W: Write>(w: &mut W, value: u32) -> io::Result<()> {
+    write_u64(w, u64::from(value))
+}
+
+/// Read a `u32` varint, erroring when out of range.
+pub fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let v = read_u64(r)?;
+    u32::try_from(v).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidData, "varint exceeds u32 range")
+    })
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+/// Read a length-prefixed UTF-8 string (bounded by `max_len` bytes).
+pub fn read_str<R: Read>(r: &mut R, max_len: usize) -> io::Result<String> {
+    let len = read_u64(r)? as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("string length {len} exceeds limit {max_len}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).unwrap();
+        read_u64(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn round_trips_representative_values() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(round_trip(v), v);
+        }
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 128).unwrap();
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_input_is_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        buf.pop();
+        assert!(read_u64(&mut &buf[..]).is_err());
+        assert!(read_u64(&mut &[][..]).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes can encode > 64 bits.
+        let bad = [0xFFu8; 11];
+        assert!(read_u64(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn u32_range_enforced() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX) + 1).unwrap();
+        assert!(read_u32(&mut &buf[..]).is_err());
+        buf.clear();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        assert_eq!(read_u32(&mut &buf[..]).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "Swat Valley").unwrap();
+        write_str(&mut buf, "").unwrap();
+        write_str(&mut buf, "日本語").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_str(&mut r, 1024).unwrap(), "Swat Valley");
+        assert_eq!(read_str(&mut r, 1024).unwrap(), "");
+        assert_eq!(read_str(&mut r, 1024).unwrap(), "日本語");
+    }
+
+    #[test]
+    fn string_length_limit_enforced() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "0123456789").unwrap();
+        assert!(read_str(&mut &buf[..], 5).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(read_str(&mut &buf[..], 10).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the utility primitives.
+
+use proptest::prelude::*;
+
+use newslink_util::varint;
+use newslink_util::{DetRng, TopK};
+
+proptest! {
+    /// TopK agrees with sort-and-truncate for arbitrary score streams.
+    #[test]
+    fn topk_matches_sorting(
+        scores in prop::collection::vec(-1e6f64..1e6, 0..200),
+        k in 0usize..20,
+    ) {
+        let mut tk = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            tk.push(s, i);
+        }
+        let got = tk.into_sorted();
+        let mut want: Vec<(f64, usize)> =
+            scores.iter().copied().enumerate().map(|(i, s)| (s, i)).collect();
+        // descending score, ascending index on ties (earlier insertion wins)
+        want.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Varints round-trip any u64 and any sequence.
+    #[test]
+    fn varint_round_trips(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_u64(&mut buf, v).unwrap();
+        }
+        let mut r = &buf[..];
+        for &v in &values {
+            prop_assert_eq!(varint::read_u64(&mut r).unwrap(), v);
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    /// Strings of any shape round-trip.
+    #[test]
+    fn varint_strings_round_trip(s in "\\PC*") {
+        let mut buf = Vec::new();
+        varint::write_str(&mut buf, &s).unwrap();
+        let got = varint::read_str(&mut &buf[..], s.len().max(1)).unwrap();
+        prop_assert_eq!(got, s);
+    }
+
+    /// below() is uniform enough to hit every bucket of a small range.
+    #[test]
+    fn rng_below_stays_in_bounds(seed in any::<u64>(), bound in 1usize..1000) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// sample_indices returns distinct in-range indices.
+    #[test]
+    fn rng_sample_indices_distinct(seed in any::<u64>(), n in 1usize..200, k in 0usize..100) {
+        let mut rng = DetRng::new(seed);
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), s.len());
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// pick_weighted never selects a zero-weight item.
+    #[test]
+    fn rng_pick_weighted_respects_zeros(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..50 {
+            match rng.pick_weighted(&weights) {
+                Some(i) => prop_assert!(weights[i] > 0.0),
+                None => prop_assert!(weights.iter().all(|&w| w <= 0.0)),
+            }
+        }
+    }
+}

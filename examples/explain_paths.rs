@@ -1,0 +1,29 @@
+//! The paper's case study (Figure 6), reproduced: retrieve with subgraph
+//! embeddings only (β = 1) and print the relationship paths that *explain*
+//! the result — including induced entities mentioned in neither text.
+//!
+//! Run with: `cargo run --release --example explain_paths`
+
+use newslink::corpus::CorpusFlavor;
+use newslink::eval::{run_case_study, EvalContext, EvalScale};
+
+fn main() {
+    let ctx = EvalContext::build(CorpusFlavor::CnnLike, EvalScale::Tiny, 41);
+    println!(
+        "world: {} nodes / {} edges; corpus: {} docs\n",
+        ctx.world.graph.node_count(),
+        ctx.world.graph.edge_count(),
+        ctx.corpus.len()
+    );
+    match run_case_study(&ctx) {
+        Some(cs) => {
+            println!("{cs}");
+            println!(
+                "NOTE: the induced entities above appear in NEITHER text — they\n\
+                 are the KG context (the paper's Khyber/Kunar effect) that both\n\
+                 links and explains the two stories."
+            );
+        }
+        None => println!("no explainable pair found at this scale; try a larger corpus"),
+    }
+}

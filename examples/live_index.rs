@@ -1,0 +1,74 @@
+//! Operating NewsLink as a *running service*: incremental indexing with
+//! Lucene-style segments, deletions, merges — and full-index persistence
+//! so a built NewsLink index survives restarts.
+//!
+//! Run with: `cargo run --release --example live_index`
+
+use newslink::core::{load_newslink_index, save_newslink_index, NewsLink, NewsLinkConfig};
+use newslink::kg::{synth, LabelIndex, SynthConfig};
+use newslink::nlp::analyze;
+use newslink::text::SegmentedIndex;
+
+fn main() {
+    // --- Part 1: a live segmented text index -----------------------------
+    println!("== live segmented index ==");
+    let mut live = SegmentedIndex::new(3);
+    let id_a = live.add_document(&analyze("Taliban attack shakes the Khyber region"));
+    let id_b = live.add_document(&analyze("Election results announced in the capital"));
+    live.commit();
+    println!(
+        "after first commit: {} docs in {} segment(s)",
+        live.doc_count(),
+        live.segment_count()
+    );
+    // A late correction: the election story is retracted.
+    live.delete_document(id_b);
+    // A stream of follow-ups arrives.
+    for i in 0..6 {
+        live.add_document(&analyze(&format!(
+            "Follow-up {i}: authorities in Khyber said the investigation continues"
+        )));
+        live.commit();
+    }
+    println!(
+        "after follow-ups: {} docs in {} segment(s) (merge policy capped)",
+        live.doc_count(),
+        live.segment_count()
+    );
+    let hits = live.search(&analyze("khyber attack"), 3);
+    println!("top hits for 'khyber attack':");
+    for (id, score) in &hits {
+        println!("  doc {id} score {score:.3}");
+    }
+    assert_eq!(hits[0].0, id_a);
+
+    // --- Part 2: persist a full NewsLink index ---------------------------
+    println!("\n== NewsLink index persistence ==");
+    let world = synth::generate(&SynthConfig::small(99));
+    let labels = LabelIndex::build(&world.graph);
+    let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
+    let country = world.graph.label(world.countries[0]);
+    let docs: Vec<String> = (0..50)
+        .map(|i| format!("Story {i} about developments in {country} and beyond."))
+        .collect();
+    let index = engine.index_corpus(&docs);
+
+    let path = std::env::temp_dir().join("newslink_example_index.nlnk");
+    save_newslink_index(&index, &world.graph, &path).expect("save");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("saved index for {} docs ({bytes} bytes)", index.doc_count());
+
+    let restored = load_newslink_index(&world.graph, &path).expect("load");
+    let q = format!("news about {country}");
+    let fresh = engine.search(&index, &q, 3);
+    let reloaded = engine.search(&restored, &q, 3);
+    assert_eq!(
+        fresh.results.iter().map(|r| r.doc).collect::<Vec<_>>(),
+        reloaded.results.iter().map(|r| r.doc).collect::<Vec<_>>()
+    );
+    println!(
+        "restored index answers identically: top doc {} (score {:.3})",
+        reloaded.results[0].doc.0, reloaded.results[0].score
+    );
+    std::fs::remove_file(&path).ok();
+}

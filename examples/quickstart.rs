@@ -1,0 +1,77 @@
+//! Quickstart: build a tiny knowledge graph by hand, index three news
+//! snippets, run a blended NewsLink query, and print the relationship-path
+//! explanations.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use newslink::core::{NewsLink, NewsLinkConfig};
+use newslink::kg::{EntityType, GraphBuilder, LabelIndex};
+
+fn main() {
+    // 1. A hand-built slice of the paper's Figure 1 world.
+    let mut b = GraphBuilder::new();
+    let khyber = b.add_node("Khyber", EntityType::Gpe);
+    let kunar = b.add_node("Kunar", EntityType::Gpe);
+    let waziristan = b.add_node("Waziristan", EntityType::Gpe);
+    let taliban = b.add_node("Taliban", EntityType::Organization);
+    let pakistan = b.add_node("Pakistan", EntityType::Gpe);
+    let upper_dir = b.add_node("Upper Dir", EntityType::Gpe);
+    let swat = b.add_node("Swat Valley", EntityType::Location);
+    let lahore = b.add_node("Lahore", EntityType::Gpe);
+    let peshawar = b.add_node("Peshawar", EntityType::Gpe);
+    b.add_edge(kunar, khyber, "shares border with", 1);
+    b.add_edge(waziristan, khyber, "located in", 1);
+    b.add_edge(taliban, kunar, "operates in", 1);
+    b.add_edge(taliban, waziristan, "operates in", 1);
+    b.add_edge(upper_dir, khyber, "located in", 1);
+    b.add_edge(swat, khyber, "located in", 1);
+    b.add_edge(khyber, pakistan, "located in", 1);
+    b.add_edge(lahore, pakistan, "located in", 1);
+    b.add_edge(peshawar, khyber, "located in", 1);
+    let graph = b.freeze();
+    let labels = LabelIndex::build(&graph);
+    println!(
+        "knowledge graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // 2. Index a tiny corpus.
+    let engine = NewsLink::new(&graph, &labels, NewsLinkConfig::default());
+    let docs = vec![
+        "Military conflicts between Pakistan and Taliban spread to Upper Dir and Swat Valley."
+            .to_string(),
+        "A bombing attack struck Lahore; Peshawar authorities blamed Taliban operatives."
+            .to_string(),
+        "The annual cricket festival concluded peacefully with record attendance.".to_string(),
+    ];
+    let index = engine.index_corpus(&docs);
+    println!(
+        "indexed {} docs ({} with subgraph embeddings)\n",
+        index.doc_count(),
+        index.embedded_docs
+    );
+
+    // 3. Search with a partial query (vocabulary differs from doc 1!).
+    let query = "Taliban violence near Kunar";
+    let outcome = engine.search(&index, query, 3);
+    println!("query: {query:?}");
+    for hit in &outcome.results {
+        println!(
+            "  doc {} score={:.3} (bow={:.3} bon={:.3}): {}",
+            hit.doc.0,
+            hit.score,
+            hit.bow,
+            hit.bon,
+            &docs[hit.doc.index()][..60.min(docs[hit.doc.index()].len())]
+        );
+    }
+
+    // 4. Explain the top hit with relationship paths from the KG.
+    if let Some(top) = outcome.results.first() {
+        println!("\nwhy is doc {} related? relationship paths:", top.doc.0);
+        for path in engine.explain(&index, &outcome.embedding, top.doc, 4, 5) {
+            println!("  {}", path.render(&graph));
+        }
+    }
+}
