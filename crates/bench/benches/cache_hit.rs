@@ -1,0 +1,124 @@
+//! Cold-vs-warm micro-benchmark for the shared traversal/embedding cache.
+//!
+//! Measures the two hot paths the cache fronts:
+//!
+//! 1. corpus indexing over a stream with recurring entity groups
+//!    (uncached vs. engine-cached rebuild);
+//! 2. repeated query execution (cold engine vs. warm query memo).
+//!
+//! Prints absolute times and warm-speedup ratios; run with
+//! `cargo bench --bench cache_hit`.
+
+use std::time::{Duration, Instant};
+
+use newslink_core::{index_corpus_with, NewsLink, NewsLinkConfig, SearchRequest};
+use newslink_kg::{synth, LabelIndex, SynthConfig};
+
+/// Best-of-`reps` wall time of `f`.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best: Option<Duration> = None;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        let dt = t.elapsed();
+        if best.is_none_or(|b| dt < b) {
+            best = Some(dt);
+        }
+        out = Some(r);
+    }
+    (best.unwrap(), out.unwrap())
+}
+
+fn fmt(d: Duration) -> String {
+    format!("{:8.2} ms", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let world = synth::generate(&SynthConfig::small(42));
+    let labels = LabelIndex::build(&world.graph);
+    let pool: Vec<_> = world
+        .countries
+        .iter()
+        .chain(&world.provinces)
+        .chain(&world.cities)
+        .chain(&world.people)
+        .chain(&world.organizations)
+        .copied()
+        .collect();
+
+    // A news stream: 240 articles cycling through 24 recurring entity
+    // pairings, the shape the group memo is built for.
+    let docs: Vec<String> = (0..240)
+        .map(|i| {
+            let story = i % 24;
+            let a = world.graph.label(pool[(story * 3) % pool.len()]);
+            let b = world.graph.label(pool[(story * 7 + 1) % pool.len()]);
+            format!("Update {i}: sources close to {a} commented on events involving {b}.")
+        })
+        .collect();
+    let queries: Vec<String> = (0..24)
+        .map(|i| {
+            let a = world.graph.label(pool[(i * 5 + 2) % pool.len()]);
+            format!("what is happening around {a}")
+        })
+        .collect();
+
+    let cfg = NewsLinkConfig::default();
+    println!(
+        "cache_hit: {} docs / {} queries over a {}-node graph\n",
+        docs.len(),
+        queries.len(),
+        world.graph.node_count()
+    );
+
+    // --- Indexing: uncached vs. cached engine (cache pre-warmed by one
+    // build, as in a rebuild/refresh deployment).
+    let (cold_index, _) =
+        best_of(3, || index_corpus_with(&world.graph, &labels, &cfg, None, &docs));
+    let engine = NewsLink::new(&world.graph, &labels, cfg.clone());
+    let index = engine.index_corpus(&docs); // populate
+    let (warm_index, warm_idx) = best_of(3, || engine.index_corpus(&docs));
+    println!("index   cold (uncached)      {}", fmt(cold_index));
+    println!(
+        "index   warm (group memo)    {}   {:5.1}x speedup",
+        fmt(warm_index),
+        cold_index.as_secs_f64() / warm_index.as_secs_f64()
+    );
+    println!(
+        "        warm run counters: {} hits / {} misses",
+        warm_idx.cache_stats.hits, warm_idx.cache_stats.misses
+    );
+
+    // --- Queries: cold engine pass vs. warm query-memo pass.
+    let run_queries = |engine: &NewsLink| {
+        let mut n = 0;
+        for q in &queries {
+            n += engine
+                .execute(&index, &SearchRequest::new(q).with_k(10))
+                .results
+                .len();
+        }
+        n
+    };
+    let (cold_query, _) = best_of(1, || {
+        let fresh = NewsLink::new(&world.graph, &labels, cfg.clone());
+        run_queries(&fresh)
+    });
+    run_queries(&engine); // ensure the memo holds every query
+    let (warm_query, _) = best_of(3, || run_queries(&engine));
+    println!("query   cold (empty caches)  {}", fmt(cold_query));
+    println!(
+        "query   warm (query memo)    {}   {:5.1}x speedup",
+        fmt(warm_query),
+        cold_query.as_secs_f64() / warm_query.as_secs_f64()
+    );
+    let stats = engine.cache_stats();
+    println!(
+        "        engine totals: groups {}/{} hit, queries {}/{} hit",
+        stats.groups.hits,
+        stats.groups.lookups(),
+        stats.queries.hits,
+        stats.queries.lookups()
+    );
+}

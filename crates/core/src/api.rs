@@ -1,0 +1,172 @@
+//! The request-based search API.
+//!
+//! [`SearchRequest`] describes one query declaratively — the text, how
+//! many hits, an optional per-request β override, whether to attach
+//! relationship-path explanations, and whether this request may use the
+//! engine's caches. [`crate::NewsLink::execute`] turns it into a
+//! [`SearchResponse`] carrying the ranked hits plus everything the old
+//! multi-argument call sites had to assemble by hand (embedding, timers,
+//! cache observability, explanations).
+//!
+//! The free functions in [`crate::searcher`] remain as thin wrappers for
+//! existing callers; new code should construct requests.
+
+use newslink_embed::{DocEmbedding, RelationshipPath};
+use newslink_text::DocId;
+use newslink_util::ComponentTimer;
+
+use crate::searcher::SearchResult;
+
+/// Explanation knobs for a request (paths per result, hops per path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplainOptions {
+    /// Maximum relationship-path length in edges.
+    pub max_len: usize,
+    /// Maximum number of paths per explained result.
+    pub max_paths: usize,
+}
+
+impl Default for ExplainOptions {
+    fn default() -> Self {
+        Self {
+            max_len: 4,
+            max_paths: 10,
+        }
+    }
+}
+
+/// One declarative search request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// The query text.
+    pub query: String,
+    /// Number of results to return.
+    pub k: usize,
+    /// Per-request β override (engine default when `None`); clamped to
+    /// `[0, 1]` by the builder.
+    pub beta: Option<f64>,
+    /// Attach relationship-path explanations to every result.
+    pub explain: Option<ExplainOptions>,
+    /// Allow this request to read and populate the engine's caches.
+    pub use_cache: bool,
+}
+
+impl SearchRequest {
+    /// A request for `query` with the defaults: `k = 10`, engine β,
+    /// no explanations, caching on.
+    pub fn new(query: impl Into<String>) -> Self {
+        Self {
+            query: query.into(),
+            k: 10,
+            beta: None,
+            explain: None,
+            use_cache: true,
+        }
+    }
+
+    /// Set the number of results.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Override β for this request only (clamped to `[0, 1]`).
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = Some(beta.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Attach explanations with the given options.
+    pub fn with_explanations(mut self, options: ExplainOptions) -> Self {
+        self.explain = Some(options);
+        self
+    }
+
+    /// Attach explanations with default options.
+    pub fn explained(self) -> Self {
+        self.with_explanations(ExplainOptions::default())
+    }
+
+    /// Bypass the engine's caches for this request.
+    pub fn without_cache(mut self) -> Self {
+        self.use_cache = false;
+        self
+    }
+}
+
+/// How the engine's caches served one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCacheInfo {
+    /// Caching was on for this request (engine caches exist and the
+    /// request allowed them).
+    pub enabled: bool,
+    /// The whole-query memo answered, skipping NLP and NE entirely.
+    pub query_hit: bool,
+}
+
+/// Relationship-path evidence for one ranked result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// The explained document.
+    pub doc: DocId,
+    /// Paths linking query entities to the document's entities.
+    pub paths: Vec<RelationshipPath>,
+}
+
+/// Everything produced by executing one [`SearchRequest`].
+#[derive(Debug)]
+pub struct SearchResponse {
+    /// Ranked results, best first.
+    pub results: Vec<SearchResult>,
+    /// The query's subgraph embedding.
+    pub embedding: DocEmbedding,
+    /// Per-component latency ("nlp", "ne", "ns").
+    pub timer: ComponentTimer,
+    /// Cache participation of this request.
+    pub cache: QueryCacheInfo,
+    /// Per-result explanations, aligned with `results`; empty unless the
+    /// request asked for them.
+    pub explanations: Vec<Explanation>,
+}
+
+/// The outcome of executing a batch of requests.
+#[derive(Debug)]
+pub struct BatchResponse {
+    /// One response per request, in input order.
+    pub responses: Vec<SearchResponse>,
+    /// Per-query component timers aggregated across the batch, plus a
+    /// `"batch"` entry recording the wall-clock of the whole call (which
+    /// is less than the component sum when queries ran in parallel).
+    pub timer: ComponentTimer,
+}
+
+impl BatchResponse {
+    /// Queries answered from the whole-query memo.
+    pub fn query_hits(&self) -> usize {
+        self.responses.iter().filter(|r| r.cache.query_hit).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_defaults_and_overrides() {
+        let r = SearchRequest::new("taliban in kunar");
+        assert_eq!(r.k, 10);
+        assert_eq!(r.beta, None);
+        assert!(r.use_cache);
+        assert!(r.explain.is_none());
+
+        let r = SearchRequest::new("q")
+            .with_k(3)
+            .with_beta(2.0)
+            .explained()
+            .without_cache();
+        assert_eq!(r.k, 3);
+        assert_eq!(r.beta, Some(1.0), "β must clamp");
+        assert!(!r.use_cache);
+        assert_eq!(r.explain.unwrap().max_len, 4);
+    }
+}

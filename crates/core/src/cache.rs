@@ -1,0 +1,111 @@
+//! Engine-level caches shared by indexing and search.
+//!
+//! [`EngineCaches`] bundles the two cache layers a [`crate::NewsLink`]
+//! engine owns:
+//!
+//! - the `newslink-embed` [`EmbeddingCache`] (group memo + shared
+//!   distance maps), consulted by every per-document and per-query
+//!   embedding, from `index_corpus` worker threads and `search_batch`
+//!   scoped threads alike;
+//! - a query memo mapping the raw query string to its finished NLP + NE
+//!   artifacts, so a repeated query skips both components entirely.
+//!
+//! Everything keys on frozen-graph state plus the engine's fixed
+//! `SearchConfig`/model, so hits are bit-identical to recomputation; the
+//! per-request β override only affects score blending, which is never
+//! cached.
+
+use std::sync::Arc;
+
+use newslink_embed::{DocEmbedding, EmbeddingCache};
+use newslink_kg::ShardedCache;
+use newslink_util::CacheStats;
+
+use crate::config::CacheConfig;
+
+/// The cached output of query analysis: exactly the inputs scoring needs.
+#[derive(Debug)]
+pub(crate) struct QueryArtifacts {
+    /// Analyzed BOW terms.
+    pub terms: Vec<String>,
+    /// The query's subgraph embedding.
+    pub embedding: DocEmbedding,
+}
+
+/// All caches owned by one engine.
+#[derive(Debug)]
+pub(crate) struct EngineCaches {
+    /// Group memo + distance maps for the NE component.
+    pub embed: EmbeddingCache,
+    /// Whole-query artifact memo for the engine's search entry points.
+    pub query: ShardedCache<String, Arc<QueryArtifacts>>,
+}
+
+impl EngineCaches {
+    /// Build caches sized by `config`; returns `None` when caching is
+    /// disabled so call sites fall through to the uncached paths.
+    pub fn from_config(config: &CacheConfig) -> Option<Self> {
+        if !config.enabled {
+            return None;
+        }
+        Some(Self {
+            embed: EmbeddingCache::new(config.group_capacity, config.distance_capacity),
+            query: ShardedCache::new(config.query_capacity),
+        })
+    }
+
+    /// Snapshot every tier's counters.
+    pub fn stats(&self) -> EngineCacheStats {
+        EngineCacheStats {
+            groups: self.embed.group_stats(),
+            distances: self.embed.distance_stats(),
+            queries: self.query.stats(),
+        }
+    }
+
+    /// Drop all cached entries (counters are preserved).
+    pub fn clear(&self) {
+        self.embed.clear();
+        self.query.clear();
+    }
+}
+
+/// Per-tier counter snapshot of an engine's caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCacheStats {
+    /// The `(model, label set) -> G*` memo.
+    pub groups: CacheStats,
+    /// The shared truncated-Dijkstra distance maps.
+    pub distances: CacheStats,
+    /// The whole-query artifact memo.
+    pub queries: CacheStats,
+}
+
+impl EngineCacheStats {
+    /// Sum of all tiers, for one-line reporting.
+    pub fn combined(&self) -> CacheStats {
+        self.groups.merged(&self.distances).merged(&self.queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_builds_no_caches() {
+        assert!(EngineCaches::from_config(&CacheConfig::disabled()).is_none());
+        assert!(EngineCaches::from_config(&CacheConfig::default()).is_some());
+    }
+
+    #[test]
+    fn stats_cover_all_tiers() {
+        let caches = EngineCaches::from_config(&CacheConfig::default()).unwrap();
+        assert!(caches.query.get(&"q".to_string()).is_none());
+        let s = caches.stats();
+        assert_eq!(s.queries.misses, 1);
+        assert_eq!(s.combined().misses, 1);
+        caches.clear();
+        assert_eq!(caches.stats().queries.entries, 0);
+    }
+}

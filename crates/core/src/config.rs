@@ -13,6 +13,46 @@ pub enum EmbeddingModel {
     Tree,
 }
 
+/// Capacity knobs for the engine's shared caches (see
+/// [`crate::pipeline::NewsLink`] and `newslink_embed::EmbeddingCache`).
+///
+/// All tiers key on frozen-graph state, so caching never changes results
+/// — only how often the traversal actually runs. Disabling the cache (or
+/// setting a capacity to zero) routes every request through the uncached
+/// code path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Master switch; `false` makes every tier a pass-through.
+    pub enabled: bool,
+    /// Memoized `(model, label set) -> G*` results.
+    pub group_capacity: usize,
+    /// Shared truncated-Dijkstra distance maps (tier 2).
+    pub distance_capacity: usize,
+    /// Engine-level memo of whole query artifacts (NLP + NE output).
+    pub query_capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            group_capacity: 8192,
+            distance_capacity: 4096,
+            query_capacity: 1024,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration with every cache tier off.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
 /// End-to-end pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct NewsLinkConfig {
@@ -24,8 +64,11 @@ pub struct NewsLinkConfig {
     pub model: EmbeddingModel,
     /// NE search knobs.
     pub search: SearchConfig,
-    /// Worker threads for corpus embedding (1 = serial).
+    /// Worker threads for corpus embedding and batch search (1 = serial,
+    /// 0 = match the machine's available parallelism).
     pub threads: usize,
+    /// Shared traversal/embedding cache sizing.
+    pub cache: CacheConfig,
     /// Normalize BOW/BON score maps by their maxima before blending so β
     /// weights two comparable [0, 1] signals. (The paper blends Lucene
     /// scores; normalization pins the β semantics across index scales.)
@@ -43,6 +86,7 @@ impl Default for NewsLinkConfig {
             model: EmbeddingModel::Lcag,
             search: SearchConfig::default(),
             threads: 1,
+            cache: CacheConfig::default(),
             normalize_scores: true,
             use_threshold_algorithm: false,
         }
@@ -71,6 +115,39 @@ impl NewsLinkConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Size worker pools to the machine (resolved per call site by
+    /// [`effective_threads`](Self::effective_threads)).
+    pub fn with_auto_threads(mut self) -> Self {
+        self.threads = 0;
+        self
+    }
+
+    /// Set the cache configuration.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Turn every cache tier off.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = CacheConfig::disabled();
+        self
+    }
+
+    /// Resolve `threads` for a workload of `work` items: 0 means "use the
+    /// machine's available parallelism", and the answer never exceeds the
+    /// work or drops below one.
+    pub fn effective_threads(&self, work: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        requested.min(work).max(1)
     }
 
     /// Enable Threshold-Algorithm ranking.
@@ -102,6 +179,33 @@ mod tests {
     fn threads_floor_at_one() {
         assert_eq!(NewsLinkConfig::default().with_threads(0).threads, 1);
         assert_eq!(NewsLinkConfig::default().with_threads(8).threads, 8);
+    }
+
+    #[test]
+    fn auto_threads_resolve_to_machine_bounded_by_work() {
+        let c = NewsLinkConfig::default().with_auto_threads();
+        assert_eq!(c.threads, 0);
+        assert!(c.effective_threads(1000) >= 1);
+        assert_eq!(c.effective_threads(1), 1);
+        assert_eq!(c.effective_threads(0), 1);
+        // Explicit counts pass through, still bounded by the work.
+        let e = NewsLinkConfig::default().with_threads(4);
+        assert_eq!(e.effective_threads(100), 4);
+        assert_eq!(e.effective_threads(2), 2);
+    }
+
+    #[test]
+    fn cache_defaults_on_and_disables() {
+        let c = NewsLinkConfig::default();
+        assert!(c.cache.enabled);
+        assert!(c.cache.group_capacity > 0);
+        let off = c.clone().without_cache();
+        assert!(!off.cache.enabled);
+        let custom = NewsLinkConfig::default().with_cache(CacheConfig {
+            query_capacity: 7,
+            ..CacheConfig::default()
+        });
+        assert_eq!(custom.cache.query_capacity, 7);
     }
 
     #[test]

@@ -9,11 +9,13 @@
 
 use std::time::Instant;
 
-use newslink_embed::{bon_terms, find_lcag, find_tree_embedding, DocEmbedding};
+use newslink_embed::{
+    bon_terms, find_lcag, find_tree_embedding, CachedModel, DocEmbedding, EmbeddingCache,
+};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
 use newslink_nlp::{DocumentAnalysis, MatchStats, NlpPipeline};
 use newslink_text::{DocId, IndexBuilder, InvertedIndex};
-use newslink_util::ComponentTimer;
+use newslink_util::{CacheStats, ComponentTimer};
 
 use crate::config::{EmbeddingModel, NewsLinkConfig};
 
@@ -33,6 +35,9 @@ pub struct NewsLinkIndex {
     pub embedded_docs: usize,
     /// Accumulated per-component indexing time ("nlp", "ne", "ns").
     pub timer: ComponentTimer,
+    /// Group-memo cache activity during this indexing run (all zeros when
+    /// the run was uncached).
+    pub cache_stats: CacheStats,
 }
 
 impl NewsLinkIndex {
@@ -60,11 +65,24 @@ pub(crate) struct DocArtifacts {
     pub ne_nanos: u64,
 }
 
-/// Run NLP + NE for one document.
+/// Run NLP + NE for one document (uncached).
 pub(crate) fn embed_one(
     graph: &KnowledgeGraph,
     label_index: &LabelIndex,
     config: &NewsLinkConfig,
+    text: &str,
+) -> DocArtifacts {
+    embed_one_with(graph, label_index, config, None, text)
+}
+
+/// Run NLP + NE for one document, consulting `cache` for every entity
+/// group when provided. Cached and uncached runs produce identical
+/// artifacts (see `newslink_embed::cache`); only the timings differ.
+pub(crate) fn embed_one_with(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    cache: Option<&EmbeddingCache>,
     text: &str,
 ) -> DocArtifacts {
     let nlp = NlpPipeline::new(graph, label_index);
@@ -76,9 +94,15 @@ pub(crate) fn embed_one(
     let mut groups = Vec::new();
     for set in &analysis.entity_groups {
         let labels: Vec<String> = set.iter().cloned().collect();
-        let result = match config.model {
-            EmbeddingModel::Lcag => find_lcag(graph, label_index, &labels, &config.search),
-            EmbeddingModel::Tree => {
+        let result = match (cache, config.model) {
+            (Some(c), EmbeddingModel::Lcag) => {
+                c.embed_group(graph, label_index, &labels, &config.search, CachedModel::Lcag)
+            }
+            (Some(c), EmbeddingModel::Tree) => {
+                c.embed_group(graph, label_index, &labels, &config.search, CachedModel::Tree)
+            }
+            (None, EmbeddingModel::Lcag) => find_lcag(graph, label_index, &labels, &config.search),
+            (None, EmbeddingModel::Tree) => {
                 find_tree_embedding(graph, label_index, &labels, &config.search)
             }
         };
@@ -109,13 +133,39 @@ pub fn index_corpus<S: AsRef<str> + Sync>(
     config: &NewsLinkConfig,
     texts: &[S],
 ) -> NewsLinkIndex {
-    let artifacts: Vec<DocArtifacts> = if config.threads <= 1 || texts.len() < 2 {
+    // A run-local cache: recurring entity groups across the corpus embed
+    // once. Engine-owned callers share a longer-lived cache instead via
+    // [`index_corpus_with`].
+    let local = if config.cache.enabled {
+        Some(EmbeddingCache::new(
+            config.cache.group_capacity,
+            config.cache.distance_capacity,
+        ))
+    } else {
+        None
+    };
+    index_corpus_with(graph, label_index, config, local.as_ref(), texts)
+}
+
+/// [`index_corpus`] against a caller-owned [`EmbeddingCache`] (pass `None`
+/// for a fully uncached run). The cache is read and populated from every
+/// worker thread.
+pub fn index_corpus_with<S: AsRef<str> + Sync>(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    cache: Option<&EmbeddingCache>,
+    texts: &[S],
+) -> NewsLinkIndex {
+    let before = cache.map(|c| c.group_stats()).unwrap_or_default();
+    let threads = config.effective_threads(texts.len());
+    let artifacts: Vec<DocArtifacts> = if threads <= 1 {
         texts
             .iter()
-            .map(|t| embed_one(graph, label_index, config, t.as_ref()))
+            .map(|t| embed_one_with(graph, label_index, config, cache, t.as_ref()))
             .collect()
     } else {
-        parallel_embed(graph, label_index, config, texts)
+        parallel_embed(graph, label_index, config, cache, threads, texts)
     };
 
     let mut timer = ComponentTimer::new();
@@ -148,6 +198,9 @@ pub fn index_corpus<S: AsRef<str> + Sync>(
         match_stats,
         embedded_docs,
         timer,
+        cache_stats: cache
+            .map(|c| c.group_stats().since(&before))
+            .unwrap_or_default(),
     }
 }
 
@@ -156,9 +209,10 @@ fn parallel_embed<S: AsRef<str> + Sync>(
     graph: &KnowledgeGraph,
     label_index: &LabelIndex,
     config: &NewsLinkConfig,
+    cache: Option<&EmbeddingCache>,
+    threads: usize,
     texts: &[S],
 ) -> Vec<DocArtifacts> {
-    let threads = config.threads.min(texts.len()).max(1);
     let chunk = texts.len().div_ceil(threads);
     let mut out: Vec<Option<DocArtifacts>> = Vec::new();
     out.resize_with(texts.len(), || None);
@@ -173,7 +227,7 @@ fn parallel_embed<S: AsRef<str> + Sync>(
             let batch = &texts[offset..offset + take];
             handles.push(scope.spawn(move |_| {
                 for (slot, text) in head.iter_mut().zip(batch) {
-                    *slot = Some(embed_one(graph, label_index, config, text.as_ref()));
+                    *slot = Some(embed_one_with(graph, label_index, config, cache, text.as_ref()));
                 }
             }));
             offset += take;
@@ -283,6 +337,29 @@ mod tests {
         assert_eq!(idx.timer.count("nlp"), 3);
         assert_eq!(idx.timer.count("ne"), 3);
         assert!(idx.timer.count("ns") >= 1);
+    }
+
+    #[test]
+    fn cached_indexing_matches_uncached_and_counts() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default();
+        let uncached = index_corpus_with(&g, &li, &cfg, None, DOCS);
+        assert_eq!(uncached.cache_stats, CacheStats::default());
+
+        let cache = EmbeddingCache::new(64, 64);
+        let first = index_corpus_with(&g, &li, &cfg, Some(&cache), DOCS);
+        assert!(first.cache_stats.lookups() > 0);
+        // A rebuild over the same corpus is answered by the group memo.
+        let second = index_corpus_with(&g, &li, &cfg, Some(&cache), DOCS);
+        assert_eq!(second.cache_stats.misses, 0);
+        assert!(second.cache_stats.hits > 0);
+
+        for run in [&first, &second] {
+            assert_eq!(run.embedded_docs, uncached.embedded_docs);
+            for (a, b) in uncached.embeddings.iter().zip(&run.embeddings) {
+                assert_eq!(a.all_nodes(), b.all_nodes());
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! - [`pipeline`] — the [`NewsLink`] facade.
 
 pub mod alerts;
+pub mod api;
+mod cache;
 pub mod config;
 pub mod indexer;
 pub mod live;
@@ -20,8 +22,12 @@ pub mod searcher;
 pub mod ta;
 
 pub use alerts::{AlertMatch, AlertRegistry};
-pub use config::{EmbeddingModel, NewsLinkConfig};
-pub use indexer::{index_corpus, NewsLinkIndex};
+pub use api::{
+    BatchResponse, ExplainOptions, Explanation, QueryCacheInfo, SearchRequest, SearchResponse,
+};
+pub use cache::EngineCacheStats;
+pub use config::{CacheConfig, EmbeddingModel, NewsLinkConfig};
+pub use indexer::{index_corpus, index_corpus_with, NewsLinkIndex};
 pub use live::{LiveHit, LiveNewsLink};
 pub use pipeline::NewsLink;
 pub use score_explain::{explain_score, ScoreExplanation, SideExplanation, TermContribution};

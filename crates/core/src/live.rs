@@ -8,13 +8,15 @@
 //! document ids and the same Equation 3 blended scoring as the frozen
 //! engine.
 
-use newslink_embed::{bon_terms, relationship_paths, DocEmbedding, RelationshipPath};
+use newslink_embed::{
+    bon_terms, relationship_paths, DocEmbedding, EmbeddingCache, RelationshipPath,
+};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
 use newslink_text::{Bm25, GlobalId, SegmentedIndex};
-use newslink_util::{FxHashMap, TopK};
+use newslink_util::{CacheStats, FxHashMap, TopK};
 
 use crate::config::NewsLinkConfig;
-use crate::indexer::embed_one;
+use crate::indexer::embed_one_with;
 
 /// A blended hit from the live engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +35,11 @@ pub struct LiveNewsLink<'g> {
     bow: SegmentedIndex,
     bon: SegmentedIndex,
     embeddings: FxHashMap<GlobalId, DocEmbedding>,
+    /// Embedding cache shared by ingestion and search. Entries key on the
+    /// immutably borrowed graph, never on document state, so add / delete
+    /// / commit require no invalidation — a stream of near-duplicate
+    /// articles embeds its recurring entity groups once.
+    cache: Option<EmbeddingCache>,
 }
 
 impl<'g> LiveNewsLink<'g> {
@@ -44,6 +51,14 @@ impl<'g> LiveNewsLink<'g> {
         config: NewsLinkConfig,
         max_segments: usize,
     ) -> Self {
+        let cache = if config.cache.enabled {
+            Some(EmbeddingCache::new(
+                config.cache.group_capacity,
+                config.cache.distance_capacity,
+            ))
+        } else {
+            None
+        };
         Self {
             graph,
             label_index,
@@ -51,13 +66,29 @@ impl<'g> LiveNewsLink<'g> {
             bow: SegmentedIndex::new(max_segments),
             bon: SegmentedIndex::new(max_segments),
             embeddings: FxHashMap::default(),
+            cache,
         }
+    }
+
+    /// Group-memo counters of the live embedding cache (zeros when
+    /// caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(|c| c.group_stats())
+            .unwrap_or_default()
     }
 
     /// Analyze, embed and buffer one document; returns its stable id.
     /// Searchable after the next [`commit`](Self::commit).
     pub fn add_document(&mut self, text: &str) -> GlobalId {
-        let artifacts = embed_one(self.graph, self.label_index, &self.config, text);
+        let artifacts = embed_one_with(
+            self.graph,
+            self.label_index,
+            &self.config,
+            self.cache.as_ref(),
+            text,
+        );
         let id = self.bow.add_document(&artifacts.analysis.terms);
         let bon_id = self.bon.add_document(&bon_terms(&artifacts.embedding));
         debug_assert_eq!(id, bon_id, "BOW/BON ids must stay aligned");
@@ -95,7 +126,13 @@ impl<'g> LiveNewsLink<'g> {
     /// Blended top-k search over committed documents (Equation 3, same
     /// scorers and normalization as the frozen engine).
     pub fn search(&self, query_text: &str, k: usize) -> (Vec<LiveHit>, DocEmbedding) {
-        let artifacts = embed_one(self.graph, self.label_index, &self.config, query_text);
+        let artifacts = embed_one_with(
+            self.graph,
+            self.label_index,
+            &self.config,
+            self.cache.as_ref(),
+            query_text,
+        );
         let beta = self.config.beta;
         let mut bow_scores = if beta < 1.0 {
             self.bow
@@ -254,6 +291,29 @@ mod tests {
         let paths = live.explain(&qe, top.id, 4, 10);
         assert!(!paths.is_empty());
         assert!(live.explain(&qe, 999, 4, 10).is_empty());
+    }
+
+    #[test]
+    fn repeated_ingestion_hits_the_cache() {
+        let (g, li) = world();
+        let mut live = LiveNewsLink::new(&g, &li, NewsLinkConfig::default(), 4);
+        live.add_document(DOCS[0]);
+        let after_first = live.cache_stats();
+        // Same article again: every entity group is memoized.
+        live.add_document(DOCS[0]);
+        let after_second = live.cache_stats();
+        assert_eq!(after_second.misses, after_first.misses);
+        assert!(after_second.hits > after_first.hits);
+
+        // Disabled cache keeps zeros and identical behaviour.
+        let mut plain = LiveNewsLink::new(
+            &g,
+            &li,
+            NewsLinkConfig::default().without_cache(),
+            4,
+        );
+        plain.add_document(DOCS[0]);
+        assert_eq!(plain.cache_stats(), CacheStats::default());
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub fn read_newslink_index<R: Read>(
         },
         embedded_docs,
         timer: ComponentTimer::new(),
+        cache_stats: Default::default(),
     })
 }
 

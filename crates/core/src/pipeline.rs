@@ -19,28 +19,37 @@
 //! }
 //! ```
 
+use std::time::Instant;
+
 use newslink_embed::{DocEmbedding, RelationshipPath};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
 use newslink_text::DocId;
+use newslink_util::ComponentTimer;
 
+use crate::api::{BatchResponse, Explanation, SearchRequest, SearchResponse};
+use crate::cache::{EngineCacheStats, EngineCaches};
 use crate::config::NewsLinkConfig;
-use crate::indexer::{index_corpus, NewsLinkIndex};
-use crate::searcher::{explain, search, QueryOutcome};
+use crate::indexer::{index_corpus_with, NewsLinkIndex};
+use crate::searcher::{explain, parallel_map, run_query, QueryOutcome};
 
-/// The NewsLink engine: borrow a KG and its label index, hold a config.
+/// The NewsLink engine: borrow a KG and its label index, hold a config
+/// plus the shared traversal/embedding caches every entry point consults.
 pub struct NewsLink<'g> {
     graph: &'g KnowledgeGraph,
     label_index: &'g LabelIndex,
     config: NewsLinkConfig,
+    caches: Option<EngineCaches>,
 }
 
 impl<'g> NewsLink<'g> {
     /// Create an engine over `graph`.
     pub fn new(graph: &'g KnowledgeGraph, label_index: &'g LabelIndex, config: NewsLinkConfig) -> Self {
+        let caches = EngineCaches::from_config(&config.cache);
         Self {
             graph,
             label_index,
             config,
+            caches,
         }
     }
 
@@ -60,14 +69,104 @@ impl<'g> NewsLink<'g> {
     }
 
     /// Embed and index a corpus (the *index building* half of the NS
-    /// component).
+    /// component). Recurring entity groups are served by the engine's
+    /// shared embedding cache; the returned index's
+    /// [`cache_stats`](NewsLinkIndex::cache_stats) records this run's
+    /// share of that activity.
     pub fn index_corpus<S: AsRef<str> + Sync>(&self, texts: &[S]) -> NewsLinkIndex {
-        index_corpus(self.graph, self.label_index, &self.config, texts)
+        index_corpus_with(
+            self.graph,
+            self.label_index,
+            &self.config,
+            self.caches.as_ref().map(|c| &c.embed),
+            texts,
+        )
     }
 
-    /// Blended top-k search (the *query processing* half).
+    /// Blended top-k search (the *query processing* half), through the
+    /// engine caches. Equivalent to
+    /// `execute(index, &SearchRequest::new(query).with_k(k))` minus the
+    /// response envelope.
     pub fn search(&self, index: &NewsLinkIndex, query: &str, k: usize) -> QueryOutcome {
-        search(self.graph, self.label_index, &self.config, index, query, k)
+        run_query(
+            self.graph,
+            self.label_index,
+            &self.config,
+            index,
+            self.caches.as_ref(),
+            query,
+            k,
+            None,
+        )
+    }
+
+    /// Execute one declarative [`SearchRequest`].
+    pub fn execute(&self, index: &NewsLinkIndex, request: &SearchRequest) -> SearchResponse {
+        let caches = if request.use_cache {
+            self.caches.as_ref()
+        } else {
+            None
+        };
+        let outcome = run_query(
+            self.graph,
+            self.label_index,
+            &self.config,
+            index,
+            caches,
+            &request.query,
+            request.k,
+            request.beta,
+        );
+        let explanations = match request.explain {
+            Some(opts) => outcome
+                .results
+                .iter()
+                .map(|r| Explanation {
+                    doc: r.doc,
+                    paths: explain(index, &outcome.embedding, r.doc, opts.max_len, opts.max_paths),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        SearchResponse {
+            results: outcome.results,
+            embedding: outcome.embedding,
+            timer: outcome.timer,
+            cache: outcome.cache,
+            explanations,
+        }
+    }
+
+    /// Execute many requests, in parallel per `config.threads` (0 = match
+    /// the machine). Responses preserve input order; the batch timer
+    /// aggregates every per-query component timer plus a `"batch"` entry
+    /// for the whole call's wall-clock.
+    pub fn execute_batch(&self, index: &NewsLinkIndex, requests: &[SearchRequest]) -> BatchResponse {
+        let t0 = Instant::now();
+        let threads = self.config.effective_threads(requests.len());
+        let responses = parallel_map(requests, threads, |r| self.execute(index, r));
+        let mut timer = ComponentTimer::new();
+        for response in &responses {
+            timer.merge(&response.timer);
+        }
+        timer.record("batch", t0.elapsed());
+        BatchResponse { responses, timer }
+    }
+
+    /// Counter snapshot of every cache tier (all zeros when caching is
+    /// disabled).
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        self.caches
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
+    /// Drop all cached entries (counters survive; capacity is unchanged).
+    pub fn clear_caches(&self) {
+        if let Some(c) = &self.caches {
+            c.clear();
+        }
     }
 
     /// Relationship-path explanations for one result.
@@ -109,6 +208,98 @@ mod tests {
         assert!(!outcome.results.is_empty());
         let top = outcome.results[0].doc;
         assert!(top.0 < 2, "entity-bearing docs must rank above filler");
+    }
+
+    #[test]
+    fn execute_matches_search_and_reports_cache_activity() {
+        let world = synth::generate(&SynthConfig::small(5));
+        let labels = LabelIndex::build(&world.graph);
+        let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
+        let country = world.graph.label(world.countries[0]);
+        let docs = vec![
+            format!("Officials from {country} signed the accord."),
+            format!("Protests spread across {country} overnight."),
+        ];
+        let index = engine.index_corpus(&docs);
+        assert!(index.cache_stats.lookups() > 0, "indexing must exercise the cache");
+
+        let query = format!("latest news from {country}");
+        let request = SearchRequest::new(&query).with_k(5);
+        let cold = engine.execute(&index, &request);
+        assert!(cold.cache.enabled && !cold.cache.query_hit);
+        let warm = engine.execute(&index, &request);
+        assert!(warm.cache.query_hit, "repeat request must hit the query memo");
+        assert_eq!(warm.results, cold.results);
+        assert_eq!(warm.results, engine.search(&index, &query, 5).results);
+
+        let stats = engine.cache_stats();
+        assert!(stats.queries.hits >= 1);
+        assert!(stats.combined().lookups() > 0);
+
+        // Bypassing the cache still returns identical results.
+        let bypass = engine.execute(&index, &request.clone().without_cache());
+        assert!(!bypass.cache.enabled);
+        assert_eq!(bypass.results, cold.results);
+
+        engine.clear_caches();
+        assert_eq!(engine.cache_stats().queries.entries, 0);
+        let after_clear = engine.execute(&index, &request);
+        assert!(!after_clear.cache.query_hit);
+        assert_eq!(after_clear.results, cold.results);
+    }
+
+    #[test]
+    fn execute_batch_aggregates_and_explains() {
+        let world = synth::generate(&SynthConfig::small(6));
+        let labels = LabelIndex::build(&world.graph);
+        let engine = NewsLink::new(
+            &world.graph,
+            &labels,
+            NewsLinkConfig::default().with_threads(2),
+        );
+        let country = world.graph.label(world.countries[0]);
+        let city = world.graph.label(world.cities[0]);
+        let docs = vec![
+            format!("Tensions rose in {country} as officials met in {city}."),
+            format!("A festival in {city} drew visitors from {country}."),
+        ];
+        let index = engine.index_corpus(&docs);
+        let requests = vec![
+            crate::api::SearchRequest::new(format!("news about {country}")).explained(),
+            crate::api::SearchRequest::new(format!("events in {city}")).with_beta(1.0),
+            crate::api::SearchRequest::new(format!("news about {country}")).explained(),
+        ];
+        let batch = engine.execute_batch(&index, &requests);
+        assert_eq!(batch.responses.len(), 3);
+        assert_eq!(batch.timer.count("batch"), 1);
+        assert_eq!(batch.timer.count("nlp"), 3);
+        // Explained requests carry one explanation per result.
+        for r in [&batch.responses[0], &batch.responses[2]] {
+            assert_eq!(r.explanations.len(), r.results.len());
+        }
+        assert!(batch.responses[1].explanations.is_empty());
+        // β-override request used pure BON.
+        for hit in &batch.responses[1].results {
+            assert_eq!(hit.bow, 0.0);
+        }
+    }
+
+    #[test]
+    fn disabled_cache_engine_still_works() {
+        let world = synth::generate(&SynthConfig::small(7));
+        let labels = LabelIndex::build(&world.graph);
+        let engine = NewsLink::new(
+            &world.graph,
+            &labels,
+            NewsLinkConfig::default().without_cache(),
+        );
+        let country = world.graph.label(world.countries[0]);
+        let docs = vec![format!("A summit was held in {country}.")];
+        let index = engine.index_corpus(&docs);
+        assert_eq!(index.cache_stats.lookups(), 0);
+        let out = engine.execute(&index, &SearchRequest::new(format!("summit {country}")));
+        assert!(!out.cache.enabled);
+        assert_eq!(engine.cache_stats(), Default::default());
     }
 
     #[test]

@@ -10,15 +10,18 @@
 //! over the union of candidates from both inverted indexes (BM25 on each),
 //! followed by top-k selection.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use newslink_embed::{bon_terms, relationship_paths, DocEmbedding, RelationshipPath};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
 use newslink_text::{Bm25, DocId, Searcher};
 use newslink_util::{ComponentTimer, FxHashMap, TopK};
 
+use crate::api::QueryCacheInfo;
+use crate::cache::{EngineCaches, QueryArtifacts};
 use crate::config::NewsLinkConfig;
-use crate::indexer::{embed_one, NewsLinkIndex};
+use crate::indexer::{embed_one_with, NewsLinkIndex};
 use crate::ta::threshold_algorithm;
 
 /// One blended search result.
@@ -43,6 +46,9 @@ pub struct QueryOutcome {
     pub embedding: DocEmbedding,
     /// Per-component latency ("nlp", "ne", "ns").
     pub timer: ComponentTimer,
+    /// How the engine's caches served this query (all-false for the
+    /// uncached free-function entry points).
+    pub cache: QueryCacheInfo,
 }
 
 /// Max-normalize a score map in place (no-op for empty maps).
@@ -55,7 +61,8 @@ fn max_normalize(scores: &mut FxHashMap<DocId, f64>) {
     }
 }
 
-/// Execute a blended NewsLink query.
+/// Execute a blended NewsLink query (uncached entry point; the engine's
+/// [`crate::NewsLink::execute`] routes through the shared caches).
 pub fn search(
     graph: &KnowledgeGraph,
     label_index: &LabelIndex,
@@ -64,19 +71,66 @@ pub fn search(
     query_text: &str,
     k: usize,
 ) -> QueryOutcome {
-    let mut timer = ComponentTimer::new();
+    run_query(graph, label_index, config, index, None, query_text, k, None)
+}
 
-    // NLP + NE on the query, reusing the document path.
-    let artifacts = embed_one(graph, label_index, config, query_text);
-    timer.record("nlp", std::time::Duration::from_nanos(artifacts.nlp_nanos));
-    timer.record("ne", std::time::Duration::from_nanos(artifacts.ne_nanos));
+/// The full query path: NLP + NE (through `caches` when provided), then
+/// Equation 3 blended scoring and top-k. `beta_override` replaces the
+/// configured β for this query only.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_query(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    index: &NewsLinkIndex,
+    caches: Option<&EngineCaches>,
+    query_text: &str,
+    k: usize,
+    beta_override: Option<f64>,
+) -> QueryOutcome {
+    let mut timer = ComponentTimer::new();
+    let mut cache_info = QueryCacheInfo {
+        enabled: caches.is_some(),
+        query_hit: false,
+    };
+
+    // NLP + NE on the query, reusing the document path. A whole-query
+    // memo hit skips both components; zero-duration records keep the
+    // per-component work-item counts identical either way.
+    let (terms, embedding) = match caches {
+        Some(c) => {
+            if let Some(art) = c.query.get(&query_text.to_string()) {
+                cache_info.query_hit = true;
+                timer.record("nlp", Duration::ZERO);
+                timer.record("ne", Duration::ZERO);
+                (art.terms.clone(), art.embedding.clone())
+            } else {
+                let artifacts =
+                    embed_one_with(graph, label_index, config, Some(&c.embed), query_text);
+                timer.record("nlp", Duration::from_nanos(artifacts.nlp_nanos));
+                timer.record("ne", Duration::from_nanos(artifacts.ne_nanos));
+                let art = Arc::new(QueryArtifacts {
+                    terms: artifacts.analysis.terms,
+                    embedding: artifacts.embedding,
+                });
+                c.query.insert(query_text.to_string(), Arc::clone(&art));
+                (art.terms.clone(), art.embedding.clone())
+            }
+        }
+        None => {
+            let artifacts = embed_one_with(graph, label_index, config, None, query_text);
+            timer.record("nlp", Duration::from_nanos(artifacts.nlp_nanos));
+            timer.record("ne", Duration::from_nanos(artifacts.ne_nanos));
+            (artifacts.analysis.terms, artifacts.embedding)
+        }
+    };
 
     let t_ns = Instant::now();
-    let beta = config.beta;
+    let beta = beta_override.unwrap_or(config.beta).clamp(0.0, 1.0);
 
     // BOW side (skipped entirely at β = 1, as in the paper's NewsLink(1)).
     let mut bow_scores = if beta < 1.0 {
-        Searcher::new(&index.bow, Bm25::default()).score_all(&artifacts.analysis.terms)
+        Searcher::new(&index.bow, Bm25::default()).score_all(&terms)
     } else {
         FxHashMap::default()
     };
@@ -86,7 +140,7 @@ pub fn search(
     // normalization (b = 0) on the BON index.
     let mut bon_scores = if beta > 0.0 {
         let bon_bm25 = Bm25 { k1: 1.2, b: 0.0 };
-        Searcher::new(&index.bon, bon_bm25).score_all(&bon_terms(&artifacts.embedding))
+        Searcher::new(&index.bon, bon_bm25).score_all(&bon_terms(&embedding))
     } else {
         FxHashMap::default()
     };
@@ -140,14 +194,16 @@ pub fn search(
 
     QueryOutcome {
         results,
-        embedding: artifacts.embedding,
+        embedding,
         timer,
+        cache: cache_info,
     }
 }
 
 /// Execute many queries in parallel (scoped threads), preserving input
 /// order. The index and graph are shared read-only; results are identical
-/// to sequential [`search`] calls.
+/// to sequential [`search`] calls. `config.threads == 0` sizes the worker
+/// pool to the machine.
 pub fn search_batch<S: AsRef<str> + Sync>(
     graph: &KnowledgeGraph,
     label_index: &LabelIndex,
@@ -156,33 +212,66 @@ pub fn search_batch<S: AsRef<str> + Sync>(
     queries: &[S],
     k: usize,
 ) -> Vec<QueryOutcome> {
-    let threads = config.threads.min(queries.len()).max(1);
-    if threads <= 1 {
-        return queries
-            .iter()
-            .map(|q| search(graph, label_index, config, index, q.as_ref(), k))
-            .collect();
+    run_batch(graph, label_index, config, index, None, queries, k).0
+}
+
+/// [`search_batch`] through the engine caches, additionally aggregating
+/// every per-query component timer into one batch timer with a `"batch"`
+/// entry for the whole call's wall-clock.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_batch<S: AsRef<str> + Sync>(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    index: &NewsLinkIndex,
+    caches: Option<&EngineCaches>,
+    queries: &[S],
+    k: usize,
+) -> (Vec<QueryOutcome>, ComponentTimer) {
+    let t0 = Instant::now();
+    let threads = config.effective_threads(queries.len());
+    let outcomes = parallel_map(queries, threads, |q| {
+        run_query(graph, label_index, config, index, caches, q.as_ref(), k, None)
+    });
+    let mut timer = ComponentTimer::new();
+    for outcome in &outcomes {
+        timer.merge(&outcome.timer);
     }
-    let mut out: Vec<Option<QueryOutcome>> = Vec::new();
-    out.resize_with(queries.len(), || None);
-    let chunk = queries.len().div_ceil(threads);
+    timer.record("batch", t0.elapsed());
+    (outcomes, timer)
+}
+
+/// Apply `f` to every item on `threads` scoped workers (contiguous
+/// chunks), preserving input order. `threads <= 1` runs inline.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads.min(items.len()));
     std::thread::scope(|scope| {
+        let f = &f;
         let mut slots = out.as_mut_slice();
         let mut offset = 0usize;
-        while offset < queries.len() {
-            let take = chunk.min(queries.len() - offset);
+        while offset < items.len() {
+            let take = chunk.min(items.len() - offset);
             let (head, rest) = slots.split_at_mut(take);
             slots = rest;
-            let batch = &queries[offset..offset + take];
+            let batch = &items[offset..offset + take];
             scope.spawn(move || {
-                for (slot, q) in head.iter_mut().zip(batch) {
-                    *slot = Some(search(graph, label_index, config, index, q.as_ref(), k));
+                for (slot, item) in head.iter_mut().zip(batch) {
+                    *slot = Some(f(item));
                 }
             });
             offset += take;
         }
     });
-    out.into_iter().map(|o| o.expect("all queries ran")).collect()
+    out.into_iter().map(|o| o.expect("all items mapped")).collect()
 }
 
 /// Explain why `doc` matched: relationship paths linking the query's
@@ -382,6 +471,72 @@ mod tests {
                 assert_eq!(x.doc, y.doc);
                 assert!((x.score - y.score).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn cached_query_path_is_bit_identical_and_observable() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let caches = crate::cache::EngineCaches::from_config(&cfg.cache).unwrap();
+        let q = "Taliban in Pakistan near Kunar";
+
+        let plain = search(&g, &li, &cfg, &idx, q, 3);
+        assert_eq!(plain.cache, crate::api::QueryCacheInfo::default());
+
+        let cold = run_query(&g, &li, &cfg, &idx, Some(&caches), q, 3, None);
+        assert!(cold.cache.enabled && !cold.cache.query_hit);
+        let warm = run_query(&g, &li, &cfg, &idx, Some(&caches), q, 3, None);
+        assert!(warm.cache.query_hit);
+        // Warm hits skip NLP/NE but keep the work-item counts.
+        for c in ["nlp", "ne", "ns"] {
+            assert_eq!(warm.timer.count(c), 1, "component {c}");
+        }
+        for out in [&cold, &warm] {
+            assert_eq!(out.results, plain.results);
+        }
+        assert_eq!(caches.stats().queries.hits, 1);
+    }
+
+    #[test]
+    fn beta_override_changes_blend_without_touching_config() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let q = "Taliban attack in Khyber.";
+        let pure_bon = run_query(&g, &li, &cfg, &idx, None, q, 3, Some(1.0));
+        for r in &pure_bon.results {
+            assert_eq!(r.bow, 0.0);
+        }
+        let want = search(&g, &li, &NewsLinkConfig::default().with_beta(1.0), &idx, q, 3);
+        assert_eq!(pure_bon.results, want.results);
+    }
+
+    #[test]
+    fn batch_timer_aggregates_components() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default().with_threads(2);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let queries = ["Taliban in Pakistan", "Explosions near Peshawar", "Kunar"];
+        let (outcomes, timer) = run_batch(&g, &li, &cfg, &idx, None, &queries, 3);
+        assert_eq!(outcomes.len(), 3);
+        for c in ["nlp", "ne", "ns"] {
+            assert_eq!(timer.count(c), 3, "component {c}");
+        }
+        assert_eq!(timer.count("batch"), 1);
+    }
+
+    #[test]
+    fn auto_threads_batch_matches_sequential() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default().with_auto_threads();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let queries = ["Taliban in Pakistan", "championship crowds"];
+        let batch = search_batch(&g, &li, &cfg, &idx, &queries, 3);
+        for (q, got) in queries.iter().zip(&batch) {
+            let want = search(&g, &li, &cfg, &idx, q, 3);
+            assert_eq!(got.results, want.results, "query {q}");
         }
     }
 

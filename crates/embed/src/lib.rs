@@ -7,6 +7,9 @@
 //!   sorting;
 //! - [`tree`] — the TreeEmb baseline (Group-Steiner-Tree approximation) the
 //!   paper compares against in Table VII;
+//! - [`cache`] — the two-tier [`cache::EmbeddingCache`] (group memo +
+//!   shared distance maps) that amortizes traversal across recurring
+//!   entity groups without changing any result;
 //! - [`union`] — document embeddings as unions of per-segment `G*`;
 //! - [`bon`] — the Bag-Of-Node representation feeding the NS component;
 //! - [`explain`] — relationship-path extraction from embedding overlap, the
@@ -14,6 +17,7 @@
 
 pub mod algo;
 pub mod bon;
+pub mod cache;
 pub mod codec;
 pub mod dot;
 pub mod explain;
@@ -24,6 +28,7 @@ pub mod union;
 
 pub use algo::{find_lcag, find_top_cags, EmbedError, SearchConfig};
 pub use bon::{bon_terms, node_term, parse_node_term};
+pub use cache::{find_lcag_cached, find_tree_embedding_cached, CachedModel, EmbeddingCache};
 pub use dot::{embedding_to_dot, overlap_to_dot};
 pub use explain::{relationship_paths, RelationshipPath};
 pub use model::{compactness_cmp, CommonAncestorGraph, EmbedEdge};

@@ -10,12 +10,15 @@
 //!   paper's `S(l)`;
 //! - [`synth`] — a deterministic Wikidata-like world generator (the offline
 //!   stand-in for the paper's Wikidata dump; see DESIGN.md §6.1);
+//! - [`cache`] — the sharded [`cache::DistanceCache`] memoizing truncated
+//!   traversal distance maps for the hot embedding path;
 //! - [`triples`] — plain-text persistence;
 //! - [`describe`] — derived entity descriptions (consumed by the QEPRF
 //!   baseline);
 //! - [`stats`] — descriptive statistics for reports.
 
 pub mod builder;
+pub mod cache;
 pub mod describe;
 pub mod graph;
 pub mod interner;
@@ -28,6 +31,7 @@ pub mod traverse;
 pub mod triples;
 
 pub use builder::GraphBuilder;
+pub use cache::{truncated_distances, DistanceCache, DistanceMap, ShardedCache};
 pub use graph::{Edge, EntityType, KnowledgeGraph, NodeId};
 pub use interner::{StringInterner, Symbol};
 pub use label_index::{normalize_label, LabelIndex};

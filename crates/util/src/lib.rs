@@ -13,13 +13,17 @@
 //!   retrieval primitive used by every ranking component.
 //! - [`timer`] — a component stopwatch used to reproduce the paper's
 //!   per-component time breakdowns (Table VIII, Figure 7).
+//! - [`cache`] — capacity-bounded CLOCK caches and hit/miss counters, the
+//!   building blocks of the traversal/embedding caches on the hot path.
 
+pub mod cache;
 pub mod fxhash;
 pub mod rng;
 pub mod timer;
 pub mod topk;
 pub mod varint;
 
+pub use cache::{CacheCounters, CacheStats, ClockCache};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use rng::DetRng;
 pub use timer::ComponentTimer;

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example live_index`
 
-use newslink::core::{load_newslink_index, save_newslink_index, NewsLink, NewsLinkConfig};
+use newslink::core::{
+    load_newslink_index, save_newslink_index, NewsLink, NewsLinkConfig, SearchRequest,
+};
 use newslink::kg::{synth, LabelIndex, SynthConfig};
 use newslink::nlp::analyze;
 use newslink::text::SegmentedIndex;
@@ -59,9 +61,9 @@ fn main() {
     println!("saved index for {} docs ({bytes} bytes)", index.doc_count());
 
     let restored = load_newslink_index(&world.graph, &path).expect("load");
-    let q = format!("news about {country}");
-    let fresh = engine.search(&index, &q, 3);
-    let reloaded = engine.search(&restored, &q, 3);
+    let request = SearchRequest::new(format!("news about {country}")).with_k(3);
+    let fresh = engine.execute(&index, &request);
+    let reloaded = engine.execute(&restored, &request);
     assert_eq!(
         fresh.results.iter().map(|r| r.doc).collect::<Vec<_>>(),
         reloaded.results.iter().map(|r| r.doc).collect::<Vec<_>>()

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example news_search [-- <num-docs>]`
 
-use newslink::core::{NewsLink, NewsLinkConfig};
+use newslink::core::{NewsLink, NewsLinkConfig, SearchRequest};
 use newslink::corpus::{generate_corpus, CorpusConfig, CorpusFlavor, Split};
 use newslink::kg::{synth, GraphStats, LabelIndex, SynthConfig};
 use newslink::nlp::analyze;
@@ -53,8 +53,8 @@ fn main() {
     let n_queries = split.test.len().min(20);
     for &doc in split.test.iter().take(n_queries) {
         let query = &corpus.docs[doc].title;
-        let outcome = engine.search(&index, query, 5);
-        if outcome.results.iter().any(|r| r.doc.index() == doc) {
+        let response = engine.execute(&index, &SearchRequest::new(query).with_k(5));
+        if response.results.iter().any(|r| r.doc.index() == doc) {
             newslink_hits += 1;
         }
         let bm25 = Searcher::new(&index.bow, Bm25::default());
@@ -75,8 +75,9 @@ fn main() {
     if let Some(&doc) = split.test.first() {
         let query = &corpus.docs[doc].title;
         println!("\nexample query (from doc {doc}): {query:?}");
-        let outcome = engine.search(&index, query, 3);
-        for hit in &outcome.results {
+        let request = SearchRequest::new(query).with_k(3).explained();
+        let response = engine.execute(&index, &request);
+        for hit in &response.results {
             let text = &texts[hit.doc.index()];
             println!(
                 "  doc {:<4} score={:.3}  {}",
@@ -85,9 +86,9 @@ fn main() {
                 &text[..80.min(text.len())]
             );
         }
-        if let Some(top) = outcome.results.first() {
+        if let Some(top) = response.explanations.first() {
             println!("  explanations:");
-            for p in engine.explain(&index, &outcome.embedding, top.doc, 5, 3) {
+            for p in top.paths.iter().take(3) {
                 println!("    {}", p.render(&world.graph));
             }
         }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use newslink::core::{NewsLink, NewsLinkConfig};
+use newslink::core::{NewsLink, NewsLinkConfig, SearchRequest};
 use newslink::kg::{EntityType, GraphBuilder, LabelIndex};
 
 fn main() {
@@ -52,11 +52,14 @@ fn main() {
         index.embedded_docs
     );
 
-    // 3. Search with a partial query (vocabulary differs from doc 1!).
-    let query = "Taliban violence near Kunar";
-    let outcome = engine.search(&index, query, 3);
-    println!("query: {query:?}");
-    for hit in &outcome.results {
+    // 3. Search with a partial query (vocabulary differs from doc 1!),
+    // asking for relationship-path explanations in the same request.
+    let request = SearchRequest::new("Taliban violence near Kunar")
+        .with_k(3)
+        .explained();
+    let response = engine.execute(&index, &request);
+    println!("query: {:?}", request.query);
+    for hit in &response.results {
         println!(
             "  doc {} score={:.3} (bow={:.3} bon={:.3}): {}",
             hit.doc.0,
@@ -67,11 +70,21 @@ fn main() {
         );
     }
 
-    // 4. Explain the top hit with relationship paths from the KG.
-    if let Some(top) = outcome.results.first() {
+    // 4. The explanations rode along with the response.
+    if let Some(top) = response.explanations.first() {
         println!("\nwhy is doc {} related? relationship paths:", top.doc.0);
-        for path in engine.explain(&index, &outcome.embedding, top.doc, 4, 5) {
+        for path in top.paths.iter().take(5) {
             println!("  {}", path.render(&graph));
         }
     }
+
+    // 5. Repeats are answered from the engine's caches.
+    let again = engine.execute(&index, &request);
+    let stats = engine.cache_stats();
+    println!(
+        "\nrepeat query hit the cache: {} (query memo {}/{} hit)",
+        again.cache.query_hit,
+        stats.queries.hits,
+        stats.queries.lookups()
+    );
 }

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build + full workspace test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace

@@ -1,0 +1,151 @@
+//! Offline shim for `criterion`: a plain wall-clock micro-benchmark
+//! harness with criterion's registration API (`criterion_group!` /
+//! `criterion_main!` / `bench_function` / `Bencher::iter`). No
+//! statistical analysis — each benchmark reports mean time per
+//! iteration over an adaptively sized run. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark registry/driver handed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (`group/name` reporting).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over an adaptively chosen iteration count.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    result: Option<(Duration, u64)>,
+}
+
+/// Minimum measured wall-clock per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Measure `f`, growing the iteration count until the run is long
+    /// enough to time reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET || iters >= 1 << 24 {
+                self.result = Some((elapsed, iters));
+                return;
+            }
+            // Aim past the target with some headroom.
+            let scale = (TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)) * 1.5;
+            iters = ((iters as f64 * scale) as u64).clamp(iters + 1, 1 << 24);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        match self.result {
+            Some((elapsed, iters)) => {
+                let per = elapsed.as_secs_f64() / iters as f64;
+                println!("bench {name:<40} {:>12} /iter ({iters} iters)", fmt_time(per));
+            }
+            None => println!("bench {name:<40} (no measurement)"),
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Register benchmark target functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,264 @@
+//! Regex-subset string generation.
+//!
+//! Supports the pattern features this workspace's tests use: literal
+//! characters, character classes (`[a-zA-Z ]`), groups, the `\PC`
+//! printable-character escape, and the quantifiers `{m}`, `{m,n}`, `*`,
+//! `+`, `?`. Unsupported syntax panics — better a loud failure than a
+//! silently wrong distribution.
+
+use crate::test_runner::TestRng;
+
+/// Cap for unbounded (`*` / `+`) repetition.
+const STAR_MAX: u32 = 32;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character (ASCII + a sprinkle of wider
+    /// Unicode so byte-offset/char-boundary bugs get exercised).
+    Printable,
+    /// A parenthesised group.
+    Group(Vec<Piece>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let pieces = parse_seq(&chars, &mut pos, false);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {pattern:?} (stopped at char {pos})"
+    );
+    let mut out = String::new();
+    emit_seq(&pieces, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        let atom = match c {
+            ')' if in_group => {
+                *pos += 1;
+                return pieces;
+            }
+            '(' => {
+                *pos += 1;
+                Atom::Group(parse_seq(chars, pos, true))
+            }
+            '[' => {
+                *pos += 1;
+                Atom::Class(parse_class(chars, pos))
+            }
+            '\\' => {
+                *pos += 1;
+                match chars.get(*pos) {
+                    Some('P') => {
+                        // `\PC`: not-a-control-character.
+                        assert!(
+                            chars.get(*pos + 1) == Some(&'C'),
+                            "unsupported escape in regex strategy"
+                        );
+                        *pos += 2;
+                        Atom::Printable
+                    }
+                    Some(&e @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '*' | '+'
+                    | '?' | '|')) => {
+                        *pos += 1;
+                        Atom::Literal(e)
+                    }
+                    other => panic!("unsupported escape \\{other:?} in regex strategy"),
+                }
+            }
+            '.' => {
+                *pos += 1;
+                Atom::Printable
+            }
+            c => {
+                assert!(
+                    !"|^$".contains(c),
+                    "unsupported regex feature {c:?} in strategy pattern"
+                );
+                *pos += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pos);
+        pieces.push(Piece { atom, min, max });
+    }
+    assert!(!in_group, "unterminated group in regex strategy");
+    pieces
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> (u32, u32) {
+    match chars.get(*pos) {
+        Some('*') => {
+            *pos += 1;
+            (0, STAR_MAX)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, STAR_MAX)
+        }
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars[*pos].is_ascii_digit() {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min.parse().expect("digits in {m,n}");
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut max = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    max.push(chars[*pos]);
+                    *pos += 1;
+                }
+                max.parse().expect("digits in {m,n}")
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "unterminated {{m,n}} quantifier");
+            *pos += 1;
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    assert!(
+        chars.get(*pos) != Some(&'^'),
+        "negated classes unsupported in regex strategy"
+    );
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = chars[*pos];
+        *pos += 1;
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(chars.get(*pos) == Some(&']'), "unterminated class");
+    *pos += 1;
+    ranges
+}
+
+/// The `\PC` sample pool: mostly ASCII printable, plus multi-byte chars
+/// (and a few astral ones) so UTF-8 boundary handling gets stressed.
+const WIDE: &[char] = &[
+    'é', 'ß', 'ñ', 'α', 'Ω', 'د', 'あ', '中', '한', '–', '“', '”', '…', '€', '🦀', '𝕊',
+];
+
+fn emit_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let span = piece.max - piece.min + 1;
+        let n = piece.min + rng.below(u64::from(span)) as u32;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = (hi as u32) - (lo as u32) + 1;
+                    let c = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                        .unwrap_or(lo);
+                    out.push(c);
+                }
+                Atom::Printable => {
+                    if rng.below(8) == 0 {
+                        out.push(WIDE[rng.below(WIDE.len() as u64) as usize]);
+                    } else {
+                        // ASCII 0x20..=0x7E.
+                        out.push(char::from(0x20 + rng.below(0x5f) as u8));
+                    }
+                }
+                Atom::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-c]{1,3}", &mut r);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group_with_space() {
+        let mut r = rng();
+        let mut saw_two_words = false;
+        for _ in 0..300 {
+            let s = generate_matching("[a-c]{1,3}( [a-c]{1,3})?", &mut r);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!(words.len() <= 2, "{s:?}");
+            saw_two_words |= words.len() == 2;
+            assert!(words.iter().all(|w| !w.is_empty()), "{s:?}");
+        }
+        assert!(saw_two_words, "optional group never expanded");
+    }
+
+    #[test]
+    fn printable_escape_has_no_controls_and_valid_boundaries() {
+        let mut r = rng();
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let s = generate_matching("\\PC{0,40}", &mut r);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            saw_multibyte |= s.bytes().len() > s.chars().count();
+        }
+        assert!(saw_multibyte, "printable pool never produced multi-byte");
+    }
+
+    #[test]
+    fn star_is_bounded() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("\\PC*", &mut r);
+            assert!(s.chars().count() <= STAR_MAX as usize);
+        }
+    }
+
+    #[test]
+    fn alpha_space_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z ]{0,80}", &mut r);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Marker payload thrown by `prop_assume!` rejections.
+#[derive(Debug, Clone, Copy)]
+pub struct AssumeRejected;
+
+/// Discard the current case (used by `prop_assume!`).
+pub fn reject() -> ! {
+    std::panic::panic_any(AssumeRejected);
+}
+
+/// The deterministic generator handed to strategies: splitmix64, seeded
+/// per `(test name, case index)` so failures reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next() % bound
+    }
+
+    /// Uniform draw from a `usize` range; `start` when empty.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.start >= range.end {
+            return range.start;
+        }
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn seed_for(name: &str, case: u64) -> u64 {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Execute `case_fn` for each configured case. A `prop_assume!`
+/// rejection retries with the next seed (bounded); any other panic
+/// reports the test name, case seed, and generated inputs, then
+/// propagates so the harness records the failure.
+pub fn run(
+    config: ProptestConfig,
+    name: &str,
+    mut case_fn: impl FnMut(&mut TestRng, &mut Vec<String>),
+) {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut accepted: u64 = 0;
+    let max_attempts = u64::from(config.cases) * 16 + 100;
+    let mut attempt: u64 = 0;
+    while accepted < u64::from(config.cases) {
+        assert!(
+            attempt < max_attempts,
+            "proptest '{name}': too many prop_assume! rejections \
+             ({accepted}/{} cases after {attempt} attempts)",
+            config.cases
+        );
+        let seed = seed_for(name, attempt);
+        attempt += 1;
+        inputs.clear();
+        let mut rng = TestRng::new(seed);
+        match catch_unwind(AssertUnwindSafe(|| case_fn(&mut rng, &mut inputs))) {
+            Ok(()) => accepted += 1,
+            Err(payload) if payload.is::<AssumeRejected>() => continue,
+            Err(payload) => {
+                eprintln!("proptest '{name}' failed (case seed {seed:#x}); inputs:");
+                for line in &inputs {
+                    eprintln!("    {line}");
+                }
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            run(ProptestConfig::with_cases(16), "det", |rng, _| {
+                out.push(rng.next());
+            });
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn rejections_retry_with_fresh_seeds() {
+        let mut seen = 0u32;
+        run(ProptestConfig::with_cases(8), "retry", |rng, _| {
+            let v = rng.below(4);
+            if v == 0 {
+                reject();
+            }
+            seen += 1;
+            assert!(v > 0);
+        });
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run(ProptestConfig::with_cases(4), "fail", |_, inputs| {
+            inputs.push("x = 1".into());
+            panic!("boom");
+        });
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! shim. Hand-parses the item token stream (no `syn`/`quote` available
+//! offline) and supports exactly the shapes this workspace derives on:
+//! named structs, tuple structs, and unit-variant enums — all without
+//! generics. Anything else produces a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item we are deriving for.
+enum Item {
+    /// `struct Name { field, ... }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T, ...);` with the field count.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { A, B, ... }` (unit variants only).
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // `(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the vendored serde derive".into());
+        }
+    }
+    match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::UnitEnum {
+                name,
+                variants: parse_unit_variants(g.stream())?,
+            })
+        }
+        (k, other) => Err(format!("unsupported item shape: {k} followed by {other:?}")),
+    }
+}
+
+/// Field names of `{ attr* vis? name: Ty, ... }`. Commas inside generic
+/// arguments are skipped by tracking `<`/`>` depth (parenthesised types
+/// arrive as single token groups already).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!("expected field name, got {tt:?}"));
+        };
+        fields.push(field.to_string());
+        // Skip `: Ty` up to the next top-level comma.
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut angle = 0i32;
+    let mut in_field = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    arity += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    arity
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            return Err(format!("expected variant name, got {tt:?}"));
+        };
+        variants.push(variant.to_string());
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => {
+                return Err(format!(
+                    "only unit enum variants are supported by the vendored serde derive, \
+                     found {other:?} after variant"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (value-model shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return error(&e),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                    pairs.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::serialize_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                    items.join(", ")),
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            (name, format!("match *self {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `serde::Deserialize` (value-model shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return error(&e),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         v.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(v)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize_value(\
+                         &v[{i}usize])?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::std::result::Result::Ok({name}({}))", inits.join(", ")),
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => \
+                    ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match v.as_str() {{ {}, _ => ::std::result::Result::Err(\
+                     ::serde::Error::msg(::std::format!(\
+                     \"invalid {name} variant: {{v}}\"))) }}",
+                    arms.join(", ")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
