@@ -6,6 +6,7 @@
 //! newslink build-index     --world kg.tsv --corpus corpus.txt --beta B --out index.nlnk
 //! newslink search          --world kg.tsv --corpus corpus.txt --index index.nlnk \
 //!                          --query "..." --k 10 --explain true
+//! newslink serve           --world kg.tsv --corpus corpus.txt --addr 127.0.0.1:8080
 //! newslink stats           --world kg.tsv
 //! ```
 //!
@@ -24,6 +25,7 @@ use newslink_core::{
 use newslink_corpus::{generate_corpus, CorpusConfig, CorpusFlavor};
 use newslink_embed::{describe_path, summarize_paths};
 use newslink_kg::{synth, triples, GraphStats, LabelIndex, SynthConfig};
+use newslink_serve::{ServeConfig, Server};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         "generate-corpus" => generate_corpus_cmd(&args),
         "build-index" => build_index(&args),
         "search" => search_cmd(&args),
+        "serve" => serve_cmd(&args),
         "stats" => stats(&args),
         "" | "help" | "--help" => {
             print!("{}", USAGE);
@@ -69,6 +72,8 @@ commands:
   generate-corpus --world kg.tsv --docs N --flavor cnn|kaggle --seed N --out corpus.txt
   build-index     --world kg.tsv --corpus corpus.txt --beta B --out index.nlnk
   search          --world kg.tsv --corpus corpus.txt --index index.nlnk --query Q --k N --explain true|false
+  serve           --world kg.tsv --corpus corpus.txt [--index index.nlnk] [--addr 127.0.0.1:8080]
+                  [--workers N] [--queue-depth N] [--timeout-ms N] [--beta B]
   stats           --world kg.tsv
 ";
 
@@ -241,6 +246,51 @@ fn search_cmd(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    check_flags(
+        args,
+        &["world", "corpus", "index", "addr", "workers", "queue-depth", "timeout-ms", "beta"],
+    )?;
+    let graph = load_world(args)?;
+    let texts = load_corpus_file(args.require("corpus")?)?;
+    let beta: f64 = args.get_parsed("beta", 0.2)?;
+    let labels = LabelIndex::build(&graph);
+    // `threads = 0` = auto: batch endpoints size their pools to the
+    // machine at call time.
+    let config = NewsLinkConfig::default().with_beta(beta).with_auto_threads();
+    let engine = NewsLink::new(&graph, &labels, config);
+    let index = match args.get("index") {
+        Some(path) => load_newslink_index(&graph, Path::new(path))
+            .map_err(|e| format!("loading index {path}: {e}"))?,
+        None => {
+            println!("indexing {} documents …", texts.len());
+            engine.index_corpus(&texts)
+        }
+    };
+
+    let workers: usize = args.get_parsed("workers", 4)?;
+    let queue_depth: usize = args.get_parsed("queue-depth", 64)?;
+    let mut serve_config = ServeConfig::default()
+        .with_workers(workers)
+        .with_queue_depth(queue_depth);
+    if let Some(ms) = args.get("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?;
+        serve_config = serve_config.with_default_timeout(std::time::Duration::from_millis(ms));
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let server = Server::bind(addr, serve_config).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "serving {} docs on http://{} ({} workers, capacity {}) — POST /search, POST /search/batch, GET /healthz, GET /metrics; Ctrl-C to stop",
+        index.doc_count(),
+        server.local_addr(),
+        server.config().workers,
+        server.config().capacity(),
+    );
+    server
+        .run(&engine, &index)
+        .map_err(|e| format!("serving on {addr}: {e}"))
 }
 
 fn stats(args: &Args) -> Result<(), String> {

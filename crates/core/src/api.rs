@@ -10,6 +10,13 @@
 //!
 //! The free functions in [`crate::searcher`] remain as thin wrappers for
 //! existing callers; new code should construct requests.
+//!
+//! With the `serde` feature enabled these types double as the wire
+//! format of the `newslink-serve` HTTP layer: [`SearchRequest`] and
+//! [`ExplainOptions`] round-trip through JSON, and the response types
+//! serialize (responses carry a [`ComponentTimer`], whose `&'static str`
+//! component keys make deserialization meaningless — clients read
+//! response JSON generically).
 
 use newslink_embed::{DocEmbedding, RelationshipPath};
 use newslink_text::DocId;
@@ -19,6 +26,7 @@ use crate::searcher::SearchResult;
 
 /// Explanation knobs for a request (paths per result, hops per path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExplainOptions {
     /// Maximum relationship-path length in edges.
     pub max_len: usize,
@@ -37,6 +45,7 @@ impl Default for ExplainOptions {
 
 /// One declarative search request.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SearchRequest {
     /// The query text.
     pub query: String,
@@ -49,11 +58,19 @@ pub struct SearchRequest {
     pub explain: Option<ExplainOptions>,
     /// Allow this request to read and populate the engine's caches.
     pub use_cache: bool,
+    /// Per-request deadline budget in milliseconds, measured from
+    /// [`crate::NewsLink::execute`] entry. The budget is checked between
+    /// pipeline stages (after NLP + NE, and before explanations): on
+    /// expiry the response comes back with
+    /// [`timed_out`](SearchResponse::timed_out) set and whatever stages
+    /// completed — a partial timer report rather than an answer.
+    /// `None` = no deadline.
+    pub timeout_ms: Option<u64>,
 }
 
 impl SearchRequest {
     /// A request for `query` with the defaults: `k = 10`, engine β,
-    /// no explanations, caching on.
+    /// no explanations, caching on, no deadline.
     pub fn new(query: impl Into<String>) -> Self {
         Self {
             query: query.into(),
@@ -61,6 +78,7 @@ impl SearchRequest {
             beta: None,
             explain: None,
             use_cache: true,
+            timeout_ms: None,
         }
     }
 
@@ -92,10 +110,18 @@ impl SearchRequest {
         self.use_cache = false;
         self
     }
+
+    /// Give this request a deadline budget (rounded down to whole
+    /// milliseconds).
+    pub fn with_timeout(mut self, budget: std::time::Duration) -> Self {
+        self.timeout_ms = Some(u64::try_from(budget.as_millis()).unwrap_or(u64::MAX));
+        self
+    }
 }
 
 /// How the engine's caches served one request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QueryCacheInfo {
     /// Caching was on for this request (engine caches exist and the
     /// request allowed them).
@@ -106,6 +132,7 @@ pub struct QueryCacheInfo {
 
 /// Relationship-path evidence for one ranked result.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Explanation {
     /// The explained document.
     pub doc: DocId,
@@ -115,6 +142,7 @@ pub struct Explanation {
 
 /// Everything produced by executing one [`SearchRequest`].
 #[derive(Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct SearchResponse {
     /// Ranked results, best first.
     pub results: Vec<SearchResult>,
@@ -127,10 +155,15 @@ pub struct SearchResponse {
     /// Per-result explanations, aligned with `results`; empty unless the
     /// request asked for them.
     pub explanations: Vec<Explanation>,
+    /// The request's deadline expired mid-pipeline: `results` /
+    /// `explanations` cover only the stages that finished, and `timer`
+    /// is a partial report of the work actually done.
+    pub timed_out: bool,
 }
 
 /// The outcome of executing a batch of requests.
 #[derive(Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct BatchResponse {
     /// One response per request, in input order.
     pub responses: Vec<SearchResponse>,
@@ -144,6 +177,11 @@ impl BatchResponse {
     /// Queries answered from the whole-query memo.
     pub fn query_hits(&self) -> usize {
         self.responses.iter().filter(|r| r.cache.query_hit).count()
+    }
+
+    /// Requests whose deadline expired mid-pipeline.
+    pub fn timed_out(&self) -> usize {
+        self.responses.iter().filter(|r| r.timed_out).count()
     }
 }
 
@@ -163,10 +201,39 @@ mod tests {
             .with_k(3)
             .with_beta(2.0)
             .explained()
-            .without_cache();
+            .without_cache()
+            .with_timeout(std::time::Duration::from_millis(250));
         assert_eq!(r.k, 3);
         assert_eq!(r.beta, Some(1.0), "β must clamp");
         assert!(!r.use_cache);
         assert_eq!(r.explain.unwrap().max_len, 4);
+        assert_eq!(r.timeout_ms, Some(250));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn request_round_trips_through_json() {
+        let r = SearchRequest::new("taliban in kunar")
+            .with_k(3)
+            .with_beta(0.5)
+            .explained()
+            .with_timeout(std::time::Duration::from_millis(250));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SearchRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // Unset options serialize as null and come back as None.
+        let plain = SearchRequest::new("q");
+        let back: SearchRequest =
+            serde_json::from_str(&serde_json::to_string(&plain).unwrap()).unwrap();
+        assert_eq!(back, plain);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn request_json_uses_field_names() {
+        let json = serde_json::to_string(&SearchRequest::new("x").with_k(2)).unwrap();
+        for key in ["query", "k", "beta", "explain", "use_cache", "timeout_ms"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
+        }
     }
 }

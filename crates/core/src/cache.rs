@@ -72,6 +72,7 @@ impl EngineCaches {
 
 /// Per-tier counter snapshot of an engine's caches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineCacheStats {
     /// The `(model, label set) -> G*` memo.
     pub groups: CacheStats,

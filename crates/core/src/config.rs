@@ -64,8 +64,16 @@ pub struct NewsLinkConfig {
     pub model: EmbeddingModel,
     /// NE search knobs.
     pub search: SearchConfig,
-    /// Worker threads for corpus embedding and batch search (1 = serial,
-    /// 0 = match the machine's available parallelism).
+    /// Worker threads for corpus embedding and batch search.
+    ///
+    /// `1` = serial. `0` = auto: each call site resolves the pool size
+    /// through [`Self::effective_threads`], which asks
+    /// `std::thread::available_parallelism()` *at that moment* (falling
+    /// back to 1 if the machine won't say) and then clamps to
+    /// `[1, work_items]` — auto mode therefore never spawns more workers
+    /// than there are items to process, and a value of `0` is never used
+    /// as a literal pool size. Set via [`Self::with_auto_threads`];
+    /// [`Self::with_threads`] floors explicit counts at 1.
     pub threads: usize,
     /// Shared traversal/embedding cache sizing.
     pub cache: CacheConfig,
@@ -138,7 +146,9 @@ impl NewsLinkConfig {
 
     /// Resolve `threads` for a workload of `work` items: 0 means "use the
     /// machine's available parallelism", and the answer never exceeds the
-    /// work or drops below one.
+    /// work or drops below one. The machine is consulted on every call,
+    /// so auto mode tracks runtime changes to the CPU budget (e.g.
+    /// container cpuset updates between batches).
     pub fn effective_threads(&self, work: usize) -> usize {
         let requested = if self.threads == 0 {
             std::thread::available_parallelism()
@@ -192,6 +202,25 @@ mod tests {
         let e = NewsLinkConfig::default().with_threads(4);
         assert_eq!(e.effective_threads(100), 4);
         assert_eq!(e.effective_threads(2), 2);
+    }
+
+    #[test]
+    fn auto_threads_pin_to_available_parallelism() {
+        // Pin the documented auto semantics exactly: with abundant work,
+        // the resolved count IS the machine's available parallelism (or 1
+        // when unknown), and it never exceeds the work item count.
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let c = NewsLinkConfig::default().with_auto_threads();
+        assert_eq!(c.effective_threads(usize::MAX), machine);
+        for work in [1usize, 2, 3, machine, machine + 1, 10 * machine] {
+            let resolved = c.effective_threads(work);
+            assert!(resolved >= 1, "never below one");
+            assert!(resolved <= work, "never more workers than work");
+            assert!(resolved <= machine, "never more workers than cores");
+            assert_eq!(resolved, machine.min(work));
+        }
     }
 
     #[test]

@@ -97,11 +97,22 @@ impl<'g> NewsLink<'g> {
             query,
             k,
             None,
+            None,
         )
     }
 
     /// Execute one declarative [`SearchRequest`].
+    ///
+    /// A request [`timeout_ms`](SearchRequest::timeout_ms) budget starts
+    /// counting here. It is checked between pipeline stages (after
+    /// NLP + NE, and again before explanations): on expiry the response
+    /// carries [`timed_out`](SearchResponse::timed_out) plus whatever the
+    /// finished stages produced — the timer doubles as a partial report
+    /// of where the budget went.
     pub fn execute(&self, index: &NewsLinkIndex, request: &SearchRequest) -> SearchResponse {
+        let deadline = request
+            .timeout_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
         let caches = if request.use_cache {
             self.caches.as_ref()
         } else {
@@ -116,8 +127,16 @@ impl<'g> NewsLink<'g> {
             &request.query,
             request.k,
             request.beta,
+            deadline,
         );
+        let mut timed_out = outcome.timed_out;
         let explanations = match request.explain {
+            // Explanations are the most expensive optional stage; a spent
+            // budget skips them but keeps the ranked results.
+            Some(_) if deadline.is_some_and(|d| Instant::now() >= d) => {
+                timed_out = true;
+                Vec::new()
+            }
             Some(opts) => outcome
                 .results
                 .iter()
@@ -134,6 +153,7 @@ impl<'g> NewsLink<'g> {
             timer: outcome.timer,
             cache: outcome.cache,
             explanations,
+            timed_out,
         }
     }
 
@@ -282,6 +302,41 @@ mod tests {
         for hit in &batch.responses[1].results {
             assert_eq!(hit.bow, 0.0);
         }
+    }
+
+    #[test]
+    fn zero_budget_times_out_with_partial_timer() {
+        let world = synth::generate(&SynthConfig::small(9));
+        let labels = LabelIndex::build(&world.graph);
+        let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
+        let country = world.graph.label(world.countries[0]);
+        let docs = vec![format!("A summit was held in {country}.")];
+        let index = engine.index_corpus(&docs);
+        let query = format!("summit {country}");
+
+        // Zero budget: NLP + NE run, the gate before scoring fires.
+        let strict = SearchRequest::new(&query)
+            .explained()
+            .with_timeout(std::time::Duration::ZERO);
+        let out = engine.execute(&index, &strict);
+        assert!(out.timed_out);
+        assert!(out.results.is_empty() && out.explanations.is_empty());
+        assert_eq!(out.timer.count("nlp"), 1);
+        assert_eq!(out.timer.count("ns"), 0, "partial report stops at the gate");
+
+        // A generous budget behaves exactly like no deadline.
+        let relaxed = SearchRequest::new(&query)
+            .explained()
+            .with_timeout(std::time::Duration::from_secs(3600));
+        let ok = engine.execute(&index, &relaxed);
+        assert!(!ok.timed_out);
+        let unbounded = engine.execute(&index, &SearchRequest::new(&query).explained());
+        assert_eq!(ok.results, unbounded.results);
+        assert_eq!(ok.explanations.len(), ok.results.len());
+
+        // Batches surface the per-request flags.
+        let batch = engine.execute_batch(&index, &[strict, relaxed]);
+        assert_eq!(batch.timed_out(), 1);
     }
 
     #[test]

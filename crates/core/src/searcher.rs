@@ -26,6 +26,7 @@ use crate::ta::threshold_algorithm;
 
 /// One blended search result.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SearchResult {
     /// The matched document.
     pub doc: DocId,
@@ -49,6 +50,9 @@ pub struct QueryOutcome {
     /// How the engine's caches served this query (all-false for the
     /// uncached free-function entry points).
     pub cache: QueryCacheInfo,
+    /// The deadline expired between pipeline stages; `results` is empty
+    /// and `timer` reports only the stages that ran.
+    pub timed_out: bool,
 }
 
 /// Max-normalize a score map in place (no-op for empty maps).
@@ -71,12 +75,15 @@ pub fn search(
     query_text: &str,
     k: usize,
 ) -> QueryOutcome {
-    run_query(graph, label_index, config, index, None, query_text, k, None)
+    run_query(graph, label_index, config, index, None, query_text, k, None, None)
 }
 
 /// The full query path: NLP + NE (through `caches` when provided), then
 /// Equation 3 blended scoring and top-k. `beta_override` replaces the
-/// configured β for this query only.
+/// configured β for this query only. `deadline` is the request's time
+/// budget, checked between pipeline stages: if it has passed once NLP +
+/// NE finish, scoring is skipped and the outcome comes back
+/// [`timed_out`](QueryOutcome::timed_out) with the partial timer.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_query(
     graph: &KnowledgeGraph,
@@ -87,6 +94,7 @@ pub(crate) fn run_query(
     query_text: &str,
     k: usize,
     beta_override: Option<f64>,
+    deadline: Option<Instant>,
 ) -> QueryOutcome {
     let mut timer = ComponentTimer::new();
     let mut cache_info = QueryCacheInfo {
@@ -124,6 +132,19 @@ pub(crate) fn run_query(
             (artifacts.analysis.terms, artifacts.embedding)
         }
     };
+
+    // Deadline gate between the NLP/NE and NS stages: embedding work is
+    // already spent (and cached for a retry), but scoring is skipped and
+    // the caller gets the partial timer report.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return QueryOutcome {
+            results: Vec::new(),
+            embedding,
+            timer,
+            cache: cache_info,
+            timed_out: true,
+        };
+    }
 
     let t_ns = Instant::now();
     let beta = beta_override.unwrap_or(config.beta).clamp(0.0, 1.0);
@@ -197,6 +218,7 @@ pub(crate) fn run_query(
         embedding,
         timer,
         cache: cache_info,
+        timed_out: false,
     }
 }
 
@@ -231,7 +253,7 @@ pub(crate) fn run_batch<S: AsRef<str> + Sync>(
     let t0 = Instant::now();
     let threads = config.effective_threads(queries.len());
     let outcomes = parallel_map(queries, threads, |q| {
-        run_query(graph, label_index, config, index, caches, q.as_ref(), k, None)
+        run_query(graph, label_index, config, index, caches, q.as_ref(), k, None, None)
     });
     let mut timer = ComponentTimer::new();
     for outcome in &outcomes {
@@ -485,9 +507,9 @@ mod tests {
         let plain = search(&g, &li, &cfg, &idx, q, 3);
         assert_eq!(plain.cache, crate::api::QueryCacheInfo::default());
 
-        let cold = run_query(&g, &li, &cfg, &idx, Some(&caches), q, 3, None);
+        let cold = run_query(&g, &li, &cfg, &idx, Some(&caches), q, 3, None, None);
         assert!(cold.cache.enabled && !cold.cache.query_hit);
-        let warm = run_query(&g, &li, &cfg, &idx, Some(&caches), q, 3, None);
+        let warm = run_query(&g, &li, &cfg, &idx, Some(&caches), q, 3, None, None);
         assert!(warm.cache.query_hit);
         // Warm hits skip NLP/NE but keep the work-item counts.
         for c in ["nlp", "ne", "ns"] {
@@ -505,7 +527,7 @@ mod tests {
         let cfg = NewsLinkConfig::default();
         let idx = index_corpus(&g, &li, &cfg, DOCS);
         let q = "Taliban attack in Khyber.";
-        let pure_bon = run_query(&g, &li, &cfg, &idx, None, q, 3, Some(1.0));
+        let pure_bon = run_query(&g, &li, &cfg, &idx, None, q, 3, Some(1.0), None);
         for r in &pure_bon.results {
             assert_eq!(r.bow, 0.0);
         }
@@ -538,6 +560,30 @@ mod tests {
             let want = search(&g, &li, &cfg, &idx, q, 3);
             assert_eq!(got.results, want.results, "query {q}");
         }
+    }
+
+    #[test]
+    fn expired_deadline_skips_scoring_with_partial_timer() {
+        let (g, li) = setup();
+        let cfg = NewsLinkConfig::default();
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let q = "Taliban in Pakistan";
+        // A deadline in the past: NLP + NE still run (budget is checked
+        // *between* stages), scoring never does.
+        let expired = Instant::now() - Duration::from_millis(1);
+        let out = run_query(&g, &li, &cfg, &idx, None, q, 3, None, Some(expired));
+        assert!(out.timed_out);
+        assert!(out.results.is_empty());
+        assert_eq!(out.timer.count("nlp"), 1, "NLP stage ran before the gate");
+        assert_eq!(out.timer.count("ne"), 1, "NE stage ran before the gate");
+        assert_eq!(out.timer.count("ns"), 0, "scoring must be skipped");
+        assert!(!out.embedding.is_empty(), "embedding survives for the report");
+
+        // A generous deadline changes nothing.
+        let far = Instant::now() + Duration::from_secs(3600);
+        let ok = run_query(&g, &li, &cfg, &idx, None, q, 3, None, Some(far));
+        assert!(!ok.timed_out);
+        assert_eq!(ok.results, search(&g, &li, &cfg, &idx, q, 3).results);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::union::DocEmbedding;
 
 /// One step of a relationship path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathStep {
     /// The node this step arrives at.
     pub to: NodeId,
@@ -27,6 +28,7 @@ pub struct PathStep {
 
 /// A relationship path between two entity nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RelationshipPath {
     /// The starting entity node.
     pub start: NodeId,

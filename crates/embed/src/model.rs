@@ -6,6 +6,7 @@ use newslink_kg::{NodeId, Symbol};
 /// One directed edge of an embedding, oriented along a shortest path from
 /// an entity node *toward the root* (the paper's paths `l → r`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EmbedEdge {
     /// Path-order source (closer to the entity).
     pub from: NodeId,
@@ -25,6 +26,7 @@ pub struct EmbedEdge {
 /// Common Ancestor Graph `G*` (Definition 5) and serves as the subgraph
 /// embedding of one news segment.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CommonAncestorGraph {
     /// The common-ancestor root.
     pub root: NodeId,

@@ -12,6 +12,7 @@ use crate::model::{CommonAncestorGraph, EmbedEdge};
 
 /// The subgraph embedding of a whole news document.
 #[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DocEmbedding {
     /// One `G*` per entity group of the maximal co-occurrence set.
     pub groups: Vec<CommonAncestorGraph>,

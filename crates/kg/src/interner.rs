@@ -5,9 +5,10 @@
 //! 4-byte [`Symbol`]s and resolves them through a [`StringInterner`].
 
 use newslink_util::FxHashMap;
+use serde::{Deserialize, Serialize};
 
 /// A handle to an interned string. Cheap to copy and compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Symbol(pub u32);
 
 impl Symbol {

@@ -1,0 +1,56 @@
+//! `newslink-serve`: an HTTP search service over the NewsLink engine.
+//!
+//! The serving layer the paper's system demo implies but never details:
+//! a small, dependency-free HTTP/1.1 server (plain `std::net`, no async
+//! runtime — the offline build rules out tokio) that exposes the
+//! engine's request-based search API over real TCP:
+//!
+//! | Endpoint             | Body                        | Answer |
+//! |----------------------|-----------------------------|--------|
+//! | `POST /search`       | a [`SearchRequest`] as JSON | the `SearchResponse` (hits, timers, cache info, explanations) |
+//! | `POST /search/batch` | `{"requests": [...]}`       | the `BatchResponse` |
+//! | `GET /healthz`       | —                           | `{"status":"ok"}` |
+//! | `GET /metrics`       | —                           | counters, latency histogram, cache stats |
+//!
+//! Production shape, in miniature:
+//!
+//! - **Worker pool** — a fixed number of scoped handler threads
+//!   borrowing one shared engine (and its caches), fed by the accept
+//!   loop over a channel.
+//! - **Admission control** — at most `workers + queue_depth`
+//!   connections in flight; the rest are shed with `429` straight from
+//!   the accept loop.
+//! - **Deadlines** — a per-request budget (server default and/or the
+//!   request's own `timeout_ms`) anchored at accept time and checked
+//!   between pipeline stages; expiry yields `503` with a partial
+//!   component-timer report.
+//! - **Graceful shutdown** — a [`ServerHandle`] trigger stops the
+//!   accept loop, drains every already-accepted request, then joins the
+//!   pool.
+//!
+//! ```no_run
+//! use newslink_core::{NewsLink, NewsLinkConfig};
+//! use newslink_kg::{synth, LabelIndex, SynthConfig};
+//! use newslink_serve::{ServeConfig, Server};
+//!
+//! let world = synth::generate(&SynthConfig::small(1));
+//! let labels = LabelIndex::build(&world.graph);
+//! let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
+//! let index = engine.index_corpus(&["Some news text.".to_string()]);
+//!
+//! let server = Server::bind("127.0.0.1:8080", ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.run(&engine, &index).unwrap(); // blocks until handle().shutdown()
+//! ```
+//!
+//! [`SearchRequest`]: newslink_core::SearchRequest
+
+pub mod metrics;
+pub mod protocol;
+pub mod router;
+pub mod server;
+
+pub use metrics::{Route, ServerMetrics};
+pub use protocol::{client, HttpRequest};
+pub use router::parse_search_request;
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,214 @@
+//! Server observability: request/response counters and a latency
+//! histogram, snapshotted as the `GET /metrics` JSON document.
+//!
+//! Counters are lock-free atomics so the accept loop and every worker
+//! can record without contention; only the latency histogram sits behind
+//! a mutex (one `record` per finished request). The snapshot folds in
+//! the engine's [`EngineCacheStats`] so one endpoint answers both "how
+//! is the server doing" and "how warm are the caches".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use newslink_core::EngineCacheStats;
+use newslink_util::Histogram;
+use parking_lot::Mutex;
+use serde::{Number, Serialize, Value};
+
+/// An integer counter as a JSON value.
+fn num(n: u64) -> Value {
+    Value::Number(Number::from_i128(n as i128))
+}
+
+/// Which endpoint a request resolved to, for per-route counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /search`.
+    Search,
+    /// `POST /search/batch`.
+    Batch,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// Anything else (unknown paths, unparseable requests).
+    Other,
+}
+
+/// Aggregate counters for one server's lifetime.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    requests_total: AtomicU64,
+    search: AtomicU64,
+    batch: AtomicU64,
+    healthz: AtomicU64,
+    metrics: AtomicU64,
+    ok: AtomicU64,
+    bad_request: AtomicU64,
+    not_found: AtomicU64,
+    method_not_allowed: AtomicU64,
+    payload_too_large: AtomicU64,
+    shed: AtomicU64,
+    timeout: AtomicU64,
+    error: AtomicU64,
+    latency_us: Mutex<Histogram>,
+}
+
+impl ServerMetrics {
+    /// Fresh metrics; the uptime clock starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            search: AtomicU64::new(0),
+            batch: AtomicU64::new(0),
+            healthz: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            bad_request: AtomicU64::new(0),
+            not_found: AtomicU64::new(0),
+            method_not_allowed: AtomicU64::new(0),
+            payload_too_large: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeout: AtomicU64::new(0),
+            error: AtomicU64::new(0),
+            latency_us: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// Record one finished request: which route it hit, the status it got,
+    /// and its accept-to-response latency.
+    pub fn observe(&self, route: Route, status: u16, latency: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let route_counter = match route {
+            Route::Search => Some(&self.search),
+            Route::Batch => Some(&self.batch),
+            Route::Healthz => Some(&self.healthz),
+            Route::Metrics => Some(&self.metrics),
+            Route::Other => None,
+        };
+        if let Some(counter) = route_counter {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        let status_counter = match status {
+            200 => &self.ok,
+            400 => &self.bad_request,
+            404 => &self.not_found,
+            405 => &self.method_not_allowed,
+            413 => &self.payload_too_large,
+            429 => &self.shed,
+            503 => &self.timeout,
+            _ => &self.error,
+        };
+        status_counter.fetch_add(1, Ordering::Relaxed);
+        self.latency_us.lock().record_micros(latency);
+    }
+
+    /// A load-shed rejection written straight from the accept loop (the
+    /// connection never reached a worker, so there is no latency sample).
+    pub fn observe_shed(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests seen (including shed ones).
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by admission control.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered `200`.
+    pub fn ok_total(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// Latency samples recorded so far.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_us.lock().count()
+    }
+
+    /// The full `/metrics` document: uptime, per-route and per-status
+    /// counters, the latency histogram, the admission gauge, and the
+    /// engine's cache counters.
+    pub fn snapshot(&self, in_flight: usize, cache: &EngineCacheStats) -> Value {
+        let load = |c: &AtomicU64| num(c.load(Ordering::Relaxed));
+        Value::Object(vec![
+            (
+                "uptime_ms".into(),
+                num(self.started.elapsed().as_millis() as u64),
+            ),
+            ("requests_total".into(), load(&self.requests_total)),
+            (
+                "routes".into(),
+                Value::Object(vec![
+                    ("search".into(), load(&self.search)),
+                    ("batch".into(), load(&self.batch)),
+                    ("healthz".into(), load(&self.healthz)),
+                    ("metrics".into(), load(&self.metrics)),
+                ]),
+            ),
+            (
+                "responses".into(),
+                Value::Object(vec![
+                    ("ok".into(), load(&self.ok)),
+                    ("bad_request".into(), load(&self.bad_request)),
+                    ("not_found".into(), load(&self.not_found)),
+                    ("method_not_allowed".into(), load(&self.method_not_allowed)),
+                    ("payload_too_large".into(), load(&self.payload_too_large)),
+                    ("shed".into(), load(&self.shed)),
+                    ("timeout".into(), load(&self.timeout)),
+                    ("error".into(), load(&self.error)),
+                ]),
+            ),
+            ("in_flight".into(), num(in_flight as u64)),
+            ("latency_us".into(), self.latency_us.lock().serialize_value()),
+            ("cache".into(), cache.serialize_value()),
+        ])
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observes_routes_statuses_and_latency() {
+        let m = ServerMetrics::new();
+        m.observe(Route::Search, 200, Duration::from_micros(150));
+        m.observe(Route::Search, 503, Duration::from_micros(90));
+        m.observe(Route::Healthz, 200, Duration::from_micros(5));
+        m.observe(Route::Other, 404, Duration::from_micros(3));
+        m.observe_shed();
+        assert_eq!(m.requests_total(), 5);
+        assert_eq!(m.ok_total(), 2);
+        assert_eq!(m.shed_total(), 1);
+        assert_eq!(m.latency_count(), 4, "shed requests have no latency sample");
+    }
+
+    #[test]
+    fn snapshot_has_every_section() {
+        let m = ServerMetrics::new();
+        m.observe(Route::Batch, 200, Duration::from_micros(42));
+        let snap = m.snapshot(3, &EngineCacheStats::default());
+        assert_eq!(snap["requests_total"], 1u64);
+        assert_eq!(snap["routes"]["batch"], 1u64);
+        assert_eq!(snap["responses"]["ok"], 1u64);
+        assert_eq!(snap["in_flight"], 3u64);
+        assert_eq!(snap["latency_us"]["count"], 1u64);
+        assert!(!snap["cache"]["queries"].is_null());
+        // The document renders as valid JSON text.
+        let text = serde_json::to_string(&snap).unwrap();
+        assert!(text.contains("\"uptime_ms\""));
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal HTTP/1.1 framing over blocking TCP.
+//!
+//! The service speaks exactly the subset a JSON search API needs: one
+//! request per connection (`Connection: close`), a request line, headers
+//! (only `Content-Length` is interpreted), and a UTF-8 body. Keeping the
+//! wire layer this small is what lets the whole server run on
+//! `std::net` with no async runtime — a deliberate choice for the
+//! offline build (see `vendor/README.md`).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path without query string (`/search`).
+    pub path: String,
+    /// The request body, decoded as UTF-8.
+    pub body: String,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection before sending anything.
+    Closed,
+    /// The framing is not HTTP we understand; respond `400`.
+    BadRequest(String),
+    /// The declared body exceeds the configured cap; respond `413`.
+    TooLarge,
+    /// The socket failed mid-read (including read timeouts).
+    Io(io::Error),
+}
+
+/// Parse the request head (everything before the blank line) into
+/// `(method, path, content_length)`.
+fn parse_head(head: &str) -> Result<(String, String, usize), String> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("malformed request line {request_line:?}"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed request line {request_line:?}"));
+    }
+    // Strip any query string; the API is body-driven.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header {line:?}"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad content-length {value:?}"))?;
+        }
+    }
+    Ok((method.to_ascii_uppercase(), path, content_length))
+}
+
+/// Read one request from `stream`. Bodies larger than `max_body` are
+/// rejected without being read.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, RecvError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RecvError::BadRequest("request head too large".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(RecvError::Io)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(RecvError::Closed)
+            } else {
+                Err(RecvError::BadRequest("connection closed mid-head".into()))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RecvError::BadRequest("head is not UTF-8".into()))?;
+    let (method, path, content_length) = parse_head(head).map_err(RecvError::BadRequest)?;
+    if content_length > max_body {
+        return Err(RecvError::TooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(RecvError::BadRequest("body longer than content-length".into()));
+    }
+    let missing = content_length - body.len();
+    if missing > 0 {
+        let start = body.len();
+        body.resize(content_length, 0);
+        stream.read_exact(&mut body[start..]).map_err(RecvError::Io)?;
+    }
+    let body =
+        String::from_utf8(body).map_err(|_| RecvError::BadRequest("body is not UTF-8".into()))?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// Offset of `\r\n\r\n` in `buf`, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The canonical reason phrase for the statuses this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` JSON response.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A blocking one-shot HTTP client: connect, send one request, read the
+/// `(status, body)` of the response. Shared by the e2e tests, the
+/// throughput bench, and the demo example.
+pub mod client {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    /// Issue `method path` with `body` against `addr`.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        send(&mut stream, method, path, body)?;
+        read_response(&mut stream)
+    }
+
+    /// Write one request onto an existing stream (exposed so tests can
+    /// split a request across writes to exercise server-side framing).
+    pub fn send(
+        stream: &mut TcpStream,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<()> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: newslink\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+
+    /// Read a full `Connection: close` response into `(status, body)`.
+    pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        let text = String::from_utf8(raw)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF8"))?;
+        let status = text
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        Ok((status, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let (m, p, n) =
+            parse_head("POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 12").unwrap();
+        assert_eq!((m.as_str(), p.as_str(), n), ("POST", "/search", 12));
+    }
+
+    #[test]
+    fn strips_query_string_and_upcases_method() {
+        let (m, p, n) = parse_head("get /metrics?verbose=1 HTTP/1.1\r\nHost: x").unwrap();
+        assert_eq!((m.as_str(), p.as_str(), n), ("GET", "/metrics", 0));
+    }
+
+    #[test]
+    fn rejects_garbage_heads() {
+        assert!(parse_head("not http").is_err());
+        assert!(parse_head("GET / SPDY/3").is_err());
+        assert!(parse_head("GET / HTTP/1.1 extra").is_err());
+        assert!(parse_head("POST / HTTP/1.1\r\nContent-Length: many").is_err());
+        assert!(parse_head("POST / HTTP/1.1\r\nno-colon-header").is_err());
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn reasons_cover_emitted_statuses() {
+        for s in [200, 400, 404, 405, 413, 429, 500, 503] {
+            assert_ne!(reason(s), "Unknown", "status {s}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Request routing: map parsed HTTP requests onto the engine's
+//! request-based search API.
+//!
+//! The wire format *is* [`SearchRequest`]'s serde form — there is no
+//! parallel DTO layer. Incoming JSON is validated (object, known keys,
+//! required `"query"`), merged over a default request, and handed to the
+//! derived `Deserialize` impl, so clients may omit any optional field
+//! and the engine's defaults apply.
+//!
+//! Deadlines are anchored at *accept* time: the server's default budget
+//! starts counting the moment the connection is accepted, so time spent
+//! queued behind the worker pool eats into it. A request that also
+//! carries its own `timeout_ms` gets the tighter of the two.
+
+use std::time::Instant;
+
+use newslink_core::{NewsLink, NewsLinkIndex, SearchRequest};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::metrics::{Route, ServerMetrics};
+use crate::protocol::HttpRequest;
+use crate::server::ServeConfig;
+
+/// Everything a worker needs to answer one request.
+pub struct RequestContext<'a, 'g> {
+    /// The shared engine.
+    pub engine: &'a NewsLink<'g>,
+    /// The corpus index being served.
+    pub index: &'a NewsLinkIndex,
+    /// Server configuration (default deadline budget).
+    pub config: &'a ServeConfig,
+    /// Server counters, for the `/metrics` document.
+    pub metrics: &'a ServerMetrics,
+    /// When the connection was accepted (deadline anchor).
+    pub accepted: Instant,
+    /// Current admission gauge, for the `/metrics` document.
+    pub in_flight: usize,
+}
+
+/// The routing outcome: which route matched, the status, and the body.
+pub struct Routed {
+    /// Route label for metrics.
+    pub route: Route,
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON response body.
+    pub body: String,
+}
+
+fn routed(route: Route, status: u16, body: String) -> Routed {
+    Routed {
+        route,
+        status,
+        body,
+    }
+}
+
+/// A JSON error body: `{"error": msg}` with proper escaping.
+pub fn error_body(msg: &str) -> String {
+    Value::Object(vec![("error".into(), Value::String(msg.into()))]).to_compact_string()
+}
+
+/// Dispatch one parsed request to its handler.
+pub fn dispatch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => routed(
+            Route::Healthz,
+            200,
+            Value::Object(vec![("status".into(), Value::String("ok".into()))])
+                .to_compact_string(),
+        ),
+        ("GET", "/metrics") => {
+            let snap = ctx
+                .metrics
+                .snapshot(ctx.in_flight, &ctx.engine.cache_stats());
+            routed(Route::Metrics, 200, snap.to_compact_string())
+        }
+        ("POST", "/search") => handle_search(req, ctx),
+        ("POST", "/search/batch") => handle_batch(req, ctx),
+        (_, "/healthz" | "/metrics" | "/search" | "/search/batch") => routed(
+            Route::Other,
+            405,
+            error_body(&format!("method {} not allowed here", req.method)),
+        ),
+        (_, path) => routed(Route::Other, 404, error_body(&format!("no route {path}"))),
+    }
+}
+
+/// `POST /search`: one [`SearchRequest`] in, one serialized
+/// `SearchResponse` out. A response whose deadline expired mid-pipeline
+/// comes back as `503` but still carries the partial timer report.
+fn handle_search(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
+    let request = match parse_body(&req.body).and_then(|v| request_from_value(&v)) {
+        Ok(r) => apply_deadline(r, ctx),
+        Err(msg) => return routed(Route::Search, 400, error_body(&msg)),
+    };
+    let response = ctx.engine.execute(ctx.index, &request);
+    let status = if response.timed_out { 503 } else { 200 };
+    routed(Route::Search, status, response.serialize_value().to_compact_string())
+}
+
+/// `POST /search/batch`: `{"requests": [...]}` in, a serialized
+/// `BatchResponse` out. Individual deadline expiries are reported per
+/// response; the batch itself is `200` as long as it parsed.
+fn handle_batch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
+    let requests = match parse_batch(&req.body, ctx) {
+        Ok(r) => r,
+        Err(msg) => return routed(Route::Batch, 400, error_body(&msg)),
+    };
+    let response = ctx.engine.execute_batch(ctx.index, &requests);
+    routed(Route::Batch, 200, response.serialize_value().to_compact_string())
+}
+
+fn parse_body(body: &str) -> Result<Value, String> {
+    serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+fn parse_batch(body: &str, ctx: &RequestContext<'_, '_>) -> Result<Vec<SearchRequest>, String> {
+    let v = parse_body(body)?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "batch body must be a JSON object".to_string())?;
+    for (key, _) in obj {
+        if key != "requests" {
+            return Err(format!("unknown field {key:?} (expected \"requests\")"));
+        }
+    }
+    let items = v
+        .get("requests")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| "missing required array field \"requests\"".to_string())?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            request_from_value(item)
+                .map(|r| apply_deadline(r, ctx))
+                .map_err(|msg| format!("requests[{i}]: {msg}"))
+        })
+        .collect()
+}
+
+/// Tighten `request`'s deadline with the server default, both anchored at
+/// accept time: `execute` starts its own clock, so hand it only what is
+/// left of the accept-anchored budget — time spent queued behind the
+/// worker pool counts against the request. A budget that is already gone
+/// becomes a zero remainder: the request still runs up to the first
+/// inter-stage gate and comes back `timed_out` with its partial timer,
+/// the same shape as any other expiry.
+fn apply_deadline(mut request: SearchRequest, ctx: &RequestContext<'_, '_>) -> SearchRequest {
+    let budget_ms = match (request.timeout_ms, ctx.config.default_timeout_ms) {
+        (Some(r), Some(s)) => Some(r.min(s)),
+        (r, s) => r.or(s),
+    };
+    if let Some(budget_ms) = budget_ms {
+        let elapsed_ms = ctx.accepted.elapsed().as_millis() as u64;
+        request.timeout_ms = Some(budget_ms.saturating_sub(elapsed_ms));
+    }
+    request
+}
+
+/// Build a [`SearchRequest`] from user JSON: must be an object with a
+/// string `"query"`; all other fields are optional and unknown fields
+/// are rejected. Omitted fields fall back to [`SearchRequest::new`]'s
+/// defaults by merging the user object over the serialized default
+/// request, keeping the derived serde impl as the single wire format.
+pub fn request_from_value(v: &Value) -> Result<SearchRequest, String> {
+    const KNOWN: [&str; 6] = ["query", "k", "beta", "explain", "use_cache", "timeout_ms"];
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "request must be a JSON object".to_string())?;
+    for (key, _) in obj {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    let query = v
+        .get("query")
+        .and_then(|q| q.as_str())
+        .ok_or_else(|| "missing required string field \"query\"".to_string())?;
+    let mut merged = SearchRequest::new(query).serialize_value();
+    let Value::Object(pairs) = &mut merged else {
+        unreachable!("a derived struct serializes as an object");
+    };
+    for (key, user_value) in obj {
+        if key == "query" {
+            continue;
+        }
+        let value = if key == "explain" {
+            explain_value(user_value)?
+        } else {
+            user_value.clone()
+        };
+        if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        }
+    }
+    let request = SearchRequest::deserialize_value(&merged).map_err(|e| e.to_string())?;
+    if let Some(beta) = request.beta {
+        if !(0.0..=1.0).contains(&beta) {
+            return Err(format!("beta must be in [0, 1], got {beta}"));
+        }
+    }
+    Ok(request)
+}
+
+/// Normalize the `"explain"` field: `null`/`false` = off, `true` = on
+/// with defaults, an object = merged over the default options.
+fn explain_value(v: &Value) -> Result<Value, String> {
+    let defaults = newslink_core::ExplainOptions::default();
+    match v {
+        Value::Null | Value::Bool(false) => Ok(Value::Null),
+        Value::Bool(true) => Ok(defaults.serialize_value()),
+        Value::Object(pairs) => {
+            let mut merged = defaults.serialize_value();
+            let Value::Object(slots) = &mut merged else {
+                unreachable!("ExplainOptions serializes as an object");
+            };
+            for (key, value) in pairs {
+                let Some(slot) = slots.iter_mut().find(|(k, _)| k == key) else {
+                    return Err(format!("unknown explain field {key:?}"));
+                };
+                slot.1 = value.clone();
+            }
+            Ok(merged)
+        }
+        _ => Err("explain must be null, a bool, or an options object".to_string()),
+    }
+}
+
+/// Convenience used by tests and the example: parse body text straight
+/// into a request.
+pub fn parse_search_request(body: &str) -> Result<SearchRequest, String> {
+    parse_body(body).and_then(|v| request_from_value(&v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let r = parse_search_request(r#"{"query": "taliban in kunar"}"#).unwrap();
+        assert_eq!(r, SearchRequest::new("taliban in kunar"));
+    }
+
+    #[test]
+    fn full_request_round_trips() {
+        let r = parse_search_request(
+            r#"{"query": "q", "k": 3, "beta": 0.5, "explain": {"max_len": 2, "max_paths": 1},
+               "use_cache": false, "timeout_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.k, 3);
+        assert_eq!(r.beta, Some(0.5));
+        let e = r.explain.unwrap();
+        assert_eq!((e.max_len, e.max_paths), (2, 1));
+        assert!(!r.use_cache);
+        assert_eq!(r.timeout_ms, Some(250));
+    }
+
+    #[test]
+    fn explain_bool_and_partial_object() {
+        let r = parse_search_request(r#"{"query": "q", "explain": true}"#).unwrap();
+        assert_eq!(r.explain, Some(newslink_core::ExplainOptions::default()));
+        let r = parse_search_request(r#"{"query": "q", "explain": false}"#).unwrap();
+        assert!(r.explain.is_none());
+        let r = parse_search_request(r#"{"query": "q", "explain": {"max_paths": 2}}"#).unwrap();
+        let e = r.explain.unwrap();
+        assert_eq!(e.max_paths, 2);
+        assert_eq!(e.max_len, newslink_core::ExplainOptions::default().max_len);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(parse_search_request("not json").is_err());
+        assert!(parse_search_request(r#"["query"]"#).is_err());
+        assert!(parse_search_request(r#"{"k": 3}"#).is_err(), "query is required");
+        assert!(parse_search_request(r#"{"query": 7}"#).is_err(), "query must be a string");
+        assert!(parse_search_request(r#"{"query": "q", "knn": 3}"#).is_err(), "unknown field");
+        assert!(parse_search_request(r#"{"query": "q", "beta": 1.5}"#).is_err(), "beta range");
+        assert!(
+            parse_search_request(r#"{"query": "q", "explain": {"depth": 3}}"#).is_err(),
+            "unknown explain field"
+        );
+    }
+
+    #[test]
+    fn error_body_escapes() {
+        assert_eq!(error_body("bad \"x\""), r#"{"error":"bad \"x\""}"#);
+    }
+}

@@ -1,0 +1,338 @@
+//! The TCP server: accept loop, fixed worker pool, admission control,
+//! and graceful shutdown.
+//!
+//! Threading model: one accept loop (the caller's thread) plus
+//! `workers` handler threads, all inside a [`std::thread::scope`] so the
+//! workers may borrow the engine (a [`NewsLink`] borrows its graph and
+//! cannot be moved into `'static` threads). Accepted connections travel
+//! over an mpsc channel whose receiver the workers share behind a mutex.
+//!
+//! Admission control is a counting gate, not a lock: the accept loop is
+//! the only incrementer of `in_flight`, workers decrement when done. The
+//! capacity is `workers + queue_depth`; a connection arriving above it
+//! is answered `429` inline from the accept loop without ever touching
+//! the pool, so overload sheds in O(µs) instead of queueing unboundedly.
+//!
+//! Graceful shutdown: triggering the [`ServerHandle`] makes the accept
+//! loop stop accepting and drop the channel sender. Workers keep
+//! draining whatever was already queued (every accepted request gets its
+//! response), then see the channel hang up and exit; the scope joins
+//! them before [`Server::run`] returns.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use newslink_core::{NewsLink, NewsLinkIndex};
+use newslink_util::ShutdownFlag;
+use parking_lot::Mutex;
+
+use crate::metrics::{Route, ServerMetrics};
+use crate::protocol::{read_request, write_response, RecvError};
+use crate::router::{dispatch, error_body, RequestContext};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Handler threads. Each serves one connection at a time.
+    pub workers: usize,
+    /// Accepted connections allowed to wait beyond the ones being
+    /// served; admission capacity is `workers + queue_depth`.
+    pub queue_depth: usize,
+    /// Default per-request deadline budget, anchored at accept time.
+    /// Requests carrying their own `timeout_ms` get the tighter of the
+    /// two. `None` = no server-imposed deadline.
+    pub default_timeout_ms: Option<u64>,
+    /// Largest accepted request body; bigger bodies are answered `413`.
+    pub max_body_bytes: usize,
+    /// Socket read timeout, so a stalled client cannot pin a worker.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            default_timeout_ms: None,
+            max_body_bytes: 1 << 20,
+            read_timeout_ms: 5_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the worker count (min 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the admission queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Set the default deadline budget.
+    pub fn with_default_timeout(mut self, budget: Duration) -> Self {
+        self.default_timeout_ms = Some(u64::try_from(budget.as_millis()).unwrap_or(u64::MAX));
+        self
+    }
+
+    /// Connections admitted at once (serving + queued).
+    pub fn capacity(&self) -> usize {
+        self.workers + self.queue_depth
+    }
+}
+
+/// A clonable remote control for a running server: its address plus the
+/// shutdown trigger.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: ShutdownFlag,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin graceful shutdown; returns `true` on the first call.
+    pub fn shutdown(&self) -> bool {
+        self.shutdown.trigger()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.is_triggered()
+    }
+}
+
+/// One accepted connection on its way to a worker.
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// A bound (but not yet running) HTTP search server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServeConfig,
+    shutdown: ShutdownFlag,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        // Nonblocking accept lets the loop poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            addr,
+            config,
+            shutdown: ShutdownFlag::new(),
+            metrics: Arc::new(ServerMetrics::new()),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The live metrics registry (shared with the handler threads).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A handle for triggering shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shutdown: self.shutdown.clone(),
+        }
+    }
+
+    /// Serve until the handle triggers shutdown, then drain and return.
+    /// Blocks the calling thread; spawns `config.workers` scoped handler
+    /// threads that borrow `engine` and `index`.
+    pub fn run(&self, engine: &NewsLink<'_>, index: &NewsLinkIndex) -> io::Result<()> {
+        let capacity = self.config.capacity().max(1);
+        let in_flight = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Mutex::new(receiver);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                let receiver = &receiver;
+                let in_flight = &in_flight;
+                scope.spawn(move || loop {
+                    // Hold the lock only while waiting; release before
+                    // handling so peers can pick up the next job.
+                    let job = receiver.lock().recv();
+                    let Ok(job) = job else {
+                        break; // sender dropped and queue drained
+                    };
+                    let gauge = in_flight.load(Ordering::Relaxed);
+                    self.handle_connection(job, engine, index, gauge);
+                    in_flight.fetch_sub(1, Ordering::Release);
+                });
+            }
+
+            // Accept loop: poll for connections and the shutdown flag.
+            while !self.shutdown.is_triggered() {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let admitted = in_flight.fetch_add(1, Ordering::Acquire) < capacity;
+                        if admitted {
+                            let job = Job {
+                                stream,
+                                accepted: Instant::now(),
+                            };
+                            if sender.send(job).is_err() {
+                                break; // workers gone; nothing left to do
+                            }
+                        } else {
+                            in_flight.fetch_sub(1, Ordering::Release);
+                            self.metrics.observe_shed();
+                            shed(stream);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // Listener failure: shut the pool down cleanly
+                        // before surfacing the error.
+                        self.shutdown.trigger();
+                        drop(sender);
+                        return Err(e);
+                    }
+                }
+            }
+            // Graceful drain: stop accepting, let queued jobs finish.
+            drop(sender);
+            Ok(())
+        })
+    }
+
+    /// Serve one connection end to end.
+    fn handle_connection(
+        &self,
+        job: Job,
+        engine: &NewsLink<'_>,
+        index: &NewsLinkIndex,
+        in_flight: usize,
+    ) {
+        let mut stream = job.stream;
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(self.config.read_timeout_ms.max(1))));
+        let request = match read_request(&mut stream, self.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(RecvError::Closed) => return,
+            Err(RecvError::BadRequest(msg)) => {
+                let _ = write_response(&mut stream, 400, &error_body(&msg));
+                self.metrics.observe(Route::Other, 400, job.accepted.elapsed());
+                return;
+            }
+            Err(RecvError::TooLarge) => {
+                let _ = write_response(&mut stream, 413, &error_body("request body too large"));
+                self.metrics.observe(Route::Other, 413, job.accepted.elapsed());
+                return;
+            }
+            Err(RecvError::Io(_)) => {
+                // Read timeout or reset mid-request; the peer is gone.
+                self.metrics.observe(Route::Other, 500, job.accepted.elapsed());
+                return;
+            }
+        };
+        let ctx = RequestContext {
+            engine,
+            index,
+            config: &self.config,
+            metrics: &self.metrics,
+            accepted: job.accepted,
+            in_flight,
+        };
+        // A panic inside a handler must not take down the pool: answer
+        // 500 and keep serving.
+        let routed = catch_unwind(AssertUnwindSafe(|| dispatch(&request, &ctx)));
+        let (route, status, body) = match routed {
+            Ok(r) => (r.route, r.status, r.body),
+            Err(_) => (Route::Other, 500, error_body("internal error")),
+        };
+        let _ = write_response(&mut stream, status, &body);
+        self.metrics.observe(route, status, job.accepted.elapsed());
+    }
+}
+
+/// Answer an over-capacity connection `429` without handling its request.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = write_response(
+        &mut stream,
+        429,
+        &error_body("server at capacity, retry later"),
+    );
+    // Closing with unread request bytes in the socket makes the kernel
+    // send RST, which can destroy the 429 before the client reads it.
+    // Signal end-of-response, then briefly drain what the client sent —
+    // bounded reads only, since this runs on the accept thread.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..4 {
+        match io::Read::read(&mut stream, &mut sink) {
+            Ok(n) if n > 0 => {}
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_builders() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert_eq!(c.capacity(), c.workers + c.queue_depth);
+        let c = ServeConfig::default()
+            .with_workers(0)
+            .with_queue_depth(2)
+            .with_default_timeout(Duration::from_millis(750));
+        assert_eq!(c.workers, 1, "workers floor at one");
+        assert_eq!(c.capacity(), 3);
+        assert_eq!(c.default_timeout_ms, Some(750));
+    }
+
+    #[test]
+    fn bind_ephemeral_and_handle_shutdown() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        let handle = server.handle();
+        assert_eq!(handle.addr(), server.local_addr());
+        assert!(!handle.is_shutdown());
+        assert!(handle.shutdown(), "first trigger wins");
+        assert!(!handle.shutdown(), "second trigger is a no-op");
+        assert!(handle.is_shutdown());
+    }
+}

@@ -1,0 +1,292 @@
+//! End-to-end tests over real TCP: bind an ephemeral port, run the
+//! server against a synthetic world, and drive it with raw
+//! `TcpStream` clients (the crate's own one-shot client helper).
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use newslink_core::{NewsLink, NewsLinkConfig, NewsLinkIndex};
+use newslink_kg::{synth, KnowledgeGraph, LabelIndex, SynthConfig};
+use newslink_serve::{client, ServeConfig, Server, ServerHandle};
+use serde::Value;
+
+/// A tiny world plus an indexed two-document corpus to serve.
+struct Fixture {
+    graph: KnowledgeGraph,
+    country: String,
+    city: String,
+}
+
+impl Fixture {
+    fn new(seed: u64) -> Self {
+        let world = synth::generate(&SynthConfig::small(seed));
+        let country = world.graph.label(world.countries[0]).to_string();
+        let city = world.graph.label(world.cities[0]).to_string();
+        Self {
+            graph: world.graph,
+            country,
+            city,
+        }
+    }
+}
+
+/// Run `server` for the duration of `f`, then shut it down gracefully.
+fn with_server<R>(
+    config: ServeConfig,
+    fixture: &Fixture,
+    f: impl FnOnce(&ServerHandle, &Server) -> R,
+) -> R {
+    let labels = LabelIndex::build(&fixture.graph);
+    let engine = NewsLink::new(&fixture.graph, &labels, NewsLinkConfig::default());
+    let docs = vec![
+        format!(
+            "Tensions rose in {} as officials met in {}.",
+            fixture.country, fixture.city
+        ),
+        format!(
+            "A festival in {} drew visitors from across {}.",
+            fixture.city, fixture.country
+        ),
+        "Completely unrelated filler text with no entity names.".to_string(),
+    ];
+    let index: NewsLinkIndex = engine.index_corpus(&docs);
+
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run(&engine, &index));
+        // A failed assertion must still shut the server down, or the
+        // scope would deadlock joining the accept loop.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&handle, &server)));
+        handle.shutdown();
+        runner.join().expect("server thread").expect("server run");
+        match result {
+            Ok(r) => r,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+fn parse(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON {e}: {body}"))
+}
+
+#[test]
+fn search_happy_path_over_tcp() {
+    let fixture = Fixture::new(11);
+    with_server(ServeConfig::default().with_workers(2), &fixture, |handle, _| {
+        let body = format!(
+            r#"{{"query": "News about {}.", "k": 3, "explain": true}}"#,
+            fixture.country
+        );
+        let (status, text) = client::request(handle.addr(), "POST", "/search", &body).unwrap();
+        assert_eq!(status, 200, "body: {text}");
+        let v = parse(&text);
+        let results = v["results"].as_array().expect("results array");
+        assert!(!results.is_empty(), "entity query must hit");
+        // DocId is a newtype, so it serializes transparently as a number.
+        let top_doc = results[0]["doc"]
+            .as_i64()
+            .unwrap_or_else(|| panic!("doc id missing in {text}"));
+        assert!(top_doc < 2, "entity-bearing docs outrank filler");
+        assert!(results[0]["score"].as_f64().unwrap() > 0.0);
+        // Explanations ride along, aligned with results.
+        assert_eq!(
+            v["explanations"].as_array().map(|a| a.len()),
+            Some(results.len())
+        );
+        assert_eq!(v["timed_out"], false);
+        assert_eq!(v["cache"]["enabled"], true);
+        // The component timer doubles as a per-request latency report.
+        assert_eq!(v["timer"]["nlp"]["count"], 1u64);
+    });
+}
+
+#[test]
+fn batch_endpoint_answers_all_requests_in_order() {
+    let fixture = Fixture::new(12);
+    with_server(ServeConfig::default(), &fixture, |handle, _| {
+        let body = format!(
+            r#"{{"requests": [
+                {{"query": "news about {c}"}},
+                {{"query": "events in {t}", "beta": 1.0}},
+                {{"query": "news about {c}"}}
+            ]}}"#,
+            c = fixture.country,
+            t = fixture.city
+        );
+        let (status, text) =
+            client::request(handle.addr(), "POST", "/search/batch", &body).unwrap();
+        assert_eq!(status, 200, "body: {text}");
+        let v = parse(&text);
+        let responses = v["responses"].as_array().expect("responses");
+        assert_eq!(responses.len(), 3);
+        // The third request repeats the first: the shared engine cache
+        // answers it from the whole-query memo.
+        assert_eq!(responses[2]["cache"]["query_hit"], true);
+        // Pure-BON request: every hit's BOW side is zero.
+        for hit in responses[1]["results"].as_array().unwrap() {
+            assert_eq!(hit["bow"].as_f64(), Some(0.0));
+        }
+        assert_eq!(v["timer"]["batch"]["count"], 1u64);
+    });
+}
+
+#[test]
+fn malformed_and_unroutable_requests() {
+    let fixture = Fixture::new(13);
+    with_server(ServeConfig::default(), &fixture, |handle, _| {
+        // Not JSON at all.
+        let (status, text) = client::request(handle.addr(), "POST", "/search", "{oops").unwrap();
+        assert_eq!(status, 400);
+        assert!(parse(&text)["error"].as_str().is_some());
+        // Valid JSON, wrong shape.
+        let (status, _) = client::request(handle.addr(), "POST", "/search", r#"{"k": 3}"#).unwrap();
+        assert_eq!(status, 400);
+        // Unknown fields are rejected, not ignored.
+        let (status, text) =
+            client::request(handle.addr(), "POST", "/search", r#"{"query":"q","knn":1}"#).unwrap();
+        assert_eq!(status, 400);
+        assert!(text.contains("knn"), "error names the field: {text}");
+        // Unknown route and wrong method.
+        let (status, _) = client::request(handle.addr(), "GET", "/nope", "").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client::request(handle.addr(), "GET", "/search", "").unwrap();
+        assert_eq!(status, 405);
+        // A body declared over the cap is rejected from the head alone,
+        // before any of it is read.
+        use std::io::Write;
+        let mut big = TcpStream::connect(handle.addr()).unwrap();
+        big.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        big.write_all(
+            b"POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: 2097152\r\n\r\n",
+        )
+        .unwrap();
+        let (status, _) = client::read_response(&mut big).unwrap();
+        assert_eq!(status, 413);
+    });
+}
+
+#[test]
+fn zero_timeout_yields_503_with_partial_timer() {
+    let fixture = Fixture::new(14);
+    with_server(ServeConfig::default(), &fixture, |handle, _| {
+        let body = format!(
+            r#"{{"query": "news about {}", "timeout_ms": 0}}"#,
+            fixture.country
+        );
+        let (status, text) = client::request(handle.addr(), "POST", "/search", &body).unwrap();
+        assert_eq!(status, 503, "body: {text}");
+        let v = parse(&text);
+        assert_eq!(v["timed_out"], true);
+        assert_eq!(v["results"].as_array().map(|a| a.len()), Some(0));
+        // The partial timer shows where the budget went: analysis ran,
+        // scoring never started.
+        assert_eq!(v["timer"]["nlp"]["count"], 1u64);
+        assert!(v["timer"]["ns"].is_null());
+    });
+}
+
+#[test]
+fn over_capacity_connections_are_shed_with_429() {
+    let fixture = Fixture::new(15);
+    // One worker, no queue: the second concurrent connection must shed.
+    let config = ServeConfig::default().with_workers(1).with_queue_depth(0);
+    let body = format!(r#"{{"query": "news about {}"}}"#, fixture.country);
+    with_server(config, &fixture, |handle, server| {
+        // Occupy the whole capacity: send the request head but hold back
+        // the body, so the connection stays in flight while the worker
+        // blocks reading it.
+        use std::io::Write;
+        let mut hog = TcpStream::connect(handle.addr()).unwrap();
+        hog.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let head = format!(
+            "POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        hog.write_all(head.as_bytes()).unwrap();
+        hog.flush().unwrap();
+        // Let the accept loop admit the hog before the next connection.
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Capacity is 1 and the hog holds it: this connection sheds.
+        let (status, text) = client::request(handle.addr(), "POST", "/search", &body).unwrap();
+        assert_eq!(status, 429, "body: {text}");
+        assert!(parse(&text)["error"].as_str().is_some());
+        assert!(server.metrics().shed_total() >= 1);
+
+        // The hog was never dropped: completing its body gets a real answer.
+        hog.write_all(body.as_bytes()).unwrap();
+        hog.flush().unwrap();
+        let (status, text) = client::read_response(&mut hog).unwrap();
+        assert_eq!(status, 200, "body: {text}");
+
+        // Once the worker is free again, new requests are admitted.
+        let (status, _) = client::request(handle.addr(), "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+    });
+}
+
+#[test]
+fn metrics_report_traffic_latency_and_cache_counters() {
+    let fixture = Fixture::new(16);
+    with_server(ServeConfig::default(), &fixture, |handle, _| {
+        let body = format!(r#"{{"query": "news about {}"}}"#, fixture.country);
+        for _ in 0..3 {
+            let (status, _) = client::request(handle.addr(), "POST", "/search", &body).unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, text) = client::request(handle.addr(), "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(parse(&text)["status"], "ok");
+
+        let (status, text) = client::request(handle.addr(), "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        let v = parse(&text);
+        assert!(v["requests_total"].as_i64().unwrap() >= 4);
+        assert_eq!(v["routes"]["search"], 3u64);
+        assert!(v["responses"]["ok"].as_i64().unwrap() >= 4);
+        // Latency histogram has real samples.
+        assert!(v["latency_us"]["count"].as_i64().unwrap() >= 4);
+        assert!(v["latency_us"]["p50"].as_i64().is_some());
+        assert!(!v["latency_us"]["buckets"].as_array().unwrap().is_empty());
+        // Cache counters flowed through from the engine: the repeated
+        // query produced whole-query memo hits.
+        assert!(v["cache"]["queries"]["hits"].as_i64().unwrap() >= 2, "{text}");
+        assert!(v["uptime_ms"].as_i64().unwrap() >= 0);
+    });
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let fixture = Fixture::new(17);
+    let config = ServeConfig::default().with_workers(1);
+    let body = format!(r#"{{"query": "news about {}"}}"#, fixture.country);
+    with_server(config, &fixture, |handle, _| {
+        // Start a request but hold back the last byte of the body so it
+        // is accepted and in flight when shutdown triggers.
+        let mut slow = TcpStream::connect(handle.addr()).unwrap();
+        slow.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        use std::io::Write;
+        let head = format!(
+            "POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        slow.write_all(head.as_bytes()).unwrap();
+        slow.write_all(&body.as_bytes()[..body.len() - 1]).unwrap();
+        slow.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // let it reach the worker
+
+        assert!(handle.shutdown(), "trigger graceful shutdown");
+
+        // Finish the body after shutdown: the in-flight request must
+        // still be served to completion.
+        slow.write_all(&body.as_bytes()[body.len() - 1..]).unwrap();
+        slow.flush().unwrap();
+        let (status, text) = client::read_response(&mut slow).unwrap();
+        assert_eq!(status, 200, "drained request completes: {text}");
+        assert!(!parse(&text)["results"].as_array().unwrap().is_empty());
+    });
+    // with_server returning proves run() unblocked and the pool joined.
+}

@@ -11,6 +11,7 @@ use crate::dictionary::{TermDictionary, TermId};
 
 /// Dense document id within one index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DocId(pub u32);
 
 impl DocId {

@@ -19,6 +19,7 @@ use crate::FxHashMap;
 
 /// A snapshot of cache activity, cheap to copy and to difference.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,

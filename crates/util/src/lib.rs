@@ -15,16 +15,28 @@
 //!   per-component time breakdowns (Table VIII, Figure 7).
 //! - [`cache`] — capacity-bounded CLOCK caches and hit/miss counters, the
 //!   building blocks of the traversal/embedding caches on the hot path.
+//! - [`histogram`] — log2-bucketed value histograms for latency
+//!   reporting (merge-friendly, quantiles from bucket bounds).
+//! - [`shutdown`] — a cloneable one-way stop bit for cooperative
+//!   drain-and-exit across worker pools.
+//!
+//! With the `serde` feature on, the observability types ([`CacheStats`],
+//! [`ComponentTimer`], [`Histogram`]) serialize through the vendored
+//! serde shim so metrics endpoints can report them as JSON.
 
 pub mod cache;
 pub mod fxhash;
+pub mod histogram;
 pub mod rng;
+pub mod shutdown;
 pub mod timer;
 pub mod topk;
 pub mod varint;
 
 pub use cache::{CacheCounters, CacheStats, ClockCache};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use histogram::Histogram;
 pub use rng::DetRng;
+pub use shutdown::ShutdownFlag;
 pub use timer::ComponentTimer;
 pub use topk::TopK;

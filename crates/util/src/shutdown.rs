@@ -1,0 +1,64 @@
+//! A cooperative shutdown signal.
+//!
+//! [`ShutdownFlag`] is a cloneable handle over one shared atomic bit.
+//! Long-running loops (the serving layer's accept loop, worker pools,
+//! pollers) check [`is_triggered`](ShutdownFlag::is_triggered) between
+//! work items; any clone may call [`trigger`](ShutdownFlag::trigger) to
+//! ask all of them to wind down. Triggering is idempotent, never blocks,
+//! and cannot be undone — drain-and-exit is the only protocol.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, one-way "please stop" bit.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, untriggered flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request shutdown. Returns `true` if this call was the first to
+    /// trigger the flag.
+    pub fn trigger(&self) -> bool {
+        !self.0.swap(true, Ordering::SeqCst)
+    }
+
+    /// True once any clone has triggered.
+    pub fn is_triggered(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_bit() {
+        let a = ShutdownFlag::new();
+        let b = a.clone();
+        assert!(!a.is_triggered() && !b.is_triggered());
+        assert!(b.trigger(), "first trigger reports true");
+        assert!(!a.trigger(), "second trigger reports false");
+        assert!(a.is_triggered() && b.is_triggered());
+    }
+
+    #[test]
+    fn triggers_across_threads() {
+        let flag = ShutdownFlag::new();
+        let seen = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                while !flag.is_triggered() {
+                    std::thread::yield_now();
+                }
+                true
+            })
+        };
+        flag.trigger();
+        assert!(seen.join().unwrap());
+    }
+}

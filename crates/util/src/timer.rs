@@ -81,6 +81,27 @@ impl ComponentTimer {
     }
 }
 
+/// Render as `{component: {"total_ns", "count"}, …}` with components in
+/// sorted order, the wire shape of per-request timer reports.
+#[cfg(feature = "serde")]
+impl serde::Serialize for ComponentTimer {
+    fn serialize_value(&self) -> serde::Value {
+        let fields = self
+            .components()
+            .into_iter()
+            .map(|c| {
+                let total_ns = u64::try_from(self.total(c).as_nanos()).unwrap_or(u64::MAX);
+                let entry = serde::Value::Object(vec![
+                    ("total_ns".to_string(), total_ns.serialize_value()),
+                    ("count".to_string(), self.count(c).serialize_value()),
+                ]);
+                (c.to_string(), entry)
+            })
+            .collect();
+        serde::Value::Object(fields)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 
-use newslink_util::varint;
-use newslink_util::{DetRng, TopK};
+use newslink_util::{histogram, varint};
+use newslink_util::{DetRng, Histogram, TopK};
 
 proptest! {
     /// TopK agrees with sort-and-truncate for arbitrary score streams.
@@ -81,5 +81,73 @@ proptest! {
                 None => prop_assert!(weights.iter().all(|&w| w <= 0.0)),
             }
         }
+    }
+
+    /// Histogram merge is associative (and agrees with recording the
+    /// concatenated stream).
+    #[test]
+    fn histogram_merge_associative(
+        xs in prop::collection::vec(any::<u64>(), 0..100),
+        ys in prop::collection::vec(any::<u64>(), 0..100),
+        zs in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let build = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+        let mut all = xs.clone();
+        all.extend(&ys);
+        all.extend(&zs);
+        prop_assert_eq!(build(&all), a.merged(&b).merged(&c));
+    }
+
+    /// Bucket index is monotone in the value, and every value lies within
+    /// its bucket's bounds.
+    #[test]
+    fn histogram_buckets_monotone(mut values in prop::collection::vec(any::<u64>(), 2..100)) {
+        values.sort_unstable();
+        for w in values.windows(2) {
+            prop_assert!(histogram::bucket_index(w[0]) <= histogram::bucket_index(w[1]));
+        }
+        for &v in &values {
+            let i = histogram::bucket_index(v);
+            prop_assert!(v <= histogram::bucket_upper_bound(i));
+            if i > 0 {
+                prop_assert!(v > histogram::bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    /// Quantiles are bucket upper bounds: for the q-th ranked sample v,
+    /// v <= quantile(q) < 2·v (exact at v = 0), and quantile(1.0) bounds
+    /// the maximum.
+    #[test]
+    fn histogram_quantile_bounds(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let true_v = sorted[rank - 1];
+        let got = h.quantile(q);
+        prop_assert!(got >= true_v, "quantile({q}) = {got} < sample {true_v}");
+        if true_v > 0 {
+            prop_assert!(got < 2 * true_v, "quantile({q}) = {got} >= 2·{true_v}");
+        } else {
+            prop_assert_eq!(got, 0);
+        }
+        prop_assert!(h.quantile(1.0) >= *sorted.last().unwrap());
+        prop_assert_eq!(h.count(), values.len() as u64);
     }
 }

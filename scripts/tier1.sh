@@ -4,4 +4,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
+# Examples and bench targets (harness = false) are not exercised by
+# `cargo test`; compile them so drift is caught here.
+cargo build --release --workspace --examples --benches
 cargo test -q --workspace
+# The serving layer's e2e suite is the HTTP smoke gate: real TCP,
+# load-shed, deadline and graceful-drain coverage.
+cargo test -q -p newslink-serve --test http_e2e

@@ -6,5 +6,6 @@ pub use newslink_embed as embed;
 pub use newslink_eval as eval;
 pub use newslink_kg as kg;
 pub use newslink_nlp as nlp;
+pub use newslink_serve as serve;
 pub use newslink_text as text;
 pub use newslink_util as util;
