@@ -39,8 +39,7 @@ fn main() {
         let method = NewsLinkMethod::with_config(&ctx, cfg);
         let nodes: usize = method
             .index()
-            .embeddings
-            .iter()
+            .embeddings()
             .map(|e| e.all_nodes().len())
             .sum();
         println!(

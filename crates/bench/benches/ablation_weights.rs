@@ -59,8 +59,7 @@ fn main() {
     ] {
         let index = newslink_core::index_corpus(graph, labels, &config, &ctx.texts);
         let avg_nodes: f64 = index
-            .embeddings
-            .iter()
+            .embeddings()
             .map(|e| e.all_nodes().len())
             .sum::<usize>() as f64
             / ctx.texts.len().max(1) as f64;

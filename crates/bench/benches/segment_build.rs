@@ -1,0 +1,128 @@
+//! Parallel segment-build benchmark.
+//!
+//! Measures wall time of `index_corpus` as the segment size (and with
+//! it, the build parallelism) varies: one monolithic segment built on a
+//! single thread versus sharded builds on 2/4/N threads. The embedding
+//! stage is deliberately pre-warmed through the engine cache so the
+//! numbers isolate the *index construction* path the segmented
+//! architecture parallelizes, and a final check asserts every layout
+//! ranks a probe query bit-identically to the monolithic build.
+//!
+//! Run with `cargo bench --bench segment_build`.
+
+use std::time::{Duration, Instant};
+
+use newslink_core::{NewsLink, NewsLinkConfig, SearchRequest};
+use newslink_kg::{synth, LabelIndex, SynthConfig};
+
+/// Best-of-`reps` wall time of `f`.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best: Option<Duration> = None;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        let dt = t.elapsed();
+        if best.is_none_or(|b| dt < b) {
+            best = Some(dt);
+        }
+        out = Some(r);
+    }
+    (best.unwrap(), out.unwrap())
+}
+
+fn main() {
+    let world = synth::generate(&SynthConfig::medium(42));
+    let labels = LabelIndex::build(&world.graph);
+    let pool: Vec<_> = world
+        .countries
+        .iter()
+        .chain(&world.provinces)
+        .chain(&world.cities)
+        .chain(&world.people)
+        .chain(&world.organizations)
+        .copied()
+        .collect();
+    let docs: Vec<String> = (0..2000)
+        .map(|i| {
+            let a = world.graph.label(pool[(i * 3) % pool.len()]);
+            let b = world.graph.label(pool[(i * 7 + 1) % pool.len()]);
+            let c = world.graph.label(pool[(i * 11 + 2) % pool.len()]);
+            format!(
+                "Report {i}: {a} officials discussed developments with {b} while \
+                 observers in {c} tracked trade, aid and security talks."
+            )
+        })
+        .collect();
+
+    let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "segment_build: {} docs, machine has {machine} hardware threads\n",
+        docs.len()
+    );
+    println!(
+        "{:<36} {:>12} {:>10} {:>9}",
+        "layout", "build time", "segments", "speedup"
+    );
+
+    // One engine per layout shares nothing; instead each engine warms
+    // its own embed cache with a throwaway build, so the measured rebuild
+    // is dominated by segment construction rather than NLP/NE.
+    let probe = format!(
+        r#"{} {} security talks"#,
+        world.graph.label(pool[0]),
+        world.graph.label(pool[1])
+    );
+    let layouts: Vec<(String, NewsLinkConfig)> = vec![
+        (
+            "monolithic (threads=1)".to_string(),
+            NewsLinkConfig::default().with_threads(1),
+        ),
+        (
+            "segment_docs=250 (threads=2)".to_string(),
+            NewsLinkConfig::default().with_segment_docs(250).with_threads(2),
+        ),
+        (
+            "segment_docs=250 (threads=4)".to_string(),
+            NewsLinkConfig::default().with_segment_docs(250).with_threads(4),
+        ),
+        (
+            format!("segment_docs=125 (threads={machine})"),
+            NewsLinkConfig::default().with_segment_docs(125).with_threads(machine),
+        ),
+    ];
+
+    let mut baseline: Option<Duration> = None;
+    let mut reference: Option<Vec<(u32, u64)>> = None;
+    for (label, config) in layouts {
+        let engine = NewsLink::new(&world.graph, &labels, config);
+        engine.index_corpus(&docs); // warm the embed cache
+        let (dt, index) = best_of(3, || engine.index_corpus(&docs));
+        let speedup = baseline.map_or(1.0, |b| b.as_secs_f64() / dt.as_secs_f64());
+        if baseline.is_none() {
+            baseline = Some(dt);
+        }
+        println!(
+            "{label:<36} {:>9.2} ms {:>10} {:>8.2}x",
+            dt.as_secs_f64() * 1e3,
+            index.segment_count(),
+            speedup
+        );
+
+        // Bit-parity guard: every layout must rank identically.
+        let response = engine.execute(&index, &SearchRequest::new(&probe).with_k(10));
+        let ranking: Vec<(u32, u64)> = response
+            .results
+            .iter()
+            .map(|h| (h.doc.0, h.score.to_bits()))
+            .collect();
+        match &reference {
+            None => reference = Some(ranking),
+            Some(expected) => assert_eq!(
+                expected, &ranking,
+                "{label}: segmented ranking diverged from monolithic"
+            ),
+        }
+    }
+    println!("\nall layouts ranked the probe query bit-identically");
+}

@@ -36,7 +36,7 @@ fn main() {
             format!("Update {i}: sources close to {a} commented on events involving {b}.")
         })
         .collect();
-    let index = engine.index_corpus(&docs);
+    let index = parking_lot::RwLock::new(engine.index_corpus(&docs));
 
     // Distinct query bodies (cycled) and one repeated body for the
     // warm-cache pass.
@@ -54,7 +54,7 @@ fn main() {
     let addr = handle.addr();
     println!(
         "serve_throughput: {} docs, {} workers, {} requests per level\n",
-        index.doc_count(),
+        index.read().doc_count(),
         server.config().workers,
         REQUESTS_PER_LEVEL
     );

@@ -70,10 +70,10 @@ newslink — intuitive news search with knowledge graphs
 commands:
   generate-world  --scale small|medium|large --seed N --out kg.tsv
   generate-corpus --world kg.tsv --docs N --flavor cnn|kaggle --seed N --out corpus.txt
-  build-index     --world kg.tsv --corpus corpus.txt --beta B --out index.nlnk
+  build-index     --world kg.tsv --corpus corpus.txt --beta B [--segment-docs N] --out index.nlnk
   search          --world kg.tsv --corpus corpus.txt --index index.nlnk --query Q --k N --explain true|false
   serve           --world kg.tsv --corpus corpus.txt [--index index.nlnk] [--addr 127.0.0.1:8080]
-                  [--workers N] [--queue-depth N] [--timeout-ms N] [--beta B]
+                  [--workers N] [--queue-depth N] [--timeout-ms N] [--beta B] [--segment-docs N]
   stats           --world kg.tsv
 ";
 
@@ -156,10 +156,13 @@ fn generate_corpus_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn build_index(args: &Args) -> Result<(), String> {
-    check_flags(args, &["world", "corpus", "beta", "out"])?;
+    check_flags(args, &["world", "corpus", "beta", "segment-docs", "out"])?;
     let graph = load_world(args)?;
     let texts = load_corpus_file(args.require("corpus")?)?;
     let beta: f64 = args.get_parsed("beta", 0.2)?;
+    // 0 = one segment; any other value shards the build, which also
+    // parallelizes it across the configured threads.
+    let segment_docs: usize = args.get_parsed("segment-docs", 0)?;
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -167,7 +170,10 @@ fn build_index(args: &Args) -> Result<(), String> {
     let engine = NewsLink::new(
         &graph,
         &labels,
-        NewsLinkConfig::default().with_beta(beta).with_threads(threads),
+        NewsLinkConfig::default()
+            .with_beta(beta)
+            .with_threads(threads)
+            .with_segment_docs(segment_docs),
     );
     let t = std::time::Instant::now();
     let index = engine.index_corpus(&texts);
@@ -175,8 +181,9 @@ fn build_index(args: &Args) -> Result<(), String> {
     save_newslink_index(&index, &graph, Path::new(out))
         .map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "indexed {} docs in {:.2}s ({:.1}% embedded), wrote {}",
+        "indexed {} docs into {} segment(s) in {:.2}s ({:.1}% embedded), wrote {}",
         index.doc_count(),
+        index.segment_count(),
         t.elapsed().as_secs_f64(),
         index.embedded_ratio() * 100.0,
         out
@@ -251,24 +258,31 @@ fn search_cmd(args: &Args) -> Result<(), String> {
 fn serve_cmd(args: &Args) -> Result<(), String> {
     check_flags(
         args,
-        &["world", "corpus", "index", "addr", "workers", "queue-depth", "timeout-ms", "beta"],
+        &[
+            "world", "corpus", "index", "addr", "workers", "queue-depth", "timeout-ms", "beta",
+            "segment-docs",
+        ],
     )?;
     let graph = load_world(args)?;
     let texts = load_corpus_file(args.require("corpus")?)?;
     let beta: f64 = args.get_parsed("beta", 0.2)?;
+    let segment_docs: usize = args.get_parsed("segment-docs", 0)?;
     let labels = LabelIndex::build(&graph);
-    // `threads = 0` = auto: batch endpoints size their pools to the
-    // machine at call time.
-    let config = NewsLinkConfig::default().with_beta(beta).with_auto_threads();
+    // `threads = 0` = auto: batch endpoints and the segment builder size
+    // their pools to the machine at call time.
+    let config = NewsLinkConfig::default()
+        .with_beta(beta)
+        .with_auto_threads()
+        .with_segment_docs(segment_docs);
     let engine = NewsLink::new(&graph, &labels, config);
-    let index = match args.get("index") {
+    let index = parking_lot::RwLock::new(match args.get("index") {
         Some(path) => load_newslink_index(&graph, Path::new(path))
             .map_err(|e| format!("loading index {path}: {e}"))?,
         None => {
             println!("indexing {} documents …", texts.len());
             engine.index_corpus(&texts)
         }
-    };
+    });
 
     let workers: usize = args.get_parsed("workers", 4)?;
     let queue_depth: usize = args.get_parsed("queue-depth", 64)?;
@@ -282,8 +296,8 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
     let server = Server::bind(addr, serve_config).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "serving {} docs on http://{} ({} workers, capacity {}) — POST /search, POST /search/batch, GET /healthz, GET /metrics; Ctrl-C to stop",
-        index.doc_count(),
+        "serving {} docs on http://{} ({} workers, capacity {}) — POST /search, POST /search/batch, POST /docs, DELETE /docs/<id>, GET /healthz, GET /metrics; Ctrl-C to stop",
+        index.read().doc_count(),
         server.local_addr(),
         server.config().workers,
         server.config().capacity(),

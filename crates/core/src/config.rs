@@ -85,6 +85,18 @@ pub struct NewsLinkConfig {
     /// (the top-k algorithm the paper cites in §VI) instead of exhaustive
     /// union rescoring. Results are identical; TA terminates early.
     pub use_threshold_algorithm: bool,
+    /// Documents per immutable index segment at build time. `0` (the
+    /// default) seals the whole corpus into one segment — the
+    /// pre-segmentation behaviour. Smaller segments build in parallel
+    /// across [`threads`](Self::threads); search results are bit-identical
+    /// either way (global-stats overlay, see `crate::segment`).
+    pub segment_docs: usize,
+    /// Ceiling on live segment count (floor 1). Incremental inserts
+    /// through [`crate::NewsLink::insert_document`] and
+    /// [`crate::LiveNewsLink::commit`] compact adjacent segments back
+    /// under this bound. Build-time sharding is governed by
+    /// [`segment_docs`](Self::segment_docs), not this.
+    pub max_segments: usize,
 }
 
 impl Default for NewsLinkConfig {
@@ -97,6 +109,8 @@ impl Default for NewsLinkConfig {
             cache: CacheConfig::default(),
             normalize_scores: true,
             use_threshold_algorithm: false,
+            segment_docs: 0,
+            max_segments: 8,
         }
     }
 }
@@ -165,6 +179,19 @@ impl NewsLinkConfig {
         self.use_threshold_algorithm = on;
         self
     }
+
+    /// Set the build-time segment size (`0` = one segment for the whole
+    /// corpus).
+    pub fn with_segment_docs(mut self, docs: usize) -> Self {
+        self.segment_docs = docs;
+        self
+    }
+
+    /// Set the live segment-count ceiling (min 1).
+    pub fn with_max_segments(mut self, max: usize) -> Self {
+        self.max_segments = max.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +204,17 @@ mod tests {
         assert_eq!(c.beta, 0.2);
         assert_eq!(c.model, EmbeddingModel::Lcag);
         assert!(c.normalize_scores);
+        assert_eq!(c.segment_docs, 0, "single segment by default");
+        assert_eq!(c.max_segments, 8);
+    }
+
+    #[test]
+    fn segment_knobs_chain_and_floor() {
+        let c = NewsLinkConfig::default()
+            .with_segment_docs(512)
+            .with_max_segments(0);
+        assert_eq!(c.segment_docs, 512);
+        assert_eq!(c.max_segments, 1, "max_segments floors at one");
     }
 
     #[test]

@@ -6,28 +6,39 @@
 //! BON index over node terms. Documents whose groups all fail to embed are
 //! kept searchable by text (the paper filters them from its corpus; we
 //! record them so experiments can report the same coverage statistic).
+//!
+//! The index itself is *segmented* (see [`crate::segment`]): documents are
+//! chunked by `config.segment_docs` into immutable [`IndexSegment`]s that
+//! build in parallel across `config.effective_threads`. The default
+//! (`segment_docs = 0`) seals the whole corpus into one segment — the
+//! degenerate case every pre-segmentation behaviour reduces to.
 
 use std::time::Instant;
 
 use newslink_embed::{
-    bon_terms, find_lcag, find_tree_embedding, CachedModel, DocEmbedding, EmbeddingCache,
+    find_lcag, find_tree_embedding, CachedModel, DocEmbedding, EmbeddingCache,
 };
 use newslink_kg::{KnowledgeGraph, LabelIndex};
 use newslink_nlp::{DocumentAnalysis, MatchStats, NlpPipeline};
-use newslink_text::{DocId, IndexBuilder, InvertedIndex};
-use newslink_util::{CacheStats, ComponentTimer};
+use newslink_text::DocId;
+use newslink_util::{CacheStats, ComponentTimer, FxHashSet};
 
 use crate::config::{EmbeddingModel, NewsLinkConfig};
+use crate::segment::IndexSegment;
 
-/// The frozen search-side state for one corpus.
+/// The frozen search-side state for one corpus: an ordered set of
+/// immutable segments plus a tombstone set ([`crate::segment`] holds the
+/// segment-management and fan-out scoring machinery).
 #[derive(Debug)]
 pub struct NewsLinkIndex {
-    /// BOW inverted index over word terms.
-    pub bow: InvertedIndex,
-    /// BON inverted index over node terms.
-    pub bon: InvertedIndex,
-    /// Per-document subgraph embeddings (aligned with doc ids).
-    pub embeddings: Vec<DocEmbedding>,
+    /// Immutable shards sorted by disjoint ascending global-id ranges.
+    pub(crate) segments: Vec<IndexSegment>,
+    /// Deleted-but-not-expunged global ids.
+    pub(crate) tombstones: FxHashSet<u32>,
+    /// Next global id to assign; ids are never reused.
+    pub(crate) next_id: u32,
+    /// Segment merges performed over this index's lifetime.
+    pub(crate) compactions: u64,
     /// Aggregated entity matching statistics (Table V's numerator /
     /// denominator).
     pub match_stats: MatchStats,
@@ -41,18 +52,36 @@ pub struct NewsLinkIndex {
 }
 
 impl NewsLinkIndex {
-    /// Number of indexed documents.
-    pub fn doc_count(&self) -> usize {
-        self.embeddings.len()
+    /// An index with no documents (the live engine's starting state).
+    pub(crate) fn empty() -> Self {
+        Self {
+            segments: Vec::new(),
+            tombstones: FxHashSet::default(),
+            next_id: 0,
+            compactions: 0,
+            match_stats: MatchStats::default(),
+            embedded_docs: 0,
+            timer: ComponentTimer::new(),
+            cache_stats: CacheStats::default(),
+        }
     }
 
-    /// Fraction of documents with a non-empty subgraph embedding (the
-    /// paper reports 96.3% for CNN, 91.2% for Kaggle).
+    /// Number of live (non-tombstoned) documents.
+    pub fn doc_count(&self) -> usize {
+        self.total_docs() - self.tombstones.len()
+    }
+
+    /// Fraction of indexed documents with a non-empty subgraph embedding
+    /// (the paper reports 96.3% for CNN, 91.2% for Kaggle). This is an
+    /// indexing-time statistic: its denominator counts every document
+    /// ever sealed into the index, including later-tombstoned ones that
+    /// compaction has not yet expunged.
     pub fn embedded_ratio(&self) -> f64 {
-        if self.embeddings.is_empty() {
+        let total = self.total_docs();
+        if total == 0 {
             0.0
         } else {
-            self.embedded_docs as f64 / self.embeddings.len() as f64
+            self.embedded_docs as f64 / total as f64
         }
     }
 }
@@ -124,9 +153,11 @@ pub(crate) fn embed_one_with(
 
 /// Embed and index a whole corpus.
 ///
-/// Embedding parallelizes across `config.threads` (the paper notes corpus
-/// embedding "can easily be parallelized"); index building is serial and
-/// deterministic in document order.
+/// Both stages parallelize across `config.threads` (the paper notes corpus
+/// embedding "can easily be parallelized"): embedding chunks documents
+/// across worker threads, and with `config.segment_docs > 0` the sealed
+/// segments build concurrently too. Document ids are assigned before the
+/// fan-out, so the result is deterministic and identical to a serial run.
 pub fn index_corpus<S: AsRef<str> + Sync>(
     graph: &KnowledgeGraph,
     label_index: &LabelIndex,
@@ -169,32 +200,52 @@ pub fn index_corpus_with<S: AsRef<str> + Sync>(
     };
 
     let mut timer = ComponentTimer::new();
-    let mut bow = IndexBuilder::new();
-    let mut bon = IndexBuilder::new();
-    let mut embeddings = Vec::with_capacity(texts.len());
     let mut match_stats = MatchStats::default();
     let mut embedded_docs = 0;
-
-    let t_ns = Instant::now();
-    for a in artifacts {
+    for a in &artifacts {
         timer.record("nlp", std::time::Duration::from_nanos(a.nlp_nanos));
         timer.record("ne", std::time::Duration::from_nanos(a.ne_nanos));
         match_stats.identified += a.analysis.stats.identified;
         match_stats.matched += a.analysis.stats.matched;
-        let doc = bow.add_document(&a.analysis.terms);
-        let bdoc = bon.add_document(&bon_terms(&a.embedding));
-        debug_assert_eq!(doc, bdoc, "BOW and BON doc ids must stay aligned");
         if !a.embedding.is_empty() {
             embedded_docs += 1;
         }
-        embeddings.push(a.embedding);
     }
-    timer.record_batch("ns", t_ns.elapsed(), embeddings.len().max(1) as u64);
+
+    let total = artifacts.len();
+    let t_ns = Instant::now();
+    let chunk_size = if config.segment_docs == 0 {
+        total.max(1)
+    } else {
+        config.segment_docs
+    };
+    let mut chunks: Vec<Vec<(u32, DocArtifacts)>> = Vec::new();
+    {
+        let mut it = artifacts
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a));
+        loop {
+            let chunk: Vec<_> = it.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+    }
+    let build_threads = config.effective_threads(chunks.len());
+    let segments: Vec<IndexSegment> = if build_threads <= 1 || chunks.len() < 2 {
+        chunks.into_iter().map(IndexSegment::build).collect()
+    } else {
+        parallel_build_segments(chunks, build_threads)
+    };
+    timer.record_batch("ns", t_ns.elapsed(), total.max(1) as u64);
 
     NewsLinkIndex {
-        bow: bow.build(),
-        bon: bon.build(),
-        embeddings,
+        segments: segments.into_iter().filter(|s| !s.is_empty()).collect(),
+        tombstones: FxHashSet::default(),
+        next_id: total as u32,
+        compactions: 0,
         match_stats,
         embedded_docs,
         timer,
@@ -240,9 +291,46 @@ fn parallel_embed<S: AsRef<str> + Sync>(
     out.into_iter().map(|a| a.expect("all docs embedded")).collect()
 }
 
-/// Convenience: doc ids of a freshly built index, in order.
-pub fn doc_ids(index: &NewsLinkIndex) -> impl Iterator<Item = DocId> {
-    (0..index.doc_count() as u32).map(DocId)
+/// Seal chunks into segments on scoped worker threads. Chunks carry their
+/// pre-assigned global ids, so build order cannot affect the result.
+fn parallel_build_segments(
+    mut chunks: Vec<Vec<(u32, DocArtifacts)>>,
+    threads: usize,
+) -> Vec<IndexSegment> {
+    let per = chunks.len().div_ceil(threads);
+    let mut out: Vec<Option<IndexSegment>> = Vec::new();
+    out.resize_with(chunks.len(), || None);
+    std::thread::scope(|scope| {
+        let mut slots = out.as_mut_slice();
+        while !chunks.is_empty() {
+            let take = per.min(chunks.len());
+            let group: Vec<Vec<(u32, DocArtifacts)>> = chunks.drain(..take).collect();
+            let (head, rest) = slots.split_at_mut(take);
+            slots = rest;
+            scope.spawn(move || {
+                for (slot, chunk) in head.iter_mut().zip(group) {
+                    *slot = Some(IndexSegment::build(chunk));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("all segments built"))
+        .collect()
+}
+
+/// Live document ids of an index, in ascending order.
+///
+/// Ordering guarantee: at build time ids are **dense** (`0..doc_count`)
+/// in corpus order, regardless of `segment_docs` or thread count — ids
+/// are assigned before the segment-build fan-out. Afterwards ids are
+/// **stable**: deletion and compaction never renumber a surviving
+/// document, and reclaimed ids are never reused for new documents (live
+/// inserts always draw fresh ids from `next_id`). The sequence therefore
+/// stays strictly ascending but may grow gaps once documents are
+/// deleted.
+pub fn doc_ids(index: &NewsLinkIndex) -> impl Iterator<Item = DocId> + '_ {
+    index.doc_ids()
 }
 
 #[cfg(test)]
@@ -278,8 +366,10 @@ mod tests {
         let (g, li) = world();
         let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
         assert_eq!(idx.doc_count(), 3);
-        assert_eq!(idx.bow.doc_count(), 3);
-        assert_eq!(idx.bon.doc_count(), 3);
+        assert_eq!(idx.segment_count(), 1);
+        let seg = &idx.segments()[0];
+        assert_eq!(seg.bow().doc_count(), 3);
+        assert_eq!(seg.bon().doc_count(), 3);
         assert_eq!(idx.embedded_docs, 2);
         assert!((idx.embedded_ratio() - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -290,9 +380,9 @@ mod tests {
         let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
         // Doc 0 mentions Taliban+Kunar+Pakistan+Khyber; its embedding
         // connects them.
-        assert!(!idx.embeddings[0].is_empty());
+        assert!(!idx.embedding(DocId(0)).unwrap().is_empty());
         // Doc 2 has no entities -> empty embedding.
-        assert!(idx.embeddings[2].is_empty());
+        assert!(idx.embedding(DocId(2)).unwrap().is_empty());
         let _ = g;
     }
 
@@ -308,13 +398,39 @@ mod tests {
         );
         assert_eq!(serial.doc_count(), par.doc_count());
         assert_eq!(serial.embedded_docs, par.embedded_docs);
-        for (a, b) in serial.embeddings.iter().zip(&par.embeddings) {
+        for (a, b) in serial.embeddings().zip(par.embeddings()) {
             assert_eq!(a.all_nodes(), b.all_nodes());
         }
         assert_eq!(
             serial.match_stats.identified,
             par.match_stats.identified
         );
+    }
+
+    #[test]
+    fn parallel_segment_build_matches_serial() {
+        let (g, li) = world();
+        let serial = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_segment_docs(1),
+            DOCS,
+        );
+        let par = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default()
+                .with_segment_docs(1)
+                .with_threads(3),
+            DOCS,
+        );
+        assert_eq!(serial.segment_count(), 3);
+        assert_eq!(par.segment_count(), 3);
+        for (a, b) in serial.segments().iter().zip(par.segments()) {
+            assert_eq!(a.globals(), b.globals());
+            assert_eq!(a.bow().doc_count(), b.bow().doc_count());
+            assert_eq!(a.bon().doc_count(), b.bon().doc_count());
+        }
     }
 
     #[test]
@@ -325,7 +441,7 @@ mod tests {
         assert_eq!(idx.embedded_docs, 2);
         // Tree embeddings never exceed LCAG embeddings in node count.
         let lcag = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
-        for (t, l) in idx.embeddings.iter().zip(&lcag.embeddings) {
+        for (t, l) in idx.embeddings().zip(lcag.embeddings()) {
             assert!(t.all_nodes().len() <= l.all_nodes().len());
         }
     }
@@ -356,7 +472,7 @@ mod tests {
 
         for run in [&first, &second] {
             assert_eq!(run.embedded_docs, uncached.embedded_docs);
-            for (a, b) in uncached.embeddings.iter().zip(&run.embeddings) {
+            for (a, b) in uncached.embeddings().zip(run.embeddings()) {
                 assert_eq!(a.all_nodes(), b.all_nodes());
             }
         }
@@ -367,6 +483,31 @@ mod tests {
         let (g, li) = world();
         let idx = index_corpus::<&str>(&g, &li, &NewsLinkConfig::default(), &[]);
         assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.segment_count(), 0);
         assert_eq!(idx.embedded_ratio(), 0.0);
+    }
+
+    #[test]
+    fn doc_ids_dense_at_build_and_stable_after_compaction() {
+        let (g, li) = world();
+        let mut idx = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default()
+                .with_segment_docs(1)
+                .with_threads(3),
+            DOCS,
+        );
+        // Dense at build, in corpus order, independent of sharding and
+        // thread count.
+        let ids: Vec<u32> = doc_ids(&idx).map(|d| d.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Deletion leaves a gap; compaction does not renumber survivors.
+        idx.delete(DocId(1));
+        idx.compact();
+        let ids: Vec<u32> = doc_ids(&idx).map(|d| d.0).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert!(idx.embedding(DocId(0)).is_some());
+        assert!(idx.embedding(DocId(1)).is_none());
     }
 }

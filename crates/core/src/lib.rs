@@ -4,9 +4,12 @@
 //! (`newslink-embed`) and the NS component (BOW/BON blending over
 //! `newslink-text`) into one engine:
 //!
-//! - [`config`] — β, embedding model, threading;
-//! - [`indexer`] — corpus embedding + dual inverted indexes;
-//! - [`searcher`] — Equation 3 blended scoring, top-k, explanations;
+//! - [`config`] — β, embedding model, threading, segment sizing;
+//! - [`indexer`] — corpus embedding + parallel segment building;
+//! - [`segment`] — immutable index segments, tombstones, compaction and
+//!   the global-stats scoring overlay;
+//! - [`searcher`] — Equation 3 blended scoring, per-segment fan-out,
+//!   top-k merge, explanations;
 //! - [`pipeline`] — the [`NewsLink`] facade.
 
 pub mod alerts;
@@ -19,6 +22,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod score_explain;
 pub mod searcher;
+pub mod segment;
 pub mod ta;
 
 pub use alerts::{AlertMatch, AlertRegistry};
@@ -27,10 +31,18 @@ pub use api::{
 };
 pub use cache::EngineCacheStats;
 pub use config::{CacheConfig, EmbeddingModel, NewsLinkConfig};
-pub use indexer::{index_corpus, index_corpus_with, NewsLinkIndex};
+pub use indexer::{doc_ids, index_corpus, index_corpus_with, NewsLinkIndex};
 pub use live::{LiveHit, LiveNewsLink};
 pub use pipeline::NewsLink;
 pub use score_explain::{explain_score, ScoreExplanation, SideExplanation, TermContribution};
 pub use searcher::{explain, search, search_batch, QueryOutcome, SearchResult};
-pub use persist::{load_newslink_index, read_newslink_index, save_newslink_index, write_newslink_index};
+pub use segment::{IndexSegment, IndexStats};
+pub use persist::{
+    load_newslink_index, read_newslink_index, save_newslink_index, write_newslink_index,
+    PersistError,
+};
 pub use ta::{threshold_algorithm, TaOutcome};
+
+/// Document ids are minted by the index; re-exported so downstream
+/// crates (serve, cli) can name them without depending on the text crate.
+pub use newslink_text::DocId;

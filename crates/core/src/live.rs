@@ -2,27 +2,31 @@
 //!
 //! A news search deployment ingests a stream; re-embedding and re-indexing
 //! the whole corpus per article (the frozen [`crate::indexer`] path) does
-//! not scale. [`LiveNewsLink`] keeps *two* Lucene-style segmented indexes
-//! — BOW over word terms, BON over node terms — plus the per-document
-//! subgraph embeddings, supporting add / delete / commit with stable
-//! document ids and the same Equation 3 blended scoring as the frozen
-//! engine.
+//! not scale. [`LiveNewsLink`] wraps the same segmented
+//! [`NewsLinkIndex`] the frozen engine searches, plus one *open* mutable
+//! segment: [`add_document`](LiveNewsLink::add_document) buffers analyzed
+//! documents there, [`commit`](LiveNewsLink::commit) seals the buffer
+//! into an immutable [`IndexSegment`] and compacts small segments back
+//! under the configured ceiling. Search simply runs the shared fan-out
+//! query path, so live results are bit-identical to a frozen index over
+//! the same live documents.
 
-use newslink_embed::{
-    bon_terms, relationship_paths, DocEmbedding, EmbeddingCache, RelationshipPath,
-};
+use newslink_embed::{relationship_paths, DocEmbedding, RelationshipPath};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
-use newslink_text::{Bm25, GlobalId, SegmentedIndex};
-use newslink_util::{CacheStats, FxHashMap, TopK};
+use newslink_text::DocId;
+use newslink_util::{CacheStats, FxHashSet};
 
+use crate::cache::EngineCaches;
 use crate::config::NewsLinkConfig;
-use crate::indexer::embed_one_with;
+use crate::indexer::{embed_one_with, DocArtifacts, NewsLinkIndex};
+use crate::searcher::run_query;
+use crate::segment::{IndexSegment, IndexStats};
 
 /// A blended hit from the live engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LiveHit {
     /// Stable document id.
-    pub id: GlobalId,
+    pub id: DocId,
     /// Blended score.
     pub score: f64,
 }
@@ -32,160 +36,181 @@ pub struct LiveNewsLink<'g> {
     graph: &'g KnowledgeGraph,
     label_index: &'g LabelIndex,
     config: NewsLinkConfig,
-    bow: SegmentedIndex,
-    bon: SegmentedIndex,
-    embeddings: FxHashMap<GlobalId, DocEmbedding>,
-    /// Embedding cache shared by ingestion and search. Entries key on the
+    index: NewsLinkIndex,
+    /// The open segment: embedded documents not yet sealed. Ids are
+    /// reserved at add time and never reused, even when the document is
+    /// deleted before its first commit.
+    pending: Vec<(u32, DocArtifacts)>,
+    /// Buffered documents deleted before sealing (dropped at commit).
+    pending_deleted: FxHashSet<u32>,
+    /// Engine caches shared by ingestion and search. Entries key on the
     /// immutably borrowed graph, never on document state, so add / delete
     /// / commit require no invalidation — a stream of near-duplicate
     /// articles embeds its recurring entity groups once.
-    cache: Option<EmbeddingCache>,
+    caches: Option<EngineCaches>,
+    max_segments: usize,
 }
 
 impl<'g> LiveNewsLink<'g> {
-    /// Create an empty live engine; `max_segments` bounds both indexes'
-    /// segment counts.
+    /// Create an empty live engine; `max_segments` bounds the index's
+    /// segment count after every commit.
     pub fn new(
         graph: &'g KnowledgeGraph,
         label_index: &'g LabelIndex,
         config: NewsLinkConfig,
         max_segments: usize,
     ) -> Self {
-        let cache = if config.cache.enabled {
-            Some(EmbeddingCache::new(
-                config.cache.group_capacity,
-                config.cache.distance_capacity,
-            ))
-        } else {
-            None
-        };
+        let caches = EngineCaches::from_config(&config.cache);
         Self {
             graph,
             label_index,
             config,
-            bow: SegmentedIndex::new(max_segments),
-            bon: SegmentedIndex::new(max_segments),
-            embeddings: FxHashMap::default(),
-            cache,
+            index: NewsLinkIndex::empty(),
+            pending: Vec::new(),
+            pending_deleted: FxHashSet::default(),
+            caches,
+            max_segments: max_segments.max(1),
         }
     }
 
     /// Group-memo counters of the live embedding cache (zeros when
     /// caching is disabled).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache
+        self.caches
             .as_ref()
-            .map(|c| c.group_stats())
+            .map(|c| c.embed.group_stats())
             .unwrap_or_default()
     }
 
-    /// Analyze, embed and buffer one document; returns its stable id.
-    /// Searchable after the next [`commit`](Self::commit).
-    pub fn add_document(&mut self, text: &str) -> GlobalId {
+    /// The committed segmented index (for stats and advanced callers).
+    pub fn index(&self) -> &NewsLinkIndex {
+        &self.index
+    }
+
+    /// Segment / tombstone / compaction gauges of the committed index.
+    pub fn stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
+    /// Analyze, embed and buffer one document in the open segment;
+    /// returns its stable id. Searchable after the next
+    /// [`commit`](Self::commit).
+    pub fn add_document(&mut self, text: &str) -> DocId {
         let artifacts = embed_one_with(
             self.graph,
             self.label_index,
             &self.config,
-            self.cache.as_ref(),
+            self.caches.as_ref().map(|c| &c.embed),
             text,
         );
-        let id = self.bow.add_document(&artifacts.analysis.terms);
-        let bon_id = self.bon.add_document(&bon_terms(&artifacts.embedding));
-        debug_assert_eq!(id, bon_id, "BOW/BON ids must stay aligned");
-        self.embeddings.insert(id, artifacts.embedding);
+        self.index
+            .timer
+            .record("nlp", std::time::Duration::from_nanos(artifacts.nlp_nanos));
+        self.index
+            .timer
+            .record("ne", std::time::Duration::from_nanos(artifacts.ne_nanos));
+        let id = self.index.reserve_id();
+        self.pending.push((id.0, artifacts));
         id
     }
 
     /// Delete a document (buffered or committed).
-    pub fn delete_document(&mut self, id: GlobalId) -> bool {
-        let ok = self.bow.delete_document(id);
-        let ok2 = self.bon.delete_document(id);
-        debug_assert_eq!(ok, ok2);
-        if ok {
-            self.embeddings.remove(&id);
+    pub fn delete_document(&mut self, id: DocId) -> bool {
+        if self.pending_deleted.contains(&id.0) {
+            return false;
         }
-        ok
+        if self.pending.iter().any(|(g, _)| *g == id.0) {
+            self.pending_deleted.insert(id.0);
+            return true;
+        }
+        self.index.delete(id)
     }
 
-    /// Flush buffered documents into searchable segments.
+    /// Seal the open segment into an immutable one, then compact adjacent
+    /// small segments until at most `max_segments` remain (expunging
+    /// tombstones along the way).
     pub fn commit(&mut self) {
-        self.bow.commit();
-        self.bon.commit();
+        if !self.pending.is_empty() {
+            let pending = std::mem::take(&mut self.pending);
+            let retained: Vec<(u32, DocArtifacts)> = pending
+                .into_iter()
+                .filter(|(g, _)| !self.pending_deleted.contains(g))
+                .collect();
+            if !retained.is_empty() {
+                for (_, a) in &retained {
+                    self.index.match_stats.identified += a.analysis.stats.identified;
+                    self.index.match_stats.matched += a.analysis.stats.matched;
+                    if !a.embedding.is_empty() {
+                        self.index.embedded_docs += 1;
+                    }
+                }
+                let segment = IndexSegment::build(retained);
+                self.index.install_segment(segment);
+            }
+        }
+        self.pending_deleted.clear();
+        self.index.compact_to(self.max_segments);
     }
 
     /// Live document count (including uncommitted).
     pub fn doc_count(&self) -> usize {
-        self.bow.doc_count()
+        self.index.doc_count()
+            + self
+                .pending
+                .iter()
+                .filter(|(g, _)| !self.pending_deleted.contains(g))
+                .count()
     }
 
-    /// The stored embedding of a live document.
-    pub fn embedding(&self, id: GlobalId) -> Option<&DocEmbedding> {
-        self.embeddings.get(&id)
+    /// The stored embedding of a live document (committed or buffered).
+    pub fn embedding(&self, id: DocId) -> Option<&DocEmbedding> {
+        if let Some(e) = self.index.embedding(id) {
+            return Some(e);
+        }
+        if self.pending_deleted.contains(&id.0) {
+            return None;
+        }
+        self.pending
+            .iter()
+            .find(|(g, _)| *g == id.0)
+            .map(|(_, a)| &a.embedding)
     }
 
-    /// Blended top-k search over committed documents (Equation 3, same
-    /// scorers and normalization as the frozen engine).
+    /// Blended top-k search over committed documents — the exact frozen
+    /// query path (Equation 3, fan-out, normalization) over the live
+    /// index.
     pub fn search(&self, query_text: &str, k: usize) -> (Vec<LiveHit>, DocEmbedding) {
-        let artifacts = embed_one_with(
+        let outcome = run_query(
             self.graph,
             self.label_index,
             &self.config,
-            self.cache.as_ref(),
+            &self.index,
+            self.caches.as_ref(),
             query_text,
+            k,
+            None,
+            None,
         );
-        let beta = self.config.beta;
-        let mut bow_scores = if beta < 1.0 {
-            self.bow
-                .score_all_with(Bm25::default(), &artifacts.analysis.terms)
-        } else {
-            FxHashMap::default()
-        };
-        let mut bon_scores = if beta > 0.0 {
-            self.bon
-                .score_all_with(Bm25 { k1: 1.2, b: 0.0 }, &bon_terms(&artifacts.embedding))
-        } else {
-            FxHashMap::default()
-        };
-        if self.config.normalize_scores {
-            for scores in [&mut bow_scores, &mut bon_scores] {
-                let max = scores.values().copied().fold(0.0f64, f64::max);
-                if max > 0.0 {
-                    for v in scores.values_mut() {
-                        *v /= max;
-                    }
-                }
-            }
-        }
-        let mut ids: Vec<GlobalId> =
-            bow_scores.keys().chain(bon_scores.keys()).copied().collect();
-        ids.sort_unstable();
-        ids.dedup();
-        let mut topk = TopK::new(k);
-        for id in ids {
-            let bow = bow_scores.get(&id).copied().unwrap_or(0.0);
-            let bon = bon_scores.get(&id).copied().unwrap_or(0.0);
-            let score = (1.0 - beta) * bow + beta * bon;
-            if score > 0.0 {
-                topk.push(score, id);
-            }
-        }
-        let hits = topk
-            .into_sorted()
+        let hits = outcome
+            .results
             .into_iter()
-            .map(|(score, id)| LiveHit { id, score })
+            .map(|r| LiveHit {
+                id: r.doc,
+                score: r.score,
+            })
             .collect();
-        (hits, artifacts.embedding)
+        (hits, outcome.embedding)
     }
 
     /// Relationship-path explanations for a live result.
     pub fn explain(
         &self,
         query_embedding: &DocEmbedding,
-        id: GlobalId,
+        id: DocId,
         max_len: usize,
         max_paths: usize,
     ) -> Vec<RelationshipPath> {
-        match self.embeddings.get(&id) {
+        match self.embedding(id) {
             Some(result) => relationship_paths(query_embedding, result, max_len, max_paths),
             None => Vec::new(),
         }
@@ -225,7 +250,7 @@ mod tests {
     fn live_matches_frozen_engine() {
         let (g, li) = world();
         let cfg = NewsLinkConfig::default();
-        // Frozen reference.
+        // Frozen reference (single segment).
         let frozen = index_corpus(&g, &li, &cfg, DOCS);
         // Live engine with per-doc commits and merging.
         let mut live = LiveNewsLink::new(&g, &li, cfg.clone(), 2);
@@ -233,13 +258,20 @@ mod tests {
             live.add_document(d);
             live.commit();
         }
+        assert!(live.stats().compactions > 0, "merging actually happened");
         for q in ["Taliban near Kunar", "Explosions in Lahore", "Pakistan"] {
             let want = search(&g, &li, &cfg, &frozen, q, 3);
             let (got, _) = live.search(q, 3);
             assert_eq!(got.len(), want.results.len(), "query {q}");
             for (x, y) in got.iter().zip(&want.results) {
-                assert_eq!(x.id, u64::from(y.doc.0), "query {q}");
-                assert!((x.score - y.score).abs() < 1e-9, "query {q}");
+                assert_eq!(x.id, y.doc, "query {q}");
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "query {q}: live {} vs frozen {}",
+                    x.score,
+                    y.score
+                );
             }
         }
     }
@@ -274,6 +306,26 @@ mod tests {
     }
 
     #[test]
+    fn buffered_delete_drops_doc_but_not_its_id() {
+        let (g, li) = world();
+        let mut live = LiveNewsLink::new(&g, &li, NewsLinkConfig::default(), 4);
+        let a = live.add_document(DOCS[0]);
+        assert!(live.delete_document(a), "buffered doc deletable");
+        assert!(!live.delete_document(a), "double delete");
+        assert!(live.embedding(a).is_none());
+        live.commit();
+        // The dropped buffered doc never consumed a segment slot, but its
+        // id is not reused.
+        let b = live.add_document(DOCS[1]);
+        assert!(b.0 > a.0, "ids are never reused");
+        live.commit();
+        assert_eq!(live.doc_count(), 1);
+        let (hits, _) = live.search("Taliban", 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, b);
+    }
+
+    #[test]
     fn explanations_work_on_live_results() {
         let (g, li) = world();
         let mut live = LiveNewsLink::new(
@@ -290,7 +342,7 @@ mod tests {
         let top = hits.first().expect("has hits");
         let paths = live.explain(&qe, top.id, 4, 10);
         assert!(!paths.is_empty());
-        assert!(live.explain(&qe, 999, 4, 10).is_empty());
+        assert!(live.explain(&qe, DocId(999), 4, 10).is_empty());
     }
 
     #[test]
@@ -327,6 +379,8 @@ mod tests {
             live.commit();
         }
         // Merged down to one segment; every id still resolves.
+        assert_eq!(live.stats().segments, 1);
+        assert_eq!(live.stats().compactions, 7);
         let (hits, _) = live.search("Taliban Kunar", 10);
         assert_eq!(hits.len(), 8);
         for h in &hits {

@@ -2,10 +2,16 @@
 //! reload it without re-embedding the corpus.
 //!
 //! Corpus embedding dominates indexing cost (Figure 7), so a production
-//! deployment builds once and serves many sessions. The file embeds a
-//! *graph fingerprint* (node and edge counts); loading against a different
-//! graph build is rejected, since embeddings reference node ids.
+//! deployment builds once and serves many sessions. The format is a
+//! versioned *manifest* over per-segment snapshots: a header with a graph
+//! fingerprint (node and edge counts — embeddings reference node ids, so
+//! loading against a different graph build is rejected), the id
+//! allocator and tombstone set, then each immutable segment (global ids,
+//! BOW index, BON index, doc store) in order. Failures surface as typed
+//! [`PersistError`]s — a corrupt or truncated file, a version mismatch
+//! and a foreign graph are distinguishable without string matching.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
@@ -13,87 +19,208 @@ use newslink_embed::codec as embed_codec;
 use newslink_kg::KnowledgeGraph;
 use newslink_nlp::MatchStats;
 use newslink_text::{read_index, write_index};
-use newslink_util::{varint, ComponentTimer};
+use newslink_util::{varint, ComponentTimer, FxHashSet};
 
 use crate::indexer::NewsLinkIndex;
+use crate::segment::IndexSegment;
 
 const MAGIC: &[u8; 4] = b"NLNK";
-const VERSION: u8 = 1;
+/// Version 2 introduced the segmented manifest (v1 stored one monolithic
+/// BOW/BON pair and cannot represent tombstones or id gaps).
+const VERSION: u8 = 2;
 
-/// Serialize a built index.
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying reader/writer failed (includes truncation, which
+    /// surfaces as `UnexpectedEof`).
+    Io(io::Error),
+    /// The file does not start with the `NLNK` magic.
+    BadMagic,
+    /// The file's format version is not the one this build understands.
+    UnsupportedVersion(u8),
+    /// The snapshot was built against a different graph build.
+    GraphMismatch {
+        /// Node count recorded in the file.
+        file_nodes: usize,
+        /// Edge count recorded in the file.
+        file_edges: usize,
+        /// Node count of the graph given to the loader.
+        graph_nodes: usize,
+        /// Edge count of the graph given to the loader.
+        graph_edges: usize,
+    },
+    /// The manifest decoded but violates a structural invariant.
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic => write!(f, "bad magic (not a NewsLink index file)"),
+            Self::UnsupportedVersion(v) => {
+                write!(f, "unsupported index version {v} (this build reads {VERSION})")
+            }
+            Self::GraphMismatch {
+                file_nodes,
+                file_edges,
+                graph_nodes,
+                graph_edges,
+            } => write!(
+                f,
+                "index was built against a different graph \
+                 ({file_nodes} nodes / {file_edges} edges vs {graph_nodes} / {graph_edges})"
+            ),
+            Self::Corrupt(msg) => write!(f, "corrupt index manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Serialize a built index (header + per-segment snapshots).
 pub fn write_newslink_index<W: Write>(
     index: &NewsLinkIndex,
     graph: &KnowledgeGraph,
     out: &mut W,
-) -> io::Result<()> {
+) -> Result<(), PersistError> {
     out.write_all(MAGIC)?;
     out.write_all(&[VERSION])?;
     // Graph fingerprint.
     varint::write_u64(out, graph.node_count() as u64)?;
     varint::write_u64(out, graph.edge_count() as u64)?;
-    write_index(&index.bow, out)?;
-    write_index(&index.bon, out)?;
-    varint::write_u64(out, index.embeddings.len() as u64)?;
-    for e in &index.embeddings {
-        embed_codec::write_embedding(e, out)?;
-    }
+    // Id allocator + lifecycle counters.
+    varint::write_u64(out, u64::from(index.next_id))?;
+    varint::write_u64(out, index.compactions)?;
     varint::write_u64(out, index.match_stats.identified as u64)?;
     varint::write_u64(out, index.match_stats.matched as u64)?;
     varint::write_u64(out, index.embedded_docs as u64)?;
+    // Tombstones, sorted for determinism.
+    let mut tombstones: Vec<u32> = index.tombstones.iter().copied().collect();
+    tombstones.sort_unstable();
+    varint::write_u64(out, tombstones.len() as u64)?;
+    for t in tombstones {
+        varint::write_u64(out, u64::from(t))?;
+    }
+    // Segment manifest.
+    varint::write_u64(out, index.segments.len() as u64)?;
+    for seg in &index.segments {
+        varint::write_u64(out, seg.len() as u64)?;
+        for &g in seg.globals() {
+            varint::write_u64(out, u64::from(g))?;
+        }
+        write_index(seg.bow(), out)?;
+        write_index(seg.bon(), out)?;
+        for e in seg.embeddings() {
+            embed_codec::write_embedding(e, out)?;
+        }
+    }
     Ok(())
 }
 
-/// Deserialize an index, verifying it was built against `graph`.
+/// Deserialize an index, verifying it was built against `graph` and that
+/// the manifest's structural invariants hold.
 pub fn read_newslink_index<R: Read>(
     graph: &KnowledgeGraph,
     input: &mut R,
-) -> io::Result<NewsLinkIndex> {
+) -> Result<NewsLinkIndex, PersistError> {
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(PersistError::BadMagic);
     }
     let mut version = [0u8; 1];
     input.read_exact(&mut version)?;
     if version[0] != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported index version {}", version[0]),
-        ));
+        return Err(PersistError::UnsupportedVersion(version[0]));
     }
-    let nodes = varint::read_u64(input)? as usize;
-    let edges = varint::read_u64(input)? as usize;
-    if nodes != graph.node_count() || edges != graph.edge_count() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "index was built against a different graph \
-                 ({nodes} nodes / {edges} edges vs {} / {})",
-                graph.node_count(),
-                graph.edge_count()
-            ),
-        ));
+    let file_nodes = varint::read_u64(input)? as usize;
+    let file_edges = varint::read_u64(input)? as usize;
+    if file_nodes != graph.node_count() || file_edges != graph.edge_count() {
+        return Err(PersistError::GraphMismatch {
+            file_nodes,
+            file_edges,
+            graph_nodes: graph.node_count(),
+            graph_edges: graph.edge_count(),
+        });
     }
-    let bow = read_index(input)?;
-    let bon = read_index(input)?;
-    let n = varint::read_u64(input)? as usize;
-    if n != bow.doc_count() || n != bon.doc_count() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "embedding count does not match index doc count",
-        ));
-    }
-    let mut embeddings = Vec::with_capacity(n);
-    for _ in 0..n {
-        embeddings.push(embed_codec::read_embedding(input)?);
-    }
+    let next_id = read_u32(input, "next_id")?;
+    let compactions = varint::read_u64(input)?;
     let identified = varint::read_u64(input)? as usize;
     let matched = varint::read_u64(input)? as usize;
     let embedded_docs = varint::read_u64(input)? as usize;
-    Ok(NewsLinkIndex {
-        bow,
-        bon,
-        embeddings,
+
+    let n_tombstones = varint::read_u64(input)? as usize;
+    let mut tombstones = FxHashSet::default();
+    for _ in 0..n_tombstones {
+        let t = read_u32(input, "tombstone id")?;
+        if t >= next_id {
+            return Err(PersistError::Corrupt(format!(
+                "tombstone id {t} beyond allocator ({next_id})"
+            )));
+        }
+        tombstones.insert(t);
+    }
+
+    let n_segments = varint::read_u64(input)? as usize;
+    let mut segments = Vec::with_capacity(n_segments.min(1024));
+    let mut prev_global: Option<u32> = None;
+    for si in 0..n_segments {
+        let len = varint::read_u64(input)? as usize;
+        if len == 0 {
+            return Err(PersistError::Corrupt(format!("segment {si} is empty")));
+        }
+        let mut globals = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let g = read_u32(input, "global id")?;
+            if prev_global.is_some_and(|p| p >= g) {
+                return Err(PersistError::Corrupt(format!(
+                    "segment {si}: global ids not strictly ascending at {g}"
+                )));
+            }
+            if g >= next_id {
+                return Err(PersistError::Corrupt(format!(
+                    "segment {si}: global id {g} beyond allocator ({next_id})"
+                )));
+            }
+            prev_global = Some(g);
+            globals.push(g);
+        }
+        let bow = read_index(input)?;
+        let bon = read_index(input)?;
+        if bow.doc_count() != len || bon.doc_count() != len {
+            return Err(PersistError::Corrupt(format!(
+                "segment {si}: doc counts misaligned (globals {len}, BOW {}, BON {})",
+                bow.doc_count(),
+                bon.doc_count()
+            )));
+        }
+        let mut embeddings = Vec::with_capacity(len);
+        for _ in 0..len {
+            embeddings.push(embed_codec::read_embedding(input)?);
+        }
+        segments.push(IndexSegment::from_parts(bow, bon, embeddings, globals));
+    }
+
+    let index = NewsLinkIndex {
+        segments,
+        tombstones,
+        next_id,
+        compactions,
         match_stats: MatchStats {
             identified,
             matched,
@@ -101,7 +228,20 @@ pub fn read_newslink_index<R: Read>(
         embedded_docs,
         timer: ComponentTimer::new(),
         cache_stats: Default::default(),
-    })
+    };
+    for &t in &index.tombstones {
+        if index.locate(newslink_text::DocId(t)).is_none() {
+            return Err(PersistError::Corrupt(format!(
+                "tombstone id {t} not stored in any segment"
+            )));
+        }
+    }
+    Ok(index)
+}
+
+fn read_u32<R: Read>(input: &mut R, what: &str) -> Result<u32, PersistError> {
+    let v = varint::read_u64(input)?;
+    u32::try_from(v).map_err(|_| PersistError::Corrupt(format!("{what} {v} overflows u32")))
 }
 
 /// Save to a file.
@@ -109,14 +249,18 @@ pub fn save_newslink_index(
     index: &NewsLinkIndex,
     graph: &KnowledgeGraph,
     path: &Path,
-) -> io::Result<()> {
+) -> Result<(), PersistError> {
     let mut f = io::BufWriter::new(std::fs::File::create(path)?);
     write_newslink_index(index, graph, &mut f)?;
-    f.flush()
+    f.flush()?;
+    Ok(())
 }
 
 /// Load from a file.
-pub fn load_newslink_index(graph: &KnowledgeGraph, path: &Path) -> io::Result<NewsLinkIndex> {
+pub fn load_newslink_index(
+    graph: &KnowledgeGraph,
+    path: &Path,
+) -> Result<NewsLinkIndex, PersistError> {
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
     read_newslink_index(graph, &mut f)
 }
@@ -128,6 +272,7 @@ mod tests {
     use crate::indexer::index_corpus;
     use crate::searcher::search;
     use newslink_kg::{EntityType, GraphBuilder, LabelIndex};
+    use newslink_text::DocId;
 
     fn world() -> (KnowledgeGraph, LabelIndex) {
         let mut b = GraphBuilder::new();
@@ -172,6 +317,37 @@ mod tests {
     }
 
     #[test]
+    fn multi_segment_round_trip_with_tombstones() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let mut idx = index_corpus(&g, &li, &cfg, DOCS);
+        idx.delete(DocId(1));
+        assert_eq!(idx.segment_count(), 3);
+        assert_eq!(idx.tombstone_count(), 1);
+
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        let back = read_newslink_index(&g, &mut &buf[..]).unwrap();
+        assert_eq!(back.segment_count(), 3);
+        assert_eq!(back.tombstone_count(), 1);
+        assert_eq!(back.compactions(), idx.compactions());
+        assert_eq!(back.doc_count(), 2);
+        for q in ["Taliban near Kunar", "Pakistan talks", "story entities"] {
+            let a = search(&g, &li, &cfg, &idx, q, 3);
+            let b = search(&g, &li, &cfg, &back, q, 3);
+            assert_eq!(a.results.len(), b.results.len(), "query {q}");
+            for (x, y) in a.results.iter().zip(&b.results) {
+                assert_eq!(x.doc, y.doc);
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "query {q}");
+            }
+        }
+        // Ids and the allocator survive the round trip: a reloaded index
+        // keeps assigning fresh ids.
+        let mut back = back;
+        assert_eq!(back.reserve_id(), DocId(3));
+    }
+
+    #[test]
     fn graph_fingerprint_mismatch_rejected() {
         let (g, li) = world();
         let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
@@ -182,6 +358,7 @@ mod tests {
         b.add_node("Lonely", EntityType::Gpe);
         let other = b.freeze();
         let err = read_newslink_index(&other, &mut &buf[..]).unwrap_err();
+        assert!(matches!(err, PersistError::GraphMismatch { .. }), "{err}");
         assert!(err.to_string().contains("different graph"), "{err}");
     }
 
@@ -191,7 +368,51 @@ mod tests {
         let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
         let mut buf = Vec::new();
         write_newslink_index(&idx, &g, &mut buf).unwrap();
-        assert!(read_newslink_index(&g, &mut &buf[..buf.len() - 3]).is_err());
+        // Every truncation point must produce an error, never a panic.
+        for cut in [3, 5, 9, buf.len() / 2, buf.len() - 3] {
+            let err = read_newslink_index(&g, &mut &buf[..cut]);
+            assert!(err.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let (g, li) = world();
+        let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        buf[4] = 1; // the pre-segmentation format version
+        match read_newslink_index(&g, &mut &buf[..]) {
+            Err(PersistError::UnsupportedVersion(1)) => {}
+            other => panic!("expected UnsupportedVersion(1), got {other:?}"),
+        }
+        buf[0] = b'X';
+        assert!(matches!(
+            read_newslink_index(&g, &mut &buf[..]),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn corrupt_manifest_is_typed_not_a_panic() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        // Header layout: magic(4) version(1) nodes(1) edges(1) next_id(1)
+        // compactions(1) identified(1) matched(1) embedded(1) — all small
+        // varints in this fixture. Zeroing next_id makes every stored
+        // global id fall beyond the allocator.
+        let next_id_at = 7;
+        assert_eq!(buf[next_id_at], 3, "fixture layout changed");
+        buf[next_id_at] = 0;
+        match read_newslink_index(&g, &mut &buf[..]) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("beyond allocator"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

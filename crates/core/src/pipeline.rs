@@ -29,8 +29,9 @@ use newslink_util::ComponentTimer;
 use crate::api::{BatchResponse, Explanation, SearchRequest, SearchResponse};
 use crate::cache::{EngineCacheStats, EngineCaches};
 use crate::config::NewsLinkConfig;
-use crate::indexer::{index_corpus_with, NewsLinkIndex};
+use crate::indexer::{embed_one_with, index_corpus_with, NewsLinkIndex};
 use crate::searcher::{explain, parallel_map, run_query, QueryOutcome};
+use crate::segment::IndexSegment;
 
 /// The NewsLink engine: borrow a KG and its label index, hold a config
 /// plus the shared traversal/embedding caches every entry point consults.
@@ -81,6 +82,44 @@ impl<'g> NewsLink<'g> {
             self.caches.as_ref().map(|c| &c.embed),
             texts,
         )
+    }
+
+    /// Embed and append one document to a built index, sealing it as a
+    /// single-document segment and compacting adjacent small segments
+    /// back under `config.max_segments`. Returns the new document's
+    /// stable id (never a reused one). Results afterwards are
+    /// bit-identical to rebuilding the index over the enlarged corpus.
+    pub fn insert_document(&self, index: &mut NewsLinkIndex, text: &str) -> DocId {
+        let artifacts = embed_one_with(
+            self.graph,
+            self.label_index,
+            &self.config,
+            self.caches.as_ref().map(|c| &c.embed),
+            text,
+        );
+        index
+            .timer
+            .record("nlp", std::time::Duration::from_nanos(artifacts.nlp_nanos));
+        index
+            .timer
+            .record("ne", std::time::Duration::from_nanos(artifacts.ne_nanos));
+        index.match_stats.identified += artifacts.analysis.stats.identified;
+        index.match_stats.matched += artifacts.analysis.stats.matched;
+        if !artifacts.embedding.is_empty() {
+            index.embedded_docs += 1;
+        }
+        let id = index.reserve_id();
+        let segment = IndexSegment::build(vec![(id.0, artifacts)]);
+        index.install_segment(segment);
+        index.compact_to(self.config.max_segments);
+        id
+    }
+
+    /// Tombstone one document in a built index (physically expunged by a
+    /// later compaction). Returns `false` for unknown or already deleted
+    /// ids.
+    pub fn delete_document(&self, index: &mut NewsLinkIndex, doc: DocId) -> bool {
+        index.delete(doc)
     }
 
     /// Blended top-k search (the *query processing* half), through the
@@ -337,6 +376,56 @@ mod tests {
         // Batches surface the per-request flags.
         let batch = engine.execute_batch(&index, &[strict, relaxed]);
         assert_eq!(batch.timed_out(), 1);
+    }
+
+    #[test]
+    fn insert_and_delete_mutate_a_built_index() {
+        let world = synth::generate(&SynthConfig::small(8));
+        let labels = LabelIndex::build(&world.graph);
+        let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
+        let country = world.graph.label(world.countries[0]);
+        let city = world.graph.label(world.cities[0]);
+        let docs = vec![
+            format!("Officials from {country} signed the accord."),
+            format!("A festival in {city} drew visitors."),
+        ];
+        let mut index = engine.index_corpus(&docs);
+        assert_eq!(index.doc_count(), 2);
+
+        let extra = format!("Protests spread across {country} overnight.");
+        let id = engine.insert_document(&mut index, &extra);
+        assert_eq!(id.0, 2, "fresh id after the build");
+        assert_eq!(index.doc_count(), 3);
+        assert!(index.segment_count() <= engine.config().max_segments);
+
+        // The mutated index scores exactly like a fresh build of the same
+        // three documents.
+        let full_docs = vec![docs[0].clone(), docs[1].clone(), extra.clone()];
+        let rebuilt = engine.index_corpus(&full_docs);
+        let q = format!("news about {country}");
+        let a = engine.search(&index, &q, 5);
+        let b = engine.search(&rebuilt, &q, 5);
+        assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+
+        // Deletion hides the doc immediately and compaction expunges it.
+        assert!(engine.delete_document(&mut index, id));
+        assert!(!engine.delete_document(&mut index, id));
+        assert_eq!(index.doc_count(), 2);
+        let after = engine.search(&index, &q, 5);
+        assert!(after.results.iter().all(|r| r.doc != id));
+        index.compact();
+        assert_eq!(index.tombstone_count(), 0);
+        let compacted = engine.search(&index, &q, 5);
+        let baseline = engine.search(&engine.index_corpus(&docs), &q, 5);
+        assert_eq!(compacted.results.len(), baseline.results.len());
+        for (x, y) in compacted.results.iter().zip(&baseline.results) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
     }
 
     #[test]

@@ -11,10 +11,11 @@ use std::fmt;
 
 use newslink_embed::{bon_terms, parse_node_term};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
-use newslink_text::{Bm25, DocId, InvertedIndex, Scorer};
+use newslink_text::{query_tf, Bm25, DocId};
 
 use crate::config::NewsLinkConfig;
 use crate::indexer::{embed_one, NewsLinkIndex};
+use crate::segment::Side;
 
 /// One term's contribution to one side of the score.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,30 +98,38 @@ impl fmt::Display for ScoreExplanation {
     }
 }
 
-/// Per-term contributions of `query_terms` against `doc` on one index.
+/// Per-term contributions of `query_terms` against `doc` on one side of
+/// the segmented index. The document's term frequencies come from its own
+/// segment; document frequencies and collection statistics use the same
+/// global overlay as ranking, so each contribution replays the searcher's
+/// float operations exactly.
 fn side_contributions(
-    index: &InvertedIndex,
+    index: &NewsLinkIndex,
+    side: Side,
     scorer: Bm25,
     query_terms: &[String],
     doc: DocId,
     display: impl Fn(&str) -> String,
 ) -> SideExplanation {
-    use newslink_util::FxHashMap;
-    let mut qtf: FxHashMap<&str, u32> = FxHashMap::default();
-    for t in query_terms {
-        *qtf.entry(t.as_str()).or_default() += 1;
+    let Some((seg, local)) = index.locate(doc) else {
+        return SideExplanation::default();
+    };
+    if !index.is_live(doc) {
+        return SideExplanation::default();
     }
-    let dict = index.dictionary();
+    let seg_index = seg.side(side);
+    let stats = index.side_stats(side);
+    let qtf = query_tf(query_terms);
+    let global_df = index.side_global_df(side, &qtf);
     let mut contributions = Vec::new();
     let mut raw = 0.0;
     for (term, &qtf) in &qtf {
-        let Some(id) = dict.get(term) else { continue };
-        let df = dict.doc_freq(id);
-        let tf = index.term_freq(term, doc);
+        let tf = seg_index.term_freq(term, local);
         if tf == 0 {
             continue;
         }
-        let score = scorer.contribution(index, doc, tf, df, qtf);
+        let df = global_df.get(term).copied().unwrap_or(0);
+        let score = scorer.contribution_with(stats, seg_index.doc_len(local), tf, df, qtf);
         raw += score;
         contributions.push(TermContribution {
             term: term.to_string(),
@@ -161,14 +170,19 @@ pub fn explain_score(
     let bon_query = bon_terms(&artifacts.embedding);
 
     let mut bow = if beta < 1.0 {
-        side_contributions(&index.bow, bow_scorer, &artifacts.analysis.terms, doc, |t| {
-            t.to_string()
-        })
+        side_contributions(
+            index,
+            Side::Bow,
+            bow_scorer,
+            &artifacts.analysis.terms,
+            doc,
+            |t| t.to_string(),
+        )
     } else {
         SideExplanation::default()
     };
     let mut bon = if beta > 0.0 {
-        side_contributions(&index.bon, bon_scorer, &bon_query, doc, |t| {
+        side_contributions(index, Side::Bon, bon_scorer, &bon_query, doc, |t| {
             match parse_node_term(t) {
                 Some(node) if graph.contains(node) => {
                     format!("{t} ({})", graph.label(node))
@@ -181,15 +195,22 @@ pub fn explain_score(
     };
 
     if config.normalize_scores {
-        use newslink_text::Searcher;
+        let side_max = |side: Side, terms: &[String]| -> f64 {
+            index
+                .score_side_parts(side, match side {
+                    Side::Bow => bow_scorer,
+                    Side::Bon => bon_scorer,
+                }, terms, 1)
+                .iter()
+                .flat_map(|m| m.values().copied())
+                .fold(0.0, f64::max)
+        };
         if beta < 1.0 {
-            let all = Searcher::new(&index.bow, bow_scorer).score_all(&artifacts.analysis.terms);
-            bow.max_raw = all.values().copied().fold(0.0, f64::max);
+            bow.max_raw = side_max(Side::Bow, &artifacts.analysis.terms);
             bow.normalized = if bow.max_raw > 0.0 { bow.raw / bow.max_raw } else { 0.0 };
         }
         if beta > 0.0 {
-            let all = Searcher::new(&index.bon, bon_scorer).score_all(&bon_query);
-            bon.max_raw = all.values().copied().fold(0.0, f64::max);
+            bon.max_raw = side_max(Side::Bon, &bon_query);
             bon.normalized = if bon.max_raw > 0.0 { bon.raw / bon.max_raw } else { 0.0 };
         }
     }

@@ -15,13 +15,14 @@ use std::time::{Duration, Instant};
 
 use newslink_embed::{bon_terms, relationship_paths, DocEmbedding, RelationshipPath};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
-use newslink_text::{Bm25, DocId, Searcher};
+use newslink_text::{Bm25, DocId};
 use newslink_util::{ComponentTimer, FxHashMap, TopK};
 
 use crate::api::QueryCacheInfo;
 use crate::cache::{EngineCaches, QueryArtifacts};
 use crate::config::NewsLinkConfig;
 use crate::indexer::{embed_one_with, NewsLinkIndex};
+use crate::segment::Side;
 use crate::ta::threshold_algorithm;
 
 /// One blended search result.
@@ -55,14 +56,35 @@ pub struct QueryOutcome {
     pub timed_out: bool,
 }
 
-/// Max-normalize a score map in place (no-op for empty maps).
-fn max_normalize(scores: &mut FxHashMap<DocId, f64>) {
-    let max = scores.values().copied().fold(0.0f64, f64::max);
+/// Max-normalize per-segment score maps in place against their *global*
+/// maximum. `max` over a set is order-independent, so this is
+/// bit-identical to normalizing one monolithic map.
+fn max_normalize_parts(parts: &mut [FxHashMap<DocId, f64>]) {
+    let max = parts
+        .iter()
+        .flat_map(|m| m.values().copied())
+        .fold(0.0f64, f64::max);
     if max > 0.0 {
-        for v in scores.values_mut() {
-            *v /= max;
+        for m in parts.iter_mut() {
+            for v in m.values_mut() {
+                *v /= max;
+            }
         }
     }
+}
+
+/// Collapse per-segment maps into one global map. Segments hold disjoint
+/// documents, so this union is exact.
+fn flatten_parts(parts: Vec<FxHashMap<DocId, f64>>) -> FxHashMap<DocId, f64> {
+    let mut out = FxHashMap::default();
+    for m in parts {
+        if out.is_empty() {
+            out = m;
+        } else {
+            out.extend(m);
+        }
+    }
+    out
 }
 
 /// Execute a blended NewsLink query (uncached entry point; the engine's
@@ -148,31 +170,37 @@ pub(crate) fn run_query(
 
     let t_ns = Instant::now();
     let beta = beta_override.unwrap_or(config.beta).clamp(0.0, 1.0);
+    let fan_threads = config.effective_threads(index.segment_count());
 
-    // BOW side (skipped entirely at β = 1, as in the paper's NewsLink(1)).
-    let mut bow_scores = if beta < 1.0 {
-        Searcher::new(&index.bow, Bm25::default()).score_all(&terms)
+    // Both sides fan out across segments under the global-stats overlay,
+    // yielding one global-id-keyed score map per segment (disjoint keys).
+    // BOW is skipped entirely at β = 1, as in the paper's NewsLink(1).
+    let mut bow_parts = if beta < 1.0 {
+        index.score_side_parts(Side::Bow, Bm25::default(), &terms, fan_threads)
     } else {
-        FxHashMap::default()
+        Vec::new()
     };
     // BON side (skipped at β = 0, which reduces to Lucene). Node streams
     // are not prose: penalizing documents with rich embeddings would
     // contradict the coverage goal, so BM25 runs without length
     // normalization (b = 0) on the BON index.
-    let mut bon_scores = if beta > 0.0 {
+    let mut bon_parts = if beta > 0.0 {
         let bon_bm25 = Bm25 { k1: 1.2, b: 0.0 };
-        Searcher::new(&index.bon, bon_bm25).score_all(&bon_terms(&embedding))
+        index.score_side_parts(Side::Bon, bon_bm25, &bon_terms(&embedding), fan_threads)
     } else {
-        FxHashMap::default()
+        Vec::new()
     };
     if config.normalize_scores {
-        max_normalize(&mut bow_scores);
-        max_normalize(&mut bon_scores);
+        max_normalize_parts(&mut bow_parts);
+        max_normalize_parts(&mut bon_parts);
     }
 
     let results = if config.use_threshold_algorithm {
         // Ranked-list construction + Fagin's TA (§VI's cited top-k
         // algorithm); equivalent results with an early-terminating scan.
+        // TA walks both lists globally, so the parts flatten first.
+        let bow_scores = flatten_parts(bow_parts);
+        let bon_scores = flatten_parts(bon_parts);
         let mut bow_ranked: Vec<(DocId, f64)> = bow_scores.iter().map(|(&d, &s)| (d, s)).collect();
         bow_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut bon_ranked: Vec<(DocId, f64)> = bon_scores.iter().map(|(&d, &s)| (d, s)).collect();
@@ -187,21 +215,39 @@ pub(crate) fn run_query(
         )
         .results
     } else {
-        // Union of candidates, exact blended rescoring, deterministic top-k.
-        let mut docs: Vec<DocId> =
-            bow_scores.keys().chain(bon_scores.keys()).copied().collect();
-        docs.sort_unstable();
-        docs.dedup();
-        let mut topk = TopK::new(k);
-        for doc in docs {
-            let bow = bow_scores.get(&doc).copied().unwrap_or(0.0);
-            let bon = bon_scores.get(&doc).copied().unwrap_or(0.0);
-            let score = (1.0 - beta) * bow + beta * bon;
-            if score > 0.0 {
-                topk.push(score, (doc, bow, bon));
+        // Per-segment blended top-k, then a top-k merge in segment order.
+        // Segment ranges ascend and `TopK` favors earlier insertions on
+        // ties, so the merged heap reproduces the monolithic
+        // ascending-doc-id scan bit for bit: a document beaten inside its
+        // own segment's top-k can never reach the global top-k.
+        let nsegs = bow_parts.len().max(bon_parts.len());
+        let empty = FxHashMap::default();
+        let mut merged = TopK::new(k);
+        for si in 0..nsegs {
+            let bow_scores = bow_parts.get(si).unwrap_or(&empty);
+            let bon_scores = bon_parts.get(si).unwrap_or(&empty);
+            let mut docs: Vec<DocId> = bow_scores
+                .keys()
+                .chain(bon_scores.keys())
+                .copied()
+                .collect();
+            docs.sort_unstable();
+            docs.dedup();
+            let mut seg_topk = TopK::new(k);
+            for doc in docs {
+                let bow = bow_scores.get(&doc).copied().unwrap_or(0.0);
+                let bon = bon_scores.get(&doc).copied().unwrap_or(0.0);
+                let score = (1.0 - beta) * bow + beta * bon;
+                if score > 0.0 {
+                    seg_topk.push(score, (doc, bow, bon));
+                }
+            }
+            for (score, item) in seg_topk.into_sorted() {
+                merged.push(score, item);
             }
         }
-        topk.into_sorted()
+        merged
+            .into_sorted()
             .into_iter()
             .map(|(score, (doc, bow, bon))| SearchResult {
                 doc,
@@ -306,7 +352,7 @@ pub fn explain(
     max_len: usize,
     max_paths: usize,
 ) -> Vec<RelationshipPath> {
-    let Some(result_embedding) = index.embeddings.get(doc.index()) else {
+    let Some(result_embedding) = index.embedding(doc) else {
         return Vec::new();
     };
     relationship_paths(query_embedding, result_embedding, max_len, max_paths)
@@ -584,6 +630,39 @@ mod tests {
         let ok = run_query(&g, &li, &cfg, &idx, None, q, 3, None, Some(far));
         assert!(!ok.timed_out);
         assert_eq!(ok.results, search(&g, &li, &cfg, &idx, q, 3).results);
+    }
+
+    #[test]
+    fn segmented_search_is_bit_identical_to_monolithic() {
+        let (g, li) = setup();
+        for use_ta in [false, true] {
+            let cfg = NewsLinkConfig::default().with_threshold_algorithm(use_ta);
+            let mono = index_corpus(&g, &li, &cfg, DOCS);
+            assert_eq!(mono.segment_count(), 1);
+            for segment_docs in [1, 2] {
+                let sharded_cfg = cfg.clone().with_segment_docs(segment_docs).with_threads(3);
+                let sharded = index_corpus(&g, &li, &sharded_cfg, DOCS);
+                for q in [
+                    "Taliban in Pakistan",
+                    "Explosions near Peshawar and Lahore",
+                    "championship crowds",
+                ] {
+                    let a = search(&g, &li, &cfg, &mono, q, 3);
+                    let b = search(&g, &li, &sharded_cfg, &sharded, q, 3);
+                    assert_eq!(a.results.len(), b.results.len(), "query {q}");
+                    for (x, y) in a.results.iter().zip(&b.results) {
+                        assert_eq!(x.doc, y.doc, "query {q}");
+                        assert_eq!(
+                            x.score.to_bits(),
+                            y.score.to_bits(),
+                            "query {q} ta={use_ta} segdocs={segment_docs}"
+                        );
+                        assert_eq!(x.bow.to_bits(), y.bow.to_bits());
+                        assert_eq!(x.bon.to_bits(), y.bon.to_bits());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

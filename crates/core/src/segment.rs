@@ -1,0 +1,683 @@
+//! Immutable index segments — the Lucene-style sharding under
+//! [`NewsLinkIndex`].
+//!
+//! An [`IndexSegment`] is a frozen shard: its own BOW inverted index, BON
+//! node postings, doc store (per-document subgraph embeddings) and — by
+//! construction of `newslink_text::InvertedIndex` — segment-local TF-IDF /
+//! BM25 statistics. [`NewsLinkIndex`] owns an ordered set of segments plus
+//! a tombstone set; every global document id lives in exactly one segment.
+//!
+//! ## Score parity
+//!
+//! Scoring never uses segment-local collection statistics directly.
+//! Instead the searcher computes a *global-stats overlay* — live document
+//! count, total token length ([`CollectionStats`]) and per-query-term live
+//! document frequency — by exact integer summation across segments, and
+//! scores each segment under that overlay
+//! ([`newslink_text::score_segment`]). Because each document belongs to
+//! one segment and the query-side term-frequency map is built once and
+//! shared, the per-document float operations replay the monolithic
+//! sequence exactly: a multi-segment index is **bit-identical** to the
+//! single-segment build over the same live documents.
+//!
+//! ## Ordering invariant
+//!
+//! Segments are kept sorted by disjoint ascending global-id ranges: the
+//! builder assigns dense consecutive ids chunk by chunk, live inserts
+//! append fresh ids, and compaction only merges *adjacent* pairs in
+//! place. This makes `locate` a binary search and lets per-segment top-k
+//! results merge in segment order with the same deterministic tie-breaks
+//! (lowest id wins among equal scores) as a monolithic scan.
+
+use newslink_embed::{bon_term_counts, DocEmbedding};
+use newslink_text::{
+    maxscore_search_with, query_tf, score_segment, Bm25, CollectionStats, DocId, IndexBuilder,
+    InvertedIndex, TermId,
+};
+use newslink_util::{FxHashMap, FxHashSet, TopK};
+
+use crate::indexer::{DocArtifacts, NewsLinkIndex};
+
+/// Which of the two per-segment inverted indexes a scoring pass targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Side {
+    /// Word terms.
+    Bow,
+    /// Node terms.
+    Bon,
+}
+
+/// One immutable shard of a [`NewsLinkIndex`].
+#[derive(Debug)]
+pub struct IndexSegment {
+    bow: InvertedIndex,
+    bon: InvertedIndex,
+    embeddings: Vec<DocEmbedding>,
+    /// Global id of each segment-local document, strictly ascending.
+    globals: Vec<u32>,
+}
+
+impl IndexSegment {
+    /// Seal `(global id, artifacts)` pairs into an immutable segment. Ids
+    /// must be strictly ascending.
+    pub(crate) fn build(docs: Vec<(u32, DocArtifacts)>) -> Self {
+        let mut bow = IndexBuilder::new();
+        let mut bon = IndexBuilder::new();
+        let mut embeddings = Vec::with_capacity(docs.len());
+        let mut globals = Vec::with_capacity(docs.len());
+        for (global, a) in docs {
+            debug_assert!(
+                globals.last().is_none_or(|&l| l < global),
+                "segment ids must ascend"
+            );
+            let doc = bow.add_document(&a.analysis.terms);
+            let bdoc = bon.add_document_counts(&bon_term_counts(&a.embedding));
+            debug_assert_eq!(doc, bdoc, "BOW and BON doc ids must stay aligned");
+            embeddings.push(a.embedding);
+            globals.push(global);
+        }
+        Self {
+            bow: bow.build(),
+            bon: bon.build(),
+            embeddings,
+            globals,
+        }
+    }
+
+    /// Rebuild from already-frozen parts (persistence).
+    pub(crate) fn from_parts(
+        bow: InvertedIndex,
+        bon: InvertedIndex,
+        embeddings: Vec<DocEmbedding>,
+        globals: Vec<u32>,
+    ) -> Self {
+        Self {
+            bow,
+            bon,
+            embeddings,
+            globals,
+        }
+    }
+
+    /// Merge two adjacent segments, physically dropping tombstoned
+    /// documents (Lucene's expunge-on-merge). `a` must precede `b` in
+    /// global-id order; the result preserves it.
+    ///
+    /// Documents are replayed from posting lists as `(term, tf)` counts —
+    /// term frequencies, document frequencies and document lengths are
+    /// reconstructed exactly, so overlay scoring is unchanged by the
+    /// merge.
+    pub(crate) fn merge(a: &IndexSegment, b: &IndexSegment, tombstones: &FxHashSet<u32>) -> Self {
+        let mut bow = IndexBuilder::new();
+        let mut bon = IndexBuilder::new();
+        let mut embeddings = Vec::new();
+        let mut globals = Vec::new();
+        for seg in [a, b] {
+            let bow_docs = doc_term_counts(&seg.bow);
+            let bon_docs = doc_term_counts(&seg.bon);
+            for (local, (bow_counts, bon_counts)) in
+                bow_docs.into_iter().zip(bon_docs).enumerate()
+            {
+                let global = seg.globals[local];
+                if tombstones.contains(&global) {
+                    continue;
+                }
+                bow.add_document_counts(&bow_counts);
+                bon.add_document_counts(&bon_counts);
+                embeddings.push(seg.embeddings[local].clone());
+                globals.push(global);
+            }
+        }
+        Self {
+            bow: bow.build(),
+            bon: bon.build(),
+            embeddings,
+            globals,
+        }
+    }
+
+    /// The shard's word-term index.
+    pub fn bow(&self) -> &InvertedIndex {
+        &self.bow
+    }
+
+    /// The shard's node-term index.
+    pub fn bon(&self) -> &InvertedIndex {
+        &self.bon
+    }
+
+    /// One side of the shard.
+    pub(crate) fn side(&self, side: Side) -> &InvertedIndex {
+        match side {
+            Side::Bow => &self.bow,
+            Side::Bon => &self.bon,
+        }
+    }
+
+    /// Stored per-document embeddings, aligned with local doc ids.
+    pub fn embeddings(&self) -> &[DocEmbedding] {
+        &self.embeddings
+    }
+
+    /// Global ids of this shard's documents (strictly ascending).
+    pub fn globals(&self) -> &[u32] {
+        &self.globals
+    }
+
+    /// Documents in this shard (live or tombstoned).
+    pub fn len(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// True when the shard holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.globals.is_empty()
+    }
+
+    /// Documents not covered by `tombstones`.
+    pub(crate) fn live_count(&self, tombstones: &FxHashSet<u32>) -> usize {
+        if tombstones.is_empty() {
+            self.globals.len()
+        } else {
+            self.globals
+                .iter()
+                .filter(|g| !tombstones.contains(g))
+                .count()
+        }
+    }
+
+    /// The global id of a segment-local document.
+    #[inline]
+    pub(crate) fn global_of(&self, local: DocId) -> u32 {
+        self.globals[local.index()]
+    }
+
+    /// The segment-local id of a global document, if stored here.
+    pub(crate) fn local_of(&self, global: u32) -> Option<DocId> {
+        self.globals
+            .binary_search(&global)
+            .ok()
+            .map(|i| DocId(i as u32))
+    }
+}
+
+/// Per-document `(term, tf)` lists of one inverted index, reconstructed
+/// from its posting lists (term order = ascending source `TermId`).
+fn doc_term_counts(index: &InvertedIndex) -> Vec<Vec<(String, u32)>> {
+    let dict = index.dictionary();
+    let mut per_doc: Vec<Vec<(String, u32)>> = Vec::new();
+    per_doc.resize_with(index.doc_count(), Vec::new);
+    for t in 0..dict.len() {
+        let term = TermId(t as u32);
+        let text = dict.term(term);
+        for p in index.postings(term) {
+            per_doc[p.doc.index()].push((text.to_string(), p.tf));
+        }
+    }
+    per_doc
+}
+
+/// Gauge snapshot of a segmented index (exposed by `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Live (non-tombstoned) documents.
+    pub docs: usize,
+    /// Immutable segments.
+    pub segments: usize,
+    /// Deleted-but-not-yet-expunged documents.
+    pub tombstones: usize,
+    /// Segment merges performed over the index's lifetime.
+    pub compactions: u64,
+}
+
+impl NewsLinkIndex {
+    /// The immutable segments, in ascending global-id order.
+    pub fn segments(&self) -> &[IndexSegment] {
+        &self.segments
+    }
+
+    /// Number of immutable segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Deleted documents awaiting physical removal by compaction.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Segment merges performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Documents physically stored (live + tombstoned).
+    pub fn total_docs(&self) -> usize {
+        self.segments.iter().map(IndexSegment::len).sum()
+    }
+
+    /// Gauge snapshot for observability endpoints.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            docs: self.doc_count(),
+            segments: self.segment_count(),
+            tombstones: self.tombstone_count(),
+            compactions: self.compactions(),
+        }
+    }
+
+    /// True when `doc` is stored and not tombstoned.
+    pub fn is_live(&self, doc: DocId) -> bool {
+        !self.tombstones.contains(&doc.0) && self.locate(doc).is_some()
+    }
+
+    /// The stored embedding of a live document.
+    pub fn embedding(&self, doc: DocId) -> Option<&DocEmbedding> {
+        if self.tombstones.contains(&doc.0) {
+            return None;
+        }
+        let (seg, local) = self.locate(doc)?;
+        seg.embeddings.get(local.index())
+    }
+
+    /// Live document embeddings in ascending global-id order.
+    pub fn embeddings(&self) -> impl Iterator<Item = &DocEmbedding> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.globals.iter().zip(&s.embeddings))
+            .filter(|(g, _)| !self.tombstones.contains(g))
+            .map(|(_, e)| e)
+    }
+
+    /// Live document ids, ascending. See [`crate::indexer::doc_ids`] for
+    /// the ordering guarantee.
+    pub fn doc_ids(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.segments
+            .iter()
+            .flat_map(|s| s.globals.iter().copied())
+            .filter(|g| !self.tombstones.contains(g))
+            .map(DocId)
+    }
+
+    /// Find the segment holding `doc` (live or tombstoned) and its local
+    /// id — binary search over the disjoint ascending segment ranges.
+    pub(crate) fn locate(&self, doc: DocId) -> Option<(&IndexSegment, DocId)> {
+        let id = doc.0;
+        let si = self
+            .segments
+            .partition_point(|s| s.globals.last().is_some_and(|&last| last < id));
+        let seg = self.segments.get(si)?;
+        let local = seg.local_of(id)?;
+        Some((seg, local))
+    }
+
+    /// Tombstone a document. Returns `false` for unknown or already
+    /// deleted ids. The document stops matching searches immediately and
+    /// is physically expunged by the next compaction that touches its
+    /// segment.
+    pub fn delete(&mut self, doc: DocId) -> bool {
+        if self.tombstones.contains(&doc.0) || self.locate(doc).is_none() {
+            return false;
+        }
+        self.tombstones.insert(doc.0);
+        true
+    }
+
+    /// Allocate the next global document id. Ids are never reused, even
+    /// when the reserving caller drops the document before sealing it.
+    pub(crate) fn reserve_id(&mut self) -> DocId {
+        let id = self.next_id;
+        self.next_id += 1;
+        DocId(id)
+    }
+
+    /// Append a sealed segment. Its ids must all be reserved (below
+    /// `next_id`) and above every stored id, keeping segments sorted by
+    /// disjoint ascending ranges.
+    pub(crate) fn install_segment(&mut self, segment: IndexSegment) {
+        if segment.is_empty() {
+            return;
+        }
+        debug_assert!(
+            segment.globals.last().is_some_and(|&l| l < self.next_id),
+            "segment ids must be reserved before installation"
+        );
+        debug_assert!(
+            self.segments
+                .last()
+                .and_then(|s| s.globals.last())
+                .is_none_or(|&prev| prev < segment.globals[0]),
+            "segments must stay sorted by ascending id ranges"
+        );
+        self.segments.push(segment);
+    }
+
+    /// Merge segments until at most `max_segments` (floor 1) remain,
+    /// always picking the adjacent pair with the fewest live documents.
+    /// Tombstoned documents inside merged pairs are physically dropped
+    /// and their ids leave the tombstone set. Returns the number of
+    /// merges performed.
+    pub fn compact_to(&mut self, max_segments: usize) -> usize {
+        let max = max_segments.max(1);
+        let mut merges = 0usize;
+        while self.segments.len() > max {
+            self.merge_adjacent_pair();
+            merges += 1;
+        }
+        // Force-merge semantics: compacting all the way down to one
+        // segment also rewrites a lone segment that still carries
+        // tombstones (as Lucene's forceMerge(1) expunges deletes even
+        // when there is no merge partner).
+        if max == 1 && !self.tombstones.is_empty() && self.segments.len() == 1 {
+            let seg = self.segments.pop().expect("one segment");
+            let rewritten = IndexSegment::merge(&seg, &IndexSegment::build(Vec::new()), &self.tombstones);
+            for g in seg.globals() {
+                self.tombstones.remove(g);
+            }
+            if !rewritten.is_empty() {
+                self.segments.push(rewritten);
+            }
+            self.compactions += 1;
+            merges += 1;
+        }
+        merges
+    }
+
+    /// Compact everything into (at most) one segment, expunging all
+    /// tombstones it can reach.
+    pub fn compact(&mut self) -> usize {
+        self.compact_to(1)
+    }
+
+    fn merge_adjacent_pair(&mut self) {
+        debug_assert!(self.segments.len() >= 2);
+        let mut best = 0usize;
+        let mut best_cost = usize::MAX;
+        for i in 0..self.segments.len() - 1 {
+            let cost = self.segments[i].live_count(&self.tombstones)
+                + self.segments[i + 1].live_count(&self.tombstones);
+            if cost < best_cost {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        let b = self.segments.remove(best + 1);
+        let a = self.segments.remove(best);
+        let merged = IndexSegment::merge(&a, &b, &self.tombstones);
+        for g in a.globals.iter().chain(&b.globals) {
+            self.tombstones.remove(g);
+        }
+        if !merged.is_empty() {
+            self.segments.insert(best, merged);
+        }
+        self.compactions += 1;
+    }
+
+    /// Collection-wide BM25 statistics for one side, over live documents
+    /// only (exact integer summation across segments).
+    pub(crate) fn side_stats(&self, side: Side) -> CollectionStats {
+        let mut stats = CollectionStats::default();
+        for seg in &self.segments {
+            let index = seg.side(side);
+            if self.tombstones.is_empty() {
+                stats.add(CollectionStats::from_index(index));
+            } else {
+                for (local, g) in seg.globals.iter().enumerate() {
+                    if !self.tombstones.contains(g) {
+                        stats.add_doc(index.doc_len(DocId(local as u32)));
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Collection-wide live document frequency of each query term on one
+    /// side. With a single segment and no tombstones this equals the
+    /// segment dictionary's doc-freq, i.e. the monolithic value.
+    pub(crate) fn side_global_df<'q>(
+        &self,
+        side: Side,
+        qtf: &FxHashMap<&'q str, u32>,
+    ) -> FxHashMap<&'q str, u32> {
+        let mut out: FxHashMap<&'q str, u32> = FxHashMap::default();
+        for &term in qtf.keys() {
+            let mut df = 0u32;
+            for seg in &self.segments {
+                let index = seg.side(side);
+                if self.tombstones.is_empty() {
+                    let dict = index.dictionary();
+                    if let Some(id) = dict.get(term) {
+                        df += dict.doc_freq(id);
+                    }
+                } else {
+                    for p in index.postings_for(term) {
+                        if !self.tombstones.contains(&seg.global_of(p.doc)) {
+                            df += 1;
+                        }
+                    }
+                }
+            }
+            if df > 0 {
+                out.insert(term, df);
+            }
+        }
+        out
+    }
+
+    /// Fan out one side's scoring across segments under the global-stats
+    /// overlay. Returns one global-id-keyed score map per segment, in
+    /// segment order; `threads > 1` scores segments in parallel (results
+    /// are identical — each map is computed independently).
+    pub(crate) fn score_side_parts(
+        &self,
+        side: Side,
+        scorer: Bm25,
+        query_terms: &[String],
+        threads: usize,
+    ) -> Vec<FxHashMap<DocId, f64>> {
+        let stats = self.side_stats(side);
+        if stats.docs == 0 {
+            return Vec::new();
+        }
+        let qtf = query_tf(query_terms);
+        let global_df = self.side_global_df(side, &qtf);
+        let score_one = |seg: &IndexSegment| -> FxHashMap<DocId, f64> {
+            let local = score_segment(scorer, seg.side(side), stats, &qtf, &global_df, |d| {
+                !self.tombstones.contains(&seg.global_of(d))
+            });
+            local
+                .into_iter()
+                .map(|(d, s)| (DocId(seg.global_of(d)), s))
+                .collect()
+        };
+        if threads <= 1 || self.segments.len() < 2 {
+            self.segments.iter().map(score_one).collect()
+        } else {
+            crate::searcher::parallel_map(&self.segments, threads, score_one)
+        }
+    }
+
+    /// BM25 top-k over the BOW side only — the "plain Lucene" view of the
+    /// segmented index. Each segment runs MaxScore under the global-stats
+    /// overlay; per-segment winners merge through one more
+    /// `newslink_util::TopK`, so ties still resolve toward lower ids.
+    pub fn bow_topk<S: AsRef<str>>(&self, query_terms: &[S], k: usize) -> Vec<(DocId, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let stats = self.side_stats(Side::Bow);
+        if stats.docs == 0 {
+            return Vec::new();
+        }
+        let qtf = query_tf(query_terms);
+        let global_df = self.side_global_df(Side::Bow, &qtf);
+        let mut merged = TopK::new(k);
+        for seg in &self.segments {
+            let hits = maxscore_search_with(
+                seg.bow(),
+                Bm25::default(),
+                query_terms,
+                k,
+                stats,
+                |t| global_df.get(t).copied().unwrap_or(0),
+                |d| !self.tombstones.contains(&seg.global_of(d)),
+            );
+            for h in hits {
+                merged.push(h.score, DocId(seg.global_of(h.doc)));
+            }
+        }
+        merged
+            .into_sorted()
+            .into_iter()
+            .map(|(score, doc)| (doc, score))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NewsLinkConfig;
+    use crate::indexer::index_corpus;
+    use newslink_kg::{EntityType, GraphBuilder, KnowledgeGraph, LabelIndex};
+
+    fn world() -> (KnowledgeGraph, LabelIndex) {
+        let mut b = GraphBuilder::new();
+        let khyber = b.add_node("Khyber", EntityType::Gpe);
+        let kunar = b.add_node("Kunar", EntityType::Gpe);
+        let taliban = b.add_node("Taliban", EntityType::Organization);
+        let pakistan = b.add_node("Pakistan", EntityType::Gpe);
+        b.add_edge(kunar, khyber, "borders", 1);
+        b.add_edge(taliban, kunar, "operates in", 1);
+        b.add_edge(khyber, pakistan, "located in", 1);
+        let g = b.freeze();
+        let idx = LabelIndex::build(&g);
+        (g, idx)
+    }
+
+    const DOCS: &[&str] = &[
+        "Taliban attacked Kunar. Pakistan responded near Khyber.",
+        "Pakistan held talks in Khyber province.",
+        "Taliban activity reported again in Kunar.",
+        "A plain story with no entities.",
+        "Kunar and Khyber braced for winter.",
+    ];
+
+    #[test]
+    fn segment_docs_controls_sharding() {
+        let (g, li) = world();
+        let mono = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        assert_eq!(mono.segment_count(), 1);
+        let sharded = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_segment_docs(2),
+            DOCS,
+        );
+        assert_eq!(sharded.segment_count(), 3);
+        assert_eq!(sharded.doc_count(), DOCS.len());
+        // Segments hold disjoint ascending id ranges.
+        let all: Vec<u32> = sharded
+            .segments()
+            .iter()
+            .flat_map(|s| s.globals().iter().copied())
+            .collect();
+        assert_eq!(all, (0..DOCS.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn locate_and_embedding_resolve_across_segments() {
+        let (g, li) = world();
+        let idx = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_segment_docs(2),
+            DOCS,
+        );
+        for d in 0..DOCS.len() as u32 {
+            let (seg, local) = idx.locate(DocId(d)).expect("doc located");
+            assert_eq!(seg.global_of(local), d);
+            assert!(idx.embedding(DocId(d)).is_some());
+        }
+        assert!(idx.locate(DocId(99)).is_none());
+        assert!(idx.embedding(DocId(99)).is_none());
+    }
+
+    #[test]
+    fn delete_tombstones_and_compaction_expunges() {
+        let (g, li) = world();
+        let mut idx = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_segment_docs(1),
+            DOCS,
+        );
+        assert_eq!(idx.segment_count(), 5);
+        assert!(idx.delete(DocId(1)));
+        assert!(!idx.delete(DocId(1)), "double delete");
+        assert!(!idx.delete(DocId(42)), "unknown id");
+        assert_eq!(idx.tombstone_count(), 1);
+        assert_eq!(idx.doc_count(), 4);
+        assert!(idx.embedding(DocId(1)).is_none());
+
+        let merges = idx.compact_to(1);
+        assert_eq!(merges, 4);
+        assert_eq!(idx.segment_count(), 1);
+        assert_eq!(idx.compactions(), 4);
+        assert_eq!(idx.tombstone_count(), 0, "expunged on merge");
+        assert_eq!(idx.doc_count(), 4);
+        // Surviving ids are unchanged (stable across compaction).
+        let ids: Vec<u32> = idx.doc_ids().map(|d| d.0).collect();
+        assert_eq!(ids, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_lifecycle() {
+        let (g, li) = world();
+        let mut idx = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_segment_docs(2),
+            DOCS,
+        );
+        let s0 = idx.stats();
+        assert_eq!(
+            s0,
+            IndexStats {
+                docs: 5,
+                segments: 3,
+                tombstones: 0,
+                compactions: 0
+            }
+        );
+        idx.delete(DocId(0));
+        idx.compact_to(1);
+        let s1 = idx.stats();
+        assert_eq!(s1.docs, 4);
+        assert_eq!(s1.segments, 1);
+        assert_eq!(s1.tombstones, 0);
+        assert_eq!(s1.compactions, 2);
+    }
+
+    #[test]
+    fn bow_topk_matches_monolithic_bm25() {
+        let (g, li) = world();
+        let mono = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        let sharded = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_segment_docs(2),
+            DOCS,
+        );
+        let query = ["kunar", "khyber", "pakistan"];
+        let a = mono.bow_topk(&query, 4);
+        let b = sharded.bow_topk(&query, 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            assert!((x.1 - y.1).abs() < 1e-12);
+        }
+    }
+}

@@ -27,15 +27,27 @@ pub fn parse_node_term(term: &str) -> Option<NodeId> {
 /// occurrence per group containing it, so overlap across groups raises
 /// term frequency exactly as Figure 4's orange nodes suggest.
 pub fn bon_terms(embedding: &DocEmbedding) -> Vec<String> {
-    let mut terms: Vec<(NodeId, u32)> = embedding.node_counts().into_iter().collect();
-    terms.sort_unstable_by_key(|(n, _)| *n);
     let mut out = Vec::new();
-    for (node, count) in terms {
+    for (term, count) in bon_term_counts(embedding) {
         for _ in 0..count {
-            out.push(node_term(node));
+            out.push(term.clone());
         }
     }
     out
+}
+
+/// Pre-aggregated `(node-term, group-count)` pairs in ascending node-id
+/// order — the same sequence [`bon_terms`] flattens, so feeding these to
+/// `IndexBuilder::add_document_counts` builds an index identical to the
+/// flattened-stream path (segment builds index straight from counts
+/// without materialising repeated term strings).
+pub fn bon_term_counts(embedding: &DocEmbedding) -> Vec<(String, u32)> {
+    let mut counts: Vec<(NodeId, u32)> = embedding.node_counts().into_iter().collect();
+    counts.sort_unstable_by_key(|(n, _)| *n);
+    counts
+        .into_iter()
+        .map(|(node, count)| (node_term(node), count))
+        .collect()
 }
 
 #[cfg(test)]
@@ -75,6 +87,25 @@ mod tests {
     #[test]
     fn empty_embedding_has_no_terms() {
         assert!(bon_terms(&DocEmbedding::default()).is_empty());
+        assert!(bon_term_counts(&DocEmbedding::default()).is_empty());
+    }
+
+    #[test]
+    fn counts_aggregate_the_flattened_stream() {
+        let e = DocEmbedding::new(vec![group(&[0, 1]), group(&[0, 2])]);
+        let counts = bon_term_counts(&e);
+        assert_eq!(
+            counts,
+            vec![("n0".to_string(), 2), ("n1".to_string(), 1), ("n2".to_string(), 1)]
+        );
+        // Flattening the counts reproduces bon_terms exactly.
+        let mut flat = Vec::new();
+        for (t, c) in &counts {
+            for _ in 0..*c {
+                flat.push(t.clone());
+            }
+        }
+        assert_eq!(flat, bon_terms(&e));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod tree;
 pub mod union;
 
 pub use algo::{find_lcag, find_top_cags, EmbedError, SearchConfig};
-pub use bon::{bon_terms, node_term, parse_node_term};
+pub use bon::{bon_term_counts, bon_terms, node_term, parse_node_term};
 pub use cache::{find_lcag_cached, find_tree_embedding_cached, CachedModel, EmbeddingCache};
 pub use dot::{embedding_to_dot, overlap_to_dot};
 pub use explain::{relationship_paths, RelationshipPath};

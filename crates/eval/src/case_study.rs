@@ -78,7 +78,8 @@ pub fn run_case_study(ctx: &EvalContext) -> Option<CaseStudy> {
             continue;
         };
         let result_doc = hit.doc.index();
-        let paths = relationship_paths(&outcome.embedding, &index.embeddings[result_doc], 6, 8);
+        let result_embedding = index.embedding(hit.doc).expect("live build-time doc");
+        let paths = relationship_paths(&outcome.embedding, result_embedding, 6, 8);
         if paths.is_empty() {
             continue;
         }
@@ -99,7 +100,7 @@ pub fn run_case_study(ctx: &EvalContext) -> Option<CaseStudy> {
             .embedding
             .all_nodes()
             .iter()
-            .chain(index.embeddings[result_doc].all_nodes().iter())
+            .chain(result_embedding.all_nodes().iter())
             .map(|&n| ctx.world.graph.label(n).to_string())
             .filter(|l| !both_lower.contains(&l.to_lowercase()))
             .collect();
@@ -119,7 +120,7 @@ pub fn run_case_study(ctx: &EvalContext) -> Option<CaseStudy> {
             dot: overlap_to_dot(
                 &ctx.world.graph,
                 &outcome.embedding,
-                &index.embeddings[result_doc],
+                result_embedding,
                 "figure6",
             ),
         });

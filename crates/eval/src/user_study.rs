@@ -145,8 +145,10 @@ pub fn build_pairs(ctx: &EvalContext, n_pairs: usize) -> Vec<PairFeatures> {
             continue;
         };
         let result_doc = hit.doc.index();
-        let result_embedding = &index.embeddings[result_doc];
-        let query_embedding = &index.embeddings[case.doc];
+        let result_embedding = index.embedding(hit.doc).expect("live build-time doc");
+        let query_embedding = index
+            .embedding(newslink_text::DocId(case.doc as u32))
+            .expect("live build-time doc");
         let paths = relationship_paths(query_embedding, result_embedding, 6, 50);
         let both_texts = format!("{} {}", ctx.texts[case.doc], ctx.texts[result_doc]);
         let lower = both_texts.to_lowercase();

@@ -9,8 +9,10 @@
 //! |----------------------|-----------------------------|--------|
 //! | `POST /search`       | a [`SearchRequest`] as JSON | the `SearchResponse` (hits, timers, cache info, explanations) |
 //! | `POST /search/batch` | `{"requests": [...]}`       | the `BatchResponse` |
+//! | `POST /docs`         | `{"text": "..."}`           | `{"id": n, "index": {...}}` — seal a one-doc segment, compact if needed |
+//! | `DELETE /docs/<id>`  | —                           | tombstone a live document |
 //! | `GET /healthz`       | —                           | `{"status":"ok"}` |
-//! | `GET /metrics`       | —                           | counters, latency histogram, cache stats |
+//! | `GET /metrics`       | —                           | counters, latency histogram, cache stats, segment/tombstone/compaction gauges |
 //!
 //! Production shape, in miniature:
 //!
@@ -36,7 +38,7 @@
 //! let world = synth::generate(&SynthConfig::small(1));
 //! let labels = LabelIndex::build(&world.graph);
 //! let engine = NewsLink::new(&world.graph, &labels, NewsLinkConfig::default());
-//! let index = engine.index_corpus(&["Some news text.".to_string()]);
+//! let index = parking_lot::RwLock::new(engine.index_corpus(&["Some news text.".to_string()]));
 //!
 //! let server = Server::bind("127.0.0.1:8080", ServeConfig::default()).unwrap();
 //! println!("listening on {}", server.local_addr());

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use newslink_core::EngineCacheStats;
+use newslink_core::{EngineCacheStats, IndexStats};
 use newslink_util::Histogram;
 use parking_lot::Mutex;
 use serde::{Number, Serialize, Value};
@@ -31,6 +31,8 @@ pub enum Route {
     Healthz,
     /// `GET /metrics`.
     Metrics,
+    /// `POST /docs` and `DELETE /docs/<id>` (live index mutations).
+    Docs,
     /// Anything else (unknown paths, unparseable requests).
     Other,
 }
@@ -44,6 +46,7 @@ pub struct ServerMetrics {
     batch: AtomicU64,
     healthz: AtomicU64,
     metrics: AtomicU64,
+    docs: AtomicU64,
     ok: AtomicU64,
     bad_request: AtomicU64,
     not_found: AtomicU64,
@@ -65,6 +68,7 @@ impl ServerMetrics {
             batch: AtomicU64::new(0),
             healthz: AtomicU64::new(0),
             metrics: AtomicU64::new(0),
+            docs: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             bad_request: AtomicU64::new(0),
             not_found: AtomicU64::new(0),
@@ -86,6 +90,7 @@ impl ServerMetrics {
             Route::Batch => Some(&self.batch),
             Route::Healthz => Some(&self.healthz),
             Route::Metrics => Some(&self.metrics),
+            Route::Docs => Some(&self.docs),
             Route::Other => None,
         };
         if let Some(counter) = route_counter {
@@ -133,9 +138,9 @@ impl ServerMetrics {
     }
 
     /// The full `/metrics` document: uptime, per-route and per-status
-    /// counters, the latency histogram, the admission gauge, and the
-    /// engine's cache counters.
-    pub fn snapshot(&self, in_flight: usize, cache: &EngineCacheStats) -> Value {
+    /// counters, the latency histogram, the admission gauge, the
+    /// engine's cache counters, and the segmented index's gauges.
+    pub fn snapshot(&self, in_flight: usize, cache: &EngineCacheStats, index: IndexStats) -> Value {
         let load = |c: &AtomicU64| num(c.load(Ordering::Relaxed));
         Value::Object(vec![
             (
@@ -150,6 +155,7 @@ impl ServerMetrics {
                     ("batch".into(), load(&self.batch)),
                     ("healthz".into(), load(&self.healthz)),
                     ("metrics".into(), load(&self.metrics)),
+                    ("docs".into(), load(&self.docs)),
                 ]),
             ),
             (
@@ -168,6 +174,15 @@ impl ServerMetrics {
             ("in_flight".into(), num(in_flight as u64)),
             ("latency_us".into(), self.latency_us.lock().serialize_value()),
             ("cache".into(), cache.serialize_value()),
+            (
+                "index".into(),
+                Value::Object(vec![
+                    ("docs".into(), num(index.docs as u64)),
+                    ("segments".into(), num(index.segments as u64)),
+                    ("tombstones".into(), num(index.tombstones as u64)),
+                    ("compactions".into(), num(index.compactions)),
+                ]),
+            ),
         ])
     }
 }
@@ -200,13 +215,25 @@ mod tests {
     fn snapshot_has_every_section() {
         let m = ServerMetrics::new();
         m.observe(Route::Batch, 200, Duration::from_micros(42));
-        let snap = m.snapshot(3, &EngineCacheStats::default());
-        assert_eq!(snap["requests_total"], 1u64);
+        m.observe(Route::Docs, 200, Duration::from_micros(7));
+        let index = IndexStats {
+            docs: 10,
+            segments: 3,
+            tombstones: 2,
+            compactions: 5,
+        };
+        let snap = m.snapshot(3, &EngineCacheStats::default(), index);
+        assert_eq!(snap["requests_total"], 2u64);
         assert_eq!(snap["routes"]["batch"], 1u64);
-        assert_eq!(snap["responses"]["ok"], 1u64);
+        assert_eq!(snap["routes"]["docs"], 1u64);
+        assert_eq!(snap["responses"]["ok"], 2u64);
         assert_eq!(snap["in_flight"], 3u64);
-        assert_eq!(snap["latency_us"]["count"], 1u64);
+        assert_eq!(snap["latency_us"]["count"], 2u64);
         assert!(!snap["cache"]["queries"].is_null());
+        assert_eq!(snap["index"]["docs"], 10u64);
+        assert_eq!(snap["index"]["segments"], 3u64);
+        assert_eq!(snap["index"]["tombstones"], 2u64);
+        assert_eq!(snap["index"]["compactions"], 5u64);
         // The document renders as valid JSON text.
         let text = serde_json::to_string(&snap).unwrap();
         assert!(text.contains("\"uptime_ms\""));

@@ -14,7 +14,8 @@
 
 use std::time::Instant;
 
-use newslink_core::{NewsLink, NewsLinkIndex, SearchRequest};
+use newslink_core::{DocId, NewsLink, NewsLinkIndex, SearchRequest};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::metrics::{Route, ServerMetrics};
@@ -25,8 +26,10 @@ use crate::server::ServeConfig;
 pub struct RequestContext<'a, 'g> {
     /// The shared engine.
     pub engine: &'a NewsLink<'g>,
-    /// The corpus index being served.
-    pub index: &'a NewsLinkIndex,
+    /// The corpus index being served. Searches take the read lock and
+    /// fan out over its segments; `/docs` mutations take the write lock
+    /// for the (short) seal-and-compact window.
+    pub index: &'a RwLock<NewsLinkIndex>,
     /// Server configuration (default deadline budget).
     pub config: &'a ServeConfig,
     /// Server counters, for the `/metrics` document.
@@ -70,14 +73,22 @@ pub fn dispatch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
                 .to_compact_string(),
         ),
         ("GET", "/metrics") => {
+            let index_stats = ctx.index.read().stats();
             let snap = ctx
                 .metrics
-                .snapshot(ctx.in_flight, &ctx.engine.cache_stats());
+                .snapshot(ctx.in_flight, &ctx.engine.cache_stats(), index_stats);
             routed(Route::Metrics, 200, snap.to_compact_string())
         }
         ("POST", "/search") => handle_search(req, ctx),
         ("POST", "/search/batch") => handle_batch(req, ctx),
-        (_, "/healthz" | "/metrics" | "/search" | "/search/batch") => routed(
+        ("POST", "/docs") => handle_insert(req, ctx),
+        ("DELETE", path) if path.strip_prefix("/docs/").is_some() => handle_delete(path, ctx),
+        (_, "/healthz" | "/metrics" | "/search" | "/search/batch" | "/docs") => routed(
+            Route::Other,
+            405,
+            error_body(&format!("method {} not allowed here", req.method)),
+        ),
+        (_, path) if path.strip_prefix("/docs/").is_some() => routed(
             Route::Other,
             405,
             error_body(&format!("method {} not allowed here", req.method)),
@@ -94,7 +105,7 @@ fn handle_search(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
         Ok(r) => apply_deadline(r, ctx),
         Err(msg) => return routed(Route::Search, 400, error_body(&msg)),
     };
-    let response = ctx.engine.execute(ctx.index, &request);
+    let response = ctx.engine.execute(&ctx.index.read(), &request);
     let status = if response.timed_out { 503 } else { 200 };
     routed(Route::Search, status, response.serialize_value().to_compact_string())
 }
@@ -107,8 +118,79 @@ fn handle_batch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
         Ok(r) => r,
         Err(msg) => return routed(Route::Batch, 400, error_body(&msg)),
     };
-    let response = ctx.engine.execute_batch(ctx.index, &requests);
+    let response = ctx.engine.execute_batch(&ctx.index.read(), &requests);
     routed(Route::Batch, 200, response.serialize_value().to_compact_string())
+}
+
+/// `POST /docs`: `{"text": "..."}` in, `{"id": n, "index": {...}}` out.
+/// The new document lands in its own sealed segment; if that pushes the
+/// segment count past the engine's `max_segments`, the insert also runs
+/// compaction before the write lock is released.
+fn handle_insert(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
+    let text = match parse_insert_body(&req.body) {
+        Ok(t) => t,
+        Err(msg) => return routed(Route::Docs, 400, error_body(&msg)),
+    };
+    let mut index = ctx.index.write();
+    let id = ctx.engine.insert_document(&mut index, &text);
+    let stats = index.stats();
+    drop(index);
+    let body = Value::Object(vec![
+        ("id".into(), Value::Number(serde::Number::from_i128(id.0 as i128))),
+        ("index".into(), index_stats_value(stats)),
+    ]);
+    routed(Route::Docs, 200, body.to_compact_string())
+}
+
+/// `DELETE /docs/<id>`: tombstone a live document. Unknown or already
+/// deleted ids answer `404`; the id itself must be a decimal integer.
+fn handle_delete(path: &str, ctx: &RequestContext<'_, '_>) -> Routed {
+    let raw = path.strip_prefix("/docs/").unwrap_or_default();
+    let Ok(id) = raw.parse::<u32>() else {
+        return routed(Route::Docs, 400, error_body(&format!("bad document id {raw:?}")));
+    };
+    let mut index = ctx.index.write();
+    let deleted = ctx.engine.delete_document(&mut index, DocId(id));
+    let stats = index.stats();
+    drop(index);
+    if !deleted {
+        return routed(Route::Docs, 404, error_body(&format!("no live document {id}")));
+    }
+    let body = Value::Object(vec![
+        ("deleted".into(), Value::Number(serde::Number::from_i128(id as i128))),
+        ("index".into(), index_stats_value(stats)),
+    ]);
+    routed(Route::Docs, 200, body.to_compact_string())
+}
+
+/// Render [`newslink_core::IndexStats`] as a JSON object (shared by the
+/// `/docs` responses and sanity-checked against the `/metrics` gauges).
+fn index_stats_value(stats: newslink_core::IndexStats) -> Value {
+    let num = |n: u64| Value::Number(serde::Number::from_i128(n as i128));
+    Value::Object(vec![
+        ("docs".into(), num(stats.docs as u64)),
+        ("segments".into(), num(stats.segments as u64)),
+        ("tombstones".into(), num(stats.tombstones as u64)),
+        ("compactions".into(), num(stats.compactions)),
+    ])
+}
+
+/// Validate a `POST /docs` body: an object whose only field is a string
+/// `"text"`.
+fn parse_insert_body(body: &str) -> Result<String, String> {
+    let v = parse_body(body)?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "insert body must be a JSON object".to_string())?;
+    for (key, _) in obj {
+        if key != "text" {
+            return Err(format!("unknown field {key:?} (expected \"text\")"));
+        }
+    }
+    v.get("text")
+        .and_then(|t| t.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| "missing required string field \"text\"".to_string())
 }
 
 fn parse_body(body: &str) -> Result<Value, String> {

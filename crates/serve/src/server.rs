@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use newslink_core::{NewsLink, NewsLinkIndex};
 use newslink_util::ShutdownFlag;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::metrics::{Route, ServerMetrics};
 use crate::protocol::{read_request, write_response, RecvError};
@@ -171,8 +171,11 @@ impl Server {
 
     /// Serve until the handle triggers shutdown, then drain and return.
     /// Blocks the calling thread; spawns `config.workers` scoped handler
-    /// threads that borrow `engine` and `index`.
-    pub fn run(&self, engine: &NewsLink<'_>, index: &NewsLinkIndex) -> io::Result<()> {
+    /// threads that borrow `engine` and `index`. The index sits behind a
+    /// reader-writer lock: searches share the read side, `/docs`
+    /// mutations briefly take the write side to seal a new segment or
+    /// tombstone a document.
+    pub fn run(&self, engine: &NewsLink<'_>, index: &RwLock<NewsLinkIndex>) -> io::Result<()> {
         let capacity = self.config.capacity().max(1);
         let in_flight = AtomicUsize::new(0);
         let (sender, receiver) = mpsc::channel::<Job>();
@@ -238,7 +241,7 @@ impl Server {
         &self,
         job: Job,
         engine: &NewsLink<'_>,
-        index: &NewsLinkIndex,
+        index: &RwLock<NewsLinkIndex>,
         in_flight: usize,
     ) {
         let mut stream = job.stream;

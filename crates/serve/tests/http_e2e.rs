@@ -36,8 +36,19 @@ fn with_server<R>(
     fixture: &Fixture,
     f: impl FnOnce(&ServerHandle, &Server) -> R,
 ) -> R {
+    with_server_engine(config, NewsLinkConfig::default(), fixture, f)
+}
+
+/// Like [`with_server`] but with a caller-chosen engine configuration
+/// (segment sizing, compaction threshold, ...).
+fn with_server_engine<R>(
+    config: ServeConfig,
+    engine_config: NewsLinkConfig,
+    fixture: &Fixture,
+    f: impl FnOnce(&ServerHandle, &Server) -> R,
+) -> R {
     let labels = LabelIndex::build(&fixture.graph);
-    let engine = NewsLink::new(&fixture.graph, &labels, NewsLinkConfig::default());
+    let engine = NewsLink::new(&fixture.graph, &labels, engine_config);
     let docs = vec![
         format!(
             "Tensions rose in {} as officials met in {}.",
@@ -49,7 +60,8 @@ fn with_server<R>(
         ),
         "Completely unrelated filler text with no entity names.".to_string(),
     ];
-    let index: NewsLinkIndex = engine.index_corpus(&docs);
+    let index: parking_lot::RwLock<NewsLinkIndex> =
+        parking_lot::RwLock::new(engine.index_corpus(&docs));
 
     let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
     let handle = server.handle();
@@ -255,6 +267,72 @@ fn metrics_report_traffic_latency_and_cache_counters() {
         // query produced whole-query memo hits.
         assert!(v["cache"]["queries"]["hits"].as_i64().unwrap() >= 2, "{text}");
         assert!(v["uptime_ms"].as_i64().unwrap() >= 0);
+    });
+}
+
+#[test]
+fn metrics_segment_gauges_move_with_live_inserts_and_compaction() {
+    let fixture = Fixture::new(18);
+    // A compaction threshold of 2 guarantees live inserts trigger merges.
+    let engine_config = NewsLinkConfig::default().with_max_segments(2);
+    with_server_engine(ServeConfig::default(), engine_config, &fixture, |handle, _| {
+        let gauges = |label: &str| {
+            let (status, text) = client::request(handle.addr(), "GET", "/metrics", "").unwrap();
+            assert_eq!(status, 200, "{label}: {text}");
+            let v = parse(&text);
+            let g = |k: &str| v["index"][k].as_i64().unwrap_or_else(|| panic!("{label}: missing index.{k} in {text}"));
+            (g("docs"), g("segments"), g("tombstones"), g("compactions"))
+        };
+
+        // The build-time corpus: one segment, nothing deleted or merged.
+        assert_eq!(gauges("fresh"), (3, 1, 0, 0));
+
+        // Three live inserts: each seals its own segment, and once the
+        // count exceeds max_segments the insert path compacts in place.
+        for i in 0..3 {
+            let body = format!(
+                r#"{{"text": "Late report {i} from {} about {}."}}"#,
+                fixture.city, fixture.country
+            );
+            let (status, text) = client::request(handle.addr(), "POST", "/docs", &body).unwrap();
+            assert_eq!(status, 200, "insert {i}: {text}");
+            assert_eq!(parse(&text)["id"].as_i64(), Some(3 + i));
+        }
+        let (docs, segments, tombstones, compactions) = gauges("after inserts");
+        assert_eq!(docs, 6);
+        assert!(segments <= 2, "compaction keeps the segment count bounded");
+        assert_eq!(tombstones, 0);
+        assert!(compactions >= 2, "inserts past the cap compacted");
+
+        // The inserted documents are immediately searchable.
+        let query = format!(r#"{{"query": "late report about {}", "k": 6}}"#, fixture.country);
+        let (status, text) = client::request(handle.addr(), "POST", "/search", &query).unwrap();
+        assert_eq!(status, 200);
+        let hits: Vec<i64> = parse(&text)["results"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|h| h["doc"].as_i64().unwrap())
+            .collect();
+        assert!(hits.iter().any(|&d| d >= 3), "a live-inserted doc ranks: {hits:?}");
+
+        // Deleting tombstones without renumbering; the id 404s afterwards.
+        let (status, text) = client::request(handle.addr(), "DELETE", "/docs/0", "").unwrap();
+        assert_eq!(status, 200, "{text}");
+        let (status, _) = client::request(handle.addr(), "DELETE", "/docs/0", "").unwrap();
+        assert_eq!(status, 404, "double delete");
+        let (docs, _, tombstones, _) = gauges("after delete");
+        assert_eq!(docs, 5);
+        assert_eq!(tombstones, 1);
+
+        // Mutation-route error handling.
+        let (status, _) = client::request(handle.addr(), "DELETE", "/docs/zero", "").unwrap();
+        assert_eq!(status, 400, "non-numeric id");
+        let (status, _) = client::request(handle.addr(), "GET", "/docs/0", "").unwrap();
+        assert_eq!(status, 405, "wrong method on /docs/<id>");
+        let (status, _) =
+            client::request(handle.addr(), "POST", "/docs", r#"{"body": "x"}"#).unwrap();
+        assert_eq!(status, 400, "unknown insert field");
     });
 }
 

@@ -31,6 +31,56 @@ pub struct Posting {
     pub tf: u32,
 }
 
+/// Collection-level statistics BM25 needs: how many documents exist and
+/// their total token length.
+///
+/// For a monolithic index these are just [`InvertedIndex::doc_count`] and
+/// the internal length sum. For a *segmented* index they are the overlay
+/// that makes per-segment scoring exact: sum the integer counts across
+/// segments (exact — no float accumulation) and score every segment with
+/// the collection-wide average. A single segment with its own stats is
+/// the degenerate case and scores bit-identically to the monolithic path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectionStats {
+    /// Documents in the collection.
+    pub docs: usize,
+    /// Total token length across those documents.
+    pub total_len: u64,
+}
+
+impl CollectionStats {
+    /// The stats of one monolithic index.
+    pub fn from_index(index: &InvertedIndex) -> Self {
+        Self {
+            docs: index.doc_count(),
+            total_len: index.total_len,
+        }
+    }
+
+    /// Fold another shard's counts in (integer addition, exact).
+    pub fn add(&mut self, other: CollectionStats) {
+        self.docs += other.docs;
+        self.total_len += other.total_len;
+    }
+
+    /// Count one document of length `len`.
+    pub fn add_doc(&mut self, len: u32) {
+        self.docs += 1;
+        self.total_len += u64::from(len);
+    }
+
+    /// Mean document length; 0 for an empty collection. Matches
+    /// [`InvertedIndex::avg_doc_len`] operation-for-operation so overlay
+    /// scoring stays bit-identical.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.docs == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / self.docs as f64
+        }
+    }
+}
+
 /// A frozen inverted index.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
@@ -134,6 +184,44 @@ impl IndexBuilder {
         doc
     }
 
+    /// Add one document given pre-aggregated `(term, count)` pairs; returns
+    /// its [`DocId`].
+    ///
+    /// Equivalent to [`IndexBuilder::add_document`] on the stream that
+    /// repeats each term `count` times in order: the document length is the
+    /// sum of counts and the resulting index is identical given the same
+    /// term order. Pairs with a zero count are ignored. This is the entry
+    /// point segment merges use to replay documents straight from posting
+    /// lists without materialising token streams.
+    pub fn add_document_counts<S: AsRef<str>>(&mut self, counts: &[(S, u32)]) -> DocId {
+        let doc = DocId(
+            u32::try_from(self.doc_len.len()).expect("index overflow: more than 2^32 documents"),
+        );
+        let mut len: u64 = 0;
+        let mut tf: FxHashMap<TermId, u32> = FxHashMap::default();
+        for (t, count) in counts {
+            if *count == 0 {
+                continue;
+            }
+            let id = self.dict.get_or_insert(t.as_ref());
+            *tf.entry(id).or_default() += count;
+            len += u64::from(*count);
+        }
+        let mut entries: Vec<(TermId, u32)> = tf.into_iter().collect();
+        entries.sort_unstable_by_key(|(t, _)| *t);
+        for (term, tf) in entries {
+            if term.index() >= self.postings.len() {
+                self.postings.resize_with(term.index() + 1, Vec::new);
+            }
+            self.postings[term.index()].push(Posting { doc, tf });
+            self.dict.bump_doc_freq(term);
+        }
+        let len = u32::try_from(len).expect("document longer than 2^32 tokens");
+        self.doc_len.push(len);
+        self.total_len += u64::from(len);
+        doc
+    }
+
     /// Number of documents added so far.
     pub fn doc_count(&self) -> usize {
         self.doc_len.len()
@@ -218,6 +306,50 @@ mod tests {
         let idx = IndexBuilder::new().build();
         assert_eq!(idx.doc_count(), 0);
         assert_eq!(idx.avg_doc_len(), 0.0);
+    }
+
+    #[test]
+    fn counts_entry_matches_stream_entry() {
+        let mut a = IndexBuilder::new();
+        a.add_document(&["x", "y", "x", "z"]);
+        a.add_document(&["y", "y"]);
+        let a = a.build();
+
+        let mut b = IndexBuilder::new();
+        b.add_document_counts(&[("x", 2u32), ("y", 1), ("z", 1), ("dead", 0)]);
+        b.add_document_counts(&[("y", 2u32)]);
+        let b = b.build();
+
+        assert_eq!(a.doc_count(), b.doc_count());
+        for term in ["x", "y", "z"] {
+            assert_eq!(a.postings_for(term), b.postings_for(term), "term {term}");
+            let (da, db) = (a.dictionary(), b.dictionary());
+            assert_eq!(
+                da.doc_freq(da.get(term).unwrap()),
+                db.doc_freq(db.get(term).unwrap())
+            );
+        }
+        assert!(b.dictionary().get("dead").is_none(), "zero-count terms are not interned");
+        assert!(b.postings_for("dead").is_empty());
+        assert_eq!(a.doc_len(DocId(0)), b.doc_len(DocId(0)));
+        assert_eq!(a.avg_doc_len(), b.avg_doc_len());
+    }
+
+    #[test]
+    fn collection_stats_overlay_matches_index() {
+        let idx = sample();
+        let stats = CollectionStats::from_index(&idx);
+        assert_eq!(stats.docs, 3);
+        assert_eq!(stats.total_len, 8);
+        assert_eq!(stats.avg_doc_len(), idx.avg_doc_len());
+        assert_eq!(CollectionStats::default().avg_doc_len(), 0.0);
+
+        // Summing shard stats reproduces the monolithic overlay exactly.
+        let mut sum = CollectionStats::default();
+        sum.add(CollectionStats { docs: 1, total_len: 4 });
+        sum.add_doc(2);
+        sum.add_doc(2);
+        assert_eq!(sum, stats);
     }
 
     #[test]

@@ -16,10 +16,10 @@ pub mod score;
 pub mod search;
 
 pub use dictionary::{TermDictionary, TermId};
-pub use inverted::{DocId, IndexBuilder, InvertedIndex, Posting};
+pub use inverted::{CollectionStats, DocId, IndexBuilder, InvertedIndex, Posting};
 pub use score::{Bm25, Scorer, TfIdfCosine};
 pub use codec::{load_index, read_index, save_index, write_index};
 pub use live::{GlobalId, SegmentedIndex};
-pub use maxscore::maxscore_search;
+pub use maxscore::{maxscore_search, maxscore_search_with};
 pub use positions::{PositionalBuilder, PositionalIndex};
-pub use search::{Hit, Searcher};
+pub use search::{query_tf, score_segment, Hit, Searcher};

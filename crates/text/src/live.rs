@@ -15,8 +15,9 @@
 
 use newslink_util::{FxHashMap, FxHashSet, TopK};
 
-use crate::inverted::{DocId, IndexBuilder, InvertedIndex};
+use crate::inverted::{CollectionStats, DocId, IndexBuilder, InvertedIndex};
 use crate::score::Bm25;
+use crate::search::{query_tf, score_segment};
 
 /// A stable external document id, preserved across merges.
 pub type GlobalId = u64;
@@ -176,28 +177,22 @@ impl SegmentedIndex {
         scorer: Bm25,
         query_terms: &[T],
     ) -> FxHashMap<GlobalId, f64> {
-        // Global stats over LIVE docs only, so scores equal a fresh
+        // Global-stats overlay over LIVE docs only, so scores equal a fresh
         // single-segment index over the same documents.
-        let mut n_docs = 0usize;
-        let mut total_len = 0u64;
+        let mut stats = CollectionStats::default();
         for seg in &self.segments {
             for (local, &g) in seg.globals.iter().enumerate() {
                 if !self.deleted.contains(&g) {
-                    n_docs += 1;
-                    total_len += u64::from(seg.index.doc_len(DocId(local as u32)));
+                    stats.add_doc(seg.index.doc_len(DocId(local as u32)));
                 }
             }
         }
-        if n_docs == 0 {
+        if stats.docs == 0 {
             return FxHashMap::default();
         }
-        let avgdl = (total_len as f64 / n_docs as f64).max(1e-9);
 
-        // Query-side tfs.
-        let mut qtf: FxHashMap<&str, u32> = FxHashMap::default();
-        for t in query_terms {
-            *qtf.entry(t.as_ref()).or_default() += 1;
-        }
+        // Query-side tfs, built once and shared across segments.
+        let qtf = query_tf(query_terms);
         // Global df per query term (live docs only).
         let mut global_df: FxHashMap<&str, u32> = FxHashMap::default();
         for &term in qtf.keys() {
@@ -216,20 +211,11 @@ impl SegmentedIndex {
 
         let mut acc: FxHashMap<GlobalId, f64> = FxHashMap::default();
         for seg in &self.segments {
-            for (&term, &qtf) in &qtf {
-                let Some(&df) = global_df.get(term) else { continue };
-                for p in seg.index.postings_for(term) {
-                    let g = seg.globals[p.doc.index()];
-                    if self.deleted.contains(&g) {
-                        continue;
-                    }
-                    let tf = p.tf as f64;
-                    let dl = f64::from(seg.index.doc_len(p.doc));
-                    let norm = 1.0 - scorer.b + scorer.b * (dl / avgdl);
-                    let sat = tf * (scorer.k1 + 1.0) / (tf + scorer.k1 * norm);
-                    let idf = scorer.idf(n_docs, df);
-                    *acc.entry(g).or_default() += f64::from(qtf) * idf * sat;
-                }
+            let local = score_segment(scorer, &seg.index, stats, &qtf, &global_df, |d| {
+                !self.deleted.contains(&seg.globals[d.index()])
+            });
+            for (d, s) in local {
+                acc.insert(seg.globals[d.index()], s);
             }
         }
         acc

@@ -12,8 +12,8 @@
 use newslink_util::{FxHashMap, TopK};
 
 use crate::dictionary::TermId;
-use crate::inverted::{DocId, InvertedIndex, Posting};
-use crate::score::{Bm25, Scorer};
+use crate::inverted::{CollectionStats, DocId, InvertedIndex, Posting};
+use crate::score::Bm25;
 use crate::search::Hit;
 
 /// Per-query-term state for DAAT traversal.
@@ -60,6 +60,36 @@ pub fn maxscore_search<T: AsRef<str>>(
     query_terms: &[T],
     k: usize,
 ) -> Vec<Hit> {
+    let dict = index.dictionary();
+    maxscore_search_with(
+        index,
+        scorer,
+        query_terms,
+        k,
+        CollectionStats::from_index(index),
+        |term| dict.get(term).map(|t| dict.doc_freq(t)).unwrap_or(0),
+        |_| true,
+    )
+}
+
+/// MaxScore top-k over one **segment** of a larger collection.
+///
+/// `stats` and `df_of` supply the collection-wide overlay (live document
+/// count, total length, per-term live document frequency) while postings
+/// and document lengths stay segment-local; `live` filters tombstoned
+/// documents out of candidacy. With monolithic stats, dictionary
+/// doc-freqs, and an always-true filter this reduces to
+/// [`maxscore_search`], and scores match the exhaustive evaluator
+/// bit-for-bit because both delegate to [`Bm25::contribution_with`].
+pub fn maxscore_search_with<T: AsRef<str>>(
+    index: &InvertedIndex,
+    scorer: Bm25,
+    query_terms: &[T],
+    k: usize,
+    stats: CollectionStats,
+    df_of: impl Fn(&str) -> u32,
+    live: impl Fn(DocId) -> bool,
+) -> Vec<Hit> {
     if k == 0 {
         return Vec::new();
     }
@@ -78,11 +108,10 @@ pub fn maxscore_search<T: AsRef<str>>(
             if postings.is_empty() {
                 return None;
             }
-            let df = dict.doc_freq(term);
+            let df = df_of(dict.term(term));
             // BM25 contribution is bounded by idf · (k1+1) · qtf (the tf
             // saturation limit with the smallest possible length norm).
-            let max_contribution =
-                f64::from(qtf) * scorer.idf(index.doc_count(), df) * (scorer.k1 + 1.0);
+            let max_contribution = f64::from(qtf) * scorer.idf(stats.docs, df) * (scorer.k1 + 1.0);
             Some(TermCursor {
                 postings,
                 pos: 0,
@@ -131,13 +160,25 @@ pub fn maxscore_search<T: AsRef<str>>(
         }
         let Some(doc) = pivot else { break };
 
+        // Tombstoned documents never qualify: advance past and move on.
+        if !live(doc) {
+            for c in cursors[first_essential..].iter_mut() {
+                c.seek(doc);
+                if c.current().is_some_and(|p| p.doc == doc) {
+                    c.pos += 1;
+                }
+            }
+            continue;
+        }
+
         // Score essential terms for `doc`, advancing their cursors.
         let mut score = 0.0;
+        let doc_len = index.doc_len(doc);
         for c in cursors[first_essential..].iter_mut() {
             c.seek(doc);
             if let Some(p) = c.current() {
                 if p.doc == doc {
-                    score += scorer.contribution(index, doc, p.tf, c.df, c.qtf);
+                    score += scorer.contribution_with(stats, doc_len, p.tf, c.df, c.qtf);
                     c.pos += 1;
                 }
             }
@@ -155,7 +196,7 @@ pub fn maxscore_search<T: AsRef<str>>(
             c.seek(doc);
             if let Some(p) = c.current() {
                 if p.doc == doc {
-                    score += scorer.contribution(index, doc, p.tf, c.df, c.qtf);
+                    score += scorer.contribution_with(stats, doc_len, p.tf, c.df, c.qtf);
                 }
             }
         }
@@ -248,6 +289,52 @@ mod tests {
         let pruned = maxscore_search(&index, Bm25::default(), &["t1", "t1", "t2"], 8);
         for (a, b) in naive.iter().zip(&pruned) {
             assert_eq!(a.doc, b.doc);
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overlay_with_tombstones_matches_filtered_exhaustive() {
+        let (index, docs) = random_index(7, 200, 30);
+        // Tombstone every fifth document.
+        let dead: Vec<DocId> = (0..docs.len() as u32)
+            .filter(|d| d % 5 == 0)
+            .map(DocId)
+            .collect();
+        let is_live = |d: DocId| !dead.contains(&d);
+        // Overlay stats over live docs only.
+        let mut stats = CollectionStats::default();
+        for d in 0..docs.len() as u32 {
+            if is_live(DocId(d)) {
+                stats.add_doc(index.doc_len(DocId(d)));
+            }
+        }
+        let df_of = |term: &str| {
+            index
+                .postings_for(term)
+                .iter()
+                .filter(|p| is_live(p.doc))
+                .count() as u32
+        };
+        let query = ["t0", "t1", "t2"];
+        let pruned = maxscore_search_with(&index, Bm25::default(), &query, 10, stats, df_of, is_live);
+        assert!(!pruned.is_empty());
+        assert!(pruned.iter().all(|h| is_live(h.doc)));
+
+        // Reference: rebuild an index from live docs only and search it.
+        let mut b = IndexBuilder::new();
+        let mut live_ids = Vec::new();
+        for (i, terms) in docs.iter().enumerate() {
+            if is_live(DocId(i as u32)) {
+                live_ids.push(i as u32);
+                b.add_document(terms);
+            }
+        }
+        let fresh = b.build();
+        let want = Searcher::new(&fresh, Bm25::default()).search(&query, 10);
+        assert_eq!(pruned.len(), want.len());
+        for (a, b) in pruned.iter().zip(&want) {
+            assert_eq!(a.doc, DocId(live_ids[b.doc.index()]));
             assert!((a.score - b.score).abs() < 1e-9);
         }
     }

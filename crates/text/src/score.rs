@@ -49,18 +49,43 @@ impl Bm25 {
         let df = df as f64;
         (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
     }
-}
 
-impl Scorer for Bm25 {
-    fn contribution(&self, index: &InvertedIndex, doc: DocId, tf: u32, df: u32, qtf: u32) -> f64 {
+    /// BM25 contribution against explicit collection statistics.
+    ///
+    /// `stats` and `df` describe the whole collection while `doc_len` is the
+    /// document's own token length, so a segmented index can score each
+    /// segment locally under a global-stats overlay. The float operations
+    /// here are the single source of truth — the [`Scorer`] impl delegates —
+    /// which is what guarantees segmented scores are bit-identical to the
+    /// monolithic path.
+    pub fn contribution_with(
+        &self,
+        stats: crate::inverted::CollectionStats,
+        doc_len: u32,
+        tf: u32,
+        df: u32,
+        qtf: u32,
+    ) -> f64 {
         if tf == 0 {
             return 0.0;
         }
         let tf = tf as f64;
-        let avg = index.avg_doc_len().max(1e-9);
-        let norm = 1.0 - self.b + self.b * (index.doc_len(doc) as f64 / avg);
+        let avg = stats.avg_doc_len().max(1e-9);
+        let norm = 1.0 - self.b + self.b * (doc_len as f64 / avg);
         let sat = tf * (self.k1 + 1.0) / (tf + self.k1 * norm);
-        qtf as f64 * self.idf(index.doc_count(), df) * sat
+        qtf as f64 * self.idf(stats.docs, df) * sat
+    }
+}
+
+impl Scorer for Bm25 {
+    fn contribution(&self, index: &InvertedIndex, doc: DocId, tf: u32, df: u32, qtf: u32) -> f64 {
+        self.contribution_with(
+            crate::inverted::CollectionStats::from_index(index),
+            index.doc_len(doc),
+            tf,
+            df,
+            qtf,
+        )
     }
 }
 
@@ -181,6 +206,21 @@ mod tests {
         let short = s.contribution(&idx, DocId(0), 1, 2, 1);
         let long = s.contribution(&idx, DocId(1), 1, 2, 1);
         assert!(short > long);
+    }
+
+    #[test]
+    fn contribution_with_is_bit_identical_to_index_path() {
+        let idx = sample();
+        let stats = crate::inverted::CollectionStats::from_index(&idx);
+        let s = Bm25::default();
+        for doc in 0..3u32 {
+            let doc = DocId(doc);
+            for (tf, df, qtf) in [(1, 1, 1), (2, 2, 1), (3, 1, 2), (0, 1, 1)] {
+                let a = s.contribution(&idx, doc, tf, df, qtf);
+                let b = s.contribution_with(stats, idx.doc_len(doc), tf, df, qtf);
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

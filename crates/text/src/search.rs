@@ -2,8 +2,8 @@
 
 use newslink_util::{FxHashMap, TopK};
 
-use crate::inverted::{DocId, InvertedIndex};
-use crate::score::Scorer;
+use crate::inverted::{CollectionStats, DocId, InvertedIndex};
+use crate::score::{Bm25, Scorer};
 
 /// A ranked result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -12,6 +12,60 @@ pub struct Hit {
     pub doc: DocId,
     /// Its score under the searcher's scorer.
     pub score: f64,
+}
+
+/// Query-side term frequencies.
+///
+/// Build this **once** per query and reuse it for every segment: `FxHash`
+/// is deterministic, so the same insertion sequence yields the same map
+/// layout and therefore the same iteration order. Since each document
+/// lives in exactly one segment, scoring every segment with one shared
+/// `qtf` replays the exact per-document accumulation sequence of the
+/// monolithic path — bit-identical sums.
+pub fn query_tf<T: AsRef<str>>(query_terms: &[T]) -> FxHashMap<&str, u32> {
+    let mut qtf: FxHashMap<&str, u32> = FxHashMap::default();
+    for t in query_terms {
+        *qtf.entry(t.as_ref()).or_default() += 1;
+    }
+    qtf
+}
+
+/// BM25-score every live document of one segment under a global-stats
+/// overlay.
+///
+/// `stats` carries the collection-wide document count and total length,
+/// `global_df` the collection-wide document frequency of each query term
+/// (live documents only), and `live` decides whether a segment-local doc
+/// still counts (tombstone filter). The returned map is keyed by
+/// segment-local [`DocId`]; the caller translates to global ids.
+///
+/// On a single segment with `stats = CollectionStats::from_index`,
+/// `global_df` = dictionary doc-freqs and `live = |_| true`, this is
+/// bit-identical to `Searcher::new(segment, scorer).score_all(query)`.
+pub fn score_segment(
+    scorer: Bm25,
+    segment: &InvertedIndex,
+    stats: CollectionStats,
+    qtf: &FxHashMap<&str, u32>,
+    global_df: &FxHashMap<&str, u32>,
+    mut live: impl FnMut(DocId) -> bool,
+) -> FxHashMap<DocId, f64> {
+    let dict = segment.dictionary();
+    let mut acc: FxHashMap<DocId, f64> = FxHashMap::default();
+    for (term, &qtf) in qtf {
+        let Some(id) = dict.get(term) else { continue };
+        let df = global_df.get(term).copied().unwrap_or(0);
+        for p in segment.postings(id) {
+            if !live(p.doc) {
+                continue;
+            }
+            let c = scorer.contribution_with(stats, segment.doc_len(p.doc), p.tf, df, qtf);
+            if c != 0.0 {
+                *acc.entry(p.doc).or_default() += c;
+            }
+        }
+    }
+    acc
 }
 
 /// Executes queries against one [`InvertedIndex`] with one [`Scorer`].
@@ -36,11 +90,7 @@ impl<'i, S: Scorer> Searcher<'i, S> {
     /// Returns the normalized accumulator map — the building block for
     /// blended scoring (NewsLink's Equation 3 combines two of these maps).
     pub fn score_all<T: AsRef<str>>(&self, query_terms: &[T]) -> FxHashMap<DocId, f64> {
-        // Query-side term frequencies.
-        let mut qtf: FxHashMap<&str, u32> = FxHashMap::default();
-        for t in query_terms {
-            *qtf.entry(t.as_ref()).or_default() += 1;
-        }
+        let qtf = query_tf(query_terms);
         let dict = self.index.dictionary();
         let mut acc: FxHashMap<DocId, f64> = FxHashMap::default();
         for (term, &qtf) in &qtf {
@@ -62,10 +112,7 @@ impl<'i, S: Scorer> Searcher<'i, S> {
     /// Random-access scoring: the score of one specific document for a
     /// term query (the Threshold Algorithm's random-access probe).
     pub fn score_doc<T: AsRef<str>>(&self, query_terms: &[T], doc: DocId) -> f64 {
-        let mut qtf: FxHashMap<&str, u32> = FxHashMap::default();
-        for t in query_terms {
-            *qtf.entry(t.as_ref()).or_default() += 1;
-        }
+        let qtf = query_tf(query_terms);
         let dict = self.index.dictionary();
         let mut score = 0.0;
         for (term, &qtf) in &qtf {
@@ -213,6 +260,45 @@ mod tests {
             let want = all.get(&doc).copied().unwrap_or(0.0);
             assert!((got - want).abs() < 1e-12, "doc {d}");
         }
+    }
+
+    #[test]
+    fn score_segment_single_segment_is_bit_identical_to_score_all() {
+        let idx = sample();
+        let scorer = Bm25::default();
+        let query = ["taliban", "pakistan", "pakistan", "zebra"];
+        let want = Searcher::new(&idx, scorer).score_all(&query);
+
+        let qtf = query_tf(&query);
+        let stats = CollectionStats::from_index(&idx);
+        let dict = idx.dictionary();
+        let mut global_df: FxHashMap<&str, u32> = FxHashMap::default();
+        for &term in qtf.keys() {
+            let df = dict.get(term).map(|t| dict.doc_freq(t)).unwrap_or(0);
+            global_df.insert(term, df);
+        }
+        let got = score_segment(scorer, &idx, stats, &qtf, &global_df, |_| true);
+
+        assert_eq!(got.len(), want.len());
+        for (doc, score) in &want {
+            assert_eq!(got[doc].to_bits(), score.to_bits(), "doc {doc:?}");
+        }
+    }
+
+    #[test]
+    fn score_segment_tombstone_filter_drops_docs() {
+        let idx = sample();
+        let scorer = Bm25::default();
+        let query = ["pakistan"];
+        let qtf = query_tf(&query);
+        let stats = CollectionStats::from_index(&idx);
+        // df excluding tombstoned doc 1: "pakistan" appears live in 0 and 3.
+        let mut global_df: FxHashMap<&str, u32> = FxHashMap::default();
+        global_df.insert("pakistan", 2);
+        let got = score_segment(scorer, &idx, stats, &qtf, &global_df, |d| d != DocId(1));
+        assert!(!got.contains_key(&DocId(1)));
+        assert!(got.contains_key(&DocId(0)));
+        assert!(got.contains_key(&DocId(3)));
     }
 
     #[test]

@@ -12,7 +12,6 @@ use newslink::core::{NewsLink, NewsLinkConfig, SearchRequest};
 use newslink::corpus::{generate_corpus, CorpusConfig, CorpusFlavor, Split};
 use newslink::kg::{synth, GraphStats, LabelIndex, SynthConfig};
 use newslink::nlp::analyze;
-use newslink::text::{Bm25, Searcher};
 
 fn main() {
     let n_docs: usize = std::env::args()
@@ -57,11 +56,10 @@ fn main() {
         if response.results.iter().any(|r| r.doc.index() == doc) {
             newslink_hits += 1;
         }
-        let bm25 = Searcher::new(&index.bow, Bm25::default());
-        if bm25
-            .search(&analyze(query), 5)
+        if index
+            .bow_topk(&analyze(query), 5)
             .iter()
-            .any(|h| h.doc.index() == doc)
+            .any(|(hit, _)| hit.index() == doc)
         {
             bm25_hits += 1;
         }

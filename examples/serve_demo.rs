@@ -20,8 +20,8 @@ fn main() {
         format!("A festival in {city} drew visitors from across {country}."),
         "Unrelated filler text with no entity names at all.".to_string(),
     ];
-    let index = engine.index_corpus(&docs);
-    println!("indexed {} docs", index.doc_count());
+    let index = parking_lot::RwLock::new(engine.index_corpus(&docs));
+    println!("indexed {} docs", index.read().doc_count());
 
     // 2. Bind an ephemeral port and serve from a background thread. The
     // engine borrows the graph, so the server runs inside a scope.
@@ -59,19 +59,33 @@ fn main() {
         let responses = v["responses"].as_array().map(<[_]>::len).unwrap_or(0);
         println!("POST /search/batch -> {status} ({responses} responses)");
 
-        // 5. Health and metrics.
+        // 5. Live mutation: insert a document, then tombstone it.
+        let body = format!(r#"{{"text": "Breaking update from {city} in {country}."}}"#);
+        let (status, text) = client::request(addr, "POST", "/docs", &body).expect("insert");
+        let v: serde::Value = serde_json::from_str(&text).expect("insert JSON");
+        let id = v["id"].as_i64().unwrap_or(-1);
+        println!("POST /docs -> {status} (doc {id}, {} segments)", v["index"]["segments"]);
+        let (status, _) =
+            client::request(addr, "DELETE", &format!("/docs/{id}"), "").expect("delete");
+        println!("DELETE /docs/{id} -> {status}");
+
+        // 6. Health and metrics.
         let (status, _) = client::request(addr, "GET", "/healthz", "").expect("healthz");
         println!("GET /healthz -> {status}");
         let (status, text) = client::request(addr, "GET", "/metrics", "").expect("metrics");
         let v: serde::Value = serde_json::from_str(&text).expect("metrics JSON");
         println!(
-            "GET /metrics -> {status}: {} requests, p50 {}µs, query-cache hits {}",
+            "GET /metrics -> {status}: {} requests, p50 {}µs, query-cache hits {}, \
+             {} segments / {} tombstones / {} compactions",
             v["requests_total"],
             v["latency_us"]["p50"],
             v["cache"]["queries"]["hits"],
+            v["index"]["segments"],
+            v["index"]["tombstones"],
+            v["index"]["compactions"],
         );
 
-        // 6. Graceful shutdown: in-flight requests drain, the pool joins.
+        // 7. Graceful shutdown: in-flight requests drain, the pool joins.
         handle.shutdown();
     });
     println!("\nserver drained and stopped");

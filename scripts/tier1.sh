@@ -7,7 +7,12 @@ cargo build --release --workspace
 # Examples and bench targets (harness = false) are not exercised by
 # `cargo test`; compile them so drift is caught here.
 cargo build --release --workspace --examples --benches
+# Lint gate: the workspace (and its vendored shims) must be clippy-clean.
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 # The serving layer's e2e suite is the HTTP smoke gate: real TCP,
 # load-shed, deadline and graceful-drain coverage.
 cargo test -q -p newslink-serve --test http_e2e
+# Segment-parity property suite: sharded/compacted/tombstoned layouts
+# must rank bit-identically to the monolithic index.
+cargo test -q -p newslink-core --test segment_prop

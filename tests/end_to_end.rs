@@ -97,7 +97,9 @@ fn tree_and_lcag_models_agree_on_doc_alignment() {
         );
         let index = engine.index_corpus(&texts);
         assert_eq!(index.doc_count(), texts.len());
-        assert_eq!(index.bow.doc_count(), index.bon.doc_count());
+        for seg in index.segments() {
+            assert_eq!(seg.bow().doc_count(), seg.bon().doc_count());
+        }
     }
 }
 

@@ -49,7 +49,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_can_borrow() {
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let total: i32 = crate::thread::scope(|s| {
             let handles: Vec<_> = data
                 .chunks(2)

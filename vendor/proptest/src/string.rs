@@ -239,7 +239,7 @@ mod tests {
             let s = generate_matching("\\PC{0,40}", &mut r);
             assert!(s.chars().count() <= 40);
             assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
-            saw_multibyte |= s.bytes().len() > s.chars().count();
+            saw_multibyte |= s.len() > s.chars().count();
         }
         assert!(saw_multibyte, "printable pool never produced multi-byte");
     }

@@ -48,6 +48,7 @@ impl TestRng {
     }
 
     /// Next 64 random bits (splitmix64).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
