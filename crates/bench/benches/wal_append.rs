@@ -1,0 +1,96 @@
+//! WAL fsync overhead benchmark.
+//!
+//! Measures live-mutation throughput with durability off (in-memory
+//! insert only) versus on (insert + WAL append, fsynced before the
+//! acknowledgement — the serve crate's discipline). The embedding cache
+//! is pre-warmed with a throwaway pass so both runs are embed-warm and
+//! the delta isolates the durability cost: one `write_all` + one
+//! `fdatasync` per acknowledged mutation. A final checkpoint is timed
+//! too, since that is what folds the log away in production.
+//!
+//! Run with `cargo bench --bench wal_append`.
+
+use std::time::{Duration, Instant};
+
+use newslink_core::{DurableStore, NewsLink, NewsLinkConfig};
+use newslink_kg::{synth, LabelIndex, SynthConfig};
+
+const MUTATIONS: usize = 200;
+
+fn per_op(total: Duration) -> String {
+    let us = total.as_secs_f64() * 1e6 / MUTATIONS as f64;
+    let rate = MUTATIONS as f64 / total.as_secs_f64();
+    format!("{us:>9.1} µs/op {rate:>10.0} ops/s")
+}
+
+fn main() {
+    let world = synth::generate(&SynthConfig::small(42));
+    let labels = LabelIndex::build(&world.graph);
+    let engine = NewsLink::new(
+        &world.graph,
+        &labels,
+        NewsLinkConfig::default().with_segment_docs(1).with_max_segments(8),
+    );
+    let pool: Vec<_> = world
+        .countries
+        .iter()
+        .chain(&world.cities)
+        .chain(&world.organizations)
+        .copied()
+        .collect();
+    let texts: Vec<String> = (0..MUTATIONS)
+        .map(|i| {
+            let a = world.graph.label(pool[i % pool.len()]);
+            let b = world.graph.label(pool[(i * 5 + 1) % pool.len()]);
+            format!("Late update {i}: {a} responded after talks in {b} stalled.")
+        })
+        .collect();
+
+    // Warm the embedding cache so neither measured run pays NLP/NE.
+    let mut warm = engine.index_corpus(&[] as &[String]);
+    for text in &texts {
+        engine.insert_document(&mut warm, text);
+    }
+
+    println!("wal_append: {MUTATIONS} inserts, one sealed segment each (compaction at 8)\n");
+
+    // Durability off: the insert is acknowledged from memory.
+    let mut index = engine.index_corpus(&[] as &[String]);
+    let t = Instant::now();
+    for text in &texts {
+        engine.insert_document(&mut index, text);
+    }
+    let off = t.elapsed();
+    println!("{:<26} {}", "wal off (in-memory)", per_op(off));
+
+    // Durability on: every insert is appended + fsynced before the ack.
+    let dir = std::env::temp_dir().join(format!("newslink_wal_bench_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (mut store, mut index) =
+        DurableStore::open(&engine, &dir, || engine.index_corpus(&[] as &[String]))
+            .expect("open store");
+    let t = Instant::now();
+    for text in &texts {
+        let id = engine.insert_document(&mut index, text);
+        store.log_insert(id, text).expect("wal append");
+    }
+    let on = t.elapsed();
+    let wal_bytes = store.wal_len();
+    println!("{:<26} {}", "wal on (append+fsync)", per_op(on));
+
+    let t = Instant::now();
+    store.checkpoint(&index, &world.graph).expect("checkpoint");
+    let ckpt = t.elapsed();
+
+    println!(
+        "\nfsync overhead: {:.2}x per acknowledged insert ({:.1} µs added)",
+        on.as_secs_f64() / off.as_secs_f64(),
+        (on.as_secs_f64() - off.as_secs_f64()) * 1e6 / MUTATIONS as f64,
+    );
+    println!(
+        "wal grew to {wal_bytes} bytes; checkpoint (snapshot + wal reset) took {:.2} ms",
+        ckpt.as_secs_f64() * 1e3
+    );
+    assert_eq!(index.doc_count(), MUTATIONS);
+    std::fs::remove_dir_all(&dir).ok();
+}

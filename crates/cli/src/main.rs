@@ -6,7 +6,8 @@
 //! newslink build-index     --world kg.tsv --corpus corpus.txt --beta B --out index.nlnk
 //! newslink search          --world kg.tsv --corpus corpus.txt --index index.nlnk \
 //!                          --query "..." --k 10 --explain true
-//! newslink serve           --world kg.tsv --corpus corpus.txt --addr 127.0.0.1:8080
+//! newslink serve           --world kg.tsv --corpus corpus.txt --addr 127.0.0.1:8080 \
+//!                          [--data-dir DIR]
 //! newslink stats           --world kg.tsv
 //! ```
 //!
@@ -74,6 +75,7 @@ commands:
   search          --world kg.tsv --corpus corpus.txt --index index.nlnk --query Q --k N --explain true|false
   serve           --world kg.tsv --corpus corpus.txt [--index index.nlnk] [--addr 127.0.0.1:8080]
                   [--workers N] [--queue-depth N] [--timeout-ms N] [--beta B] [--segment-docs N]
+                  [--data-dir DIR]   durable mode: WAL + snapshots under DIR, POST /admin/snapshot to checkpoint
   stats           --world kg.tsv
 ";
 
@@ -260,7 +262,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         args,
         &[
             "world", "corpus", "index", "addr", "workers", "queue-depth", "timeout-ms", "beta",
-            "segment-docs",
+            "segment-docs", "data-dir",
         ],
     )?;
     let graph = load_world(args)?;
@@ -275,14 +277,73 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         .with_auto_threads()
         .with_segment_docs(segment_docs);
     let engine = NewsLink::new(&graph, &labels, config);
-    let index = parking_lot::RwLock::new(match args.get("index") {
-        Some(path) => load_newslink_index(&graph, Path::new(path))
-            .map_err(|e| format!("loading index {path}: {e}"))?,
-        None => {
-            println!("indexing {} documents …", texts.len());
-            engine.index_corpus(&texts)
+
+    // With --data-dir, the directory's snapshot + WAL are the authority:
+    // the corpus (or --index) only seeds a first-ever start. Without it,
+    // the index is in-memory only and mutations die with the process.
+    let durable = match args.get("data-dir") {
+        Some(dir) => {
+            // The seed only runs on a first-ever start (no snapshot yet);
+            // load --index eagerly in that case so a bad file is a clean
+            // error instead of a panic inside the seed closure.
+            let dir_path = Path::new(dir);
+            let snapshot_exists = dir_path.join("index.nlnk").exists();
+            let preloaded = match args.get("index") {
+                Some(path) if !snapshot_exists => Some(
+                    load_newslink_index(&graph, Path::new(path))
+                        .map_err(|e| format!("loading index {path}: {e}"))?,
+                ),
+                _ => None,
+            };
+            // `move` takes `preloaded` by value; the engine and corpus
+            // are needed after the closure, so capture them by reference.
+            let (engine_ref, texts_ref) = (&engine, &texts);
+            let seed = move || {
+                preloaded.unwrap_or_else(|| {
+                    println!("indexing {} documents …", texts_ref.len());
+                    engine_ref.index_corpus(texts_ref)
+                })
+            };
+            let (store, index) = newslink_core::DurableStore::open(&engine, dir_path, seed)
+                .map_err(|e| format!("opening data dir {dir}: {e}"))?;
+            let report = store.report();
+            if report.degraded() {
+                eprintln!(
+                    "warning: degraded recovery — {} segment(s) quarantined, {} tombstone(s) dropped; serving the {} surviving segment(s)",
+                    report.quarantined_segments,
+                    report.dropped_tombstones,
+                    report.segments_loaded,
+                );
+            }
+            if report.wal_records_replayed + report.wal_records_skipped > 0
+                || report.wal_truncated_bytes > 0
+            {
+                println!(
+                    "recovered from {dir}: {} WAL record(s) replayed, {} skipped, {} torn byte(s) truncated",
+                    report.wal_records_replayed,
+                    report.wal_records_skipped,
+                    report.wal_truncated_bytes,
+                );
+            }
+            Some((newslink_serve::DurableState::new(store), index))
         }
-    });
+        None => None,
+    };
+    let (durable, index) = match durable {
+        Some((state, index)) => (Some(state), index),
+        None => (
+            None,
+            match args.get("index") {
+                Some(path) => load_newslink_index(&graph, Path::new(path))
+                    .map_err(|e| format!("loading index {path}: {e}"))?,
+                None => {
+                    println!("indexing {} documents …", texts.len());
+                    engine.index_corpus(&texts)
+                }
+            },
+        ),
+    };
+    let index = parking_lot::RwLock::new(index);
 
     let workers: usize = args.get_parsed("workers", 4)?;
     let queue_depth: usize = args.get_parsed("queue-depth", 64)?;
@@ -296,14 +357,15 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
     let server = Server::bind(addr, serve_config).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "serving {} docs on http://{} ({} workers, capacity {}) — POST /search, POST /search/batch, POST /docs, DELETE /docs/<id>, GET /healthz, GET /metrics; Ctrl-C to stop",
+        "serving {} docs on http://{} ({} workers, capacity {}{}) — POST /search, POST /search/batch, POST /docs, DELETE /docs/<id>, POST /admin/snapshot, GET /healthz, GET /metrics; Ctrl-C to stop",
         index.read().doc_count(),
         server.local_addr(),
         server.config().workers,
         server.config().capacity(),
+        if durable.is_some() { ", durable" } else { "" },
     );
     server
-        .run(&engine, &index)
+        .run_durable(&engine, &index, durable.as_ref())
         .map_err(|e| format!("serving on {addr}: {e}"))
 }
 

@@ -23,7 +23,9 @@ pub mod pipeline;
 pub mod score_explain;
 pub mod searcher;
 pub mod segment;
+pub mod store;
 pub mod ta;
+pub mod wal;
 
 pub use alerts::{AlertMatch, AlertRegistry};
 pub use api::{
@@ -38,10 +40,13 @@ pub use score_explain::{explain_score, ScoreExplanation, SideExplanation, TermCo
 pub use searcher::{explain, search, search_batch, QueryOutcome, SearchResult};
 pub use segment::{IndexSegment, IndexStats};
 pub use persist::{
-    load_newslink_index, read_newslink_index, save_newslink_index, write_newslink_index,
+    atomic_write_file, load_newslink_index, load_newslink_index_tolerant, read_newslink_index,
+    read_newslink_index_tolerant, save_newslink_index, write_newslink_index, LoadReport,
     PersistError,
 };
+pub use store::DurableStore;
 pub use ta::{threshold_algorithm, TaOutcome};
+pub use wal::{Wal, WalRecord};
 
 /// Document ids are minted by the index; re-exported so downstream
 /// crates (serve, cli) can name them without depending on the text crate.

@@ -3,13 +3,30 @@
 //!
 //! Corpus embedding dominates indexing cost (Figure 7), so a production
 //! deployment builds once and serves many sessions. The format is a
-//! versioned *manifest* over per-segment snapshots: a header with a graph
-//! fingerprint (node and edge counts — embeddings reference node ids, so
-//! loading against a different graph build is rejected), the id
-//! allocator and tombstone set, then each immutable segment (global ids,
-//! BOW index, BON index, doc store) in order. Failures surface as typed
-//! [`PersistError`]s — a corrupt or truncated file, a version mismatch
-//! and a foreign graph are distinguishable without string matching.
+//! versioned manifest of *checksummed frames*: after the magic and
+//! version bytes, every structural unit — one header, then one frame per
+//! immutable segment — is written as `[length varint][body][CRC-32]`.
+//! The header carries a graph fingerprint (node and edge counts —
+//! embeddings reference node ids, so loading against a different graph
+//! build is rejected), the id allocator, lifecycle counters and the
+//! tombstone set; each segment frame holds the segment's global ids, BOW
+//! index, BON index and embedded doc store.
+//!
+//! Framing buys two properties v2 lacked:
+//!
+//! - **Detection**: a bit flip anywhere in a frame fails its CRC instead
+//!   of deserializing into silently wrong postings.
+//! - **Isolation**: a corrupt segment frame can be *skipped* — its length
+//!   prefix says where the next frame starts — so
+//!   [`read_newslink_index_tolerant`] quarantines damaged segments and
+//!   loads the rest, reporting what was lost in a [`LoadReport`].
+//!
+//! [`save_newslink_index`] is crash-atomic: it writes `<path>.tmp`,
+//! fsyncs the file, renames it over `path` and fsyncs the parent
+//! directory, so a crash mid-save leaves the previous snapshot intact.
+//! Failures surface as typed [`PersistError`]s — a corrupt or truncated
+//! file, a checksum mismatch, a version mismatch and a foreign graph are
+//! distinguishable without string matching.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -19,15 +36,20 @@ use newslink_embed::codec as embed_codec;
 use newslink_kg::KnowledgeGraph;
 use newslink_nlp::MatchStats;
 use newslink_text::{read_index, write_index};
-use newslink_util::{varint, ComponentTimer, FxHashSet};
+use newslink_util::{crc32, varint, ComponentTimer, FxHashSet};
 
 use crate::indexer::NewsLinkIndex;
 use crate::segment::IndexSegment;
 
 const MAGIC: &[u8; 4] = b"NLNK";
-/// Version 2 introduced the segmented manifest (v1 stored one monolithic
-/// BOW/BON pair and cannot represent tombstones or id gaps).
-const VERSION: u8 = 2;
+/// Version 2 introduced the segmented manifest; version 3 wraps the
+/// header and every segment in length-prefixed CRC-32 frames so
+/// corruption is detected and containable.
+const VERSION: u8 = 3;
+
+/// No frame in a real index approaches this; a longer length prefix
+/// means the prefix itself is corrupt.
+const MAX_FRAME_BYTES: u64 = 1 << 32;
 
 /// Why a snapshot could not be written or read back.
 #[derive(Debug)]
@@ -49,6 +71,16 @@ pub enum PersistError {
         graph_nodes: usize,
         /// Edge count of the graph given to the loader.
         graph_edges: usize,
+    },
+    /// A frame's stored CRC-32 does not match its bytes: the file was
+    /// corrupted at rest or in transit.
+    ChecksumMismatch {
+        /// Which frame failed ("header" or "segment N").
+        what: String,
+        /// The checksum recorded in the file.
+        stored: u32,
+        /// The checksum of the bytes actually read.
+        computed: u32,
     },
     /// The manifest decoded but violates a structural invariant.
     Corrupt(String),
@@ -72,6 +104,14 @@ impl fmt::Display for PersistError {
                 "index was built against a different graph \
                  ({file_nodes} nodes / {file_edges} edges vs {graph_nodes} / {graph_edges})"
             ),
+            Self::ChecksumMismatch {
+                what,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {what}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
             Self::Corrupt(msg) => write!(f, "corrupt index manifest: {msg}"),
         }
     }
@@ -92,7 +132,39 @@ impl From<io::Error> for PersistError {
     }
 }
 
-/// Serialize a built index (header + per-segment snapshots).
+/// What a tolerant load salvaged and what it had to give up, plus the
+/// write-ahead-log replay counters filled in by
+/// [`DurableStore::open`](crate::store::DurableStore::open).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Segments that decoded and validated.
+    pub segments_loaded: usize,
+    /// Segments dropped because their frame failed its checksum, was
+    /// truncated, or violated a structural invariant. Their documents
+    /// are gone until the corpus is re-indexed; the id allocator still
+    /// accounts for them, so fresh inserts never reuse their ids.
+    pub quarantined_segments: usize,
+    /// Tombstones referencing documents that no longer resolve (their
+    /// segment was quarantined).
+    pub dropped_tombstones: usize,
+    /// WAL records re-applied over the snapshot on open.
+    pub wal_records_replayed: usize,
+    /// WAL records skipped during replay because the snapshot already
+    /// reflected them (replay is idempotent).
+    pub wal_records_skipped: usize,
+    /// Bytes discarded from the WAL tail: a torn final append.
+    pub wal_truncated_bytes: u64,
+}
+
+impl LoadReport {
+    /// True when data was lost: the store is serving a subset of the
+    /// corpus and operators should re-index.
+    pub fn degraded(&self) -> bool {
+        self.quarantined_segments > 0
+    }
+}
+
+/// Serialize a built index (header frame + one frame per segment).
 pub fn write_newslink_index<W: Write>(
     index: &NewsLinkIndex,
     graph: &KnowledgeGraph,
@@ -100,44 +172,215 @@ pub fn write_newslink_index<W: Write>(
 ) -> Result<(), PersistError> {
     out.write_all(MAGIC)?;
     out.write_all(&[VERSION])?;
+
+    let mut body = Vec::new();
     // Graph fingerprint.
-    varint::write_u64(out, graph.node_count() as u64)?;
-    varint::write_u64(out, graph.edge_count() as u64)?;
+    varint::write_u64(&mut body, graph.node_count() as u64)?;
+    varint::write_u64(&mut body, graph.edge_count() as u64)?;
     // Id allocator + lifecycle counters.
-    varint::write_u64(out, u64::from(index.next_id))?;
-    varint::write_u64(out, index.compactions)?;
-    varint::write_u64(out, index.match_stats.identified as u64)?;
-    varint::write_u64(out, index.match_stats.matched as u64)?;
-    varint::write_u64(out, index.embedded_docs as u64)?;
+    varint::write_u64(&mut body, u64::from(index.next_id))?;
+    varint::write_u64(&mut body, index.compactions)?;
+    varint::write_u64(&mut body, index.match_stats.identified as u64)?;
+    varint::write_u64(&mut body, index.match_stats.matched as u64)?;
+    varint::write_u64(&mut body, index.embedded_docs as u64)?;
     // Tombstones, sorted for determinism.
     let mut tombstones: Vec<u32> = index.tombstones.iter().copied().collect();
     tombstones.sort_unstable();
-    varint::write_u64(out, tombstones.len() as u64)?;
+    varint::write_u64(&mut body, tombstones.len() as u64)?;
     for t in tombstones {
-        varint::write_u64(out, u64::from(t))?;
+        varint::write_u64(&mut body, u64::from(t))?;
     }
-    // Segment manifest.
-    varint::write_u64(out, index.segments.len() as u64)?;
+    varint::write_u64(&mut body, index.segments.len() as u64)?;
+    write_frame(out, &body)?;
+
     for seg in &index.segments {
-        varint::write_u64(out, seg.len() as u64)?;
+        body.clear();
+        varint::write_u64(&mut body, seg.len() as u64)?;
         for &g in seg.globals() {
-            varint::write_u64(out, u64::from(g))?;
+            varint::write_u64(&mut body, u64::from(g))?;
         }
-        write_index(seg.bow(), out)?;
-        write_index(seg.bon(), out)?;
+        write_index(seg.bow(), &mut body)?;
+        write_index(seg.bon(), &mut body)?;
         for e in seg.embeddings() {
-            embed_codec::write_embedding(e, out)?;
+            embed_codec::write_embedding(e, &mut body)?;
         }
+        write_frame(out, &body)?;
     }
     Ok(())
 }
 
+fn write_frame<W: Write>(out: &mut W, body: &[u8]) -> io::Result<()> {
+    varint::write_u64(out, body.len() as u64)?;
+    out.write_all(body)?;
+    out.write_all(&crc32(body).to_le_bytes())
+}
+
+/// Read one `[len][body][crc]` frame, verifying the checksum.
+fn read_frame<R: Read>(input: &mut R, what: &str) -> Result<Vec<u8>, PersistError> {
+    let len = varint::read_u64(input)?;
+    if len > MAX_FRAME_BYTES {
+        return Err(PersistError::Corrupt(format!(
+            "{what} frame length {len} is implausible"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    input.read_exact(&mut body)?;
+    let mut stored = [0u8; 4];
+    input.read_exact(&mut stored)?;
+    let stored = u32::from_le_bytes(stored);
+    let computed = crc32(&body);
+    if stored != computed {
+        return Err(PersistError::ChecksumMismatch {
+            what: what.to_string(),
+            stored,
+            computed,
+        });
+    }
+    Ok(body)
+}
+
+struct Header {
+    file_nodes: usize,
+    file_edges: usize,
+    next_id: u32,
+    compactions: u64,
+    identified: usize,
+    matched: usize,
+    embedded_docs: usize,
+    tombstones: Vec<u32>,
+    n_segments: usize,
+}
+
+/// Parse the header frame body. The frame's CRC already passed, so any
+/// failure here means the writer produced an invalid manifest: always
+/// [`PersistError::Corrupt`].
+fn parse_header(mut body: &[u8]) -> Result<Header, PersistError> {
+    let input = &mut body;
+    let oops = |e: io::Error| PersistError::Corrupt(format!("header frame underruns: {e}"));
+    let file_nodes = varint::read_u64(input).map_err(oops)? as usize;
+    let file_edges = varint::read_u64(input).map_err(oops)? as usize;
+    let next_id = read_u32(input, "next_id")?;
+    let compactions = varint::read_u64(input).map_err(oops)?;
+    let identified = varint::read_u64(input).map_err(oops)? as usize;
+    let matched = varint::read_u64(input).map_err(oops)? as usize;
+    let embedded_docs = varint::read_u64(input).map_err(oops)? as usize;
+    let n_tombstones = varint::read_u64(input).map_err(oops)? as usize;
+    let mut tombstones = Vec::with_capacity(n_tombstones.min(1 << 20));
+    for _ in 0..n_tombstones {
+        let t = read_u32(input, "tombstone id")?;
+        if t >= next_id {
+            return Err(PersistError::Corrupt(format!(
+                "tombstone id {t} beyond allocator ({next_id})"
+            )));
+        }
+        tombstones.push(t);
+    }
+    let n_segments = varint::read_u64(input).map_err(oops)? as usize;
+    if !input.is_empty() {
+        return Err(PersistError::Corrupt(format!(
+            "header frame has {} trailing bytes",
+            input.len()
+        )));
+    }
+    Ok(Header {
+        file_nodes,
+        file_edges,
+        next_id,
+        compactions,
+        identified,
+        matched,
+        embedded_docs,
+        tombstones,
+        n_segments,
+    })
+}
+
+/// Parse one segment frame body and validate its invariants against the
+/// allocator and the last global id of the previous kept segment.
+fn parse_segment(
+    mut body: &[u8],
+    si: usize,
+    next_id: u32,
+    prev_global: Option<u32>,
+) -> Result<(IndexSegment, u32), PersistError> {
+    let input = &mut body;
+    let oops = |e: io::Error| PersistError::Corrupt(format!("segment {si} frame underruns: {e}"));
+    let len = varint::read_u64(input).map_err(oops)? as usize;
+    if len == 0 {
+        return Err(PersistError::Corrupt(format!("segment {si} is empty")));
+    }
+    let mut globals = Vec::with_capacity(len.min(1 << 20));
+    let mut prev = prev_global;
+    for _ in 0..len {
+        let g = read_u32(input, "global id")?;
+        if prev.is_some_and(|p| p >= g) {
+            return Err(PersistError::Corrupt(format!(
+                "segment {si}: global ids not strictly ascending at {g}"
+            )));
+        }
+        if g >= next_id {
+            return Err(PersistError::Corrupt(format!(
+                "segment {si}: global id {g} beyond allocator ({next_id})"
+            )));
+        }
+        prev = Some(g);
+        globals.push(g);
+    }
+    let bow = read_index(input).map_err(oops)?;
+    let bon = read_index(input).map_err(oops)?;
+    if bow.doc_count() != len || bon.doc_count() != len {
+        return Err(PersistError::Corrupt(format!(
+            "segment {si}: doc counts misaligned (globals {len}, BOW {}, BON {})",
+            bow.doc_count(),
+            bon.doc_count()
+        )));
+    }
+    let mut embeddings = Vec::with_capacity(len);
+    for _ in 0..len {
+        embeddings.push(embed_codec::read_embedding(input).map_err(oops)?);
+    }
+    if !input.is_empty() {
+        return Err(PersistError::Corrupt(format!(
+            "segment {si} frame has {} trailing bytes",
+            input.len()
+        )));
+    }
+    let last = globals[globals.len() - 1];
+    Ok((IndexSegment::from_parts(bow, bon, embeddings, globals), last))
+}
+
 /// Deserialize an index, verifying it was built against `graph` and that
-/// the manifest's structural invariants hold.
+/// every frame checksum and structural invariant holds. Any damage —
+/// one flipped bit anywhere — fails the whole load; use
+/// [`read_newslink_index_tolerant`] to salvage what survives.
 pub fn read_newslink_index<R: Read>(
     graph: &KnowledgeGraph,
     input: &mut R,
 ) -> Result<NewsLinkIndex, PersistError> {
+    read_with(graph, input, false).map(|(index, _)| index)
+}
+
+/// Deserialize an index in degraded mode: segment frames that fail their
+/// checksum or validation are *quarantined* (skipped) rather than fatal,
+/// and tombstones pointing into quarantined segments are dropped. The
+/// envelope — magic, version, graph fingerprint and the header frame —
+/// must still be intact; without the allocator and manifest there is
+/// nothing safe to serve.
+///
+/// The returned [`LoadReport`] says exactly what was lost;
+/// [`LoadReport::degraded`] is the "page the operator" bit.
+pub fn read_newslink_index_tolerant<R: Read>(
+    graph: &KnowledgeGraph,
+    input: &mut R,
+) -> Result<(NewsLinkIndex, LoadReport), PersistError> {
+    read_with(graph, input, true)
+}
+
+fn read_with<R: Read>(
+    graph: &KnowledgeGraph,
+    input: &mut R,
+    tolerant: bool,
+) -> Result<(NewsLinkIndex, LoadReport), PersistError> {
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -148,121 +391,137 @@ pub fn read_newslink_index<R: Read>(
     if version[0] != VERSION {
         return Err(PersistError::UnsupportedVersion(version[0]));
     }
-    let file_nodes = varint::read_u64(input)? as usize;
-    let file_edges = varint::read_u64(input)? as usize;
-    if file_nodes != graph.node_count() || file_edges != graph.edge_count() {
+    let header = parse_header(&read_frame(input, "header")?)?;
+    if header.file_nodes != graph.node_count() || header.file_edges != graph.edge_count() {
         return Err(PersistError::GraphMismatch {
-            file_nodes,
-            file_edges,
+            file_nodes: header.file_nodes,
+            file_edges: header.file_edges,
             graph_nodes: graph.node_count(),
             graph_edges: graph.edge_count(),
         });
     }
-    let next_id = read_u32(input, "next_id")?;
-    let compactions = varint::read_u64(input)?;
-    let identified = varint::read_u64(input)? as usize;
-    let matched = varint::read_u64(input)? as usize;
-    let embedded_docs = varint::read_u64(input)? as usize;
 
-    let n_tombstones = varint::read_u64(input)? as usize;
-    let mut tombstones = FxHashSet::default();
-    for _ in 0..n_tombstones {
-        let t = read_u32(input, "tombstone id")?;
-        if t >= next_id {
-            return Err(PersistError::Corrupt(format!(
-                "tombstone id {t} beyond allocator ({next_id})"
-            )));
-        }
-        tombstones.insert(t);
-    }
-
-    let n_segments = varint::read_u64(input)? as usize;
-    let mut segments = Vec::with_capacity(n_segments.min(1024));
+    let mut report = LoadReport::default();
+    let mut segments = Vec::with_capacity(header.n_segments.min(1024));
     let mut prev_global: Option<u32> = None;
-    for si in 0..n_segments {
-        let len = varint::read_u64(input)? as usize;
-        if len == 0 {
-            return Err(PersistError::Corrupt(format!("segment {si} is empty")));
-        }
-        let mut globals = Vec::with_capacity(len.min(1 << 20));
-        for _ in 0..len {
-            let g = read_u32(input, "global id")?;
-            if prev_global.is_some_and(|p| p >= g) {
-                return Err(PersistError::Corrupt(format!(
-                    "segment {si}: global ids not strictly ascending at {g}"
-                )));
+    for si in 0..header.n_segments {
+        let what = format!("segment {si}");
+        let body = match read_frame(input, &what) {
+            Ok(body) => body,
+            Err(PersistError::ChecksumMismatch { .. }) if tolerant => {
+                // The frame's extent was intact (length prefix consumed,
+                // body + CRC read) — quarantine it and keep scanning.
+                report.quarantined_segments += 1;
+                continue;
             }
-            if g >= next_id {
-                return Err(PersistError::Corrupt(format!(
-                    "segment {si}: global id {g} beyond allocator ({next_id})"
-                )));
+            Err(_) if tolerant => {
+                // Truncation or a corrupt length prefix: the rest of the
+                // file cannot be located. Everything from here on is lost.
+                report.quarantined_segments += header.n_segments - si;
+                break;
             }
-            prev_global = Some(g);
-            globals.push(g);
+            Err(e) => return Err(e),
+        };
+        match parse_segment(&body, si, header.next_id, prev_global) {
+            Ok((seg, last)) => {
+                prev_global = Some(last);
+                segments.push(seg);
+            }
+            Err(_) if tolerant => {
+                report.quarantined_segments += 1;
+            }
+            Err(e) => return Err(e),
         }
-        let bow = read_index(input)?;
-        let bon = read_index(input)?;
-        if bow.doc_count() != len || bon.doc_count() != len {
-            return Err(PersistError::Corrupt(format!(
-                "segment {si}: doc counts misaligned (globals {len}, BOW {}, BON {})",
-                bow.doc_count(),
-                bon.doc_count()
-            )));
-        }
-        let mut embeddings = Vec::with_capacity(len);
-        for _ in 0..len {
-            embeddings.push(embed_codec::read_embedding(input)?);
-        }
-        segments.push(IndexSegment::from_parts(bow, bon, embeddings, globals));
     }
+    report.segments_loaded = segments.len();
 
-    let index = NewsLinkIndex {
+    let mut index = NewsLinkIndex {
         segments,
-        tombstones,
-        next_id,
-        compactions,
+        tombstones: FxHashSet::default(),
+        next_id: header.next_id,
+        compactions: header.compactions,
         match_stats: MatchStats {
-            identified,
-            matched,
+            identified: header.identified,
+            matched: header.matched,
         },
-        embedded_docs,
+        embedded_docs: header.embedded_docs,
         timer: ComponentTimer::new(),
         cache_stats: Default::default(),
     };
-    for &t in &index.tombstones {
-        if index.locate(newslink_text::DocId(t)).is_none() {
+    for t in header.tombstones {
+        if index.locate(newslink_text::DocId(t)).is_some() {
+            index.tombstones.insert(t);
+        } else if tolerant {
+            report.dropped_tombstones += 1;
+        } else {
             return Err(PersistError::Corrupt(format!(
                 "tombstone id {t} not stored in any segment"
             )));
         }
     }
-    Ok(index)
+    Ok((index, report))
 }
 
 fn read_u32<R: Read>(input: &mut R, what: &str) -> Result<u32, PersistError> {
-    let v = varint::read_u64(input)?;
+    let v = varint::read_u64(input)
+        .map_err(|e| PersistError::Corrupt(format!("{what} underruns: {e}")))?;
     u32::try_from(v).map_err(|_| PersistError::Corrupt(format!("{what} {v} overflows u32")))
 }
 
-/// Save to a file.
+/// Write `bytes` to `path` crash-atomically: write `<path>.tmp`, fsync
+/// it, rename over `path`, fsync the parent directory. A crash at any
+/// point leaves either the old file or the new one, never a torn mix.
+pub fn atomic_write_file(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            // The rename is only durable once the directory entry is on
+            // disk. Best-effort: some filesystems refuse dir fsync.
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Save to a file, crash-atomically (see [`atomic_write_file`]).
 pub fn save_newslink_index(
     index: &NewsLinkIndex,
     graph: &KnowledgeGraph,
     path: &Path,
 ) -> Result<(), PersistError> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    write_newslink_index(index, graph, &mut f)?;
-    f.flush()?;
+    let mut bytes = Vec::new();
+    write_newslink_index(index, graph, &mut bytes)?;
+    atomic_write_file(path, &bytes)?;
     Ok(())
 }
 
-/// Load from a file.
+/// Load from a file, strictly (any damage is fatal).
 pub fn load_newslink_index(
     graph: &KnowledgeGraph,
     path: &Path,
 ) -> Result<NewsLinkIndex, PersistError> {
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
     read_newslink_index(graph, &mut f)
+}
+
+/// Load from a file in degraded mode (see
+/// [`read_newslink_index_tolerant`]).
+pub fn load_newslink_index_tolerant(
+    graph: &KnowledgeGraph,
+    path: &Path,
+) -> Result<(NewsLinkIndex, LoadReport), PersistError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_newslink_index_tolerant(graph, &mut f)
 }
 
 #[cfg(test)]
@@ -293,6 +552,30 @@ mod tests {
         "Pakistan held talks in Khyber.",
         "A story with no entities whatsoever.",
     ];
+
+    /// `(frame_start, body_start, body_end)` for every frame in `buf`
+    /// (frame 0 is the header). `body_end` is also where the CRC starts.
+    fn frame_spans(buf: &[u8]) -> Vec<(usize, usize, usize)> {
+        let mut spans = Vec::new();
+        let mut at = 5; // magic + version
+        while at < buf.len() {
+            let mut cursor = &buf[at..];
+            let len = varint::read_u64(&mut cursor).unwrap() as usize;
+            let body_start = buf.len() - cursor.len();
+            spans.push((at, body_start, body_start + len));
+            at = body_start + len + 4;
+        }
+        assert_eq!(at, buf.len(), "frames must tile the file exactly");
+        spans
+    }
+
+    /// Re-stamp the CRC of the frame whose body spans `[start, end)`
+    /// after a deliberate body edit (so the edit reaches the structural
+    /// validators instead of tripping the checksum).
+    fn restamp_crc(buf: &mut [u8], body_start: usize, body_end: usize) {
+        let crc = crc32(&buf[body_start..body_end]);
+        buf[body_end..body_end + 4].copy_from_slice(&crc.to_le_bytes());
+    }
 
     #[test]
     fn round_trip_preserves_search_behaviour() {
@@ -376,15 +659,60 @@ mod tests {
     }
 
     #[test]
+    fn truncation_mid_varint_and_mid_segment_is_io() {
+        let (g, li) = world();
+        let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        let spans = frame_spans(&buf);
+        let (seg_frame_start, seg_body_start, seg_body_end) = spans[1];
+        // The segment frame's length prefix is a multi-byte varint in
+        // this fixture; cutting one byte into it is a mid-varint tear.
+        assert!(
+            seg_body_start - seg_frame_start > 1,
+            "fixture's segment frame length must be a multi-byte varint"
+        );
+        for cut in [seg_frame_start + 1, (seg_body_start + seg_body_end) / 2] {
+            match read_newslink_index(&g, &mut &buf[..cut]) {
+                Err(PersistError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}")
+                }
+                other => panic!("cut at {cut}: expected Io(UnexpectedEof), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_flip_is_typed_and_names_the_frame() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        let spans = frame_spans(&buf);
+        assert_eq!(spans.len(), 4, "header + three single-doc segments");
+        // Flip one bit in the middle of segment 1's body.
+        let (_, body_start, body_end) = spans[2];
+        buf[(body_start + body_end) / 2] ^= 0x40;
+        match read_newslink_index(&g, &mut &buf[..]) {
+            Err(PersistError::ChecksumMismatch { what, stored, computed }) => {
+                assert_eq!(what, "segment 1");
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn version_mismatch_is_typed() {
         let (g, li) = world();
         let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
         let mut buf = Vec::new();
         write_newslink_index(&idx, &g, &mut buf).unwrap();
-        buf[4] = 1; // the pre-segmentation format version
+        buf[4] = 2; // the pre-checksum format version
         match read_newslink_index(&g, &mut &buf[..]) {
-            Err(PersistError::UnsupportedVersion(1)) => {}
-            other => panic!("expected UnsupportedVersion(1), got {other:?}"),
+            Err(PersistError::UnsupportedVersion(2)) => {}
+            other => panic!("expected UnsupportedVersion(2), got {other:?}"),
         }
         buf[0] = b'X';
         assert!(matches!(
@@ -400,13 +728,14 @@ mod tests {
         let idx = index_corpus(&g, &li, &cfg, DOCS);
         let mut buf = Vec::new();
         write_newslink_index(&idx, &g, &mut buf).unwrap();
-        // Header layout: magic(4) version(1) nodes(1) edges(1) next_id(1)
-        // compactions(1) identified(1) matched(1) embedded(1) — all small
+        // Header body layout: nodes(1) edges(1) next_id(1) … — all small
         // varints in this fixture. Zeroing next_id makes every stored
-        // global id fall beyond the allocator.
-        let next_id_at = 7;
-        assert_eq!(buf[next_id_at], 3, "fixture layout changed");
-        buf[next_id_at] = 0;
+        // global id fall beyond the allocator; the CRC is re-stamped so
+        // the edit reaches the structural validator, not the checksum.
+        let (_, body_start, body_end) = frame_spans(&buf)[0];
+        assert_eq!(buf[body_start + 2], 3, "fixture layout changed");
+        buf[body_start + 2] = 0;
+        restamp_crc(&mut buf, body_start, body_end);
         match read_newslink_index(&g, &mut &buf[..]) {
             Err(PersistError::Corrupt(msg)) => {
                 assert!(msg.contains("beyond allocator"), "{msg}")
@@ -416,15 +745,154 @@ mod tests {
     }
 
     #[test]
-    fn file_round_trip() {
+    fn tolerant_load_quarantines_checksum_failing_segment() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        let spans = frame_spans(&buf);
+        // Corrupt segment 1 (holding doc 1).
+        let (_, body_start, body_end) = spans[2];
+        buf[(body_start + body_end) / 2] ^= 0x01;
+
+        let (back, report) = read_newslink_index_tolerant(&g, &mut &buf[..]).unwrap();
+        assert!(report.degraded());
+        assert_eq!(report.quarantined_segments, 1);
+        assert_eq!(report.segments_loaded, 2);
+        assert_eq!(report.dropped_tombstones, 0);
+        assert_eq!(back.doc_count(), 2);
+        assert!(back.locate(DocId(0)).is_some());
+        assert!(back.locate(DocId(1)).is_none(), "doc 1 was quarantined");
+        assert!(back.locate(DocId(2)).is_some());
+        // The surviving docs still serve queries.
+        let out = search(&g, &li, &cfg, &back, "Taliban near Kunar", 3);
+        assert!(out.results.iter().any(|r| r.doc == DocId(0)));
+        // The allocator still accounts for the lost doc: fresh ids are new.
+        let mut back = back;
+        assert_eq!(back.reserve_id(), DocId(3));
+    }
+
+    #[test]
+    fn tolerant_load_quarantines_truncated_tail() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        let spans = frame_spans(&buf);
+        // Cut mid-way through segment 1: segments 1 and 2 are both lost.
+        let cut = (spans[2].1 + spans[2].2) / 2;
+        let (back, report) = read_newslink_index_tolerant(&g, &mut &buf[..cut]).unwrap();
+        assert_eq!(report.quarantined_segments, 2);
+        assert_eq!(report.segments_loaded, 1);
+        assert_eq!(back.doc_count(), 1);
+        assert!(back.locate(DocId(0)).is_some());
+    }
+
+    #[test]
+    fn tolerant_load_drops_tombstones_into_quarantined_segments() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let mut idx = index_corpus(&g, &li, &cfg, DOCS);
+        idx.delete(DocId(1));
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        let spans = frame_spans(&buf);
+        // Quarantine segment 1, which holds the tombstoned doc 1.
+        let (_, body_start, body_end) = spans[2];
+        buf[(body_start + body_end) / 2] ^= 0x08;
+        let (back, report) = read_newslink_index_tolerant(&g, &mut &buf[..]).unwrap();
+        assert_eq!(report.quarantined_segments, 1);
+        assert_eq!(report.dropped_tombstones, 1);
+        assert_eq!(back.tombstone_count(), 0);
+        assert_eq!(back.doc_count(), 2);
+        // Strict mode refuses the same bytes outright.
+        assert!(matches!(
+            read_newslink_index(&g, &mut &buf[..]),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tolerant_load_on_clean_bytes_reports_nothing_lost() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        let (back, report) = read_newslink_index_tolerant(&g, &mut &buf[..]).unwrap();
+        assert!(!report.degraded());
+        assert_eq!(report, LoadReport {
+            segments_loaded: 3,
+            ..LoadReport::default()
+        });
+        assert_eq!(back.doc_count(), 3);
+    }
+
+    #[test]
+    fn display_formats_every_variant() {
+        let cases: Vec<(PersistError, &str)> = vec![
+            (
+                PersistError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "early eof")),
+                "i/o error: early eof",
+            ),
+            (PersistError::BadMagic, "bad magic"),
+            (
+                PersistError::UnsupportedVersion(9),
+                "unsupported index version 9",
+            ),
+            (
+                PersistError::GraphMismatch {
+                    file_nodes: 1,
+                    file_edges: 2,
+                    graph_nodes: 3,
+                    graph_edges: 4,
+                },
+                "different graph (1 nodes / 2 edges vs 3 / 4)",
+            ),
+            (
+                PersistError::ChecksumMismatch {
+                    what: "segment 7".into(),
+                    stored: 0xDEAD_BEEF,
+                    computed: 0x0BAD_F00D,
+                },
+                "checksum mismatch in segment 7: stored 0xdeadbeef, computed 0x0badf00d",
+            ),
+            (
+                PersistError::Corrupt("segment 0 is empty".into()),
+                "corrupt index manifest: segment 0 is empty",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
+        // The source chain exposes the io error and nothing else.
+        use std::error::Error;
+        assert!(PersistError::Io(io::Error::other("x")).source().is_some());
+        assert!(PersistError::BadMagic.source().is_none());
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_overwrites() {
         let (g, li) = world();
         let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
-        let dir = std::env::temp_dir().join("newslink_persist_test");
+        let dir = std::env::temp_dir().join(format!(
+            "newslink_persist_test_{}",
+            std::process::id()
+        ));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("index.nlnk");
         save_newslink_index(&idx, &g, &path).unwrap();
         let back = load_newslink_index(&g, &path).unwrap();
         assert_eq!(back.doc_count(), 3);
-        std::fs::remove_file(&path).ok();
+        // No temp residue, and saving over an existing file works.
+        assert!(!dir.join("index.nlnk.tmp").exists());
+        save_newslink_index(&back, &g, &path).unwrap();
+        let (again, report) = load_newslink_index_tolerant(&g, &path).unwrap();
+        assert_eq!(again.doc_count(), 3);
+        assert!(!report.degraded());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

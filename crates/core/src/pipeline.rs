@@ -122,6 +122,33 @@ impl<'g> NewsLink<'g> {
         index.delete(doc)
     }
 
+    /// Re-apply one write-ahead-log record to `index` during crash
+    /// recovery. Returns `true` when the record mutated the index and
+    /// `false` when it was already reflected — replay is idempotent, so
+    /// a checkpoint that crashed between writing its snapshot and
+    /// resetting the log is harmless.
+    ///
+    /// Inserts re-embed the logged text; embedding is deterministic
+    /// given the graph and config, so the replayed index is
+    /// bit-identical to the pre-crash one. An insert whose id is below
+    /// the allocator is already in the snapshot and is skipped; one
+    /// whose id is *above* it fast-forwards the allocator first (ids in
+    /// between belonged to mutations that were never acknowledged).
+    pub fn replay_wal(&self, index: &mut NewsLinkIndex, record: &crate::wal::WalRecord) -> bool {
+        match record {
+            crate::wal::WalRecord::Insert { id, text } => {
+                if *id < index.next_id {
+                    return false;
+                }
+                index.next_id = *id;
+                let got = self.insert_document(index, text);
+                debug_assert_eq!(got.0, *id);
+                true
+            }
+            crate::wal::WalRecord::Delete { id } => index.delete(DocId(*id)),
+        }
+    }
+
     /// Blended top-k search (the *query processing* half), through the
     /// engine caches. Equivalent to
     /// `execute(index, &SearchRequest::new(query).with_k(k))` minus the

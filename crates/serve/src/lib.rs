@@ -11,8 +11,9 @@
 //! | `POST /search/batch` | `{"requests": [...]}`       | the `BatchResponse` |
 //! | `POST /docs`         | `{"text": "..."}`           | `{"id": n, "index": {...}}` — seal a one-doc segment, compact if needed |
 //! | `DELETE /docs/<id>`  | —                           | tombstone a live document |
-//! | `GET /healthz`       | —                           | `{"status":"ok"}` |
-//! | `GET /metrics`       | —                           | counters, latency histogram, cache stats, segment/tombstone/compaction gauges |
+//! | `POST /admin/snapshot` | —                         | checkpoint the durable store (snapshot + WAL reset); `400` without `--data-dir` |
+//! | `GET /healthz`       | —                           | `{"status":"ok"}`, or `{"status":"degraded",...}` after a lossy recovery |
+//! | `GET /metrics`       | —                           | counters, latency histogram, cache stats, segment/tombstone/compaction gauges, durability gauges |
 //!
 //! Production shape, in miniature:
 //!
@@ -29,6 +30,12 @@
 //! - **Graceful shutdown** — a [`ServerHandle`] trigger stops the
 //!   accept loop, drains every already-accepted request, then joins the
 //!   pool.
+//! - **Durability (opt-in)** — [`Server::run_durable`] takes a
+//!   [`DurableState`] wrapping a [`newslink_core::DurableStore`]:
+//!   mutations are write-ahead logged and fsynced before they are
+//!   acknowledged, `POST /admin/snapshot` checkpoints, and the recovery
+//!   report (quarantined segments, WAL replay counters) is surfaced on
+//!   `/healthz` and `/metrics`.
 //!
 //! ```no_run
 //! use newslink_core::{NewsLink, NewsLinkConfig};
@@ -47,12 +54,18 @@
 //!
 //! [`SearchRequest`]: newslink_core::SearchRequest
 
+// Handlers answer errors over the wire; a panic (or a lazy unwrap that
+// becomes one) turns into a blanket 500 and loses the diagnosis.
+#![warn(clippy::unwrap_used)]
+
+pub mod durable;
 pub mod metrics;
 pub mod protocol;
 pub mod router;
 pub mod server;
 
+pub use durable::DurableState;
 pub use metrics::{Route, ServerMetrics};
 pub use protocol::{client, HttpRequest};
-pub use router::parse_search_request;
+pub use router::{parse_search_request, RequestError};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -33,6 +33,8 @@ pub enum Route {
     Metrics,
     /// `POST /docs` and `DELETE /docs/<id>` (live index mutations).
     Docs,
+    /// `POST /admin/snapshot` (checkpoint the durable store).
+    Admin,
     /// Anything else (unknown paths, unparseable requests).
     Other,
 }
@@ -47,6 +49,7 @@ pub struct ServerMetrics {
     healthz: AtomicU64,
     metrics: AtomicU64,
     docs: AtomicU64,
+    admin: AtomicU64,
     ok: AtomicU64,
     bad_request: AtomicU64,
     not_found: AtomicU64,
@@ -69,6 +72,7 @@ impl ServerMetrics {
             healthz: AtomicU64::new(0),
             metrics: AtomicU64::new(0),
             docs: AtomicU64::new(0),
+            admin: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             bad_request: AtomicU64::new(0),
             not_found: AtomicU64::new(0),
@@ -91,6 +95,7 @@ impl ServerMetrics {
             Route::Healthz => Some(&self.healthz),
             Route::Metrics => Some(&self.metrics),
             Route::Docs => Some(&self.docs),
+            Route::Admin => Some(&self.admin),
             Route::Other => None,
         };
         if let Some(counter) = route_counter {
@@ -139,10 +144,18 @@ impl ServerMetrics {
 
     /// The full `/metrics` document: uptime, per-route and per-status
     /// counters, the latency histogram, the admission gauge, the
-    /// engine's cache counters, and the segmented index's gauges.
-    pub fn snapshot(&self, in_flight: usize, cache: &EngineCacheStats, index: IndexStats) -> Value {
+    /// engine's cache counters, and the segmented index's gauges. When
+    /// the server runs durably, `durability` carries the recovery
+    /// report and WAL/checkpoint gauges and lands as one more section.
+    pub fn snapshot(
+        &self,
+        in_flight: usize,
+        cache: &EngineCacheStats,
+        index: IndexStats,
+        durability: Option<Value>,
+    ) -> Value {
         let load = |c: &AtomicU64| num(c.load(Ordering::Relaxed));
-        Value::Object(vec![
+        let mut sections = vec![
             (
                 "uptime_ms".into(),
                 num(self.started.elapsed().as_millis() as u64),
@@ -156,6 +169,7 @@ impl ServerMetrics {
                     ("healthz".into(), load(&self.healthz)),
                     ("metrics".into(), load(&self.metrics)),
                     ("docs".into(), load(&self.docs)),
+                    ("admin".into(), load(&self.admin)),
                 ]),
             ),
             (
@@ -183,7 +197,11 @@ impl ServerMetrics {
                     ("compactions".into(), num(index.compactions)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(durability) = durability {
+            sections.push(("durability".into(), durability));
+        }
+        Value::Object(sections)
     }
 }
 
@@ -194,6 +212,7 @@ impl Default for ServerMetrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -222,10 +241,11 @@ mod tests {
             tombstones: 2,
             compactions: 5,
         };
-        let snap = m.snapshot(3, &EngineCacheStats::default(), index);
+        let snap = m.snapshot(3, &EngineCacheStats::default(), index, None);
         assert_eq!(snap["requests_total"], 2u64);
         assert_eq!(snap["routes"]["batch"], 1u64);
         assert_eq!(snap["routes"]["docs"], 1u64);
+        assert_eq!(snap["routes"]["admin"], 0u64);
         assert_eq!(snap["responses"]["ok"], 2u64);
         assert_eq!(snap["in_flight"], 3u64);
         assert_eq!(snap["latency_us"]["count"], 2u64);
@@ -234,8 +254,20 @@ mod tests {
         assert_eq!(snap["index"]["segments"], 3u64);
         assert_eq!(snap["index"]["tombstones"], 2u64);
         assert_eq!(snap["index"]["compactions"], 5u64);
+        // Without durability wiring, the section is absent entirely.
+        assert!(snap["durability"].is_null());
         // The document renders as valid JSON text.
         let text = serde_json::to_string(&snap).unwrap();
         assert!(text.contains("\"uptime_ms\""));
+    }
+
+    #[test]
+    fn snapshot_carries_the_durability_section_when_given_one() {
+        let m = ServerMetrics::new();
+        m.observe(Route::Admin, 200, Duration::from_micros(12));
+        let gauges = Value::Object(vec![("quarantined_segments".into(), num(1))]);
+        let snap = m.snapshot(0, &EngineCacheStats::default(), IndexStats::default(), Some(gauges));
+        assert_eq!(snap["routes"]["admin"], 1u64);
+        assert_eq!(snap["durability"]["quarantined_segments"], 1u64);
     }
 }

@@ -11,6 +11,15 @@
 //! starts counting the moment the connection is accepted, so time spent
 //! queued behind the worker pool eats into it. A request that also
 //! carries its own `timeout_ms` gets the tighter of the two.
+//!
+//! When the server runs with a data directory, `/docs` mutations are
+//! write-ahead logged before they are acknowledged: inserts apply to the
+//! in-memory index first (that mints the id), then append; a failed
+//! append rolls the insert back and answers `500`, so the client's
+//! error means "not durable, not applied". Deletes log *before*
+//! applying, so an acknowledged delete is always on disk; a logged
+//! delete of a document that turns out not to exist is a harmless no-op
+//! on replay.
 
 use std::time::Instant;
 
@@ -18,9 +27,18 @@ use newslink_core::{DocId, NewsLink, NewsLinkIndex, SearchRequest};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize, Value};
 
+use crate::durable::DurableState;
 use crate::metrics::{Route, ServerMetrics};
 use crate::protocol::HttpRequest;
 use crate::server::ServeConfig;
+
+/// Caps on request knobs, enforced at the protocol boundary so a single
+/// request cannot ask for unbounded work.
+pub const MAX_K: usize = 10_000;
+/// Longest connecting path an `explain` may request.
+pub const MAX_EXPLAIN_LEN: usize = 32;
+/// Most paths an `explain` may request per hit.
+pub const MAX_EXPLAIN_PATHS: usize = 1_000;
 
 /// Everything a worker needs to answer one request.
 pub struct RequestContext<'a, 'g> {
@@ -38,6 +56,9 @@ pub struct RequestContext<'a, 'g> {
     pub accepted: Instant,
     /// Current admission gauge, for the `/metrics` document.
     pub in_flight: usize,
+    /// Durability wiring, present when the server was started with a
+    /// data directory. Lock order: `index` first, then the store.
+    pub durable: Option<&'a DurableState>,
 }
 
 /// The routing outcome: which route matched, the status, and the body.
@@ -58,6 +79,41 @@ fn routed(route: Route, status: u16, body: String) -> Routed {
     }
 }
 
+/// Why a request could not be served. Replaces in-handler panics: a
+/// malformed request is the client's fault (`400`), an invariant that
+/// failed to hold is ours (`500`, counted under `responses.error`).
+#[derive(Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The client sent something invalid; the message names the field.
+    BadRequest(String),
+    /// The server could not uphold its own invariants.
+    Internal(String),
+}
+
+impl RequestError {
+    fn status(&self) -> u16 {
+        match self {
+            Self::BadRequest(_) => 400,
+            Self::Internal(_) => 500,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Self::BadRequest(msg) | Self::Internal(msg) => msg,
+        }
+    }
+
+    /// Render as a routed error response.
+    fn into_routed(self, route: Route) -> Routed {
+        routed(route, self.status(), error_body(self.message()))
+    }
+}
+
+fn bad(msg: impl Into<String>) -> RequestError {
+    RequestError::BadRequest(msg.into())
+}
+
 /// A JSON error body: `{"error": msg}` with proper escaping.
 pub fn error_body(msg: &str) -> String {
     Value::Object(vec![("error".into(), Value::String(msg.into()))]).to_compact_string()
@@ -66,28 +122,30 @@ pub fn error_body(msg: &str) -> String {
 /// Dispatch one parsed request to its handler.
 pub fn dispatch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => routed(
-            Route::Healthz,
-            200,
-            Value::Object(vec![("status".into(), Value::String("ok".into()))])
-                .to_compact_string(),
-        ),
+        ("GET", "/healthz") => handle_healthz(ctx),
         ("GET", "/metrics") => {
             let index_stats = ctx.index.read().stats();
-            let snap = ctx
-                .metrics
-                .snapshot(ctx.in_flight, &ctx.engine.cache_stats(), index_stats);
+            let durability = ctx.durable.map(DurableState::gauges);
+            let snap = ctx.metrics.snapshot(
+                ctx.in_flight,
+                &ctx.engine.cache_stats(),
+                index_stats,
+                durability,
+            );
             routed(Route::Metrics, 200, snap.to_compact_string())
         }
         ("POST", "/search") => handle_search(req, ctx),
         ("POST", "/search/batch") => handle_batch(req, ctx),
         ("POST", "/docs") => handle_insert(req, ctx),
+        ("POST", "/admin/snapshot") => handle_snapshot(ctx),
         ("DELETE", path) if path.strip_prefix("/docs/").is_some() => handle_delete(path, ctx),
-        (_, "/healthz" | "/metrics" | "/search" | "/search/batch" | "/docs") => routed(
-            Route::Other,
-            405,
-            error_body(&format!("method {} not allowed here", req.method)),
-        ),
+        (_, "/healthz" | "/metrics" | "/search" | "/search/batch" | "/docs" | "/admin/snapshot") => {
+            routed(
+                Route::Other,
+                405,
+                error_body(&format!("method {} not allowed here", req.method)),
+            )
+        }
         (_, path) if path.strip_prefix("/docs/").is_some() => routed(
             Route::Other,
             405,
@@ -97,13 +155,34 @@ pub fn dispatch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
     }
 }
 
+/// `GET /healthz`: `{"status":"ok"}` — unless recovery quarantined
+/// segments, in which case the server is up but serving a subset, and
+/// says so: `{"status":"degraded","quarantined_segments":n}`. Still
+/// `200`: degraded is an operator signal, not an outage.
+fn handle_healthz(ctx: &RequestContext<'_, '_>) -> Routed {
+    let mut pairs = Vec::new();
+    match ctx.durable {
+        Some(durable) if durable.degraded() => {
+            pairs.push(("status".into(), Value::String("degraded".into())));
+            pairs.push((
+                "quarantined_segments".into(),
+                Value::Number(serde::Number::from_i128(
+                    durable.report().quarantined_segments as i128,
+                )),
+            ));
+        }
+        _ => pairs.push(("status".into(), Value::String("ok".into()))),
+    }
+    routed(Route::Healthz, 200, Value::Object(pairs).to_compact_string())
+}
+
 /// `POST /search`: one [`SearchRequest`] in, one serialized
 /// `SearchResponse` out. A response whose deadline expired mid-pipeline
 /// comes back as `503` but still carries the partial timer report.
 fn handle_search(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
     let request = match parse_body(&req.body).and_then(|v| request_from_value(&v)) {
         Ok(r) => apply_deadline(r, ctx),
-        Err(msg) => return routed(Route::Search, 400, error_body(&msg)),
+        Err(e) => return e.into_routed(Route::Search),
     };
     let response = ctx.engine.execute(&ctx.index.read(), &request);
     let status = if response.timed_out { 503 } else { 200 };
@@ -116,7 +195,7 @@ fn handle_search(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
 fn handle_batch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
     let requests = match parse_batch(&req.body, ctx) {
         Ok(r) => r,
-        Err(msg) => return routed(Route::Batch, 400, error_body(&msg)),
+        Err(e) => return e.into_routed(Route::Batch),
     };
     let response = ctx.engine.execute_batch(&ctx.index.read(), &requests);
     routed(Route::Batch, 200, response.serialize_value().to_compact_string())
@@ -126,13 +205,30 @@ fn handle_batch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
 /// The new document lands in its own sealed segment; if that pushes the
 /// segment count past the engine's `max_segments`, the insert also runs
 /// compaction before the write lock is released.
+///
+/// With durability on, the insert is applied first (minting the id),
+/// then WAL-logged and fsynced while the write lock is still held. A
+/// failed append rolls the insert back (tombstone) and answers `500`:
+/// the mutation was neither acknowledged nor made durable.
 fn handle_insert(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
     let text = match parse_insert_body(&req.body) {
         Ok(t) => t,
-        Err(msg) => return routed(Route::Docs, 400, error_body(&msg)),
+        Err(e) => return e.into_routed(Route::Docs),
     };
     let mut index = ctx.index.write();
     let id = ctx.engine.insert_document(&mut index, &text);
+    if let Some(durable) = ctx.durable {
+        if let Err(e) = durable.store().log_insert(id, &text) {
+            ctx.engine.delete_document(&mut index, id);
+            drop(index);
+            return routed(
+                Route::Docs,
+                500,
+                error_body(&format!("wal append failed, insert rolled back: {e}")),
+            );
+        }
+        durable.note_append();
+    }
     let stats = index.stats();
     drop(index);
     let body = Value::Object(vec![
@@ -144,12 +240,28 @@ fn handle_insert(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
 
 /// `DELETE /docs/<id>`: tombstone a live document. Unknown or already
 /// deleted ids answer `404`; the id itself must be a decimal integer.
+///
+/// With durability on, the delete is WAL-logged *before* it is applied:
+/// if the append fails nothing changes (`500`), and once it succeeds
+/// the acknowledgement can never outrun the disk. A logged delete that
+/// then answers `404` replays as a no-op.
 fn handle_delete(path: &str, ctx: &RequestContext<'_, '_>) -> Routed {
     let raw = path.strip_prefix("/docs/").unwrap_or_default();
     let Ok(id) = raw.parse::<u32>() else {
         return routed(Route::Docs, 400, error_body(&format!("bad document id {raw:?}")));
     };
     let mut index = ctx.index.write();
+    if let Some(durable) = ctx.durable {
+        if let Err(e) = durable.store().log_delete(DocId(id)) {
+            drop(index);
+            return routed(
+                Route::Docs,
+                500,
+                error_body(&format!("wal append failed, delete not applied: {e}")),
+            );
+        }
+        durable.note_append();
+    }
     let deleted = ctx.engine.delete_document(&mut index, DocId(id));
     let stats = index.stats();
     drop(index);
@@ -161,6 +273,40 @@ fn handle_delete(path: &str, ctx: &RequestContext<'_, '_>) -> Routed {
         ("index".into(), index_stats_value(stats)),
     ]);
     routed(Route::Docs, 200, body.to_compact_string())
+}
+
+/// `POST /admin/snapshot`: checkpoint the index — write a crash-atomic
+/// snapshot under the index read lock (mutations wait, searches don't),
+/// then reset the WAL. Answers `400` when the server runs without a
+/// data directory.
+fn handle_snapshot(ctx: &RequestContext<'_, '_>) -> Routed {
+    let Some(durable) = ctx.durable else {
+        return routed(
+            Route::Admin,
+            400,
+            error_body("durability not enabled (start the server with --data-dir)"),
+        );
+    };
+    let index = ctx.index.read();
+    let mut store = durable.store();
+    match store.checkpoint(&index, ctx.engine.graph()) {
+        Ok(()) => {
+            durable.note_snapshot();
+            let num = |n: u64| Value::Number(serde::Number::from_i128(n as i128));
+            let body = Value::Object(vec![
+                ("checkpointed".into(), Value::Bool(true)),
+                ("docs".into(), num(index.doc_count() as u64)),
+                ("wal_bytes".into(), num(store.wal_len())),
+                ("snapshots".into(), num(durable.snapshots_total())),
+            ]);
+            routed(Route::Admin, 200, body.to_compact_string())
+        }
+        Err(e) => routed(
+            Route::Admin,
+            500,
+            error_body(&format!("checkpoint failed: {e}")),
+        ),
+    }
 }
 
 /// Render [`newslink_core::IndexStats`] as a JSON object (shared by the
@@ -177,47 +323,53 @@ fn index_stats_value(stats: newslink_core::IndexStats) -> Value {
 
 /// Validate a `POST /docs` body: an object whose only field is a string
 /// `"text"`.
-fn parse_insert_body(body: &str) -> Result<String, String> {
+fn parse_insert_body(body: &str) -> Result<String, RequestError> {
     let v = parse_body(body)?;
     let obj = v
         .as_object()
-        .ok_or_else(|| "insert body must be a JSON object".to_string())?;
+        .ok_or_else(|| bad("insert body must be a JSON object"))?;
     for (key, _) in obj {
         if key != "text" {
-            return Err(format!("unknown field {key:?} (expected \"text\")"));
+            return Err(bad(format!("unknown field {key:?} (expected \"text\")")));
         }
     }
     v.get("text")
         .and_then(|t| t.as_str())
         .map(str::to_string)
-        .ok_or_else(|| "missing required string field \"text\"".to_string())
+        .ok_or_else(|| bad("missing required string field \"text\""))
 }
 
-fn parse_body(body: &str) -> Result<Value, String> {
-    serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))
+fn parse_body(body: &str) -> Result<Value, RequestError> {
+    serde_json::from_str(body).map_err(|e| bad(format!("invalid JSON: {e}")))
 }
 
-fn parse_batch(body: &str, ctx: &RequestContext<'_, '_>) -> Result<Vec<SearchRequest>, String> {
+fn parse_batch(
+    body: &str,
+    ctx: &RequestContext<'_, '_>,
+) -> Result<Vec<SearchRequest>, RequestError> {
     let v = parse_body(body)?;
     let obj = v
         .as_object()
-        .ok_or_else(|| "batch body must be a JSON object".to_string())?;
+        .ok_or_else(|| bad("batch body must be a JSON object"))?;
     for (key, _) in obj {
         if key != "requests" {
-            return Err(format!("unknown field {key:?} (expected \"requests\")"));
+            return Err(bad(format!("unknown field {key:?} (expected \"requests\")")));
         }
     }
     let items = v
         .get("requests")
         .and_then(|r| r.as_array())
-        .ok_or_else(|| "missing required array field \"requests\"".to_string())?;
+        .ok_or_else(|| bad("missing required array field \"requests\""))?;
     items
         .iter()
         .enumerate()
         .map(|(i, item)| {
             request_from_value(item)
                 .map(|r| apply_deadline(r, ctx))
-                .map_err(|msg| format!("requests[{i}]: {msg}"))
+                .map_err(|e| match e {
+                    RequestError::BadRequest(msg) => bad(format!("requests[{i}]: {msg}")),
+                    internal => internal,
+                })
         })
         .collect()
 }
@@ -246,23 +398,31 @@ fn apply_deadline(mut request: SearchRequest, ctx: &RequestContext<'_, '_>) -> S
 /// are rejected. Omitted fields fall back to [`SearchRequest::new`]'s
 /// defaults by merging the user object over the serialized default
 /// request, keeping the derived serde impl as the single wire format.
-pub fn request_from_value(v: &Value) -> Result<SearchRequest, String> {
+///
+/// Numeric fields are validated here, at the protocol boundary, so the
+/// engine never sees a non-finite β or an unbounded `k`: the JSON
+/// number grammar cannot produce NaN, but it happily produces
+/// infinities (`1e999`), and those must die with a clear `400`, not a
+/// poisoned score.
+pub fn request_from_value(v: &Value) -> Result<SearchRequest, RequestError> {
     const KNOWN: [&str; 6] = ["query", "k", "beta", "explain", "use_cache", "timeout_ms"];
     let obj = v
         .as_object()
-        .ok_or_else(|| "request must be a JSON object".to_string())?;
+        .ok_or_else(|| bad("request must be a JSON object"))?;
     for (key, _) in obj {
         if !KNOWN.contains(&key.as_str()) {
-            return Err(format!("unknown field {key:?}"));
+            return Err(bad(format!("unknown field {key:?}")));
         }
     }
     let query = v
         .get("query")
         .and_then(|q| q.as_str())
-        .ok_or_else(|| "missing required string field \"query\"".to_string())?;
+        .ok_or_else(|| bad("missing required string field \"query\""))?;
     let mut merged = SearchRequest::new(query).serialize_value();
     let Value::Object(pairs) = &mut merged else {
-        unreachable!("a derived struct serializes as an object");
+        return Err(RequestError::Internal(
+            "default request did not serialize as an object".into(),
+        ));
     };
     for (key, user_value) in obj {
         if key == "query" {
@@ -277,10 +437,30 @@ pub fn request_from_value(v: &Value) -> Result<SearchRequest, String> {
             slot.1 = value;
         }
     }
-    let request = SearchRequest::deserialize_value(&merged).map_err(|e| e.to_string())?;
+    let request = SearchRequest::deserialize_value(&merged).map_err(|e| bad(e.to_string()))?;
     if let Some(beta) = request.beta {
+        if !beta.is_finite() {
+            return Err(bad(format!("beta must be a finite number, got {beta}")));
+        }
         if !(0.0..=1.0).contains(&beta) {
-            return Err(format!("beta must be in [0, 1], got {beta}"));
+            return Err(bad(format!("beta must be in [0, 1], got {beta}")));
+        }
+    }
+    if request.k > MAX_K {
+        return Err(bad(format!("k must be at most {MAX_K}, got {}", request.k)));
+    }
+    if let Some(explain) = &request.explain {
+        if explain.max_len > MAX_EXPLAIN_LEN {
+            return Err(bad(format!(
+                "explain.max_len must be at most {MAX_EXPLAIN_LEN}, got {}",
+                explain.max_len
+            )));
+        }
+        if explain.max_paths > MAX_EXPLAIN_PATHS {
+            return Err(bad(format!(
+                "explain.max_paths must be at most {MAX_EXPLAIN_PATHS}, got {}",
+                explain.max_paths
+            )));
         }
     }
     Ok(request)
@@ -288,7 +468,7 @@ pub fn request_from_value(v: &Value) -> Result<SearchRequest, String> {
 
 /// Normalize the `"explain"` field: `null`/`false` = off, `true` = on
 /// with defaults, an object = merged over the default options.
-fn explain_value(v: &Value) -> Result<Value, String> {
+fn explain_value(v: &Value) -> Result<Value, RequestError> {
     let defaults = newslink_core::ExplainOptions::default();
     match v {
         Value::Null | Value::Bool(false) => Ok(Value::Null),
@@ -296,27 +476,32 @@ fn explain_value(v: &Value) -> Result<Value, String> {
         Value::Object(pairs) => {
             let mut merged = defaults.serialize_value();
             let Value::Object(slots) = &mut merged else {
-                unreachable!("ExplainOptions serializes as an object");
+                return Err(RequestError::Internal(
+                    "ExplainOptions did not serialize as an object".into(),
+                ));
             };
             for (key, value) in pairs {
                 let Some(slot) = slots.iter_mut().find(|(k, _)| k == key) else {
-                    return Err(format!("unknown explain field {key:?}"));
+                    return Err(bad(format!("unknown explain field {key:?}")));
                 };
                 slot.1 = value.clone();
             }
             Ok(merged)
         }
-        _ => Err("explain must be null, a bool, or an options object".to_string()),
+        _ => Err(bad("explain must be null, a bool, or an options object")),
     }
 }
 
 /// Convenience used by tests and the example: parse body text straight
 /// into a request.
 pub fn parse_search_request(body: &str) -> Result<SearchRequest, String> {
-    parse_body(body).and_then(|v| request_from_value(&v))
+    parse_body(body)
+        .and_then(|v| request_from_value(&v))
+        .map_err(|e| e.message().to_string())
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -365,6 +550,41 @@ mod tests {
             parse_search_request(r#"{"query": "q", "explain": {"depth": 3}}"#).is_err(),
             "unknown explain field"
         );
+    }
+
+    #[test]
+    fn rejects_out_of_range_numeric_fields_with_clear_messages() {
+        // The JSON number grammar can produce an infinity; it must be
+        // named as non-finite, not swallowed by the range check.
+        let err = parse_search_request(r#"{"query": "q", "beta": 1e999}"#).unwrap_err();
+        assert!(err.contains("finite"), "names non-finiteness: {err}");
+        let err = parse_search_request(r#"{"query": "q", "beta": -1e999}"#).unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+        let err = parse_search_request(r#"{"query": "q", "beta": -0.25}"#).unwrap_err();
+        assert!(err.contains("[0, 1]"), "names the range: {err}");
+        let err = parse_search_request(r#"{"query": "q", "k": 1000000}"#).unwrap_err();
+        assert!(err.contains("10000"), "names the cap: {err}");
+        let err =
+            parse_search_request(r#"{"query": "q", "explain": {"max_len": 99}}"#).unwrap_err();
+        assert!(err.contains("max_len"), "{err}");
+        let err =
+            parse_search_request(r#"{"query": "q", "explain": {"max_paths": 5000}}"#).unwrap_err();
+        assert!(err.contains("max_paths"), "{err}");
+        // The caps themselves are accepted.
+        let r = parse_search_request(
+            r#"{"query": "q", "k": 10000, "explain": {"max_len": 32, "max_paths": 1000}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.k, MAX_K);
+    }
+
+    #[test]
+    fn request_error_maps_to_status() {
+        assert_eq!(bad("x").status(), 400);
+        assert_eq!(RequestError::Internal("x".into()).status(), 500);
+        let r = RequestError::Internal("broken invariant".into()).into_routed(Route::Search);
+        assert_eq!(r.status, 500);
+        assert!(r.body.contains("broken invariant"));
     }
 
     #[test]

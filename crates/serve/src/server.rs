@@ -31,6 +31,7 @@ use newslink_core::{NewsLink, NewsLinkIndex};
 use newslink_util::ShutdownFlag;
 use parking_lot::{Mutex, RwLock};
 
+use crate::durable::DurableState;
 use crate::metrics::{Route, ServerMetrics};
 use crate::protocol::{read_request, write_response, RecvError};
 use crate::router::{dispatch, error_body, RequestContext};
@@ -176,6 +177,20 @@ impl Server {
     /// mutations briefly take the write side to seal a new segment or
     /// tombstone a document.
     pub fn run(&self, engine: &NewsLink<'_>, index: &RwLock<NewsLinkIndex>) -> io::Result<()> {
+        self.run_durable(engine, index, None)
+    }
+
+    /// Like [`run`](Self::run), but with durability wiring: when
+    /// `durable` is present, `/docs` mutations are write-ahead logged
+    /// before they are acknowledged, `POST /admin/snapshot` checkpoints
+    /// the store, and `/healthz` + `/metrics` surface the recovery
+    /// report.
+    pub fn run_durable(
+        &self,
+        engine: &NewsLink<'_>,
+        index: &RwLock<NewsLinkIndex>,
+        durable: Option<&DurableState>,
+    ) -> io::Result<()> {
         let capacity = self.config.capacity().max(1);
         let in_flight = AtomicUsize::new(0);
         let (sender, receiver) = mpsc::channel::<Job>();
@@ -193,7 +208,7 @@ impl Server {
                         break; // sender dropped and queue drained
                     };
                     let gauge = in_flight.load(Ordering::Relaxed);
-                    self.handle_connection(job, engine, index, gauge);
+                    self.handle_connection(job, engine, index, durable, gauge);
                     in_flight.fetch_sub(1, Ordering::Release);
                 });
             }
@@ -242,6 +257,7 @@ impl Server {
         job: Job,
         engine: &NewsLink<'_>,
         index: &RwLock<NewsLinkIndex>,
+        durable: Option<&DurableState>,
         in_flight: usize,
     ) {
         let mut stream = job.stream;
@@ -273,6 +289,7 @@ impl Server {
             metrics: &self.metrics,
             accepted: job.accepted,
             in_flight,
+            durable,
         };
         // A panic inside a handler must not take down the pool: answer
         // 500 and keep serving.
@@ -310,6 +327,7 @@ fn shed(mut stream: TcpStream) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,112 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+//! guarding every persisted frame in the workspace.
+//!
+//! FxHash ([`crate::fxhash`]) is the right tool for in-memory tables but a
+//! poor integrity check: it has no error-detection guarantees and its
+//! output depends on word-at-a-time chunking. CRC-32 detects all
+//! single-bit errors and all burst errors up to 32 bits in a frame, which
+//! is exactly the failure model of a torn or bit-flipped disk write. The
+//! implementation is the classic table-driven byte-at-a-time loop; the
+//! table is built at compile time so there is no runtime init.
+
+/// Streaming CRC-32 state. Feed bytes with [`Crc32::update`], read the
+/// digest with [`Crc32::finish`].
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+impl Crc32 {
+    /// Fresh state (all-ones preload per the IEEE spec).
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final digest (state complemented per the IEEE spec).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot convenience: checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The CRC-32 "check" value from the IEEE spec.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0u16..2048).map(|i| (i % 251) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 7, 100, data.len() - 1, data.len()] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_every_single_byte_flip() {
+        let data = b"frame body with enough bytes to be interesting".to_vec();
+        let clean = crc32(&data);
+        for i in 0..data.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = data.clone();
+                bad[i] ^= flip;
+                assert_ne!(crc32(&bad), clean, "flip {flip:#x} at {i} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Deterministic I/O fault injection for crash-safety tests.
+//!
+//! Durability code is only as good as the failures it has been run
+//! against, and real disks fail in inconvenient ways: a `write` persists
+//! a prefix of the buffer, a process dies between `write` and `fsync`, a
+//! file read back after a crash ends mid-record. This module provides
+//! small, fully deterministic wrappers that reproduce those shapes on
+//! demand so a test can assert recovery behaviour at *every* byte offset
+//! rather than at whatever offsets a flaky-VM test happened to hit:
+//!
+//! - [`FailWriter`] — passes bytes through until a budget is exhausted,
+//!   then errors; in [`FailMode::ShortWrite`] the crossing write persists
+//!   its prefix first (a torn write), in [`FailMode::Clean`] it persists
+//!   nothing (a whole-syscall failure).
+//! - [`FailReader`] — the read-side twin, for exercising loaders against
+//!   media that dies mid-scan.
+//! - [`CrashBuffer`] — an in-memory "file + page cache" that separates
+//!   written from synced bytes; [`CrashBuffer::crash`] discards the
+//!   unsynced tail, modelling `kill -9` after `write` but before
+//!   `fsync` (the truncate-on-drop failure shape).
+//!
+//! All injected errors use [`std::io::ErrorKind::Other`] with a message
+//! prefixed `failpoint:` so tests can tell injected failures from real
+//! ones.
+
+use std::io::{self, Read, Write};
+
+/// What happens to the write that crosses the failure offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// The crossing write fails atomically: no bytes of it reach the
+    /// inner writer (the whole syscall failed).
+    Clean,
+    /// The crossing write is torn: the prefix up to the budget reaches
+    /// the inner writer, then the error is reported (a short write whose
+    /// caller never got to retry).
+    ShortWrite,
+}
+
+fn injected(at: u64) -> io::Error {
+    io::Error::other(format!("failpoint: injected failure at byte {at}"))
+}
+
+/// Is `e` an error injected by this module (as opposed to a real one)?
+pub fn is_injected(e: &io::Error) -> bool {
+    e.to_string().starts_with("failpoint:")
+}
+
+/// A [`Write`] that forwards `budget` bytes and then fails every call.
+#[derive(Debug)]
+pub struct FailWriter<W: Write> {
+    inner: W,
+    budget: u64,
+    written: u64,
+    mode: FailMode,
+    tripped: bool,
+}
+
+impl<W: Write> FailWriter<W> {
+    /// Forward exactly `budget` bytes to `inner`, then start failing.
+    pub fn new(inner: W, budget: u64, mode: FailMode) -> Self {
+        Self {
+            inner,
+            budget,
+            written: 0,
+            mode,
+            tripped: false,
+        }
+    }
+
+    /// Bytes actually forwarded to the inner writer.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Has the failure fired yet?
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Recover the inner writer (e.g. the `Vec<u8>` holding the torn
+    /// prefix) for post-crash inspection.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.tripped {
+            return Err(injected(self.budget));
+        }
+        let remaining = self.budget - self.written;
+        if (buf.len() as u64) <= remaining {
+            let n = self.inner.write(buf)?;
+            self.written += n as u64;
+            return Ok(n);
+        }
+        // This write crosses the failure offset.
+        self.tripped = true;
+        if self.mode == FailMode::ShortWrite && remaining > 0 {
+            self.inner.write_all(&buf[..remaining as usize])?;
+            self.written += remaining;
+        }
+        Err(injected(self.budget))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.tripped {
+            return Err(injected(self.budget));
+        }
+        self.inner.flush()
+    }
+}
+
+/// A [`Read`] that yields `budget` bytes and then fails every call.
+#[derive(Debug)]
+pub struct FailReader<R: Read> {
+    inner: R,
+    budget: u64,
+    read: u64,
+}
+
+impl<R: Read> FailReader<R> {
+    /// Yield exactly `budget` bytes from `inner`, then start failing.
+    pub fn new(inner: R, budget: u64) -> Self {
+        Self {
+            inner,
+            budget,
+            read: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for FailReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.budget - self.read;
+        if remaining == 0 {
+            return Err(injected(self.budget));
+        }
+        let cap = buf.len().min(remaining as usize);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+/// An in-memory file with an explicit page cache: bytes written land in
+/// the unsynced tail and only become durable on [`CrashBuffer::sync`].
+///
+/// [`CrashBuffer::crash`] returns what a post-`kill -9` reader would see
+/// (durable bytes only); [`CrashBuffer::contents`] returns what a
+/// clean-shutdown reader would see.
+#[derive(Debug, Default, Clone)]
+pub struct CrashBuffer {
+    durable: Vec<u8>,
+    pending: Vec<u8>,
+}
+
+impl CrashBuffer {
+    /// Empty file, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make every written byte durable (the `fsync` point).
+    pub fn sync(&mut self) {
+        self.durable.append(&mut self.pending);
+    }
+
+    /// Bytes that survive a crash right now: everything synced, nothing
+    /// pending.
+    pub fn crash(self) -> Vec<u8> {
+        self.durable
+    }
+
+    /// Bytes a clean close would leave behind (synced + pending).
+    pub fn contents(&self) -> Vec<u8> {
+        let mut all = self.durable.clone();
+        all.extend_from_slice(&self.pending);
+        all
+    }
+
+    /// Bytes not yet made durable.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Bytes that are durable.
+    pub fn durable_len(&self) -> usize {
+        self.durable.len()
+    }
+}
+
+impl Write for CrashBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.pending.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // `flush` empties userspace buffers; it is NOT an fsync and does
+        // not make bytes durable. Only `sync` does.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_mode_crossing_write_persists_nothing() {
+        let mut w = FailWriter::new(Vec::new(), 5, FailMode::Clean);
+        w.write_all(b"abc").unwrap();
+        let err = w.write_all(b"defgh").unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert!(w.tripped());
+        assert_eq!(w.into_inner(), b"abc");
+    }
+
+    #[test]
+    fn short_write_mode_persists_the_prefix() {
+        let mut w = FailWriter::new(Vec::new(), 5, FailMode::ShortWrite);
+        w.write_all(b"abc").unwrap();
+        let err = w.write_all(b"defgh").unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert_eq!(w.written(), 5);
+        assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn every_call_fails_after_tripping() {
+        let mut w = FailWriter::new(Vec::new(), 0, FailMode::Clean);
+        assert!(w.write_all(b"x").is_err());
+        assert!(w.write_all(b"y").is_err());
+        assert!(w.flush().is_err());
+        assert_eq!(w.written(), 0);
+    }
+
+    #[test]
+    fn budget_boundary_is_exact() {
+        // Writing exactly the budget succeeds; one more byte fails.
+        let mut w = FailWriter::new(Vec::new(), 4, FailMode::ShortWrite);
+        w.write_all(b"abcd").unwrap();
+        assert!(!w.tripped());
+        assert!(w.write_all(b"e").is_err());
+        assert_eq!(w.into_inner(), b"abcd");
+    }
+
+    #[test]
+    fn reader_fails_after_budget() {
+        let data = b"hello world".to_vec();
+        let mut r = FailReader::new(&data[..], 5);
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn crash_buffer_drops_unsynced_tail() {
+        let mut f = CrashBuffer::new();
+        f.write_all(b"record-1;").unwrap();
+        f.sync();
+        f.write_all(b"record-2;").unwrap();
+        assert_eq!(f.durable_len(), 9);
+        assert_eq!(f.pending_len(), 9);
+        assert_eq!(f.contents(), b"record-1;record-2;");
+        assert_eq!(f.crash(), b"record-1;");
+    }
+
+    #[test]
+    fn flush_is_not_sync() {
+        let mut f = CrashBuffer::new();
+        f.write_all(b"data").unwrap();
+        f.flush().unwrap();
+        assert_eq!(f.clone().crash(), b"");
+        f.sync();
+        assert_eq!(f.crash(), b"data");
+    }
+}

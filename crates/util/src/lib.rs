@@ -19,12 +19,19 @@
 //!   reporting (merge-friendly, quantiles from bucket bounds).
 //! - [`shutdown`] — a cloneable one-way stop bit for cooperative
 //!   drain-and-exit across worker pools.
+//! - [`crc32`] — table-driven CRC-32 (IEEE) for frame checksums in the
+//!   persistence and write-ahead-log formats.
+//! - [`failpoint`] — deterministic fail-at-byte-N / short-write / lost
+//!   unsynced-tail I/O wrappers that drive the crash-recovery test
+//!   suites.
 //!
 //! With the `serde` feature on, the observability types ([`CacheStats`],
 //! [`ComponentTimer`], [`Histogram`]) serialize through the vendored
 //! serde shim so metrics endpoints can report them as JSON.
 
 pub mod cache;
+pub mod crc32;
+pub mod failpoint;
 pub mod fxhash;
 pub mod histogram;
 pub mod rng;
@@ -34,6 +41,7 @@ pub mod topk;
 pub mod varint;
 
 pub use cache::{CacheCounters, CacheStats, ClockCache};
+pub use crc32::{crc32, Crc32};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use histogram::Histogram;
 pub use rng::DetRng;

@@ -16,3 +16,12 @@ cargo test -q -p newslink-serve --test http_e2e
 # Segment-parity property suite: sharded/compacted/tombstoned layouts
 # must rank bit-identically to the monolithic index.
 cargo test -q -p newslink-core --test segment_prop
+# Durability fault-injection suite: crash at every write offset, torn
+# WAL tails, quarantined segments — acked mutations are never lost,
+# unacked ones never half-applied, reload never panics.
+cargo test -q -p newslink-core --test crash_recovery
+# Durable serving e2e: restart recovery, degraded /healthz, /admin/snapshot.
+cargo test -q -p newslink-serve --test durability_e2e
+# The real thing: SIGKILL the release binary mid-mutation and restart it
+# (ignored by default; needs the release build from the first step).
+cargo test -q -p newslink-serve --test kill9_e2e -- --ignored
