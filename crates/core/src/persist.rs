@@ -84,6 +84,17 @@ pub enum PersistError {
     },
     /// The manifest decoded but violates a structural invariant.
     Corrupt(String),
+    /// Replaying a WAL insert did not land on the id the log recorded:
+    /// the engine allocating ids during recovery disagrees with the one
+    /// that wrote the log (e.g. a config change between runs). Serving
+    /// the result would corrupt every later delete replay, so recovery
+    /// fails instead.
+    ReplayDiverged {
+        /// The id the WAL recorded for the insert.
+        logged: u32,
+        /// The id the replayed insert actually received.
+        got: u32,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -113,6 +124,11 @@ impl fmt::Display for PersistError {
                 "checksum mismatch in {what}: stored {stored:#010x}, computed {computed:#010x}"
             ),
             Self::Corrupt(msg) => write!(f, "corrupt index manifest: {msg}"),
+            Self::ReplayDiverged { logged, got } => write!(
+                f,
+                "wal replay diverged: logged insert id {logged} landed on {got} \
+                 (was the engine config changed since the log was written?)"
+            ),
         }
     }
 }
@@ -862,6 +878,10 @@ mod tests {
             (
                 PersistError::Corrupt("segment 0 is empty".into()),
                 "corrupt index manifest: segment 0 is empty",
+            ),
+            (
+                PersistError::ReplayDiverged { logged: 5, got: 7 },
+                "wal replay diverged: logged insert id 5 landed on 7",
             ),
         ];
         for (err, needle) in cases {

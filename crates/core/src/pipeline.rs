@@ -30,6 +30,7 @@ use crate::api::{BatchResponse, Explanation, SearchRequest, SearchResponse};
 use crate::cache::{EngineCacheStats, EngineCaches};
 use crate::config::NewsLinkConfig;
 use crate::indexer::{embed_one_with, index_corpus_with, NewsLinkIndex};
+use crate::persist::PersistError;
 use crate::searcher::{explain, parallel_map, run_query, QueryOutcome};
 use crate::segment::IndexSegment;
 
@@ -123,29 +124,43 @@ impl<'g> NewsLink<'g> {
     }
 
     /// Re-apply one write-ahead-log record to `index` during crash
-    /// recovery. Returns `true` when the record mutated the index and
-    /// `false` when it was already reflected — replay is idempotent, so
-    /// a checkpoint that crashed between writing its snapshot and
-    /// resetting the log is harmless.
+    /// recovery. Returns `Ok(true)` when the record mutated the index
+    /// and `Ok(false)` when it was already reflected — replay is
+    /// idempotent, so a checkpoint that crashed between writing its
+    /// snapshot and resetting the log is harmless.
     ///
     /// Inserts re-embed the logged text; embedding is deterministic
     /// given the graph and config, so the replayed index is
     /// bit-identical to the pre-crash one. An insert whose id is below
     /// the allocator is already in the snapshot and is skipped; one
     /// whose id is *above* it fast-forwards the allocator first (ids in
-    /// between belonged to mutations that were never acknowledged).
-    pub fn replay_wal(&self, index: &mut NewsLinkIndex, record: &crate::wal::WalRecord) -> bool {
+    /// between belonged to mutations that were never acknowledged). If
+    /// the insert lands on a different id than the log recorded —
+    /// possible only if id allocation changes between the run that wrote
+    /// the log and this one — replay fails with
+    /// [`PersistError::ReplayDiverged`] rather than silently building an
+    /// index whose ids disagree with every later logged delete.
+    pub fn replay_wal(
+        &self,
+        index: &mut NewsLinkIndex,
+        record: &crate::wal::WalRecord,
+    ) -> Result<bool, PersistError> {
         match record {
             crate::wal::WalRecord::Insert { id, text } => {
                 if *id < index.next_id {
-                    return false;
+                    return Ok(false);
                 }
                 index.next_id = *id;
                 let got = self.insert_document(index, text);
-                debug_assert_eq!(got.0, *id);
-                true
+                if got.0 != *id {
+                    return Err(PersistError::ReplayDiverged {
+                        logged: *id,
+                        got: got.0,
+                    });
+                }
+                Ok(true)
             }
-            crate::wal::WalRecord::Delete { id } => index.delete(DocId(*id)),
+            crate::wal::WalRecord::Delete { id } => Ok(index.delete(DocId(*id))),
         }
     }
 

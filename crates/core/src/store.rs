@@ -80,7 +80,7 @@ impl DurableStore {
         let (wal, records, torn) = Wal::open(&dir.join(WAL_FILE))?;
         report.wal_truncated_bytes = torn;
         for record in &records {
-            if engine.replay_wal(&mut index, record) {
+            if engine.replay_wal(&mut index, record)? {
                 report.wal_records_replayed += 1;
             } else {
                 report.wal_records_skipped += 1;

@@ -30,6 +30,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use newslink_util::failpoint::FaultMedia;
 use newslink_util::{crc32, varint};
 
 /// File magic for WAL files.
@@ -42,8 +43,9 @@ pub const WAL_HEADER_LEN: u64 = 5;
 const TAG_INSERT: u8 = 1;
 const TAG_DELETE: u8 = 2;
 /// Documents are measured in kilobytes; a longer payload length means a
-/// corrupt prefix.
-const MAX_RECORD_BYTES: u64 = 1 << 28;
+/// corrupt prefix. [`Wal::append`] enforces the same bound on the way
+/// in, so a record it acknowledges is always one [`scan`] will accept.
+pub const MAX_RECORD_BYTES: u64 = 1 << 28;
 /// Upper bound handed to [`varint::read_str`] when decoding a payload.
 const MAX_TEXT_BYTES: usize = MAX_RECORD_BYTES as usize;
 
@@ -171,15 +173,78 @@ pub fn scan(bytes: &[u8]) -> WalScan {
     }
 }
 
-/// An open WAL file: appends are fsynced before they return, so a
-/// record that [`Wal::append`] acknowledged survives any crash.
-#[derive(Debug)]
-pub struct Wal {
-    file: File,
-    len: u64,
+/// The storage operations [`Wal`] needs from its backing file.
+///
+/// Production code uses [`File`]; crash tests substitute
+/// [`FaultMedia`] to drive the append *error* path (torn write, failed
+/// fsync, failed repair) deterministically at every byte offset — the
+/// shapes a real disk produces at the worst possible moments.
+pub trait WalStorage {
+    /// Write all of `buf` at the current cursor.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Make every prior write durable (fsync).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Truncate (or zero-extend) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Move the cursor to absolute offset `pos`.
+    fn seek_to(&mut self, pos: u64) -> io::Result<()>;
 }
 
-impl Wal {
+impl WalStorage for File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        File::set_len(self, len)
+    }
+
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        self.seek(SeekFrom::Start(pos)).map(|_| ())
+    }
+}
+
+impl WalStorage for FaultMedia {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        FaultMedia::write_all(self, buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        FaultMedia::sync_data(self)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        FaultMedia::set_len(self, len)
+    }
+
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        FaultMedia::seek_to(self, pos)
+    }
+}
+
+/// An open WAL file: appends are fsynced before they return, so a
+/// record that [`Wal::append`] acknowledged survives any crash.
+///
+/// A *failed* append repairs the file back to its pre-append length
+/// before returning the error, so the log stays usable: later appends
+/// land after the acknowledged prefix, never after garbage. If the
+/// repair itself fails the log is **poisoned** — every further append
+/// and reset refuses with an error until the file is reopened (which
+/// re-runs torn-tail recovery) — because continuing to write at an
+/// unknown offset could bury acknowledged records behind an unscannable
+/// frame.
+#[derive(Debug)]
+pub struct Wal<S: WalStorage = File> {
+    storage: S,
+    len: u64,
+    poisoned: bool,
+}
+
+impl Wal<File> {
     /// Open (or create) the log at `path`, recover its intact records
     /// and truncate any torn tail. Returns the log positioned for
     /// appends, the recovered records, and how many torn bytes were
@@ -206,8 +271,8 @@ impl Wal {
             // was acknowledged. Start it over.
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
-            file.write_all(WAL_MAGIC)?;
-            file.write_all(&[WAL_VERSION])?;
+            Write::write_all(&mut file, WAL_MAGIC)?;
+            Write::write_all(&mut file, &[WAL_VERSION])?;
             file.sync_data()?;
             (Vec::new(), bytes.len() as u64)
         };
@@ -217,30 +282,136 @@ impl Wal {
             WAL_HEADER_LEN
         };
         file.seek(SeekFrom::Start(len))?;
-        Ok((Self { file, len }, records, torn))
+        Ok((
+            Self {
+                storage: file,
+                len,
+                poisoned: false,
+            },
+            records,
+            torn,
+        ))
+    }
+}
+
+impl<S: WalStorage> Wal<S> {
+    /// Start an empty log on `storage` (writing and syncing the header).
+    /// This is the fault-injection entry point: production opens go
+    /// through [`Wal::open`], which also recovers existing records.
+    pub fn over(mut storage: S) -> io::Result<Self> {
+        storage.set_len(0)?;
+        storage.seek_to(0)?;
+        storage.write_all(WAL_MAGIC)?;
+        storage.write_all(&[WAL_VERSION])?;
+        storage.sync_data()?;
+        Ok(Self {
+            storage,
+            len: WAL_HEADER_LEN,
+            poisoned: false,
+        })
+    }
+
+    /// The backing storage (for inspecting the byte image in tests).
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Mutable access to the backing storage, for arming injected
+    /// failures. Mutating the file image itself voids the `Wal`'s
+    /// invariants — reopen to recover.
+    pub fn storage_mut(&mut self) -> &mut S {
+        &mut self.storage
     }
 
     /// Append one record and fsync it. When this returns `Ok`, the
     /// record is durable; on `Err`, the caller must NOT acknowledge the
-    /// mutation (the tail may be torn, and will be truncated on the next
-    /// open).
+    /// mutation. An `Err` leaves the log consistent: the file has been
+    /// truncated back to its pre-append length (acknowledged records are
+    /// untouched and later appends land cleanly after them), or — if
+    /// that repair also failed — the log is poisoned and every further
+    /// append fails until the file is reopened.
+    ///
+    /// A record whose payload exceeds [`MAX_RECORD_BYTES`] is rejected
+    /// up front (`InvalidInput`) without touching the file: [`scan`]
+    /// would refuse the frame on reopen, silently dropping it and every
+    /// record after it.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal poisoned by an unrepaired append failure; reopen the log to recover",
+            ));
+        }
+        let payload = payload_len(record);
+        if payload > MAX_RECORD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "wal record payload is {payload} bytes, over the \
+                     {MAX_RECORD_BYTES}-byte scan limit"
+                ),
+            ));
+        }
         let mut buf = Vec::new();
         encode_record(&mut buf, record);
-        self.file.write_all(&buf)?;
-        self.file.sync_data()?;
-        self.len += buf.len() as u64;
-        Ok(())
+        let wrote = self
+            .storage
+            .write_all(&buf)
+            .and_then(|()| self.storage.sync_data());
+        match wrote {
+            Ok(()) => {
+                self.len += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Partial (or fully written but unacknowledged) frame
+                // bytes sit at the cursor: cut them off so the next
+                // append continues from the acknowledged prefix, and so
+                // a sync-failed-but-written record cannot resurrect on
+                // replay.
+                if self.repair().is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Restore the on-disk invariant `file == acknowledged prefix` after
+    /// a failed write: truncate to the last acknowledged length, move
+    /// the cursor back, and sync the truncation.
+    fn repair(&mut self) -> io::Result<()> {
+        self.storage.set_len(self.len)?;
+        self.storage.seek_to(self.len)?;
+        self.storage.sync_data()
     }
 
     /// Discard all records (the snapshot now owns them): truncate back
-    /// to the header and fsync.
+    /// to the header and fsync. On `Err` the log is poisoned — the file
+    /// may or may not have shrunk, so the in-memory length can no longer
+    /// be trusted; reopen to recover. (The records themselves stay safe
+    /// either way: they are idempotent against the snapshot that
+    /// prompted the reset.)
     pub fn reset(&mut self) -> io::Result<()> {
-        self.file.set_len(WAL_HEADER_LEN)?;
-        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
-        self.file.sync_data()?;
-        self.len = WAL_HEADER_LEN;
-        Ok(())
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal poisoned by an unrepaired append failure; reopen the log to recover",
+            ));
+        }
+        let result = self
+            .storage
+            .set_len(WAL_HEADER_LEN)
+            .and_then(|()| self.storage.seek_to(WAL_HEADER_LEN))
+            .and_then(|()| self.storage.sync_data());
+        match result {
+            Ok(()) => {
+                self.len = WAL_HEADER_LEN;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 
     /// Current file length in bytes (header included).
@@ -251,6 +422,34 @@ impl Wal {
     /// True when the log holds no records.
     pub fn is_empty(&self) -> bool {
         self.len == WAL_HEADER_LEN
+    }
+
+    /// True when a failed append could not be repaired: the log refuses
+    /// all writes until reopened.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+fn varint_len(mut v: u64) -> u64 {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Byte length of `record`'s frame payload (tag + varints + text),
+/// computed without building it.
+fn payload_len(record: &WalRecord) -> u64 {
+    match record {
+        WalRecord::Insert { id, text } => {
+            1 + varint_len(u64::from(*id))
+                + varint_len(text.len() as u64)
+                + text.len() as u64
+        }
+        WalRecord::Delete { id } => 1 + varint_len(u64::from(*id)),
     }
 }
 
@@ -410,9 +609,8 @@ mod tests {
         encode_record(&mut torn_frame, &records[3]);
         let keep = torn_frame.len() / 2;
         {
-            use std::io::Write as _;
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&torn_frame[..keep]).unwrap();
+            Write::write_all(&mut f, &torn_frame[..keep]).unwrap();
         }
         let (mut wal, recovered, torn) = Wal::open(&path).unwrap();
         assert_eq!(recovered, records[..3], "acknowledged records survive");
@@ -438,5 +636,157 @@ mod tests {
         drop(wal);
         assert_eq!(std::fs::read(&path).unwrap(), b"NLWL\x01");
         std::fs::remove_file(&path).ok();
+    }
+
+    use newslink_util::failpoint::{is_injected, FailMode, FaultMedia};
+
+    /// A failed append (torn at every byte offset of the frame, in both
+    /// failure modes) repairs the file back to the acknowledged prefix,
+    /// and the log keeps accepting appends.
+    #[test]
+    fn failed_append_repairs_the_file_and_the_log_continues() {
+        let records = sample_records();
+        let mut frame = Vec::new();
+        encode_record(&mut frame, &records[1]);
+        for mode in [FailMode::Clean, FailMode::ShortWrite] {
+            for cut in 0..frame.len() {
+                let label = format!("mode {mode:?}, cut {cut}");
+                let mut wal = Wal::over(FaultMedia::new()).unwrap();
+                wal.append(&records[0]).unwrap();
+                let len_before = wal.len();
+
+                wal.storage_mut().fail_write_after(cut as u64, mode);
+                let err = wal.append(&records[1]).unwrap_err();
+                assert!(is_injected(&err), "{label}: {err}");
+                assert!(!wal.is_poisoned(), "{label}: repair succeeded");
+                assert_eq!(wal.len(), len_before, "{label}: length not advanced");
+
+                // The file holds exactly the acknowledged record: no
+                // partial frame bytes survive the repair.
+                let scanned = scan(wal.storage().contents());
+                assert_eq!(scanned.records, records[..1], "{label}");
+                assert_eq!(scanned.torn_bytes, 0, "{label}: garbage truncated");
+
+                // The next append lands cleanly after the prefix — not
+                // after garbage — so nothing acknowledged is ever lost.
+                wal.append(&records[2]).unwrap();
+                let scanned = scan(wal.storage().contents());
+                assert_eq!(
+                    scanned.records,
+                    vec![records[0].clone(), records[2].clone()],
+                    "{label}"
+                );
+                assert_eq!(scanned.torn_bytes, 0, "{label}");
+            }
+        }
+    }
+
+    /// The subtle case: the frame is *fully written* but the fsync
+    /// fails. The record was never acknowledged, so the repair must
+    /// remove it — otherwise a crash-free continuation (or a replay)
+    /// would resurrect a mutation the caller rolled back.
+    #[test]
+    fn failed_fsync_rolls_the_unacknowledged_frame_back() {
+        let records = sample_records();
+        let mut wal = Wal::over(FaultMedia::new()).unwrap();
+        wal.append(&records[0]).unwrap();
+
+        wal.storage_mut().fail_next_sync();
+        let err = wal.append(&records[1]).unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert!(!wal.is_poisoned());
+        let scanned = scan(wal.storage().contents());
+        assert_eq!(scanned.records, records[..1], "unsynced frame removed");
+        assert_eq!(scanned.torn_bytes, 0);
+
+        wal.append(&records[2]).unwrap();
+        let scanned = scan(wal.storage().contents());
+        assert_eq!(scanned.records, vec![records[0].clone(), records[2].clone()]);
+    }
+
+    /// When the repair itself fails, the log poisons itself: every later
+    /// append and reset refuses, and reopening the image recovers
+    /// exactly the acknowledged records (the garbage tail scans as torn).
+    #[test]
+    fn failed_repair_poisons_the_log() {
+        let records = sample_records();
+        let mut wal = Wal::over(FaultMedia::new()).unwrap();
+        wal.append(&records[0]).unwrap();
+
+        wal.storage_mut().fail_write_after(3, FailMode::ShortWrite);
+        wal.storage_mut().fail_next_set_len();
+        let err = wal.append(&records[1]).unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert!(wal.is_poisoned());
+
+        let err = wal.append(&records[2]).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        let err = wal.reset().unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+
+        // The image still recovers every acknowledged record; the three
+        // torn bytes the failed repair left behind scan as a torn tail.
+        let scanned = scan(wal.storage().contents());
+        assert_eq!(scanned.records, records[..1]);
+        assert_eq!(scanned.torn_bytes, 3);
+    }
+
+    /// A failed reset poisons (the file may or may not have shrunk), and
+    /// the acknowledged records survive for the reopen.
+    #[test]
+    fn failed_reset_poisons_the_log() {
+        let records = sample_records();
+        let mut wal = Wal::over(FaultMedia::new()).unwrap();
+        wal.append(&records[0]).unwrap();
+        wal.storage_mut().fail_next_set_len();
+        assert!(wal.reset().is_err());
+        assert!(wal.is_poisoned());
+        assert!(wal.append(&records[1]).is_err());
+        let scanned = scan(wal.storage().contents());
+        assert_eq!(scanned.records, records[..1]);
+    }
+
+    /// An oversized record is refused before any byte reaches the file:
+    /// fsyncing a frame `scan` would reject silently drops it (and every
+    /// record after it) on reopen.
+    #[test]
+    fn oversized_record_is_rejected_before_touching_the_file() {
+        let records = sample_records();
+        let mut wal = Wal::over(FaultMedia::new()).unwrap();
+        wal.append(&records[0]).unwrap();
+        let len_before = wal.len();
+
+        let big = String::from_utf8(vec![b'x'; MAX_RECORD_BYTES as usize]).unwrap();
+        let err = wal
+            .append(&WalRecord::Insert { id: 7, text: big })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+        assert!(!wal.is_poisoned(), "a rejected record is not a failure");
+        assert_eq!(wal.len(), len_before);
+        assert_eq!(
+            wal.storage().contents().len() as u64,
+            len_before,
+            "nothing was written"
+        );
+        wal.append(&records[1]).unwrap();
+    }
+
+    /// `payload_len` agrees with the encoder exactly, so the
+    /// `MAX_RECORD_BYTES` gate keys off the real frame size.
+    #[test]
+    fn payload_len_matches_the_encoder() {
+        let mut records = sample_records();
+        records.push(WalRecord::Insert {
+            id: u32::MAX,
+            text: "x".repeat(300), // two-byte length varint
+        });
+        for r in &records {
+            let mut frame = Vec::new();
+            encode_record(&mut frame, r);
+            let framed = payload_len(r)
+                + varint_len(payload_len(r)) // length prefix
+                + 4; // CRC
+            assert_eq!(frame.len() as u64, framed, "{r:?}");
+        }
     }
 }

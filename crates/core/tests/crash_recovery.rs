@@ -204,7 +204,7 @@ fn wal_crash_at_every_offset_recovers_exactly_the_acked_mutations() {
         .map(|k| {
             let mut idx = read_newslink_index(&g, &mut &snapshot[..]).unwrap();
             for r in &records[..k] {
-                assert!(engine.replay_wal(&mut idx, r), "reference apply {r:?}");
+                assert!(engine.replay_wal(&mut idx, r).unwrap(), "reference apply {r:?}");
             }
             idx
         })
@@ -222,7 +222,7 @@ fn wal_crash_at_every_offset_recovers_exactly_the_acked_mutations() {
         let mut recovered = read_newslink_index(&g, &mut &snapshot[..]).unwrap();
         let mut replayed = 0;
         for r in &scanned.records {
-            if engine.replay_wal(&mut recovered, r) {
+            if engine.replay_wal(&mut recovered, r).unwrap() {
                 replayed += 1;
             }
         }
@@ -369,13 +369,74 @@ proptest! {
         // replays the acked records over a fresh base build.
         let mut reference = engine.index_corpus(BASE_DOCS);
         for r in &acked {
-            engine.replay_wal(&mut reference, r);
+            engine.replay_wal(&mut reference, r).unwrap();
         }
         assert_equivalent(&engine, &recovered, &reference, "recovered vs reference");
 
         // And the store remains writable after recovery.
         drop(store);
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// (2)+(3) for the *error-then-continue* shape (not crash): an append
+/// fails partway — the server answers 500 and keeps running — and later
+/// appends must still land after the acknowledged prefix. Sweeps every
+/// record position, every byte offset within its frame, and both
+/// failure modes; also the fsync-failed-but-fully-written case at each
+/// position. The final image must scan to exactly the acknowledged
+/// records, in order, with no torn bytes.
+#[test]
+fn wal_append_error_at_every_offset_keeps_later_appends_safe() {
+    use newslink_util::failpoint::FaultMedia;
+    use newslink_core::wal::Wal;
+
+    let records = [
+        WalRecord::Insert { id: 2, text: EXTRA_DOCS[0].to_string() },
+        WalRecord::Delete { id: 0 },
+        WalRecord::Insert { id: 3, text: EXTRA_DOCS[1].to_string() },
+        WalRecord::Insert { id: 4, text: EXTRA_DOCS[2].to_string() },
+    ];
+
+    for victim in 0..records.len() {
+        let mut frame = Vec::new();
+        wal::encode_record(&mut frame, &records[victim]);
+        // One failure shape per (offset, mode), plus the fsync-only one.
+        let mut shapes: Vec<(Option<u64>, FailMode)> = (0..frame.len() as u64)
+            .flat_map(|cut| {
+                [(Some(cut), FailMode::Clean), (Some(cut), FailMode::ShortWrite)]
+            })
+            .collect();
+        shapes.push((None, FailMode::Clean)); // write ok, fsync fails
+
+        for (cut, mode) in shapes {
+            let label = format!("victim {victim}, cut {cut:?}, mode {mode:?}");
+            let mut wal = Wal::over(FaultMedia::new()).unwrap();
+            let mut acked: Vec<WalRecord> = Vec::new();
+            for r in &records[..victim] {
+                wal.append(r).unwrap();
+                acked.push(r.clone());
+            }
+            match cut {
+                Some(cut) => wal.storage_mut().fail_write_after(cut, mode),
+                None => wal.storage_mut().fail_next_sync(),
+            }
+            let err = wal.append(&records[victim]).unwrap_err();
+            assert!(
+                err.to_string().contains("failpoint"),
+                "{label}: injected, not real: {err}"
+            );
+            assert!(!wal.is_poisoned(), "{label}: transient failure repairs");
+            // The server keeps serving: the remaining mutations are
+            // appended and acknowledged.
+            for r in &records[victim + 1..] {
+                wal.append(r).unwrap();
+                acked.push(r.clone());
+            }
+            let scanned = wal::scan(wal.storage().contents());
+            assert_eq!(scanned.records, acked, "{label}: exactly the acked records");
+            assert_eq!(scanned.torn_bytes, 0, "{label}: no garbage mid-file");
+        }
     }
 }
 

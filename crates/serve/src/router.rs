@@ -241,16 +241,22 @@ fn handle_insert(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
 /// `DELETE /docs/<id>`: tombstone a live document. Unknown or already
 /// deleted ids answer `404`; the id itself must be a decimal integer.
 ///
-/// With durability on, the delete is WAL-logged *before* it is applied:
-/// if the append fails nothing changes (`500`), and once it succeeds
-/// the acknowledgement can never outrun the disk. A logged delete that
-/// then answers `404` replays as a no-op.
+/// With durability on, liveness is verified first — still under the
+/// write lock, so the answer cannot race another mutation — and a `404`
+/// returns without touching the log: a miss must not pay an fsync or
+/// grow the WAL. A live document is then WAL-logged *before* it is
+/// tombstoned: if the append fails nothing changes (`500`), and once it
+/// succeeds the acknowledgement can never outrun the disk.
 fn handle_delete(path: &str, ctx: &RequestContext<'_, '_>) -> Routed {
     let raw = path.strip_prefix("/docs/").unwrap_or_default();
     let Ok(id) = raw.parse::<u32>() else {
         return routed(Route::Docs, 400, error_body(&format!("bad document id {raw:?}")));
     };
     let mut index = ctx.index.write();
+    if !index.is_live(DocId(id)) {
+        drop(index);
+        return routed(Route::Docs, 404, error_body(&format!("no live document {id}")));
+    }
     if let Some(durable) = ctx.durable {
         if let Err(e) = durable.store().log_delete(DocId(id)) {
             drop(index);
@@ -265,9 +271,7 @@ fn handle_delete(path: &str, ctx: &RequestContext<'_, '_>) -> Routed {
     let deleted = ctx.engine.delete_document(&mut index, DocId(id));
     let stats = index.stats();
     drop(index);
-    if !deleted {
-        return routed(Route::Docs, 404, error_body(&format!("no live document {id}")));
-    }
+    debug_assert!(deleted, "liveness was checked under the same write lock");
     let body = Value::Object(vec![
         ("deleted".into(), Value::Number(serde::Number::from_i128(id as i128))),
         ("index".into(), index_stats_value(stats)),

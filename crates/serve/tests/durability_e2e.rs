@@ -107,7 +107,25 @@ fn acknowledged_mutations_survive_a_restart() {
         let (_, text) = client::request(handle.addr(), "GET", "/metrics", "").unwrap();
         let v = parse(&text);
         assert_eq!(v["durability"]["wal_appends"], 2u64, "{text}");
-        assert!(v["durability"]["wal_bytes"].as_i64().unwrap() > 5, "{text}");
+        let wal_bytes = v["durability"]["wal_bytes"].as_i64().unwrap();
+        assert!(wal_bytes > 5, "{text}");
+
+        // Deletes that answer 404 never touch the log: neither an
+        // unknown id nor an already-deleted one pays an fsync or grows
+        // the WAL.
+        for missing in ["/docs/999", "/docs/0"] {
+            let (status, text) =
+                client::request(handle.addr(), "DELETE", missing, "").unwrap();
+            assert_eq!(status, 404, "{missing}: {text}");
+        }
+        let (_, text) = client::request(handle.addr(), "GET", "/metrics", "").unwrap();
+        let v = parse(&text);
+        assert_eq!(v["durability"]["wal_appends"], 2u64, "404s append nothing: {text}");
+        assert_eq!(
+            v["durability"]["wal_bytes"].as_i64().unwrap(),
+            wal_bytes,
+            "404s grow nothing: {text}"
+        );
     });
 
     // Restart: the WAL replays over the snapshot.

@@ -18,6 +18,11 @@
 //!   written from synced bytes; [`CrashBuffer::crash`] discards the
 //!   unsynced tail, modelling `kill -9` after `write` but before
 //!   `fsync` (the truncate-on-drop failure shape).
+//! - [`FaultMedia`] — an in-memory stand-in for a *mutable* file (cursor,
+//!   truncate, fsync) with one-shot failure injection per operation, for
+//!   exercising error-*recovery* paths: the process survives the failed
+//!   syscall and keeps using the file, so tests can assert the repair
+//!   left it consistent.
 //!
 //! All injected errors use [`std::io::ErrorKind::Other`] with a message
 //! prefixed `failpoint:` so tests can tell injected failures from real
@@ -205,6 +210,118 @@ impl Write for CrashBuffer {
     }
 }
 
+/// An in-memory stand-in for a mutable on-disk file: a byte image with a
+/// cursor, positioned writes, truncate and fsync — the operations a
+/// write-ahead log performs — plus deterministic **one-shot** failure
+/// injection on each of them.
+///
+/// Where [`FailWriter`] models a writer that is abandoned after its
+/// failure (the crash shape), `FaultMedia` models the *transient* shape:
+/// the failed syscall returns an error, the process keeps the file open
+/// and keeps using it. Recovery code can therefore be driven through its
+/// repair path and the resulting image inspected with
+/// [`contents`](Self::contents).
+#[derive(Debug, Default)]
+pub struct FaultMedia {
+    bytes: Vec<u8>,
+    pos: usize,
+    /// `Some((remaining_budget, mode))`: the write crossing the budget
+    /// fails (tearing its prefix in [`FailMode::ShortWrite`]) and clears
+    /// the plan, so later writes succeed again.
+    write_plan: Option<(u64, FailMode)>,
+    fail_next_sync: bool,
+    fail_next_set_len: bool,
+    syncs: u64,
+}
+
+impl FaultMedia {
+    /// An empty file with no failures armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a one-shot write failure: the write that would carry the file
+    /// past `budget` further bytes fails (persisting its prefix up to
+    /// the budget in [`FailMode::ShortWrite`], nothing of itself in
+    /// [`FailMode::Clean`]); writes after the failing one succeed.
+    pub fn fail_write_after(&mut self, budget: u64, mode: FailMode) {
+        self.write_plan = Some((budget, mode));
+    }
+
+    /// Arm a one-shot [`sync_data`](Self::sync_data) failure.
+    pub fn fail_next_sync(&mut self) {
+        self.fail_next_sync = true;
+    }
+
+    /// Arm a one-shot [`set_len`](Self::set_len) failure.
+    pub fn fail_next_set_len(&mut self) {
+        self.fail_next_set_len = true;
+    }
+
+    /// The current byte image of the file.
+    pub fn contents(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// How many [`sync_data`](Self::sync_data) calls have succeeded.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    fn splice(&mut self, buf: &[u8]) {
+        let end = self.pos + buf.len();
+        if end > self.bytes.len() {
+            self.bytes.resize(end, 0);
+        }
+        self.bytes[self.pos..end].copy_from_slice(buf);
+        self.pos = end;
+    }
+
+    /// Write all of `buf` at the cursor (overwriting, then extending),
+    /// honouring an armed write failure.
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        if let Some((budget, mode)) = self.write_plan.take() {
+            if (buf.len() as u64) > budget {
+                if mode == FailMode::ShortWrite {
+                    self.splice(&buf[..budget as usize]);
+                }
+                return Err(injected(self.pos as u64));
+            }
+            self.write_plan = Some((budget - buf.len() as u64, mode));
+        }
+        self.splice(buf);
+        Ok(())
+    }
+
+    /// The fsync point; a no-op here (the image is always "durable"),
+    /// but it honours an armed sync failure.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        if self.fail_next_sync {
+            self.fail_next_sync = false;
+            return Err(io::Error::other("failpoint: injected fsync failure"));
+        }
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Truncate (or zero-extend) the file to `len` bytes. Like
+    /// `File::set_len`, the cursor does not move.
+    pub fn set_len(&mut self, len: u64) -> io::Result<()> {
+        if self.fail_next_set_len {
+            self.fail_next_set_len = false;
+            return Err(io::Error::other("failpoint: injected truncate failure"));
+        }
+        self.bytes.resize(len as usize, 0);
+        Ok(())
+    }
+
+    /// Move the cursor to absolute offset `pos`.
+    pub fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        self.pos = pos as usize;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +395,54 @@ mod tests {
         assert_eq!(f.clone().crash(), b"");
         f.sync();
         assert_eq!(f.crash(), b"data");
+    }
+
+    #[test]
+    fn fault_media_write_failures_are_one_shot() {
+        let mut m = FaultMedia::new();
+        m.write_all(b"abc").unwrap();
+        m.fail_write_after(2, FailMode::ShortWrite);
+        m.write_all(b"de").unwrap(); // within budget
+        let err = m.write_all(b"fgh").unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert_eq!(m.contents(), b"abcde", "crossing write tore nothing past the budget");
+        // The plan is consumed: the very next write succeeds.
+        m.write_all(b"xyz").unwrap();
+        assert_eq!(m.contents(), b"abcdexyz");
+    }
+
+    #[test]
+    fn fault_media_clean_mode_persists_nothing_of_the_crossing_write() {
+        let mut m = FaultMedia::new();
+        m.fail_write_after(2, FailMode::Clean);
+        assert!(m.write_all(b"abc").is_err());
+        assert_eq!(m.contents(), b"");
+    }
+
+    #[test]
+    fn fault_media_truncate_seek_and_overwrite_behave_like_a_file() {
+        let mut m = FaultMedia::new();
+        m.write_all(b"0123456789").unwrap();
+        m.set_len(4).unwrap();
+        assert_eq!(m.contents(), b"0123");
+        m.seek_to(2).unwrap();
+        m.write_all(b"ZZZ").unwrap();
+        assert_eq!(m.contents(), b"01ZZZ", "overwrite then extend");
+        // set_len past the end zero-fills, like File::set_len.
+        m.set_len(7).unwrap();
+        assert_eq!(m.contents(), b"01ZZZ\0\0");
+    }
+
+    #[test]
+    fn fault_media_sync_and_truncate_failures_are_one_shot() {
+        let mut m = FaultMedia::new();
+        m.fail_next_sync();
+        let err = m.sync_data().unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        m.sync_data().unwrap();
+        assert_eq!(m.syncs(), 1);
+        m.fail_next_set_len();
+        assert!(m.set_len(0).is_err());
+        m.set_len(0).unwrap();
     }
 }
