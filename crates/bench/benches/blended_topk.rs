@@ -1,0 +1,226 @@
+//! Blended top-k pruning benchmark.
+//!
+//! Measures the NS stage (Equation 3 scoring + top-k selection) with the
+//! block-max pruned evaluator against the exhaustive full-scoring oracle
+//! (`with_prune_topk(false)`), sweeping corpus size, segment layout, and
+//! k. Every timed query is also checked for bit-parity between the two
+//! paths, and the block-compressed postings footprint is reported
+//! against the uncompressed 8-byte-per-posting equivalent.
+//!
+//! Run with `cargo bench --bench blended_topk`. Set
+//! `NEWSLINK_BENCH_QUICK=1` for a small sweep (CI snapshot mode). Either
+//! way the numbers land in `BENCH_PR5.json` at the repo root.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use newslink_core::{search, NewsLink, NewsLinkConfig, PruneStats};
+use newslink_kg::{synth, LabelIndex, SynthConfig};
+use newslink_text::{Posting, TermId};
+
+struct Entry {
+    docs: usize,
+    segments: usize,
+    k: usize,
+    exhaustive: Duration,
+    pruned: Duration,
+    stats: PruneStats,
+}
+
+struct MemRow {
+    docs: usize,
+    segments: usize,
+    compressed: usize,
+    uncompressed: usize,
+}
+
+/// Sum a side's postings footprint: block-compressed heap bytes vs the
+/// flat `Vec<Posting>` representation the index used before blocks.
+fn footprint(index: &newslink_core::NewsLinkIndex) -> (usize, usize) {
+    let mut compressed = 0usize;
+    let mut postings = 0usize;
+    for seg in index.segments() {
+        for side in [seg.bow(), seg.bon()] {
+            compressed += side.postings_heap_bytes();
+            for t in 0..side.dictionary().len() {
+                postings += side.postings(TermId(t as u32)).len();
+            }
+        }
+    }
+    (compressed, postings * std::mem::size_of::<Posting>())
+}
+
+fn main() {
+    let quick = std::env::var("NEWSLINK_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (sizes, reps, n_queries): (&[usize], usize, usize) = if quick {
+        (&[400, 1200], 2, 8)
+    } else {
+        (&[1000, 4000, 10000], 3, 12)
+    };
+    let ks: &[usize] = &[1, 10, 100];
+
+    let world = synth::generate(&SynthConfig::medium(42));
+    let labels = LabelIndex::build(&world.graph);
+    let pool: Vec<_> = world
+        .countries
+        .iter()
+        .chain(&world.provinces)
+        .chain(&world.cities)
+        .chain(&world.people)
+        .chain(&world.organizations)
+        .copied()
+        .collect();
+    let label = |i: usize| world.graph.label(pool[i % pool.len()]);
+    let fillers = ["trade", "aid", "security", "border", "election", "flood"];
+    let queries: Vec<String> = (0..n_queries)
+        .map(|q| {
+            format!(
+                "{} {} {} {} talks",
+                label(q * 5),
+                label(q * 13 + 3),
+                fillers[q % fillers.len()],
+                fillers[(q + 2) % fillers.len()],
+            )
+        })
+        .collect();
+
+    println!("blended_topk: sizes {sizes:?}, k {ks:?}, {n_queries} queries, quick={quick}\n");
+    println!(
+        "{:<10} {:>8} {:>5} {:>14} {:>14} {:>9} {:>12} {:>12} {:>14}",
+        "docs", "segments", "k", "exhaustive", "pruned", "speedup", "candidates", "scored", "blocks skipped"
+    );
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut memory: Vec<MemRow> = Vec::new();
+    for &size in sizes {
+        let docs: Vec<String> = (0..size)
+            .map(|i| {
+                let a = label(i * 3);
+                let b = label(i * 7 + 1);
+                let c = label(i * 11 + 2);
+                let filler = fillers[i % fillers.len()];
+                format!(
+                    "Report {i}: {a} officials discussed {filler} developments with {b} \
+                     while observers in {c} tracked trade, aid and security talks."
+                )
+            })
+            .collect();
+        // 1 segment, then a multi-segment layout (~6 segments).
+        for segment_docs in [0usize, size.div_ceil(6)] {
+            let build_cfg = NewsLinkConfig::default()
+                .with_auto_threads()
+                .with_segment_docs(segment_docs);
+            let engine = NewsLink::new(&world.graph, &labels, build_cfg);
+            let index = engine.index_corpus(&docs);
+            let segments = index.segment_count();
+            let (compressed, uncompressed) = footprint(&index);
+            memory.push(MemRow {
+                docs: size,
+                segments,
+                compressed,
+                uncompressed,
+            });
+
+            let pruned_cfg = NewsLinkConfig::default();
+            let oracle_cfg = NewsLinkConfig::default().with_prune_topk(false);
+            for &k in ks {
+                // Best-of-`reps` total NS time over the query set, with a
+                // bit-parity check between both paths on every query.
+                let mut best_oracle = Duration::MAX;
+                let mut best_pruned = Duration::MAX;
+                let mut stats = PruneStats::default();
+                for rep in 0..reps {
+                    let mut t_oracle = Duration::ZERO;
+                    let mut t_pruned = Duration::ZERO;
+                    let mut rep_stats = PruneStats::default();
+                    for q in &queries {
+                        let a = search(&world.graph, &labels, &oracle_cfg, &index, q, k);
+                        let b = search(&world.graph, &labels, &pruned_cfg, &index, q, k);
+                        t_oracle += a.timer.total("ns");
+                        t_pruned += b.timer.total("ns");
+                        rep_stats.add(&b.prune);
+                        if rep == 0 {
+                            assert_eq!(a.results.len(), b.results.len(), "query {q}");
+                            for (x, y) in a.results.iter().zip(&b.results) {
+                                assert_eq!(x.doc, y.doc, "query {q}");
+                                assert_eq!(x.score.to_bits(), y.score.to_bits(), "query {q}");
+                            }
+                        }
+                    }
+                    best_oracle = best_oracle.min(t_oracle);
+                    best_pruned = best_pruned.min(t_pruned);
+                    stats = rep_stats;
+                }
+                let speedup = best_oracle.as_secs_f64() / best_pruned.as_secs_f64().max(1e-12);
+                println!(
+                    "{size:<10} {segments:>8} {k:>5} {:>11.2} us {:>11.2} us {:>8.2}x {:>12} {:>12} {:>14}",
+                    best_oracle.as_secs_f64() * 1e6,
+                    best_pruned.as_secs_f64() * 1e6,
+                    speedup,
+                    stats.candidates,
+                    stats.scored,
+                    stats.blocks_skipped,
+                );
+                entries.push(Entry {
+                    docs: size,
+                    segments,
+                    k,
+                    exhaustive: best_oracle,
+                    pruned: best_pruned,
+                    stats,
+                });
+            }
+        }
+    }
+
+    println!("\n{:<10} {:>8} {:>16} {:>18} {:>8}", "docs", "segments", "blocked bytes", "flat-vec bytes", "ratio");
+    for m in &memory {
+        println!(
+            "{:<10} {:>8} {:>16} {:>18} {:>7.2}x",
+            m.docs,
+            m.segments,
+            m.compressed,
+            m.uncompressed,
+            m.uncompressed as f64 / m.compressed.max(1) as f64
+        );
+    }
+
+    // Machine-readable snapshot for EXPERIMENTS.md / CI.
+    let mut json = String::from("{\n  \"bench\": \"blended_topk\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"docs\": {}, \"segments\": {}, \"k\": {}, \"exhaustive_ns_us\": {:.2}, \"pruned_ns_us\": {:.2}, \"speedup\": {:.2}, \"candidates\": {}, \"scored\": {}, \"blocks_skipped\": {}}}{}",
+            e.docs,
+            e.segments,
+            e.k,
+            e.exhaustive.as_secs_f64() * 1e6,
+            e.pruned.as_secs_f64() * 1e6,
+            e.exhaustive.as_secs_f64() / e.pruned.as_secs_f64().max(1e-12),
+            e.stats.candidates,
+            e.stats.scored,
+            e.stats.blocks_skipped,
+            if i + 1 == entries.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"memory\": [\n");
+    for (i, m) in memory.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"docs\": {}, \"segments\": {}, \"compressed_bytes\": {}, \"uncompressed_bytes\": {}, \"ratio\": {:.2}}}{}",
+            m.docs,
+            m.segments,
+            m.compressed,
+            m.uncompressed,
+            m.uncompressed as f64 / m.compressed.max(1) as f64,
+            if i + 1 == memory.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR5.json");
+    println!("\nwrote {}", out.display());
+    println!("all pruned rankings matched the exhaustive oracle bit-identically");
+}

@@ -159,6 +159,10 @@ pub struct SearchResponse {
     /// `explanations` cover only the stages that finished, and `timer`
     /// is a partial report of the work actually done.
     pub timed_out: bool,
+    /// Pruned-evaluator work counters for the scoring stage (all zero
+    /// when the request ran on the exhaustive or Threshold-Algorithm
+    /// path).
+    pub prune: newslink_text::PruneStats,
 }
 
 /// The outcome of executing a batch of requests.

@@ -91,6 +91,14 @@ pub struct NewsLinkConfig {
     /// across [`threads`](Self::threads); search results are bit-identical
     /// either way (global-stats overlay, see `crate::segment`).
     pub segment_docs: usize,
+    /// Rank the blended score with the block-max pruned evaluator
+    /// (`newslink_text::blended_scan`): documents whose score upper bound
+    /// cannot reach the current top-k threshold are skipped without being
+    /// scored, and whole posting blocks are skipped without being
+    /// decoded. Results are bit-identical to the exhaustive path — this
+    /// knob is an escape hatch (and the oracle switch for equivalence
+    /// tests), not a quality trade-off.
+    pub prune_topk: bool,
     /// Ceiling on live segment count (floor 1). Incremental inserts
     /// through [`crate::NewsLink::insert_document`] and
     /// [`crate::LiveNewsLink::commit`] compact adjacent segments back
@@ -110,6 +118,7 @@ impl Default for NewsLinkConfig {
             normalize_scores: true,
             use_threshold_algorithm: false,
             segment_docs: 0,
+            prune_topk: true,
             max_segments: 8,
         }
     }
@@ -187,6 +196,13 @@ impl NewsLinkConfig {
         self
     }
 
+    /// Enable or disable the pruned top-k evaluator (`false` routes the
+    /// blended score through the exhaustive full-scoring oracle path).
+    pub fn with_prune_topk(mut self, on: bool) -> Self {
+        self.prune_topk = on;
+        self
+    }
+
     /// Set the live segment-count ceiling (min 1).
     pub fn with_max_segments(mut self, max: usize) -> Self {
         self.max_segments = max.max(1);
@@ -206,6 +222,11 @@ mod tests {
         assert!(c.normalize_scores);
         assert_eq!(c.segment_docs, 0, "single segment by default");
         assert_eq!(c.max_segments, 8);
+        assert!(c.prune_topk, "pruned evaluator on by default");
+        assert!(
+            !NewsLinkConfig::default().with_prune_topk(false).prune_topk,
+            "escape hatch routes through the exhaustive oracle"
+        );
     }
 
     #[test]

@@ -235,6 +235,7 @@ impl<'g> NewsLink<'g> {
             cache: outcome.cache,
             explanations,
             timed_out,
+            prune: outcome.prune,
         }
     }
 

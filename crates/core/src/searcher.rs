@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use newslink_embed::{bon_terms, relationship_paths, DocEmbedding, RelationshipPath};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
-use newslink_text::{Bm25, DocId};
+use newslink_text::{Bm25, DocId, PruneStats};
 use newslink_util::{ComponentTimer, FxHashMap, TopK};
 
 use crate::api::QueryCacheInfo;
@@ -54,6 +54,9 @@ pub struct QueryOutcome {
     /// The deadline expired between pipeline stages; `results` is empty
     /// and `timer` reports only the stages that ran.
     pub timed_out: bool,
+    /// Pruned-evaluator work counters (all zero on the exhaustive and
+    /// Threshold-Algorithm paths, which do their own accounting).
+    pub prune: PruneStats,
 }
 
 /// Max-normalize per-segment score maps in place against their *global*
@@ -129,7 +132,7 @@ pub(crate) fn run_query(
     // per-component work-item counts identical either way.
     let (terms, embedding) = match caches {
         Some(c) => {
-            if let Some(art) = c.query.get(&query_text.to_string()) {
+            if let Some(art) = c.query.get(query_text) {
                 cache_info.query_hit = true;
                 timer.record("nlp", Duration::ZERO);
                 timer.record("ne", Duration::ZERO);
@@ -165,89 +168,28 @@ pub(crate) fn run_query(
             timer,
             cache: cache_info,
             timed_out: true,
+            prune: PruneStats::default(),
         };
     }
 
     let t_ns = Instant::now();
     let beta = beta_override.unwrap_or(config.beta).clamp(0.0, 1.0);
     let fan_threads = config.effective_threads(index.segment_count());
+    let mut prune = PruneStats::default();
 
-    // Both sides fan out across segments under the global-stats overlay,
-    // yielding one global-id-keyed score map per segment (disjoint keys).
-    // BOW is skipped entirely at β = 1, as in the paper's NewsLink(1).
-    let mut bow_parts = if beta < 1.0 {
-        index.score_side_parts(Side::Bow, Bm25::default(), &terms, fan_threads)
-    } else {
-        Vec::new()
-    };
-    // BON side (skipped at β = 0, which reduces to Lucene). Node streams
-    // are not prose: penalizing documents with rich embeddings would
-    // contradict the coverage goal, so BM25 runs without length
-    // normalization (b = 0) on the BON index.
-    let mut bon_parts = if beta > 0.0 {
-        let bon_bm25 = Bm25 { k1: 1.2, b: 0.0 };
-        index.score_side_parts(Side::Bon, bon_bm25, &bon_terms(&embedding), fan_threads)
-    } else {
-        Vec::new()
-    };
-    if config.normalize_scores {
-        max_normalize_parts(&mut bow_parts);
-        max_normalize_parts(&mut bon_parts);
-    }
-
-    let results = if config.use_threshold_algorithm {
-        // Ranked-list construction + Fagin's TA (§VI's cited top-k
-        // algorithm); equivalent results with an early-terminating scan.
-        // TA walks both lists globally, so the parts flatten first.
-        let bow_scores = flatten_parts(bow_parts);
-        let bon_scores = flatten_parts(bon_parts);
-        let mut bow_ranked: Vec<(DocId, f64)> = bow_scores.iter().map(|(&d, &s)| (d, s)).collect();
-        bow_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        let mut bon_ranked: Vec<(DocId, f64)> = bon_scores.iter().map(|(&d, &s)| (d, s)).collect();
-        bon_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        threshold_algorithm(
-            &bow_ranked,
-            &bon_ranked,
-            |d| bow_scores.get(&d).copied().unwrap_or(0.0),
-            |d| bon_scores.get(&d).copied().unwrap_or(0.0),
+    let results = if config.prune_topk && !config.use_threshold_algorithm {
+        // Block-max pruned blended top-k straight off the posting cursors
+        // (bit-identical to the exhaustive oracle below — the escape
+        // hatch is `with_prune_topk(false)`).
+        let (ranked, stats) = index.blended_topk(
             beta,
+            &terms,
+            &bon_terms(&embedding),
+            config.normalize_scores,
             k,
-        )
-        .results
-    } else {
-        // Per-segment blended top-k, then a top-k merge in segment order.
-        // Segment ranges ascend and `TopK` favors earlier insertions on
-        // ties, so the merged heap reproduces the monolithic
-        // ascending-doc-id scan bit for bit: a document beaten inside its
-        // own segment's top-k can never reach the global top-k.
-        let nsegs = bow_parts.len().max(bon_parts.len());
-        let empty = FxHashMap::default();
-        let mut merged = TopK::new(k);
-        for si in 0..nsegs {
-            let bow_scores = bow_parts.get(si).unwrap_or(&empty);
-            let bon_scores = bon_parts.get(si).unwrap_or(&empty);
-            let mut docs: Vec<DocId> = bow_scores
-                .keys()
-                .chain(bon_scores.keys())
-                .copied()
-                .collect();
-            docs.sort_unstable();
-            docs.dedup();
-            let mut seg_topk = TopK::new(k);
-            for doc in docs {
-                let bow = bow_scores.get(&doc).copied().unwrap_or(0.0);
-                let bon = bon_scores.get(&doc).copied().unwrap_or(0.0);
-                let score = (1.0 - beta) * bow + beta * bon;
-                if score > 0.0 {
-                    seg_topk.push(score, (doc, bow, bon));
-                }
-            }
-            for (score, item) in seg_topk.into_sorted() {
-                merged.push(score, item);
-            }
-        }
-        merged
-            .into_sorted()
+        );
+        prune = stats;
+        ranked
             .into_iter()
             .map(|(score, (doc, bow, bon))| SearchResult {
                 doc,
@@ -256,6 +198,151 @@ pub(crate) fn run_query(
                 bon,
             })
             .collect()
+    } else if config.prune_topk {
+        // TA over cursor-driven side scans: each side's per-segment
+        // vectors concatenate into one doc-ascending list whose per-doc
+        // sums are bit-identical to the exhaustive score maps, so ranking
+        // and probing reproduce the oracle path exactly while skipping
+        // its hash-map accumulation. BOW is skipped entirely at β = 1
+        // (the paper's NewsLink(1)); BON at β = 0 (reduces to Lucene).
+        // Node streams are not prose, so BON's BM25 runs without length
+        // normalization (b = 0).
+        let scan = |side, scorer, query_terms: &[String], active: bool| -> Vec<(DocId, f64)> {
+            if !active {
+                return Vec::new();
+            }
+            let mut flat: Vec<(DocId, f64)> = index
+                .side_scan_parts(side, scorer, query_terms, fan_threads)
+                .into_iter()
+                .flatten()
+                .collect();
+            if config.normalize_scores {
+                let max = flat.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+                if max > 0.0 {
+                    for (_, s) in flat.iter_mut() {
+                        *s /= max;
+                    }
+                }
+            }
+            flat
+        };
+        let bow_flat = scan(Side::Bow, Bm25::default(), &terms, beta < 1.0);
+        let bon_flat = scan(
+            Side::Bon,
+            Bm25 { k1: 1.2, b: 0.0 },
+            &bon_terms(&embedding),
+            beta > 0.0,
+        );
+        let probe = |flat: &[(DocId, f64)], d: DocId| match flat
+            .binary_search_by_key(&d, |&(doc, _)| doc)
+        {
+            Ok(i) => flat[i].1,
+            Err(_) => 0.0,
+        };
+        let mut bow_ranked = bow_flat.clone();
+        bow_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut bon_ranked = bon_flat.clone();
+        bon_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        threshold_algorithm(
+            &bow_ranked,
+            &bon_ranked,
+            |d| probe(&bow_flat, d),
+            |d| probe(&bon_flat, d),
+            beta,
+            k,
+        )
+        .results
+    } else {
+        // Exhaustive oracle path. Both sides fan out across segments under
+        // the global-stats overlay, yielding one global-id-keyed score map
+        // per segment (disjoint keys). BOW is skipped entirely at β = 1,
+        // as in the paper's NewsLink(1).
+        let mut bow_parts = if beta < 1.0 {
+            index.score_side_parts(Side::Bow, Bm25::default(), &terms, fan_threads)
+        } else {
+            Vec::new()
+        };
+        // BON side (skipped at β = 0, which reduces to Lucene). Node
+        // streams are not prose: penalizing documents with rich embeddings
+        // would contradict the coverage goal, so BM25 runs without length
+        // normalization (b = 0) on the BON index.
+        let mut bon_parts = if beta > 0.0 {
+            let bon_bm25 = Bm25 { k1: 1.2, b: 0.0 };
+            index.score_side_parts(Side::Bon, bon_bm25, &bon_terms(&embedding), fan_threads)
+        } else {
+            Vec::new()
+        };
+        if config.normalize_scores {
+            max_normalize_parts(&mut bow_parts);
+            max_normalize_parts(&mut bon_parts);
+        }
+
+        if config.use_threshold_algorithm {
+            // Ranked-list construction + Fagin's TA (§VI's cited top-k
+            // algorithm); equivalent results with an early-terminating
+            // scan. TA walks both lists globally, so the parts flatten
+            // first.
+            let bow_scores = flatten_parts(bow_parts);
+            let bon_scores = flatten_parts(bon_parts);
+            let mut bow_ranked: Vec<(DocId, f64)> =
+                bow_scores.iter().map(|(&d, &s)| (d, s)).collect();
+            bow_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut bon_ranked: Vec<(DocId, f64)> =
+                bon_scores.iter().map(|(&d, &s)| (d, s)).collect();
+            bon_ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            threshold_algorithm(
+                &bow_ranked,
+                &bon_ranked,
+                |d| bow_scores.get(&d).copied().unwrap_or(0.0),
+                |d| bon_scores.get(&d).copied().unwrap_or(0.0),
+                beta,
+                k,
+            )
+            .results
+        } else {
+            // Per-segment blended top-k, then a top-k merge in segment
+            // order. Segment ranges ascend and `TopK` favors earlier
+            // insertions on ties, so the merged heap reproduces the
+            // monolithic ascending-doc-id scan bit for bit: a document
+            // beaten inside its own segment's top-k can never reach the
+            // global top-k.
+            let nsegs = bow_parts.len().max(bon_parts.len());
+            let empty = FxHashMap::default();
+            let mut merged = TopK::new(k);
+            for si in 0..nsegs {
+                let bow_scores = bow_parts.get(si).unwrap_or(&empty);
+                let bon_scores = bon_parts.get(si).unwrap_or(&empty);
+                let mut docs: Vec<DocId> = bow_scores
+                    .keys()
+                    .chain(bon_scores.keys())
+                    .copied()
+                    .collect();
+                docs.sort_unstable();
+                docs.dedup();
+                let mut seg_topk = TopK::new(k);
+                for doc in docs {
+                    let bow = bow_scores.get(&doc).copied().unwrap_or(0.0);
+                    let bon = bon_scores.get(&doc).copied().unwrap_or(0.0);
+                    let score = (1.0 - beta) * bow + beta * bon;
+                    if score > 0.0 {
+                        seg_topk.push(score, (doc, bow, bon));
+                    }
+                }
+                for (score, item) in seg_topk.into_sorted() {
+                    merged.push(score, item);
+                }
+            }
+            merged
+                .into_sorted()
+                .into_iter()
+                .map(|(score, (doc, bow, bon))| SearchResult {
+                    doc,
+                    score,
+                    bow,
+                    bon,
+                })
+                .collect()
+        }
     };
     timer.record("ns", t_ns.elapsed());
 
@@ -265,6 +352,7 @@ pub(crate) fn run_query(
         timer,
         cache: cache_info,
         timed_out: false,
+        prune,
     }
 }
 

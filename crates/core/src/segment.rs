@@ -31,8 +31,8 @@
 
 use newslink_embed::{bon_term_counts, DocEmbedding};
 use newslink_text::{
-    maxscore_search_with, query_tf, score_segment, Bm25, CollectionStats, DocId, IndexBuilder,
-    InvertedIndex, TermId,
+    blended_scan, maxscore_search_with, query_tf, score_segment, side_scan, Bm25, CollectionStats,
+    DocId, IndexBuilder, InvertedIndex, PruneStats, SideSpec, TermId,
 };
 use newslink_util::{FxHashMap, FxHashSet, TopK};
 
@@ -533,6 +533,206 @@ impl NewsLinkIndex {
             .map(|(score, doc)| (doc, score))
             .collect()
     }
+
+    /// Resolve one side's collection-wide query state (overlay stats,
+    /// query term frequencies, live document frequencies) for the pruned
+    /// evaluators. `None` when the side is inactive or has no live
+    /// documents — matching the exhaustive path, which skips such sides
+    /// entirely (their contribution is 0.0).
+    fn side_work<'q>(
+        &self,
+        side: Side,
+        scorer: Bm25,
+        query_terms: &'q [String],
+        active: bool,
+    ) -> Option<SideWork<'q>> {
+        if !active {
+            return None;
+        }
+        let stats = self.side_stats(side);
+        if stats.docs == 0 {
+            return None;
+        }
+        let qtf = query_tf(query_terms);
+        let global_df = self.side_global_df(side, &qtf);
+        Some(SideWork {
+            side,
+            scorer,
+            stats,
+            qtf,
+            global_df,
+            norm: 1.0,
+        })
+    }
+
+    /// Resolve a side against one segment: posting lists in the canonical
+    /// query-term order (the `qtf` map's iteration order — exactly what
+    /// `score_segment` walks), with overlay df and the current
+    /// normalization divisor.
+    fn side_spec<'i>(&self, seg: &'i IndexSegment, w: &SideWork<'_>) -> SideSpec<'i> {
+        let index = seg.side(w.side);
+        let dict = index.dictionary();
+        let mut terms = Vec::with_capacity(w.qtf.len());
+        for (term, &q) in &w.qtf {
+            let Some(id) = dict.get(term) else { continue };
+            let df = w.global_df.get(term).copied().unwrap_or(0);
+            terms.push((index.postings(id), q, df));
+        }
+        SideSpec {
+            index,
+            scorer: w.scorer,
+            stats: w.stats,
+            terms,
+            norm: w.norm,
+        }
+    }
+
+    /// The side's global maximum raw score, found with a pruned top-1
+    /// pass over all segments (β pinned so the raw value passes through
+    /// the blend bit-exactly). Returns 0.0 when nothing matches — the
+    /// same fold-over-nothing result as the exhaustive normalizer.
+    fn side_top1(&self, w: &SideWork<'_>, prune: &mut PruneStats) -> f64 {
+        let mut top1: TopK<(DocId, f64, f64)> = TopK::new(1);
+        let beta = match w.side {
+            Side::Bow => 0.0,
+            Side::Bon => 1.0,
+        };
+        for seg in &self.segments {
+            let spec = self.side_spec(seg, w);
+            let (bow, bon) = match w.side {
+                Side::Bow => (Some(&spec), None),
+                Side::Bon => (None, Some(&spec)),
+            };
+            blended_scan(
+                bow,
+                bon,
+                beta,
+                f64::NEG_INFINITY,
+                |d| !self.tombstones.contains(&seg.global_of(d)),
+                |d| d,
+                &mut top1,
+                prune,
+            );
+        }
+        top1.into_sorted().first().map(|(s, _)| *s).unwrap_or(0.0)
+    }
+
+    /// Block-max pruned blended top-k over all live segments: Equation 3
+    /// `(1-β)·bow + β·bon` evaluated document-at-a-time, **bit-identical**
+    /// to the exhaustive score-map path (same scores, same tie order:
+    /// earlier segment / lower doc id wins among equals).
+    ///
+    /// Each segment gets its own fresh `TopK(k)` whose threshold drives
+    /// the pruning, and the per-segment survivors merge exactly like the
+    /// exhaustive path's per-segment heaps. The heaps must not be shared:
+    /// which of several *tied* documents a bounded heap retains depends on
+    /// how higher-scoring pushes interleave with the tied ones, so a
+    /// single heap carried across segments could keep a different tied doc
+    /// than the oracle's per-segment-then-merge structure. Cross-segment
+    /// pruning still happens through the `floor` argument — the merged
+    /// heap's k-th score after the previous segments, below which no
+    /// candidate can survive the merge (see [`blended_scan`] for why the
+    /// skip is exact).
+    ///
+    /// With `normalize` set, each active side's global maximum is found
+    /// first by a cheap pruned top-1 pass, then used as that side's
+    /// divisor in the main scan — reproducing the exhaustive
+    /// max-normalization exactly (a max over a set is feed-order
+    /// independent, so sharing the top-1 heap across segments is safe
+    /// there). Returns `(score, (doc, bow, bon))` tuples sorted by
+    /// descending score plus the pruning work counters.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn blended_topk(
+        &self,
+        beta: f64,
+        bow_terms: &[String],
+        bon_terms: &[String],
+        normalize: bool,
+        k: usize,
+    ) -> (Vec<(f64, (DocId, f64, f64))>, PruneStats) {
+        let mut prune = PruneStats::default();
+        if k == 0 {
+            return (Vec::new(), prune);
+        }
+        let bon_bm25 = Bm25 { k1: 1.2, b: 0.0 };
+        let mut bow = self.side_work(Side::Bow, Bm25::default(), bow_terms, beta < 1.0);
+        let mut bon = self.side_work(Side::Bon, bon_bm25, bon_terms, beta > 0.0);
+        if normalize {
+            for w in [&mut bow, &mut bon].into_iter().flatten() {
+                let max = self.side_top1(w, &mut prune);
+                if max > 0.0 {
+                    w.norm = max;
+                }
+            }
+        }
+        let mut merged: TopK<(DocId, f64, f64)> = TopK::new(k);
+        for seg in &self.segments {
+            let bow_spec = bow.as_ref().map(|w| self.side_spec(seg, w));
+            let bon_spec = bon.as_ref().map(|w| self.side_spec(seg, w));
+            let mut seg_topk: TopK<(DocId, f64, f64)> = TopK::new(k);
+            blended_scan(
+                bow_spec.as_ref(),
+                bon_spec.as_ref(),
+                beta,
+                merged.threshold().unwrap_or(f64::NEG_INFINITY),
+                |d| !self.tombstones.contains(&seg.global_of(d)),
+                |d| DocId(seg.global_of(d)),
+                &mut seg_topk,
+                &mut prune,
+            );
+            for (score, item) in seg_topk.into_sorted() {
+                merged.push(score, item);
+            }
+        }
+        (merged.into_sorted(), prune)
+    }
+
+    /// Exhaustive cursor-driven raw scores of one side, one vector per
+    /// segment in segment order, each ascending by (global) doc id with
+    /// per-document sums bit-identical to
+    /// [`NewsLinkIndex::score_side_parts`]'s map entries. Feeds the
+    /// Threshold Algorithm's ranked lists without building hash maps.
+    pub(crate) fn side_scan_parts(
+        &self,
+        side: Side,
+        scorer: Bm25,
+        query_terms: &[String],
+        threads: usize,
+    ) -> Vec<Vec<(DocId, f64)>> {
+        let Some(w) = self.side_work(side, scorer, query_terms, true) else {
+            return Vec::new();
+        };
+        let scan_one = |seg: &IndexSegment| -> Vec<(DocId, f64)> {
+            let spec = self.side_spec(seg, &w);
+            let mut out = Vec::new();
+            side_scan(
+                &spec,
+                |d| !self.tombstones.contains(&seg.global_of(d)),
+                &mut out,
+            );
+            out.into_iter()
+                .map(|(d, s)| (DocId(seg.global_of(d)), s))
+                .collect()
+        };
+        if threads <= 1 || self.segments.len() < 2 {
+            self.segments.iter().map(scan_one).collect()
+        } else {
+            crate::searcher::parallel_map(&self.segments, threads, scan_one)
+        }
+    }
+}
+
+/// One side's resolved query state, shared across segments by the pruned
+/// evaluators: overlay statistics, query term frequencies (whose map
+/// iteration order *is* the canonical accumulation order), live document
+/// frequencies, and the normalization divisor.
+struct SideWork<'q> {
+    side: Side,
+    scorer: Bm25,
+    stats: CollectionStats,
+    qtf: FxHashMap<&'q str, u32>,
+    global_df: FxHashMap<&'q str, u32>,
+    norm: f64,
 }
 
 #[cfg(test)]

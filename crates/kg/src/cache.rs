@@ -15,6 +15,7 @@
 //!
 //! [`clear`]: DistanceCache::clear
 
+use std::borrow::Borrow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
@@ -62,21 +63,35 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     #[inline]
-    fn shard(&self, key: &K) -> &RwLock<ClockCache<K, V>> {
+    fn shard<Q>(&self, key: &Q) -> &RwLock<ClockCache<K, V>>
+    where
+        Q: Hash + ?Sized,
+    {
         let mut h = FxHasher::default();
         key.hash(&mut h);
         &self.shards[h.finish() as usize & (self.shards.len() - 1)]
     }
 
-    /// Look up `key`, counting a hit or miss.
-    pub fn get(&self, key: &K) -> Option<V> {
+    /// Look up `key`, counting a hit or miss. Accepts any borrowed form
+    /// of the key (e.g. `&str` for `String` keys): the `Borrow` contract
+    /// guarantees the borrowed form hashes identically, so the probe
+    /// lands on the same shard without building an owned key.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.get_where(key, |_| true)
     }
 
     /// Look up `key` but only accept entries satisfying `usable`; a
     /// present-but-unusable entry counts as a miss (the caller is about to
     /// recompute it).
-    pub fn get_where(&self, key: &K, usable: impl FnOnce(&V) -> bool) -> Option<V> {
+    pub fn get_where<Q>(&self, key: &Q, usable: impl FnOnce(&V) -> bool) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let found = {
             let shard = self.shard(key).read();
             shard.get(key).filter(|v| usable(v)).cloned()

@@ -58,6 +58,9 @@ pub struct ServerMetrics {
     shed: AtomicU64,
     timeout: AtomicU64,
     error: AtomicU64,
+    ns_candidates: AtomicU64,
+    ns_docs_scored: AtomicU64,
+    ns_blocks_skipped: AtomicU64,
     latency_us: Mutex<Histogram>,
 }
 
@@ -81,8 +84,21 @@ impl ServerMetrics {
             shed: AtomicU64::new(0),
             timeout: AtomicU64::new(0),
             error: AtomicU64::new(0),
+            ns_candidates: AtomicU64::new(0),
+            ns_docs_scored: AtomicU64::new(0),
+            ns_blocks_skipped: AtomicU64::new(0),
             latency_us: Mutex::new(Histogram::new()),
         }
+    }
+
+    /// Fold one query's pruned-evaluator counters into the server-wide
+    /// totals (candidates considered, documents fully scored, posting
+    /// blocks skipped without decoding).
+    pub fn observe_pruning(&self, prune: &newslink_core::PruneStats) {
+        self.ns_candidates.fetch_add(prune.candidates, Ordering::Relaxed);
+        self.ns_docs_scored.fetch_add(prune.scored, Ordering::Relaxed);
+        self.ns_blocks_skipped
+            .fetch_add(prune.blocks_skipped, Ordering::Relaxed);
     }
 
     /// Record one finished request: which route it hit, the status it got,
@@ -186,6 +202,14 @@ impl ServerMetrics {
                 ]),
             ),
             ("in_flight".into(), num(in_flight as u64)),
+            (
+                "pruning".into(),
+                Value::Object(vec![
+                    ("candidates".into(), load(&self.ns_candidates)),
+                    ("docs_scored".into(), load(&self.ns_docs_scored)),
+                    ("blocks_skipped".into(), load(&self.ns_blocks_skipped)),
+                ]),
+            ),
             ("latency_us".into(), self.latency_us.lock().serialize_value()),
             ("cache".into(), cache.serialize_value()),
             (
@@ -254,11 +278,33 @@ mod tests {
         assert_eq!(snap["index"]["segments"], 3u64);
         assert_eq!(snap["index"]["tombstones"], 2u64);
         assert_eq!(snap["index"]["compactions"], 5u64);
+        assert_eq!(snap["pruning"]["candidates"], 0u64);
+        assert_eq!(snap["pruning"]["docs_scored"], 0u64);
+        assert_eq!(snap["pruning"]["blocks_skipped"], 0u64);
         // Without durability wiring, the section is absent entirely.
         assert!(snap["durability"].is_null());
         // The document renders as valid JSON text.
         let text = serde_json::to_string(&snap).unwrap();
         assert!(text.contains("\"uptime_ms\""));
+    }
+
+    #[test]
+    fn pruning_counters_accumulate_across_queries() {
+        let m = ServerMetrics::new();
+        m.observe_pruning(&newslink_core::PruneStats {
+            candidates: 10,
+            scored: 4,
+            blocks_skipped: 3,
+        });
+        m.observe_pruning(&newslink_core::PruneStats {
+            candidates: 5,
+            scored: 5,
+            blocks_skipped: 0,
+        });
+        let snap = m.snapshot(0, &EngineCacheStats::default(), IndexStats::default(), None);
+        assert_eq!(snap["pruning"]["candidates"], 15u64);
+        assert_eq!(snap["pruning"]["docs_scored"], 9u64);
+        assert_eq!(snap["pruning"]["blocks_skipped"], 3u64);
     }
 
     #[test]

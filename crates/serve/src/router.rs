@@ -185,6 +185,7 @@ fn handle_search(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
         Err(e) => return e.into_routed(Route::Search),
     };
     let response = ctx.engine.execute(&ctx.index.read(), &request);
+    ctx.metrics.observe_pruning(&response.prune);
     let status = if response.timed_out { 503 } else { 200 };
     routed(Route::Search, status, response.serialize_value().to_compact_string())
 }
@@ -198,6 +199,9 @@ fn handle_batch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
         Err(e) => return e.into_routed(Route::Batch),
     };
     let response = ctx.engine.execute_batch(&ctx.index.read(), &requests);
+    for r in &response.responses {
+        ctx.metrics.observe_pruning(&r.prune);
+    }
     routed(Route::Batch, 200, response.serialize_value().to_compact_string())
 }
 

@@ -1,22 +1,36 @@
 //! Binary persistence of inverted indexes.
 //!
 //! A versioned, varint-compressed on-disk format in the spirit of Lucene's
-//! index files: the dictionary (terms + document frequencies), per-term
-//! posting lists with delta-coded document ids, and the document-length
-//! table. Round-trips byte-exactly through [`write_index`] /
-//! [`read_index`].
+//! index files: the dictionary (terms + document frequencies), the
+//! document-length table, and per-term posting lists in their in-memory
+//! block-compressed form. Round-trips byte-exactly through [`write_index`]
+//! / [`read_index`].
 //!
-//! Layout (all integers LEB128 unless noted):
+//! Version 2 layout (all integers LEB128 unless noted):
 //!
 //! ```text
 //! magic    "NLIX"           4 raw bytes
-//! version  u8               raw byte (currently 1)
+//! version  u8               raw byte (currently 2)
 //! n_terms  varint
 //! terms    n_terms × (len-prefixed UTF-8, doc_freq varint)
-//! postings n_terms × (count varint, count × (doc_delta varint, tf varint))
 //! n_docs   varint
 //! doc_len  n_docs × varint
+//! postings n_terms × list
+//! list     count varint, then ceil(count / BLOCK_LEN) blocks
+//! block    last_doc varint, max_tf varint, n_bytes varint,
+//!          n_bytes raw delta-coded (doc_delta, tf) varint pairs
 //! ```
+//!
+//! Blocks are persisted exactly as [`crate::inverted::PostingList`] holds
+//! them in memory, so loading a segment is a validated copy, not a
+//! re-encode. Every block is re-decoded on read and checked against its
+//! own metadata (strictly ascending doc ids below `n_docs`, recomputed
+//! `last_doc`/`max_tf` matching, no trailing bytes) so torn or bit-flipped
+//! blocks surface as [`io::ErrorKind::InvalidData`] — which the snapshot
+//! layer maps onto its typed corrupt-frame error.
+//!
+//! Version 1 (uncompressed delta streams, postings before the doc-length
+//! table) is still readable; writers always emit version 2.
 
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -24,12 +38,19 @@ use std::path::Path;
 use newslink_util::varint;
 
 use crate::dictionary::{TermDictionary, TermId};
-use crate::inverted::{DocId, InvertedIndex, Posting};
+use crate::inverted::{BlockMeta, DocId, InvertedIndex, Posting, PostingList, BLOCK_LEN};
 
 const MAGIC: &[u8; 4] = b"NLIX";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 /// Defensive cap on term length when decoding untrusted input.
 const MAX_TERM_BYTES: usize = 1 << 16;
+/// Defensive cap on one block's byte length: `BLOCK_LEN` pairs of
+/// maximal 5-byte varints, rounded up.
+const MAX_BLOCK_BYTES: usize = BLOCK_LEN * 10 + 16;
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
 
 /// Serialize `index` to `out`.
 pub fn write_index<W: Write>(index: &InvertedIndex, out: &mut W) -> io::Result<()> {
@@ -42,19 +63,20 @@ pub fn write_index<W: Write>(index: &InvertedIndex, out: &mut W) -> io::Result<(
         varint::write_str(out, dict.term(term))?;
         varint::write_u32(out, dict.doc_freq(term))?;
     }
-    for t in 0..dict.len() {
-        let postings = index.postings(TermId(t as u32));
-        varint::write_u64(out, postings.len() as u64)?;
-        let mut prev = 0u32;
-        for p in postings {
-            varint::write_u32(out, p.doc.0 - prev)?;
-            varint::write_u32(out, p.tf)?;
-            prev = p.doc.0;
-        }
-    }
     varint::write_u64(out, index.doc_count() as u64)?;
     for d in 0..index.doc_count() {
         varint::write_u32(out, index.doc_len(DocId(d as u32)))?;
+    }
+    for t in 0..dict.len() {
+        let postings = index.postings(TermId(t as u32));
+        varint::write_u64(out, postings.len() as u64)?;
+        for (i, meta) in postings.blocks().iter().enumerate() {
+            let bytes = postings.block_bytes(i);
+            varint::write_u32(out, meta.last_doc)?;
+            varint::write_u32(out, meta.max_tf)?;
+            varint::write_u64(out, bytes.len() as u64)?;
+            out.write_all(bytes)?;
+        }
     }
     Ok(())
 }
@@ -64,16 +86,10 @@ pub fn read_index<R: Read>(input: &mut R) -> io::Result<InvertedIndex> {
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(corrupt("bad magic"));
     }
     let mut version = [0u8; 1];
     input.read_exact(&mut version)?;
-    if version[0] != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported index version {}", version[0]),
-        ));
-    }
     let n_terms = varint::read_u64(input)? as usize;
     let mut terms = Vec::with_capacity(n_terms.min(1 << 20));
     let mut doc_freq = Vec::with_capacity(n_terms.min(1 << 20));
@@ -81,7 +97,108 @@ pub fn read_index<R: Read>(input: &mut R) -> io::Result<InvertedIndex> {
         terms.push(varint::read_str(input, MAX_TERM_BYTES)?);
         doc_freq.push(varint::read_u32(input)?);
     }
-    let mut postings: Vec<Vec<Posting>> = Vec::with_capacity(n_terms.min(1 << 20));
+    let dict = TermDictionary::from_parts(terms, doc_freq);
+    match version[0] {
+        1 => read_v1_body(input, dict, n_terms),
+        2 => read_v2_body(input, dict, n_terms),
+        v => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported index version {v}"),
+        )),
+    }
+}
+
+/// Version 2 body: doc-length table, then block-compressed lists.
+fn read_v2_body<R: Read>(
+    input: &mut R,
+    dict: TermDictionary,
+    n_terms: usize,
+) -> io::Result<InvertedIndex> {
+    let (doc_len, total_len) = read_doc_lens(input)?;
+    let n_docs = doc_len.len();
+    let mut postings: Vec<PostingList> = Vec::with_capacity(n_terms.min(1 << 20));
+    for _ in 0..n_terms {
+        let count = varint::read_u64(input)? as usize;
+        let n_blocks = count.div_ceil(BLOCK_LEN);
+        let mut data = Vec::new();
+        let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20));
+        let mut prev = 0u32;
+        let mut first = true;
+        for b in 0..n_blocks {
+            let last_doc = varint::read_u32(input)?;
+            let max_tf = varint::read_u32(input)?;
+            let n_bytes = varint::read_u64(input)? as usize;
+            if n_bytes > MAX_BLOCK_BYTES {
+                return Err(corrupt("posting block oversized"));
+            }
+            let mut bytes = vec![0u8; n_bytes];
+            input.read_exact(&mut bytes)?;
+            // Validate the block against its own metadata before trusting
+            // it as an in-memory PostingList block.
+            let block_len = if b + 1 == n_blocks {
+                count - b * BLOCK_LEN
+            } else {
+                BLOCK_LEN
+            };
+            let mut r: &[u8] = &bytes;
+            let mut seen_max_tf = 0u32;
+            // The block's framing was intact, so running out of bytes
+            // mid-decode is corruption, not a short stream.
+            let torn = |_| corrupt("torn posting block");
+            for _ in 0..block_len {
+                let delta = varint::read_u32(&mut r).map_err(torn)?;
+                let tf = varint::read_u32(&mut r).map_err(torn)?;
+                let doc = if first {
+                    first = false;
+                    delta
+                } else {
+                    if delta == 0 {
+                        return Err(corrupt("posting block repeats a doc id"));
+                    }
+                    prev.checked_add(delta)
+                        .ok_or_else(|| corrupt("doc id overflow"))?
+                };
+                if doc as usize >= n_docs {
+                    return Err(corrupt("posting references unknown document"));
+                }
+                seen_max_tf = seen_max_tf.max(tf);
+                prev = doc;
+            }
+            if !r.is_empty() {
+                return Err(corrupt("trailing bytes in posting block"));
+            }
+            if prev != last_doc {
+                return Err(corrupt("posting block last_doc mismatch"));
+            }
+            if seen_max_tf != max_tf {
+                return Err(corrupt("posting block max_tf mismatch"));
+            }
+            let offset = u32::try_from(data.len())
+                .map_err(|_| corrupt("posting list exceeds 4 GiB"))?;
+            blocks.push(BlockMeta {
+                last_doc,
+                max_tf,
+                offset,
+            });
+            data.extend_from_slice(&bytes);
+        }
+        postings.push(PostingList::from_raw_parts(data, blocks, count));
+    }
+    Ok(InvertedIndex {
+        dict,
+        postings,
+        doc_len,
+        total_len,
+    })
+}
+
+/// Version 1 body: uncompressed delta streams, then the doc-length table.
+fn read_v1_body<R: Read>(
+    input: &mut R,
+    dict: TermDictionary,
+    n_terms: usize,
+) -> io::Result<InvertedIndex> {
+    let mut lists: Vec<Vec<Posting>> = Vec::with_capacity(n_terms.min(1 << 20));
     for _ in 0..n_terms {
         let count = varint::read_u64(input)? as usize;
         let mut list = Vec::with_capacity(count.min(1 << 20));
@@ -89,10 +206,11 @@ pub fn read_index<R: Read>(input: &mut R) -> io::Result<InvertedIndex> {
         for i in 0..count {
             let delta = varint::read_u32(input)?;
             let tf = varint::read_u32(input)?;
-            let doc = if i == 0 { delta } else {
-                prev.checked_add(delta).ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidData, "doc id overflow")
-                })?
+            let doc = if i == 0 {
+                delta
+            } else {
+                prev.checked_add(delta)
+                    .ok_or_else(|| corrupt("doc id overflow"))?
             };
             list.push(Posting {
                 doc: DocId(doc),
@@ -100,8 +218,26 @@ pub fn read_index<R: Read>(input: &mut R) -> io::Result<InvertedIndex> {
             });
             prev = doc;
         }
-        postings.push(list);
+        lists.push(list);
     }
+    let (doc_len, total_len) = read_doc_lens(input)?;
+    // Structural validation: postings must reference existing docs.
+    for list in &lists {
+        if let Some(last) = list.last() {
+            if last.doc.index() >= doc_len.len() {
+                return Err(corrupt("posting references unknown document"));
+            }
+        }
+    }
+    Ok(InvertedIndex {
+        dict,
+        postings: lists.iter().map(|l| PostingList::from_postings(l)).collect(),
+        doc_len,
+        total_len,
+    })
+}
+
+fn read_doc_lens<R: Read>(input: &mut R) -> io::Result<(Vec<u32>, u64)> {
     let n_docs = varint::read_u64(input)? as usize;
     let mut doc_len = Vec::with_capacity(n_docs.min(1 << 24));
     let mut total_len = 0u64;
@@ -110,23 +246,7 @@ pub fn read_index<R: Read>(input: &mut R) -> io::Result<InvertedIndex> {
         total_len += u64::from(l);
         doc_len.push(l);
     }
-    // Structural validation: postings must reference existing docs.
-    for list in &postings {
-        if let Some(last) = list.last() {
-            if last.doc.index() >= n_docs {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "posting references unknown document",
-                ));
-            }
-        }
-    }
-    Ok(InvertedIndex {
-        dict: TermDictionary::from_parts(terms, doc_freq),
-        postings,
-        doc_len,
-        total_len,
-    })
+    Ok((doc_len, total_len))
 }
 
 /// Save an index to a file.
@@ -177,6 +297,26 @@ mod tests {
             assert_eq!(back.postings(term), idx.postings(term));
         }
         assert_eq!(bd.doc_freq_slice(), d.doc_freq_slice());
+    }
+
+    #[test]
+    fn round_trip_preserves_multi_block_lists() {
+        // Enough docs sharing a term that its list spans several blocks.
+        let mut b = IndexBuilder::new();
+        for i in 0..1000u32 {
+            if i % 3 == 0 {
+                b.add_document(&["common", "filler"]);
+            } else {
+                b.add_document(&["common"]);
+            }
+        }
+        let idx = b.build();
+        assert!(idx.postings_for("common").blocks().len() > 1);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let back = read_index(&mut &buf[..]).unwrap();
+        assert_eq!(back.postings_for("common"), idx.postings_for("common"));
+        assert_eq!(back.postings_for("filler"), idx.postings_for("filler"));
     }
 
     #[test]
@@ -241,6 +381,131 @@ mod tests {
                 read_index(&mut &buf[..cut]).is_err(),
                 "cut at {cut} should fail"
             );
+        }
+    }
+
+    /// A hand-encoded v2 header: magic, version, one term `t` with the
+    /// given doc_freq, `doc_lens`, ready for a postings section.
+    fn v2_prefix(doc_lens: &[u32], doc_freq: u32) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(2);
+        varint::write_u64(&mut buf, 1).unwrap();
+        varint::write_str(&mut buf, "t").unwrap();
+        varint::write_u32(&mut buf, doc_freq).unwrap();
+        varint::write_u64(&mut buf, doc_lens.len() as u64).unwrap();
+        for &l in doc_lens {
+            varint::write_u32(&mut buf, l).unwrap();
+        }
+        buf
+    }
+
+    /// Append one posting block with explicit metadata and raw bytes.
+    fn push_block(buf: &mut Vec<u8>, last_doc: u32, max_tf: u32, bytes: &[u8]) {
+        varint::write_u32(buf, last_doc).unwrap();
+        varint::write_u32(buf, max_tf).unwrap();
+        varint::write_u64(buf, bytes.len() as u64).unwrap();
+        buf.extend_from_slice(bytes);
+    }
+
+    fn expect_corrupt(buf: &[u8], what: &str) {
+        let err = read_index(&mut &buf[..]).expect_err(what);
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{what}: {err}");
+    }
+
+    #[test]
+    fn torn_block_rejected() {
+        // Block claims two postings but its bytes hold only one pair.
+        let mut buf = v2_prefix(&[1, 1], 2);
+        varint::write_u64(&mut buf, 2).unwrap(); // count = 2
+        push_block(&mut buf, 1, 1, &[0x00, 0x01]); // only (delta=0, tf=1)
+        expect_corrupt(&buf, "torn block must be rejected");
+    }
+
+    #[test]
+    fn bad_varint_in_block_rejected() {
+        // 0xFF runs forever as a varint continuation: decode must bail.
+        let mut buf = v2_prefix(&[1, 1], 2);
+        varint::write_u64(&mut buf, 2).unwrap();
+        push_block(&mut buf, 1, 1, &[0xFF; 12]);
+        expect_corrupt(&buf, "bad varint must be rejected");
+    }
+
+    #[test]
+    fn duplicate_doc_in_block_rejected() {
+        // Second delta of 0 would repeat doc 0.
+        let mut buf = v2_prefix(&[1, 1], 2);
+        varint::write_u64(&mut buf, 2).unwrap();
+        push_block(&mut buf, 0, 1, &[0x00, 0x01, 0x00, 0x01]);
+        expect_corrupt(&buf, "repeated doc id must be rejected");
+    }
+
+    #[test]
+    fn block_metadata_mismatch_rejected() {
+        // Content decodes to docs {0, 1} tf 1, but metadata lies.
+        let content: &[u8] = &[0x00, 0x01, 0x01, 0x01];
+        for (last_doc, max_tf) in [(2u32, 1u32), (1, 9)] {
+            let mut buf = v2_prefix(&[1, 1], 2);
+            varint::write_u64(&mut buf, 2).unwrap();
+            push_block(&mut buf, last_doc, max_tf, content);
+            expect_corrupt(&buf, "metadata mismatch must be rejected");
+        }
+    }
+
+    #[test]
+    fn unknown_document_in_block_rejected() {
+        // Posting for doc 5 with only 2 documents in the table.
+        let mut buf = v2_prefix(&[1, 1], 1);
+        varint::write_u64(&mut buf, 1).unwrap();
+        push_block(&mut buf, 5, 1, &[0x05, 0x01]);
+        expect_corrupt(&buf, "out-of-range doc must be rejected");
+    }
+
+    #[test]
+    fn trailing_bytes_in_block_rejected() {
+        let mut buf = v2_prefix(&[1, 1], 1);
+        varint::write_u64(&mut buf, 1).unwrap();
+        push_block(&mut buf, 0, 1, &[0x00, 0x01, 0x07]);
+        expect_corrupt(&buf, "trailing block bytes must be rejected");
+    }
+
+    #[test]
+    fn v1_stream_still_readable() {
+        // Hand-encode the index `sample()` produces in the version-1
+        // layout (postings as one uncompressed delta stream, doc-length
+        // table last) and check it decodes equal to the v2 round-trip.
+        let idx = sample();
+        let dict = idx.dictionary();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(1);
+        varint::write_u64(&mut buf, dict.len() as u64).unwrap();
+        for t in 0..dict.len() {
+            let term = TermId(t as u32);
+            varint::write_str(&mut buf, dict.term(term)).unwrap();
+            varint::write_u32(&mut buf, dict.doc_freq(term)).unwrap();
+        }
+        for t in 0..dict.len() {
+            let postings = idx.postings(TermId(t as u32)).to_vec();
+            varint::write_u64(&mut buf, postings.len() as u64).unwrap();
+            let mut prev = 0u32;
+            for p in postings {
+                varint::write_u32(&mut buf, p.doc.0 - prev).unwrap();
+                varint::write_u32(&mut buf, p.tf).unwrap();
+                prev = p.doc.0;
+            }
+        }
+        varint::write_u64(&mut buf, idx.doc_count() as u64).unwrap();
+        for d in 0..idx.doc_count() {
+            varint::write_u32(&mut buf, idx.doc_len(DocId(d as u32))).unwrap();
+        }
+
+        let back = read_index(&mut &buf[..]).unwrap();
+        assert_eq!(back.doc_count(), idx.doc_count());
+        assert_eq!(back.avg_doc_len(), idx.avg_doc_len());
+        for t in 0..dict.len() {
+            let term = TermId(t as u32);
+            assert_eq!(back.postings(term), idx.postings(term));
         }
     }
 

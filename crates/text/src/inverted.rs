@@ -4,6 +4,21 @@
 //! statistics — the substrate both the "Lucene" baseline and NewsLink's
 //! BOW/BON scoring run on. Build with [`IndexBuilder`], then query through
 //! [`crate::search::Searcher`].
+//!
+//! ## Block-compressed postings
+//!
+//! Sealed posting lists are stored as fixed-size blocks of
+//! [`BLOCK_LEN`] entries, each a run of delta-coded LEB128 varints
+//! `(doc_delta, tf)`. Deltas continue across block boundaries (block
+//! `i`'s first delta is relative to block `i-1`'s last document), so a
+//! sequential [`PostingList::iter`] is one straight scan of the byte
+//! stream. Per-block metadata ([`BlockMeta`]) records the block's last
+//! document id and maximum term frequency: `last_doc` lets
+//! [`PostingCursor::seek`] skip whole blocks without decoding them, and
+//! `max_tf` gives block-max evaluators a per-block BM25 score bound.
+//! The [`IndexBuilder`] accumulates plain `Vec<Posting>` buffers and
+//! compresses only on [`IndexBuilder::build`] — the live (unsealed)
+//! representation stays uncompressed.
 
 use newslink_util::FxHashMap;
 
@@ -29,6 +44,384 @@ pub struct Posting {
     pub doc: DocId,
     /// Occurrences of the term in that document.
     pub tf: u32,
+}
+
+/// Entries per compressed posting block. Every block except the last
+/// holds exactly this many postings, so a posting's rank is
+/// `block_index * BLOCK_LEN + offset_in_block`.
+pub const BLOCK_LEN: usize = 128;
+
+/// Metadata of one compressed posting block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Highest document id in the block (skip pointer).
+    pub last_doc: u32,
+    /// Highest term frequency in the block (score-bound input).
+    pub max_tf: u32,
+    /// Byte offset of the block's first delta in the list's data.
+    pub(crate) offset: u32,
+}
+
+/// Append `v` as a LEB128 varint (same wire format as
+/// `newslink_util::varint::write_u32`).
+#[inline]
+fn push_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Decode one LEB128 varint from trusted in-memory data. Panics on
+/// truncation — the encoder in this module is the only producer.
+#[inline]
+fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+    let mut shift = 0u32;
+    let mut out = 0u32;
+    loop {
+        let b = data[*pos];
+        *pos += 1;
+        out |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return out;
+        }
+        shift += 7;
+    }
+}
+
+/// A block-compressed, immutable posting list sorted by document id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    /// Concatenated `(doc_delta, tf)` varint pairs for all blocks.
+    data: Vec<u8>,
+    /// One entry per block, ascending by `last_doc`.
+    blocks: Vec<BlockMeta>,
+    /// Total postings across all blocks.
+    count: usize,
+}
+
+/// The empty list `postings_for` hands out for unindexed terms.
+static EMPTY_LIST: PostingList = PostingList {
+    data: Vec::new(),
+    blocks: Vec::new(),
+    count: 0,
+};
+
+impl PostingList {
+    /// Compress a doc-sorted posting slice into blocks.
+    pub fn from_postings(postings: &[Posting]) -> Self {
+        let mut data = Vec::new();
+        let mut blocks = Vec::with_capacity(postings.len().div_ceil(BLOCK_LEN));
+        let mut prev = 0u32;
+        for chunk in postings.chunks(BLOCK_LEN) {
+            let offset = u32::try_from(data.len()).expect("posting list exceeds 4 GiB");
+            let mut max_tf = 0u32;
+            for p in chunk {
+                debug_assert!(p.doc.0 >= prev, "postings must be sorted by doc id");
+                push_varint(&mut data, p.doc.0 - prev);
+                push_varint(&mut data, p.tf);
+                max_tf = max_tf.max(p.tf);
+                prev = p.doc.0;
+            }
+            blocks.push(BlockMeta {
+                last_doc: prev,
+                max_tf,
+                offset,
+            });
+        }
+        Self {
+            data,
+            blocks,
+            count: postings.len(),
+        }
+    }
+
+    /// Assemble from already-validated compressed parts (codec read path).
+    pub(crate) fn from_raw_parts(data: Vec<u8>, blocks: Vec<BlockMeta>, count: usize) -> Self {
+        Self {
+            data,
+            blocks,
+            count,
+        }
+    }
+
+    /// Number of postings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no document contains the term.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-block metadata, ascending by `last_doc`.
+    pub fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    /// The raw delta bytes of block `i` (codec write path).
+    pub(crate) fn block_bytes(&self, i: usize) -> &[u8] {
+        let start = self.blocks[i].offset as usize;
+        let end = self
+            .blocks
+            .get(i + 1)
+            .map_or(self.data.len(), |b| b.offset as usize);
+        &self.data[start..end]
+    }
+
+    /// Highest term frequency anywhere in the list (list-level score
+    /// bound input).
+    pub fn max_tf(&self) -> u32 {
+        self.blocks.iter().map(|b| b.max_tf).max().unwrap_or(0)
+    }
+
+    /// Heap bytes held by the compressed representation.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
+
+    /// Entries in block `i` (every block is full except possibly the last).
+    #[inline]
+    fn block_len(&self, block: usize) -> usize {
+        if block + 1 == self.blocks.len() {
+            self.count - block * BLOCK_LEN
+        } else {
+            BLOCK_LEN
+        }
+    }
+
+    /// Sequential decode of the whole list.
+    pub fn iter(&self) -> PostingIter<'_> {
+        PostingIter {
+            data: &self.data,
+            pos: 0,
+            prev: 0,
+            remaining: self.count,
+        }
+    }
+
+    /// Decode into a plain vector (tests, merges).
+    pub fn to_vec(&self) -> Vec<Posting> {
+        self.iter().collect()
+    }
+
+    /// Random access: the posting for `doc` and its rank in the list,
+    /// if present. Skips to the right block by metadata, then decodes
+    /// only that block.
+    pub fn find(&self, doc: DocId) -> Option<(usize, Posting)> {
+        let bi = self.blocks.partition_point(|b| b.last_doc < doc.0);
+        if bi >= self.blocks.len() {
+            return None;
+        }
+        let mut pos = self.blocks[bi].offset as usize;
+        let mut prev = if bi == 0 {
+            0
+        } else {
+            self.blocks[bi - 1].last_doc
+        };
+        for j in 0..self.block_len(bi) {
+            prev += read_varint(&self.data, &mut pos);
+            let tf = read_varint(&self.data, &mut pos);
+            if prev >= doc.0 {
+                return (prev == doc.0).then_some((bi * BLOCK_LEN + j, Posting { doc, tf }));
+            }
+        }
+        None
+    }
+
+    /// A seekable cursor positioned at the first posting.
+    pub fn cursor(&self) -> PostingCursor<'_> {
+        PostingCursor::new(self)
+    }
+}
+
+/// Sequential iterator over a [`PostingList`].
+#[derive(Debug, Clone)]
+pub struct PostingIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    prev: u32,
+    remaining: usize,
+}
+
+impl Iterator for PostingIter<'_> {
+    type Item = Posting;
+
+    #[inline]
+    fn next(&mut self) -> Option<Posting> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.prev += read_varint(self.data, &mut self.pos);
+        let tf = read_varint(self.data, &mut self.pos);
+        Some(Posting {
+            doc: DocId(self.prev),
+            tf,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PostingIter<'_> {}
+
+impl<'a> IntoIterator for &'a PostingList {
+    type Item = Posting;
+    type IntoIter = PostingIter<'a>;
+
+    fn into_iter(self) -> PostingIter<'a> {
+        self.iter()
+    }
+}
+
+/// A DAAT cursor over a [`PostingList`] with block-skipping `seek`.
+///
+/// The cursor keeps exactly one block decoded. [`PostingCursor::seek`]
+/// first consults block metadata: blocks whose `last_doc` is below the
+/// target are skipped whole, without decoding (counted in
+/// [`PostingCursor::blocks_skipped`]), and only the landing block is
+/// materialized.
+#[derive(Debug, Clone)]
+pub struct PostingCursor<'a> {
+    list: &'a PostingList,
+    /// Current block; `list.blocks.len()` once exhausted.
+    block: usize,
+    /// Position within the decoded block.
+    pos: usize,
+    /// Entries in the decoded block.
+    len: usize,
+    docs: [u32; BLOCK_LEN],
+    tfs: [u32; BLOCK_LEN],
+    blocks_skipped: u64,
+}
+
+impl<'a> PostingCursor<'a> {
+    fn new(list: &'a PostingList) -> Self {
+        let mut c = Self {
+            list,
+            block: 0,
+            pos: 0,
+            len: 0,
+            docs: [0; BLOCK_LEN],
+            tfs: [0; BLOCK_LEN],
+            blocks_skipped: 0,
+        };
+        if !list.blocks.is_empty() {
+            c.decode_block(0);
+        }
+        c
+    }
+
+    fn decode_block(&mut self, block: usize) {
+        let mut pos = self.list.blocks[block].offset as usize;
+        let mut prev = if block == 0 {
+            0
+        } else {
+            self.list.blocks[block - 1].last_doc
+        };
+        let len = self.list.block_len(block);
+        for j in 0..len {
+            prev += read_varint(&self.list.data, &mut pos);
+            self.docs[j] = prev;
+            self.tfs[j] = read_varint(&self.list.data, &mut pos);
+        }
+        self.block = block;
+        self.len = len;
+        self.pos = 0;
+    }
+
+    /// True once every posting has been passed.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.block >= self.list.blocks.len()
+    }
+
+    /// The posting under the cursor.
+    #[inline]
+    pub fn current(&self) -> Option<Posting> {
+        if self.is_exhausted() {
+            None
+        } else {
+            Some(Posting {
+                doc: DocId(self.docs[self.pos]),
+                tf: self.tfs[self.pos],
+            })
+        }
+    }
+
+    /// The document under the cursor.
+    #[inline]
+    pub fn current_doc(&self) -> Option<DocId> {
+        if self.is_exhausted() {
+            None
+        } else {
+            Some(DocId(self.docs[self.pos]))
+        }
+    }
+
+    /// Highest term frequency in the current block (0 when exhausted) —
+    /// the block-max score-bound input.
+    #[inline]
+    pub fn block_max_tf(&self) -> u32 {
+        if self.is_exhausted() {
+            0
+        } else {
+            self.list.blocks[self.block].max_tf
+        }
+    }
+
+    /// Blocks skipped whole (never decoded) by `seek` so far.
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped
+    }
+
+    /// Step to the next posting.
+    pub fn advance(&mut self) {
+        if self.is_exhausted() {
+            return;
+        }
+        self.pos += 1;
+        if self.pos >= self.len {
+            let next = self.block + 1;
+            if next < self.list.blocks.len() {
+                self.decode_block(next);
+            } else {
+                self.block = next;
+            }
+        }
+    }
+
+    /// Move to the first posting with `doc >= target`. Blocks wholly
+    /// below the target are skipped by metadata without decoding.
+    pub fn seek(&mut self, target: DocId) {
+        if self.is_exhausted() || self.docs[self.pos] >= target.0 {
+            return;
+        }
+        if self.list.blocks[self.block].last_doc < target.0 {
+            let from = self.block + 1;
+            let skip = self.list.blocks[from..].partition_point(|b| b.last_doc < target.0);
+            self.blocks_skipped += skip as u64;
+            let landing = from + skip;
+            if landing >= self.list.blocks.len() {
+                self.block = landing;
+                return;
+            }
+            self.decode_block(landing);
+        }
+        // The block's last_doc is >= target, so the position is in range.
+        self.pos += self.docs[self.pos..self.len].partition_point(|&d| d < target.0);
+    }
 }
 
 /// Collection-level statistics BM25 needs: how many documents exist and
@@ -85,7 +478,7 @@ impl CollectionStats {
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
     pub(crate) dict: TermDictionary,
-    pub(crate) postings: Vec<Vec<Posting>>,
+    pub(crate) postings: Vec<PostingList>,
     pub(crate) doc_len: Vec<u32>,
     pub(crate) total_len: u64,
 }
@@ -119,26 +512,28 @@ impl InvertedIndex {
 
     /// Posting list for a term id (sorted by doc id).
     #[inline]
-    pub fn postings(&self, term: TermId) -> &[Posting] {
+    pub fn postings(&self, term: TermId) -> &PostingList {
         &self.postings[term.index()]
     }
 
     /// Posting list for a term string, empty when unindexed.
-    pub fn postings_for(&self, term: &str) -> &[Posting] {
+    pub fn postings_for(&self, term: &str) -> &PostingList {
         match self.dict.get(term) {
             Some(id) => self.postings(id),
-            None => &[],
+            None => &EMPTY_LIST,
         }
     }
 
-    /// Term frequency of `term` in `doc` (binary search over the posting
-    /// list).
+    /// Term frequency of `term` in `doc` (block-skip + in-block scan).
     pub fn term_freq(&self, term: &str, doc: DocId) -> u32 {
-        let p = self.postings_for(term);
-        match p.binary_search_by_key(&doc, |e| e.doc) {
-            Ok(i) => p[i].tf,
-            Err(_) => 0,
-        }
+        self.postings_for(term)
+            .find(doc)
+            .map_or(0, |(_, p)| p.tf)
+    }
+
+    /// Heap bytes held by all compressed posting lists (blocks + deltas).
+    pub fn postings_heap_bytes(&self) -> usize {
+        self.postings.iter().map(PostingList::heap_bytes).sum()
     }
 }
 
@@ -232,14 +627,19 @@ impl IndexBuilder {
         &self.dict
     }
 
-    /// Freeze into an immutable index.
+    /// Freeze into an immutable index: seal every per-term buffer into
+    /// its block-compressed form.
     pub fn build(mut self) -> InvertedIndex {
         // Terms interned but never posted (impossible through the public
         // API, defensive for future extension).
         self.postings.resize_with(self.dict.len(), Vec::new);
         InvertedIndex {
             dict: self.dict,
-            postings: self.postings,
+            postings: self
+                .postings
+                .iter()
+                .map(|p| PostingList::from_postings(p))
+                .collect(),
             doc_len: self.doc_len,
             total_len: self.total_len,
         }
@@ -269,7 +669,7 @@ mod tests {
     #[test]
     fn postings_sorted_with_tf() {
         let idx = sample();
-        let p = idx.postings_for("pakistan");
+        let p = idx.postings_for("pakistan").to_vec();
         assert_eq!(p.len(), 2);
         assert_eq!(p[0].doc, DocId(0));
         assert_eq!(p[1].doc, DocId(1));
@@ -299,6 +699,8 @@ mod tests {
         let idx = sample();
         assert!(idx.postings_for("zebra").is_empty());
         assert_eq!(idx.term_freq("zebra", DocId(0)), 0);
+        assert!(idx.postings_for("zebra").find(DocId(0)).is_none());
+        assert!(idx.postings_for("zebra").cursor().current().is_none());
     }
 
     #[test]
@@ -359,5 +761,117 @@ mod tests {
         let idx = b.build();
         assert_eq!(idx.doc_len(d), 0);
         assert_eq!(idx.doc_count(), 1);
+    }
+
+    /// A long, gappy posting list spanning several blocks.
+    fn long_list() -> (Vec<Posting>, PostingList) {
+        let postings: Vec<Posting> = (0..1000u32)
+            .map(|i| Posting {
+                doc: DocId(i * 7 + (i % 3)),
+                tf: 1 + (i % 9),
+            })
+            .collect();
+        let list = PostingList::from_postings(&postings);
+        (postings, list)
+    }
+
+    #[test]
+    fn block_round_trip_multi_block() {
+        let (postings, list) = long_list();
+        assert_eq!(list.len(), postings.len());
+        assert_eq!(list.blocks().len(), postings.len().div_ceil(BLOCK_LEN));
+        assert_eq!(list.to_vec(), postings);
+        // Block metadata matches the content.
+        for (bi, chunk) in postings.chunks(BLOCK_LEN).enumerate() {
+            let meta = list.blocks()[bi];
+            assert_eq!(meta.last_doc, chunk.last().unwrap().doc.0);
+            assert_eq!(meta.max_tf, chunk.iter().map(|p| p.tf).max().unwrap());
+        }
+        assert_eq!(list.max_tf(), 9);
+    }
+
+    #[test]
+    fn find_matches_linear_scan() {
+        let (postings, list) = long_list();
+        for (rank, p) in postings.iter().enumerate() {
+            assert_eq!(list.find(p.doc), Some((rank, *p)));
+        }
+        // Misses: docs in the gaps and past the end.
+        assert_eq!(list.find(DocId(postings.last().unwrap().doc.0 + 1)), None);
+        for probe in [3u32, 10, 7_000] {
+            if postings.iter().all(|p| p.doc.0 != probe) {
+                assert_eq!(list.find(DocId(probe)), None, "doc {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_advance_walks_every_posting() {
+        let (postings, list) = long_list();
+        let mut c = list.cursor();
+        for p in &postings {
+            assert_eq!(c.current(), Some(*p));
+            c.advance();
+        }
+        assert!(c.is_exhausted());
+        assert!(c.current().is_none());
+        c.advance();
+        assert!(c.is_exhausted(), "advance past the end is a no-op");
+    }
+
+    #[test]
+    fn cursor_seek_skips_blocks_without_decoding() {
+        let (postings, list) = long_list();
+        let mut c = list.cursor();
+        // Jump straight to the last posting: every interior block skips.
+        let last = *postings.last().unwrap();
+        c.seek(last.doc);
+        assert_eq!(c.current(), Some(last));
+        assert_eq!(c.blocks_skipped(), list.blocks().len() as u64 - 2);
+        // Seeking backwards or to the current doc is a no-op.
+        c.seek(DocId(0));
+        assert_eq!(c.current(), Some(last));
+        c.advance();
+        assert!(c.is_exhausted());
+        c.seek(DocId(u32::MAX));
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn cursor_seek_matches_linear_semantics() {
+        let (postings, list) = long_list();
+        // For a spread of targets: seek lands on the first doc >= target.
+        for target in (0..7100u32).step_by(13) {
+            let mut c = list.cursor();
+            c.seek(DocId(target));
+            let want = postings.iter().find(|p| p.doc.0 >= target).copied();
+            assert_eq!(c.current(), want, "target {target}");
+        }
+    }
+
+    #[test]
+    fn cursor_block_max_tf_tracks_current_block() {
+        let (postings, list) = long_list();
+        let mut c = list.cursor();
+        while let Some(p) = c.current() {
+            let bi = postings.iter().position(|q| q.doc == p.doc).unwrap() / BLOCK_LEN;
+            assert_eq!(c.block_max_tf(), list.blocks()[bi].max_tf);
+            c.advance();
+        }
+        assert_eq!(c.block_max_tf(), 0);
+    }
+
+    #[test]
+    fn compression_shrinks_dense_lists() {
+        let postings: Vec<Posting> = (0..10_000u32)
+            .map(|i| Posting { doc: DocId(i), tf: 1 })
+            .collect();
+        let list = PostingList::from_postings(&postings);
+        let uncompressed = postings.len() * std::mem::size_of::<Posting>();
+        assert!(
+            list.heap_bytes() < uncompressed / 2,
+            "expected >2x shrink: {} vs {uncompressed}",
+            list.heap_bytes()
+        );
     }
 }

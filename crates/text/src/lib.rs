@@ -16,10 +16,15 @@ pub mod score;
 pub mod search;
 
 pub use dictionary::{TermDictionary, TermId};
-pub use inverted::{CollectionStats, DocId, IndexBuilder, InvertedIndex, Posting};
+pub use inverted::{
+    BlockMeta, CollectionStats, DocId, IndexBuilder, InvertedIndex, Posting, PostingCursor,
+    PostingIter, PostingList, BLOCK_LEN,
+};
 pub use score::{Bm25, Scorer, TfIdfCosine};
 pub use codec::{load_index, read_index, save_index, write_index};
 pub use live::{GlobalId, SegmentedIndex};
-pub use maxscore::{maxscore_search, maxscore_search_with};
+pub use maxscore::{
+    blended_scan, maxscore_search, maxscore_search_with, side_scan, PruneStats, SideSpec,
+};
 pub use positions::{PositionalBuilder, PositionalIndex};
 pub use search::{query_tf, score_segment, Hit, Searcher};

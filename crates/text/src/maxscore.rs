@@ -1,55 +1,86 @@
-//! Document-at-a-time top-k with MaxScore pruning.
+//! Document-at-a-time top-k with MaxScore and block-max pruning.
 //!
 //! The paper's NS component "employ\[s\] existing top-k ranking algorithms
 //! \[Threshold Algorithm; VSM\]" (§VI). This module provides the
-//! single-index half: a document-at-a-time evaluator with per-term score
-//! upper bounds (Turtle & Flood's MaxScore). Terms are split into an
-//! *essential* set — at least one of which any new top-k document must
-//! contain — and a non-essential remainder evaluated only for candidates,
-//! with early exit once the candidate's score bound falls below the
-//! current threshold.
+//! index-pruning half of that machinery:
+//!
+//! - [`maxscore_search`] / [`maxscore_search_with`] — single-side BM25
+//!   top-k with Turtle & Flood's MaxScore term partition, upgraded with
+//!   block-max bounds: terms are split into an *essential* set — at least
+//!   one of which any new top-k document must contain — and a
+//!   non-essential remainder evaluated only for candidates that survive a
+//!   per-block score bound check. [`PostingCursor::seek`] skips whole
+//!   compressed blocks via their metadata without decoding them.
+//! - [`blended_scan`] — the *two-sided* evaluator behind NewsLink's
+//!   Equation-3 score `(1-β)·bow + β·bon`: one cursor set drives both the
+//!   BOW and the BON posting lists with the combined bound
+//!   `(1-β)·bow_bound + β·bon_bound`, producing the blended top-k
+//!   directly, without materializing per-document score maps.
+//! - [`side_scan`] — an exhaustive cursor scan of one side used by the
+//!   Threshold Algorithm path to build its sorted-access lists.
+//!
+//! ## Exactness
+//!
+//! Pruning decisions only ever *skip* pushing a document whose score
+//! upper bound cannot beat the current k-th score; a skipped push is
+//! exactly one the top-k heap would have rejected (rejected pushes leave
+//! the heap untouched, including its tie counter). Full scores are
+//! accumulated in the same canonical term order as the exhaustive
+//! evaluator ([`crate::search::score_segment`]), so surviving documents
+//! carry bit-identical f64 scores. Every bound is additionally inflated
+//! by [`SAFETY`] before comparison so floating-point rounding in the
+//! bound arithmetic can never turn a mathematical upper bound into a
+//! hair-too-small one.
 
 use newslink_util::{FxHashMap, TopK};
 
 use crate::dictionary::TermId;
-use crate::inverted::{CollectionStats, DocId, InvertedIndex, Posting};
+use crate::inverted::{CollectionStats, DocId, InvertedIndex, PostingCursor, PostingList};
 use crate::score::Bm25;
 use crate::search::Hit;
 
-/// Per-query-term state for DAAT traversal.
-struct TermCursor<'i> {
-    postings: &'i [Posting],
-    pos: usize,
-    df: u32,
-    qtf: u32,
-    /// Upper bound on this term's contribution to any document.
-    max_contribution: f64,
+/// Multiplicative inflation applied to every pruning bound before it is
+/// compared against the heap threshold. Bounds are mathematical upper
+/// bounds evaluated in floating point; their handful of f64 operations
+/// can land within ~1e-14 relative error of the true supremum, so
+/// comparing `bound * SAFETY` guarantees a document whose exact score
+/// would beat the threshold is never skipped — pruning stays exact, it
+/// only becomes infinitesimally less eager.
+pub const SAFETY: f64 = 1.0 + 1e-9;
+
+/// Work counters for the pruned evaluators: how much the index structure
+/// let us avoid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PruneStats {
+    /// Live candidate documents examined (DAAT pivots).
+    pub candidates: u64,
+    /// Candidates that survived every bound check and were fully scored.
+    pub scored: u64,
+    /// Posting blocks skipped whole by metadata, never decoded.
+    pub blocks_skipped: u64,
 }
 
-impl TermCursor<'_> {
-    #[inline]
-    fn current(&self) -> Option<Posting> {
-        self.postings.get(self.pos).copied()
+impl PruneStats {
+    /// Fold another evaluator pass's counters in.
+    pub fn add(&mut self, other: &PruneStats) {
+        self.candidates += other.candidates;
+        self.scored += other.scored;
+        self.blocks_skipped += other.blocks_skipped;
     }
+}
 
-    /// Advance to the first posting with `doc >= target` (galloping).
-    fn seek(&mut self, target: DocId) {
-        if self.current().is_some_and(|p| p.doc >= target) {
-            return;
-        }
-        let mut step = 1;
-        let mut lo = self.pos;
-        let mut hi = self.pos;
-        while hi < self.postings.len() && self.postings[hi].doc < target {
-            lo = hi;
-            hi = (hi + step).min(self.postings.len());
-            step *= 2;
-        }
-        // Binary search in (lo, hi].
-        let slice = &self.postings[lo..hi.min(self.postings.len())];
-        let offset = slice.partition_point(|p| p.doc < target);
-        self.pos = lo + offset;
+/// Upper bound of BM25's tf-saturation factor over all document lengths:
+/// `tf·(k1+1) / (tf + k1·(1-b))` — the saturation at the minimal length
+/// norm `1-b` (`doc_len = 0`). Exact (not just an upper bound) for
+/// `b = 0`, where the norm is length-independent.
+#[inline]
+fn sat_bound(scorer: &Bm25, tf: u32) -> f64 {
+    if tf == 0 {
+        return 0.0;
     }
+    let tf = f64::from(tf);
+    tf * (scorer.k1 + 1.0) / (tf + scorer.k1 * (1.0 - scorer.b))
 }
 
 /// Top-k search with MaxScore pruning; identical results to exhaustive
@@ -70,6 +101,17 @@ pub fn maxscore_search<T: AsRef<str>>(
         |term| dict.get(term).map(|t| dict.doc_freq(t)).unwrap_or(0),
         |_| true,
     )
+}
+
+/// Per-query-term state for the single-side DAAT traversal.
+struct TermCursor<'i> {
+    cursor: PostingCursor<'i>,
+    df: u32,
+    qtf: u32,
+    /// `qtf · idf` — multiply by a saturation bound for a score bound.
+    base: f64,
+    /// Upper bound on this term's contribution to any document.
+    max_contribution: f64,
 }
 
 /// MaxScore top-k over one **segment** of a larger collection.
@@ -109,14 +151,15 @@ pub fn maxscore_search_with<T: AsRef<str>>(
                 return None;
             }
             let df = df_of(dict.term(term));
-            // BM25 contribution is bounded by idf · (k1+1) · qtf (the tf
-            // saturation limit with the smallest possible length norm).
-            let max_contribution = f64::from(qtf) * scorer.idf(stats.docs, df) * (scorer.k1 + 1.0);
+            let base = f64::from(qtf) * scorer.idf(stats.docs, df);
+            // Bounded by the saturation limit of the list's largest tf at
+            // the smallest possible length norm.
+            let max_contribution = base * sat_bound(&scorer, postings.max_tf());
             Some(TermCursor {
-                postings,
-                pos: 0,
+                cursor: postings.cursor(),
                 df,
                 qtf,
+                base,
                 max_contribution,
             })
         })
@@ -140,7 +183,7 @@ pub fn maxscore_search_with<T: AsRef<str>>(
         // Raise the essential boundary as far as the threshold allows.
         if let Some(theta) = topk.threshold() {
             while first_essential < cursors.len()
-                && prefix_bounds[first_essential + 1] <= theta
+                && prefix_bounds[first_essential + 1] * SAFETY <= theta
             {
                 first_essential += 1;
             }
@@ -148,13 +191,14 @@ pub fn maxscore_search_with<T: AsRef<str>>(
         if first_essential >= cursors.len() {
             break; // no essential terms left: nothing new can qualify
         }
-        // Next candidate: smallest current doc among essential cursors.
+        // Next candidate: smallest current doc among essential cursors
+        // (essential cursors never lag behind the pivot).
         let mut pivot: Option<DocId> = None;
         for c in &cursors[first_essential..] {
-            if let Some(p) = c.current() {
+            if let Some(d) = c.cursor.current_doc() {
                 pivot = Some(match pivot {
-                    Some(d) if d <= p.doc => d,
-                    _ => p.doc,
+                    Some(p) if p <= d => p,
+                    _ => d,
                 });
             }
         }
@@ -163,23 +207,40 @@ pub fn maxscore_search_with<T: AsRef<str>>(
         // Tombstoned documents never qualify: advance past and move on.
         if !live(doc) {
             for c in cursors[first_essential..].iter_mut() {
-                c.seek(doc);
-                if c.current().is_some_and(|p| p.doc == doc) {
-                    c.pos += 1;
+                if c.cursor.current_doc() == Some(doc) {
+                    c.cursor.advance();
                 }
             }
             continue;
+        }
+
+        // Block-max refinement: tighten the essential bound from list-level
+        // to the blocks the candidate actually lives in.
+        if let Some(theta) = topk.threshold() {
+            let mut block_bound = prefix_bounds[first_essential];
+            for c in &cursors[first_essential..] {
+                if c.cursor.current_doc() == Some(doc) {
+                    block_bound += c.base * sat_bound(&scorer, c.cursor.block_max_tf());
+                }
+            }
+            if block_bound * SAFETY <= theta {
+                for c in cursors[first_essential..].iter_mut() {
+                    if c.cursor.current_doc() == Some(doc) {
+                        c.cursor.advance();
+                    }
+                }
+                continue;
+            }
         }
 
         // Score essential terms for `doc`, advancing their cursors.
         let mut score = 0.0;
         let doc_len = index.doc_len(doc);
         for c in cursors[first_essential..].iter_mut() {
-            c.seek(doc);
-            if let Some(p) = c.current() {
+            if let Some(p) = c.cursor.current() {
                 if p.doc == doc {
                     score += scorer.contribution_with(stats, doc_len, p.tf, c.df, c.qtf);
-                    c.pos += 1;
+                    c.cursor.advance();
                 }
             }
         }
@@ -187,14 +248,14 @@ pub fn maxscore_search_with<T: AsRef<str>>(
         // candidate as soon as even full bounds cannot reach the threshold.
         for i in (0..first_essential).rev() {
             if let Some(theta) = topk.threshold() {
-                if score + prefix_bounds[i + 1] <= theta {
+                if (score + prefix_bounds[i + 1]) * SAFETY <= theta {
                     score = f64::NEG_INFINITY; // cannot qualify
                     break;
                 }
             }
             let c = &mut cursors[i];
-            c.seek(doc);
-            if let Some(p) = c.current() {
+            c.cursor.seek(doc);
+            if let Some(p) = c.cursor.current() {
                 if p.doc == doc {
                     score += scorer.contribution_with(stats, doc_len, p.tf, c.df, c.qtf);
                 }
@@ -216,11 +277,272 @@ pub fn maxscore_search_with<T: AsRef<str>>(
     hits
 }
 
+/// One side (BOW or BON) of the blended evaluator, fully resolved
+/// against one segment.
+pub struct SideSpec<'i> {
+    /// The segment's inverted index for this side (document lengths).
+    pub index: &'i InvertedIndex,
+    /// The side's BM25 parameterization.
+    pub scorer: Bm25,
+    /// Collection-wide overlay statistics for the side.
+    pub stats: CollectionStats,
+    /// `(postings, query_tf, global_df)` per resolved query term, in the
+    /// shared canonical query-term order — the order
+    /// [`crate::search::score_segment`] accumulates contributions in,
+    /// which the blended evaluator must reproduce for bit-identity.
+    pub terms: Vec<(&'i PostingList, u32, u32)>,
+    /// Normalization divisor (the side's global score max, or 1.0).
+    pub norm: f64,
+}
+
+/// Per-term cursor state of the blended evaluator. Cursor order is the
+/// canonical accumulation order: all BOW terms first, then all BON
+/// terms, each side in its spec order.
+struct BlendedCursor<'i> {
+    cursor: PostingCursor<'i>,
+    /// 0 = BOW, 1 = BON.
+    side: usize,
+    scorer: Bm25,
+    qtf: u32,
+    df: u32,
+    /// `weight · qtf · idf / norm` — multiply by a saturation bound for
+    /// a weighted normalized score bound.
+    base: f64,
+    /// List-level weighted upper bound on this term's blended
+    /// contribution.
+    wub: f64,
+}
+
+/// Pruned blended top-k scan of **one segment**: pushes every live
+/// document whose Equation-3 score `(1-β)·bow + β·bon` can still beat
+/// the threshold of `topk`, in ascending doc-id order, with scores
+/// bit-identical to the exhaustive map-based evaluator.
+///
+/// For bit-identical top-k across segments, feed each segment a *fresh*
+/// `topk` and merge the survivors afterwards: a heap carried across
+/// segments can retain a different one of several tied documents than
+/// the per-segment-then-merge structure the exhaustive path uses.
+/// (Sharing `topk` across segments is fine when only the retained
+/// *values* matter, e.g. a top-1 max pass.)
+///
+/// `floor` is an extra pruning threshold from *outside* this segment —
+/// pass the merged heap's current k-th score (or `f64::NEG_INFINITY`
+/// for none). Skipping a candidate whose bound is ≤ `floor` cannot
+/// change the merged outcome: such a document would be rejected when
+/// the survivors are pushed into the (already full, min ≥ `floor`)
+/// merged heap, and inside this segment's heap ≤-floor entries are only
+/// ever eviction victims, so which above-floor documents survive — and
+/// their tie order — is unaffected by their presence.
+///
+/// `map_doc` translates segment-local ids to global ones at push time;
+/// `live` filters tombstoned documents. A side passed as `None`
+/// contributes 0.0, matching the exhaustive path's behavior for
+/// `β ∈ {0, 1}` and for sides with no live documents.
+#[allow(clippy::too_many_arguments)]
+pub fn blended_scan(
+    bow: Option<&SideSpec<'_>>,
+    bon: Option<&SideSpec<'_>>,
+    beta: f64,
+    floor: f64,
+    live: impl Fn(DocId) -> bool,
+    map_doc: impl Fn(DocId) -> DocId,
+    topk: &mut TopK<(DocId, f64, f64)>,
+    stats_out: &mut PruneStats,
+) {
+    let sides = [bow, bon];
+    let weights = [1.0 - beta, beta];
+    let mut cursors: Vec<BlendedCursor<'_>> = Vec::new();
+    for (si, spec) in sides.iter().enumerate() {
+        let Some(spec) = spec else { continue };
+        for &(list, qtf, df) in &spec.terms {
+            if list.is_empty() {
+                continue;
+            }
+            let base = weights[si] * f64::from(qtf) * spec.scorer.idf(spec.stats.docs, df)
+                / spec.norm;
+            let wub = base * sat_bound(&spec.scorer, list.max_tf());
+            cursors.push(BlendedCursor {
+                cursor: list.cursor(),
+                side: si,
+                scorer: spec.scorer,
+                qtf,
+                df,
+                base,
+                wub,
+            });
+        }
+    }
+    if cursors.is_empty() {
+        return;
+    }
+    // Evaluation order ascending by bound; ties by canonical index so the
+    // partition is deterministic. (Bound order only steers *which* docs
+    // get fully scored, never their scores.)
+    let mut order: Vec<usize> = (0..cursors.len()).collect();
+    order.sort_by(|&a, &b| cursors[a].wub.total_cmp(&cursors[b].wub).then(a.cmp(&b)));
+    // prefix_bounds[i] = sum of bounds of order[0..i].
+    let mut prefix_bounds = vec![0.0f64; cursors.len() + 1];
+    for i in 0..cursors.len() {
+        prefix_bounds[i + 1] = prefix_bounds[i] + cursors[order[i]].wub;
+    }
+    let mut first_essential = 0usize;
+
+    loop {
+        let theta = topk.threshold().unwrap_or(f64::NEG_INFINITY).max(floor);
+        while first_essential < cursors.len()
+            && prefix_bounds[first_essential + 1] * SAFETY <= theta
+        {
+            first_essential += 1;
+        }
+        if first_essential >= cursors.len() {
+            break;
+        }
+        let mut pivot: Option<DocId> = None;
+        for &ci in &order[first_essential..] {
+            if let Some(d) = cursors[ci].cursor.current_doc() {
+                pivot = Some(match pivot {
+                    Some(p) if p <= d => p,
+                    _ => d,
+                });
+            }
+        }
+        let Some(doc) = pivot else { break };
+
+        if live(doc) {
+            stats_out.candidates += 1;
+            // Bound refinement, most-promising non-essential first:
+            // `bound` holds block-level bounds for every cursor known to
+            // sit on `doc` plus list-level bounds for the not-yet-seeked
+            // prefix. Only bounds are consulted here — actual scores are
+            // computed once, in canonical order, for survivors.
+            let mut bound = prefix_bounds[first_essential];
+            for &ci in &order[first_essential..] {
+                let c = &cursors[ci];
+                if c.cursor.current_doc() == Some(doc) {
+                    bound += c.base * sat_bound(&c.scorer, c.cursor.block_max_tf());
+                }
+            }
+            let mut abandoned = false;
+            let mut j = first_essential;
+            loop {
+                let theta = topk.threshold().unwrap_or(f64::NEG_INFINITY).max(floor);
+                if bound * SAFETY <= theta {
+                    abandoned = true;
+                    break;
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+                let ci = order[j];
+                bound -= cursors[ci].wub;
+                let c = &mut cursors[ci];
+                c.cursor.seek(doc);
+                if c.cursor.current_doc() == Some(doc) {
+                    bound += c.base * sat_bound(&c.scorer, c.cursor.block_max_tf());
+                }
+            }
+            if !abandoned {
+                stats_out.scored += 1;
+                // Canonical-order accumulation: identical f64 sums to the
+                // exhaustive evaluator's per-document map entries.
+                let mut raw = [0.0f64; 2];
+                for c in &cursors {
+                    if let Some(p) = c.cursor.current() {
+                        if p.doc == doc {
+                            let spec = sides[c.side].expect("cursor from an active side");
+                            raw[c.side] += spec.scorer.contribution_with(
+                                spec.stats,
+                                spec.index.doc_len(doc),
+                                p.tf,
+                                c.df,
+                                c.qtf,
+                            );
+                        }
+                    }
+                }
+                let bow_v = sides[0].map_or(0.0, |s| raw[0] / s.norm);
+                let bon_v = sides[1].map_or(0.0, |s| raw[1] / s.norm);
+                let score = (1.0 - beta) * bow_v + beta * bon_v;
+                if score > 0.0 {
+                    topk.push(score, (map_doc(doc), bow_v, bon_v));
+                }
+            }
+        }
+        for c in cursors.iter_mut() {
+            if c.cursor.current_doc() == Some(doc) {
+                c.cursor.advance();
+            }
+        }
+    }
+    stats_out.blocks_skipped += cursors
+        .iter()
+        .map(|c| c.cursor.blocks_skipped())
+        .sum::<u64>();
+}
+
+/// Exhaustive cursor-driven scan of one side over one segment: the raw
+/// (unnormalized) score of every live matching document, ascending by
+/// local doc id, each accumulated in the canonical term order — the
+/// per-document sums are bit-identical to
+/// [`crate::search::score_segment`]'s map entries. Feeds the Threshold
+/// Algorithm's sorted-access lists without materializing hash maps.
+/// `spec.norm` is ignored here; callers normalize after finding the
+/// global max.
+pub fn side_scan(
+    spec: &SideSpec<'_>,
+    live: impl Fn(DocId) -> bool,
+    out: &mut Vec<(DocId, f64)>,
+) {
+    let mut cursors: Vec<(PostingCursor<'_>, u32, u32)> = spec
+        .terms
+        .iter()
+        .filter(|(list, _, _)| !list.is_empty())
+        .map(|&(list, qtf, df)| (list.cursor(), qtf, df))
+        .collect();
+    loop {
+        let mut pivot: Option<DocId> = None;
+        for (c, _, _) in &cursors {
+            if let Some(d) = c.current_doc() {
+                pivot = Some(match pivot {
+                    Some(p) if p <= d => p,
+                    _ => d,
+                });
+            }
+        }
+        let Some(doc) = pivot else { break };
+        if live(doc) {
+            let mut raw = 0.0;
+            for (c, qtf, df) in &cursors {
+                if let Some(p) = c.current() {
+                    if p.doc == doc {
+                        raw += spec.scorer.contribution_with(
+                            spec.stats,
+                            spec.index.doc_len(doc),
+                            p.tf,
+                            *df,
+                            *qtf,
+                        );
+                    }
+                }
+            }
+            if raw != 0.0 {
+                out.push((doc, raw));
+            }
+        }
+        for (c, _, _) in cursors.iter_mut() {
+            if c.current_doc() == Some(doc) {
+                c.advance();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::inverted::IndexBuilder;
-    use crate::search::Searcher;
+    use crate::search::{query_tf, score_segment, Searcher};
     use newslink_util::DetRng;
 
     fn random_index(seed: u64, docs: usize, vocab: usize) -> (InvertedIndex, Vec<Vec<String>>) {
@@ -355,6 +677,169 @@ mod tests {
         assert_eq!(naive.len(), pruned.len());
         for (a, b) in naive.iter().zip(&pruned) {
             assert_eq!(a.doc, b.doc);
+        }
+    }
+
+    /// Build a [`SideSpec`] the way the segmented engine does: terms in
+    /// `query_tf` iteration order, dictionary doc-freqs, no overlay.
+    fn spec_for<'i>(
+        index: &'i InvertedIndex,
+        scorer: Bm25,
+        qtf: &FxHashMap<&str, u32>,
+        norm: f64,
+    ) -> SideSpec<'i> {
+        let dict = index.dictionary();
+        let mut terms = Vec::new();
+        for (term, &q) in qtf {
+            let Some(id) = dict.get(term) else { continue };
+            terms.push((index.postings(id), q, dict.doc_freq(id)));
+        }
+        SideSpec {
+            index,
+            scorer,
+            stats: CollectionStats::from_index(index),
+            terms,
+            norm,
+        }
+    }
+
+    /// Exhaustive oracle mirroring the engine's map-based blended path.
+    fn blended_exhaustive(
+        index: &InvertedIndex,
+        query: &[String],
+        beta: f64,
+        k: usize,
+    ) -> Vec<(DocId, f64, f64, f64)> {
+        let qtf = query_tf(query);
+        let dict = index.dictionary();
+        let stats = CollectionStats::from_index(index);
+        let mut df = FxHashMap::default();
+        for term in qtf.keys() {
+            if let Some(id) = dict.get(term) {
+                df.insert(*term, dict.doc_freq(id));
+            }
+        }
+        let scores = score_segment(Bm25::default(), index, stats, &qtf, &df, |_| true);
+        let mut docs: Vec<DocId> = scores.keys().copied().collect();
+        docs.sort_unstable();
+        let mut topk = TopK::new(k);
+        for doc in docs {
+            let bow = scores.get(&doc).copied().unwrap_or(0.0);
+            let score = (1.0 - beta) * bow + beta * 0.0;
+            if score > 0.0 {
+                topk.push(score, (doc, bow, 0.0));
+            }
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, (d, bw, bn))| (d, s, bw, bn))
+            .collect()
+    }
+
+    #[test]
+    fn blended_scan_single_side_is_bit_identical_to_exhaustive() {
+        let (index, _) = random_index(11, 400, 40);
+        for beta in [0.0, 0.4] {
+            for k in [1usize, 5, 1000] {
+                for qseed in 0..10u64 {
+                    let mut rng = DetRng::new(3000 + qseed);
+                    let qlen = rng.range(1, 6);
+                    let query: Vec<String> =
+                        (0..qlen).map(|_| format!("t{}", rng.zipf(40, 1.2))).collect();
+                    let qtf = query_tf(&query);
+                    let spec = spec_for(&index, Bm25::default(), &qtf, 1.0);
+                    let mut topk = TopK::new(k);
+                    let mut stats = PruneStats::default();
+                    blended_scan(
+                        Some(&spec),
+                        None,
+                        beta,
+                        f64::NEG_INFINITY,
+                        |_| true,
+                        |d| d,
+                        &mut topk,
+                        &mut stats,
+                    );
+                    let got: Vec<(DocId, f64, f64, f64)> = topk
+                        .into_sorted()
+                        .into_iter()
+                        .map(|(s, (d, bw, bn))| (d, s, bw, bn))
+                        .collect();
+                    let want = blended_exhaustive(&index, &query, beta, k);
+                    assert_eq!(got.len(), want.len(), "beta {beta} k {k} query {query:?}");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.0, w.0, "beta {beta} k {k} query {query:?}");
+                        assert_eq!(g.1.to_bits(), w.1.to_bits(), "score bits");
+                        assert_eq!(g.2.to_bits(), w.2.to_bits(), "bow bits");
+                        assert_eq!(g.3.to_bits(), w.3.to_bits(), "bon bits");
+                    }
+                    assert!(stats.scored <= stats.candidates);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blended_scan_prunes_on_small_k() {
+        let (index, _) = random_index(12, 2000, 30);
+        let query: Vec<String> = (0..4).map(|i| format!("t{i}")).collect();
+        let qtf = query_tf(&query);
+        let spec = spec_for(&index, Bm25::default(), &qtf, 1.0);
+        let mut topk = TopK::new(3);
+        let mut stats = PruneStats::default();
+        blended_scan(
+            Some(&spec),
+            None,
+            0.0,
+            f64::NEG_INFINITY,
+            |_| true,
+            |d| d,
+            &mut topk,
+            &mut stats,
+        );
+        assert!(stats.candidates > 0);
+        assert!(
+            stats.scored < stats.candidates,
+            "expected pruning: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn side_scan_matches_score_segment_bitwise() {
+        let (index, _) = random_index(13, 300, 25);
+        for qseed in 0..10u64 {
+            let mut rng = DetRng::new(5000 + qseed);
+            let qlen = rng.range(1, 5);
+            let query: Vec<String> = (0..qlen).map(|_| format!("t{}", rng.zipf(25, 1.2))).collect();
+            let qtf = query_tf(&query);
+            let spec = spec_for(&index, Bm25::default(), &qtf, 1.0);
+            let mut got = Vec::new();
+            side_scan(&spec, |_| true, &mut got);
+
+            let dict = index.dictionary();
+            let mut df = FxHashMap::default();
+            for term in qtf.keys() {
+                if let Some(id) = dict.get(term) {
+                    df.insert(*term, dict.doc_freq(id));
+                }
+            }
+            let want = score_segment(
+                Bm25::default(),
+                &index,
+                CollectionStats::from_index(&index),
+                &qtf,
+                &df,
+                |_| true,
+            );
+            assert_eq!(got.len(), want.len(), "query {query:?}");
+            assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "ascending doc ids");
+            for (doc, raw) in got {
+                assert_eq!(
+                    raw.to_bits(),
+                    want.get(&doc).copied().unwrap_or(0.0).to_bits(),
+                    "query {query:?} doc {doc:?}"
+                );
+            }
         }
     }
 }

@@ -81,10 +81,9 @@ impl PositionalIndex {
         let Some(id) = self.inner.dictionary().get(term) else {
             return &[];
         };
-        let postings = self.inner.postings(id);
-        match postings.binary_search_by_key(&doc, |p| p.doc) {
-            Ok(i) => &self.positions[id.index()][i],
-            Err(_) => &[],
+        match self.inner.postings(id).find(doc) {
+            Some((i, _)) => &self.positions[id.index()][i],
+            None => &[],
         }
     }
 
@@ -114,10 +113,9 @@ impl PositionalIndex {
             // Gather position lists for all words in this doc.
             let mut lists: Vec<&[u32]> = Vec::with_capacity(ids.len());
             for &id in &ids {
-                let postings = self.inner.postings(id);
-                match postings.binary_search_by_key(&doc, |e| e.doc) {
-                    Ok(i) => lists.push(&self.positions[id.index()][i]),
-                    Err(_) => continue 'doc,
+                match self.inner.postings(id).find(doc) {
+                    Some((i, _)) => lists.push(&self.positions[id.index()][i]),
+                    None => continue 'doc,
                 }
             }
             // Count start positions s where word k sits at s + k.

@@ -118,9 +118,8 @@ impl<'i, S: Scorer> Searcher<'i, S> {
         for (term, &qtf) in &qtf {
             let Some(id) = dict.get(term) else { continue };
             let df = dict.doc_freq(id);
-            let postings = self.index.postings(id);
-            if let Ok(i) = postings.binary_search_by_key(&doc, |p| p.doc) {
-                score += self.scorer.contribution(self.index, doc, postings[i].tf, df, qtf);
+            if let Some((_, p)) = self.index.postings(id).find(doc) {
+                score += self.scorer.contribution(self.index, doc, p.tf, df, qtf);
             }
         }
         self.scorer.normalize(self.index, doc, score)

@@ -12,6 +12,7 @@
 //! - [`CacheStats`] — a plain snapshot of those counters for reporting,
 //!   in the same spirit as [`crate::timer::ComponentTimer`] breakdowns.
 
+use std::borrow::Borrow;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -165,8 +166,14 @@ impl<K: Hash + Eq + Clone, V> ClockCache<K, V> {
         self.evictions
     }
 
-    /// Look up `key`, marking the entry as recently used.
-    pub fn get(&self, key: &K) -> Option<&V> {
+    /// Look up `key`, marking the entry as recently used. Accepts any
+    /// borrowed form of the key (e.g. `&str` for `String` keys), so a
+    /// probe never has to allocate an owned key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let &i = self.index.get(key)?;
         let slot = &self.slots[i];
         slot.referenced.store(true, Ordering::Relaxed);
@@ -174,7 +181,11 @@ impl<K: Hash + Eq + Clone, V> ClockCache<K, V> {
     }
 
     /// True when `key` is cached (does not touch the reference bit).
-    pub fn contains(&self, key: &K) -> bool {
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.index.contains_key(key)
     }
 

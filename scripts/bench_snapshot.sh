@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Quick benchmark snapshot: runs the blended top-k pruning bench in its
+# reduced CI sweep (small corpora, few reps) and refreshes BENCH_PR5.json
+# at the repo root. Every timed query is bit-parity-checked against the
+# exhaustive oracle, so this doubles as a fast pruning regression gate.
+#
+# For the full sweep used in EXPERIMENTS.md, run without the quick flag:
+#   cargo bench --bench blended_topk -p newslink-bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NEWSLINK_BENCH_QUICK=1 cargo bench --bench blended_topk -p newslink-bench

@@ -22,6 +22,10 @@ cargo test -q -p newslink-core --test segment_prop
 cargo test -q -p newslink-core --test crash_recovery
 # Durable serving e2e: restart recovery, degraded /healthz, /admin/snapshot.
 cargo test -q -p newslink-serve --test durability_e2e
+# Pruning-parity property suite: the block-max pruned evaluator must be
+# bit-identical to the exhaustive oracle across β, normalization, TA,
+# segmentation, tombstones and k.
+cargo test -q -p newslink-core --test prune_prop
 # The real thing: SIGKILL the release binary mid-mutation and restart it
 # (ignored by default; needs the release build from the first step).
 cargo test -q -p newslink-serve --test kill9_e2e -- --ignored
