@@ -14,6 +14,8 @@
 //! The Lucene baseline is `newslink-text` itself (BM25 with default
 //! settings), used directly by the evaluation harness.
 
+#![deny(unsafe_code)]
+
 pub mod doc2vec;
 pub mod fasttext;
 pub mod lda;

@@ -6,6 +6,8 @@
 //! (default `small`); see EXPERIMENTS.md for the scale each recorded
 //! result used.
 
+#![deny(unsafe_code)]
+
 use newslink_corpus::CorpusFlavor;
 use newslink_eval::{EvalContext, EvalScale};
 

@@ -14,6 +14,8 @@
 //! Corpora are stored one document per line (generated documents contain
 //! no newlines).
 
+#![deny(unsafe_code)]
+
 mod args;
 
 use std::path::Path;
@@ -21,7 +23,8 @@ use std::process::ExitCode;
 
 use args::Args;
 use newslink_core::{
-    load_newslink_index, save_newslink_index, NewsLink, NewsLinkConfig,
+    load_newslink_index, save_newslink_index, FsDirectory, NewsLink, NewsLinkConfig,
+    NewsLinkIndex, StorageBackend, StoreOptions,
 };
 use newslink_corpus::{generate_corpus, CorpusConfig, CorpusFlavor};
 use newslink_embed::{describe_path, summarize_paths};
@@ -71,13 +74,47 @@ newslink — intuitive news search with knowledge graphs
 commands:
   generate-world  --scale small|medium|large --seed N --out kg.tsv
   generate-corpus --world kg.tsv --docs N --flavor cnn|kaggle --seed N --out corpus.txt
-  build-index     --world kg.tsv --corpus corpus.txt --beta B [--segment-docs N] --out index.nlnk
+  build-index     --world kg.tsv --corpus corpus.txt --beta B [--segment-docs N] [--storage heap|mmap] --out index.nlnk
   search          --world kg.tsv --corpus corpus.txt --index index.nlnk --query Q --k N --explain true|false
   serve           --world kg.tsv --corpus corpus.txt [--index index.nlnk] [--addr 127.0.0.1:8080]
                   [--workers N] [--queue-depth N] [--timeout-ms N] [--beta B] [--segment-docs N]
-                  [--data-dir DIR]   durable mode: WAL + snapshots under DIR, POST /admin/snapshot to checkpoint
+                  [--data-dir DIR]   durable mode: WAL + snapshots under DIR, POST /v1/admin/snapshot to checkpoint
+                  [--storage heap|mmap]   snapshot backend: copy into RAM, or memory-map (default heap)
   stats           --world kg.tsv
 ";
+
+/// Parse `--storage {heap,mmap}` (default heap).
+fn parse_storage(args: &Args) -> Result<StorageBackend, String> {
+    match args.get("storage") {
+        None => Ok(StorageBackend::default()),
+        Some(s) => StorageBackend::parse(s)
+            .ok_or_else(|| format!("unknown --storage {s:?} (expected heap or mmap)")),
+    }
+}
+
+/// Load a snapshot file through the selected storage backend (strict
+/// mode — any damage is an error, same as [`load_newslink_index`]).
+fn load_index_with(
+    graph: &newslink_kg::KnowledgeGraph,
+    path: &str,
+    backend: StorageBackend,
+) -> Result<NewsLinkIndex, String> {
+    let p = Path::new(path);
+    let parent = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let name = p
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("bad index path {path:?}"))?;
+    let dir = FsDirectory::create(parent).map_err(|e| format!("opening {path}: {e}"))?;
+    let (index, _report) = backend
+        .reader()
+        .read_snapshot(&dir, name, graph, false)
+        .map_err(|e| format!("loading index {path} ({backend}): {e}"))?;
+    Ok(index)
+}
 
 /// Reject flags not in `allowed` (typo guard).
 fn check_flags(args: &Args, allowed: &[&str]) -> Result<(), String> {
@@ -158,7 +195,8 @@ fn generate_corpus_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn build_index(args: &Args) -> Result<(), String> {
-    check_flags(args, &["world", "corpus", "beta", "segment-docs", "out"])?;
+    check_flags(args, &["world", "corpus", "beta", "segment-docs", "storage", "out"])?;
+    let backend = parse_storage(args)?;
     let graph = load_world(args)?;
     let texts = load_corpus_file(args.require("corpus")?)?;
     let beta: f64 = args.get_parsed("beta", 0.2)?;
@@ -182,8 +220,18 @@ fn build_index(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
     save_newslink_index(&index, &graph, Path::new(out))
         .map_err(|e| format!("writing {out}: {e}"))?;
+    // Verification reopen through the requested backend: prove the file
+    // loads the way it will be served before declaring success.
+    let reopened = load_index_with(&graph, out, backend)?;
+    if reopened.doc_count() != index.doc_count() {
+        return Err(format!(
+            "verification reopen ({backend}) saw {} docs, expected {}",
+            reopened.doc_count(),
+            index.doc_count()
+        ));
+    }
     println!(
-        "indexed {} docs into {} segment(s) in {:.2}s ({:.1}% embedded), wrote {}",
+        "indexed {} docs into {} segment(s) in {:.2}s ({:.1}% embedded), wrote {} (verified via {backend})",
         index.doc_count(),
         index.segment_count(),
         t.elapsed().as_secs_f64(),
@@ -262,9 +310,10 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         args,
         &[
             "world", "corpus", "index", "addr", "workers", "queue-depth", "timeout-ms", "beta",
-            "segment-docs", "data-dir",
+            "segment-docs", "data-dir", "storage",
         ],
     )?;
+    let backend = parse_storage(args)?;
     let graph = load_world(args)?;
     let texts = load_corpus_file(args.require("corpus")?)?;
     let beta: f64 = args.get_parsed("beta", 0.2)?;
@@ -304,8 +353,10 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
                     engine_ref.index_corpus(texts_ref)
                 })
             };
-            let (store, index) = newslink_core::DurableStore::open(&engine, dir_path, seed)
-                .map_err(|e| format!("opening data dir {dir}: {e}"))?;
+            let options = StoreOptions::new().backend(backend);
+            let (store, index) =
+                newslink_core::DurableStore::open_with(&engine, dir_path, &options, seed)
+                    .map_err(|e| format!("opening data dir {dir}: {e}"))?;
             let report = store.report();
             if report.degraded() {
                 eprintln!(
@@ -334,8 +385,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         None => (
             None,
             match args.get("index") {
-                Some(path) => load_newslink_index(&graph, Path::new(path))
-                    .map_err(|e| format!("loading index {path}: {e}"))?,
+                Some(path) => load_index_with(&graph, path, backend)?,
                 None => {
                     println!("indexing {} documents …", texts.len());
                     engine.index_corpus(&texts)
@@ -357,11 +407,12 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
     let server = Server::bind(addr, serve_config).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "serving {} docs on http://{} ({} workers, capacity {}{}) — POST /search, POST /search/batch, POST /docs, DELETE /docs/<id>, POST /admin/snapshot, GET /healthz, GET /metrics; Ctrl-C to stop",
+        "serving {} docs on http://{} ({} workers, capacity {}, {} storage{}) — POST /v1/search, POST /v1/search/batch, POST /v1/docs, DELETE /v1/docs/<id>, POST /v1/admin/snapshot, GET /v1/healthz, GET /v1/metrics; Ctrl-C to stop",
         index.read().doc_count(),
         server.local_addr(),
         server.config().workers,
         server.config().capacity(),
+        backend,
         if durable.is_some() { ", durable" } else { "" },
     );
     server

@@ -10,16 +10,23 @@
 //!   the global-stats scoring overlay;
 //! - [`searcher`] — Equation 3 blended scoring, per-segment fan-out,
 //!   top-k merge, explanations;
+//! - [`directory`] / [`reader`] — the storage seam: named-blob
+//!   directories (file-system or in-memory) and heap/mmap snapshot
+//!   readers;
 //! - [`pipeline`] — the [`NewsLink`] facade.
+
+#![deny(unsafe_code)]
 
 pub mod alerts;
 pub mod api;
 mod cache;
 pub mod config;
+pub mod directory;
 pub mod indexer;
 pub mod live;
 pub mod persist;
 pub mod pipeline;
+pub mod reader;
 pub mod score_explain;
 pub mod searcher;
 pub mod segment;
@@ -39,11 +46,13 @@ pub use pipeline::NewsLink;
 pub use score_explain::{explain_score, ScoreExplanation, SideExplanation, TermContribution};
 pub use searcher::{explain, search, search_batch, QueryOutcome, SearchResult};
 pub use segment::{IndexSegment, IndexStats};
+pub use directory::{Directory, FsDirectory, RamDirectory};
 pub use persist::{
     atomic_write_file, load_newslink_index, load_newslink_index_tolerant, read_newslink_index,
-    read_newslink_index_tolerant, save_newslink_index, write_newslink_index, LoadReport,
-    PersistError,
+    read_newslink_index_bytes, read_newslink_index_tolerant, save_newslink_index,
+    segment_byte_spans, write_newslink_index, write_newslink_index_v3, LoadReport, PersistError,
 };
+pub use reader::{HeapSegmentReader, MmapSegmentReader, SegmentReader, StorageBackend, StoreOptions};
 pub use store::DurableStore;
 pub use ta::{threshold_algorithm, TaOutcome};
 pub use wal::{Wal, WalRecord};

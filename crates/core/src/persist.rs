@@ -2,30 +2,55 @@
 //! reload it without re-embedding the corpus.
 //!
 //! Corpus embedding dominates indexing cost (Figure 7), so a production
-//! deployment builds once and serves many sessions. The format is a
-//! versioned manifest of *checksummed frames*: after the magic and
-//! version bytes, every structural unit — one header, then one frame per
-//! immutable segment — is written as `[length varint][body][CRC-32]`.
-//! The header carries a graph fingerprint (node and edge counts —
-//! embeddings reference node ids, so loading against a different graph
-//! build is rejected), the id allocator, lifecycle counters and the
-//! tombstone set; each segment frame holds the segment's global ids, BOW
-//! index, BON index and embedded doc store.
+//! deployment builds once and serves many sessions. Two on-disk formats
+//! are understood:
 //!
-//! Framing buys two properties v2 lacked:
+//! ## Version 4 (written by this build) — mmap-friendly sections
 //!
-//! - **Detection**: a bit flip anywhere in a frame fails its CRC instead
-//!   of deserializing into silently wrong postings.
-//! - **Isolation**: a corrupt segment frame can be *skipped* — its length
-//!   prefix says where the next frame starts — so
-//!   [`read_newslink_index_tolerant`] quarantines damaged segments and
-//!   loads the rest, reporting what was lost in a [`LoadReport`].
+//! ```text
+//! [NLNK][4][header frame]  …pad…  [section 0] …pad… [section N-1]
+//! [directory: N × {offset u64, len u64, crc u32}][dir CRC u32][NL4F]
+//! ```
+//!
+//! The header frame keeps the v3 shape (`[len varint][body][CRC-32]`,
+//! carrying the graph fingerprint, id allocator, lifecycle counters,
+//! tombstones and segment count). Every segment then lives in its own
+//! **64-byte-aligned, CRC-framed section** addressed by the offset
+//! directory at the tail — no pointer chasing, no length-prefixed
+//! deserialization walk. Inside a section every table is fixed-width
+//! little-endian (globals, embedding record ends, the columnar
+//! BOW/BON indexes of [`newslink_text::read_index_columnar`]), so a
+//! reader hands out `&[u8]` slices of the file instead of decoding:
+//! opening a snapshot from a memory mapping is "map, validate footers,
+//! go", and posting data plus the encoded doc store stay in the OS page
+//! cache rather than the process heap. Because each section is located
+//! by the directory — not by walking its predecessors — a corrupt
+//! section quarantines *alone*; later segments still load (v3 loses
+//! everything after a torn length prefix).
+//!
+//! ## Version 3 (read for compatibility) — sequential CRC frames
+//!
+//! A stream of `[length varint][body][CRC-32]` frames (header, then one
+//! per segment); segment bodies use the v2 varint index sections.
+//! [`write_newslink_index_v3`] keeps the writer available so migration
+//! can be tested; [`read_newslink_index_bytes`] dispatches on the
+//! version byte, so v3 snapshots load transparently and the next
+//! checkpoint rewrites them as v4.
+//!
+//! Both formats share the same guarantees:
+//!
+//! - **Detection**: a bit flip anywhere fails a CRC instead of
+//!   deserializing into silently wrong postings.
+//! - **Isolation**: [`read_newslink_index_tolerant`] quarantines damaged
+//!   segments and loads the rest, reporting what was lost in a
+//!   [`LoadReport`].
 //!
 //! [`save_newslink_index`] is crash-atomic: it writes `<path>.tmp`,
 //! fsyncs the file, renames it over `path` and fsyncs the parent
-//! directory, so a crash mid-save leaves the previous snapshot intact.
-//! Failures surface as typed [`PersistError`]s — a corrupt or truncated
-//! file, a checksum mismatch, a version mismatch and a foreign graph are
+//! directory, so a crash mid-save leaves the previous snapshot intact —
+//! and live memory mappings keep reading the replaced inode. Failures
+//! surface as typed [`PersistError`]s — a corrupt or truncated file, a
+//! checksum mismatch, a version mismatch and a foreign graph are
 //! distinguishable without string matching.
 
 use std::fmt;
@@ -35,21 +60,42 @@ use std::path::Path;
 use newslink_embed::codec as embed_codec;
 use newslink_kg::KnowledgeGraph;
 use newslink_nlp::MatchStats;
-use newslink_text::{read_index, write_index};
-use newslink_util::{crc32, varint, ComponentTimer, FxHashSet};
+use newslink_text::{
+    read_index, read_index_columnar, read_index_columnar_lazy, write_index, write_index_columnar,
+};
+use newslink_util::{crc32, varint, xxh64, Bytes, ComponentTimer, FxHashSet};
 
 use crate::indexer::NewsLinkIndex;
-use crate::segment::IndexSegment;
+use crate::segment::{DocStore, IndexSegment};
 
 const MAGIC: &[u8; 4] = b"NLNK";
-/// Version 2 introduced the segmented manifest; version 3 wraps the
-/// header and every segment in length-prefixed CRC-32 frames so
-/// corruption is detected and containable.
-const VERSION: u8 = 3;
+/// Version 2 introduced the segmented manifest; version 3 wrapped the
+/// header and every segment in length-prefixed CRC-32 frames; version 4
+/// moves segments into aligned, directory-addressed sections with
+/// fixed-width tables so a memory-mapped reader never deserializes.
+const VERSION: u8 = 4;
+/// The previous sequential-frame format, still readable (and writable,
+/// for migration tests) by this build.
+const VERSION_V3: u8 = 3;
 
 /// No frame in a real index approaches this; a longer length prefix
 /// means the prefix itself is corrupt.
 const MAX_FRAME_BYTES: u64 = 1 << 32;
+
+/// Segment sections start on this alignment (cache-line sized; also
+/// keeps the fixed-width u32 tables 4-byte aligned within the file).
+const SECTION_ALIGN: usize = 64;
+/// One directory entry: `offset u64 | len u64 | xxh64 u64`,
+/// little-endian. Section payloads are bulk data checked on every open,
+/// so they carry XXH64 (see `newslink_util::xxh64` for why); the small
+/// envelope frames keep CRC-32.
+const DIR_ENTRY_BYTES: usize = 24;
+/// Fixed section preamble: `n_docs | bow_len | bon_len | emb_len`.
+const SECTION_HEADER_BYTES: usize = 16;
+/// Trailing magic confirming the directory + footer are present.
+const FOOTER_MAGIC: &[u8; 4] = b"NL4F";
+/// Footer: `[directory CRC-32 u32][NL4F]`.
+const FOOTER_BYTES: usize = 8;
 
 /// Why a snapshot could not be written or read back.
 #[derive(Debug)]
@@ -72,15 +118,16 @@ pub enum PersistError {
         /// Edge count of the graph given to the loader.
         graph_edges: usize,
     },
-    /// A frame's stored CRC-32 does not match its bytes: the file was
+    /// A frame's stored checksum (CRC-32 for envelope frames, XXH64 for
+    /// v4 segment sections) does not match its bytes: the file was
     /// corrupted at rest or in transit.
     ChecksumMismatch {
         /// Which frame failed ("header" or "segment N").
         what: String,
         /// The checksum recorded in the file.
-        stored: u32,
+        stored: u64,
         /// The checksum of the bytes actually read.
-        computed: u32,
+        computed: u64,
     },
     /// The manifest decoded but violates a structural invariant.
     Corrupt(String),
@@ -103,7 +150,10 @@ impl fmt::Display for PersistError {
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::BadMagic => write!(f, "bad magic (not a NewsLink index file)"),
             Self::UnsupportedVersion(v) => {
-                write!(f, "unsupported index version {v} (this build reads {VERSION})")
+                write!(
+                    f,
+                    "unsupported index version {v} (this build reads {VERSION_V3} and {VERSION})"
+                )
             }
             Self::GraphMismatch {
                 file_nodes,
@@ -121,7 +171,7 @@ impl fmt::Display for PersistError {
                 computed,
             } => write!(
                 f,
-                "checksum mismatch in {what}: stored {stored:#010x}, computed {computed:#010x}"
+                "checksum mismatch in {what}: stored {stored:#x}, computed {computed:#x}"
             ),
             Self::Corrupt(msg) => write!(f, "corrupt index manifest: {msg}"),
             Self::ReplayDiverged { logged, got } => write!(
@@ -180,15 +230,8 @@ impl LoadReport {
     }
 }
 
-/// Serialize a built index (header frame + one frame per segment).
-pub fn write_newslink_index<W: Write>(
-    index: &NewsLinkIndex,
-    graph: &KnowledgeGraph,
-    out: &mut W,
-) -> Result<(), PersistError> {
-    out.write_all(MAGIC)?;
-    out.write_all(&[VERSION])?;
-
+/// Encode the header frame body (shared by the v3 and v4 writers).
+fn encode_header_body(index: &NewsLinkIndex, graph: &KnowledgeGraph) -> io::Result<Vec<u8>> {
     let mut body = Vec::new();
     // Graph fingerprint.
     varint::write_u64(&mut body, graph.node_count() as u64)?;
@@ -207,8 +250,102 @@ pub fn write_newslink_index<W: Write>(
         varint::write_u64(&mut body, u64::from(t))?;
     }
     varint::write_u64(&mut body, index.segments.len() as u64)?;
-    write_frame(out, &body)?;
+    Ok(body)
+}
 
+/// Serialize a built index in the current (version 4) format: header
+/// frame, aligned CRC-framed segment sections, offset directory, footer.
+/// The bytes are assembled in memory first (offsets must be known), then
+/// streamed to `out` — so failpoint writers still see one sequential
+/// write.
+pub fn write_newslink_index<W: Write>(
+    index: &NewsLinkIndex,
+    graph: &KnowledgeGraph,
+    out: &mut W,
+) -> Result<(), PersistError> {
+    let bytes = encode_newslink_index(index, graph)?;
+    out.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Encode the version-4 snapshot into one buffer.
+fn encode_newslink_index(
+    index: &NewsLinkIndex,
+    graph: &KnowledgeGraph,
+) -> Result<Vec<u8>, PersistError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    write_frame(&mut out, &encode_header_body(index, graph)?)?;
+
+    let mut dir = Vec::with_capacity(index.segments.len() * DIR_ENTRY_BYTES);
+    for seg in &index.segments {
+        // Pad so every section starts on a SECTION_ALIGN boundary.
+        out.resize(out.len().next_multiple_of(SECTION_ALIGN), 0);
+        let section = encode_segment_section(seg)?;
+        dir.extend_from_slice(&(out.len() as u64).to_le_bytes());
+        dir.extend_from_slice(&(section.len() as u64).to_le_bytes());
+        dir.extend_from_slice(&xxh64(&section).to_le_bytes());
+        out.extend_from_slice(&section);
+    }
+    out.extend_from_slice(&dir);
+    out.extend_from_slice(&crc32(&dir).to_le_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
+    Ok(out)
+}
+
+/// Encode one segment as a v4 section: a fixed preamble, the
+/// fixed-width global-id and embedding-end tables, the columnar BOW and
+/// BON indexes, and the concatenated encoded doc store.
+fn encode_segment_section(seg: &IndexSegment) -> Result<Vec<u8>, PersistError> {
+    let n = seg.len();
+    let mut bow_buf = Vec::new();
+    write_index_columnar(seg.bow(), &mut bow_buf)?;
+    let mut bon_buf = Vec::new();
+    write_index_columnar(seg.bon(), &mut bon_buf)?;
+    let mut emb_buf = Vec::new();
+    let mut ends = Vec::with_capacity(n);
+    for e in seg.embeddings() {
+        embed_codec::write_embedding(e, &mut emb_buf)?;
+        ends.push(section_u32(emb_buf.len(), "doc store")?);
+    }
+
+    let mut out =
+        Vec::with_capacity(SECTION_HEADER_BYTES + 8 * n + bow_buf.len() + bon_buf.len() + emb_buf.len());
+    out.extend_from_slice(&section_u32(n, "doc count")?.to_le_bytes());
+    out.extend_from_slice(&section_u32(bow_buf.len(), "BOW index")?.to_le_bytes());
+    out.extend_from_slice(&section_u32(bon_buf.len(), "BON index")?.to_le_bytes());
+    out.extend_from_slice(&section_u32(emb_buf.len(), "doc store")?.to_le_bytes());
+    for &g in seg.globals() {
+        out.extend_from_slice(&g.to_le_bytes());
+    }
+    for end in ends {
+        out.extend_from_slice(&end.to_le_bytes());
+    }
+    out.extend_from_slice(&bow_buf);
+    out.extend_from_slice(&bon_buf);
+    out.extend_from_slice(&emb_buf);
+    Ok(out)
+}
+
+fn section_u32(v: usize, what: &str) -> Result<u32, PersistError> {
+    u32::try_from(v)
+        .map_err(|_| PersistError::Corrupt(format!("{what} of {v} bytes exceeds a v4 section")))
+}
+
+/// Serialize in the previous sequential-frame format (version 3):
+/// header frame + one frame per segment. Kept so format migration —
+/// old snapshot in, v4 checkpoint out — stays testable.
+pub fn write_newslink_index_v3<W: Write>(
+    index: &NewsLinkIndex,
+    graph: &KnowledgeGraph,
+    out: &mut W,
+) -> Result<(), PersistError> {
+    out.write_all(MAGIC)?;
+    out.write_all(&[VERSION_V3])?;
+    write_frame(out, &encode_header_body(index, graph)?)?;
+
+    let mut body = Vec::new();
     for seg in &index.segments {
         body.clear();
         varint::write_u64(&mut body, seg.len() as u64)?;
@@ -248,8 +385,8 @@ fn read_frame<R: Read>(input: &mut R, what: &str) -> Result<Vec<u8>, PersistErro
     if stored != computed {
         return Err(PersistError::ChecksumMismatch {
             what: what.to_string(),
-            stored,
-            computed,
+            stored: stored.into(),
+            computed: computed.into(),
         });
     }
     Ok(body)
@@ -311,8 +448,8 @@ fn parse_header(mut body: &[u8]) -> Result<Header, PersistError> {
     })
 }
 
-/// Parse one segment frame body and validate its invariants against the
-/// allocator and the last global id of the previous kept segment.
+/// Parse one v3 segment frame body and validate its invariants against
+/// the allocator and the last global id of the previous kept segment.
 fn parse_segment(
     mut body: &[u8],
     si: usize,
@@ -365,23 +502,134 @@ fn parse_segment(
     Ok((IndexSegment::from_parts(bow, bon, embeddings, globals), last))
 }
 
+/// Parse one v4 segment section and validate every invariant the
+/// zero-copy views rely on: exact tiling of the fixed-width tables and
+/// blobs, ascending global ids, monotone embedding record ends. The
+/// section's CRC has already passed; any failure here is [`Corrupt`].
+///
+/// The returned segment's posting data and doc store are `Bytes` slices
+/// of `section` — zero-copy when the section came from a memory mapping.
+///
+/// [`Corrupt`]: PersistError::Corrupt
+fn parse_segment_v4(
+    section: &Bytes,
+    si: usize,
+    next_id: u32,
+    prev_global: Option<u32>,
+) -> Result<(IndexSegment, u32), PersistError> {
+    let raw: &[u8] = section;
+    let oops = |msg: String| PersistError::Corrupt(format!("segment {si}: {msg}"));
+    let word = |at: usize| -> Result<usize, PersistError> {
+        raw.get(at..at + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+            .ok_or_else(|| oops(format!("section underruns at byte {at}")))
+    };
+    let n = word(0)?;
+    if n == 0 {
+        return Err(PersistError::Corrupt(format!("segment {si} is empty")));
+    }
+    let bow_len = word(4)?;
+    let bon_len = word(8)?;
+    let emb_len = word(12)?;
+    let globals_at = SECTION_HEADER_BYTES;
+    // Every span is a u32, so u64 arithmetic cannot overflow.
+    let total = SECTION_HEADER_BYTES as u64
+        + 8 * n as u64
+        + bow_len as u64
+        + bon_len as u64
+        + emb_len as u64;
+    if total != raw.len() as u64 {
+        return Err(oops(format!(
+            "section is {} bytes but its tables claim {total}",
+            raw.len()
+        )));
+    }
+    let ends_at = globals_at + 4 * n;
+    let bow_at = ends_at + 4 * n;
+    let bon_at = bow_at + bow_len;
+    let emb_at = bon_at + bon_len;
+
+    // Tiling was just proved exact, so both tables slice cleanly; decode
+    // them with straight-line chunk walks (this is the hot O(docs) part
+    // of a mapped open).
+    let mut globals = Vec::with_capacity(n);
+    let mut prev = prev_global;
+    for w in raw[globals_at..ends_at].chunks_exact(4) {
+        let g = u32::from_le_bytes(w.try_into().expect("4 bytes"));
+        if prev.is_some_and(|p| p >= g) {
+            return Err(oops(format!("global ids not strictly ascending at {g}")));
+        }
+        if g >= next_id {
+            return Err(oops(format!("global id {g} beyond allocator ({next_id})")));
+        }
+        prev = Some(g);
+        globals.push(g);
+    }
+    let mut ends = Vec::with_capacity(n);
+    for (i, w) in raw[ends_at..bow_at].chunks_exact(4).enumerate() {
+        let end = u32::from_le_bytes(w.try_into().expect("4 bytes"));
+        if ends.last().is_some_and(|&p| p > end) {
+            return Err(oops(format!("embedding record ends regress at doc {i}")));
+        }
+        ends.push(end);
+    }
+    if ends.last().copied().unwrap_or(0) as usize != emb_len {
+        return Err(oops(format!(
+            "doc store is {emb_len} bytes but records end at {}",
+            ends.last().copied().unwrap_or(0)
+        )));
+    }
+
+    // Mapped sections decode lazily — the CRC just verified the bytes,
+    // so term lookups can binary-search the mapping and posting lists
+    // can materialize on first touch. Heap sections keep the eager,
+    // re-validating decode (the classic fail-fast path).
+    let read_columnar = if section.is_mapped() {
+        read_index_columnar_lazy
+    } else {
+        read_index_columnar
+    };
+    let bow = read_columnar(&section.slice(bow_at..bon_at))
+        .map_err(|e| oops(format!("BOW index: {e}")))?;
+    let bon = read_columnar(&section.slice(bon_at..emb_at))
+        .map_err(|e| oops(format!("BON index: {e}")))?;
+    if bow.doc_count() != n || bon.doc_count() != n {
+        return Err(oops(format!(
+            "doc counts misaligned (globals {n}, BOW {}, BON {})",
+            bow.doc_count(),
+            bon.doc_count()
+        )));
+    }
+    let store = DocStore::lazy(section.slice(emb_at..raw.len()), ends);
+    let last = globals[n - 1];
+    Ok((
+        IndexSegment::from_lazy_parts(bow, bon, store, globals),
+        last,
+    ))
+}
+
 /// Deserialize an index, verifying it was built against `graph` and that
 /// every frame checksum and structural invariant holds. Any damage —
 /// one flipped bit anywhere — fails the whole load; use
 /// [`read_newslink_index_tolerant`] to salvage what survives.
+///
+/// Reads the stream to its end, then dispatches on the version byte
+/// (the v4 layout is directory-addressed and needs random access).
 pub fn read_newslink_index<R: Read>(
     graph: &KnowledgeGraph,
     input: &mut R,
 ) -> Result<NewsLinkIndex, PersistError> {
-    read_with(graph, input, false).map(|(index, _)| index)
+    let mut buf = Vec::new();
+    input.read_to_end(&mut buf)?;
+    read_newslink_index_bytes(graph, &Bytes::from_vec(buf), false).map(|(index, _)| index)
 }
 
-/// Deserialize an index in degraded mode: segment frames that fail their
+/// Deserialize an index in degraded mode: segments that fail their
 /// checksum or validation are *quarantined* (skipped) rather than fatal,
 /// and tombstones pointing into quarantined segments are dropped. The
-/// envelope — magic, version, graph fingerprint and the header frame —
-/// must still be intact; without the allocator and manifest there is
-/// nothing safe to serve.
+/// envelope — magic, version, graph fingerprint, the header frame and
+/// (v4) the section directory + footer — must still be intact; without
+/// the allocator and manifest there is nothing safe to serve.
 ///
 /// The returned [`LoadReport`] says exactly what was lost;
 /// [`LoadReport::degraded`] is the "page the operator" bit.
@@ -389,14 +637,24 @@ pub fn read_newslink_index_tolerant<R: Read>(
     graph: &KnowledgeGraph,
     input: &mut R,
 ) -> Result<(NewsLinkIndex, LoadReport), PersistError> {
-    read_with(graph, input, true)
+    let mut buf = Vec::new();
+    input.read_to_end(&mut buf)?;
+    read_newslink_index_bytes(graph, &Bytes::from_vec(buf), true)
 }
 
-fn read_with<R: Read>(
+/// Deserialize an index from a whole-file byte region, dispatching on
+/// the format version (3 or 4). This is the storage layer's entry
+/// point: hand it a memory-mapped [`Bytes`] and a v4 snapshot loads
+/// zero-copy — posting data and the encoded doc store stay views of the
+/// mapping. `tolerant` selects quarantine-and-continue over
+/// fail-on-first-damage.
+pub fn read_newslink_index_bytes(
     graph: &KnowledgeGraph,
-    input: &mut R,
+    bytes: &Bytes,
     tolerant: bool,
 ) -> Result<(NewsLinkIndex, LoadReport), PersistError> {
+    let mut cursor: &[u8] = bytes;
+    let input = &mut cursor;
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -404,10 +662,15 @@ fn read_with<R: Read>(
     }
     let mut version = [0u8; 1];
     input.read_exact(&mut version)?;
-    if version[0] != VERSION {
-        return Err(PersistError::UnsupportedVersion(version[0]));
+    match version[0] {
+        VERSION_V3 => read_v3_frames(graph, input, tolerant),
+        VERSION => read_v4(graph, bytes, tolerant),
+        v => Err(PersistError::UnsupportedVersion(v)),
     }
-    let header = parse_header(&read_frame(input, "header")?)?;
+}
+
+/// Reject a snapshot built against a different graph build.
+fn check_graph(header: &Header, graph: &KnowledgeGraph) -> Result<(), PersistError> {
     if header.file_nodes != graph.node_count() || header.file_edges != graph.edge_count() {
         return Err(PersistError::GraphMismatch {
             file_nodes: header.file_nodes,
@@ -416,6 +679,54 @@ fn read_with<R: Read>(
             graph_edges: graph.edge_count(),
         });
     }
+    Ok(())
+}
+
+/// The shared load tail: build the index, resolve tombstones against
+/// the segments that survived.
+fn assemble_index(
+    header: Header,
+    segments: Vec<IndexSegment>,
+    mut report: LoadReport,
+    tolerant: bool,
+) -> Result<(NewsLinkIndex, LoadReport), PersistError> {
+    report.segments_loaded = segments.len();
+    let mut index = NewsLinkIndex {
+        segments,
+        tombstones: FxHashSet::default(),
+        next_id: header.next_id,
+        compactions: header.compactions,
+        match_stats: MatchStats {
+            identified: header.identified,
+            matched: header.matched,
+        },
+        embedded_docs: header.embedded_docs,
+        timer: ComponentTimer::new(),
+        cache_stats: Default::default(),
+    };
+    for t in header.tombstones {
+        if index.locate(newslink_text::DocId(t)).is_some() {
+            index.tombstones.insert(t);
+        } else if tolerant {
+            report.dropped_tombstones += 1;
+        } else {
+            return Err(PersistError::Corrupt(format!(
+                "tombstone id {t} not stored in any segment"
+            )));
+        }
+    }
+    Ok((index, report))
+}
+
+/// The v3 body: a sequential frame walk over `input`, which is
+/// positioned just past the magic and version bytes.
+fn read_v3_frames(
+    graph: &KnowledgeGraph,
+    input: &mut &[u8],
+    tolerant: bool,
+) -> Result<(NewsLinkIndex, LoadReport), PersistError> {
+    let header = parse_header(&read_frame(input, "header")?)?;
+    check_graph(&header, graph)?;
 
     let mut report = LoadReport::default();
     let mut segments = Vec::with_capacity(header.n_segments.min(1024));
@@ -449,33 +760,187 @@ fn read_with<R: Read>(
             Err(e) => return Err(e),
         }
     }
-    report.segments_loaded = segments.len();
+    assemble_index(header, segments, report, tolerant)
+}
 
-    let mut index = NewsLinkIndex {
-        segments,
-        tombstones: FxHashSet::default(),
-        next_id: header.next_id,
-        compactions: header.compactions,
-        match_stats: MatchStats {
-            identified: header.identified,
-            matched: header.matched,
-        },
-        embedded_docs: header.embedded_docs,
-        timer: ComponentTimer::new(),
-        cache_stats: Default::default(),
-    };
-    for t in header.tombstones {
-        if index.locate(newslink_text::DocId(t)).is_some() {
-            index.tombstones.insert(t);
-        } else if tolerant {
-            report.dropped_tombstones += 1;
-        } else {
+/// Parsed v4 envelope: the header plus each section's `(start, end,
+/// crc)` from the tail directory. Fails on any damage to the header
+/// frame, directory checksum or footer — the envelope must be intact
+/// even for tolerant loads.
+struct V4Envelope {
+    header: Header,
+    sections: Vec<(usize, usize, u64)>,
+}
+
+/// Validate the v4 envelope of a whole file (magic and version already
+/// checked): header frame, footer magic, directory CRC, and per-section
+/// bounds against the data region.
+fn parse_v4_envelope(raw: &[u8]) -> Result<V4Envelope, PersistError> {
+    let mut cursor = &raw[5..];
+    let header = parse_header(&read_frame(&mut cursor, "header")?)?;
+    let header_end = raw.len() - cursor.len();
+
+    if raw.len() < header_end + FOOTER_BYTES || &raw[raw.len() - 4..] != FOOTER_MAGIC {
+        return Err(PersistError::Corrupt(
+            "missing v4 footer (truncated file?)".to_string(),
+        ));
+    }
+    let stored_dir_crc = u32::from_le_bytes(
+        raw[raw.len() - FOOTER_BYTES..raw.len() - 4]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let dir_len = header
+        .n_segments
+        .checked_mul(DIR_ENTRY_BYTES)
+        .filter(|&l| l <= raw.len() - FOOTER_BYTES - header_end)
+        .ok_or_else(|| {
+            PersistError::Corrupt(format!(
+                "directory of {} segments does not fit the file",
+                header.n_segments
+            ))
+        })?;
+    let dir_start = raw.len() - FOOTER_BYTES - dir_len;
+    let dir = &raw[dir_start..raw.len() - FOOTER_BYTES];
+    let computed = crc32(dir);
+    if computed != stored_dir_crc {
+        return Err(PersistError::ChecksumMismatch {
+            what: "segment directory".to_string(),
+            stored: stored_dir_crc.into(),
+            computed: computed.into(),
+        });
+    }
+
+    let mut sections = Vec::with_capacity(header.n_segments);
+    for si in 0..header.n_segments {
+        let e = &dir[si * DIR_ENTRY_BYTES..(si + 1) * DIR_ENTRY_BYTES];
+        let offset = u64::from_le_bytes(e[0..8].try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+        let sum = u64::from_le_bytes(e[16..24].try_into().expect("8 bytes"));
+        let (Ok(start), Some(end)) = (usize::try_from(offset), offset.checked_add(len)) else {
             return Err(PersistError::Corrupt(format!(
-                "tombstone id {t} not stored in any segment"
+                "segment {si} span {offset}+{len} overflows"
+            )));
+        };
+        let Ok(end) = usize::try_from(end) else {
+            return Err(PersistError::Corrupt(format!(
+                "segment {si} span {offset}+{len} overflows"
+            )));
+        };
+        if start < header_end || end > dir_start {
+            return Err(PersistError::Corrupt(format!(
+                "segment {si} span {start}..{end} escapes the data region \
+                 ({header_end}..{dir_start})"
             )));
         }
+        sections.push((start, end, sum));
     }
-    Ok((index, report))
+    Ok(V4Envelope { header, sections })
+}
+
+/// Per-section XXH64 sums of the v4 data region. On the mapped fast
+/// path the open-time work is *only* verification (decode is deferred),
+/// and the sections are independent — so large mapped files checksum on
+/// multiple threads. Heap loads keep the classic sequential
+/// verify-then-decode walk.
+fn section_sums(bytes: &Bytes, sections: &[(usize, usize, u64)]) -> Vec<u64> {
+    let total: usize = sections.iter().map(|&(s, e, _)| e - s).sum();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1);
+    if !bytes.is_mapped() || sections.len() < 2 || total < (1 << 20) || threads < 2 {
+        return sections
+            .iter()
+            .map(|&(start, end, _)| xxh64(&bytes[start..end]))
+            .collect();
+    }
+    let mut out = vec![0u64; sections.len()];
+    // Deal sections round-robin: contiguous chunks would serialize on
+    // one straggler when sizes are skewed.
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                sections
+                    .iter()
+                    .enumerate()
+                    .skip(t)
+                    .step_by(threads)
+                    .map(|(si, &(start, end, _))| (si, xxh64(&bytes[start..end])))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (si, sum) in h.join().expect("checksum worker panicked") {
+                out[si] = sum;
+            }
+        }
+    });
+    out
+}
+
+/// The v4 body: validate the envelope, then check and parse each
+/// directory-addressed section independently. Because sections are
+/// located by the directory, a damaged one quarantines alone — later
+/// segments still load (v3 loses everything after a torn frame).
+fn read_v4(
+    graph: &KnowledgeGraph,
+    bytes: &Bytes,
+    tolerant: bool,
+) -> Result<(NewsLinkIndex, LoadReport), PersistError> {
+    let envelope = parse_v4_envelope(bytes)?;
+    check_graph(&envelope.header, graph)?;
+
+    let sums = section_sums(bytes, &envelope.sections);
+    let mut report = LoadReport::default();
+    let mut segments = Vec::with_capacity(envelope.header.n_segments.min(1024));
+    let mut prev_global: Option<u32> = None;
+    for (si, &(start, end, stored)) in envelope.sections.iter().enumerate() {
+        let section = bytes.slice(start..end);
+        let computed = sums[si];
+        let parsed = if computed != stored {
+            Err(PersistError::ChecksumMismatch {
+                what: format!("segment {si}"),
+                stored,
+                computed,
+            })
+        } else {
+            parse_segment_v4(&section, si, envelope.header.next_id, prev_global)
+        };
+        match parsed {
+            Ok((seg, last)) => {
+                prev_global = Some(last);
+                segments.push(seg);
+            }
+            Err(_) if tolerant => {
+                report.quarantined_segments += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    assemble_index(envelope.header, segments, report, tolerant)
+}
+
+/// `(start, end)` byte span of every segment section in a version-4
+/// snapshot, in directory order. The fault-injection suites use this to
+/// flip bytes inside a chosen segment without hand-walking the layout.
+/// Fails exactly when the reader would reject the envelope.
+pub fn segment_byte_spans(raw: &[u8]) -> Result<Vec<(usize, usize)>, PersistError> {
+    if raw.len() < 5 {
+        return Err(PersistError::Corrupt("file too short".to_string()));
+    }
+    if &raw[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    if raw[4] != VERSION {
+        return Err(PersistError::UnsupportedVersion(raw[4]));
+    }
+    let envelope = parse_v4_envelope(raw)?;
+    Ok(envelope
+        .sections
+        .into_iter()
+        .map(|(start, end, _)| (start, end))
+        .collect())
 }
 
 fn read_u32<R: Read>(input: &mut R, what: &str) -> Result<u32, PersistError> {
@@ -569,8 +1034,9 @@ mod tests {
         "A story with no entities whatsoever.",
     ];
 
-    /// `(frame_start, body_start, body_end)` for every frame in `buf`
-    /// (frame 0 is the header). `body_end` is also where the CRC starts.
+    /// `(frame_start, body_start, body_end)` for every frame in a **v3**
+    /// buffer (frame 0 is the header). `body_end` is also where the CRC
+    /// starts. v4 sections are located with [`segment_byte_spans`].
     fn frame_spans(buf: &[u8]) -> Vec<(usize, usize, usize)> {
         let mut spans = Vec::new();
         let mut at = 5; // magic + version
@@ -679,7 +1145,7 @@ mod tests {
         let (g, li) = world();
         let idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
         let mut buf = Vec::new();
-        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        write_newslink_index_v3(&idx, &g, &mut buf).unwrap();
         let spans = frame_spans(&buf);
         let (seg_frame_start, seg_body_start, seg_body_end) = spans[1];
         // The segment frame's length prefix is a multi-byte varint in
@@ -704,7 +1170,7 @@ mod tests {
         let cfg = NewsLinkConfig::default().with_segment_docs(1);
         let idx = index_corpus(&g, &li, &cfg, DOCS);
         let mut buf = Vec::new();
-        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        write_newslink_index_v3(&idx, &g, &mut buf).unwrap();
         let spans = frame_spans(&buf);
         assert_eq!(spans.len(), 4, "header + three single-doc segments");
         // Flip one bit in the middle of segment 1's body.
@@ -743,7 +1209,7 @@ mod tests {
         let cfg = NewsLinkConfig::default().with_segment_docs(1);
         let idx = index_corpus(&g, &li, &cfg, DOCS);
         let mut buf = Vec::new();
-        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        write_newslink_index_v3(&idx, &g, &mut buf).unwrap();
         // Header body layout: nodes(1) edges(1) next_id(1) … — all small
         // varints in this fixture. Zeroing next_id makes every stored
         // global id fall beyond the allocator; the CRC is re-stamped so
@@ -766,7 +1232,7 @@ mod tests {
         let cfg = NewsLinkConfig::default().with_segment_docs(1);
         let idx = index_corpus(&g, &li, &cfg, DOCS);
         let mut buf = Vec::new();
-        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        write_newslink_index_v3(&idx, &g, &mut buf).unwrap();
         let spans = frame_spans(&buf);
         // Corrupt segment 1 (holding doc 1).
         let (_, body_start, body_end) = spans[2];
@@ -795,7 +1261,7 @@ mod tests {
         let cfg = NewsLinkConfig::default().with_segment_docs(1);
         let idx = index_corpus(&g, &li, &cfg, DOCS);
         let mut buf = Vec::new();
-        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        write_newslink_index_v3(&idx, &g, &mut buf).unwrap();
         let spans = frame_spans(&buf);
         // Cut mid-way through segment 1: segments 1 and 2 are both lost.
         let cut = (spans[2].1 + spans[2].2) / 2;
@@ -813,7 +1279,7 @@ mod tests {
         let mut idx = index_corpus(&g, &li, &cfg, DOCS);
         idx.delete(DocId(1));
         let mut buf = Vec::new();
-        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        write_newslink_index_v3(&idx, &g, &mut buf).unwrap();
         let spans = frame_spans(&buf);
         // Quarantine segment 1, which holds the tombstoned doc 1.
         let (_, body_start, body_end) = spans[2];
@@ -873,7 +1339,7 @@ mod tests {
                     stored: 0xDEAD_BEEF,
                     computed: 0x0BAD_F00D,
                 },
-                "checksum mismatch in segment 7: stored 0xdeadbeef, computed 0x0badf00d",
+                "checksum mismatch in segment 7: stored 0xdeadbeef, computed 0xbadf00d",
             ),
             (
                 PersistError::Corrupt("segment 0 is empty".into()),
@@ -913,6 +1379,166 @@ mod tests {
         let (again, report) = load_newslink_index_tolerant(&g, &path).unwrap();
         assert_eq!(again.doc_count(), 3);
         assert!(!report.degraded());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn assert_search_parity(
+        g: &KnowledgeGraph,
+        li: &newslink_kg::LabelIndex,
+        cfg: &NewsLinkConfig,
+        a: &NewsLinkIndex,
+        b: &NewsLinkIndex,
+    ) {
+        for q in ["Taliban near Kunar", "Pakistan talks", "story entities"] {
+            let x = search(g, li, cfg, a, q, 3);
+            let y = search(g, li, cfg, b, q, 3);
+            assert_eq!(x.results.len(), y.results.len(), "query {q}");
+            for (r, s) in x.results.iter().zip(&y.results) {
+                assert_eq!(r.doc, s.doc, "query {q}");
+                assert_eq!(r.score.to_bits(), s.score.to_bits(), "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn v4_sections_are_aligned_and_addressable() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        assert_eq!(buf[4], VERSION);
+        assert_eq!(&buf[buf.len() - 4..], FOOTER_MAGIC);
+        let spans = segment_byte_spans(&buf).unwrap();
+        assert_eq!(spans.len(), 3);
+        let mut prev_end = 5;
+        for &(start, end) in &spans {
+            assert_eq!(start % SECTION_ALIGN, 0, "section at {start} misaligned");
+            assert!(start >= prev_end && end > start && end <= buf.len());
+            prev_end = end;
+        }
+        // The span helper rejects v3 bytes.
+        let mut v3 = Vec::new();
+        write_newslink_index_v3(&idx, &g, &mut v3).unwrap();
+        assert!(matches!(
+            segment_byte_spans(&v3),
+            Err(PersistError::UnsupportedVersion(3))
+        ));
+    }
+
+    #[test]
+    fn v4_quarantine_is_per_section_even_for_early_segments() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        // Corrupt the FIRST section: unlike v3's sequential frame walk,
+        // the directory still addresses segments 1 and 2, so only doc 0
+        // is lost.
+        let (start, end) = segment_byte_spans(&buf).unwrap()[0];
+        buf[(start + end) / 2] ^= 0x20;
+        match read_newslink_index(&g, &mut &buf[..]) {
+            Err(PersistError::ChecksumMismatch { what, .. }) => assert_eq!(what, "segment 0"),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        let (back, report) = read_newslink_index_tolerant(&g, &mut &buf[..]).unwrap();
+        assert_eq!(report.quarantined_segments, 1);
+        assert_eq!(report.segments_loaded, 2);
+        assert!(back.locate(DocId(0)).is_none(), "doc 0 was quarantined");
+        assert!(back.locate(DocId(1)).is_some());
+        assert!(back.locate(DocId(2)).is_some());
+    }
+
+    #[test]
+    fn v4_directory_and_footer_damage_are_fatal_even_tolerant() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let mut buf = Vec::new();
+        write_newslink_index(&idx, &g, &mut buf).unwrap();
+        // Flip a byte inside the directory (between the last section's
+        // end and the footer).
+        let spans = segment_byte_spans(&buf).unwrap();
+        let dir_start = buf.len() - FOOTER_BYTES - spans.len() * DIR_ENTRY_BYTES;
+        let mut dirty = buf.clone();
+        dirty[dir_start + 3] ^= 0x01;
+        match read_newslink_index_tolerant(&g, &mut &dirty[..]) {
+            Err(PersistError::ChecksumMismatch { what, .. }) => {
+                assert_eq!(what, "segment directory")
+            }
+            other => panic!("expected directory ChecksumMismatch, got {other:?}"),
+        }
+        // Mangle the footer magic: the file no longer parses at all.
+        let mut nofoot = buf.clone();
+        let at = nofoot.len() - 1;
+        nofoot[at] = b'X';
+        assert!(matches!(
+            read_newslink_index_tolerant(&g, &mut &nofoot[..]),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn v3_snapshot_migrates_forward_through_version_dispatch() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let mut idx = index_corpus(&g, &li, &cfg, DOCS);
+        idx.delete(DocId(1));
+        let mut v3 = Vec::new();
+        write_newslink_index_v3(&idx, &g, &mut v3).unwrap();
+        assert_eq!(v3[4], VERSION_V3);
+        // The default reader dispatches on the version byte.
+        let back = read_newslink_index(&g, &mut &v3[..]).unwrap();
+        assert_search_parity(&g, &li, &cfg, &idx, &back);
+        // Re-saving produces v4; reloading preserves behaviour bit-exactly.
+        let mut v4 = Vec::new();
+        write_newslink_index(&back, &g, &mut v4).unwrap();
+        assert_eq!(v4[4], VERSION);
+        let again = read_newslink_index(&g, &mut &v4[..]).unwrap();
+        assert_eq!(again.tombstone_count(), 1);
+        assert_search_parity(&g, &li, &cfg, &idx, &again);
+    }
+
+    #[test]
+    fn v4_load_from_mapping_is_zero_copy_and_bit_identical() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(2);
+        let idx = index_corpus(&g, &li, &cfg, DOCS);
+        let dir = std::env::temp_dir().join(format!(
+            "newslink_persist_v4map_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.nlnk");
+        save_newslink_index(&idx, &g, &path).unwrap();
+
+        let heap_bytes = Bytes::from_vec(std::fs::read(&path).unwrap());
+        let (heap_idx, _) = read_newslink_index_bytes(&g, &heap_bytes, false).unwrap();
+        let map = std::sync::Arc::new(
+            newslink_util::Mmap::map(&std::fs::File::open(&path).unwrap()).unwrap(),
+        );
+        let mapped_bytes = Bytes::from_mmap(map);
+        let (mapped_idx, report) = read_newslink_index_bytes(&g, &mapped_bytes, true).unwrap();
+        assert!(!report.degraded());
+        // Posting data stays in the mapping: only block metadata is on
+        // the process heap.
+        let mapped_heap: usize = mapped_idx
+            .segments()
+            .iter()
+            .map(|s| s.bow().postings_heap_bytes() + s.bon().postings_heap_bytes())
+            .sum();
+        let owned_heap: usize = heap_idx
+            .segments()
+            .iter()
+            .map(|s| s.bow().postings_heap_bytes() + s.bon().postings_heap_bytes())
+            .sum();
+        assert!(
+            mapped_heap < owned_heap,
+            "mapped load must not copy posting data ({mapped_heap} vs {owned_heap})"
+        );
+        assert_search_parity(&g, &li, &cfg, &idx, &mapped_idx);
+        assert_search_parity(&g, &li, &cfg, &heap_idx, &mapped_idx);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -29,14 +29,90 @@
 //! results merge in segment order with the same deterministic tie-breaks
 //! (lowest id wins among equal scores) as a monolithic scan.
 
-use newslink_embed::{bon_term_counts, DocEmbedding};
+use std::sync::OnceLock;
+
+use newslink_embed::{bon_term_counts, codec as embed_codec, DocEmbedding};
 use newslink_text::{
     blended_scan, maxscore_search_with, query_tf, score_segment, side_scan, Bm25, CollectionStats,
     DocId, IndexBuilder, InvertedIndex, PruneStats, SideSpec, TermId,
 };
-use newslink_util::{FxHashMap, FxHashSet, TopK};
+use newslink_util::{Bytes, FxHashMap, FxHashSet, TopK};
 
 use crate::indexer::{DocArtifacts, NewsLinkIndex};
+
+/// The per-segment doc store: each document's subgraph embedding.
+///
+/// Live builds hold decoded embeddings (`Eager`). Segments opened from a
+/// version-4 snapshot keep the *encoded* blob — a zero-copy [`Bytes`]
+/// view, memory-mapped under the mmap backend — and decode one document
+/// on first touch (`Lazy`). Scoring never reads the doc store (the
+/// blended score is computed from the BOW/BON posting lists alone), so a
+/// cold start pays no decode cost; only `explain`, merges and snapshot
+/// rewrites fault embeddings in, and each is decoded at most once.
+#[derive(Debug)]
+pub(crate) enum DocStore {
+    /// Decoded embeddings, aligned with local doc ids.
+    Eager(Vec<DocEmbedding>),
+    /// Encoded embeddings decoded on demand.
+    Lazy {
+        /// Concatenated `embed_codec` records.
+        blob: Bytes,
+        /// Cumulative end offset of each record in `blob`
+        /// (non-decreasing; the last equals `blob.len()`).
+        ends: Vec<u32>,
+        /// Per-document decode-once cells.
+        cells: Vec<OnceLock<DocEmbedding>>,
+    },
+}
+
+impl DocStore {
+    /// A lazy store over an encoded blob. `ends` must be non-decreasing
+    /// record end offsets with `ends.last() == blob.len()` — the v4
+    /// reader validates this before construction.
+    pub(crate) fn lazy(blob: Bytes, ends: Vec<u32>) -> Self {
+        debug_assert!(ends.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(ends.last().copied().unwrap_or(0) as usize, blob.len());
+        let mut cells = Vec::with_capacity(ends.len());
+        cells.resize_with(ends.len(), OnceLock::new);
+        Self::Lazy {
+            blob,
+            ends,
+            cells,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Eager(v) => v.len(),
+            Self::Lazy { ends, .. } => ends.len(),
+        }
+    }
+
+    /// The embedding of one local doc, decoding on first touch.
+    ///
+    /// Panics when a lazy record fails to decode: record framing was
+    /// validated at load and the section passed its CRC, so a decode
+    /// failure means the checksum itself was forged — fail loudly
+    /// rather than serve a wrong embedding.
+    fn get(&self, local: usize) -> Option<&DocEmbedding> {
+        match self {
+            Self::Eager(v) => v.get(local),
+            Self::Lazy { blob, ends, cells } => {
+                let cell = cells.get(local)?;
+                Some(cell.get_or_init(|| {
+                    let start = if local == 0 { 0 } else { ends[local - 1] as usize };
+                    let end = ends[local] as usize;
+                    embed_codec::read_embedding(&mut &blob[start..end])
+                        .expect("embedding record validated by section checksum at load")
+                }))
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &DocEmbedding> + '_ {
+        (0..self.len()).map(move |i| self.get(i).expect("index in range"))
+    }
+}
 
 /// Which of the two per-segment inverted indexes a scoring pass targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +128,7 @@ pub(crate) enum Side {
 pub struct IndexSegment {
     bow: InvertedIndex,
     bon: InvertedIndex,
-    embeddings: Vec<DocEmbedding>,
+    docs: DocStore,
     /// Global id of each segment-local document, strictly ascending.
     globals: Vec<u32>,
 }
@@ -79,12 +155,13 @@ impl IndexSegment {
         Self {
             bow: bow.build(),
             bon: bon.build(),
-            embeddings,
+            docs: DocStore::Eager(embeddings),
             globals,
         }
     }
 
-    /// Rebuild from already-frozen parts (persistence).
+    /// Rebuild from already-frozen parts with decoded embeddings
+    /// (version-3 persistence, merges).
     pub(crate) fn from_parts(
         bow: InvertedIndex,
         bon: InvertedIndex,
@@ -94,7 +171,24 @@ impl IndexSegment {
         Self {
             bow,
             bon,
-            embeddings,
+            docs: DocStore::Eager(embeddings),
+            globals,
+        }
+    }
+
+    /// Rebuild from already-frozen parts with a still-encoded doc store
+    /// (version-4 persistence; `store` is typically a zero-copy view of
+    /// the snapshot).
+    pub(crate) fn from_lazy_parts(
+        bow: InvertedIndex,
+        bon: InvertedIndex,
+        store: DocStore,
+        globals: Vec<u32>,
+    ) -> Self {
+        Self {
+            bow,
+            bon,
+            docs: store,
             globals,
         }
     }
@@ -124,14 +218,14 @@ impl IndexSegment {
                 }
                 bow.add_document_counts(&bow_counts);
                 bon.add_document_counts(&bon_counts);
-                embeddings.push(seg.embeddings[local].clone());
+                embeddings.push(seg.docs.get(local).expect("local id in range").clone());
                 globals.push(global);
             }
         }
         Self {
             bow: bow.build(),
             bon: bon.build(),
-            embeddings,
+            docs: DocStore::Eager(embeddings),
             globals,
         }
     }
@@ -154,9 +248,16 @@ impl IndexSegment {
         }
     }
 
-    /// Stored per-document embeddings, aligned with local doc ids.
-    pub fn embeddings(&self) -> &[DocEmbedding] {
-        &self.embeddings
+    /// Stored per-document embeddings in local doc-id order. Under a
+    /// lazy (snapshot-backed) doc store this decodes every document it
+    /// visits, so it belongs on rewrite paths, not serving paths.
+    pub fn embeddings(&self) -> impl Iterator<Item = &DocEmbedding> + '_ {
+        self.docs.iter()
+    }
+
+    /// The embedding of one segment-local document.
+    pub(crate) fn embedding_at(&self, local: usize) -> Option<&DocEmbedding> {
+        self.docs.get(local)
     }
 
     /// Global ids of this shard's documents (strictly ascending).
@@ -277,14 +378,14 @@ impl NewsLinkIndex {
             return None;
         }
         let (seg, local) = self.locate(doc)?;
-        seg.embeddings.get(local.index())
+        seg.embedding_at(local.index())
     }
 
     /// Live document embeddings in ascending global-id order.
     pub fn embeddings(&self) -> impl Iterator<Item = &DocEmbedding> {
         self.segments
             .iter()
-            .flat_map(|s| s.globals.iter().zip(&s.embeddings))
+            .flat_map(|s| s.globals.iter().zip(s.docs.iter()))
             .filter(|(g, _)| !self.tombstones.contains(g))
             .map(|(_, e)| e)
     }
@@ -446,9 +547,8 @@ impl NewsLinkIndex {
             for seg in &self.segments {
                 let index = seg.side(side);
                 if self.tombstones.is_empty() {
-                    let dict = index.dictionary();
-                    if let Some(id) = dict.get(term) {
-                        df += dict.doc_freq(id);
+                    if let Some(id) = index.term_id(term) {
+                        df += index.doc_freq(id);
                     }
                 } else {
                     for p in index.postings_for(term) {
@@ -571,10 +671,9 @@ impl NewsLinkIndex {
     /// normalization divisor.
     fn side_spec<'i>(&self, seg: &'i IndexSegment, w: &SideWork<'_>) -> SideSpec<'i> {
         let index = seg.side(w.side);
-        let dict = index.dictionary();
         let mut terms = Vec::with_capacity(w.qtf.len());
         for (term, &q) in &w.qtf {
-            let Some(id) = dict.get(term) else { continue };
+            let Some(id) = index.term_id(term) else { continue };
             let df = w.global_df.get(term).copied().unwrap_or(0);
             terms.push((index.postings(id), q, df));
         }

@@ -17,9 +17,17 @@
 //!    tombstoned docs.
 //!
 //! The directory layout is two files: `index.nlnk` (snapshot, format
-//! v3) and `wal.log`. A leftover `index.nlnk.tmp` from a checkpoint
+//! v4) and `wal.log`. A leftover `index.nlnk.tmp` from a checkpoint
 //! that crashed before its rename is deleted on open — it was never
 //! made visible, so it is garbage by construction.
+//!
+//! Snapshot I/O goes through the [`Directory`]/[`SegmentReader`] seam:
+//! [`open_with`](DurableStore::open_with) selects the storage backend
+//! ([`StorageBackend::Heap`] copies the snapshot into the process heap;
+//! [`StorageBackend::Mmap`] memory-maps it and serves postings and the
+//! doc store zero-copy from the mapping). Checkpoints publish by atomic
+//! rename, so a live mapping keeps reading the replaced inode. The WAL
+//! is always file-backed — durability is its whole point.
 //!
 //! [`log_insert`]: DurableStore::log_insert
 //! [`log_delete`]: DurableStore::log_delete
@@ -31,9 +39,11 @@ use std::path::{Path, PathBuf};
 use newslink_kg::KnowledgeGraph;
 use newslink_text::DocId;
 
+use crate::directory::{Directory, FsDirectory};
 use crate::indexer::NewsLinkIndex;
-use crate::persist::{load_newslink_index_tolerant, save_newslink_index, LoadReport, PersistError};
+use crate::persist::{write_newslink_index, LoadReport, PersistError};
 use crate::pipeline::NewsLink;
+use crate::reader::{SegmentReader, StorageBackend, StoreOptions};
 use crate::wal::{Wal, WalRecord};
 
 /// Snapshot file name inside the data directory.
@@ -46,6 +56,8 @@ pub const WAL_FILE: &str = "wal.log";
 #[derive(Debug)]
 pub struct DurableStore {
     dir: PathBuf,
+    fs: FsDirectory,
+    reader: Box<dyn SegmentReader>,
     wal: Wal,
     report: LoadReport,
 }
@@ -56,6 +68,9 @@ impl DurableStore {
     /// snapshot exists yet, `seed` builds the initial index (e.g. from
     /// the corpus file) and it is checkpointed immediately so the next
     /// open skips the build.
+    ///
+    /// Uses the default [`StoreOptions`] (heap backend); see
+    /// [`open_with`](Self::open_with).
     ///
     /// Recovery also checkpoints when the WAL held records and the
     /// snapshot loaded clean, folding them in so the log stays short. A
@@ -68,14 +83,27 @@ impl DurableStore {
         dir: &Path,
         seed: impl FnOnce() -> NewsLinkIndex,
     ) -> Result<(Self, NewsLinkIndex), PersistError> {
-        fs::create_dir_all(dir)?;
-        let snapshot = dir.join(SNAPSHOT_FILE);
-        let _ = fs::remove_file(dir.join(format!("{SNAPSHOT_FILE}.tmp")));
-        let fresh = !snapshot.exists();
+        Self::open_with(engine, dir, &StoreOptions::new(), seed)
+    }
+
+    /// [`open`](Self::open) with explicit [`StoreOptions`]: the
+    /// snapshot loads through the selected storage backend's
+    /// [`SegmentReader`] (config overrides are applied earlier, by
+    /// [`NewsLink::open_with`](crate::pipeline::NewsLink::open_with)).
+    pub fn open_with(
+        engine: &NewsLink<'_>,
+        dir: &Path,
+        options: &StoreOptions,
+        seed: impl FnOnce() -> NewsLinkIndex,
+    ) -> Result<(Self, NewsLinkIndex), PersistError> {
+        let fsdir = FsDirectory::create(dir)?;
+        let reader = options.segment_reader();
+        fsdir.remove(&format!("{SNAPSHOT_FILE}.tmp"))?;
+        let fresh = !fsdir.exists(SNAPSHOT_FILE);
         let (mut index, mut report) = if fresh {
             (seed(), LoadReport::default())
         } else {
-            load_newslink_index_tolerant(engine.graph(), &snapshot)?
+            reader.read_snapshot(&fsdir, SNAPSHOT_FILE, engine.graph(), true)?
         };
         let (wal, records, torn) = Wal::open(&dir.join(WAL_FILE))?;
         report.wal_truncated_bytes = torn;
@@ -88,6 +116,8 @@ impl DurableStore {
         }
         let mut store = Self {
             dir: dir.to_path_buf(),
+            fs: fsdir,
+            reader,
             wal,
             report,
         };
@@ -102,6 +132,11 @@ impl DurableStore {
         &self.report
     }
 
+    /// Which storage backend snapshots load through.
+    pub fn backend(&self) -> StorageBackend {
+        self.reader.backend()
+    }
+
     /// Current WAL length in bytes (its 5-byte header included).
     pub fn wal_len(&self) -> u64 {
         self.wal.len()
@@ -110,6 +145,11 @@ impl DurableStore {
     /// The snapshot's path (for tooling/tests).
     pub fn snapshot_path(&self) -> PathBuf {
         self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// Size of the current snapshot file in bytes (0 when absent).
+    pub fn snapshot_len(&self) -> u64 {
+        fs::metadata(self.snapshot_path()).map_or(0, |m| m.len())
     }
 
     /// Log an insert durably. Returns only after the record is fsynced;
@@ -134,7 +174,9 @@ impl DurableStore {
         index: &NewsLinkIndex,
         graph: &KnowledgeGraph,
     ) -> Result<(), PersistError> {
-        save_newslink_index(index, graph, &self.dir.join(SNAPSHOT_FILE))?;
+        let mut bytes = Vec::new();
+        write_newslink_index(index, graph, &mut bytes)?;
+        self.fs.atomic_write(SNAPSHOT_FILE, &bytes)?;
         self.wal.reset()?;
         // `report` is deliberately left alone: it describes what this
         // open recovered (and what was lost), which stays true and
@@ -242,7 +284,7 @@ mod tests {
         // Simulate a checkpoint that crashed after the snapshot rename
         // but before the WAL reset: snapshot reflects the insert, the
         // log still carries it.
-        save_newslink_index(&index, &g, &store.snapshot_path()).unwrap();
+        crate::persist::save_newslink_index(&index, &g, &store.snapshot_path()).unwrap();
         drop(store);
         let (store, reloaded) = DurableStore::open(&engine, &dir, || unreachable!()).unwrap();
         assert_eq!(reloaded.doc_count(), 3);
@@ -263,6 +305,36 @@ mod tests {
         let (_, index) = DurableStore::open(&engine, &dir, || unreachable!()).unwrap();
         assert_eq!(index.doc_count(), 2);
         assert!(!tmp.exists(), "garbage temp file removed on open");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_backend_round_trips_and_survives_checkpoint() {
+        let (g, li) = world();
+        let engine = NewsLink::new(&g, &li, NewsLinkConfig::default());
+        let dir = temp_dir("mmap");
+        let opts = StoreOptions::new().backend(StorageBackend::Mmap);
+        let (store, index) =
+            DurableStore::open_with(&engine, &dir, &opts, || engine.index_corpus(DOCS)).unwrap();
+        assert_eq!(store.backend(), StorageBackend::Mmap);
+        assert_eq!(index.doc_count(), 2);
+        assert!(store.snapshot_len() > 0);
+        drop(store);
+        // Reopen: the snapshot loads through the mapping and the live
+        // index keeps it alive while a checkpoint replaces the file.
+        let (mut store, mut index) =
+            DurableStore::open_with(&engine, &dir, &opts, || unreachable!()).unwrap();
+        assert_eq!(index.doc_count(), 2);
+        let id = engine.insert_document(&mut index, "Kunar aid convoy arrived.");
+        store.log_insert(id, "Kunar aid convoy arrived.").unwrap();
+        store.checkpoint(&index, &g).unwrap();
+        // The pre-checkpoint mapping (inside `index`) is still readable.
+        assert!(index.locate(DocId(0)).is_some());
+        drop(store);
+        let (store, reloaded) =
+            DurableStore::open_with(&engine, &dir, &opts, || unreachable!()).unwrap();
+        assert_eq!(reloaded.doc_count(), 3);
+        assert_eq!(store.report().wal_records_replayed, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -20,13 +20,12 @@ use proptest::prelude::*;
 
 use newslink_core::wal::{self, WalRecord, WAL_HEADER_LEN};
 use newslink_core::{
-    doc_ids, read_newslink_index, read_newslink_index_tolerant, write_newslink_index,
-    DurableStore, LoadReport, NewsLink, NewsLinkConfig, NewsLinkIndex,
+    doc_ids, read_newslink_index, read_newslink_index_tolerant, segment_byte_spans,
+    write_newslink_index, DurableStore, LoadReport, NewsLink, NewsLinkConfig, NewsLinkIndex,
 };
 use newslink_kg::{EntityType, GraphBuilder, KnowledgeGraph, LabelIndex};
 use newslink_text::DocId;
 use newslink_util::failpoint::{FailMode, FailReader, FailWriter};
-use newslink_util::varint;
 
 fn world() -> (KnowledgeGraph, LabelIndex) {
     let mut b = GraphBuilder::new();
@@ -83,21 +82,6 @@ fn temp_dir(tag: &str, case: u64) -> std::path::PathBuf {
     ));
     std::fs::remove_dir_all(&dir).ok();
     dir
-}
-
-/// `(body_start, body_end)` spans of every frame in a v3 snapshot image
-/// (frame 0 is the header).
-fn snapshot_frame_spans(buf: &[u8]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let mut at = 5;
-    while at < buf.len() {
-        let mut cursor = &buf[at..];
-        let len = varint::read_u64(&mut cursor).unwrap() as usize;
-        let body_start = buf.len() - cursor.len();
-        spans.push((body_start, body_start + len));
-        at = body_start + len + 4;
-    }
-    spans
 }
 
 /// (1) Sweep every write offset of a snapshot: a crash mid-write leaves
@@ -250,12 +234,12 @@ fn degraded_store_serves_survivors_and_replays_wal() {
         let id = engine.insert_document(&mut index, EXTRA_DOCS[0]);
         store.log_insert(id, EXTRA_DOCS[0]).unwrap();
     }
-    // Flip one byte in the middle of segment 1's frame (doc 1).
+    // Flip one byte in the middle of segment 1's v4 section (doc 1).
     let snap_path = dir.join("index.nlnk");
     let mut bytes = std::fs::read(&snap_path).unwrap();
-    let spans = snapshot_frame_spans(&bytes);
-    assert!(spans.len() >= 3, "header + at least two segment frames");
-    let (start, end) = spans[2];
+    let spans = segment_byte_spans(&bytes).unwrap();
+    assert!(spans.len() >= 2, "at least two segment sections");
+    let (start, end) = spans[1];
     bytes[(start + end) / 2] ^= 0x20;
     std::fs::write(&snap_path, &bytes).unwrap();
 

@@ -8,7 +8,10 @@
 
 use proptest::prelude::*;
 
-use newslink_core::{index_corpus, search, NewsLinkConfig};
+use newslink_core::{
+    index_corpus, search, write_newslink_index, Directory, FsDirectory, NewsLinkConfig,
+    NewsLinkIndex, RamDirectory, StorageBackend,
+};
 use newslink_kg::{EntityType, GraphBuilder, KnowledgeGraph, LabelIndex};
 use newslink_text::DocId;
 
@@ -108,6 +111,36 @@ fn tied_docs_across_segments_match_oracle() {
     }
 }
 
+/// Save `index` as a v4 snapshot and load it back through both storage
+/// backends (heap over a [`RamDirectory`], mmap over a real file).
+fn round_trip_both_backends(
+    g: &KnowledgeGraph,
+    index: &NewsLinkIndex,
+    tag: &str,
+) -> (NewsLinkIndex, NewsLinkIndex) {
+    let mut buf = Vec::new();
+    write_newslink_index(index, g, &mut buf).expect("encode v4");
+    let ram = RamDirectory::new();
+    ram.atomic_write("index.nlnk", &buf).expect("ram write");
+    let (heap, _) = StorageBackend::Heap
+        .reader()
+        .read_snapshot(&ram, "index.nlnk", g, false)
+        .expect("heap load");
+    let dir = std::env::temp_dir().join(format!(
+        "newslink_prune_prop_{}_{tag}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let fs = FsDirectory::create(&dir).expect("fs dir");
+    fs.atomic_write("index.nlnk", &buf).expect("fs write");
+    let (mmap, _) = StorageBackend::Mmap
+        .reader()
+        .read_snapshot(&fs, "index.nlnk", g, false)
+        .expect("mmap load");
+    std::fs::remove_dir_all(&dir).ok();
+    (heap, mmap)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -169,6 +202,22 @@ proptest! {
             );
             prop_assert_eq!(x.bow.to_bits(), y.bow.to_bits(), "bow bits for doc {}", x.doc.0);
             prop_assert_eq!(x.bon.to_bits(), y.bon.to_bits(), "bon bits for doc {}", x.doc.0);
+        }
+
+        // Block-max pruning over reloaded snapshots: the pruned path
+        // must stay bit-identical whether the postings live on the heap
+        // or straight in a file mapping.
+        let (heap_idx, mmap_idx) = round_trip_both_backends(&g, &idx, "pruned");
+        for (reloaded, label) in [(&heap_idx, "heap"), (&mmap_idx, "mmap")] {
+            let again = search(&g, &li, &pruned_cfg, reloaded, &query, k);
+            prop_assert_eq!(again.results.len(), pruned.results.len(), "{} reload", label);
+            for (x, y) in again.results.iter().zip(&pruned.results) {
+                prop_assert_eq!(x.doc, y.doc, "{} reload doc order", label);
+                prop_assert_eq!(
+                    x.score.to_bits(), y.score.to_bits(),
+                    "{} reload score bits for doc {}", label, x.doc.0
+                );
+            }
         }
     }
 

@@ -6,7 +6,10 @@
 
 use proptest::prelude::*;
 
-use newslink_core::{index_corpus, search, NewsLinkConfig, NewsLinkIndex};
+use newslink_core::{
+    index_corpus, search, write_newslink_index, Directory, FsDirectory, NewsLinkConfig,
+    NewsLinkIndex, RamDirectory, StorageBackend,
+};
 use newslink_kg::{EntityType, GraphBuilder, KnowledgeGraph, LabelIndex};
 use newslink_text::DocId;
 
@@ -80,6 +83,44 @@ fn assert_same_ranking(
     }
 }
 
+/// Save `index` as a v4 snapshot and load it back through both storage
+/// backends: heap over an in-memory directory, mmap over a real file.
+/// The storage seam is an internal decision just like segmentation — it
+/// must never leak into scores.
+fn round_trip_both_backends(
+    g: &KnowledgeGraph,
+    index: &NewsLinkIndex,
+    tag: &str,
+) -> (NewsLinkIndex, NewsLinkIndex) {
+    let mut buf = Vec::new();
+    write_newslink_index(index, g, &mut buf).expect("encode v4");
+
+    let ram = RamDirectory::new();
+    ram.atomic_write("index.nlnk", &buf).expect("ram write");
+    let (heap, report) = StorageBackend::Heap
+        .reader()
+        .read_snapshot(&ram, "index.nlnk", g, false)
+        .expect("heap load");
+    assert!(!report.degraded(), "{tag}");
+
+    let dir = std::env::temp_dir().join(format!(
+        "newslink_segment_prop_{}_{tag}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let fs = FsDirectory::create(&dir).expect("fs dir");
+    fs.atomic_write("index.nlnk", &buf).expect("fs write");
+    let (mmap, report) = StorageBackend::Mmap
+        .reader()
+        .read_snapshot(&fs, "index.nlnk", g, false)
+        .expect("mmap load");
+    assert!(!report.degraded(), "{tag}");
+    // The mapping outlives the unlink: the inode stays alive until the
+    // index (and its mapped views) drop.
+    std::fs::remove_dir_all(&dir).ok();
+    (heap, mmap)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -111,6 +152,12 @@ proptest! {
         compacted.compact();
         prop_assert_eq!(compacted.segment_count(), 1);
         assert_same_ranking(&g, &li, &mono_cfg, &mono, &compacted, &query, k, "compacted");
+
+        // A v4 snapshot round-trip through either storage backend
+        // reproduces the segmented ranking bit for bit.
+        let (heap, mmap) = round_trip_both_backends(&g, &seg, "build");
+        assert_same_ranking(&g, &li, &seg_cfg, &seg, &heap, &query, k, "heap reload");
+        assert_same_ranking(&g, &li, &seg_cfg, &seg, &mmap, &query, k, "mmap reload");
     }
 
     /// Deletions behave identically however the index is sharded, both
@@ -139,6 +186,11 @@ proptest! {
         prop_assert_eq!(mono.doc_count(), live);
         prop_assert_eq!(seg.doc_count(), live);
         assert_same_ranking(&g, &li, &mono_cfg, &mono, &seg, &query, k, "tombstoned");
+
+        // Tombstones persist through the v4 round-trip on both backends.
+        let (heap, mmap) = round_trip_both_backends(&g, &seg, "tombstoned");
+        assert_same_ranking(&g, &li, &mono_cfg, &mono, &heap, &query, k, "tombstoned heap");
+        assert_same_ranking(&g, &li, &mono_cfg, &mono, &mmap, &query, k, "tombstoned mmap");
 
         // Compacting the segmented index expunges its tombstones but
         // must not change what a search returns.

@@ -12,6 +12,8 @@
 //! - [`query`] — query-sentence selection (largest-entity-density and
 //!   random, §VII-B).
 
+#![deny(unsafe_code)]
+
 pub mod gen;
 pub mod query;
 pub mod split;

@@ -15,6 +15,8 @@
 //! - [`explain`] — relationship-path extraction from embedding overlap, the
 //!   intuitive-search feature of the paper's case study.
 
+#![deny(unsafe_code)]
+
 pub mod algo;
 pub mod bon;
 pub mod cache;

@@ -9,6 +9,8 @@
 //! - [`case_study`] — the worked example of Figure 6 / Tables I, II, VI;
 //! - [`tables`] — paper-style text rendering.
 
+#![deny(unsafe_code)]
+
 pub mod case_study;
 pub mod context;
 pub mod methods;

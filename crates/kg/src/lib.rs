@@ -17,6 +17,8 @@
 //!   baseline);
 //! - [`stats`] — descriptive statistics for reports.
 
+#![deny(unsafe_code)]
+
 pub mod builder;
 pub mod cache;
 pub mod describe;

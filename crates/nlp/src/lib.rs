@@ -11,6 +11,8 @@
 //! - [`cooccur`] — maximal entity co-occurrence sets (Definition 1);
 //! - [`segment`] — the end-to-end [`segment::NlpPipeline`].
 
+#![deny(unsafe_code)]
+
 pub mod analyzer;
 pub mod cooccur;
 pub mod ner;

@@ -78,11 +78,18 @@ impl DurableState {
     }
 
     /// The `/metrics` durability section: the immutable recovery report
-    /// plus live append/checkpoint counters and the current WAL size.
+    /// plus live append/checkpoint counters, the current WAL size, and
+    /// the storage backend serving the snapshot.
     pub fn gauges(&self) -> Value {
         let num = |n: u64| Value::Number(Number::from_i128(n as i128));
-        let wal_bytes = self.store().wal_len();
+        let store = self.store();
+        let wal_bytes = store.wal_len();
+        let backend = store.backend().as_str();
+        let snapshot_bytes = store.snapshot_len();
+        drop(store);
         Value::Object(vec![
+            ("backend".into(), Value::String(backend.into())),
+            ("snapshot_bytes".into(), num(snapshot_bytes)),
             ("degraded".into(), Value::Bool(self.report.degraded())),
             (
                 "segments_loaded".into(),

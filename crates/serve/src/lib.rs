@@ -5,15 +5,23 @@
 //! runtime — the offline build rules out tokio) that exposes the
 //! engine's request-based search API over real TCP:
 //!
-//! | Endpoint             | Body                        | Answer |
-//! |----------------------|-----------------------------|--------|
-//! | `POST /search`       | a [`SearchRequest`] as JSON | the `SearchResponse` (hits, timers, cache info, explanations) |
-//! | `POST /search/batch` | `{"requests": [...]}`       | the `BatchResponse` |
-//! | `POST /docs`         | `{"text": "..."}`           | `{"id": n, "index": {...}}` — seal a one-doc segment, compact if needed |
-//! | `DELETE /docs/<id>`  | —                           | tombstone a live document |
-//! | `POST /admin/snapshot` | —                         | checkpoint the durable store (snapshot + WAL reset); `400` without `--data-dir` |
-//! | `GET /healthz`       | —                           | `{"status":"ok"}`, or `{"status":"degraded",...}` after a lossy recovery |
-//! | `GET /metrics`       | —                           | counters, latency histogram, cache stats, segment/tombstone/compaction gauges, durability gauges |
+//! The wire surface is versioned under `/v1/`:
+//!
+//! | Endpoint                | Body                        | Answer |
+//! |-------------------------|-----------------------------|--------|
+//! | `POST /v1/search`       | a [`SearchRequest`] as JSON | the `SearchResponse` (hits, timers, cache info, explanations) |
+//! | `POST /v1/search/batch` | `{"requests": [...]}`       | the `BatchResponse` |
+//! | `POST /v1/docs`         | `{"text": "..."}`           | `{"id": n, "index": {...}}` — seal a one-doc segment, compact if needed |
+//! | `DELETE /v1/docs/<id>`  | —                           | tombstone a live document |
+//! | `POST /v1/admin/snapshot` | —                         | checkpoint the durable store (snapshot + WAL reset); `400` without `--data-dir` |
+//! | `GET /v1/healthz`       | —                           | `{"status":"ok"}`, or `{"status":"degraded",...}` after a lossy recovery |
+//! | `GET /v1/metrics`       | —                           | counters, latency histogram, cache stats, segment/tombstone/compaction gauges, durability + storage gauges |
+//!
+//! The bare, unprefixed spellings (`/search`, …) remain as aliases for
+//! one release: they answer identically but carry a
+//! `Deprecation: true` response header. Every non-2xx response body is
+//! the typed envelope `{"error": {"code": "...", "message": "..."}}`
+//! (see [`router::error_code`] for the code vocabulary).
 //!
 //! Production shape, in miniature:
 //!
@@ -57,6 +65,7 @@
 // Handlers answer errors over the wire; a panic (or a lazy unwrap that
 // becomes one) turns into a blanket 500 and loses the diagnosis.
 #![warn(clippy::unwrap_used)]
+#![deny(unsafe_code)]
 
 pub mod durable;
 pub mod metrics;

@@ -137,11 +137,29 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Write a complete `Connection: close` JSON response.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, &[], body)
+}
+
+/// Like [`write_response`], with extra response headers (e.g. the
+/// `Deprecation` header on legacy unversioned paths).
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -154,6 +172,9 @@ pub mod client {
     use std::io::{Read, Write};
     use std::net::{SocketAddr, TcpStream};
     use std::time::Duration;
+
+    /// A fully parsed response: `(status, headers, body)`.
+    pub type FullResponse = (u16, Vec<(String, String)>, String);
 
     /// Issue `method path` with `body` against `addr`.
     pub fn request(
@@ -187,6 +208,30 @@ pub mod client {
 
     /// Read a full `Connection: close` response into `(status, body)`.
     pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+        let (status, _headers, body) = read_response_full(stream)?;
+        Ok((status, body))
+    }
+
+    /// Like [`request`], but also surface the response headers — the
+    /// deprecation-header tests need to see the wire head, not just the
+    /// body.
+    pub fn request_with_headers(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<FullResponse> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        send(&mut stream, method, path, body)?;
+        read_response_full(&mut stream)
+    }
+
+    /// Read a full `Connection: close` response into
+    /// `(status, headers, body)`.
+    pub fn read_response_full(
+        stream: &mut TcpStream,
+    ) -> std::io::Result<FullResponse> {
         let mut raw = Vec::new();
         stream.read_to_end(&mut raw)?;
         let text = String::from_utf8(raw)
@@ -198,11 +243,17 @@ pub mod client {
             .ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
             })?;
-        let body = text
+        let (head, body) = text
             .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_string())
-            .unwrap_or_default();
-        Ok((status, body))
+            .map(|(h, b)| (h.to_string(), b.to_string()))
+            .unwrap_or((text.clone(), String::new()));
+        let headers = head
+            .split("\r\n")
+            .skip(1) // status line
+            .filter_map(|line| line.split_once(':'))
+            .map(|(name, value)| (name.trim().to_string(), value.trim().to_string()))
+            .collect();
+        Ok((status, headers, body))
     }
 }
 

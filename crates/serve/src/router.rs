@@ -69,6 +69,10 @@ pub struct Routed {
     pub status: u16,
     /// JSON response body.
     pub body: String,
+    /// The request arrived on a legacy unversioned path (`/search`
+    /// instead of `/v1/search`); the response carries a
+    /// `Deprecation: true` header.
+    pub deprecated: bool,
 }
 
 fn routed(route: Route, status: u16, body: String) -> Routed {
@@ -76,6 +80,7 @@ fn routed(route: Route, status: u16, body: String) -> Routed {
         route,
         status,
         body,
+        deprecated: false,
     }
 }
 
@@ -106,7 +111,7 @@ impl RequestError {
 
     /// Render as a routed error response.
     fn into_routed(self, route: Route) -> Routed {
-        routed(route, self.status(), error_body(self.message()))
+        routed(route, self.status(), error_body(self.status(), self.message()))
     }
 }
 
@@ -114,14 +119,64 @@ fn bad(msg: impl Into<String>) -> RequestError {
     RequestError::BadRequest(msg.into())
 }
 
-/// A JSON error body: `{"error": msg}` with proper escaping.
-pub fn error_body(msg: &str) -> String {
-    Value::Object(vec![("error".into(), Value::String(msg.into()))]).to_compact_string()
+/// The machine-readable error code for a status: part of the typed
+/// error envelope, stable across message-wording changes.
+pub fn error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        413 => "payload_too_large",
+        429 => "too_many_requests",
+        500 => "internal",
+        503 => "service_unavailable",
+        _ => "error",
+    }
+}
+
+/// The typed JSON error envelope:
+/// `{"error": {"code": "...", "message": "..."}}` with proper escaping.
+/// Every non-2xx body the service emits has this shape.
+pub fn error_body(status: u16, msg: &str) -> String {
+    Value::Object(vec![(
+        "error".into(),
+        Value::Object(vec![
+            ("code".into(), Value::String(error_code(status).into())),
+            ("message".into(), Value::String(msg.into())),
+        ]),
+    )])
+    .to_compact_string()
+}
+
+/// Whether `path` (canonical, un-prefixed form) names an endpoint this
+/// service serves — used to decide if a legacy alias deserves the
+/// deprecation header.
+fn is_api_path(path: &str) -> bool {
+    matches!(
+        path,
+        "/healthz" | "/metrics" | "/search" | "/search/batch" | "/docs" | "/admin/snapshot"
+    ) || path.strip_prefix("/docs/").is_some()
 }
 
 /// Dispatch one parsed request to its handler.
+///
+/// The wire surface is versioned under `/v1/`; the bare, unprefixed
+/// paths remain as aliases for one release and answer identically but
+/// with [`Routed::deprecated`] set (the server turns that into a
+/// `Deprecation: true` response header).
 pub fn dispatch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
-    match (req.method.as_str(), req.path.as_str()) {
+    let (path, legacy) = match req.path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => (rest, false),
+        _ => (req.path.as_str(), true),
+    };
+    let mut r = dispatch_path(req, path, ctx);
+    r.deprecated = legacy && is_api_path(path);
+    r
+}
+
+/// Route a canonical (version-stripped) path.
+fn dispatch_path(req: &HttpRequest, path: &str, ctx: &RequestContext<'_, '_>) -> Routed {
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => handle_healthz(ctx),
         ("GET", "/metrics") => {
             let index_stats = ctx.index.read().stats();
@@ -139,19 +194,12 @@ pub fn dispatch(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
         ("POST", "/docs") => handle_insert(req, ctx),
         ("POST", "/admin/snapshot") => handle_snapshot(ctx),
         ("DELETE", path) if path.strip_prefix("/docs/").is_some() => handle_delete(path, ctx),
-        (_, "/healthz" | "/metrics" | "/search" | "/search/batch" | "/docs" | "/admin/snapshot") => {
-            routed(
-                Route::Other,
-                405,
-                error_body(&format!("method {} not allowed here", req.method)),
-            )
-        }
-        (_, path) if path.strip_prefix("/docs/").is_some() => routed(
+        (_, path) if is_api_path(path) => routed(
             Route::Other,
             405,
-            error_body(&format!("method {} not allowed here", req.method)),
+            error_body(405, &format!("method {} not allowed here", req.method)),
         ),
-        (_, path) => routed(Route::Other, 404, error_body(&format!("no route {path}"))),
+        (_, path) => routed(Route::Other, 404, error_body(404, &format!("no route {path}"))),
     }
 }
 
@@ -228,7 +276,7 @@ fn handle_insert(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
             return routed(
                 Route::Docs,
                 500,
-                error_body(&format!("wal append failed, insert rolled back: {e}")),
+                error_body(500, &format!("wal append failed, insert rolled back: {e}")),
             );
         }
         durable.note_append();
@@ -254,12 +302,12 @@ fn handle_insert(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
 fn handle_delete(path: &str, ctx: &RequestContext<'_, '_>) -> Routed {
     let raw = path.strip_prefix("/docs/").unwrap_or_default();
     let Ok(id) = raw.parse::<u32>() else {
-        return routed(Route::Docs, 400, error_body(&format!("bad document id {raw:?}")));
+        return routed(Route::Docs, 400, error_body(400, &format!("bad document id {raw:?}")));
     };
     let mut index = ctx.index.write();
     if !index.is_live(DocId(id)) {
         drop(index);
-        return routed(Route::Docs, 404, error_body(&format!("no live document {id}")));
+        return routed(Route::Docs, 404, error_body(404, &format!("no live document {id}")));
     }
     if let Some(durable) = ctx.durable {
         if let Err(e) = durable.store().log_delete(DocId(id)) {
@@ -267,7 +315,7 @@ fn handle_delete(path: &str, ctx: &RequestContext<'_, '_>) -> Routed {
             return routed(
                 Route::Docs,
                 500,
-                error_body(&format!("wal append failed, delete not applied: {e}")),
+                error_body(500, &format!("wal append failed, delete not applied: {e}")),
             );
         }
         durable.note_append();
@@ -292,7 +340,7 @@ fn handle_snapshot(ctx: &RequestContext<'_, '_>) -> Routed {
         return routed(
             Route::Admin,
             400,
-            error_body("durability not enabled (start the server with --data-dir)"),
+            error_body(400, "durability not enabled (start the server with --data-dir)"),
         );
     };
     let index = ctx.index.read();
@@ -312,7 +360,7 @@ fn handle_snapshot(ctx: &RequestContext<'_, '_>) -> Routed {
         Err(e) => routed(
             Route::Admin,
             500,
-            error_body(&format!("checkpoint failed: {e}")),
+            error_body(500, &format!("checkpoint failed: {e}")),
         ),
     }
 }
@@ -593,10 +641,42 @@ mod tests {
         let r = RequestError::Internal("broken invariant".into()).into_routed(Route::Search);
         assert_eq!(r.status, 500);
         assert!(r.body.contains("broken invariant"));
+        assert!(r.body.contains(r#""code":"internal""#), "{}", r.body);
     }
 
     #[test]
-    fn error_body_escapes() {
-        assert_eq!(error_body("bad \"x\""), r#"{"error":"bad \"x\""}"#);
+    fn error_body_is_a_typed_envelope_with_escaping() {
+        assert_eq!(
+            error_body(400, "bad \"x\""),
+            r#"{"error":{"code":"bad_request","message":"bad \"x\""}}"#
+        );
+        for (status, code) in [
+            (400, "bad_request"),
+            (404, "not_found"),
+            (405, "method_not_allowed"),
+            (413, "payload_too_large"),
+            (429, "too_many_requests"),
+            (500, "internal"),
+            (503, "service_unavailable"),
+        ] {
+            assert_eq!(error_code(status), code);
+        }
+    }
+
+    #[test]
+    fn api_paths_cover_the_route_table() {
+        for p in [
+            "/healthz",
+            "/metrics",
+            "/search",
+            "/search/batch",
+            "/docs",
+            "/docs/17",
+            "/admin/snapshot",
+        ] {
+            assert!(is_api_path(p), "{p}");
+        }
+        assert!(!is_api_path("/nope"));
+        assert!(!is_api_path("/v1/search"), "prefix is stripped before the check");
     }
 }

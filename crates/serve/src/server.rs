@@ -33,7 +33,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::durable::DurableState;
 use crate::metrics::{Route, ServerMetrics};
-use crate::protocol::{read_request, write_response, RecvError};
+use crate::protocol::{read_request, write_response, write_response_with, RecvError};
 use crate::router::{dispatch, error_body, RequestContext};
 
 /// Tunables for one server instance.
@@ -267,12 +267,12 @@ impl Server {
             Ok(request) => request,
             Err(RecvError::Closed) => return,
             Err(RecvError::BadRequest(msg)) => {
-                let _ = write_response(&mut stream, 400, &error_body(&msg));
+                let _ = write_response(&mut stream, 400, &error_body(400, &msg));
                 self.metrics.observe(Route::Other, 400, job.accepted.elapsed());
                 return;
             }
             Err(RecvError::TooLarge) => {
-                let _ = write_response(&mut stream, 413, &error_body("request body too large"));
+                let _ = write_response(&mut stream, 413, &error_body(413, "request body too large"));
                 self.metrics.observe(Route::Other, 413, job.accepted.elapsed());
                 return;
             }
@@ -294,11 +294,18 @@ impl Server {
         // A panic inside a handler must not take down the pool: answer
         // 500 and keep serving.
         let routed = catch_unwind(AssertUnwindSafe(|| dispatch(&request, &ctx)));
-        let (route, status, body) = match routed {
-            Ok(r) => (r.route, r.status, r.body),
-            Err(_) => (Route::Other, 500, error_body("internal error")),
+        let (route, status, body, deprecated) = match routed {
+            Ok(r) => (r.route, r.status, r.body, r.deprecated),
+            Err(_) => (Route::Other, 500, error_body(500, "internal error"), false),
         };
-        let _ = write_response(&mut stream, status, &body);
+        // Legacy unversioned paths still answer, but tell the client to
+        // move to `/v1/...`.
+        let extra: &[(&str, &str)] = if deprecated {
+            &[("Deprecation", "true")]
+        } else {
+            &[]
+        };
+        let _ = write_response_with(&mut stream, status, extra, &body);
         self.metrics.observe(route, status, job.accepted.elapsed());
     }
 }
@@ -309,7 +316,7 @@ fn shed(mut stream: TcpStream) {
     let _ = write_response(
         &mut stream,
         429,
-        &error_body("server at capacity, retry later"),
+        &error_body(429, "server at capacity, retry later"),
     );
     // Closing with unread request bytes in the socket makes the kernel
     // send RST, which can destroy the 429 before the client reads it.

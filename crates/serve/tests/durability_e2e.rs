@@ -5,7 +5,10 @@
 
 use std::path::{Path, PathBuf};
 
-use newslink_core::{DurableStore, NewsLink, NewsLinkConfig, NewsLinkIndex};
+use newslink_core::{
+    segment_byte_spans, DurableStore, NewsLink, NewsLinkConfig, NewsLinkIndex, StorageBackend,
+    StoreOptions,
+};
 use newslink_kg::{synth, KnowledgeGraph, LabelIndex, SynthConfig};
 use newslink_serve::{client, DurableState, ServeConfig, Server, ServerHandle};
 use serde::Value;
@@ -49,20 +52,24 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Open the store on `dir` and run a durable server for the duration of
-/// `f`. Each call is one "process lifetime": dropping the store at the
-/// end and calling again models a restart.
+/// Open the store on `dir` with the given storage backend and run a
+/// durable server for the duration of `f`. Each call is one "process
+/// lifetime": dropping the store at the end and calling again models a
+/// restart.
 fn with_durable_server<R>(
     fixture: &Fixture,
     engine_config: NewsLinkConfig,
     dir: &Path,
+    backend: StorageBackend,
     f: impl FnOnce(&ServerHandle, &DurableState) -> R,
 ) -> R {
     let labels = LabelIndex::build(&fixture.graph);
     let engine = NewsLink::new(&fixture.graph, &labels, engine_config);
     let docs = fixture.docs();
+    let options = StoreOptions::new().backend(backend);
     let (store, index) =
-        DurableStore::open(&engine, dir, || engine.index_corpus(&docs)).expect("open store");
+        DurableStore::open_with(&engine, dir, &options, || engine.index_corpus(&docs))
+            .expect("open store");
     let durable = DurableState::new(store);
     let index: parking_lot::RwLock<NewsLinkIndex> = parking_lot::RwLock::new(index);
 
@@ -87,12 +94,21 @@ fn parse(body: &str) -> Value {
 }
 
 #[test]
-fn acknowledged_mutations_survive_a_restart() {
+fn acknowledged_mutations_survive_a_restart_heap() {
+    restart_survives(StorageBackend::Heap);
+}
+
+#[test]
+fn acknowledged_mutations_survive_a_restart_mmap() {
+    restart_survives(StorageBackend::Mmap);
+}
+
+fn restart_survives(backend: StorageBackend) {
     let fixture = Fixture::new(21);
-    let dir = temp_dir("restart");
+    let dir = temp_dir(&format!("restart_{backend}"));
 
     // First lifetime: insert one document, delete one, no checkpoint.
-    with_durable_server(&fixture, NewsLinkConfig::default(), &dir, |handle, _| {
+    with_durable_server(&fixture, NewsLinkConfig::default(), &dir, backend, |handle, _| {
         let body = format!(
             r#"{{"text": "Breaking report from {} about {}."}}"#,
             fixture.city, fixture.country
@@ -129,7 +145,7 @@ fn acknowledged_mutations_survive_a_restart() {
     });
 
     // Restart: the WAL replays over the snapshot.
-    with_durable_server(&fixture, NewsLinkConfig::default(), &dir, |handle, durable| {
+    with_durable_server(&fixture, NewsLinkConfig::default(), &dir, backend, |handle, durable| {
         assert_eq!(durable.report().wal_records_replayed, 2);
         let (status, text) = client::request(handle.addr(), "GET", "/healthz", "").unwrap();
         assert_eq!(status, 200);
@@ -141,6 +157,9 @@ fn acknowledged_mutations_survive_a_restart() {
         assert_eq!(v["durability"]["wal_records_replayed"], 2u64, "{text}");
         // Replay folded into a fresh snapshot: the WAL is back to its header.
         assert_eq!(v["durability"]["wal_bytes"], 5u64, "{text}");
+        // The storage gauges name the backend serving the snapshot.
+        assert_eq!(v["durability"]["backend"], backend.as_str(), "{text}");
+        assert!(v["durability"]["snapshot_bytes"].as_i64().unwrap() > 0, "{text}");
 
         // The recovered document is searchable; the deleted one is gone.
         let query = format!(r#"{{"query": "breaking report about {}", "k": 6}}"#, fixture.country);
@@ -162,7 +181,9 @@ fn acknowledged_mutations_survive_a_restart() {
 fn admin_snapshot_checkpoints_and_resets_the_wal() {
     let fixture = Fixture::new(22);
     let dir = temp_dir("checkpoint");
-    with_durable_server(&fixture, NewsLinkConfig::default(), &dir, |handle, _| {
+    // Checkpoint while the snapshot is memory-mapped: atomic-rename
+    // replacement must not disturb the live mapping.
+    with_durable_server(&fixture, NewsLinkConfig::default(), &dir, StorageBackend::Mmap, |handle, _| {
         let body = format!(r#"{{"text": "Update from {}."}}"#, fixture.city);
         let (status, _) = client::request(handle.addr(), "POST", "/docs", &body).unwrap();
         assert_eq!(status, 200);
@@ -185,7 +206,7 @@ fn admin_snapshot_checkpoints_and_resets_the_wal() {
 
     // The checkpoint made the mutation part of the snapshot: a restart
     // replays nothing and still has all four documents.
-    with_durable_server(&fixture, NewsLinkConfig::default(), &dir, |handle, durable| {
+    with_durable_server(&fixture, NewsLinkConfig::default(), &dir, StorageBackend::Mmap, |handle, durable| {
         assert_eq!(durable.report().wal_records_replayed, 0);
         let (_, text) = client::request(handle.addr(), "GET", "/metrics", "").unwrap();
         assert_eq!(parse(&text)["index"]["docs"], 4u64, "{text}");
@@ -215,32 +236,27 @@ fn snapshot_endpoint_without_data_dir_is_a_clear_400() {
     });
 }
 
-/// Walk the snapshot's frames: 5-byte preamble, then
-/// `[len varint][body][crc32]` frames. Returns `(body_start, body_end)`
-/// per frame; frame 0 is the header, the rest are segments.
-fn frame_bodies(bytes: &[u8]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let mut at = 5;
-    while at < bytes.len() {
-        let mut cursor = &bytes[at..];
-        let len = newslink_util::varint::read_u64(&mut cursor).expect("frame length") as usize;
-        let body_start = bytes.len() - cursor.len();
-        let body_end = body_start + len;
-        spans.push((body_start, body_end));
-        at = body_end + 4;
-    }
-    spans
+#[test]
+fn degraded_start_still_serves_and_reports_itself_heap() {
+    degraded_start_still_serves(StorageBackend::Heap);
 }
 
+/// Corrupted-mapping path: the byte flips land in a block the mmap
+/// reader serves straight from the page cache; the CRC check must
+/// quarantine the section — no panic, no torn reads.
 #[test]
-fn degraded_start_still_serves_and_reports_itself() {
+fn degraded_start_still_serves_and_reports_itself_mmap() {
+    degraded_start_still_serves(StorageBackend::Mmap);
+}
+
+fn degraded_start_still_serves(backend: StorageBackend) {
     let fixture = Fixture::new(24);
-    let dir = temp_dir("degraded");
+    let dir = temp_dir(&format!("degraded_{backend}"));
     // One document per segment, no compaction: the snapshot carries one
     // frame per document, so corrupting one loses exactly one document.
     let engine_config = NewsLinkConfig::default().with_segment_docs(1).with_max_segments(64);
 
-    with_durable_server(&fixture, engine_config.clone(), &dir, |handle, _| {
+    with_durable_server(&fixture, engine_config.clone(), &dir, backend, |handle, _| {
         // One extra WAL-only mutation, to prove replay works over a
         // degraded snapshot too.
         let body = format!(r#"{{"text": "Late extra from {}."}}"#, fixture.city);
@@ -248,16 +264,18 @@ fn degraded_start_still_serves_and_reports_itself() {
         assert_eq!(status, 200);
     });
 
-    // Corrupt one byte inside the second segment's frame body.
+    // Corrupt one byte inside the second segment's v4 section; the
+    // format's own directory locates it, so this stays correct as the
+    // physical layout evolves.
     let snapshot = dir.join("index.nlnk");
     let mut bytes = std::fs::read(&snapshot).expect("read snapshot");
-    let spans = frame_bodies(&bytes);
-    assert!(spans.len() >= 4, "header + one frame per document");
-    let (start, end) = spans[2];
+    let spans = segment_byte_spans(&bytes).expect("v4 section directory");
+    assert!(spans.len() >= 3, "one section per document");
+    let (start, end) = spans[1];
     bytes[start + (end - start) / 2] ^= 0x40;
     std::fs::write(&snapshot, &bytes).expect("rewrite snapshot");
 
-    with_durable_server(&fixture, engine_config, &dir, |handle, durable| {
+    with_durable_server(&fixture, engine_config, &dir, backend, |handle, durable| {
         assert!(durable.degraded());
         assert_eq!(durable.report().quarantined_segments, 1);
 

@@ -152,7 +152,7 @@ fn malformed_and_unroutable_requests() {
         // Not JSON at all.
         let (status, text) = client::request(handle.addr(), "POST", "/search", "{oops").unwrap();
         assert_eq!(status, 400);
-        assert!(parse(&text)["error"].as_str().is_some());
+        assert!(parse(&text)["error"]["message"].as_str().is_some());
         // Valid JSON, wrong shape.
         let (status, _) = client::request(handle.addr(), "POST", "/search", r#"{"k": 3}"#).unwrap();
         assert_eq!(status, 400);
@@ -225,7 +225,7 @@ fn over_capacity_connections_are_shed_with_429() {
         // Capacity is 1 and the hog holds it: this connection sheds.
         let (status, text) = client::request(handle.addr(), "POST", "/search", &body).unwrap();
         assert_eq!(status, 429, "body: {text}");
-        assert!(parse(&text)["error"].as_str().is_some());
+        assert!(parse(&text)["error"]["message"].as_str().is_some());
         assert!(server.metrics().shed_total() >= 1);
 
         // The hog was never dropped: completing its body gets a real answer.
@@ -333,6 +333,65 @@ fn metrics_segment_gauges_move_with_live_inserts_and_compaction() {
         let (status, _) =
             client::request(handle.addr(), "POST", "/docs", r#"{"body": "x"}"#).unwrap();
         assert_eq!(status, 400, "unknown insert field");
+    });
+}
+
+#[test]
+fn v1_prefix_routes_and_legacy_paths_carry_deprecation_header() {
+    let fixture = Fixture::new(19);
+    with_server(ServeConfig::default(), &fixture, |handle, _| {
+        let body = format!(r#"{{"query": "news about {}"}}"#, fixture.country);
+        let has_deprecation = |headers: &[(String, String)]| {
+            headers
+                .iter()
+                .any(|(n, v)| n.eq_ignore_ascii_case("deprecation") && v == "true")
+        };
+
+        // The versioned path is the canonical surface: no deprecation.
+        let (status, headers, text) =
+            client::request_with_headers(handle.addr(), "POST", "/v1/search", &body).unwrap();
+        assert_eq!(status, 200, "body: {text}");
+        assert!(!has_deprecation(&headers), "headers: {headers:?}");
+        let v1_results = parse(&text)["results"].as_array().unwrap().len();
+
+        // The legacy alias answers identically but flags itself.
+        let (status, headers, text) =
+            client::request_with_headers(handle.addr(), "POST", "/search", &body).unwrap();
+        assert_eq!(status, 200);
+        assert!(has_deprecation(&headers), "headers: {headers:?}");
+        assert_eq!(parse(&text)["results"].as_array().unwrap().len(), v1_results);
+
+        // Observability endpoints route under /v1 too.
+        let (status, headers, text) =
+            client::request_with_headers(handle.addr(), "GET", "/v1/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(!has_deprecation(&headers));
+        assert_eq!(parse(&text)["status"], "ok");
+        let (status, _, _) =
+            client::request_with_headers(handle.addr(), "GET", "/v1/metrics", "").unwrap();
+        assert_eq!(status, 200);
+
+        // Errors are typed envelopes with machine-readable codes.
+        let (status, _, text) =
+            client::request_with_headers(handle.addr(), "POST", "/v1/search", "{oops").unwrap();
+        assert_eq!(status, 400);
+        let v = parse(&text);
+        assert_eq!(v["error"]["code"], "bad_request");
+        assert!(v["error"]["message"].as_str().is_some());
+        let (status, headers, text) =
+            client::request_with_headers(handle.addr(), "GET", "/v1/nope", "").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(parse(&text)["error"]["code"], "not_found");
+        // An unknown path is not a legacy alias of anything.
+        assert!(!has_deprecation(&headers));
+        let (status, _, text) =
+            client::request_with_headers(handle.addr(), "GET", "/v1/search", "").unwrap();
+        assert_eq!(status, 405);
+        assert_eq!(parse(&text)["error"]["code"], "method_not_allowed");
+        // "/v1" alone names no endpoint.
+        let (status, _, _) =
+            client::request_with_headers(handle.addr(), "GET", "/v1", "").unwrap();
+        assert_eq!(status, 404);
     });
 }
 

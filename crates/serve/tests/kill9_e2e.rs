@@ -48,7 +48,12 @@ fn run_tool(args: &[&str]) {
 /// Spawn `newslink serve` and block until its startup banner reveals the
 /// bound address. The child's stdout stays piped (and is drained by a
 /// thread) so the server never blocks on a full pipe.
-fn spawn_server(world: &Path, corpus: &Path, data_dir: &Path) -> (Child, SocketAddr) {
+fn spawn_server(
+    world: &Path,
+    corpus: &Path,
+    data_dir: &Path,
+    storage: &str,
+) -> (Child, SocketAddr) {
     let mut child = Command::new(release_binary())
         .args([
             "serve",
@@ -62,6 +67,8 @@ fn spawn_server(world: &Path, corpus: &Path, data_dir: &Path) -> (Child, SocketA
             data_dir.to_str().expect("utf-8 path"),
             "--workers",
             "2",
+            "--storage",
+            storage,
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
@@ -102,8 +109,18 @@ fn metrics(addr: SocketAddr) -> Value {
 
 #[test]
 #[ignore = "needs target/release/newslink; run via scripts/tier1.sh"]
-fn sigkill_loses_no_acknowledged_mutation() {
-    let dir = temp_dir("main");
+fn sigkill_loses_no_acknowledged_mutation_heap() {
+    sigkill_loses_no_acknowledged_mutation("heap");
+}
+
+#[test]
+#[ignore = "needs target/release/newslink; run via scripts/tier1.sh"]
+fn sigkill_loses_no_acknowledged_mutation_mmap() {
+    sigkill_loses_no_acknowledged_mutation("mmap");
+}
+
+fn sigkill_loses_no_acknowledged_mutation(storage: &str) {
+    let dir = temp_dir(storage);
     let world = dir.join("kg.tsv");
     let corpus = dir.join("corpus.txt");
     let data_dir = dir.join("data");
@@ -119,7 +136,7 @@ fn sigkill_loses_no_acknowledged_mutation() {
     ]);
 
     // First lifetime: mutate, then die without warning.
-    let (mut child, addr) = spawn_server(&world, &corpus, &data_dir);
+    let (mut child, addr) = spawn_server(&world, &corpus, &data_dir, storage);
     let base_docs = metrics(addr)["index"]["docs"].as_i64().expect("docs gauge");
     assert_eq!(base_docs, 12);
 
@@ -139,7 +156,7 @@ fn sigkill_loses_no_acknowledged_mutation() {
     child.wait().expect("reap");
 
     // Second lifetime on the same directory: the WAL replays.
-    let (mut child, addr) = spawn_server(&world, &corpus, &data_dir);
+    let (mut child, addr) = spawn_server(&world, &corpus, &data_dir, storage);
     let v = metrics(addr);
     assert_eq!(
         v["index"]["docs"], 14u64,
@@ -147,6 +164,7 @@ fn sigkill_loses_no_acknowledged_mutation() {
     );
     assert_eq!(v["durability"]["wal_records_replayed"], 4u64, "{v:?}");
     assert_eq!(v["durability"]["degraded"], false, "{v:?}");
+    assert_eq!(v["durability"]["backend"], storage, "{v:?}");
 
     let (status, text) = client::request(addr, "GET", "/healthz", "").expect("GET /healthz");
     assert_eq!(status, 200);

@@ -20,7 +20,7 @@
 //! compresses only on [`IndexBuilder::build`] — the live (unsealed)
 //! representation stays uncompressed.
 
-use newslink_util::FxHashMap;
+use newslink_util::{Bytes, FxHashMap};
 
 use crate::dictionary::{TermDictionary, TermId};
 
@@ -95,10 +95,15 @@ fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
 }
 
 /// A block-compressed, immutable posting list sorted by document id.
+///
+/// The delta bytes live in a [`Bytes`] region, so a list decoded from a
+/// memory-mapped segment references the mapping directly — the cursor's
+/// block-skipping seek and the block-max evaluators run straight off the
+/// mapped file with no heap copy of the postings.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PostingList {
     /// Concatenated `(doc_delta, tf)` varint pairs for all blocks.
-    data: Vec<u8>,
+    data: Bytes,
     /// One entry per block, ascending by `last_doc`.
     blocks: Vec<BlockMeta>,
     /// Total postings across all blocks.
@@ -107,7 +112,7 @@ pub struct PostingList {
 
 /// The empty list `postings_for` hands out for unindexed terms.
 static EMPTY_LIST: PostingList = PostingList {
-    data: Vec::new(),
+    data: Bytes::empty(),
     blocks: Vec::new(),
     count: 0,
 };
@@ -135,19 +140,25 @@ impl PostingList {
             });
         }
         Self {
-            data,
+            data: Bytes::from_vec(data),
             blocks,
             count: postings.len(),
         }
     }
 
-    /// Assemble from already-validated compressed parts (codec read path).
-    pub(crate) fn from_raw_parts(data: Vec<u8>, blocks: Vec<BlockMeta>, count: usize) -> Self {
+    /// Assemble from already-validated compressed parts (codec read
+    /// path). `data` may be a zero-copy view into a mapped segment.
+    pub(crate) fn from_raw_parts(data: Bytes, blocks: Vec<BlockMeta>, count: usize) -> Self {
         Self {
             data,
             blocks,
             count,
         }
+    }
+
+    /// The whole delta byte stream (codec write path).
+    pub(crate) fn raw_data(&self) -> &[u8] {
+        &self.data
     }
 
     /// Number of postings.
@@ -183,9 +194,10 @@ impl PostingList {
         self.blocks.iter().map(|b| b.max_tf).max().unwrap_or(0)
     }
 
-    /// Heap bytes held by the compressed representation.
+    /// Heap bytes held by the compressed representation. Mapped delta
+    /// bytes cost no heap and are not counted.
     pub fn heap_bytes(&self) -> usize {
-        self.data.len() + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+        self.data.heap_bytes() + self.blocks.len() * std::mem::size_of::<BlockMeta>()
     }
 
     /// Entries in block `i` (every block is full except possibly the last).
@@ -446,7 +458,7 @@ impl CollectionStats {
     pub fn from_index(index: &InvertedIndex) -> Self {
         Self {
             docs: index.doc_count(),
-            total_len: index.total_len,
+            total_len: index.total_len(),
         }
     }
 
@@ -475,50 +487,155 @@ impl CollectionStats {
 }
 
 /// A frozen inverted index.
+///
+/// Two physical representations hide behind one API:
+///
+/// - **Owned** — dictionary hashmap, posting lists and doc-length table
+///   materialized on the heap. What [`IndexBuilder::build`] and the
+///   eager codec readers produce.
+/// - **Mapped** — a zero-copy view over a columnar section (usually a
+///   memory-mapped v4 snapshot): term lookups binary-search the on-disk
+///   sorted term table, document lengths are read in place, and posting
+///   lists materialize lazily (block metadata only — delta bytes stay
+///   in the mapping) the first time a term is touched. Opening one is
+///   O(1) in the corpus size; see
+///   [`read_index_columnar_lazy`](crate::codec::read_index_columnar_lazy).
+///
+/// Both representations answer every query bit-identically: the mapped
+/// form decodes the same bytes the eager reader would, just later.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
-    pub(crate) dict: TermDictionary,
-    pub(crate) postings: Vec<PostingList>,
-    pub(crate) doc_len: Vec<u32>,
-    pub(crate) total_len: u64,
+    pub(crate) repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Repr {
+    Owned {
+        dict: TermDictionary,
+        postings: Vec<PostingList>,
+        doc_len: Vec<u32>,
+        total_len: u64,
+    },
+    Mapped(crate::codec::MappedColumnar),
 }
 
 impl InvertedIndex {
+    /// Assemble an owned (fully materialized) index from its parts.
+    pub(crate) fn from_owned_parts(
+        dict: TermDictionary,
+        postings: Vec<PostingList>,
+        doc_len: Vec<u32>,
+        total_len: u64,
+    ) -> Self {
+        Self {
+            repr: Repr::Owned {
+                dict,
+                postings,
+                doc_len,
+                total_len,
+            },
+        }
+    }
+
+    /// Wrap a lazily-decoded columnar view (mapped representation).
+    pub(crate) fn from_mapped(mapped: crate::codec::MappedColumnar) -> Self {
+        Self {
+            repr: Repr::Mapped(mapped),
+        }
+    }
+
     /// Number of indexed documents.
     #[inline]
     pub fn doc_count(&self) -> usize {
-        self.doc_len.len()
+        match &self.repr {
+            Repr::Owned { doc_len, .. } => doc_len.len(),
+            Repr::Mapped(m) => m.doc_count(),
+        }
     }
 
     /// Token length of `doc` (as counted at indexing time).
     #[inline]
     pub fn doc_len(&self, doc: DocId) -> u32 {
-        self.doc_len[doc.index()]
+        match &self.repr {
+            Repr::Owned { doc_len, .. } => doc_len[doc.index()],
+            Repr::Mapped(m) => m.doc_len(doc.index()),
+        }
+    }
+
+    /// Total token length across all documents.
+    #[inline]
+    pub(crate) fn total_len(&self) -> u64 {
+        match &self.repr {
+            Repr::Owned { total_len, .. } => *total_len,
+            Repr::Mapped(m) => m.total_len(),
+        }
     }
 
     /// Mean document length; 0 for an empty index.
     pub fn avg_doc_len(&self) -> f64 {
-        if self.doc_len.is_empty() {
+        if self.doc_count() == 0 {
             0.0
         } else {
-            self.total_len as f64 / self.doc_len.len() as f64
+            self.total_len() as f64 / self.doc_count() as f64
         }
     }
 
     /// The term dictionary.
+    ///
+    /// On a mapped index this **materializes** the full dictionary
+    /// (every term string plus the lookup hashmap) on first call — fine
+    /// for merges and offline walks, wrong for the query path. Query
+    /// code should use [`term_id`](Self::term_id) and
+    /// [`doc_freq`](Self::doc_freq), which stay O(log n) reads of the
+    /// mapping.
     pub fn dictionary(&self) -> &TermDictionary {
-        &self.dict
+        match &self.repr {
+            Repr::Owned { dict, .. } => dict,
+            Repr::Mapped(m) => m.dictionary(),
+        }
     }
 
-    /// Posting list for a term id (sorted by doc id).
+    /// Resolve a term string to its id without materializing the
+    /// dictionary (hash lookup when owned, binary search over the
+    /// on-disk sorted term table when mapped).
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        match &self.repr {
+            Repr::Owned { dict, .. } => dict.get(term),
+            Repr::Mapped(m) => m.term_id(term),
+        }
+    }
+
+    /// Document frequency of a term id.
+    #[inline]
+    pub fn doc_freq(&self, term: TermId) -> u32 {
+        match &self.repr {
+            Repr::Owned { dict, .. } => dict.doc_freq(term),
+            Repr::Mapped(m) => m.doc_freq(term.index()),
+        }
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        match &self.repr {
+            Repr::Owned { dict, .. } => dict.len(),
+            Repr::Mapped(m) => m.term_count(),
+        }
+    }
+
+    /// Posting list for a term id (sorted by doc id). On a mapped index
+    /// the list's block metadata materializes on first access; the delta
+    /// bytes stay views of the mapping either way.
     #[inline]
     pub fn postings(&self, term: TermId) -> &PostingList {
-        &self.postings[term.index()]
+        match &self.repr {
+            Repr::Owned { postings, .. } => &postings[term.index()],
+            Repr::Mapped(m) => m.postings(term.index()),
+        }
     }
 
     /// Posting list for a term string, empty when unindexed.
     pub fn postings_for(&self, term: &str) -> &PostingList {
-        match self.dict.get(term) {
+        match self.term_id(term) {
             Some(id) => self.postings(id),
             None => &EMPTY_LIST,
         }
@@ -531,9 +648,14 @@ impl InvertedIndex {
             .map_or(0, |(_, p)| p.tf)
     }
 
-    /// Heap bytes held by all compressed posting lists (blocks + deltas).
+    /// Heap bytes held by all compressed posting lists (blocks +
+    /// deltas). A mapped index counts only the lists materialized so
+    /// far — untouched terms cost nothing.
     pub fn postings_heap_bytes(&self) -> usize {
-        self.postings.iter().map(PostingList::heap_bytes).sum()
+        match &self.repr {
+            Repr::Owned { postings, .. } => postings.iter().map(PostingList::heap_bytes).sum(),
+            Repr::Mapped(m) => m.postings_heap_bytes(),
+        }
     }
 }
 
@@ -633,16 +755,15 @@ impl IndexBuilder {
         // Terms interned but never posted (impossible through the public
         // API, defensive for future extension).
         self.postings.resize_with(self.dict.len(), Vec::new);
-        InvertedIndex {
-            dict: self.dict,
-            postings: self
-                .postings
+        InvertedIndex::from_owned_parts(
+            self.dict,
+            self.postings
                 .iter()
                 .map(|p| PostingList::from_postings(p))
                 .collect(),
-            doc_len: self.doc_len,
-            total_len: self.total_len,
-        }
+            self.doc_len,
+            self.total_len,
+        )
     }
 }
 

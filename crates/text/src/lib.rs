@@ -6,6 +6,8 @@
 //! blended score (Equation 3), and — fed node-id terms instead of words —
 //! the BON half as well (§VI "scoring compatibility").
 
+#![deny(unsafe_code)]
+
 pub mod codec;
 pub mod dictionary;
 pub mod inverted;
@@ -21,7 +23,10 @@ pub use inverted::{
     PostingIter, PostingList, BLOCK_LEN,
 };
 pub use score::{Bm25, Scorer, TfIdfCosine};
-pub use codec::{load_index, read_index, save_index, write_index};
+pub use codec::{
+    load_index, read_index, read_index_columnar, read_index_columnar_lazy, save_index,
+    write_index, write_index_columnar,
+};
 pub use live::{GlobalId, SegmentedIndex};
 pub use maxscore::{
     blended_scan, maxscore_search, maxscore_search_with, side_scan, PruneStats, SideSpec,

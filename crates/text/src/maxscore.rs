@@ -91,14 +91,13 @@ pub fn maxscore_search<T: AsRef<str>>(
     query_terms: &[T],
     k: usize,
 ) -> Vec<Hit> {
-    let dict = index.dictionary();
     maxscore_search_with(
         index,
         scorer,
         query_terms,
         k,
         CollectionStats::from_index(index),
-        |term| dict.get(term).map(|t| dict.doc_freq(t)).unwrap_or(0),
+        |term| index.term_id(term).map(|t| index.doc_freq(t)).unwrap_or(0),
         |_| true,
     )
 }
@@ -135,22 +134,23 @@ pub fn maxscore_search_with<T: AsRef<str>>(
     if k == 0 {
         return Vec::new();
     }
-    // Aggregate query-side term frequencies and build cursors.
-    let mut qtf: FxHashMap<TermId, u32> = FxHashMap::default();
-    let dict = index.dictionary();
+    // Aggregate query-side term frequencies and build cursors. The
+    // query's own string rides along so `df_of` never needs an
+    // id-to-term lookup (which would materialize a mapped dictionary).
+    let mut qtf: FxHashMap<TermId, (u32, &str)> = FxHashMap::default();
     for t in query_terms {
-        if let Some(id) = dict.get(t.as_ref()) {
-            *qtf.entry(id).or_default() += 1;
+        if let Some(id) = index.term_id(t.as_ref()) {
+            qtf.entry(id).or_insert((0, t.as_ref())).0 += 1;
         }
     }
     let mut cursors: Vec<TermCursor<'_>> = qtf
         .into_iter()
-        .filter_map(|(term, qtf)| {
+        .filter_map(|(term, (qtf, text))| {
             let postings = index.postings(term);
             if postings.is_empty() {
                 return None;
             }
-            let df = df_of(dict.term(term));
+            let df = df_of(text);
             let base = f64::from(qtf) * scorer.idf(stats.docs, df);
             // Bounded by the saturation limit of the list's largest tf at
             // the smallest possible length norm.

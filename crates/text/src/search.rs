@@ -50,10 +50,9 @@ pub fn score_segment(
     global_df: &FxHashMap<&str, u32>,
     mut live: impl FnMut(DocId) -> bool,
 ) -> FxHashMap<DocId, f64> {
-    let dict = segment.dictionary();
     let mut acc: FxHashMap<DocId, f64> = FxHashMap::default();
     for (term, &qtf) in qtf {
-        let Some(id) = dict.get(term) else { continue };
+        let Some(id) = segment.term_id(term) else { continue };
         let df = global_df.get(term).copied().unwrap_or(0);
         for p in segment.postings(id) {
             if !live(p.doc) {
@@ -91,11 +90,10 @@ impl<'i, S: Scorer> Searcher<'i, S> {
     /// blended scoring (NewsLink's Equation 3 combines two of these maps).
     pub fn score_all<T: AsRef<str>>(&self, query_terms: &[T]) -> FxHashMap<DocId, f64> {
         let qtf = query_tf(query_terms);
-        let dict = self.index.dictionary();
         let mut acc: FxHashMap<DocId, f64> = FxHashMap::default();
         for (term, &qtf) in &qtf {
-            let Some(id) = dict.get(term) else { continue };
-            let df = dict.doc_freq(id);
+            let Some(id) = self.index.term_id(term) else { continue };
+            let df = self.index.doc_freq(id);
             for p in self.index.postings(id) {
                 let c = self.scorer.contribution(self.index, p.doc, p.tf, df, qtf);
                 if c != 0.0 {
@@ -113,11 +111,10 @@ impl<'i, S: Scorer> Searcher<'i, S> {
     /// term query (the Threshold Algorithm's random-access probe).
     pub fn score_doc<T: AsRef<str>>(&self, query_terms: &[T], doc: DocId) -> f64 {
         let qtf = query_tf(query_terms);
-        let dict = self.index.dictionary();
         let mut score = 0.0;
         for (term, &qtf) in &qtf {
-            let Some(id) = dict.get(term) else { continue };
-            let df = dict.doc_freq(id);
+            let Some(id) = self.index.term_id(term) else { continue };
+            let df = self.index.doc_freq(id);
             if let Some((_, p)) = self.index.postings(id).find(doc) {
                 score += self.scorer.contribution(self.index, doc, p.tf, df, qtf);
             }

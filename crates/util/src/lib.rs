@@ -28,23 +28,37 @@
 //! With the `serde` feature on, the observability types ([`CacheStats`],
 //! [`ComponentTimer`], [`Histogram`]) serialize through the vendored
 //! serde shim so metrics endpoints can report them as JSON.
+//!
+//! The workspace bans `unsafe` everywhere except the single audited
+//! [`mmap`] module below (the storage layer's zero-copy foundation);
+//! `scripts/tier1.sh` enforces the same boundary with a grep gate.
 
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bytes;
 pub mod cache;
 pub mod crc32;
 pub mod failpoint;
 pub mod fxhash;
 pub mod histogram;
+#[allow(unsafe_code)]
+pub mod mmap;
 pub mod rng;
 pub mod shutdown;
 pub mod timer;
 pub mod topk;
 pub mod varint;
+pub mod xxh64;
 
+pub use bytes::Bytes;
 pub use cache::{CacheCounters, CacheStats, ClockCache};
 pub use crc32::{crc32, Crc32};
+pub use mmap::Mmap;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use histogram::Histogram;
 pub use rng::DetRng;
 pub use shutdown::ShutdownFlag;
 pub use timer::ComponentTimer;
 pub use topk::TopK;
+pub use xxh64::{xxh64, xxh64_seeded};

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Quick benchmark snapshot: runs the blended top-k pruning bench in its
-# reduced CI sweep (small corpora, few reps) and refreshes BENCH_PR5.json
-# at the repo root. Every timed query is bit-parity-checked against the
-# exhaustive oracle, so this doubles as a fast pruning regression gate.
+# Quick benchmark snapshot: runs the blended top-k pruning bench and the
+# cold-start bench in their reduced CI sweeps (small corpora, few reps)
+# and refreshes BENCH_PR5.json / BENCH_PR6.json at the repo root. Every
+# timed query is bit-parity-checked against the exhaustive oracle (or
+# the in-memory build, for cold start), so this doubles as a fast
+# regression gate.
 #
-# For the full sweep used in EXPERIMENTS.md, run without the quick flag:
+# For the full sweeps used in EXPERIMENTS.md, run without the quick flag:
 #   cargo bench --bench blended_topk -p newslink-bench
+#   cargo bench --bench cold_start -p newslink-bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NEWSLINK_BENCH_QUICK=1 cargo bench --bench blended_topk -p newslink-bench
+# Cold start: process start → first query served, heap vs mmap backend.
+NEWSLINK_BENCH_QUICK=1 cargo bench --bench cold_start -p newslink-bench

@@ -9,6 +9,27 @@ cargo build --release --workspace
 cargo build --release --workspace --examples --benches
 # Lint gate: the workspace (and its vendored shims) must be clippy-clean.
 cargo clippy --workspace --all-targets -- -D warnings
+# Unsafe containment: the single audited `unsafe` module is
+# crates/util/src/mmap.rs (the storage layer's zero-copy foundation).
+# Any unsafe fn/impl/block anywhere else in the tree fails the gate,
+# and every crate root must carry #![deny(unsafe_code)] so the compiler
+# enforces the same boundary. The util root additionally denies
+# unsafe_op_in_unsafe_fn so the audited module annotates each unsafe
+# operation individually.
+if grep -rnE 'unsafe (fn|impl|\{)' crates --include='*.rs' | grep -v '^crates/util/src/mmap.rs:'; then
+  echo "ERROR: unsafe usage outside the audited crates/util/src/mmap.rs" >&2
+  exit 1
+fi
+for root in crates/*/src/lib.rs crates/cli/src/main.rs; do
+  if ! grep -q 'deny(unsafe_code)' "$root"; then
+    echo "ERROR: $root is missing #![deny(unsafe_code)]" >&2
+    exit 1
+  fi
+done
+if ! grep -q 'deny(unsafe_op_in_unsafe_fn)' crates/util/src/lib.rs; then
+  echo "ERROR: crates/util/src/lib.rs must deny unsafe_op_in_unsafe_fn" >&2
+  exit 1
+fi
 cargo test -q --workspace
 # The serving layer's e2e suite is the HTTP smoke gate: real TCP,
 # load-shed, deadline and graceful-drain coverage.
