@@ -1,0 +1,191 @@
+//! Scatter-gather overhead of the cluster router.
+//!
+//! Builds one corpus, serves it two ways in-process — a single
+//! standalone server, and a router in front of 1, 2 or 4 single-replica
+//! shard groups each holding its id stripe — and measures `POST
+//! /v1/search` requests per second through each front door at client
+//! concurrency 8. Every request is a full TCP connect + round-trip with
+//! distinct queries (cycled), so the engines really score; the router
+//! additionally pays its internal stats/search fan-out per request.
+//!
+//! Run with `cargo bench --bench router_throughput`. Set
+//! `NEWSLINK_BENCH_QUICK=1` for a smaller corpus and fewer requests (CI
+//! snapshot mode). Either way the numbers land in `BENCH_PR7.json` at
+//! the repo root.
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use newslink_core::{NewsLink, NewsLinkConfig, NewsLinkIndex};
+use newslink_kg::{synth, LabelIndex, SynthConfig};
+use newslink_serve::{client, Cluster, ServeConfig, Server};
+use parking_lot::RwLock;
+
+const CONCURRENCY: usize = 8;
+
+/// Fire `requests` at `addr` from [`CONCURRENCY`] client threads and
+/// return `(requests_per_sec, mean_ms, errors)`.
+fn run_level(addr: SocketAddr, bodies: &[String], requests: usize) -> (f64, f64, usize) {
+    let next = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CONCURRENCY {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests {
+                    break;
+                }
+                let body = &bodies[i % bodies.len()];
+                match client::request(addr, "POST", "/v1/search", body) {
+                    Ok((200, _)) => {}
+                    Ok(_) | Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    (
+        requests as f64 / elapsed,
+        elapsed * 1e3 / requests as f64,
+        errors.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let quick = std::env::var("NEWSLINK_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (n_docs, requests) = if quick { (600, 200) } else { (2_400, 600) };
+
+    let world = synth::generate(&SynthConfig::small(42));
+    let labels = LabelIndex::build(&world.graph);
+    let pool: Vec<_> = world
+        .countries
+        .iter()
+        .chain(&world.provinces)
+        .chain(&world.cities)
+        .copied()
+        .collect();
+    let docs: Vec<String> = (0..n_docs)
+        .map(|i| {
+            let a = world.graph.label(pool[(i * 3) % pool.len()]);
+            let b = world.graph.label(pool[(i * 7 + 1) % pool.len()]);
+            format!("Update {i}: sources close to {a} commented on events involving {b}.")
+        })
+        .collect();
+    let bodies: Vec<String> = (0..24)
+        .map(|i| {
+            let a = world.graph.label(pool[(i * 5 + 2) % pool.len()]);
+            format!(r#"{{"query": "what is happening around {a}", "k": 10}}"#)
+        })
+        .collect();
+
+    let config = NewsLinkConfig::default()
+        .with_segment_docs((n_docs / 8).max(1))
+        .with_auto_threads();
+    let engine = NewsLink::new(&world.graph, &labels, config);
+    println!("router_throughput: indexing {n_docs} docs, {requests} requests per scenario…\n");
+    println!("{:<24} {:>12} {:>12} {:>8}", "scenario", "req/s", "mean", "errors");
+
+    // A short idle read timeout so shutdown does not wait out the
+    // default drain for every connection the router leaves parked.
+    let serve_config = ServeConfig {
+        read_timeout_ms: 250,
+        ..ServeConfig::default().with_workers(4).with_queue_depth(256)
+    };
+
+    // Baseline: one standalone process over the whole corpus.
+    let mono_index = RwLock::new(engine.index_corpus(&docs));
+    let mono = Server::bind("127.0.0.1:0", serve_config.clone()).expect("bind mono");
+    let mono_handle = mono.handle();
+    let baseline = std::thread::scope(|scope| {
+        scope.spawn(|| mono.run(&engine, &mono_index).expect("mono run"));
+        let row = run_level(mono_handle.addr(), &bodies, requests);
+        mono_handle.shutdown();
+        row
+    });
+    println!(
+        "{:<24} {:>10.0}/s {:>9.2}ms {:>8}",
+        "standalone", baseline.0, baseline.1, baseline.2
+    );
+
+    let mut rows: Vec<(u32, f64, f64, usize)> = Vec::new();
+    for shard_count in [1u32, 2, 4] {
+        let shard_indexes: Vec<RwLock<NewsLinkIndex>> = (0..shard_count)
+            .map(|s| {
+                let mut idx = engine.index_corpus_sharded(&docs, s, shard_count);
+                idx.set_id_stripe(s, shard_count);
+                RwLock::new(idx)
+            })
+            .collect();
+        let shard_servers: Vec<Server> = (0..shard_count)
+            .map(|_| Server::bind("127.0.0.1:0", serve_config.clone()).expect("bind shard"))
+            .collect();
+        let groups: Vec<Vec<SocketAddr>> =
+            shard_servers.iter().map(|s| vec![s.local_addr()]).collect();
+        let cluster = Cluster::new(groups);
+        let router = Server::bind("127.0.0.1:0", serve_config.clone()).expect("bind router");
+        let router_handle = router.handle();
+        let shard_handles: Vec<_> = shard_servers.iter().map(Server::handle).collect();
+
+        let (engine, cluster, router) = (&engine, &cluster, &router);
+        let row = std::thread::scope(|scope| {
+            for (srv, idx) in shard_servers.iter().zip(&shard_indexes) {
+                scope.spawn(move || srv.run(engine, idx).expect("shard run"));
+            }
+            scope.spawn(move || router.run_router(engine, cluster).expect("router run"));
+            let row = run_level(router_handle.addr(), &bodies, requests);
+            router_handle.shutdown();
+            for h in &shard_handles {
+                h.shutdown();
+            }
+            row
+        });
+        println!(
+            "{:<24} {:>10.0}/s {:>9.2}ms {:>8}",
+            format!("router shards={shard_count}"),
+            row.0,
+            row.1,
+            row.2
+        );
+        rows.push((shard_count, row.0, row.1, row.2));
+    }
+
+    let overhead_1 = baseline.0 / rows[0].1;
+    println!(
+        "\nrouter_throughput: 1-shard router costs {overhead_1:.2}x the standalone rate \
+         (scatter-gather + second hop)"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"router_throughput\",");
+    let _ = writeln!(json, "  \"docs\": {n_docs},");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"concurrency\": {CONCURRENCY},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"standalone\": {{\"reqs_per_sec\": {:.1}, \"mean_ms\": {:.3}, \"errors\": {}}},",
+        baseline.0, baseline.1, baseline.2
+    );
+    let _ = writeln!(json, "  \"router\": [");
+    for (i, (shards, rate, mean, errors)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {shards}, \"reqs_per_sec\": {rate:.1}, \
+             \"mean_ms\": {mean:.3}, \"errors\": {errors}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"single_shard_overhead\": {overhead_1:.3}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR7.json");
+    println!("router_throughput: wrote {}", out.display());
+}

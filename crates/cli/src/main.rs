@@ -7,7 +7,8 @@
 //! newslink search          --world kg.tsv --corpus corpus.txt --index index.nlnk \
 //!                          --query "..." --k 10 --explain true
 //! newslink serve           --world kg.tsv --corpus corpus.txt --addr 127.0.0.1:8080 \
-//!                          [--data-dir DIR]
+//!                          [--data-dir DIR] [--shard-index I --shard-count N]
+//! newslink serve           --world kg.tsv --mode router --shards "a:7001|a:7002,b:7003"
 //! newslink stats           --world kg.tsv
 //! ```
 //!
@@ -29,7 +30,7 @@ use newslink_core::{
 use newslink_corpus::{generate_corpus, CorpusConfig, CorpusFlavor};
 use newslink_embed::{describe_path, summarize_paths};
 use newslink_kg::{synth, triples, GraphStats, LabelIndex, SynthConfig};
-use newslink_serve::{ServeConfig, Server};
+use newslink_serve::{parse_shards, Cluster, ServeConfig, Server};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -80,6 +81,11 @@ commands:
                   [--workers N] [--queue-depth N] [--timeout-ms N] [--beta B] [--segment-docs N]
                   [--data-dir DIR]   durable mode: WAL + snapshots under DIR, POST /v1/admin/snapshot to checkpoint
                   [--storage heap|mmap]   snapshot backend: copy into RAM, or memory-map (default heap)
+                  [--shard-index I --shard-count N]   cluster shard: index every Nth corpus document
+                        (stripe I) and mint fresh ids on that stripe so shards never collide
+                  [--mode router --shards \"a:7001|a:7002,b:7003\"]   cluster router: no local index;
+                        scatter each search to one healthy replica per comma-separated shard group
+                        (\"|\" separates a group's replicas), merge, and proxy writes to the owner
   stats           --world kg.tsv
 ";
 
@@ -310,9 +316,104 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         args,
         &[
             "world", "corpus", "index", "addr", "workers", "queue-depth", "timeout-ms", "beta",
-            "segment-docs", "data-dir", "storage",
+            "segment-docs", "data-dir", "storage", "mode", "shards", "shard-index", "shard-count",
         ],
     )?;
+    match args.get("mode").unwrap_or("standalone") {
+        "standalone" => serve_standalone(args),
+        "router" => serve_router(args),
+        other => Err(format!(
+            "unknown --mode {other:?} (expected standalone or router)"
+        )),
+    }
+}
+
+/// Parse the `--shard-index I --shard-count N` pair, if present. The
+/// pair makes a standalone server a cluster shard: it indexes only its
+/// stripe of the corpus and mints fresh ids on that stripe.
+fn parse_stripe(args: &Args) -> Result<Option<(u32, u32)>, String> {
+    match (args.get("shard-index"), args.get("shard-count")) {
+        (None, None) => Ok(None),
+        (Some(_), None) | (None, Some(_)) => {
+            Err("--shard-index and --shard-count must be given together".to_string())
+        }
+        (Some(i), Some(c)) => {
+            let shard: u32 = i.parse().map_err(|e| format!("bad --shard-index: {e}"))?;
+            let of: u32 = c.parse().map_err(|e| format!("bad --shard-count: {e}"))?;
+            if of == 0 || shard >= of {
+                return Err(format!(
+                    "--shard-index {shard} out of range for --shard-count {of}"
+                ));
+            }
+            Ok(Some((shard, of)))
+        }
+    }
+}
+
+/// `serve --mode router`: no local index. Scatter each search to one
+/// healthy replica per shard group, merge the per-shard top-k under the
+/// global-statistics overlay, and proxy writes to the owning group's
+/// primary.
+fn serve_router(args: &Args) -> Result<(), String> {
+    for flag in [
+        "corpus",
+        "index",
+        "data-dir",
+        "storage",
+        "segment-docs",
+        "shard-index",
+        "shard-count",
+    ] {
+        if args.get(flag).is_some() {
+            return Err(format!(
+                "--{flag} does not apply to --mode router (each shard owns its data; pass it to that shard's serve command)"
+            ));
+        }
+    }
+    let graph = load_world(args)?;
+    let beta: f64 = args.get_parsed("beta", 0.2)?;
+    let labels = LabelIndex::build(&graph);
+    // The router runs the query-analysis half of the pipeline locally
+    // (NLP + NE + embedding), so it needs the same world the shards use.
+    let engine = NewsLink::new(
+        &graph,
+        &labels,
+        NewsLinkConfig::default().with_beta(beta).with_auto_threads(),
+    );
+    let spec = args.require("shards")?;
+    let groups = parse_shards(spec).map_err(|e| format!("bad --shards: {e}"))?;
+    let replicas: usize = groups.iter().map(Vec::len).sum();
+    let cluster = Cluster::new(groups);
+
+    let workers: usize = args.get_parsed("workers", 4)?;
+    let queue_depth: usize = args.get_parsed("queue-depth", 64)?;
+    let mut serve_config = ServeConfig::default()
+        .with_workers(workers)
+        .with_queue_depth(queue_depth);
+    if let Some(ms) = args.get("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?;
+        serve_config = serve_config.with_default_timeout(std::time::Duration::from_millis(ms));
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let server = Server::bind(addr, serve_config).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "routing {} shard group(s) ({} replica(s)) on http://{} ({} workers, capacity {}) — POST /v1/search scatter-gathers, POST /v1/docs routes to the owning shard's primary; Ctrl-C to stop",
+        cluster.groups().len(),
+        replicas,
+        server.local_addr(),
+        server.config().workers,
+        server.config().capacity(),
+    );
+    server
+        .run_router(&engine, &cluster)
+        .map_err(|e| format!("serving on {addr}: {e}"))
+}
+
+fn serve_standalone(args: &Args) -> Result<(), String> {
+    if args.get("shards").is_some() {
+        return Err("--shards requires --mode router".to_string());
+    }
+    let stripe = parse_stripe(args)?;
     let backend = parse_storage(args)?;
     let graph = load_world(args)?;
     let texts = load_corpus_file(args.require("corpus")?)?;
@@ -350,7 +451,10 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             let seed = move || {
                 preloaded.unwrap_or_else(|| {
                     println!("indexing {} documents …", texts_ref.len());
-                    engine_ref.index_corpus(texts_ref)
+                    match stripe {
+                        Some((shard, of)) => engine_ref.index_corpus_sharded(texts_ref, shard, of),
+                        None => engine_ref.index_corpus(texts_ref),
+                    }
                 })
             };
             let options = StoreOptions::new().backend(backend);
@@ -388,11 +492,21 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
                 Some(path) => load_index_with(&graph, path, backend)?,
                 None => {
                     println!("indexing {} documents …", texts.len());
-                    engine.index_corpus(&texts)
+                    match stripe {
+                        Some((shard, of)) => engine.index_corpus_sharded(&texts, shard, of),
+                        None => engine.index_corpus(&texts),
+                    }
                 }
             },
         ),
     };
+    let mut index = index;
+    if let Some((shard, of)) = stripe {
+        // The stripe is a deployment property, not part of the snapshot
+        // or WAL: re-pin the id allocator after every load path so fresh
+        // mints stay on this shard's modular stripe.
+        index.set_id_stripe(shard, of);
+    }
     let index = parking_lot::RwLock::new(index);
 
     let workers: usize = args.get_parsed("workers", 4)?;
@@ -407,13 +521,17 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
     let server = Server::bind(addr, serve_config).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "serving {} docs on http://{} ({} workers, capacity {}, {} storage{}) — POST /v1/search, POST /v1/search/batch, POST /v1/docs, DELETE /v1/docs/<id>, POST /v1/admin/snapshot, GET /v1/healthz, GET /v1/metrics; Ctrl-C to stop",
+        "serving {} docs on http://{} ({} workers, capacity {}, {} storage{}{}) — POST /v1/search, POST /v1/search/batch, POST /v1/docs, DELETE /v1/docs/<id>, POST /v1/admin/snapshot, GET /v1/healthz, GET /v1/metrics; Ctrl-C to stop",
         index.read().doc_count(),
         server.local_addr(),
         server.config().workers,
         server.config().capacity(),
         backend,
         if durable.is_some() { ", durable" } else { "" },
+        match stripe {
+            Some((shard, of)) => format!(", shard {shard}/{of}"),
+            None => String::new(),
+        },
     );
     server
         .run_durable(&engine, &index, durable.as_ref())

@@ -37,6 +37,11 @@ pub struct NewsLinkIndex {
     pub(crate) tombstones: FxHashSet<u32>,
     /// Next global id to assign; ids are never reused.
     pub(crate) next_id: u32,
+    /// Allocation stride: fresh ids advance by this much, keeping a
+    /// cluster shard's mints on its own modular stripe (1 = dense ids,
+    /// the single-process default). Not persisted — a shard re-pins its
+    /// stripe with [`NewsLinkIndex::set_id_stripe`] after every load.
+    pub(crate) id_stride: u32,
     /// Segment merges performed over this index's lifetime.
     pub(crate) compactions: u64,
     /// Aggregated entity matching statistics (Table V's numerator /
@@ -58,6 +63,7 @@ impl NewsLinkIndex {
             segments: Vec::new(),
             tombstones: FxHashSet::default(),
             next_id: 0,
+            id_stride: 1,
             compactions: 0,
             match_stats: MatchStats::default(),
             embedded_docs: 0,
@@ -83,6 +89,20 @@ impl NewsLinkIndex {
         } else {
             self.embedded_docs as f64 / total as f64
         }
+    }
+
+    /// Pin the id allocator to the modular stripe `shard (mod of)`:
+    /// future fresh ids are ≡ `shard`, advancing by `of`, so mints from
+    /// `of` cluster shards can never collide. Fast-forwards the allocator
+    /// to the smallest on-stripe id at or above its current position —
+    /// call this after every load (the stripe is a deployment property,
+    /// not part of the snapshot). `of == 0` or `shard >= of` is a caller
+    /// bug and panics.
+    pub fn set_id_stripe(&mut self, shard: u32, of: u32) {
+        assert!(of > 0 && shard < of, "stripe {shard} of {of} is malformed");
+        self.id_stride = of;
+        let offset = (shard + of - self.next_id % of) % of;
+        self.next_id += offset;
     }
 }
 
@@ -188,15 +208,57 @@ pub fn index_corpus_with<S: AsRef<str> + Sync>(
     cache: Option<&EmbeddingCache>,
     texts: &[S],
 ) -> NewsLinkIndex {
+    index_corpus_stripe(graph, label_index, config, cache, texts, 0, 1)
+}
+
+/// Build one cluster shard's slice of a corpus: documents at positions
+/// `i ≡ shard (mod shard_count)` keep their corpus-order global id `i`,
+/// and the id allocator continues on the same stripe. The union of the
+/// `shard_count` shard builds is document-for-document, id-for-id the
+/// single-process [`index_corpus_with`] build of the whole corpus —
+/// which, combined with the global-stats overlay, is what keeps a
+/// scatter-gather search bit-identical to the in-process path.
+pub fn index_corpus_sharded<S: AsRef<str> + Sync>(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    cache: Option<&EmbeddingCache>,
+    texts: &[S],
+    shard: u32,
+    shard_count: u32,
+) -> NewsLinkIndex {
+    assert!(
+        shard_count > 0 && shard < shard_count,
+        "stripe {shard} of {shard_count} is malformed"
+    );
+    index_corpus_stripe(graph, label_index, config, cache, texts, shard, shard_count)
+}
+
+fn index_corpus_stripe<S: AsRef<str> + Sync>(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    cache: Option<&EmbeddingCache>,
+    texts: &[S],
+    shard: u32,
+    shard_count: u32,
+) -> NewsLinkIndex {
     let before = cache.map(|c| c.group_stats()).unwrap_or_default();
-    let threads = config.effective_threads(texts.len());
+    // The stripe's documents with their corpus-order global ids. Ids are
+    // fixed before any fan-out, so the result is deterministic.
+    let (ids, kept): (Vec<u32>, Vec<&S>) = texts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i as u32 % shard_count == shard)
+        .map(|(i, t)| (i as u32, t))
+        .unzip();
+    let threads = config.effective_threads(kept.len());
     let artifacts: Vec<DocArtifacts> = if threads <= 1 {
-        texts
-            .iter()
+        kept.iter()
             .map(|t| embed_one_with(graph, label_index, config, cache, t.as_ref()))
             .collect()
     } else {
-        parallel_embed(graph, label_index, config, cache, threads, texts)
+        parallel_embed(graph, label_index, config, cache, threads, &kept)
     };
 
     let mut timer = ComponentTimer::new();
@@ -221,10 +283,7 @@ pub fn index_corpus_with<S: AsRef<str> + Sync>(
     };
     let mut chunks: Vec<Vec<(u32, DocArtifacts)>> = Vec::new();
     {
-        let mut it = artifacts
-            .into_iter()
-            .enumerate()
-            .map(|(i, a)| (i as u32, a));
+        let mut it = ids.into_iter().zip(artifacts);
         loop {
             let chunk: Vec<_> = it.by_ref().take(chunk_size).collect();
             if chunk.is_empty() {
@@ -241,10 +300,14 @@ pub fn index_corpus_with<S: AsRef<str> + Sync>(
     };
     timer.record_batch("ns", t_ns.elapsed(), total.max(1) as u64);
 
+    // The allocator resumes past the whole corpus, on this stripe.
+    let n = texts.len() as u32;
+    let next_id = n + (shard + shard_count - n % shard_count) % shard_count;
     NewsLinkIndex {
         segments: segments.into_iter().filter(|s| !s.is_empty()).collect(),
         tombstones: FxHashSet::default(),
-        next_id: total as u32,
+        next_id,
+        id_stride: shard_count,
         compactions: 0,
         match_stats,
         embedded_docs,
@@ -485,6 +548,73 @@ mod tests {
         assert_eq!(idx.doc_count(), 0);
         assert_eq!(idx.segment_count(), 0);
         assert_eq!(idx.embedded_ratio(), 0.0);
+    }
+
+    #[test]
+    fn striped_builds_partition_the_corpus() {
+        let (g, li) = world();
+        let cfg = NewsLinkConfig::default().with_segment_docs(1);
+        let mono = index_corpus(&g, &li, &cfg, DOCS);
+        for shard_count in [1u32, 2, 3, 4] {
+            let mut shards: Vec<NewsLinkIndex> = (0..shard_count)
+                .map(|s| index_corpus_sharded(&g, &li, &cfg, None, DOCS, s, shard_count))
+                .collect();
+            // Stripes are disjoint and their union is the full id range.
+            let mut union: Vec<u32> = Vec::new();
+            for (s, shard) in shards.iter().enumerate() {
+                let ids: Vec<u32> = shard.doc_ids().map(|d| d.0).collect();
+                assert!(
+                    ids.iter().all(|id| id % shard_count == s as u32),
+                    "shard {s} holds only its stripe"
+                );
+                union.extend(ids);
+            }
+            union.sort_unstable();
+            assert_eq!(union, (0..DOCS.len() as u32).collect::<Vec<_>>());
+            // Each stripe's documents embed identically to the monolithic
+            // build (same artifacts under their global ids).
+            for shard in &shards {
+                for d in shard.doc_ids() {
+                    assert_eq!(
+                        shard.embedding(d).unwrap().all_nodes(),
+                        mono.embedding(d).unwrap().all_nodes()
+                    );
+                }
+            }
+            // The allocator resumes past the corpus, on this shard's
+            // stripe, and keeps minting on it.
+            for (s, shard) in shards.iter_mut().enumerate() {
+                let a = shard.reserve_id();
+                let b = shard.reserve_id();
+                assert!(a.0 >= DOCS.len() as u32);
+                assert_eq!(a.0 % shard_count, s as u32);
+                assert_eq!(b.0, a.0 + shard_count);
+            }
+        }
+    }
+
+    #[test]
+    fn set_id_stripe_fast_forwards_to_the_stripe() {
+        let (g, li) = world();
+        let mut idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        // next_id is 3 after the build; stripe 1 of 3 keeps ids ≡ 1 (mod 3).
+        idx.set_id_stripe(1, 3);
+        let a = idx.reserve_id();
+        let b = idx.reserve_id();
+        assert_eq!(a.0, 4);
+        assert_eq!(b.0, 7);
+        // Already on-stripe: no fast-forward.
+        let mut idx2 = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        idx2.set_id_stripe(0, 3);
+        assert_eq!(idx2.reserve_id().0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn malformed_stripe_panics() {
+        let (g, li) = world();
+        let mut idx = index_corpus(&g, &li, &NewsLinkConfig::default(), DOCS);
+        idx.set_id_stripe(2, 2);
     }
 
     #[test]

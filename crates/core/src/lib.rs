@@ -40,12 +40,12 @@ pub use api::{
 };
 pub use cache::EngineCacheStats;
 pub use config::{CacheConfig, EmbeddingModel, NewsLinkConfig};
-pub use indexer::{doc_ids, index_corpus, index_corpus_with, NewsLinkIndex};
+pub use indexer::{doc_ids, index_corpus, index_corpus_sharded, index_corpus_with, NewsLinkIndex};
 pub use live::{LiveHit, LiveNewsLink};
-pub use pipeline::NewsLink;
+pub use pipeline::{NewsLink, QueryAnalysis};
 pub use score_explain::{explain_score, ScoreExplanation, SideExplanation, TermContribution};
 pub use searcher::{explain, search, search_batch, QueryOutcome, SearchResult};
-pub use segment::{IndexSegment, IndexStats};
+pub use segment::{IndexSegment, IndexStats, Side, SideOverlay};
 pub use directory::{Directory, FsDirectory, RamDirectory};
 pub use persist::{
     atomic_write_file, load_newslink_index, load_newslink_index_tolerant, read_newslink_index,
@@ -59,4 +59,4 @@ pub use wal::{Wal, WalRecord};
 
 /// Document ids are minted by the index; re-exported so downstream
 /// crates (serve, cli) can name them without depending on the text crate.
-pub use newslink_text::{DocId, PruneStats};
+pub use newslink_text::{CollectionStats, DocId, PruneStats};

@@ -695,6 +695,7 @@ fn assemble_index(
         segments,
         tombstones: FxHashSet::default(),
         next_id: header.next_id,
+        id_stride: 1,
         compactions: header.compactions,
         match_stats: MatchStats {
             identified: header.identified,

@@ -21,18 +21,39 @@
 
 use std::time::Instant;
 
-use newslink_embed::{DocEmbedding, RelationshipPath};
+use newslink_embed::{bon_terms, DocEmbedding, RelationshipPath};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
 use newslink_text::DocId;
 use newslink_util::ComponentTimer;
 
-use crate::api::{BatchResponse, Explanation, SearchRequest, SearchResponse};
+use crate::api::{BatchResponse, Explanation, QueryCacheInfo, SearchRequest, SearchResponse};
 use crate::cache::{EngineCacheStats, EngineCaches};
 use crate::config::NewsLinkConfig;
 use crate::indexer::{embed_one_with, index_corpus_with, NewsLinkIndex};
 use crate::persist::PersistError;
-use crate::searcher::{explain, parallel_map, run_query, QueryOutcome};
+use crate::searcher::{analyze_query_text, explain, parallel_map, run_query, QueryOutcome};
 use crate::segment::IndexSegment;
+
+/// The query-side artifacts a scatter-gather router needs: the analyzed
+/// BOW terms, the BON node terms derived from the query embedding, and
+/// the embedding itself. Both term sequences are in their canonical
+/// order — shards rebuild their query-term maps from these exact
+/// sequences, which is what keeps the per-document float accumulation
+/// order (and therefore every score bit) identical to an in-process
+/// search.
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// Analyzed word terms (the BOW side's query).
+    pub terms: Vec<String>,
+    /// Node terms of the query embedding (the BON side's query).
+    pub bon_terms: Vec<String>,
+    /// The query's own subgraph embedding (drives explanations).
+    pub embedding: DocEmbedding,
+    /// NLP/NE latency of this analysis (zero-duration on a memo hit).
+    pub timer: ComponentTimer,
+    /// How the engine's caches served the analysis.
+    pub cache: QueryCacheInfo,
+}
 
 /// The NewsLink engine: borrow a KG and its label index, hold a config
 /// plus the shared traversal/embedding caches every entry point consults.
@@ -98,6 +119,57 @@ impl<'g> NewsLink<'g> {
             self.caches.as_ref().map(|c| &c.embed),
             texts,
         )
+    }
+
+    /// Embed and index this engine's stripe of a corpus: documents whose
+    /// position `i` satisfies `i % shard_count == shard` are indexed
+    /// under their *global* id `i`, and the index's id allocator mints
+    /// only ids on that stripe afterwards. The union of every shard's
+    /// stripe over the same corpus covers exactly the documents (and
+    /// ids) of a single [`index_corpus`](Self::index_corpus) build.
+    pub fn index_corpus_sharded<S: AsRef<str> + Sync>(
+        &self,
+        texts: &[S],
+        shard: u32,
+        shard_count: u32,
+    ) -> NewsLinkIndex {
+        crate::indexer::index_corpus_sharded(
+            self.graph,
+            self.label_index,
+            &self.config,
+            self.caches.as_ref().map(|c| &c.embed),
+            texts,
+            shard,
+            shard_count,
+        )
+    }
+
+    /// Run only the query-side NLP + NE stages (no index needed): the
+    /// analysis a scatter-gather router performs once and ships to every
+    /// shard. Served from the engine's query memo when possible, exactly
+    /// like [`search`](Self::search).
+    pub fn analyze_query(&self, query_text: &str) -> QueryAnalysis {
+        let mut timer = ComponentTimer::new();
+        let mut cache = QueryCacheInfo {
+            enabled: self.caches.is_some(),
+            query_hit: false,
+        };
+        let (terms, embedding) = analyze_query_text(
+            self.graph,
+            self.label_index,
+            &self.config,
+            self.caches.as_ref(),
+            query_text,
+            &mut timer,
+            &mut cache,
+        );
+        QueryAnalysis {
+            terms,
+            bon_terms: bon_terms(&embedding),
+            embedding,
+            timer,
+            cache,
+        }
     }
 
     /// Embed and append one document to a built index, sealing it as a

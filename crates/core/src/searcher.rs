@@ -126,37 +126,15 @@ pub(crate) fn run_query(
         enabled: caches.is_some(),
         query_hit: false,
     };
-
-    // NLP + NE on the query, reusing the document path. A whole-query
-    // memo hit skips both components; zero-duration records keep the
-    // per-component work-item counts identical either way.
-    let (terms, embedding) = match caches {
-        Some(c) => {
-            if let Some(art) = c.query.get(query_text) {
-                cache_info.query_hit = true;
-                timer.record("nlp", Duration::ZERO);
-                timer.record("ne", Duration::ZERO);
-                (art.terms.clone(), art.embedding.clone())
-            } else {
-                let artifacts =
-                    embed_one_with(graph, label_index, config, Some(&c.embed), query_text);
-                timer.record("nlp", Duration::from_nanos(artifacts.nlp_nanos));
-                timer.record("ne", Duration::from_nanos(artifacts.ne_nanos));
-                let art = Arc::new(QueryArtifacts {
-                    terms: artifacts.analysis.terms,
-                    embedding: artifacts.embedding,
-                });
-                c.query.insert(query_text.to_string(), Arc::clone(&art));
-                (art.terms.clone(), art.embedding.clone())
-            }
-        }
-        None => {
-            let artifacts = embed_one_with(graph, label_index, config, None, query_text);
-            timer.record("nlp", Duration::from_nanos(artifacts.nlp_nanos));
-            timer.record("ne", Duration::from_nanos(artifacts.ne_nanos));
-            (artifacts.analysis.terms, artifacts.embedding)
-        }
-    };
+    let (terms, embedding) = analyze_query_text(
+        graph,
+        label_index,
+        config,
+        caches,
+        query_text,
+        &mut timer,
+        &mut cache_info,
+    );
 
     // Deadline gate between the NLP/NE and NS stages: embedding work is
     // already spent (and cached for a retry), but scoring is skipped and
@@ -353,6 +331,50 @@ pub(crate) fn run_query(
         cache: cache_info,
         timed_out: false,
         prune,
+    }
+}
+
+/// NLP + NE on the query, reusing the document path. A whole-query memo
+/// hit skips both components; zero-duration records keep the
+/// per-component work-item counts identical either way. Shared by
+/// [`run_query`] and the router's scatter-side
+/// [`crate::NewsLink::analyze_query`], so both derive the exact same
+/// canonical term sequences.
+pub(crate) fn analyze_query_text(
+    graph: &KnowledgeGraph,
+    label_index: &LabelIndex,
+    config: &NewsLinkConfig,
+    caches: Option<&EngineCaches>,
+    query_text: &str,
+    timer: &mut ComponentTimer,
+    cache_info: &mut QueryCacheInfo,
+) -> (Vec<String>, DocEmbedding) {
+    match caches {
+        Some(c) => {
+            if let Some(art) = c.query.get(query_text) {
+                cache_info.query_hit = true;
+                timer.record("nlp", Duration::ZERO);
+                timer.record("ne", Duration::ZERO);
+                (art.terms.clone(), art.embedding.clone())
+            } else {
+                let artifacts =
+                    embed_one_with(graph, label_index, config, Some(&c.embed), query_text);
+                timer.record("nlp", Duration::from_nanos(artifacts.nlp_nanos));
+                timer.record("ne", Duration::from_nanos(artifacts.ne_nanos));
+                let art = Arc::new(QueryArtifacts {
+                    terms: artifacts.analysis.terms,
+                    embedding: artifacts.embedding,
+                });
+                c.query.insert(query_text.to_string(), Arc::clone(&art));
+                (art.terms.clone(), art.embedding.clone())
+            }
+        }
+        None => {
+            let artifacts = embed_one_with(graph, label_index, config, None, query_text);
+            timer.record("nlp", Duration::from_nanos(artifacts.nlp_nanos));
+            timer.record("ne", Duration::from_nanos(artifacts.ne_nanos));
+            (artifacts.analysis.terms, artifacts.embedding)
+        }
     }
 }
 

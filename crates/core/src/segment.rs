@@ -116,11 +116,45 @@ impl DocStore {
 
 /// Which of the two per-segment inverted indexes a scoring pass targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Side {
+pub enum Side {
     /// Word terms.
     Bow,
     /// Node terms.
     Bon,
+}
+
+impl Side {
+    /// The scorer Equation 3 pins to this side: BM25 with length
+    /// normalization for prose (BOW), without it for node streams (BON).
+    pub(crate) fn scorer(self) -> Bm25 {
+        match self {
+            Side::Bow => Bm25::default(),
+            Side::Bon => Bm25 { k1: 1.2, b: 0.0 },
+        }
+    }
+}
+
+/// One side's externally supplied global query state — the shard-side
+/// half of the scatter-gather overlay. A router sums each shard's
+/// [`NewsLinkIndex::side_overlay_stats`] (exact integer sums, so the
+/// result is order-independent and equals the monolithic values), derives
+/// the normalization divisor from the shards' pruned top-1 maxima, and
+/// hands the totals back so every shard scores under the *cluster-wide*
+/// statistics. `df` is aligned with `terms`; `terms` order is canonical —
+/// the per-document float accumulation replays it, so every participant
+/// must use the same sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct SideOverlay<'a> {
+    /// Query terms for this side, in the canonical (analysis) order.
+    pub terms: &'a [String],
+    /// Cluster-wide live collection statistics for this side.
+    pub stats: CollectionStats,
+    /// Cluster-wide live document frequency of each term, aligned with
+    /// `terms` (0 for terms no live document carries).
+    pub df: &'a [u32],
+    /// Normalization divisor (1.0 when normalization is off or the
+    /// side's global maximum raw score was not positive).
+    pub norm: f64,
 }
 
 /// One immutable shard of a [`NewsLinkIndex`].
@@ -426,9 +460,11 @@ impl NewsLinkIndex {
 
     /// Allocate the next global document id. Ids are never reused, even
     /// when the reserving caller drops the document before sealing it.
+    /// Advances by the index's stripe stride (1 unless
+    /// [`Self::set_id_stripe`] pinned a cluster stripe).
     pub(crate) fn reserve_id(&mut self) -> DocId {
         let id = self.next_id;
-        self.next_id += 1;
+        self.next_id += self.id_stride.max(1);
         DocId(id)
     }
 
@@ -786,6 +822,123 @@ impl NewsLinkIndex {
         (merged.into_sorted(), prune)
     }
 
+    /// One shard's contribution to the cluster overlay: this index's live
+    /// collection statistics for `side` plus the live document frequency
+    /// of every query term, aligned with `terms`. A router sums these
+    /// across shards — both are exact integer sums, so the totals equal
+    /// the monolithic values regardless of shard layout or reply order.
+    pub fn side_overlay_stats(&self, side: Side, terms: &[String]) -> (CollectionStats, Vec<u32>) {
+        let stats = self.side_stats(side);
+        let qtf = query_tf(terms);
+        let dfm = self.side_global_df(side, &qtf);
+        let df = terms
+            .iter()
+            .map(|t| dfm.get(t.as_str()).copied().unwrap_or(0))
+            .collect();
+        (stats, df)
+    }
+
+    /// Resolve one side's query state from an externally supplied overlay
+    /// instead of this index's own statistics. `None` mirrors the
+    /// in-process path's skip conditions: inactive side, or no live
+    /// document cluster-wide.
+    fn side_work_from<'q>(
+        &self,
+        side: Side,
+        overlay: &SideOverlay<'q>,
+        active: bool,
+    ) -> Option<SideWork<'q>> {
+        if !active || overlay.stats.docs == 0 {
+            return None;
+        }
+        let qtf = query_tf(overlay.terms);
+        let mut global_df: FxHashMap<&'q str, u32> = FxHashMap::default();
+        for (term, &df) in overlay.terms.iter().zip(overlay.df) {
+            if df > 0 {
+                global_df.insert(term.as_str(), df);
+            }
+        }
+        Some(SideWork {
+            side,
+            scorer: side.scorer(),
+            stats: overlay.stats,
+            qtf,
+            global_df,
+            norm: overlay.norm,
+        })
+    }
+
+    /// This shard's maximum raw score on one side under a cluster-wide
+    /// overlay (β pinned, pruned top-1 across the shard's segments; 0.0
+    /// when nothing matches). The router takes the max over shards —
+    /// `max` over a set is feed-order independent, so the result equals
+    /// the in-process [`Self::side_top1`] over the union. `overlay.norm`
+    /// is ignored (the pass computes the divisor's input).
+    pub fn side_top1_overlay(
+        &self,
+        side: Side,
+        overlay: &SideOverlay<'_>,
+        prune: &mut PruneStats,
+    ) -> f64 {
+        let overlay = SideOverlay { norm: 1.0, ..*overlay };
+        match self.side_work_from(side, &overlay, true) {
+            Some(w) => self.side_top1(&w, prune),
+            None => 0.0,
+        }
+    }
+
+    /// Block-max pruned blended top-k under externally supplied overlays —
+    /// the shard-side half of a scatter-gather search. Identical to
+    /// [`Self::blended_topk`] except that collection statistics, document
+    /// frequencies and normalization divisors come from the router's
+    /// cluster-wide totals, and `floor` seeds the merged-heap threshold
+    /// (scores at or below it can never survive the router's final merge,
+    /// so pruning against it is exact; pass `NEG_INFINITY` when no floor
+    /// is known).
+    ///
+    /// Because each shard pushes its per-segment survivors through the
+    /// same fresh-heap-then-merge structure as the in-process path, the
+    /// returned list is this shard's k best under the total order
+    /// (score desc, global id asc) — which is what lets the router's
+    /// id-ordered merge of shard lists reproduce the single-process
+    /// result bit for bit.
+    #[allow(clippy::type_complexity)]
+    pub fn blended_topk_overlay(
+        &self,
+        beta: f64,
+        bow: &SideOverlay<'_>,
+        bon: &SideOverlay<'_>,
+        k: usize,
+        floor: f64,
+    ) -> (Vec<(f64, (DocId, f64, f64))>, PruneStats) {
+        let mut prune = PruneStats::default();
+        if k == 0 {
+            return (Vec::new(), prune);
+        }
+        let bow_w = self.side_work_from(Side::Bow, bow, beta < 1.0);
+        let bon_w = self.side_work_from(Side::Bon, bon, beta > 0.0);
+        let mut merged: TopK<(DocId, f64, f64)> = TopK::new(k);
+        for seg in &self.segments {
+            let bow_spec = bow_w.as_ref().map(|w| self.side_spec(seg, w));
+            let bon_spec = bon_w.as_ref().map(|w| self.side_spec(seg, w));
+            let mut seg_topk: TopK<(DocId, f64, f64)> = TopK::new(k);
+            blended_scan(
+                bow_spec.as_ref(),
+                bon_spec.as_ref(),
+                beta,
+                merged.threshold().unwrap_or(f64::NEG_INFINITY).max(floor),
+                |d| !self.tombstones.contains(&seg.global_of(d)),
+                |d| DocId(seg.global_of(d)),
+                &mut seg_topk,
+                &mut prune,
+            );
+            for (score, item) in seg_topk.into_sorted() {
+                merged.push(score, item);
+            }
+        }
+        (merged.into_sorted(), prune)
+    }
+
     /// Exhaustive cursor-driven raw scores of one side, one vector per
     /// segment in segment order, each ascending by (global) doc id with
     /// per-document sums bit-identical to
@@ -977,6 +1130,109 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.0, y.0);
             assert!((x.1 - y.1).abs() < 1e-12);
+        }
+    }
+
+    /// The scatter-gather algebra, exercised in-process: stripe the corpus
+    /// across shard indexes, sum overlay statistics, take the max of the
+    /// per-shard top-1 maxima as each side's divisor, run every shard's
+    /// `blended_topk_overlay`, and merge the union id-ordered through one
+    /// `TopK`. Every score bit and the tie order must match the
+    /// single-index `blended_topk`.
+    #[test]
+    fn overlay_scatter_gather_is_bit_identical_to_monolithic() {
+        let (g, li) = world();
+        let config = NewsLinkConfig::default().with_segment_docs(2);
+        let bow_terms: Vec<String> = ["kunar", "khyber", "pakistan", "taliban"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let bon_terms: Vec<String> =
+            ["n0", "n1", "n2", "n3"].iter().map(|s| s.to_string()).collect();
+        let k = 4;
+        for shard_count in [1u32, 2, 3] {
+            let mut mono = index_corpus(&g, &li, &config, DOCS);
+            let mut shards: Vec<NewsLinkIndex> = (0..shard_count)
+                .map(|s| {
+                    crate::indexer::index_corpus_sharded(&g, &li, &config, None, DOCS, s, shard_count)
+                })
+                .collect();
+            // Tombstone one document on its owning shard and the oracle.
+            assert!(mono.delete(DocId(1)));
+            assert!(shards[(1 % shard_count) as usize].delete(DocId(1)));
+            for beta in [0.0, 0.2, 1.0] {
+                let expected = mono.blended_topk(beta, &bow_terms, &bon_terms, true, k).0;
+
+                // Phase 1: exact integer sums of per-shard statistics.
+                let mut totals = [(CollectionStats::default(), vec![0u32; bow_terms.len()]),
+                    (CollectionStats::default(), vec![0u32; bon_terms.len()])];
+                for shard in &shards {
+                    for (slot, (side, terms)) in totals
+                        .iter_mut()
+                        .zip([(Side::Bow, &bow_terms), (Side::Bon, &bon_terms)])
+                    {
+                        let (stats, df) = shard.side_overlay_stats(side, terms);
+                        slot.0.docs += stats.docs;
+                        slot.0.total_len += stats.total_len;
+                        for (acc, d) in slot.1.iter_mut().zip(&df) {
+                            *acc += d;
+                        }
+                    }
+                }
+                // Phase 2: each side's divisor is the max of shard maxima.
+                let mut prune = PruneStats::default();
+                let mut norms = [1.0f64; 2];
+                for (i, terms) in [&bow_terms, &bon_terms].into_iter().enumerate() {
+                    let side = if i == 0 { Side::Bow } else { Side::Bon };
+                    let ov = SideOverlay {
+                        terms,
+                        stats: totals[i].0,
+                        df: &totals[i].1,
+                        norm: 1.0,
+                    };
+                    let max = shards
+                        .iter()
+                        .map(|s| s.side_top1_overlay(side, &ov, &mut prune))
+                        .fold(0.0f64, f64::max);
+                    if max > 0.0 {
+                        norms[i] = max;
+                    }
+                }
+
+                // Phase 3: gather shard lists, merge id-ordered.
+                let bow_ov = SideOverlay {
+                    terms: &bow_terms,
+                    stats: totals[0].0,
+                    df: &totals[0].1,
+                    norm: norms[0],
+                };
+                let bon_ov = SideOverlay {
+                    terms: &bon_terms,
+                    stats: totals[1].0,
+                    df: &totals[1].1,
+                    norm: norms[1],
+                };
+                let mut union: Vec<(f64, (DocId, f64, f64))> = Vec::new();
+                for shard in &shards {
+                    let (hits, _) =
+                        shard.blended_topk_overlay(beta, &bow_ov, &bon_ov, k, f64::NEG_INFINITY);
+                    union.extend(hits);
+                }
+                union.sort_by_key(|(_, (doc, _, _))| doc.0);
+                let mut merged: TopK<(DocId, f64, f64)> = TopK::new(k);
+                for (score, item) in union {
+                    merged.push(score, item);
+                }
+                let got = merged.into_sorted();
+
+                assert_eq!(got.len(), expected.len(), "shards={shard_count} beta={beta}");
+                for (x, y) in got.iter().zip(&expected) {
+                    assert_eq!(x.1 .0, y.1 .0, "doc order, shards={shard_count} beta={beta}");
+                    assert_eq!(x.0.to_bits(), y.0.to_bits(), "score bits");
+                    assert_eq!(x.1 .1.to_bits(), y.1 .1.to_bits(), "bow bits");
+                    assert_eq!(x.1 .2.to_bits(), y.1 .2.to_bits(), "bon bits");
+                }
+            }
         }
     }
 }

@@ -1,0 +1,394 @@
+//! The cluster layer: a scatter-gather shard router with health-checked
+//! replica failover.
+//!
+//! Topology comes from [`spec::parse_shards`]: shard *groups* partition
+//! the corpus by document id (`id % groups`), and each group is a
+//! replica set — identical copies of that shard's index, primary first.
+//! Searches scatter to **one healthy replica per group** and gather
+//! through the same global-stats overlay + top-k merge the in-process
+//! multi-segment search uses, so blended scores are bit-identical to a
+//! single process searching the union (see [`proto`] for the wire
+//! contract and `DESIGN.md` §6i for the proof sketch). Writes hash to
+//! their owning group and go to its primary only — the replica set is
+//! read scale-out, not write redundancy.
+//!
+//! Health: a background prober (`probe_loop`) GETs every replica's
+//! `/healthz` on a fixed cadence, and every data-path call updates the
+//! same flag — a failed scatter marks the replica unhealthy and fails
+//! over to the next one *within the same request*. A group with no
+//! reachable replica at all makes the response *degraded*: the router
+//! answers `503` with the partial results it could gather and
+//! `"degraded": true`, so a load balancer sheds while clients still see
+//! what the healthy shards found.
+
+pub mod client;
+pub mod proto;
+pub mod spec;
+
+mod gather;
+
+pub use gather::{dispatch_cluster, ClusterContext};
+pub use spec::{parse_shards, SpecError};
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use newslink_util::{Histogram, ShutdownFlag};
+use parking_lot::Mutex;
+use serde::{Number, Serialize, Value};
+
+use client::ReplicaClient;
+
+/// How often the background prober sweeps every replica.
+pub const PROBE_INTERVAL_MS: u64 = 500;
+
+/// Per-probe deadline: a health check must be cheap and decisive.
+const PROBE_BUDGET_MS: u64 = 250;
+
+/// One replica of one shard group: its pooled client plus health and
+/// traffic counters.
+#[derive(Debug)]
+pub struct Replica {
+    client: ReplicaClient,
+    /// Start optimistic: the first failed call or probe flips it.
+    healthy: AtomicBool,
+    probes: AtomicU64,
+    probe_failures: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Replica {
+    fn new(addr: SocketAddr) -> Self {
+        Self {
+            client: ReplicaClient::new(addr),
+            healthy: AtomicBool::new(true),
+            probes: AtomicU64::new(0),
+            probe_failures: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The replica's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.client.addr()
+    }
+
+    /// Last known health (from the prober or the data path).
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard group: its replicas (primary first) plus gather-side
+/// latency and failover counters.
+#[derive(Debug)]
+pub struct ShardGroup {
+    replicas: Vec<Replica>,
+    latency_us: Mutex<Histogram>,
+    failovers: AtomicU64,
+}
+
+impl ShardGroup {
+    /// The group's replicas, primary first.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Whether any replica is currently believed healthy.
+    pub fn has_healthy_replica(&self) -> bool {
+        self.replicas.iter().any(Replica::is_healthy)
+    }
+}
+
+/// The error a scatter sees when a whole group is unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupDown;
+
+/// The full cluster topology plus its live health/traffic state.
+#[derive(Debug)]
+pub struct Cluster {
+    groups: Vec<ShardGroup>,
+    degraded_responses: AtomicU64,
+    probe_rounds: AtomicU64,
+}
+
+impl Cluster {
+    /// Build the cluster from parsed replica sets (see
+    /// [`spec::parse_shards`]).
+    pub fn new(groups: Vec<Vec<SocketAddr>>) -> Self {
+        Self {
+            groups: groups
+                .into_iter()
+                .map(|addrs| ShardGroup {
+                    replicas: addrs.into_iter().map(Replica::new).collect(),
+                    latency_us: Mutex::new(Histogram::new()),
+                    failovers: AtomicU64::new(0),
+                })
+                .collect(),
+            degraded_responses: AtomicU64::new(0),
+            probe_rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard groups, in spec order.
+    pub fn groups(&self) -> &[ShardGroup] {
+        &self.groups
+    }
+
+    /// Indices of groups with no healthy replica (the degraded set).
+    pub fn groups_down(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.has_healthy_replica())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Count one degraded (partial-results) response.
+    pub(crate) fn note_degraded(&self) {
+        self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The owning group of a document id (id-hash routing: shard `s`
+    /// holds documents with `id % groups == s`).
+    pub fn route_doc(&self, id: u32) -> usize {
+        id as usize % self.groups.len().max(1)
+    }
+
+    /// The owning group of a new document: a stable content hash, so
+    /// re-submitting the same text lands on the same shard.
+    pub fn route_insert(&self, text: &str) -> usize {
+        (fnv1a64(text.as_bytes()) % self.groups.len().max(1) as u64) as usize
+    }
+
+    /// Call one group, failing over across replicas: healthy replicas
+    /// first (in listed order), then the unhealthy ones as a last
+    /// resort — a replica the prober wrote off may have just come back,
+    /// and trying it beats refusing the query. Every attempt past the
+    /// first counts as a failover. Any non-200 answer or transport
+    /// error marks the replica unhealthy and moves on; success marks it
+    /// healthy and records gather latency.
+    pub fn call_group(
+        &self,
+        group: usize,
+        method: &str,
+        path: &str,
+        body: &str,
+        deadline: Option<Instant>,
+    ) -> Result<(u16, String), GroupDown> {
+        let g = &self.groups[group];
+        let healthy_first: Vec<&Replica> = g
+            .replicas
+            .iter()
+            .filter(|r| r.is_healthy())
+            .chain(g.replicas.iter().filter(|r| !r.is_healthy()))
+            .collect();
+        for (attempt, r) in healthy_first.into_iter().enumerate() {
+            if attempt > 0 {
+                g.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            r.requests.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
+            match r.client.call(method, path, body, deadline) {
+                Ok((200, body)) => {
+                    r.healthy.store(true, Ordering::Relaxed);
+                    g.latency_us.lock().record_micros(start.elapsed());
+                    return Ok((200, body));
+                }
+                Ok(_) | Err(_) => {
+                    r.errors.fetch_add(1, Ordering::Relaxed);
+                    r.healthy.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+        Err(GroupDown)
+    }
+
+    /// Call a group's *primary* only — the write path. Writes must not
+    /// fail over: a secondary does not own the group's WAL, so routing
+    /// an insert there would fork the replica set. The caller relays
+    /// whatever status the primary answered (a `404` from a delete is
+    /// an answer, not a failure).
+    pub fn call_primary(
+        &self,
+        group: usize,
+        method: &str,
+        path: &str,
+        body: &str,
+        deadline: Option<Instant>,
+    ) -> io::Result<(u16, String)> {
+        let r = &self.groups[group].replicas[0];
+        r.requests.fetch_add(1, Ordering::Relaxed);
+        match r.client.call(method, path, body, deadline) {
+            Ok(resp) => {
+                r.healthy.store(true, Ordering::Relaxed);
+                Ok(resp)
+            }
+            Err(e) => {
+                r.errors.fetch_add(1, Ordering::Relaxed);
+                r.healthy.store(false, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// One probe sweep: GET every replica's `/healthz` under a short
+    /// budget and update its health flag.
+    pub fn probe_once(&self) {
+        for g in &self.groups {
+            for r in &g.replicas {
+                r.probes.fetch_add(1, Ordering::Relaxed);
+                let deadline = Instant::now() + Duration::from_millis(PROBE_BUDGET_MS);
+                let up = matches!(
+                    r.client.call("GET", "/healthz", "", Some(deadline)),
+                    Ok((200, _))
+                );
+                if !up {
+                    r.probe_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                r.healthy.store(up, Ordering::Relaxed);
+            }
+        }
+        self.probe_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Probe on a fixed cadence until `stop` triggers. Sleeps in short
+    /// slices so shutdown is prompt.
+    pub fn probe_loop(&self, stop: &ShutdownFlag) {
+        while !stop.is_triggered() {
+            self.probe_once();
+            let mut slept = 0;
+            while slept < PROBE_INTERVAL_MS && !stop.is_triggered() {
+                let slice = (PROBE_INTERVAL_MS - slept).min(50);
+                std::thread::sleep(Duration::from_millis(slice));
+                slept += slice;
+            }
+        }
+    }
+
+    /// The `/metrics` cluster section: per-group gather latency,
+    /// failovers and per-replica health/traffic counters, plus the
+    /// cluster-wide degraded-response and probe-round totals.
+    pub fn metrics_value(&self) -> Value {
+        let num = |n: u64| Value::Number(Number::from_i128(n as i128));
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| {
+                let replicas = g
+                    .replicas
+                    .iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("addr".into(), Value::String(r.addr().to_string())),
+                            ("healthy".into(), Value::Bool(r.is_healthy())),
+                            ("probes".into(), num(r.probes.load(Ordering::Relaxed))),
+                            (
+                                "probe_failures".into(),
+                                num(r.probe_failures.load(Ordering::Relaxed)),
+                            ),
+                            ("requests".into(), num(r.requests.load(Ordering::Relaxed))),
+                            ("errors".into(), num(r.errors.load(Ordering::Relaxed))),
+                        ])
+                    })
+                    .collect();
+                Value::Object(vec![
+                    ("replicas".into(), Value::Array(replicas)),
+                    ("healthy".into(), Value::Bool(g.has_healthy_replica())),
+                    ("failovers".into(), num(g.failovers.load(Ordering::Relaxed))),
+                    (
+                        "gather_latency_us".into(),
+                        g.latency_us.lock().serialize_value(),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("groups".into(), Value::Array(groups)),
+            (
+                "degraded_responses".into(),
+                num(self.degraded_responses.load(Ordering::Relaxed)),
+            ),
+            ("probe_rounds".into(), num(self.probe_rounds.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+/// FNV-1a, 64-bit: the insert-routing content hash. Deliberately
+/// self-contained — the routing function is part of the wire contract
+/// between router and shards, so it must not drift with a hasher crate.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        // Ports nothing listens on; these tests never hit the network
+        // except where they expect failure.
+        let groups = (0..n)
+            .map(|i| vec![format!("127.0.0.1:{}", 1 + i).parse().unwrap()])
+            .collect();
+        Cluster::new(groups)
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let c = cluster(3);
+        for id in 0..50u32 {
+            assert_eq!(c.route_doc(id), id as usize % 3);
+        }
+        let g = c.route_insert("Some news text.");
+        assert!(g < 3);
+        assert_eq!(g, c.route_insert("Some news text."), "content hash is stable");
+    }
+
+    #[test]
+    fn dead_group_fails_over_then_reports_down() {
+        let c = Cluster::new(vec![vec![
+            "127.0.0.1:1".parse().unwrap(),
+            "127.0.0.1:2".parse().unwrap(),
+        ]]);
+        let deadline = Instant::now() + Duration::from_millis(300);
+        let err = c.call_group(0, "GET", "/healthz", "", Some(deadline));
+        assert_eq!(err, Err(GroupDown));
+        // Both replicas were tried: one failover, both marked unhealthy.
+        let g = &c.groups()[0];
+        assert_eq!(g.failovers.load(Ordering::Relaxed), 1);
+        assert!(!g.has_healthy_replica());
+        assert_eq!(c.groups_down(), vec![0]);
+    }
+
+    #[test]
+    fn metrics_value_has_the_expected_shape() {
+        let c = cluster(2);
+        let v = c.metrics_value();
+        let groups = v.get("groups").and_then(|g| g.as_array()).unwrap();
+        assert_eq!(groups.len(), 2);
+        let replicas = groups[0].get("replicas").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(replicas.len(), 1);
+        assert!(replicas[0].get("addr").unwrap().as_str().unwrap().contains("127.0.0.1"));
+        assert!(v.get("degraded_responses").is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! Parsing and validation of the `--shards` topology spec.
+//!
+//! The spec is a comma-separated list of shard groups; within a group,
+//! `|` separates replicas: `"a:7001|a:7002,b:7003|b:7004"` is two
+//! groups of two replicas each. The first replica of a group is its
+//! *primary* — the only member that accepts writes. Validation is
+//! strict and typed: an empty group, an unresolvable address or a
+//! duplicate address is a configuration bug the operator should see at
+//! startup, not a runtime surprise.
+
+use std::fmt;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+/// Why a `--shards` spec was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec contains no groups at all.
+    Empty,
+    /// Group `group` (zero-based) has no replicas.
+    EmptyGroup {
+        /// Zero-based group position in the spec.
+        group: usize,
+    },
+    /// A replica address failed to parse or resolve.
+    BadAddress {
+        /// Zero-based group position in the spec.
+        group: usize,
+        /// The offending address text.
+        addr: String,
+    },
+    /// The same address appears more than once (within or across
+    /// groups) — a replica cannot serve two shards.
+    DuplicateAddress {
+        /// The repeated (resolved) address.
+        addr: SocketAddr,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "--shards spec is empty"),
+            Self::EmptyGroup { group } => {
+                write!(f, "shard group {group} has no replicas")
+            }
+            Self::BadAddress { group, addr } => {
+                write!(f, "shard group {group}: bad replica address {addr:?}")
+            }
+            Self::DuplicateAddress { addr } => {
+                write!(f, "replica address {addr} listed more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Resolve one replica address: a literal `host:port` first, then a
+/// hostname lookup (`localhost:7001`).
+fn resolve(text: &str) -> Option<SocketAddr> {
+    if let Ok(addr) = text.parse::<SocketAddr>() {
+        return Some(addr);
+    }
+    text.to_socket_addrs().ok()?.next()
+}
+
+/// Parse a `--shards` spec into replica sets, one `Vec<SocketAddr>` per
+/// shard group (primary first, in listed order).
+pub fn parse_shards(spec: &str) -> Result<Vec<Vec<SocketAddr>>, SpecError> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err(SpecError::Empty);
+    }
+    let mut seen: Vec<SocketAddr> = Vec::new();
+    let mut groups = Vec::new();
+    for (gi, group_text) in spec.split(',').enumerate() {
+        let mut replicas = Vec::new();
+        for addr_text in group_text.split('|') {
+            let addr_text = addr_text.trim();
+            if addr_text.is_empty() {
+                continue;
+            }
+            let addr = resolve(addr_text).ok_or_else(|| SpecError::BadAddress {
+                group: gi,
+                addr: addr_text.to_string(),
+            })?;
+            if seen.contains(&addr) {
+                return Err(SpecError::DuplicateAddress { addr });
+            }
+            seen.push(addr);
+            replicas.push(addr);
+        }
+        if replicas.is_empty() {
+            return Err(SpecError::EmptyGroup { group: gi });
+        }
+        groups.push(replicas);
+    }
+    Ok(groups)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_groups_and_replicas() {
+        let groups = parse_shards("127.0.0.1:7001|127.0.0.1:7002,127.0.0.1:7003").unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 2, "two replicas in group 0");
+        assert_eq!(groups[1].len(), 1);
+        assert_eq!(groups[0][0], "127.0.0.1:7001".parse().unwrap(), "primary first");
+    }
+
+    #[test]
+    fn resolves_hostnames() {
+        let groups = parse_shards("localhost:7001").unwrap();
+        assert_eq!(groups[0][0].port(), 7001);
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        let groups = parse_shards(" 127.0.0.1:7001 | 127.0.0.1:7002 , 127.0.0.1:7003 ").unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_specs_and_groups() {
+        assert_eq!(parse_shards(""), Err(SpecError::Empty));
+        assert_eq!(parse_shards("   "), Err(SpecError::Empty));
+        assert_eq!(
+            parse_shards("127.0.0.1:7001,,127.0.0.1:7002"),
+            Err(SpecError::EmptyGroup { group: 1 })
+        );
+        assert_eq!(
+            parse_shards("127.0.0.1:7001,|"),
+            Err(SpecError::EmptyGroup { group: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_unparsable_addresses() {
+        let err = parse_shards("127.0.0.1:7001,not an address").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::BadAddress {
+                group: 1,
+                addr: "not an address".into()
+            }
+        );
+        assert!(matches!(
+            parse_shards("127.0.0.1:notaport"),
+            Err(SpecError::BadAddress { group: 0, .. })
+        ));
+        // The error names the group and the text.
+        assert!(err.to_string().contains("group 1"));
+        assert!(err.to_string().contains("not an address"));
+    }
+
+    #[test]
+    fn rejects_duplicate_addresses() {
+        assert!(matches!(
+            parse_shards("127.0.0.1:7001|127.0.0.1:7001"),
+            Err(SpecError::DuplicateAddress { .. })
+        ));
+        assert!(matches!(
+            parse_shards("127.0.0.1:7001,127.0.0.1:7001"),
+            Err(SpecError::DuplicateAddress { addr }) if addr.port() == 7001
+        ));
+    }
+}

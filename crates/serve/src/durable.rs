@@ -67,6 +67,11 @@ impl DurableState {
         self.snapshots.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The storage backend serving the snapshot (`"heap"` or `"mmap"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.store().backend().as_str()
+    }
+
     /// WAL appends acknowledged since startup.
     pub fn wal_appends_total(&self) -> u64 {
         self.wal_appends.load(Ordering::Relaxed)

@@ -67,12 +67,14 @@
 #![warn(clippy::unwrap_used)]
 #![deny(unsafe_code)]
 
+pub mod cluster;
 pub mod durable;
 pub mod metrics;
 pub mod protocol;
 pub mod router;
 pub mod server;
 
+pub use cluster::{parse_shards, Cluster, SpecError};
 pub use durable::DurableState;
 pub use metrics::{Route, ServerMetrics};
 pub use protocol::{client, HttpRequest};

@@ -35,6 +35,9 @@ pub enum Route {
     Docs,
     /// `POST /admin/snapshot` (checkpoint the durable store).
     Admin,
+    /// `POST /internal/*` (shard-side scatter-gather endpoints, called
+    /// by a router, never by end clients).
+    Internal,
     /// Anything else (unknown paths, unparseable requests).
     Other,
 }
@@ -50,6 +53,7 @@ pub struct ServerMetrics {
     metrics: AtomicU64,
     docs: AtomicU64,
     admin: AtomicU64,
+    internal: AtomicU64,
     ok: AtomicU64,
     bad_request: AtomicU64,
     not_found: AtomicU64,
@@ -76,6 +80,7 @@ impl ServerMetrics {
             metrics: AtomicU64::new(0),
             docs: AtomicU64::new(0),
             admin: AtomicU64::new(0),
+            internal: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             bad_request: AtomicU64::new(0),
             not_found: AtomicU64::new(0),
@@ -112,6 +117,7 @@ impl ServerMetrics {
             Route::Metrics => Some(&self.metrics),
             Route::Docs => Some(&self.docs),
             Route::Admin => Some(&self.admin),
+            Route::Internal => Some(&self.internal),
             Route::Other => None,
         };
         if let Some(counter) = route_counter {
@@ -162,13 +168,16 @@ impl ServerMetrics {
     /// counters, the latency histogram, the admission gauge, the
     /// engine's cache counters, and the segmented index's gauges. When
     /// the server runs durably, `durability` carries the recovery
-    /// report and WAL/checkpoint gauges and lands as one more section.
+    /// report and WAL/checkpoint gauges and lands as one more section;
+    /// in router mode `cluster` does the same for the shard map
+    /// (per-group latency, failovers, probe state).
     pub fn snapshot(
         &self,
         in_flight: usize,
         cache: &EngineCacheStats,
         index: IndexStats,
         durability: Option<Value>,
+        cluster: Option<Value>,
     ) -> Value {
         let load = |c: &AtomicU64| num(c.load(Ordering::Relaxed));
         let mut sections = vec![
@@ -186,6 +195,7 @@ impl ServerMetrics {
                     ("metrics".into(), load(&self.metrics)),
                     ("docs".into(), load(&self.docs)),
                     ("admin".into(), load(&self.admin)),
+                    ("internal".into(), load(&self.internal)),
                 ]),
             ),
             (
@@ -224,6 +234,9 @@ impl ServerMetrics {
         ];
         if let Some(durability) = durability {
             sections.push(("durability".into(), durability));
+        }
+        if let Some(cluster) = cluster {
+            sections.push(("cluster".into(), cluster));
         }
         Value::Object(sections)
     }
@@ -265,7 +278,7 @@ mod tests {
             tombstones: 2,
             compactions: 5,
         };
-        let snap = m.snapshot(3, &EngineCacheStats::default(), index, None);
+        let snap = m.snapshot(3, &EngineCacheStats::default(), index, None, None);
         assert_eq!(snap["requests_total"], 2u64);
         assert_eq!(snap["routes"]["batch"], 1u64);
         assert_eq!(snap["routes"]["docs"], 1u64);
@@ -301,7 +314,7 @@ mod tests {
             scored: 5,
             blocks_skipped: 0,
         });
-        let snap = m.snapshot(0, &EngineCacheStats::default(), IndexStats::default(), None);
+        let snap = m.snapshot(0, &EngineCacheStats::default(), IndexStats::default(), None, None);
         assert_eq!(snap["pruning"]["candidates"], 15u64);
         assert_eq!(snap["pruning"]["docs_scored"], 9u64);
         assert_eq!(snap["pruning"]["blocks_skipped"], 3u64);
@@ -312,7 +325,7 @@ mod tests {
         let m = ServerMetrics::new();
         m.observe(Route::Admin, 200, Duration::from_micros(12));
         let gauges = Value::Object(vec![("quarantined_segments".into(), num(1))]);
-        let snap = m.snapshot(0, &EngineCacheStats::default(), IndexStats::default(), Some(gauges));
+        let snap = m.snapshot(0, &EngineCacheStats::default(), IndexStats::default(), Some(gauges), None);
         assert_eq!(snap["routes"]["admin"], 1u64);
         assert_eq!(snap["durability"]["quarantined_segments"], 1u64);
     }

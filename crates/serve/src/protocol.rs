@@ -1,11 +1,13 @@
 //! Minimal HTTP/1.1 framing over blocking TCP.
 //!
-//! The service speaks exactly the subset a JSON search API needs: one
-//! request per connection (`Connection: close`), a request line, headers
-//! (only `Content-Length` is interpreted), and a UTF-8 body. Keeping the
-//! wire layer this small is what lets the whole server run on
-//! `std::net` with no async runtime — a deliberate choice for the
-//! offline build (see `vendor/README.md`).
+//! The service speaks exactly the subset a JSON search API needs: a
+//! request line, headers (only `Content-Length` and `Connection` are
+//! interpreted), and a UTF-8 body. Connections default to one request
+//! (`Connection: close`); a client that sends `Connection: keep-alive`
+//! opts into reuse — the shard router's pooled client does, ordinary
+//! clients are unaffected. Keeping the wire layer this small is what
+//! lets the whole server run on `std::net` with no async runtime — a
+//! deliberate choice for the offline build (see `vendor/README.md`).
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -22,6 +24,9 @@ pub struct HttpRequest {
     pub path: String,
     /// The request body, decoded as UTF-8.
     pub body: String,
+    /// The client sent `Connection: keep-alive` — it wants to reuse the
+    /// connection for another request after the response.
+    pub keep_alive: bool,
 }
 
 /// Why reading a request failed.
@@ -38,8 +43,8 @@ pub enum RecvError {
 }
 
 /// Parse the request head (everything before the blank line) into
-/// `(method, path, content_length)`.
-fn parse_head(head: &str) -> Result<(String, String, usize), String> {
+/// `(method, path, content_length, keep_alive)`.
+fn parse_head(head: &str) -> Result<(String, String, usize, bool), String> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
@@ -53,6 +58,7 @@ fn parse_head(head: &str) -> Result<(String, String, usize), String> {
     // Strip any query string; the API is body-driven.
     let path = target.split('?').next().unwrap_or(target).to_string();
     let mut content_length = 0usize;
+    let mut keep_alive = false;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -60,14 +66,17 @@ fn parse_head(head: &str) -> Result<(String, String, usize), String> {
         let Some((name, value)) = line.split_once(':') else {
             return Err(format!("malformed header {line:?}"));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
                 .map_err(|_| format!("bad content-length {value:?}"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
         }
     }
-    Ok((method.to_ascii_uppercase(), path, content_length))
+    Ok((method.to_ascii_uppercase(), path, content_length, keep_alive))
 }
 
 /// Read one request from `stream`. Bodies larger than `max_body` are
@@ -95,7 +104,8 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpReque
 
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| RecvError::BadRequest("head is not UTF-8".into()))?;
-    let (method, path, content_length) = parse_head(head).map_err(RecvError::BadRequest)?;
+    let (method, path, content_length, keep_alive) =
+        parse_head(head).map_err(RecvError::BadRequest)?;
     if content_length > max_body {
         return Err(RecvError::TooLarge);
     }
@@ -112,7 +122,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpReque
     }
     let body =
         String::from_utf8(body).map_err(|_| RecvError::BadRequest("body is not UTF-8".into()))?;
-    Ok(HttpRequest { method, path, body })
+    Ok(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 /// Offset of `\r\n\r\n` in `buf`, if present.
@@ -148,6 +163,19 @@ pub fn write_response_with(
     extra_headers: &[(&str, &str)],
     body: &str,
 ) -> io::Result<()> {
+    write_response_conn(stream, status, extra_headers, body, false)
+}
+
+/// Like [`write_response_with`], with the connection disposition made
+/// explicit: `keep_alive` answers a client that asked for reuse, and the
+/// caller then loops reading the next request off the same stream.
+pub fn write_response_conn(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         reason(status),
@@ -159,9 +187,16 @@ pub fn write_response_with(
         head.push_str(value);
         head.push_str("\r\n");
     }
-    head.push_str("Connection: close\r\n\r\n");
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    // One write: splitting head and body across TCP segments lets
+    // Nagle hold the body until the head's (delayed) ACK, which turns a
+    // loopback round-trip into tens of milliseconds.
+    head.push_str(body);
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
@@ -197,12 +232,13 @@ pub mod client {
         path: &str,
         body: &str,
     ) -> std::io::Result<()> {
-        let head = format!(
+        let mut head = format!(
             "{method} {path} HTTP/1.1\r\nHost: newslink\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
             body.len()
         );
+        // Single write: see `write_response` on Nagle vs delayed ACK.
+        head.push_str(body);
         stream.write_all(head.as_bytes())?;
-        stream.write_all(body.as_bytes())?;
         stream.flush()
     }
 
@@ -225,6 +261,80 @@ pub mod client {
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         send(&mut stream, method, path, body)?;
         read_response_full(&mut stream)
+    }
+
+    /// Write one request that asks the server to keep the connection
+    /// open after responding (the shard router's pooled client pairs
+    /// this with [`read_response_framed`]).
+    pub fn send_keep_alive(
+        stream: &mut TcpStream,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<()> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: newslink\r\nConnection: keep-alive\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        // Single write: see `write_response` on Nagle vs delayed ACK.
+        head.push_str(body);
+        stream.write_all(head.as_bytes())?;
+        stream.flush()
+    }
+
+    /// Read exactly one `Content-Length`-framed response off the stream,
+    /// leaving it positioned at the next response — the reuse-safe
+    /// counterpart of [`read_response_full`]'s read-to-EOF. Responses
+    /// without a `Content-Length` header are treated as malformed (this
+    /// service always emits one).
+    pub fn read_response_framed(stream: &mut TcpStream) -> std::io::Result<FullResponse> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            if buf.len() > super::MAX_HEAD_BYTES {
+                return Err(bad("response head too large"));
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| bad("non-UTF8 head"))?
+            .to_string();
+        let status: u16 = head
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let headers: Vec<(String, String)> = head
+            .split("\r\n")
+            .skip(1)
+            .filter_map(|line| line.split_once(':'))
+            .map(|(name, value)| (name.trim().to_string(), value.trim().to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad("missing content-length"))?;
+        let mut body = buf[head_end + 4..].to_vec();
+        if body.len() > content_length {
+            return Err(bad("body longer than content-length"));
+        }
+        let start = body.len();
+        body.resize(content_length, 0);
+        stream.read_exact(&mut body[start..])?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-UTF8 body"))?;
+        Ok((status, headers, body))
     }
 
     /// Read a full `Connection: close` response into
@@ -264,15 +374,24 @@ mod tests {
 
     #[test]
     fn parses_post_with_content_length() {
-        let (m, p, n) =
+        let (m, p, n, ka) =
             parse_head("POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 12").unwrap();
-        assert_eq!((m.as_str(), p.as_str(), n), ("POST", "/search", 12));
+        assert_eq!((m.as_str(), p.as_str(), n, ka), ("POST", "/search", 12, false));
     }
 
     #[test]
     fn strips_query_string_and_upcases_method() {
-        let (m, p, n) = parse_head("get /metrics?verbose=1 HTTP/1.1\r\nHost: x").unwrap();
-        assert_eq!((m.as_str(), p.as_str(), n), ("GET", "/metrics", 0));
+        let (m, p, n, ka) = parse_head("get /metrics?verbose=1 HTTP/1.1\r\nHost: x").unwrap();
+        assert_eq!((m.as_str(), p.as_str(), n, ka), ("GET", "/metrics", 0, false));
+    }
+
+    #[test]
+    fn keep_alive_is_opt_in_only() {
+        let ka = |head: &str| parse_head(head).unwrap().3;
+        assert!(ka("GET / HTTP/1.1\r\nConnection: keep-alive"));
+        assert!(ka("GET / HTTP/1.1\r\nconnection: Keep-Alive"));
+        assert!(!ka("GET / HTTP/1.1\r\nConnection: close"));
+        assert!(!ka("GET / HTTP/1.1\r\nHost: x"), "absent header means close");
     }
 
     #[test]

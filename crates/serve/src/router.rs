@@ -21,12 +21,18 @@
 //! delete of a document that turns out not to exist is a harmless no-op
 //! on replay.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use newslink_core::{DocId, NewsLink, NewsLinkIndex, SearchRequest};
+use newslink_core::{
+    CollectionStats, DocId, Explanation, NewsLink, NewsLinkIndex, SearchRequest, Side, SideOverlay,
+};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize, Value};
 
+use crate::cluster::proto::{
+    f64_bits, f64_from_bits, HitWire, OverlayWire, ShardSearchRequest, ShardSearchResponse,
+    SideStatsWire, StatsRequest, StatsResponse, Top1Request, Top1Response,
+};
 use crate::durable::DurableState;
 use crate::metrics::{Route, ServerMetrics};
 use crate::protocol::HttpRequest;
@@ -75,7 +81,7 @@ pub struct Routed {
     pub deprecated: bool,
 }
 
-fn routed(route: Route, status: u16, body: String) -> Routed {
+pub(crate) fn routed(route: Route, status: u16, body: String) -> Routed {
     Routed {
         route,
         status,
@@ -110,7 +116,7 @@ impl RequestError {
     }
 
     /// Render as a routed error response.
-    fn into_routed(self, route: Route) -> Routed {
+    pub(crate) fn into_routed(self, route: Route) -> Routed {
         routed(route, self.status(), error_body(self.status(), self.message()))
     }
 }
@@ -151,7 +157,7 @@ pub fn error_body(status: u16, msg: &str) -> String {
 /// Whether `path` (canonical, un-prefixed form) names an endpoint this
 /// service serves — used to decide if a legacy alias deserves the
 /// deprecation header.
-fn is_api_path(path: &str) -> bool {
+pub(crate) fn is_api_path(path: &str) -> bool {
     matches!(
         path,
         "/healthz" | "/metrics" | "/search" | "/search/batch" | "/docs" | "/admin/snapshot"
@@ -186,6 +192,7 @@ fn dispatch_path(req: &HttpRequest, path: &str, ctx: &RequestContext<'_, '_>) ->
                 &ctx.engine.cache_stats(),
                 index_stats,
                 durability,
+                None,
             );
             routed(Route::Metrics, 200, snap.to_compact_string())
         }
@@ -193,6 +200,9 @@ fn dispatch_path(req: &HttpRequest, path: &str, ctx: &RequestContext<'_, '_>) ->
         ("POST", "/search/batch") => handle_batch(req, ctx),
         ("POST", "/docs") => handle_insert(req, ctx),
         ("POST", "/admin/snapshot") => handle_snapshot(ctx),
+        ("POST", "/internal/stats") => handle_internal_stats(req, ctx),
+        ("POST", "/internal/top1") => handle_internal_top1(req, ctx),
+        ("POST", "/internal/search") => handle_internal_search(req, ctx),
         ("DELETE", path) if path.strip_prefix("/docs/").is_some() => handle_delete(path, ctx),
         (_, path) if is_api_path(path) => routed(
             Route::Other,
@@ -203,23 +213,45 @@ fn dispatch_path(req: &HttpRequest, path: &str, ctx: &RequestContext<'_, '_>) ->
     }
 }
 
-/// `GET /healthz`: `{"status":"ok"}` — unless recovery quarantined
-/// segments, in which case the server is up but serving a subset, and
-/// says so: `{"status":"degraded","quarantined_segments":n}`. Still
-/// `200`: degraded is an operator signal, not an outage.
+/// `GET /healthz`: a small operational summary — liveness (`status`),
+/// a `degraded` flag (recovery quarantined segments: up, but serving a
+/// subset), the storage backend, the live doc/segment gauges and the
+/// crate version. Always `200` with `"status": "ok"` unless degraded:
+/// degraded is an operator signal, not an outage, and the bare-200
+/// contract is what load balancers probe.
 fn handle_healthz(ctx: &RequestContext<'_, '_>) -> Routed {
-    let mut pairs = Vec::new();
-    match ctx.durable {
-        Some(durable) if durable.degraded() => {
-            pairs.push(("status".into(), Value::String("degraded".into())));
+    let num = |n: u64| Value::Number(serde::Number::from_i128(n as i128));
+    let degraded = ctx.durable.is_some_and(DurableState::degraded);
+    let stats = ctx.index.read().stats();
+    let mut pairs = vec![
+        (
+            "status".into(),
+            Value::String(if degraded { "degraded" } else { "ok" }.into()),
+        ),
+        ("degraded".into(), Value::Bool(degraded)),
+        (
+            "backend".into(),
+            Value::String(
+                ctx.durable
+                    .map(DurableState::backend_name)
+                    .unwrap_or("memory")
+                    .into(),
+            ),
+        ),
+        ("docs".into(), num(stats.docs as u64)),
+        ("segments".into(), num(stats.segments as u64)),
+        (
+            "version".into(),
+            Value::String(env!("CARGO_PKG_VERSION").into()),
+        ),
+    ];
+    if degraded {
+        if let Some(durable) = ctx.durable {
             pairs.push((
                 "quarantined_segments".into(),
-                Value::Number(serde::Number::from_i128(
-                    durable.report().quarantined_segments as i128,
-                )),
+                num(durable.report().quarantined_segments as u64),
             ));
         }
-        _ => pairs.push(("status".into(), Value::String("ok".into()))),
     }
     routed(Route::Healthz, 200, Value::Object(pairs).to_compact_string())
 }
@@ -229,7 +261,7 @@ fn handle_healthz(ctx: &RequestContext<'_, '_>) -> Routed {
 /// comes back as `503` but still carries the partial timer report.
 fn handle_search(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
     let request = match parse_body(&req.body).and_then(|v| request_from_value(&v)) {
-        Ok(r) => apply_deadline(r, ctx),
+        Ok(r) => apply_deadline(r, ctx.config.default_timeout_ms, ctx.accepted),
         Err(e) => return e.into_routed(Route::Search),
     };
     let response = ctx.engine.execute(&ctx.index.read(), &request);
@@ -365,6 +397,188 @@ fn handle_snapshot(ctx: &RequestContext<'_, '_>) -> Routed {
     }
 }
 
+/// Parse an internal-protocol body, or answer `400` with the typed
+/// envelope. Internal endpoints are router-to-shard only, so a parse
+/// failure here means a version skew or a stray client — either way a
+/// clear `400` beats a panic.
+fn parse_internal<T: Deserialize>(body: &str) -> Result<T, RequestError> {
+    serde_json::from_str(body).map_err(|e| bad(format!("invalid internal request: {e}")))
+}
+
+/// Rebuild a [`SideOverlay`] from its wire form. The wire arrays must
+/// stay aligned — a df list of the wrong length would silently score
+/// under garbage frequencies.
+fn overlay_from_wire(wire: &OverlayWire) -> Result<SideOverlay<'_>, RequestError> {
+    if wire.df.len() != wire.terms.len() {
+        return Err(bad(format!(
+            "overlay df length {} does not match {} terms",
+            wire.df.len(),
+            wire.terms.len()
+        )));
+    }
+    Ok(SideOverlay {
+        terms: &wire.terms,
+        stats: CollectionStats {
+            docs: wire.docs as usize,
+            total_len: wire.total_len,
+        },
+        df: &wire.df,
+        norm: f64_from_bits(wire.norm_bits),
+    })
+}
+
+/// `POST /internal/stats` (phase 1): this shard's live collection
+/// statistics and per-term document frequencies, both sides. The
+/// router sums these across shards — exact integer sums, so the totals
+/// equal the monolithic values.
+fn handle_internal_stats(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
+    let r: StatsRequest = match parse_internal(&req.body) {
+        Ok(r) => r,
+        Err(e) => return e.into_routed(Route::Internal),
+    };
+    let index = ctx.index.read();
+    let side = |side: Side, terms: &[String]| {
+        let (stats, df) = index.side_overlay_stats(side, terms);
+        SideStatsWire {
+            docs: stats.docs as u64,
+            total_len: stats.total_len,
+            df,
+        }
+    };
+    let response = StatsResponse {
+        bow: side(Side::Bow, &r.bow_terms),
+        bon: side(Side::Bon, &r.bon_terms),
+    };
+    routed(
+        Route::Internal,
+        200,
+        response.serialize_value().to_compact_string(),
+    )
+}
+
+/// `POST /internal/top1` (phase 2): this shard's maximum raw score per
+/// side under the router's summed overlay. Only sides the blend
+/// actually uses are scanned (BOW at β < 1, BON at β > 0) — the same
+/// gating the in-process normalizer applies, so an inactive side
+/// reports 0.0 and the router's fold leaves its divisor at 1.0.
+fn handle_internal_top1(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
+    let r: Top1Request = match parse_internal(&req.body) {
+        Ok(r) => r,
+        Err(e) => return e.into_routed(Route::Internal),
+    };
+    let (bow_ov, bon_ov) = match (overlay_from_wire(&r.bow), overlay_from_wire(&r.bon)) {
+        (Ok(bow), Ok(bon)) => (bow, bon),
+        (Err(e), _) | (_, Err(e)) => return e.into_routed(Route::Internal),
+    };
+    let beta = f64_from_bits(r.beta_bits);
+    let index = ctx.index.read();
+    let mut prune = newslink_core::PruneStats::default();
+    let bow_max = if beta < 1.0 {
+        index.side_top1_overlay(Side::Bow, &bow_ov, &mut prune)
+    } else {
+        0.0
+    };
+    let bon_max = if beta > 0.0 {
+        index.side_top1_overlay(Side::Bon, &bon_ov, &mut prune)
+    } else {
+        0.0
+    };
+    let response = Top1Response {
+        bow_max_bits: f64_bits(bow_max),
+        bon_max_bits: f64_bits(bon_max),
+        prune,
+    };
+    routed(
+        Route::Internal,
+        200,
+        response.serialize_value().to_compact_string(),
+    )
+}
+
+/// `POST /internal/search` (phase 3): the shard-side half of the
+/// scatter-gather search — the pruned blended top-k under the router's
+/// cluster-wide overlays, plus explanations when requested. Always
+/// `200`: a deadline expiry is reported in-band (`timed_out`), because
+/// the router folds partial shard answers into one response.
+fn handle_internal_search(req: &HttpRequest, ctx: &RequestContext<'_, '_>) -> Routed {
+    let r: ShardSearchRequest = match parse_internal(&req.body) {
+        Ok(r) => r,
+        Err(e) => return e.into_routed(Route::Internal),
+    };
+    if r.k > MAX_K {
+        return bad(format!("k must be at most {MAX_K}, got {}", r.k)).into_routed(Route::Internal);
+    }
+    let (bow_ov, bon_ov) = match (overlay_from_wire(&r.bow), overlay_from_wire(&r.bon)) {
+        (Ok(bow), Ok(bon)) => (bow, bon),
+        (Err(e), _) | (_, Err(e)) => return e.into_routed(Route::Internal),
+    };
+    let answer = |response: ShardSearchResponse| {
+        routed(
+            Route::Internal,
+            200,
+            response.serialize_value().to_compact_string(),
+        )
+    };
+    // The budget is anchored at this shard's own request arrival: the
+    // router already subtracted its elapsed share before scattering.
+    let deadline = r
+        .budget_ms
+        .map(|ms| ctx.accepted + Duration::from_millis(ms));
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return answer(ShardSearchResponse {
+            hits: Vec::new(),
+            explanations: Vec::new(),
+            prune: newslink_core::PruneStats::default(),
+            timed_out: true,
+        });
+    }
+    let beta = f64_from_bits(r.beta_bits);
+    let index = ctx.index.read();
+    let (ranked, prune) =
+        index.blended_topk_overlay(beta, &bow_ov, &bon_ov, r.k, f64_from_bits(r.floor_bits));
+    ctx.metrics.observe_pruning(&prune);
+    let mut timed_out = false;
+    let mut explanations = Vec::new();
+    if let Some(opts) = r.explain {
+        // Same gate as the in-process path: explanations are the most
+        // expensive optional stage; a spent budget skips them but keeps
+        // the ranked hits.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            timed_out = true;
+        } else {
+            let analysis = ctx.engine.analyze_query(&r.query);
+            explanations = ranked
+                .iter()
+                .map(|&(_, (doc, _, _))| Explanation {
+                    doc,
+                    paths: ctx.engine.explain(
+                        &index,
+                        &analysis.embedding,
+                        doc,
+                        opts.max_len,
+                        opts.max_paths,
+                    ),
+                })
+                .collect();
+        }
+    }
+    let hits = ranked
+        .into_iter()
+        .map(|(score, (doc, bow, bon))| HitWire {
+            doc: doc.0,
+            score_bits: f64_bits(score),
+            bow_bits: f64_bits(bow),
+            bon_bits: f64_bits(bon),
+        })
+        .collect();
+    answer(ShardSearchResponse {
+        hits,
+        explanations,
+        prune,
+        timed_out,
+    })
+}
+
 /// Render [`newslink_core::IndexStats`] as a JSON object (shared by the
 /// `/docs` responses and sanity-checked against the `/metrics` gauges).
 fn index_stats_value(stats: newslink_core::IndexStats) -> Value {
@@ -379,7 +593,7 @@ fn index_stats_value(stats: newslink_core::IndexStats) -> Value {
 
 /// Validate a `POST /docs` body: an object whose only field is a string
 /// `"text"`.
-fn parse_insert_body(body: &str) -> Result<String, RequestError> {
+pub(crate) fn parse_insert_body(body: &str) -> Result<String, RequestError> {
     let v = parse_body(body)?;
     let obj = v
         .as_object()
@@ -395,7 +609,7 @@ fn parse_insert_body(body: &str) -> Result<String, RequestError> {
         .ok_or_else(|| bad("missing required string field \"text\""))
 }
 
-fn parse_body(body: &str) -> Result<Value, RequestError> {
+pub(crate) fn parse_body(body: &str) -> Result<Value, RequestError> {
     serde_json::from_str(body).map_err(|e| bad(format!("invalid JSON: {e}")))
 }
 
@@ -421,7 +635,7 @@ fn parse_batch(
         .enumerate()
         .map(|(i, item)| {
             request_from_value(item)
-                .map(|r| apply_deadline(r, ctx))
+                .map(|r| apply_deadline(r, ctx.config.default_timeout_ms, ctx.accepted))
                 .map_err(|e| match e {
                     RequestError::BadRequest(msg) => bad(format!("requests[{i}]: {msg}")),
                     internal => internal,
@@ -437,13 +651,17 @@ fn parse_batch(
 /// becomes a zero remainder: the request still runs up to the first
 /// inter-stage gate and comes back `timed_out` with its partial timer,
 /// the same shape as any other expiry.
-fn apply_deadline(mut request: SearchRequest, ctx: &RequestContext<'_, '_>) -> SearchRequest {
-    let budget_ms = match (request.timeout_ms, ctx.config.default_timeout_ms) {
+pub(crate) fn apply_deadline(
+    mut request: SearchRequest,
+    default_timeout_ms: Option<u64>,
+    accepted: Instant,
+) -> SearchRequest {
+    let budget_ms = match (request.timeout_ms, default_timeout_ms) {
         (Some(r), Some(s)) => Some(r.min(s)),
         (r, s) => r.or(s),
     };
     if let Some(budget_ms) = budget_ms {
-        let elapsed_ms = ctx.accepted.elapsed().as_millis() as u64;
+        let elapsed_ms = accepted.elapsed().as_millis() as u64;
         request.timeout_ms = Some(budget_ms.saturating_sub(elapsed_ms));
     }
     request

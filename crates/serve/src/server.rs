@@ -31,10 +31,11 @@ use newslink_core::{NewsLink, NewsLinkIndex};
 use newslink_util::ShutdownFlag;
 use parking_lot::{Mutex, RwLock};
 
+use crate::cluster::{dispatch_cluster, Cluster, ClusterContext};
 use crate::durable::DurableState;
 use crate::metrics::{Route, ServerMetrics};
-use crate::protocol::{read_request, write_response, write_response_with, RecvError};
-use crate::router::{dispatch, error_body, RequestContext};
+use crate::protocol::{read_request, write_response, write_response_conn, write_response_with, HttpRequest, RecvError};
+use crate::router::{dispatch, error_body, RequestContext, Routed};
 
 /// Tunables for one server instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,6 +192,61 @@ impl Server {
         index: &RwLock<NewsLinkIndex>,
         durable: Option<&DurableState>,
     ) -> io::Result<()> {
+        self.serve_with(|request, accepted, in_flight| {
+            let ctx = RequestContext {
+                engine,
+                index,
+                config: &self.config,
+                metrics: &self.metrics,
+                accepted,
+                in_flight,
+                durable,
+            };
+            dispatch(request, &ctx)
+        })
+    }
+
+    /// Serve in *router* mode: no local corpus — every `/v1/search`
+    /// scatters across the cluster's shard groups and the merged answer
+    /// comes back bit-identical to a single process searching the union
+    /// (see [`crate::cluster`]). A background thread probes every
+    /// replica's `/healthz` on a fixed cadence; it stops when the
+    /// server's shutdown handle triggers.
+    pub fn run_router(&self, engine: &NewsLink<'_>, cluster: &Cluster) -> io::Result<()> {
+        std::thread::scope(|scope| {
+            let stop = self.shutdown.clone();
+            scope.spawn(move || cluster.probe_loop(&stop));
+            let result = self.serve_with(|request, accepted, in_flight| {
+                let ctx = ClusterContext {
+                    cluster,
+                    engine,
+                    config: &self.config,
+                    metrics: &self.metrics,
+                    accepted,
+                    in_flight,
+                };
+                dispatch_cluster(request, &ctx)
+            });
+            // serve_with returns only once shutdown triggered (or the
+            // listener failed, which also triggers it), so the prober
+            // exits and the scope joins it.
+            self.shutdown.trigger();
+            result
+        })
+    }
+
+    /// The serving machinery behind every mode: accept loop, worker
+    /// pool, admission gate, graceful drain — parameterized over the
+    /// per-request handler. [`run_durable`](Self::run_durable) plugs in
+    /// the standalone dispatcher; router mode plugs in the
+    /// scatter-gather one. The handler receives the parsed request, the
+    /// deadline anchor (accept time for a connection's first request,
+    /// arrival time for later requests on a kept-alive connection) and
+    /// the in-flight gauge.
+    pub fn serve_with<H>(&self, handler: H) -> io::Result<()>
+    where
+        H: Fn(&HttpRequest, Instant, usize) -> Routed + Sync,
+    {
         let capacity = self.config.capacity().max(1);
         let in_flight = AtomicUsize::new(0);
         let (sender, receiver) = mpsc::channel::<Job>();
@@ -200,6 +256,7 @@ impl Server {
             for _ in 0..self.config.workers.max(1) {
                 let receiver = &receiver;
                 let in_flight = &in_flight;
+                let handler = &handler;
                 scope.spawn(move || loop {
                     // Hold the lock only while waiting; release before
                     // handling so peers can pick up the next job.
@@ -208,7 +265,7 @@ impl Server {
                         break; // sender dropped and queue drained
                     };
                     let gauge = in_flight.load(Ordering::Relaxed);
-                    self.handle_connection(job, engine, index, durable, gauge);
+                    self.handle_connection(job, handler, gauge);
                     in_flight.fetch_sub(1, Ordering::Release);
                 });
             }
@@ -251,71 +308,92 @@ impl Server {
         })
     }
 
-    /// Serve one connection end to end.
-    fn handle_connection(
-        &self,
-        job: Job,
-        engine: &NewsLink<'_>,
-        index: &RwLock<NewsLinkIndex>,
-        durable: Option<&DurableState>,
-        in_flight: usize,
-    ) {
+    /// Serve one connection end to end. A client that sent
+    /// `Connection: keep-alive` gets its connection back for the next
+    /// request (each anchored at its own arrival); everyone else gets
+    /// the classic one-request `Connection: close` exchange. A
+    /// kept-alive connection occupies its worker (and its admission
+    /// slot) until the client closes it or stalls past the read
+    /// timeout — which is exactly the accounting admission control
+    /// wants, since the connection really is holding a worker.
+    fn handle_connection<H>(&self, job: Job, handler: &H, in_flight: usize)
+    where
+        H: Fn(&HttpRequest, Instant, usize) -> Routed + Sync,
+    {
         let mut stream = job.stream;
         let _ = stream.set_nonblocking(false);
+        // Responses go out in one write; disable Nagle anyway so no
+        // future multi-write path can trip over delayed ACKs.
+        let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(self.config.read_timeout_ms.max(1))));
-        let request = match read_request(&mut stream, self.config.max_body_bytes) {
-            Ok(request) => request,
-            Err(RecvError::Closed) => return,
-            Err(RecvError::BadRequest(msg)) => {
-                let _ = write_response(&mut stream, 400, &error_body(400, &msg));
-                self.metrics.observe(Route::Other, 400, job.accepted.elapsed());
+        let mut anchor = job.accepted;
+        let mut first = true;
+        loop {
+            let request = match read_request(&mut stream, self.config.max_body_bytes) {
+                Ok(request) => {
+                    // The first request's budget is anchored at accept
+                    // (queue wait counts against it); later requests on a
+                    // kept-alive connection anchor at their own arrival.
+                    if !first {
+                        anchor = Instant::now();
+                    }
+                    first = false;
+                    request
+                }
+                Err(RecvError::Closed) => return,
+                Err(RecvError::BadRequest(msg)) => {
+                    let _ = write_response(&mut stream, 400, &error_body(400, &msg));
+                    self.metrics.observe(Route::Other, 400, anchor.elapsed());
+                    return;
+                }
+                Err(RecvError::TooLarge) => {
+                    let _ =
+                        write_response(&mut stream, 413, &error_body(413, "request body too large"));
+                    self.metrics.observe(Route::Other, 413, anchor.elapsed());
+                    return;
+                }
+                Err(RecvError::Io(_)) => {
+                    // Read timeout or reset mid-request; the peer is gone.
+                    self.metrics.observe(Route::Other, 500, anchor.elapsed());
+                    return;
+                }
+            };
+            // A panic inside a handler must not take down the pool:
+            // answer 500 and keep serving.
+            let routed = catch_unwind(AssertUnwindSafe(|| handler(&request, anchor, in_flight)));
+            let (route, status, body, deprecated) = match routed {
+                Ok(r) => (r.route, r.status, r.body, r.deprecated),
+                Err(_) => (Route::Other, 500, error_body(500, "internal error"), false),
+            };
+            // Legacy unversioned paths still answer, but tell the client
+            // to move to `/v1/...`.
+            let extra: &[(&str, &str)] = if deprecated {
+                &[("Deprecation", "true")]
+            } else {
+                &[]
+            };
+            let keep = request.keep_alive;
+            if write_response_conn(&mut stream, status, extra, &body, keep).is_err() {
+                self.metrics.observe(route, status, anchor.elapsed());
                 return;
             }
-            Err(RecvError::TooLarge) => {
-                let _ = write_response(&mut stream, 413, &error_body(413, "request body too large"));
-                self.metrics.observe(Route::Other, 413, job.accepted.elapsed());
+            self.metrics.observe(route, status, anchor.elapsed());
+            if !keep || self.shutdown.is_triggered() {
                 return;
             }
-            Err(RecvError::Io(_)) => {
-                // Read timeout or reset mid-request; the peer is gone.
-                self.metrics.observe(Route::Other, 500, job.accepted.elapsed());
-                return;
-            }
-        };
-        let ctx = RequestContext {
-            engine,
-            index,
-            config: &self.config,
-            metrics: &self.metrics,
-            accepted: job.accepted,
-            in_flight,
-            durable,
-        };
-        // A panic inside a handler must not take down the pool: answer
-        // 500 and keep serving.
-        let routed = catch_unwind(AssertUnwindSafe(|| dispatch(&request, &ctx)));
-        let (route, status, body, deprecated) = match routed {
-            Ok(r) => (r.route, r.status, r.body, r.deprecated),
-            Err(_) => (Route::Other, 500, error_body(500, "internal error"), false),
-        };
-        // Legacy unversioned paths still answer, but tell the client to
-        // move to `/v1/...`.
-        let extra: &[(&str, &str)] = if deprecated {
-            &[("Deprecation", "true")]
-        } else {
-            &[]
-        };
-        let _ = write_response_with(&mut stream, status, extra, &body);
-        self.metrics.observe(route, status, job.accepted.elapsed());
+        }
     }
 }
 
 /// Answer an over-capacity connection `429` without handling its request.
+/// `Retry-After` tells well-behaved clients how long to back off before
+/// reconnecting.
 fn shed(mut stream: TcpStream) {
     let _ = stream.set_nonblocking(false);
-    let _ = write_response(
+    let _ = write_response_with(
         &mut stream,
         429,
+        &[("Retry-After", "1")],
         &error_body(429, "server at capacity, retry later"),
     );
     // Closing with unread request bytes in the socket makes the kernel

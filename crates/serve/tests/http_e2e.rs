@@ -222,9 +222,17 @@ fn over_capacity_connections_are_shed_with_429() {
         // Let the accept loop admit the hog before the next connection.
         std::thread::sleep(Duration::from_millis(50));
 
-        // Capacity is 1 and the hog holds it: this connection sheds.
-        let (status, text) = client::request(handle.addr(), "POST", "/search", &body).unwrap();
+        // Capacity is 1 and the hog holds it: this connection sheds,
+        // and the raw response carries a `Retry-After` hint so
+        // well-behaved clients back off instead of hammering.
+        let (status, headers, text) =
+            client::request_with_headers(handle.addr(), "POST", "/search", &body).unwrap();
         assert_eq!(status, 429, "body: {text}");
+        let retry_after = headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("retry-after"))
+            .map(|(_, v)| v.as_str());
+        assert_eq!(retry_after, Some("1"), "429 must carry Retry-After: {headers:?}");
         assert!(parse(&text)["error"]["message"].as_str().is_some());
         assert!(server.metrics().shed_total() >= 1);
 
@@ -249,9 +257,17 @@ fn metrics_report_traffic_latency_and_cache_counters() {
             let (status, _) = client::request(handle.addr(), "POST", "/search", &body).unwrap();
             assert_eq!(status, 200);
         }
+        // /healthz is a JSON operational summary, not just a liveness
+        // ping — but the bare-200 contract stays for load balancers.
         let (status, text) = client::request(handle.addr(), "GET", "/healthz", "").unwrap();
         assert_eq!(status, 200);
-        assert_eq!(parse(&text)["status"], "ok");
+        let h = parse(&text);
+        assert_eq!(h["status"], "ok");
+        assert_eq!(h["degraded"], false);
+        assert_eq!(h["backend"], "memory");
+        assert!(h["docs"].as_i64().unwrap() > 0, "{text}");
+        assert!(h["segments"].as_i64().unwrap() > 0, "{text}");
+        assert_eq!(h["version"].as_str().unwrap(), env!("CARGO_PKG_VERSION"));
 
         let (status, text) = client::request(handle.addr(), "GET", "/metrics", "").unwrap();
         assert_eq!(status, 200);

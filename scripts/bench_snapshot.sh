@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Quick benchmark snapshot: runs the blended top-k pruning bench and the
 # cold-start bench in their reduced CI sweeps (small corpora, few reps)
-# and refreshes BENCH_PR5.json / BENCH_PR6.json at the repo root. Every
-# timed query is bit-parity-checked against the exhaustive oracle (or
-# the in-memory build, for cold start), so this doubles as a fast
-# regression gate.
+# and refreshes BENCH_PR5.json / BENCH_PR6.json / BENCH_PR7.json at the
+# repo root. Every timed query is bit-parity-checked against the
+# exhaustive oracle (or the in-memory build, for cold start), so this
+# doubles as a fast regression gate.
 #
 # For the full sweeps used in EXPERIMENTS.md, run without the quick flag:
 #   cargo bench --bench blended_topk -p newslink-bench
 #   cargo bench --bench cold_start -p newslink-bench
+#   cargo bench --bench router_throughput -p newslink-bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NEWSLINK_BENCH_QUICK=1 cargo bench --bench blended_topk -p newslink-bench
 # Cold start: process start → first query served, heap vs mmap backend.
 NEWSLINK_BENCH_QUICK=1 cargo bench --bench cold_start -p newslink-bench
+# Router: scatter-gather throughput vs one standalone process at 1/2/4 shards.
+NEWSLINK_BENCH_QUICK=1 cargo bench --bench router_throughput -p newslink-bench

@@ -50,3 +50,11 @@ cargo test -q -p newslink-core --test prune_prop
 # The real thing: SIGKILL the release binary mid-mutation and restart it
 # (ignored by default; needs the release build from the first step).
 cargo test -q -p newslink-serve --test kill9_e2e -- --ignored
+# Cluster-parity property suite: a router scatter-gathering real shard
+# servers over TCP must merge bit-identically to one in-process search.
+cargo test -q -p newslink-serve --test cluster_prop
+# Cluster failover e2e: two shard groups of two release-binary replicas
+# behind a router; kill -9 a primary (reads fail over, writes refuse),
+# kill the whole group (honest degraded 503), restart and heal with
+# every acked write intact (ignored by default; needs the release build).
+cargo test -q -p newslink-serve --test cluster_e2e -- --ignored
