@@ -73,7 +73,7 @@ impl<'a> Qeprf<'a> {
         let mentions = recognizer.recognize(query_text, &tokens);
         let mut out = Vec::new();
         for m in mentions.iter().filter(|m| m.matched) {
-            for &node in self.label_index.exact(&m.norm) {
+            for node in self.label_index.exact(&m.norm) {
                 let terms = describe::description_terms(self.graph, node);
                 out.extend(
                     terms

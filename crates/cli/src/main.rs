@@ -24,12 +24,15 @@ use std::process::ExitCode;
 
 use args::Args;
 use newslink_core::{
-    load_newslink_index, save_newslink_index, FsDirectory, NewsLink, NewsLinkConfig,
+    load_newslink_index, save_newslink_index, Directory, FsDirectory, NewsLink, NewsLinkConfig,
     NewsLinkIndex, StorageBackend, StoreOptions,
 };
 use newslink_corpus::{generate_corpus, CorpusConfig, CorpusFlavor};
 use newslink_embed::{describe_path, summarize_paths};
-use newslink_kg::{synth, triples, GraphStats, LabelIndex, SynthConfig};
+use newslink_kg::{
+    ingest_tsv, normalize_label, synth, triples, write_graph_tsv, FstLabelIndex, GraphStats,
+    IngestConfig, LabelIndex, ResolverBackend, SynthConfig,
+};
 use newslink_serve::{parse_shards, Cluster, ServeConfig, Server};
 
 fn main() -> ExitCode {
@@ -50,6 +53,8 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "generate-world" => generate_world(&args),
         "generate-corpus" => generate_corpus_cmd(&args),
+        "ingest-tsv" => ingest_tsv_cmd(&args),
+        "resolve" => resolve_cmd(&args),
         "build-index" => build_index(&args),
         "search" => search_cmd(&args),
         "serve" => serve_cmd(&args),
@@ -73,14 +78,24 @@ const USAGE: &str = "\
 newslink — intuitive news search with knowledge graphs
 
 commands:
-  generate-world  --scale small|medium|large --seed N --out kg.tsv
+  generate-world  --scale small|medium|large|<nodes> --seed N --out kg.tsv
+                  [--tsv-out labels.tsv]   also emit a wikidata-entities-index-shaped label TSV
+                        (label, degree score, id, aliases, description, type) for ingest-tsv
   generate-corpus --world kg.tsv --docs N --flavor cnn|kaggle --seed N --out corpus.txt
-  build-index     --world kg.tsv --corpus corpus.txt --beta B [--segment-docs N] [--storage heap|mmap] --out index.nlnk
+  ingest-tsv      --input labels.tsv --out labels.fst [--spill-dir DIR] [--run-bytes N]
+                  [--strict true|false] [--storage heap|mmap]
+                        one-pass bounded-memory ingest into the label automaton; malformed
+                        lines are quarantined (line-numbered) unless --strict
+  resolve         --index labels.fst (--query L | --prefix P) [--storage heap|mmap (default mmap)]
+  build-index     --world kg.tsv --corpus corpus.txt --beta B [--segment-docs N] [--storage heap|mmap]
+                  [--resolver hash|fst] --out index.nlnk
   search          --world kg.tsv --corpus corpus.txt --index index.nlnk --query Q --k N --explain true|false
+                  [--resolver hash|fst]
   serve           --world kg.tsv --corpus corpus.txt [--index index.nlnk] [--addr 127.0.0.1:8080]
                   [--workers N] [--queue-depth N] [--timeout-ms N] [--beta B] [--segment-docs N]
                   [--data-dir DIR]   durable mode: WAL + snapshots under DIR, POST /v1/admin/snapshot to checkpoint
                   [--storage heap|mmap]   snapshot backend: copy into RAM, or memory-map (default heap)
+                  [--resolver hash|fst]   label-resolution backend (default hash; fst = automaton)
                   [--shard-index I --shard-count N]   cluster shard: index every Nth corpus document
                         (stripe I) and mint fresh ids on that stripe so shards never collide
                   [--mode router --shards \"a:7001|a:7002,b:7003\"]   cluster router: no local index;
@@ -96,6 +111,46 @@ fn parse_storage(args: &Args) -> Result<StorageBackend, String> {
         Some(s) => StorageBackend::parse(s)
             .ok_or_else(|| format!("unknown --storage {s:?} (expected heap or mmap)")),
     }
+}
+
+/// Parse `--resolver {hash,fst}` (default hash).
+fn parse_resolver(args: &Args) -> Result<ResolverBackend, String> {
+    match args.get("resolver") {
+        None => Ok(ResolverBackend::default()),
+        Some(s) => ResolverBackend::parse(s)
+            .ok_or_else(|| format!("unknown --resolver {s:?} (expected hash or fst)")),
+    }
+}
+
+/// Parse `--scale`: a named preset or a numeric node target.
+fn parse_scale(scale: &str, seed: u64) -> Result<SynthConfig, String> {
+    match scale {
+        "small" => Ok(SynthConfig::small(seed)),
+        "medium" => Ok(SynthConfig::medium(seed)),
+        "large" => Ok(SynthConfig::large(seed)),
+        n => n
+            .parse::<usize>()
+            .map(|target| SynthConfig::scaled(seed, target))
+            .map_err(|_| format!("unknown scale {n:?} (expected small, medium, large, or a node count)")),
+    }
+}
+
+/// Split a blob path into its parent [`FsDirectory`] and file name, so
+/// single-file artifacts go through the atomic-write / zero-copy-open
+/// storage seam.
+fn blob_dir(path: &str) -> Result<(FsDirectory, String), String> {
+    let p = Path::new(path);
+    let parent = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let name = p
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("bad path {path:?}"))?
+        .to_string();
+    let dir = FsDirectory::create(parent).map_err(|e| format!("opening {path}: {e}"))?;
+    Ok((dir, name))
 }
 
 /// Load a snapshot file through the selected storage backend (strict
@@ -144,25 +199,121 @@ fn load_corpus_file(path: &str) -> Result<Vec<String>, String> {
 }
 
 fn generate_world(args: &Args) -> Result<(), String> {
-    check_flags(args, &["scale", "seed", "out"])?;
+    check_flags(args, &["scale", "seed", "out", "tsv-out"])?;
     let seed: u64 = args.get_parsed("seed", 42)?;
-    let scale = args.get("scale").unwrap_or("small");
-    let config = match scale {
-        "small" => SynthConfig::small(seed),
-        "medium" => SynthConfig::medium(seed),
-        "large" => SynthConfig::large(seed),
-        other => return Err(format!("unknown scale {other:?}")),
-    };
+    let config = parse_scale(args.get("scale").unwrap_or("small"), seed)?;
     let out = args.require("out")?;
     let world = synth::generate(&config);
     triples::save_triples(&world.graph, Path::new(out))
         .map_err(|e| format!("writing {out}: {e}"))?;
+    if let Some(tsv) = args.get("tsv-out") {
+        let f = std::fs::File::create(tsv).map_err(|e| format!("creating {tsv}: {e}"))?;
+        let mut w = std::io::BufWriter::new(f);
+        let lines = write_graph_tsv(&world.graph, &mut w).map_err(|e| format!("writing {tsv}: {e}"))?;
+        use std::io::Write as _;
+        w.flush().map_err(|e| format!("writing {tsv}: {e}"))?;
+        println!("wrote {tsv} ({lines} label lines)");
+    }
     println!(
         "wrote {} ({} nodes, {} edges)",
         out,
         world.graph.node_count(),
         world.graph.edge_count()
     );
+    Ok(())
+}
+
+fn ingest_tsv_cmd(args: &Args) -> Result<(), String> {
+    check_flags(args, &["input", "out", "spill-dir", "run-bytes", "strict", "storage"])?;
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let backend = parse_storage(args)?;
+    let mut cfg = IngestConfig::default();
+    if let Some(d) = args.get("spill-dir") {
+        cfg.spill_dir = Some(std::path::PathBuf::from(d));
+    }
+    cfg.run_bytes = args.get_parsed("run-bytes", cfg.run_bytes)?;
+    cfg.strict = args.get_parsed("strict", false)?;
+    let file = std::fs::File::open(input).map_err(|e| format!("opening {input}: {e}"))?;
+    let t = std::time::Instant::now();
+    let (index, report) =
+        ingest_tsv(std::io::BufReader::new(file), &cfg).map_err(|e| format!("ingesting {input}: {e}"))?;
+    let (dir, name) = blob_dir(out)?;
+    dir.atomic_write(&name, &index.encode())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    // Verification reopen through the requested backend: prove the blob
+    // serves the way it was built.
+    let bytes = match backend {
+        StorageBackend::Mmap => dir.open_bytes(&name),
+        _ => dir.read(&name),
+    }
+    .map_err(|e| format!("reopening {out}: {e}"))?;
+    let reopened =
+        FstLabelIndex::decode(bytes).map_err(|e| format!("verifying {out} ({backend}): {e}"))?;
+    if reopened.node_meta_count() != index.node_meta_count() {
+        return Err(format!(
+            "verification reopen ({backend}) saw {} nodes, expected {}",
+            reopened.node_meta_count(),
+            index.node_meta_count()
+        ));
+    }
+    println!("{}", report.summary());
+    println!(
+        "wrote {out} ({} bytes) in {:.2}s (verified via {backend})",
+        index.encode().len(),
+        t.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
+fn resolve_cmd(args: &Args) -> Result<(), String> {
+    check_flags(args, &["index", "query", "prefix", "storage"])?;
+    let path = args.require("index")?;
+    // Default mmap: resolution is the cold-start path the automaton
+    // exists for, and the mapping serves without decoding.
+    let backend = match args.get("storage") {
+        None => StorageBackend::Mmap,
+        Some(s) => StorageBackend::parse(s)
+            .ok_or_else(|| format!("unknown --storage {s:?} (expected heap or mmap)"))?,
+    };
+    let (dir, name) = blob_dir(path)?;
+    let bytes = match backend {
+        StorageBackend::Mmap => dir.open_bytes(&name),
+        _ => dir.read(&name),
+    }
+    .map_err(|e| format!("opening {path}: {e}"))?;
+    let index = FstLabelIndex::decode(bytes).map_err(|e| format!("loading {path}: {e}"))?;
+    let print_nodes = |surface: &str, nodes: &[newslink_kg::NodeId]| {
+        for &n in nodes {
+            match index.node_meta(n) {
+                Some(m) => println!("{surface}\t{}\t{}\t{}", m.id, m.entity_type.as_str(), m.label),
+                None => println!("{surface}\tN{}", n.index()),
+            }
+        }
+    };
+    match (args.get("query"), args.get("prefix")) {
+        (Some(q), None) => {
+            use newslink_kg::LabelResolver as _;
+            let norm = normalize_label(q);
+            let nodes: Vec<_> = index.exact(&norm).collect();
+            if nodes.is_empty() {
+                println!("no match for {norm:?}");
+            } else {
+                print_nodes(&norm, &nodes);
+            }
+        }
+        (None, Some(p)) => {
+            let norm = normalize_label(p);
+            let matches = index.prefix_postings(&norm);
+            if matches.is_empty() {
+                println!("no surfaces start with {norm:?}");
+            }
+            for (surface, nodes) in &matches {
+                print_nodes(surface, nodes);
+            }
+        }
+        _ => return Err("pass exactly one of --query or --prefix".to_string()),
+    }
     Ok(())
 }
 
@@ -180,13 +331,7 @@ fn generate_corpus_cmd(args: &Args) -> Result<(), String> {
     // seed family the world file was produced with; the corpus generator
     // needs them, and the seed is embedded in the caller's workflow.
     let world_seed: u64 = args.get_parsed("world-seed", 42)?;
-    let scale = args.get("scale").unwrap_or("small");
-    let config = match scale {
-        "small" => SynthConfig::small(world_seed),
-        "medium" => SynthConfig::medium(world_seed),
-        "large" => SynthConfig::large(world_seed),
-        other => return Err(format!("unknown scale {other:?}")),
-    };
+    let config = parse_scale(args.get("scale").unwrap_or("small"), world_seed)?;
     let world = synth::generate(&config);
     let corpus = generate_corpus(&world, &CorpusConfig::new(seed, docs, flavor));
     let mut text = String::new();
@@ -201,7 +346,10 @@ fn generate_corpus_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn build_index(args: &Args) -> Result<(), String> {
-    check_flags(args, &["world", "corpus", "beta", "segment-docs", "storage", "out"])?;
+    check_flags(
+        args,
+        &["world", "corpus", "beta", "segment-docs", "storage", "resolver", "out"],
+    )?;
     let backend = parse_storage(args)?;
     let graph = load_world(args)?;
     let texts = load_corpus_file(args.require("corpus")?)?;
@@ -212,7 +360,7 @@ fn build_index(args: &Args) -> Result<(), String> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let labels = LabelIndex::build(&graph);
+    let labels = LabelIndex::build_backend(&graph, parse_resolver(args)?);
     let engine = NewsLink::new(
         &graph,
         &labels,
@@ -250,7 +398,7 @@ fn build_index(args: &Args) -> Result<(), String> {
 fn search_cmd(args: &Args) -> Result<(), String> {
     check_flags(
         args,
-        &["world", "corpus", "index", "query", "k", "beta", "explain", "explain-score"],
+        &["world", "corpus", "index", "query", "k", "beta", "explain", "explain-score", "resolver"],
     )?;
     let graph = load_world(args)?;
     let texts = load_corpus_file(args.require("corpus")?)?;
@@ -259,7 +407,7 @@ fn search_cmd(args: &Args) -> Result<(), String> {
     let beta: f64 = args.get_parsed("beta", 0.2)?;
     let explain: bool = args.get_parsed("explain", false)?;
     let explain_score: bool = args.get_parsed("explain-score", false)?;
-    let labels = LabelIndex::build(&graph);
+    let labels = LabelIndex::build_backend(&graph, parse_resolver(args)?);
     let config = NewsLinkConfig::default().with_beta(beta);
     let engine = NewsLink::new(&graph, &labels, config);
     let index = match args.get("index") {
@@ -316,7 +464,8 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         args,
         &[
             "world", "corpus", "index", "addr", "workers", "queue-depth", "timeout-ms", "beta",
-            "segment-docs", "data-dir", "storage", "mode", "shards", "shard-index", "shard-count",
+            "segment-docs", "data-dir", "storage", "resolver", "mode", "shards", "shard-index",
+            "shard-count",
         ],
     )?;
     match args.get("mode").unwrap_or("standalone") {
@@ -372,7 +521,7 @@ fn serve_router(args: &Args) -> Result<(), String> {
     }
     let graph = load_world(args)?;
     let beta: f64 = args.get_parsed("beta", 0.2)?;
-    let labels = LabelIndex::build(&graph);
+    let labels = LabelIndex::build_backend(&graph, parse_resolver(args)?);
     // The router runs the query-analysis half of the pipeline locally
     // (NLP + NE + embedding), so it needs the same world the shards use.
     let engine = NewsLink::new(
@@ -419,7 +568,7 @@ fn serve_standalone(args: &Args) -> Result<(), String> {
     let texts = load_corpus_file(args.require("corpus")?)?;
     let beta: f64 = args.get_parsed("beta", 0.2)?;
     let segment_docs: usize = args.get_parsed("segment-docs", 0)?;
-    let labels = LabelIndex::build(&graph);
+    let labels = LabelIndex::build_backend(&graph, parse_resolver(args)?);
     // `threads = 0` = auto: batch endpoints and the segment builder size
     // their pools to the machine at call time.
     let config = NewsLinkConfig::default()

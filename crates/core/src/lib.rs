@@ -48,9 +48,10 @@ pub use searcher::{explain, search, search_batch, QueryOutcome, SearchResult};
 pub use segment::{IndexSegment, IndexStats, Side, SideOverlay};
 pub use directory::{Directory, FsDirectory, RamDirectory};
 pub use persist::{
-    atomic_write_file, load_newslink_index, load_newslink_index_tolerant, read_newslink_index,
-    read_newslink_index_bytes, read_newslink_index_tolerant, save_newslink_index,
-    segment_byte_spans, write_newslink_index, write_newslink_index_v3, LoadReport, PersistError,
+    atomic_write_file, load_label_fst, load_newslink_index, load_newslink_index_tolerant,
+    read_newslink_index, read_newslink_index_bytes, read_newslink_index_tolerant, save_label_fst,
+    save_newslink_index, segment_byte_spans, write_newslink_index, write_newslink_index_v3,
+    LoadReport, PersistError, LABEL_FST_BLOB,
 };
 pub use reader::{HeapSegmentReader, MmapSegmentReader, SegmentReader, StorageBackend, StoreOptions};
 pub use store::DurableStore;

@@ -5,6 +5,8 @@
 //! substitutes from the synthetic knowledge-graph world (DESIGN.md §6,
 //! S15):
 //!
+//! - [`fact`] — entity-profile fact-sentence documents (Wikidata-style
+//!   triple flattening) for resolution-at-scale tests;
 //! - [`gen`] — document generation over world events;
 //! - [`templates`] — per-event-kind sentence templates with synonym pools
 //!   (the controlled vocabulary-mismatch knob);
@@ -14,11 +16,13 @@
 
 #![deny(unsafe_code)]
 
+pub mod fact;
 pub mod gen;
 pub mod query;
 pub mod split;
 pub mod templates;
 
+pub use fact::{generate_fact_corpus, FactCorpus, FactCorpusConfig, FactDoc};
 pub use gen::{generate_corpus, Corpus, CorpusConfig, CorpusFlavor, NewsDoc};
 pub use query::{select_query, QueryStrategy};
 pub use split::Split;

@@ -1,0 +1,676 @@
+//! Streaming TSV ingest: a `wikidata-entities-index.tsv`-shaped file in,
+//! a serialized label automaton out, with bounded memory in between
+//! (DESIGN.md §6j).
+//!
+//! Line format (tab-separated, one entity per line, no header):
+//!
+//! ```text
+//! label \t score \t id \t aliases \t description [\t type]
+//! ```
+//!
+//! - `label` — primary surface form; must normalize to something non-empty
+//! - `score` — non-negative integer popularity (parsed, carried through)
+//! - `id` — external entity id (e.g. Wikidata `Q42`); must be non-empty
+//! - `aliases` — `;`-separated alternative surfaces, may be empty
+//! - `description` — free text, may be empty
+//! - `type` — optional entity-type name (`PERSON`, `GPE`, …); defaults to
+//!   [`IngestConfig::default_type`]
+//!
+//! Valid lines are numbered densely into [`NodeId`]s in file order.
+//! Malformed lines become line-numbered [`IngestError`]s: fatal in strict
+//! mode, otherwise quarantined and counted in the [`IngestReport`] — never
+//! a panic, never a silent skip.
+//!
+//! Memory never holds a surface→nodes map. Surfaces stream into two
+//! bounded sort buffers (labels, tokens) that spill sorted runs to disk
+//! when full; a k-way merge feeds the sorted stream straight into
+//! [`FstIndexAssembler`], whose trie builders only keep one key's path
+//! open at a time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use newslink_util::varint;
+
+use crate::fst_index::{FstIndexAssembler, FstIndexError, FstLabelIndex};
+use crate::graph::{EntityType, KnowledgeGraph, NodeId};
+use crate::label_index::normalize_label;
+
+/// What was wrong with one TSV line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineError {
+    /// Wrong number of tab-separated fields (expected 5 or 6).
+    FieldCount(usize),
+    /// The label column normalizes to nothing.
+    EmptyLabel,
+    /// The score column is not a non-negative integer.
+    BadScore(String),
+    /// The id column is empty.
+    EmptyId,
+    /// The type column names no known entity type.
+    BadType(String),
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineError::FieldCount(n) => write!(f, "expected 5 or 6 fields, got {n}"),
+            LineError::EmptyLabel => write!(f, "label normalizes to the empty string"),
+            LineError::BadScore(s) => write!(f, "unparseable score {s:?}"),
+            LineError::EmptyId => write!(f, "empty entity id"),
+            LineError::BadType(s) => write!(f, "unknown entity type {s:?}"),
+        }
+    }
+}
+
+/// Typed, line-numbered ingest failure.
+#[derive(Debug)]
+pub enum IngestError {
+    /// I/O failure reading the input or a spill run.
+    Io(io::Error),
+    /// A malformed line (fatal only in strict mode).
+    Line {
+        /// 1-based line number in the input.
+        line: u64,
+        /// What was wrong.
+        kind: LineError,
+    },
+    /// More valid lines than `NodeId` can address.
+    TooManyNodes(u64),
+    /// The assembler rejected the merged stream (internal invariant).
+    Index(FstIndexError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest i/o: {e}"),
+            IngestError::Line { line, kind } => write!(f, "line {line}: {kind}"),
+            IngestError::TooManyNodes(n) => {
+                write!(f, "{n} entities exceed the u32 node-id space")
+            }
+            IngestError::Index(e) => write!(f, "ingest assembly: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<FstIndexError> for IngestError {
+    fn from(e: FstIndexError) -> Self {
+        IngestError::Index(e)
+    }
+}
+
+/// Ingest tuning knobs.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Directory for sort spill runs (default: the system temp dir).
+    pub spill_dir: Option<PathBuf>,
+    /// Approximate bytes a sort buffer may hold before spilling a run.
+    pub run_bytes: usize,
+    /// Fail on the first malformed line instead of quarantining it.
+    pub strict: bool,
+    /// Entity type assumed when the TSV has no sixth column.
+    pub default_type: EntityType,
+    /// How many quarantined line errors to retain verbatim in the report.
+    pub max_quarantine_samples: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            spill_dir: None,
+            run_bytes: 64 << 20,
+            strict: false,
+            default_type: EntityType::Organization,
+            max_quarantine_samples: 5,
+        }
+    }
+}
+
+/// What one ingest pass did — the CLI prints this.
+#[derive(Debug, Default)]
+pub struct IngestReport {
+    /// Input lines read.
+    pub lines: u64,
+    /// Valid lines, i.e. nodes created.
+    pub nodes: u64,
+    /// Accepted surface forms (labels + aliases, post-normalization).
+    pub surfaces: u64,
+    /// Malformed lines skipped (always 0 in strict mode).
+    pub quarantined: u64,
+    /// First few quarantined `(line number, error)` pairs.
+    pub samples: Vec<(u64, LineError)>,
+    /// Sorted runs spilled to disk (0 when everything fit in memory).
+    pub spilled_runs: usize,
+}
+
+impl IngestReport {
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "ingested {} of {} lines into {} nodes / {} surfaces ({} quarantined, {} spill runs)",
+            self.nodes, self.lines, self.nodes, self.surfaces, self.quarantined, self.spilled_runs
+        );
+        for (line, kind) in &self.samples {
+            s.push_str(&format!("\n  line {line}: {kind}"));
+        }
+        if self.quarantined as usize > self.samples.len() && !self.samples.is_empty() {
+            s.push_str(&format!(
+                "\n  … and {} more",
+                self.quarantined as usize - self.samples.len()
+            ));
+        }
+        s
+    }
+}
+
+/// One parsed, validated line.
+struct ParsedLine<'a> {
+    label: &'a str,
+    #[allow(dead_code)]
+    score: u64,
+    id: &'a str,
+    aliases: Vec<&'a str>,
+    ty: EntityType,
+}
+
+fn parse_line(line: &str, default_type: EntityType) -> Result<ParsedLine<'_>, LineError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 5 && fields.len() != 6 {
+        return Err(LineError::FieldCount(fields.len()));
+    }
+    let label = fields[0].trim();
+    if normalize_label(label).is_empty() {
+        return Err(LineError::EmptyLabel);
+    }
+    let score: u64 = fields[1]
+        .trim()
+        .parse()
+        .map_err(|_| LineError::BadScore(fields[1].trim().to_string()))?;
+    let id = fields[2].trim();
+    if id.is_empty() {
+        return Err(LineError::EmptyId);
+    }
+    let aliases = fields[3]
+        .split(';')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .collect();
+    let ty = match fields.get(5) {
+        Some(t) => EntityType::parse(t.trim()).ok_or_else(|| LineError::BadType(t.trim().to_string()))?,
+        None => default_type,
+    };
+    Ok(ParsedLine {
+        label,
+        score,
+        id,
+        aliases,
+        ty,
+    })
+}
+
+/// A bounded sort buffer that spills sorted `(key, node)` runs to disk.
+struct Spiller {
+    buf: Vec<(String, u32)>,
+    bytes: usize,
+    limit: usize,
+    runs: Vec<PathBuf>,
+    dir: PathBuf,
+    tag: &'static str,
+}
+
+impl Spiller {
+    fn new(dir: &Path, tag: &'static str, limit: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            bytes: 0,
+            limit: limit.max(1 << 12),
+            runs: Vec::new(),
+            dir: dir.to_path_buf(),
+            tag,
+        }
+    }
+
+    fn push(&mut self, key: &str, node: u32) -> io::Result<()> {
+        self.bytes += key.len() + std::mem::size_of::<(String, u32)>();
+        self.buf.push((key.to_string(), node));
+        if self.bytes >= self.limit {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        let path = self.dir.join(format!("{}-run-{:04}.tmp", self.tag, self.runs.len()));
+        let mut w = BufWriter::new(std::fs::File::create(&path)?);
+        for (key, node) in &self.buf {
+            varint::write_str(&mut w, key)?;
+            varint::write_u32(&mut w, *node)?;
+        }
+        w.flush()?;
+        self.runs.push(path);
+        self.buf.clear();
+        self.bytes = 0;
+        Ok(())
+    }
+
+    /// Sorted, deduplicated iteration over everything pushed. Spills the
+    /// final buffer when earlier runs exist so the merge is uniform.
+    fn into_stream(mut self) -> io::Result<SortedStream> {
+        if self.runs.is_empty() {
+            self.buf.sort_unstable();
+            self.buf.dedup();
+            let mut v = std::mem::take(&mut self.buf);
+            v.reverse(); // pop() from the back yields ascending order
+            return Ok(SortedStream {
+                memory: v,
+                readers: Vec::new(),
+                heap: BinaryHeap::new(),
+                run_count: 0,
+            });
+        }
+        self.spill()?;
+        let run_count = self.runs.len();
+        let mut readers = Vec::with_capacity(run_count);
+        let mut heap = BinaryHeap::new();
+        for (i, path) in self.runs.iter().enumerate() {
+            let mut r = RunReader {
+                r: BufReader::new(std::fs::File::open(path)?),
+            };
+            if let Some(entry) = r.next_entry()? {
+                heap.push(Reverse((entry.0, entry.1, i)));
+            }
+            readers.push(r);
+        }
+        Ok(SortedStream {
+            memory: Vec::new(),
+            readers,
+            heap,
+            run_count,
+        })
+    }
+}
+
+struct RunReader {
+    r: BufReader<std::fs::File>,
+}
+
+impl RunReader {
+    fn next_entry(&mut self) -> io::Result<Option<(String, u32)>> {
+        // Probe for EOF with a one-byte read, then parse the record.
+        let mut first = [0u8; 1];
+        if self.r.read(&mut first)? == 0 {
+            return Ok(None);
+        }
+        let key_len = read_varint_continuation(first[0], &mut self.r)? as usize;
+        let mut key = vec![0u8; key_len];
+        self.r.read_exact(&mut key)?;
+        let key = String::from_utf8(key)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "run key not utf-8"))?;
+        let node = varint::read_u32(&mut self.r)?;
+        Ok(Some((key, node)))
+    }
+}
+
+/// Finish a LEB128 read whose first byte was already consumed.
+fn read_varint_continuation<R: Read>(first: u8, r: &mut R) -> io::Result<u64> {
+    let mut value = u64::from(first & 0x7F);
+    let mut shift = 7u32;
+    let mut byte = first;
+    while byte & 0x80 != 0 {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        byte = b[0];
+        if shift >= 63 && byte > 1 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        shift += 7;
+    }
+    Ok(value)
+}
+
+/// Ascending `(key, node)` stream: either one sorted in-memory vec or a
+/// k-way merge over spilled runs.
+struct SortedStream {
+    memory: Vec<(String, u32)>,
+    readers: Vec<RunReader>,
+    heap: BinaryHeap<Reverse<(String, u32, usize)>>,
+    run_count: usize,
+}
+
+impl SortedStream {
+    fn next_entry(&mut self) -> io::Result<Option<(String, u32)>> {
+        if !self.readers.is_empty() {
+            let Some(Reverse((key, node, i))) = self.heap.pop() else {
+                return Ok(None);
+            };
+            if let Some((k, n)) = self.readers[i].next_entry()? {
+                self.heap.push(Reverse((k, n, i)));
+            }
+            return Ok(Some((key, node)));
+        }
+        Ok(self.memory.pop())
+    }
+}
+
+/// Drain `stream` into per-key groups and feed the assembler.
+fn feed_groups(
+    mut stream: SortedStream,
+    mut push: impl FnMut(&str, &[NodeId]) -> Result<(), FstIndexError>,
+) -> Result<(), IngestError> {
+    let mut key: Option<String> = None;
+    let mut bucket: Vec<NodeId> = Vec::new();
+    while let Some((k, node)) = stream.next_entry()? {
+        if key.as_deref() != Some(k.as_str()) {
+            if let Some(prev) = key.take() {
+                push(&prev, &bucket)?;
+                bucket.clear();
+            }
+            key = Some(k);
+        }
+        // The merged stream is sorted, so duplicates are adjacent.
+        if bucket.last() != Some(&NodeId(node)) {
+            bucket.push(NodeId(node));
+        }
+    }
+    if let Some(prev) = key {
+        push(&prev, &bucket)?;
+    }
+    Ok(())
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Stream a TSV from `input` into a heap-backed [`FstLabelIndex`].
+///
+/// Peak memory is bounded by `cfg.run_bytes` per sort buffer plus the
+/// output artifact itself; any overflow external-sorts through
+/// `cfg.spill_dir`.
+pub fn ingest_tsv<R: BufRead>(
+    input: R,
+    cfg: &IngestConfig,
+) -> Result<(FstLabelIndex, IngestReport), IngestError> {
+    let parent = cfg
+        .spill_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir);
+    let dir = parent.join(format!(
+        "nl-ingest-{}-{}",
+        std::process::id(),
+        SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let result = ingest_tsv_in(input, cfg, &dir);
+    let _ = std::fs::remove_dir_all(&dir); // best-effort spill cleanup
+    result
+}
+
+fn ingest_tsv_in<R: BufRead>(
+    input: R,
+    cfg: &IngestConfig,
+    dir: &Path,
+) -> Result<(FstLabelIndex, IngestReport), IngestError> {
+    let mut report = IngestReport::default();
+    let mut labels = Spiller::new(dir, "label", cfg.run_bytes);
+    let mut tokens = Spiller::new(dir, "token", cfg.run_bytes);
+    let mut asm = FstIndexAssembler::new();
+
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let lineno = i as u64 + 1;
+        report.lines += 1;
+        let parsed = match parse_line(&line, cfg.default_type) {
+            Ok(p) => p,
+            Err(kind) => {
+                if cfg.strict {
+                    return Err(IngestError::Line { line: lineno, kind });
+                }
+                report.quarantined += 1;
+                if report.samples.len() < cfg.max_quarantine_samples {
+                    report.samples.push((lineno, kind));
+                }
+                continue;
+            }
+        };
+        if report.nodes > u64::from(u32::MAX - 1) {
+            return Err(IngestError::TooManyNodes(report.nodes + 1));
+        }
+        let node = report.nodes as u32;
+        report.nodes += 1;
+        asm.push_node_meta(parsed.ty, parsed.id, parsed.label);
+        let add_surface = |surface: &str,
+                               labels: &mut Spiller,
+                               tokens: &mut Spiller,
+                               report: &mut IngestReport|
+         -> io::Result<()> {
+            let norm = normalize_label(surface);
+            if norm.is_empty() {
+                return Ok(());
+            }
+            report.surfaces += 1;
+            for tok in norm.split(' ') {
+                tokens.push(tok, node)?;
+            }
+            labels.push(norm.as_ref(), node)?;
+            Ok(())
+        };
+        add_surface(parsed.label, &mut labels, &mut tokens, &mut report)?;
+        for alias in &parsed.aliases {
+            add_surface(alias, &mut labels, &mut tokens, &mut report)?;
+        }
+    }
+
+    let label_stream = labels.into_stream()?;
+    let token_stream = tokens.into_stream()?;
+    report.spilled_runs = label_stream.run_count + token_stream.run_count;
+    feed_groups(label_stream, |k, nodes| asm.push_label(k, nodes))?;
+    feed_groups(token_stream, |k, nodes| asm.push_token(k, nodes))?;
+    Ok((asm.finish(), report))
+}
+
+/// Export `graph` in the ingest TSV shape (the synth world's bridge to
+/// the streaming path): label, degree-as-score, `N<idx>` id, aliases,
+/// a type-derived description, and the entity type name.
+pub fn write_graph_tsv<W: Write>(graph: &KnowledgeGraph, w: &mut W) -> io::Result<u64> {
+    let mut lines = 0u64;
+    for node in graph.nodes() {
+        let label = sanitize(graph.label(node));
+        let aliases: Vec<String> = graph
+            .aliases_of(node)
+            .map(|a| sanitize(a).replace(';', ","))
+            .collect();
+        let ty = graph.entity_type(node);
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{} entity from the synthetic world\t{}",
+            label,
+            graph.degree(node),
+            format_args!("N{}", node.0),
+            aliases.join(";"),
+            ty.as_str(),
+            ty.as_str(),
+        )?;
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// Keep the TSV well-formed whatever the label contains.
+fn sanitize(s: &str) -> String {
+    s.replace(['\t', '\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label_index::LabelResolver;
+    use std::io::Cursor;
+
+    fn ingest(tsv: &str, cfg: &IngestConfig) -> Result<(FstLabelIndex, IngestReport), IngestError> {
+        ingest_tsv(Cursor::new(tsv.as_bytes().to_vec()), cfg)
+    }
+
+    const SAMPLE: &str = "\
+Douglas Adams\t4200\tQ42\tAdams;DNA\tEnglish writer\tPERSON
+Berlin\t9000\tQ64\t\tCapital of Germany\tGPE
+World Health Organization\t7000\tQ7817\tWHO\tUN agency\tORG
+";
+
+    #[test]
+    fn happy_path_resolves_labels_and_aliases() {
+        let (idx, report) = ingest(SAMPLE, &IngestConfig::default()).unwrap();
+        assert_eq!(report.lines, 3);
+        assert_eq!(report.nodes, 3);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.surfaces, 6); // 3 labels + 3 aliases
+        assert_eq!(idx.exact("douglas adams").collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(idx.exact("WHO").collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(idx.exact("berlin").collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(idx.exact("nowhere").count(), 0);
+        let meta = idx.node_meta(NodeId(0)).unwrap();
+        assert_eq!(meta.id, "Q42");
+        assert_eq!(meta.entity_type, EntityType::Person);
+        assert_eq!(meta.label, "Douglas Adams");
+    }
+
+    #[test]
+    fn malformed_lines_are_quarantined_with_line_numbers() {
+        let tsv = "\
+Good One\t1\tQ1\t\tok\tPERSON
+only three\tfields\there
+Bad Score\tNaN\tQ2\t\tok\tPERSON
+\t5\tQ3\t\tempty label\tPERSON
+No Id\t5\t\t\tok\tPERSON
+Bad Type\t5\tQ4\t\tok\tROBOT
+Good Two\t2\tQ5\t\tok\tGPE
+";
+        let (idx, report) = ingest(tsv, &IngestConfig::default()).unwrap();
+        assert_eq!(report.lines, 7);
+        assert_eq!(report.nodes, 2);
+        assert_eq!(report.quarantined, 5);
+        let kinds: Vec<&LineError> = report.samples.iter().map(|(_, k)| k).collect();
+        assert!(matches!(kinds[0], LineError::FieldCount(3)));
+        assert!(matches!(kinds[1], LineError::BadScore(_)));
+        assert!(matches!(kinds[2], LineError::EmptyLabel));
+        assert!(matches!(kinds[3], LineError::EmptyId));
+        assert!(matches!(kinds[4], LineError::BadType(_)));
+        assert_eq!(report.samples[0].0, 2, "line numbers are 1-based");
+        // Quarantined lines consume no node ids: Good Two is node 1.
+        assert_eq!(idx.exact("good two").collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(idx.node_meta(NodeId(1)).unwrap().id, "Q5");
+        assert!(report.summary().contains("5 quarantined"));
+    }
+
+    #[test]
+    fn strict_mode_fails_on_first_bad_line() {
+        let tsv = "Good\t1\tQ1\t\tok\tPERSON\nbroken line\n";
+        let cfg = IngestConfig {
+            strict: true,
+            ..IngestConfig::default()
+        };
+        match ingest(tsv, &cfg) {
+            Err(IngestError::Line { line: 2, kind: LineError::FieldCount(1) }) => {}
+            other => panic!("expected strict line error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_type_column_uses_default() {
+        let tsv = "Acme Corp\t10\tQ9\tACME\tmaker of anvils\n";
+        let cfg = IngestConfig {
+            default_type: EntityType::Facility,
+            ..IngestConfig::default()
+        };
+        let (idx, _) = ingest(tsv, &cfg).unwrap();
+        assert_eq!(idx.node_meta(NodeId(0)).unwrap().entity_type, EntityType::Facility);
+    }
+
+    #[test]
+    fn spilled_runs_match_in_memory_sort() {
+        // A tiny run budget forces many spill runs; the result must be
+        // byte-identical to the all-in-memory path.
+        let mut tsv = String::new();
+        for i in 0..200 {
+            tsv.push_str(&format!(
+                "Entity {} Prime\t{}\tQ{}\tE{};Alt {}\tdesc\tPERSON\n",
+                i % 37,
+                i,
+                i,
+                i % 37,
+                i % 11
+            ));
+        }
+        let big = IngestConfig::default();
+        let small = IngestConfig {
+            run_bytes: 1, // clamped to the 4 KiB floor internally
+            ..IngestConfig::default()
+        };
+        let (mem_idx, mem_report) = ingest(&tsv, &big).unwrap();
+        let (spill_idx, spill_report) = ingest(&tsv, &small).unwrap();
+        assert_eq!(mem_report.spilled_runs, 0);
+        assert!(spill_report.spilled_runs >= 2, "expected spills");
+        assert_eq!(mem_idx.surface_postings(), spill_idx.surface_postings());
+        assert_eq!(mem_idx.encode(), spill_idx.encode(), "bit-identical artifacts");
+    }
+
+    #[test]
+    fn graph_round_trips_through_tsv() {
+        let mut b = GraphBuilder::new();
+        let who = b.add_node("World Health Organization", EntityType::Organization);
+        b.add_alias(who, "WHO");
+        let s = b.add_node("Bernie Sanders", EntityType::Person);
+        b.add_alias(s, "Bernie");
+        b.add_node("Sanders", EntityType::Person);
+        b.add_node("New York City", EntityType::Gpe);
+        let g = b.freeze();
+
+        let mut tsv = Vec::new();
+        let lines = write_graph_tsv(&g, &mut tsv).unwrap();
+        assert_eq!(lines, g.node_count() as u64);
+        let (idx, report) =
+            ingest_tsv(Cursor::new(tsv), &IngestConfig::default()).unwrap();
+        assert_eq!(report.nodes, g.node_count() as u64);
+        assert_eq!(report.quarantined, 0);
+
+        let direct = FstLabelIndex::build(&g);
+        assert_eq!(idx.surface_postings(), direct.surface_postings());
+        assert_eq!(idx.max_label_tokens(), direct.max_label_tokens());
+        for probe in ["sanders", "who", "new york", "bernie"] {
+            assert_eq!(
+                idx.candidates(&g, probe),
+                direct.candidates(&g, probe),
+                "{probe}"
+            );
+        }
+        // Node metadata carries the graph's types and synthetic ids.
+        assert_eq!(idx.node_meta(who).unwrap().entity_type, EntityType::Organization);
+        assert_eq!(idx.node_meta(who).unwrap().id, "N0");
+    }
+
+    #[test]
+    fn report_counts_empty_input() {
+        let (idx, report) = ingest("", &IngestConfig::default()).unwrap();
+        assert_eq!(report.lines, 0);
+        assert_eq!(report.nodes, 0);
+        assert_eq!(idx.surface_count(), 0);
+        assert_eq!(idx.max_label_tokens(), 0);
+    }
+}

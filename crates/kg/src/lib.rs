@@ -22,7 +22,9 @@
 pub mod builder;
 pub mod cache;
 pub mod describe;
+pub mod fst_index;
 pub mod graph;
+pub mod ingest;
 pub mod interner;
 pub mod label_index;
 pub mod ntriples;
@@ -36,7 +38,11 @@ pub use builder::GraphBuilder;
 pub use cache::{truncated_distances, DistanceCache, DistanceMap, ShardedCache};
 pub use graph::{Edge, EntityType, KnowledgeGraph, NodeId};
 pub use interner::{StringInterner, Symbol};
-pub use label_index::{normalize_label, LabelIndex};
+pub use fst_index::{FstIndexError, FstLabelIndex, NodeMeta};
+pub use ingest::{ingest_tsv, write_graph_tsv, IngestConfig, IngestError, IngestReport};
+pub use label_index::{
+    normalize_label, HashLabelIndex, LabelIndex, LabelResolver, Postings, ResolverBackend,
+};
 pub use ntriples::{read_ntriples, NtConfig};
 pub use reweight::{reweight, reweight_by_predicate_rarity};
 pub use stats::GraphStats;

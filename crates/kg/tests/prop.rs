@@ -82,9 +82,9 @@ proptest! {
         let g = build(&labels, &edges);
         let idx = LabelIndex::build(&g);
         for v in g.nodes() {
-            let bucket = idx.exact(g.label(v));
+            let bucket: Vec<_> = idx.exact(g.label(v)).collect();
             prop_assert!(bucket.contains(&v), "node missing from own label bucket");
-            for &other in bucket {
+            for &other in &bucket {
                 prop_assert_eq!(
                     normalize_label(g.label(other)),
                     normalize_label(g.label(v))
@@ -100,7 +100,7 @@ proptest! {
         let g = build(&labels, &edges);
         let idx = LabelIndex::build(&g);
         let cands = idx.candidates(&g, &probe);
-        for &e in idx.exact(&probe) {
+        for e in idx.exact(&probe) {
             prop_assert!(cands.contains(&e));
         }
         let norm = normalize_label(&probe);

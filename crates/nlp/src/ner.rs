@@ -57,15 +57,6 @@ impl<'g> Recognizer<'g> {
         self.index
     }
 
-    /// True when `phrase` (normalized) names at least one KG node whose
-    /// entity type participates in search (§IV excludes quantities).
-    fn searchable_exact(&self, phrase: &str) -> bool {
-        self.index
-            .exact(phrase)
-            .iter()
-            .any(|&n| self.graph.entity_type(n).is_searchable())
-    }
-
     /// Recognize entity mentions in one sentence.
     ///
     /// `tokens` must be the tokenization of `sentence` (spans index it).
@@ -74,39 +65,36 @@ impl<'g> Recognizer<'g> {
             .iter()
             .map(|t| t.text(sentence).to_lowercase())
             .collect();
+        let lower_refs: Vec<&str> = lower.iter().map(String::as_str).collect();
         let max_window = self.index.max_label_tokens().max(1);
+        let mut searchable = |n| self.graph.entity_type(n).is_searchable();
         let mut mentions = Vec::new();
         let mut i = 0;
         while i < tokens.len() {
-            // Longest gazetteer match first.
+            // Longest gazetteer match first: one resolver probe covers
+            // every window width starting at `i` (the FST backend walks
+            // the automaton forward once; the hash backend joins and
+            // probes per width). Single-token matches must look like
+            // proper nouns in the text: a lowercase "as" must not link
+            // to a node or acronym alias labeled "AS".
             let cap = max_window.min(tokens.len() - i);
-            let mut advanced = false;
-            for w in (1..=cap).rev() {
-                // Single-token matches must look like proper nouns in the
-                // text: a lowercase "as" must not link to a node or
-                // acronym alias labeled "AS".
-                if w == 1 && !tokens[i].is_capitalized(sentence) && !tokens[i].is_numeric(sentence)
-                {
-                    continue;
-                }
-                let phrase = lower[i..i + w].join(" ");
-                if self.searchable_exact(&phrase) {
-                    let start = tokens[i].start;
-                    let end = tokens[i + w - 1].end;
-                    let surface = sentence[start..end].to_string();
-                    mentions.push(EntityMention {
-                        norm: normalize_label(&surface),
-                        surface,
-                        token_start: i,
-                        token_len: w,
-                        matched: true,
-                    });
-                    i += w;
-                    advanced = true;
-                    break;
-                }
-            }
-            if advanced {
+            let allow_single =
+                tokens[i].is_capitalized(sentence) || tokens[i].is_numeric(sentence);
+            if let Some(w) =
+                self.index
+                    .longest_match(&lower_refs[i..i + cap], cap, allow_single, &mut searchable)
+            {
+                let start = tokens[i].start;
+                let end = tokens[i + w - 1].end;
+                let surface = sentence[start..end].to_string();
+                mentions.push(EntityMention {
+                    norm: normalize_label(&surface).into_owned(),
+                    surface,
+                    token_start: i,
+                    token_len: w,
+                    matched: true,
+                });
+                i += w;
                 continue;
             }
             // Fallback: a maximal run of capitalized, non-stopword,
@@ -128,7 +116,7 @@ impl<'g> Recognizer<'g> {
                     let end = tokens[j - 1].end;
                     let surface = sentence[start..end].to_string();
                     mentions.push(EntityMention {
-                        norm: normalize_label(&surface),
+                        norm: normalize_label(&surface).into_owned(),
                         surface,
                         token_start: i,
                         token_len: run_len,
@@ -295,6 +283,35 @@ mod tests {
         let text2 = "AS expanded operations in Pakistan.";
         let m2 = r.recognize(text2, &tokenize(text2));
         assert!(m2.iter().any(|x| x.norm == "as" && x.matched));
+    }
+
+    #[test]
+    fn fst_backend_recognizes_identically() {
+        let mut b = GraphBuilder::new();
+        b.add_node("Pakistan", EntityType::Gpe);
+        b.add_node("Upper Dir", EntityType::Gpe);
+        b.add_node("Swat Valley", EntityType::Location);
+        b.add_node("Five", EntityType::Quantity);
+        let org = b.add_node("Adrainviam Systems", EntityType::Organization);
+        b.add_alias(org, "AS");
+        let g = b.freeze();
+        let hash = LabelIndex::build(&g);
+        let fst = LabelIndex::build_fst(&g);
+        for text in [
+            "Military conflicts between Pakistan and Taliban.",
+            "Clashes in Upper Dir continued.",
+            "Fighting reached Swat Valley and Pakistan yesterday.",
+            "Attack kills Five in Pakistan.",
+            "Officials described Pakistan as calm.",
+            "AS expanded operations in Pakistan.",
+            "Kunar Heights saw clashes.",
+            "Upper Dir Upper Dir Upper.",
+        ] {
+            let toks = tokenize(text);
+            let h = Recognizer::new(&g, &hash).recognize(text, &toks);
+            let f = Recognizer::new(&g, &fst).recognize(text, &toks);
+            assert_eq!(h, f, "backends disagree on {text:?}");
+        }
     }
 
     #[test]

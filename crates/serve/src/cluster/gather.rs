@@ -83,6 +83,7 @@ fn dispatch_path(req: &HttpRequest, path: &str, ctx: &ClusterContext<'_, '_>) ->
                 ctx.in_flight,
                 &ctx.engine.cache_stats(),
                 IndexStats::default(),
+                crate::metrics::KgStats::of(ctx.engine.graph(), ctx.engine.label_index()),
                 None,
                 Some(ctx.cluster.metrics_value()),
             );

@@ -76,7 +76,7 @@ pub mod server;
 
 pub use cluster::{parse_shards, Cluster, SpecError};
 pub use durable::DurableState;
-pub use metrics::{Route, ServerMetrics};
+pub use metrics::{KgStats, Route, ServerMetrics};
 pub use protocol::{client, HttpRequest};
 pub use router::{parse_search_request, RequestError};
 pub use server::{ServeConfig, Server, ServerHandle};

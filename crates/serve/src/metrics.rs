@@ -42,6 +42,46 @@ pub enum Route {
     Other,
 }
 
+/// The `/metrics` `kg` section: knowledge-graph shape and label-resolver
+/// gauges. Static for a server's lifetime (the graph is immutable), so
+/// it is computed once at startup and passed into every snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KgStats {
+    /// Nodes in the knowledge graph.
+    pub nodes: usize,
+    /// Undirected edges in the knowledge graph.
+    pub edges: usize,
+    /// Distinct normalized surfaces in the label resolver.
+    pub surfaces: usize,
+    /// Resolver backend name ("hash" or "fst").
+    pub backend: &'static str,
+    /// Approximate resident bytes of the resolver structures.
+    pub resolver_bytes: usize,
+}
+
+impl KgStats {
+    /// Gauge the graph and its label index.
+    pub fn of(graph: &newslink_kg::KnowledgeGraph, index: &newslink_kg::LabelIndex) -> Self {
+        Self {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            surfaces: index.len(),
+            backend: index.backend(),
+            resolver_bytes: index.resolver_bytes(),
+        }
+    }
+
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("nodes".into(), num(self.nodes as u64)),
+            ("edges".into(), num(self.edges as u64)),
+            ("surfaces".into(), num(self.surfaces as u64)),
+            ("resolver_backend".into(), Value::String(self.backend.into())),
+            ("resolver_bytes".into(), num(self.resolver_bytes as u64)),
+        ])
+    }
+}
+
 /// Aggregate counters for one server's lifetime.
 #[derive(Debug)]
 pub struct ServerMetrics {
@@ -166,16 +206,18 @@ impl ServerMetrics {
 
     /// The full `/metrics` document: uptime, per-route and per-status
     /// counters, the latency histogram, the admission gauge, the
-    /// engine's cache counters, and the segmented index's gauges. When
-    /// the server runs durably, `durability` carries the recovery
-    /// report and WAL/checkpoint gauges and lands as one more section;
-    /// in router mode `cluster` does the same for the shard map
-    /// (per-group latency, failovers, probe state).
+    /// engine's cache counters, the segmented index's gauges, and the
+    /// knowledge-graph/resolver gauges (`kg`). When the server runs
+    /// durably, `durability` carries the recovery report and
+    /// WAL/checkpoint gauges and lands as one more section; in router
+    /// mode `cluster` does the same for the shard map (per-group
+    /// latency, failovers, probe state).
     pub fn snapshot(
         &self,
         in_flight: usize,
         cache: &EngineCacheStats,
         index: IndexStats,
+        kg: KgStats,
         durability: Option<Value>,
         cluster: Option<Value>,
     ) -> Value {
@@ -231,6 +273,7 @@ impl ServerMetrics {
                     ("compactions".into(), num(index.compactions)),
                 ]),
             ),
+            ("kg".into(), kg.serialize_value()),
         ];
         if let Some(durability) = durability {
             sections.push(("durability".into(), durability));
@@ -278,7 +321,14 @@ mod tests {
             tombstones: 2,
             compactions: 5,
         };
-        let snap = m.snapshot(3, &EngineCacheStats::default(), index, None, None);
+        let kg = KgStats {
+            nodes: 100,
+            edges: 250,
+            surfaces: 97,
+            backend: "fst",
+            resolver_bytes: 4096,
+        };
+        let snap = m.snapshot(3, &EngineCacheStats::default(), index, kg, None, None);
         assert_eq!(snap["requests_total"], 2u64);
         assert_eq!(snap["routes"]["batch"], 1u64);
         assert_eq!(snap["routes"]["docs"], 1u64);
@@ -291,6 +341,11 @@ mod tests {
         assert_eq!(snap["index"]["segments"], 3u64);
         assert_eq!(snap["index"]["tombstones"], 2u64);
         assert_eq!(snap["index"]["compactions"], 5u64);
+        assert_eq!(snap["kg"]["nodes"], 100u64);
+        assert_eq!(snap["kg"]["edges"], 250u64);
+        assert_eq!(snap["kg"]["surfaces"], 97u64);
+        assert_eq!(snap["kg"]["resolver_backend"], "fst");
+        assert_eq!(snap["kg"]["resolver_bytes"], 4096u64);
         assert_eq!(snap["pruning"]["candidates"], 0u64);
         assert_eq!(snap["pruning"]["docs_scored"], 0u64);
         assert_eq!(snap["pruning"]["blocks_skipped"], 0u64);
@@ -314,7 +369,14 @@ mod tests {
             scored: 5,
             blocks_skipped: 0,
         });
-        let snap = m.snapshot(0, &EngineCacheStats::default(), IndexStats::default(), None, None);
+        let snap = m.snapshot(
+            0,
+            &EngineCacheStats::default(),
+            IndexStats::default(),
+            KgStats::default(),
+            None,
+            None,
+        );
         assert_eq!(snap["pruning"]["candidates"], 15u64);
         assert_eq!(snap["pruning"]["docs_scored"], 9u64);
         assert_eq!(snap["pruning"]["blocks_skipped"], 3u64);
@@ -325,7 +387,14 @@ mod tests {
         let m = ServerMetrics::new();
         m.observe(Route::Admin, 200, Duration::from_micros(12));
         let gauges = Value::Object(vec![("quarantined_segments".into(), num(1))]);
-        let snap = m.snapshot(0, &EngineCacheStats::default(), IndexStats::default(), Some(gauges), None);
+        let snap = m.snapshot(
+            0,
+            &EngineCacheStats::default(),
+            IndexStats::default(),
+            KgStats::default(),
+            Some(gauges),
+            None,
+        );
         assert_eq!(snap["routes"]["admin"], 1u64);
         assert_eq!(snap["durability"]["quarantined_segments"], 1u64);
     }

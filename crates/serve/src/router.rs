@@ -191,6 +191,7 @@ fn dispatch_path(req: &HttpRequest, path: &str, ctx: &RequestContext<'_, '_>) ->
                 ctx.in_flight,
                 &ctx.engine.cache_stats(),
                 index_stats,
+                crate::metrics::KgStats::of(ctx.engine.graph(), ctx.engine.label_index()),
                 durability,
                 None,
             );

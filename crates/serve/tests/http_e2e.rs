@@ -283,6 +283,12 @@ fn metrics_report_traffic_latency_and_cache_counters() {
         // query produced whole-query memo hits.
         assert!(v["cache"]["queries"]["hits"].as_i64().unwrap() >= 2, "{text}");
         assert!(v["uptime_ms"].as_i64().unwrap() >= 0);
+        // The knowledge-graph/resolver gauges are static but present.
+        assert!(v["kg"]["nodes"].as_i64().unwrap() > 0, "{text}");
+        assert!(v["kg"]["edges"].as_i64().unwrap() > 0, "{text}");
+        assert!(v["kg"]["surfaces"].as_i64().unwrap() > 0, "{text}");
+        assert_eq!(v["kg"]["resolver_backend"], "hash", "{text}");
+        assert!(v["kg"]["resolver_bytes"].as_i64().unwrap() > 0, "{text}");
     });
 }
 

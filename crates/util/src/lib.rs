@@ -40,6 +40,7 @@ pub mod bytes;
 pub mod cache;
 pub mod crc32;
 pub mod failpoint;
+pub mod fst;
 pub mod fxhash;
 pub mod histogram;
 #[allow(unsafe_code)]
@@ -54,6 +55,7 @@ pub mod xxh64;
 pub use bytes::Bytes;
 pub use cache::{CacheCounters, CacheStats, ClockCache};
 pub use crc32::{crc32, Crc32};
+pub use fst::{Fst, FstBuilder};
 pub use mmap::Mmap;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use histogram::Histogram;

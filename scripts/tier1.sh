@@ -47,6 +47,11 @@ cargo test -q -p newslink-serve --test durability_e2e
 # bit-identical to the exhaustive oracle across β, normalization, TA,
 # segmentation, tombstones and k.
 cargo test -q -p newslink-core --test prune_prop
+# Resolver-parity property suite: the FST label automaton must match the
+# HashMap oracle — S(l) node sets, gazetteer NER spans, and bit-identical
+# end-to-end search — on alias-heavy unicode graphs, in memory and after
+# a serialized round trip.
+cargo test -q -p newslink --test fst_prop
 # The real thing: SIGKILL the release binary mid-mutation and restart it
 # (ignored by default; needs the release build from the first step).
 cargo test -q -p newslink-serve --test kill9_e2e -- --ignored
