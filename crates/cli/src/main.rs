@@ -33,7 +33,7 @@ use newslink_kg::{
     ingest_tsv, normalize_label, synth, triples, write_graph_tsv, FstLabelIndex, GraphStats,
     IngestConfig, LabelIndex, ResolverBackend, SynthConfig,
 };
-use newslink_serve::{parse_shards, Cluster, ServeConfig, Server};
+use newslink_serve::{parse_shards, Cluster, ResilienceConfig, ServeConfig, Server};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -101,6 +101,12 @@ commands:
                   [--mode router --shards \"a:7001|a:7002,b:7003\"]   cluster router: no local index;
                         scatter each search to one healthy replica per comma-separated shard group
                         (\"|\" separates a group's replicas), merge, and proxy writes to the owner
+                  router resilience knobs (see DESIGN.md §6k):
+                  [--probe-interval-ms N]   health-prober cadence (default 500)
+                  [--probe-failures N]      consecutive probe failures before unhealthy (default 1)
+                  [--hedge-after-ms N]      hedge reads after N ms without an answer (0 = off, default off)
+                  [--breaker-window N]      per-replica breaker outcome window (default 32; trips at N/4 failures)
+                  [--retry-budget R]        retry+hedge tokens minted per primary call (default 0.2)
   stats           --world kg.tsv
 ";
 
@@ -465,7 +471,8 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         &[
             "world", "corpus", "index", "addr", "workers", "queue-depth", "timeout-ms", "beta",
             "segment-docs", "data-dir", "storage", "resolver", "mode", "shards", "shard-index",
-            "shard-count",
+            "shard-count", "probe-interval-ms", "probe-failures", "hedge-after-ms",
+            "breaker-window", "retry-budget",
         ],
     )?;
     match args.get("mode").unwrap_or("standalone") {
@@ -532,7 +539,8 @@ fn serve_router(args: &Args) -> Result<(), String> {
     let spec = args.require("shards")?;
     let groups = parse_shards(spec).map_err(|e| format!("bad --shards: {e}"))?;
     let replicas: usize = groups.iter().map(Vec::len).sum();
-    let cluster = Cluster::new(groups);
+    let resilience = parse_resilience(args)?;
+    let cluster = Cluster::with_config(groups, resilience);
 
     let workers: usize = args.get_parsed("workers", 4)?;
     let queue_depth: usize = args.get_parsed("queue-depth", 64)?;
@@ -558,9 +566,30 @@ fn serve_router(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("serving on {addr}: {e}"))
 }
 
+/// Parse the router's resilience knobs into a [`ResilienceConfig`],
+/// surfacing the typed per-flag errors verbatim (they already carry the
+/// flag name, value, and expected range).
+fn parse_resilience(args: &Args) -> Result<ResilienceConfig, String> {
+    let mut cfg = ResilienceConfig::default();
+    for flag in ResilienceConfig::FLAGS {
+        let name = flag.trim_start_matches("--");
+        if let Some(value) = args.get(name) {
+            cfg.apply_flag(flag, value).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(cfg)
+}
+
 fn serve_standalone(args: &Args) -> Result<(), String> {
     if args.get("shards").is_some() {
         return Err("--shards requires --mode router".to_string());
+    }
+    for flag in ResilienceConfig::FLAGS {
+        if args.get(flag.trim_start_matches("--")).is_some() {
+            return Err(format!(
+                "{flag} requires --mode router (resilience knobs tune the cluster path)"
+            ));
+        }
     }
     let stripe = parse_stripe(args)?;
     let backend = parse_storage(args)?;

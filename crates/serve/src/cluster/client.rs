@@ -9,7 +9,7 @@
 //! fresh socket before the error propagates. That retry is *not*
 //! failover: failover across replicas is the [`super::Cluster`]'s job.
 
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -22,8 +22,40 @@ use crate::protocol::client::{read_response_framed, send_keep_alive, FullRespons
 /// workers until its read timeout, so hoarding them starves the shard.
 const MAX_IDLE: usize = 2;
 
-/// Read/connect budget when the request carries no deadline.
-const DEFAULT_CALL_BUDGET: Duration = Duration::from_secs(5);
+/// Read/connect budget when the request carries no deadline. Also the
+/// hedged read path's overall race deadline when none is supplied.
+pub(crate) const DEFAULT_CALL_BUDGET: Duration = Duration::from_secs(5);
+
+/// A [`Read`] adapter that anchors every read to one absolute deadline,
+/// re-arming the socket's read timeout with the *remaining* time before
+/// each syscall. A plain `set_read_timeout` resets on every byte, so a
+/// peer dripping one byte per timeout window (a throttled or slow-loris
+/// replica) could hold a "bounded" call forever; through this wrapper
+/// the call returns `TimedOut` once the wall-clock deadline passes, no
+/// matter how the bytes arrive.
+#[derive(Debug)]
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let left = self.deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "deadline expired"));
+        }
+        self.stream.set_read_timeout(Some(left))?;
+        match self.stream.read(buf) {
+            // Map the timeout kinds (platform-dependent) onto TimedOut
+            // so callers see one error for "the deadline passed".
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "deadline expired"))
+            }
+            other => other,
+        }
+    }
+}
 
 /// A blocking, connection-pooling client for a single replica address.
 #[derive(Debug)]
@@ -103,9 +135,16 @@ impl ReplicaClient {
         body: &str,
         deadline: Option<Instant>,
     ) -> io::Result<FullResponse> {
-        stream.set_read_timeout(Some(Self::remaining(deadline)?))?;
+        let budget = Self::remaining(deadline)?;
+        stream.set_read_timeout(Some(budget))?;
         send_keep_alive(stream, method, path, body)?;
-        read_response_framed(stream)
+        // Anchor the read to an absolute instant: the per-socket timeout
+        // alone restarts on every received byte.
+        let mut reader = DeadlineStream {
+            stream,
+            deadline: deadline.unwrap_or_else(|| Instant::now() + budget),
+        };
+        read_response_framed(&mut reader)
     }
 
     /// Park the connection for reuse if the server agreed to keep it.

@@ -334,6 +334,11 @@ fn cluster_execute(request: &SearchRequest, ctx: &ClusterContext<'_, '_>) -> (Va
         bow_terms: analysis.terms.clone(),
         bon_terms: analysis.bon_terms.clone(),
     };
+    // `to_string` is infallible for these plain internal-protocol
+    // structs (string keys, no fallible Serialize impls); the
+    // `unwrap_or_default` here and below keeps the socket path free of
+    // panics without introducing an error branch that cannot fire — an
+    // empty body would 400 at the shard and count as a failed call.
     let body = serde_json::to_string(&stats_request).unwrap_or_default();
     let stats: Vec<Option<StatsResponse>> =
         scatter(ctx.cluster, &mut alive, "/internal/stats", &body, deadline);

@@ -1,0 +1,645 @@
+//! The cluster's resilience policy: circuit breakers, a token-bucket
+//! retry budget with decorrelated-jitter backoff, and the knobs that
+//! tune them (plus the health prober's cadence).
+//!
+//! Three mechanisms, one goal — a sick replica must cost the cluster a
+//! bounded amount of work, never a storm:
+//!
+//! - A per-replica [`CircuitBreaker`] watches a rolling window of call
+//!   outcomes. Too many failures trips it **open**: the replica is
+//!   skipped outright (no connect, no timeout spent). After a cooldown
+//!   it admits exactly one **half-open** trial; success closes it,
+//!   failure re-opens and re-arms the cooldown. The health prober's
+//!   sweeps feed the same breaker, so a recovered replica is re-admitted
+//!   within one probe interval even with no data traffic.
+//! - A [`RetryBudget`] token bucket caps *extra* attempts (failovers,
+//!   hedges) to a fixed fraction of primary traffic: each primary call
+//!   deposits `retry_budget` tokens (bounded by a burst cap), each extra
+//!   attempt spends one. When the bucket is dry, the router degrades
+//!   honestly instead of multiplying a brown-out — upstream request
+//!   amplification is bounded by `1 + ratio` plus the one-off burst cap.
+//! - [`DecorrelatedJitter`] spaces sequential failover attempts
+//!   (`sleep = min(cap, uniform(base, 3·prev))`, per AWS's analysis) so
+//!   a failing group's retries don't arrive in lockstep.
+//!
+//! All knobs live in [`ResilienceConfig`]; CLI flags parse through
+//! [`ResilienceConfig::apply_flag`] with typed [`FlagError`]s mirroring
+//! the `--shards` parser's [`super::SpecError`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use newslink_util::rng::DetRng;
+use parking_lot::Mutex;
+
+/// Everything tunable about the resilience layer, in one place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Health-prober sweep cadence, milliseconds (`--probe-interval-ms`).
+    pub probe_interval_ms: u64,
+    /// Consecutive probe failures before a replica is marked unhealthy
+    /// (`--probe-failures`). 1 preserves the pre-knob behaviour.
+    pub probe_failures: u32,
+    /// Launch a hedge attempt on reads after this many milliseconds
+    /// without an answer (`--hedge-after-ms`); `None` = hedging off.
+    /// Writes never hedge.
+    pub hedge_after_ms: Option<u64>,
+    /// Rolling outcome-window size per replica breaker
+    /// (`--breaker-window`).
+    pub breaker_window: usize,
+    /// Failures within the window that trip the breaker open.
+    pub breaker_failures: u32,
+    /// How long an open breaker rejects before admitting a half-open
+    /// trial, milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Retry tokens minted per primary attempt (`--retry-budget`):
+    /// extra attempts (failover + hedge) per primary call, amortized.
+    pub retry_budget: f64,
+    /// Burst cap on banked retry tokens (the bucket also *starts* here,
+    /// so a cold cluster can fail over immediately).
+    pub retry_budget_cap: f64,
+    /// Decorrelated-jitter backoff floor, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Decorrelated-jitter backoff ceiling, milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed for the backoff jitter streams (deterministic per call
+    /// index, like every other seeded component in the workspace).
+    pub seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            probe_interval_ms: 500,
+            probe_failures: 1,
+            hedge_after_ms: None,
+            breaker_window: 32,
+            breaker_failures: 8,
+            breaker_cooldown_ms: 1_000,
+            retry_budget: 0.2,
+            retry_budget_cap: 16.0,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 50,
+            seed: 0x4e4c_5245_5349_4c01, // "NLRESIL" v1
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Apply one CLI flag. Returns `Ok(true)` if the flag belongs to
+    /// this config, `Ok(false)` if it is not a resilience flag (the
+    /// caller keeps parsing), and a typed [`FlagError`] when the value
+    /// is malformed or out of range.
+    pub fn apply_flag(&mut self, flag: &str, value: &str) -> Result<bool, FlagError> {
+        match flag {
+            "--probe-interval-ms" => {
+                self.probe_interval_ms = parse_ranged("--probe-interval-ms", value, 10, 600_000)?;
+            }
+            "--probe-failures" => {
+                self.probe_failures = parse_ranged("--probe-failures", value, 1, 1_000)? as u32;
+            }
+            "--hedge-after-ms" => {
+                // 0 switches hedging off explicitly.
+                let ms = parse_ranged("--hedge-after-ms", value, 0, 60_000)?;
+                self.hedge_after_ms = (ms > 0).then_some(ms);
+            }
+            "--breaker-window" => {
+                let window = parse_ranged("--breaker-window", value, 1, 65_536)? as usize;
+                self.breaker_window = window;
+                // Keep the trip point a quarter of the window so one
+                // knob stays one knob; never below a single failure.
+                self.breaker_failures = ((window / 4).max(1)) as u32;
+            }
+            "--retry-budget" => {
+                let ratio: f64 = value.parse().map_err(|_| FlagError::BadNumber {
+                    flag: "--retry-budget",
+                    value: value.to_string(),
+                })?;
+                if !ratio.is_finite() || !(0.0..=16.0).contains(&ratio) {
+                    return Err(FlagError::OutOfRange {
+                        flag: "--retry-budget",
+                        value: value.to_string(),
+                        expected: "a ratio in 0.0..=16.0",
+                    });
+                }
+                self.retry_budget = ratio;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The flags [`apply_flag`](Self::apply_flag) understands, for
+    /// usage/error text.
+    pub const FLAGS: [&'static str; 5] = [
+        "--probe-interval-ms",
+        "--probe-failures",
+        "--hedge-after-ms",
+        "--breaker-window",
+        "--retry-budget",
+    ];
+}
+
+fn parse_ranged(flag: &'static str, value: &str, lo: u64, hi: u64) -> Result<u64, FlagError> {
+    let n: u64 = value.parse().map_err(|_| FlagError::BadNumber {
+        flag,
+        value: value.to_string(),
+    })?;
+    if n < lo || n > hi {
+        return Err(FlagError::OutOfRange {
+            flag,
+            value: value.to_string(),
+            expected: match (lo, hi) {
+                (0, 60_000) => "milliseconds in 0..=60000 (0 = off)",
+                (10, 600_000) => "milliseconds in 10..=600000",
+                (1, 1_000) => "a count in 1..=1000",
+                (1, 65_536) => "a window size in 1..=65536",
+                _ => "a value in range",
+            },
+        });
+    }
+    Ok(n)
+}
+
+/// What went wrong parsing a resilience flag — typed, like
+/// [`super::SpecError`], so the CLI prints precise one-line messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlagError {
+    /// The value was not a number at all.
+    BadNumber {
+        /// The offending flag.
+        flag: &'static str,
+        /// The raw value given.
+        value: String,
+    },
+    /// The value parsed but is outside the flag's accepted range.
+    OutOfRange {
+        /// The offending flag.
+        flag: &'static str,
+        /// The raw value given.
+        value: String,
+        /// Human description of the accepted range.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlagError::BadNumber { flag, value } => {
+                write!(f, "{flag}: `{value}` is not a number")
+            }
+            FlagError::OutOfRange {
+                flag,
+                value,
+                expected,
+            } => write!(f, "{flag}: `{value}` out of range (expected {expected})"),
+        }
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+/// A circuit breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; outcomes accumulate in the rolling window.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// One trial call is in flight; its outcome decides.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-snake name for metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    /// Rolling outcome ring: `true` = failure.
+    ring: Vec<bool>,
+    next: usize,
+    filled: usize,
+    failures: u32,
+    opened_at: Instant,
+    trial_started: Instant,
+    opens: u64,
+}
+
+/// Per-replica rolling-window circuit breaker:
+/// closed → (failures ≥ threshold in window) → open → (cooldown) →
+/// half-open trial → closed on success / open on failure. Failures
+/// observed *while* open (last-resort calls, probe sweeps) re-arm the
+/// cooldown, so a dead replica's breaker never flaps.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    window: usize,
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker over a `window`-outcome ring tripping at
+    /// `threshold` failures, rejecting for `cooldown` once open.
+    pub fn new(window: usize, threshold: u32, cooldown: Duration) -> Self {
+        let window = window.max(1);
+        let now = Instant::now();
+        Self {
+            window,
+            threshold: threshold.clamp(1, window as u32),
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                ring: vec![false; window],
+                next: 0,
+                filled: 0,
+                failures: 0,
+                opened_at: now,
+                trial_started: now,
+                opens: 0,
+            }),
+        }
+    }
+
+    /// Build from config.
+    pub fn from_config(cfg: &ResilienceConfig) -> Self {
+        Self::new(
+            cfg.breaker_window,
+            cfg.breaker_failures,
+            Duration::from_millis(cfg.breaker_cooldown_ms),
+        )
+    }
+
+    /// Current state, for metrics.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Times this breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.inner.lock().opens
+    }
+
+    /// May a call proceed right now? An open breaker past its cooldown
+    /// transitions to half-open and admits exactly one trial; a
+    /// half-open breaker whose trial has been in flight longer than a
+    /// cooldown (the caller died) re-admits.
+    pub fn admit(&self, now: Instant) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now.duration_since(inner.opened_at) >= self.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.trial_started = now;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if now.duration_since(inner.trial_started) >= self.cooldown {
+                    inner.trial_started = now;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a call (or probe) outcome.
+    pub fn record(&self, ok: bool, now: Instant) {
+        let mut inner = self.inner.lock();
+        match (inner.state, ok) {
+            (BreakerState::Closed, _) => {
+                Self::push(&mut inner, self.window, !ok);
+                if !ok && inner.failures >= self.threshold {
+                    Self::open(&mut inner, now);
+                }
+            }
+            // A success from anywhere — half-open trial, last-resort
+            // call, probe — proves the replica answers; close and start
+            // a clean window.
+            (BreakerState::HalfOpen | BreakerState::Open, true) => Self::close(&mut inner),
+            (BreakerState::HalfOpen, false) => Self::open(&mut inner, now),
+            // Still failing while open: re-arm the cooldown so the next
+            // trial waits a full cooldown from *this* failure.
+            (BreakerState::Open, false) => inner.opened_at = now,
+        }
+    }
+
+    fn push(inner: &mut BreakerInner, window: usize, failure: bool) {
+        let slot = inner.next;
+        if inner.filled == window {
+            if inner.ring[slot] {
+                inner.failures -= 1;
+            }
+        } else {
+            inner.filled += 1;
+        }
+        inner.ring[slot] = failure;
+        if failure {
+            inner.failures += 1;
+        }
+        inner.next = (slot + 1) % window;
+    }
+
+    fn open(inner: &mut BreakerInner, now: Instant) {
+        inner.state = BreakerState::Open;
+        inner.opened_at = now;
+        inner.opens += 1;
+    }
+
+    fn close(inner: &mut BreakerInner) {
+        inner.state = BreakerState::Closed;
+        inner.ring.fill(false);
+        inner.next = 0;
+        inner.filled = 0;
+        inner.failures = 0;
+    }
+}
+
+/// A token bucket denominated in milli-tokens: each primary attempt
+/// deposits `ratio`, each extra attempt (failover or hedge) spends 1.
+/// The bucket starts — and is capped — at `cap`, so amplification over
+/// any interval is at most `ratio × primaries + cap`.
+#[derive(Debug)]
+pub struct RetryBudget {
+    ratio_milli: u64,
+    cap_milli: u64,
+    tokens_milli: AtomicU64,
+    deposits: AtomicU64,
+    spent: AtomicU64,
+    denied: AtomicU64,
+}
+
+impl RetryBudget {
+    /// A full bucket minting `ratio` tokens per deposit, holding at
+    /// most `cap`.
+    pub fn new(ratio: f64, cap: f64) -> Self {
+        let ratio_milli = (ratio.clamp(0.0, 1_000.0) * 1_000.0).round() as u64;
+        let cap_milli = (cap.clamp(0.0, 1_000_000.0) * 1_000.0).round() as u64;
+        Self {
+            ratio_milli,
+            cap_milli,
+            tokens_milli: AtomicU64::new(cap_milli),
+            deposits: AtomicU64::new(0),
+            spent: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+        }
+    }
+
+    /// Build from config.
+    pub fn from_config(cfg: &ResilienceConfig) -> Self {
+        Self::new(cfg.retry_budget, cfg.retry_budget_cap)
+    }
+
+    /// Credit one primary attempt.
+    pub fn deposit(&self) {
+        self.deposits.fetch_add(1, Ordering::Relaxed);
+        if self.ratio_milli == 0 {
+            return;
+        }
+        let _ = self
+            .tokens_milli
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                Some((t + self.ratio_milli).min(self.cap_milli))
+            });
+    }
+
+    /// Try to pay for one extra attempt; `false` means the budget is
+    /// exhausted and the attempt must not happen.
+    pub fn try_spend(&self) -> bool {
+        let paid = self
+            .tokens_milli
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                (t >= 1_000).then(|| t - 1_000)
+            })
+            .is_ok();
+        if paid {
+            self.spent.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.denied.fetch_add(1, Ordering::Relaxed);
+        }
+        paid
+    }
+
+    /// Milli-tokens currently banked.
+    pub fn tokens_milli(&self) -> u64 {
+        self.tokens_milli.load(Ordering::Relaxed)
+    }
+
+    /// Primary attempts credited.
+    pub fn deposits(&self) -> u64 {
+        self.deposits.load(Ordering::Relaxed)
+    }
+
+    /// Extra attempts paid for.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Extra attempts refused for lack of tokens.
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::Relaxed)
+    }
+}
+
+/// Decorrelated-jitter backoff: `next = min(cap, uniform(base, 3·prev))`.
+/// Deterministic given its [`DetRng`], like every seeded component here.
+#[derive(Debug)]
+pub struct DecorrelatedJitter {
+    base_ms: u64,
+    cap_ms: u64,
+    prev_ms: u64,
+    rng: DetRng,
+}
+
+impl DecorrelatedJitter {
+    /// A fresh backoff sequence starting at `base_ms`.
+    pub fn new(base_ms: u64, cap_ms: u64, rng: DetRng) -> Self {
+        let base_ms = base_ms.max(1);
+        Self {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            prev_ms: base_ms,
+            rng,
+        }
+    }
+
+    /// The next sleep in the sequence.
+    pub fn next_delay(&mut self) -> Duration {
+        let hi = (self.prev_ms.saturating_mul(3)).max(self.base_ms + 1);
+        let span = (hi - self.base_ms) as usize + 1;
+        let ms = self.base_ms + self.rng.below(span) as u64;
+        self.prev_ms = ms.min(self.cap_ms);
+        Duration::from_millis(self.prev_ms)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_recovers() {
+        let b = CircuitBreaker::new(8, 3, ms(100));
+        let t0 = Instant::now();
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert!(b.admit(t0));
+            b.record(false, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.admit(t0 + ms(50)), "rejects during cooldown");
+        // Cooldown elapsed: exactly one half-open trial is admitted.
+        let t1 = t0 + ms(150);
+        assert!(b.admit(t1));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit(t1 + ms(1)), "only one trial in flight");
+        b.record(true, t1 + ms(2));
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The window restarted clean: two failures don't re-trip.
+        b.record(false, t1 + ms(3));
+        b.record(false, t1 + ms(4));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_trial_reopens_and_rearms() {
+        let b = CircuitBreaker::new(4, 2, ms(100));
+        let t0 = Instant::now();
+        b.record(false, t0);
+        b.record(false, t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        let t1 = t0 + ms(120);
+        assert!(b.admit(t1));
+        b.record(false, t1);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        // Cooldown counts from the trial failure, not the first open.
+        assert!(!b.admit(t0 + ms(150)));
+        assert!(b.admit(t1 + ms(100)));
+    }
+
+    #[test]
+    fn probe_failures_while_open_keep_it_open() {
+        let b = CircuitBreaker::new(4, 2, ms(100));
+        let t0 = Instant::now();
+        b.record(false, t0);
+        b.record(false, t0);
+        // Probes keep failing every 60 ms: cooldown never elapses.
+        let mut t = t0;
+        for _ in 0..5 {
+            t += ms(60);
+            b.record(false, t);
+        }
+        assert!(!b.admit(t + ms(60)), "re-armed by the probe failures");
+        // One probe success closes it instantly — the prober *is* the
+        // half-open trial.
+        b.record(true, t + ms(61));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn rolling_window_evicts_old_failures() {
+        let b = CircuitBreaker::new(4, 3, ms(100));
+        let t = Instant::now();
+        // failure, then 3 successes push it out of the window; 2 more
+        // failures only make 2-in-window — stays closed.
+        b.record(false, t);
+        for _ in 0..3 {
+            b.record(true, t);
+        }
+        b.record(false, t);
+        b.record(false, t);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(false, t);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn retry_budget_bounds_amplification() {
+        let budget = RetryBudget::new(0.5, 2.0);
+        // Starts full: 2 immediate spends allowed, 3rd denied.
+        assert!(budget.try_spend());
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend());
+        assert_eq!(budget.spent(), 2);
+        assert_eq!(budget.denied(), 1);
+        // 2 deposits at 0.5 = 1 token.
+        budget.deposit();
+        budget.deposit();
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend());
+        // Over any run: spends ≤ ratio × deposits + cap.
+        let bound = (0.5 * budget.deposits() as f64 + 2.0).floor() as u64;
+        assert!(budget.spent() <= bound);
+    }
+
+    #[test]
+    fn zero_ratio_budget_never_refills() {
+        let budget = RetryBudget::new(0.0, 1.0);
+        assert!(budget.try_spend());
+        for _ in 0..10 {
+            budget.deposit();
+        }
+        assert!(!budget.try_spend(), "ratio 0 mints nothing");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mk = || DecorrelatedJitter::new(2, 40, DetRng::new(7));
+        let (mut a, mut b) = (mk(), mk());
+        let mut prev = 2u64;
+        for _ in 0..50 {
+            let d = a.next_delay();
+            assert_eq!(d, b.next_delay(), "same seed, same sequence");
+            let ms = d.as_millis() as u64;
+            assert!((2..=40).contains(&ms), "bounded: {ms}");
+            assert!(ms <= (prev * 3).clamp(3, 40), "decorrelated growth: {ms}");
+            prev = ms;
+        }
+    }
+
+    #[test]
+    fn apply_flag_parses_and_rejects_with_typed_errors() {
+        let mut cfg = ResilienceConfig::default();
+        assert_eq!(cfg.apply_flag("--probe-interval-ms", "200"), Ok(true));
+        assert_eq!(cfg.probe_interval_ms, 200);
+        assert_eq!(cfg.apply_flag("--probe-failures", "3"), Ok(true));
+        assert_eq!(cfg.probe_failures, 3);
+        assert_eq!(cfg.apply_flag("--hedge-after-ms", "5"), Ok(true));
+        assert_eq!(cfg.hedge_after_ms, Some(5));
+        assert_eq!(cfg.apply_flag("--hedge-after-ms", "0"), Ok(true));
+        assert_eq!(cfg.hedge_after_ms, None, "0 means off");
+        assert_eq!(cfg.apply_flag("--breaker-window", "64"), Ok(true));
+        assert_eq!((cfg.breaker_window, cfg.breaker_failures), (64, 16));
+        assert_eq!(cfg.apply_flag("--retry-budget", "1.5"), Ok(true));
+        assert!((cfg.retry_budget - 1.5).abs() < 1e-9);
+        assert_eq!(cfg.apply_flag("--workers", "4"), Ok(false), "not ours");
+        let bad = cfg.apply_flag("--probe-interval-ms", "fast").unwrap_err();
+        assert!(bad.to_string().contains("not a number"), "{bad}");
+        let oor = cfg.apply_flag("--probe-interval-ms", "1").unwrap_err();
+        assert!(oor.to_string().contains("out of range"), "{oor}");
+        let neg = cfg.apply_flag("--retry-budget", "-1").unwrap_err();
+        assert!(matches!(neg, FlagError::OutOfRange { .. }), "{neg}");
+    }
+}

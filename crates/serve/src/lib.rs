@@ -74,7 +74,7 @@ pub mod protocol;
 pub mod router;
 pub mod server;
 
-pub use cluster::{parse_shards, Cluster, SpecError};
+pub use cluster::{parse_shards, Cluster, FlagError, ResilienceConfig, SpecError};
 pub use durable::DurableState;
 pub use metrics::{KgStats, Route, ServerMetrics};
 pub use protocol::{client, HttpRequest};

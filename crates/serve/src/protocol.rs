@@ -286,8 +286,12 @@ pub mod client {
     /// leaving it positioned at the next response — the reuse-safe
     /// counterpart of [`read_response_full`]'s read-to-EOF. Responses
     /// without a `Content-Length` header are treated as malformed (this
-    /// service always emits one).
-    pub fn read_response_framed(stream: &mut TcpStream) -> std::io::Result<FullResponse> {
+    /// service always emits one). Generic over [`Read`] so callers can
+    /// wrap the socket in a deadline-anchored reader (see the router's
+    /// `DeadlineStream`): a per-socket read timeout alone resets on
+    /// every byte, so a drip-feeding peer could extend a "bounded" read
+    /// indefinitely.
+    pub fn read_response_framed<R: Read>(stream: &mut R) -> std::io::Result<FullResponse> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         let mut buf: Vec<u8> = Vec::with_capacity(1024);
         let mut chunk = [0u8; 4096];

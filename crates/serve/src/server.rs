@@ -210,8 +210,9 @@ impl Server {
     /// scatters across the cluster's shard groups and the merged answer
     /// comes back bit-identical to a single process searching the union
     /// (see [`crate::cluster`]). A background thread probes every
-    /// replica's `/healthz` on a fixed cadence; it stops when the
-    /// server's shutdown handle triggers.
+    /// replica's `/healthz` on the cluster's configured cadence
+    /// (`--probe-interval-ms`); it stops when the server's shutdown
+    /// handle triggers.
     pub fn run_router(&self, engine: &NewsLink<'_>, cluster: &Cluster) -> io::Result<()> {
         std::thread::scope(|scope| {
             let stop = self.shutdown.clone();

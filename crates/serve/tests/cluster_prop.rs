@@ -15,7 +15,8 @@ use std::net::SocketAddr;
 
 use newslink_core::{NewsLink, NewsLinkConfig, NewsLinkIndex};
 use newslink_kg::{EntityType, GraphBuilder, KnowledgeGraph, LabelIndex};
-use newslink_serve::{client, Cluster, ServeConfig, Server};
+use newslink_serve::{client, Cluster, ResilienceConfig, ServeConfig, Server};
+use newslink_util::chaos::{ChaosProxy, Fault, FaultPlan};
 use parking_lot::RwLock;
 use proptest::prelude::*;
 use serde::Value;
@@ -170,6 +171,103 @@ fn run_cluster_case(
     });
 }
 
+/// The chaos dimension: the same bit-equality property, but the first
+/// replica of every group sits behind a seeded [`ChaosProxy`] injecting
+/// recoverable faults (latency, short writes, throttling), with a
+/// healthy sibling replica to fail over to. The resilience layer must
+/// absorb every fault without changing a single bit of the answer —
+/// loss shows up as a degraded 503 (which `drive` rejects), never as a
+/// silently truncated 200.
+fn run_chaos_case(texts: &[String], chaos_seed: u64, searches: &[(String, f64, usize)]) {
+    let (graph, labels) = world();
+    let config = NewsLinkConfig::default().with_segment_docs(2);
+    let engine = NewsLink::new(&graph, &labels, config);
+    let shard_count = 2u32;
+
+    let mono_index = RwLock::new(engine.index_corpus(texts));
+    let mut shard_indexes: Vec<RwLock<NewsLinkIndex>> = Vec::new();
+    for s in 0..shard_count {
+        let mut idx = engine.index_corpus_sharded(texts, s, shard_count);
+        idx.set_id_stripe(s, shard_count);
+        shard_indexes.push(RwLock::new(idx));
+    }
+
+    let serve_config = ServeConfig {
+        read_timeout_ms: 250,
+        ..ServeConfig::default()
+    };
+    let mono = Server::bind("127.0.0.1:0", serve_config.clone()).expect("bind mono");
+    // Two replicas per group over the group's shared index: the first
+    // behind a seeded proxy mixing benign faults, the second direct.
+    let replica_servers: Vec<Vec<Server>> = (0..shard_count)
+        .map(|_| {
+            (0..2)
+                .map(|_| Server::bind("127.0.0.1:0", serve_config.clone()).expect("bind replica"))
+                .collect()
+        })
+        .collect();
+    let plan = |group: u64| {
+        FaultPlan::seeded(
+            chaos_seed ^ group,
+            vec![
+                (3, Fault::None),
+                (2, Fault::Delay { ms: 8, jitter_ms: 4 }),
+                (2, Fault::ShortWrite { keep_bytes: 48 }),
+                (2, Fault::Throttle { bytes_per_sec: 50_000 }),
+            ],
+        )
+    };
+    let proxies: Vec<ChaosProxy> = replica_servers
+        .iter()
+        .enumerate()
+        .map(|(g, group)| {
+            ChaosProxy::spawn(group[0].local_addr(), plan(g as u64)).expect("spawn proxy")
+        })
+        .collect();
+    let groups: Vec<Vec<SocketAddr>> = proxies
+        .iter()
+        .zip(&replica_servers)
+        .map(|(proxy, group)| vec![proxy.addr(), group[1].local_addr()])
+        .collect();
+    let resilience = ResilienceConfig {
+        retry_budget: 1.0,
+        ..ResilienceConfig::default()
+    };
+    let cluster = Cluster::with_config(groups, resilience);
+    let router = Server::bind("127.0.0.1:0", serve_config).expect("bind router");
+
+    let mono_handle = mono.handle();
+    let router_handle = router.handle();
+    let replica_handles: Vec<_> = replica_servers.iter().flatten().map(Server::handle).collect();
+
+    let (engine, mono_index, cluster) = (&engine, &mono_index, &cluster);
+    let (mono, router) = (&mono, &router);
+    let replica_servers = &replica_servers;
+    std::thread::scope(|scope| {
+        scope.spawn(move || mono.run(engine, mono_index));
+        for (group, idx) in replica_servers.iter().zip(&shard_indexes) {
+            for srv in group {
+                scope.spawn(move || srv.run(engine, idx));
+            }
+        }
+        scope.spawn(move || router.run_router(engine, cluster));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Searches only: writes route to the group primary (the
+            // proxied replica) by design and are not failover-eligible,
+            // so a torn write would legitimately surface as an error.
+            drive(mono_handle.addr(), router_handle.addr(), &[], searches)
+        }));
+        router_handle.shutdown();
+        for h in &replica_handles {
+            h.shutdown();
+        }
+        mono_handle.shutdown();
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
+        }
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -186,5 +284,22 @@ proptest! {
         for shard_count in 1..=4u32 {
             run_cluster_case(&texts, shard_count, &deletes, &searches);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Chaos property: under any seed's mix of recoverable injected
+    /// faults, the router's answer stays bit-identical to the oracle —
+    /// the resilience layer recovers (retries, fails over) rather than
+    /// truncating, and never fakes a clean 200 out of a lossy path.
+    #[test]
+    fn router_merge_survives_recoverable_chaos_bit_identical(
+        texts in prop::collection::vec(doc_strategy(), 3..10),
+        chaos_seed in any::<u64>(),
+        searches in prop::collection::vec(search_strategy(), 2..4),
+    ) {
+        run_chaos_case(&texts, chaos_seed, &searches);
     }
 }

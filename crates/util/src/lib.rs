@@ -24,6 +24,9 @@
 //! - [`failpoint`] — deterministic fail-at-byte-N / short-write / lost
 //!   unsynced-tail I/O wrappers that drive the crash-recovery test
 //!   suites.
+//! - [`chaos`] — the network analogue of [`failpoint`]: a seeded
+//!   in-process TCP fault proxy (refusal, black-hole, latency, reset,
+//!   short write, throttling) driving the cluster resilience suites.
 //!
 //! With the `serde` feature on, the observability types ([`CacheStats`],
 //! [`ComponentTimer`], [`Histogram`]) serialize through the vendored
@@ -38,6 +41,7 @@
 
 pub mod bytes;
 pub mod cache;
+pub mod chaos;
 pub mod crc32;
 pub mod failpoint;
 pub mod fst;
@@ -54,6 +58,7 @@ pub mod xxh64;
 
 pub use bytes::Bytes;
 pub use cache::{CacheCounters, CacheStats, ClockCache};
+pub use chaos::{ChaosProxy, ChaosStats, Fault, FaultPlan};
 pub use crc32::{crc32, Crc32};
 pub use fst::{Fst, FstBuilder};
 pub use mmap::Mmap;

@@ -63,3 +63,8 @@ cargo test -q -p newslink-serve --test cluster_prop
 # kill the whole group (honest degraded 503), restart and heal with
 # every acked write intact (ignored by default; needs the release build).
 cargo test -q -p newslink-serve --test cluster_e2e -- --ignored
+# Chaos resilience e2e: seeded in-process TCP fault injection (latency,
+# throttling, short writes, resets, black holes, refusals) against the
+# router — answers stay bit-identical or honestly degraded, breakers
+# trip and heal, the prober never stalls, same seed ⇒ same faults.
+cargo test -q -p newslink-serve --test chaos_e2e
