@@ -1,0 +1,210 @@
+//! Intra-query parallel segment fan-out benchmark.
+//!
+//! Measures the NS stage (block-max pruned Equation 3 top-k) with the
+//! segment fan-out at three settings — sequential (`search_threads = 1`),
+//! auto (`0`, machine parallelism), and pinned 4 workers — over 1 vs ~6
+//! segment layouts. Every timed query is checked for bit-parity across
+//! all three settings, and the auto run's shared-floor counters
+//! (raises, floor-attributed prunes and block skips) are reported.
+//!
+//! The corpus and query recipe is identical to `blended_topk` (same
+//! synth seed, same document template), so the sequential numbers here
+//! are directly comparable to `BENCH_PR5.json`'s `pruned_ns_us` column —
+//! that delta isolates the hot-loop scoring kernels (batched block
+//! decode + per-term BM25 partials), while the auto-vs-sequential delta
+//! isolates the fan-out. On a single-core host auto resolves to one
+//! worker and the fan-out delta degenerates to ~1×; the `cores` field
+//! in the snapshot records what the machine could give.
+//!
+//! Run with `cargo bench --bench query_parallel`. Set
+//! `NEWSLINK_BENCH_QUICK=1` for a small sweep (CI snapshot mode). Either
+//! way the numbers land in `BENCH_PR10.json` at the repo root.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use newslink_core::{search, NewsLink, NewsLinkConfig, ParallelStats};
+use newslink_kg::{synth, LabelIndex, SynthConfig};
+
+struct Entry {
+    docs: usize,
+    segments: usize,
+    k: usize,
+    seq: Duration,
+    auto: Duration,
+    pinned: Duration,
+    stats: ParallelStats,
+}
+
+fn main() {
+    let quick = std::env::var("NEWSLINK_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (sizes, reps, n_queries): (&[usize], usize, usize) = if quick {
+        (&[1200], 2, 8)
+    } else {
+        (&[4000, 10000], 3, 12)
+    };
+    let ks: &[usize] = &[10, 100];
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let world = synth::generate(&SynthConfig::medium(42));
+    let labels = LabelIndex::build(&world.graph);
+    let pool: Vec<_> = world
+        .countries
+        .iter()
+        .chain(&world.provinces)
+        .chain(&world.cities)
+        .chain(&world.people)
+        .chain(&world.organizations)
+        .copied()
+        .collect();
+    let label = |i: usize| world.graph.label(pool[i % pool.len()]);
+    let fillers = ["trade", "aid", "security", "border", "election", "flood"];
+    let queries: Vec<String> = (0..n_queries)
+        .map(|q| {
+            format!(
+                "{} {} {} {} talks",
+                label(q * 5),
+                label(q * 13 + 3),
+                fillers[q % fillers.len()],
+                fillers[(q + 2) % fillers.len()],
+            )
+        })
+        .collect();
+
+    println!(
+        "query_parallel: sizes {sizes:?}, k {ks:?}, {n_queries} queries, {cores} cores, quick={quick}\n"
+    );
+    println!(
+        "{:<8} {:>8} {:>5} {:>12} {:>12} {:>12} {:>9} {:>9} {:>8} {:>12} {:>12}",
+        "docs",
+        "segments",
+        "k",
+        "seq",
+        "auto",
+        "pinned4",
+        "auto spd",
+        "pin spd",
+        "workers",
+        "floor raise",
+        "floor prune"
+    );
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for &size in sizes {
+        let docs: Vec<String> = (0..size)
+            .map(|i| {
+                let a = label(i * 3);
+                let b = label(i * 7 + 1);
+                let c = label(i * 11 + 2);
+                let filler = fillers[i % fillers.len()];
+                format!(
+                    "Report {i}: {a} officials discussed {filler} developments with {b} \
+                     while observers in {c} tracked trade, aid and security talks."
+                )
+            })
+            .collect();
+        // 1 segment, then the same ~6-segment layout `blended_topk` uses
+        // (keeps rows comparable to BENCH_PR5.json).
+        for segment_docs in [0usize, size.div_ceil(6)] {
+            let build_cfg = NewsLinkConfig::default()
+                .with_auto_threads()
+                .with_segment_docs(segment_docs);
+            let engine = NewsLink::new(&world.graph, &labels, build_cfg);
+            let index = engine.index_corpus(&docs);
+            let segments = index.segment_count();
+
+            let seq_cfg = NewsLinkConfig::default().with_search_threads(1);
+            let auto_cfg = NewsLinkConfig::default().with_search_threads(0);
+            let pinned_cfg = NewsLinkConfig::default().with_search_threads(4);
+            for &k in ks {
+                // Best-of-`reps` total NS time over the query set, with a
+                // bit-parity check across all three settings on rep 0.
+                let mut best = [Duration::MAX; 3];
+                let mut stats = ParallelStats::default();
+                for rep in 0..reps {
+                    let mut totals = [Duration::ZERO; 3];
+                    let mut rep_stats = ParallelStats::default();
+                    for q in &queries {
+                        let s = search(&world.graph, &labels, &seq_cfg, &index, q, k);
+                        let a = search(&world.graph, &labels, &auto_cfg, &index, q, k);
+                        let p = search(&world.graph, &labels, &pinned_cfg, &index, q, k);
+                        totals[0] += s.timer.total("ns");
+                        totals[1] += a.timer.total("ns");
+                        totals[2] += p.timer.total("ns");
+                        rep_stats.add(&p.parallel);
+                        if rep == 0 {
+                            for (other, label) in [(&a, "auto"), (&p, "pinned")] {
+                                assert_eq!(s.results.len(), other.results.len(), "{label} {q}");
+                                for (x, y) in s.results.iter().zip(&other.results) {
+                                    assert_eq!(x.doc, y.doc, "{label} {q}");
+                                    assert_eq!(
+                                        x.score.to_bits(),
+                                        y.score.to_bits(),
+                                        "{label} {q}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    for (b, t) in best.iter_mut().zip(totals) {
+                        *b = (*b).min(t);
+                    }
+                    stats = rep_stats;
+                }
+                let spd = |base: Duration, t: Duration| {
+                    base.as_secs_f64() / t.as_secs_f64().max(1e-12)
+                };
+                println!(
+                    "{size:<8} {segments:>8} {k:>5} {:>9.2} us {:>9.2} us {:>9.2} us {:>8.2}x {:>8.2}x {:>8} {:>12} {:>12}",
+                    best[0].as_secs_f64() * 1e6,
+                    best[1].as_secs_f64() * 1e6,
+                    best[2].as_secs_f64() * 1e6,
+                    spd(best[0], best[1]),
+                    spd(best[0], best[2]),
+                    stats.workers,
+                    stats.floor_raises,
+                    stats.floor_pruned,
+                );
+                entries.push(Entry {
+                    docs: size,
+                    segments,
+                    k,
+                    seq: best[0],
+                    auto: best[1],
+                    pinned: best[2],
+                    stats,
+                });
+            }
+        }
+    }
+
+    // Machine-readable snapshot for EXPERIMENTS.md / CI.
+    let mut json = String::from("{\n  \"bench\": \"query_parallel\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"docs\": {}, \"segments\": {}, \"k\": {}, \"seq_ns_us\": {:.2}, \"auto_ns_us\": {:.2}, \"pinned4_ns_us\": {:.2}, \"auto_speedup\": {:.2}, \"pinned4_speedup\": {:.2}, \"workers\": {}, \"floor_raises\": {}, \"floor_pruned\": {}, \"floor_blocks_skipped\": {}}}{}",
+            e.docs,
+            e.segments,
+            e.k,
+            e.seq.as_secs_f64() * 1e6,
+            e.auto.as_secs_f64() * 1e6,
+            e.pinned.as_secs_f64() * 1e6,
+            e.seq.as_secs_f64() / e.auto.as_secs_f64().max(1e-12),
+            e.seq.as_secs_f64() / e.pinned.as_secs_f64().max(1e-12),
+            e.stats.workers,
+            e.stats.floor_raises,
+            e.stats.floor_pruned,
+            e.stats.floor_blocks_skipped,
+            if i + 1 == entries.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR10.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR10.json");
+    println!("\nwrote {}", out.display());
+    println!("all parallel rankings matched the sequential scan bit-identically");
+}

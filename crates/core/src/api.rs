@@ -163,6 +163,9 @@ pub struct SearchResponse {
     /// when the request ran on the exhaustive or Threshold-Algorithm
     /// path).
     pub prune: newslink_text::PruneStats,
+    /// Intra-query segment fan-out counters for the scoring stage (all
+    /// zero when the NS stage ran sequentially).
+    pub parallel: newslink_text::ParallelStats,
 }
 
 /// The outcome of executing a batch of requests.

@@ -60,4 +60,4 @@ pub use wal::{Wal, WalRecord};
 
 /// Document ids are minted by the index; re-exported so downstream
 /// crates (serve, cli) can name them without depending on the text crate.
-pub use newslink_text::{CollectionStats, DocId, PruneStats};
+pub use newslink_text::{CollectionStats, DocId, ParallelStats, PruneStats};

@@ -323,6 +323,7 @@ impl<'g> NewsLink<'g> {
             explanations,
             timed_out,
             prune: outcome.prune,
+            parallel: outcome.parallel,
         }
     }
 

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use newslink_embed::{bon_terms, relationship_paths, DocEmbedding, RelationshipPath};
 use newslink_kg::{KnowledgeGraph, LabelIndex};
-use newslink_text::{Bm25, DocId, PruneStats};
+use newslink_text::{Bm25, DocId, ParallelStats, PruneStats};
 use newslink_util::{ComponentTimer, FxHashMap, TopK};
 
 use crate::api::QueryCacheInfo;
@@ -57,6 +57,9 @@ pub struct QueryOutcome {
     /// Pruned-evaluator work counters (all zero on the exhaustive and
     /// Threshold-Algorithm paths, which do their own accounting).
     pub prune: PruneStats,
+    /// Intra-query segment fan-out counters (all zero when the NS stage
+    /// ran sequentially or took a non-pruned path).
+    pub parallel: ParallelStats,
 }
 
 /// Max-normalize per-segment score maps in place against their *global*
@@ -147,26 +150,31 @@ pub(crate) fn run_query(
             cache: cache_info,
             timed_out: true,
             prune: PruneStats::default(),
+            parallel: ParallelStats::default(),
         };
     }
 
     let t_ns = Instant::now();
     let beta = beta_override.unwrap_or(config.beta).clamp(0.0, 1.0);
     let fan_threads = config.effective_threads(index.segment_count());
+    let search_threads = config.effective_search_threads(index.segment_count());
     let mut prune = PruneStats::default();
+    let mut parallel = ParallelStats::default();
 
     let results = if config.prune_topk && !config.use_threshold_algorithm {
         // Block-max pruned blended top-k straight off the posting cursors
         // (bit-identical to the exhaustive oracle below — the escape
         // hatch is `with_prune_topk(false)`).
-        let (ranked, stats) = index.blended_topk(
+        let (ranked, stats, fan) = index.blended_topk(
             beta,
             &terms,
             &bon_terms(&embedding),
             config.normalize_scores,
             k,
+            search_threads,
         );
         prune = stats;
+        parallel = fan;
         ranked
             .into_iter()
             .map(|(score, (doc, bow, bon))| SearchResult {
@@ -331,6 +339,7 @@ pub(crate) fn run_query(
         cache: cache_info,
         timed_out: false,
         prune,
+        parallel,
     }
 }
 

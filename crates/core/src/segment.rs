@@ -34,7 +34,7 @@ use std::sync::OnceLock;
 use newslink_embed::{bon_term_counts, codec as embed_codec, DocEmbedding};
 use newslink_text::{
     blended_scan, maxscore_search_with, query_tf, score_segment, side_scan, Bm25, CollectionStats,
-    DocId, IndexBuilder, InvertedIndex, PruneStats, SideSpec, TermId,
+    DocId, IndexBuilder, InvertedIndex, ParallelStats, PruneStats, SharedFloor, SideSpec, TermId,
 };
 use newslink_util::{Bytes, FxHashMap, FxHashSet, TopK};
 
@@ -601,10 +601,28 @@ impl NewsLinkIndex {
         out
     }
 
+    /// The per-document liveness predicate for one segment's scan,
+    /// monomorphized away from the hash probe when the tombstone set is
+    /// empty. Both variants admit exactly the same documents (an empty
+    /// set contains nothing), so which one a scan receives is invisible
+    /// in its results — only in its per-posting cost.
+    fn liveness<'a>(&'a self, seg: &'a IndexSegment) -> Liveness<'a> {
+        if self.tombstones.is_empty() {
+            Liveness::All
+        } else {
+            Liveness::Probe {
+                tombstones: &self.tombstones,
+                seg,
+            }
+        }
+    }
+
     /// Fan out one side's scoring across segments under the global-stats
     /// overlay. Returns one global-id-keyed score map per segment, in
     /// segment order; `threads > 1` scores segments in parallel (results
-    /// are identical — each map is computed independently).
+    /// are identical — each map is computed independently). Query state
+    /// (overlay stats, term frequencies, live document frequencies) is
+    /// resolved once through [`SideWork`] and shared by every segment.
     pub(crate) fn score_side_parts(
         &self,
         side: Side,
@@ -612,15 +630,13 @@ impl NewsLinkIndex {
         query_terms: &[String],
         threads: usize,
     ) -> Vec<FxHashMap<DocId, f64>> {
-        let stats = self.side_stats(side);
-        if stats.docs == 0 {
+        let Some(w) = self.side_work(side, scorer, query_terms, true) else {
             return Vec::new();
-        }
-        let qtf = query_tf(query_terms);
-        let global_df = self.side_global_df(side, &qtf);
+        };
         let score_one = |seg: &IndexSegment| -> FxHashMap<DocId, f64> {
-            let local = score_segment(scorer, seg.side(side), stats, &qtf, &global_df, |d| {
-                !self.tombstones.contains(&seg.global_of(d))
+            let live = self.liveness(seg);
+            let local = score_segment(w.scorer, seg.side(side), w.stats, &w.qtf, &w.global_df, |d| {
+                live.is_live(d)
             });
             local
                 .into_iter()
@@ -642,22 +658,21 @@ impl NewsLinkIndex {
         if k == 0 {
             return Vec::new();
         }
-        let stats = self.side_stats(Side::Bow);
-        if stats.docs == 0 {
+        let terms: Vec<String> = query_terms.iter().map(|t| t.as_ref().to_string()).collect();
+        let Some(w) = self.side_work(Side::Bow, Bm25::default(), &terms, true) else {
             return Vec::new();
-        }
-        let qtf = query_tf(query_terms);
-        let global_df = self.side_global_df(Side::Bow, &qtf);
+        };
         let mut merged = TopK::new(k);
         for seg in &self.segments {
+            let live = self.liveness(seg);
             let hits = maxscore_search_with(
                 seg.bow(),
-                Bm25::default(),
-                query_terms,
+                w.scorer,
+                &terms,
                 k,
-                stats,
-                |t| global_df.get(t).copied().unwrap_or(0),
-                |d| !self.tombstones.contains(&seg.global_of(d)),
+                w.stats,
+                |t| w.global_df.get(t).copied().unwrap_or(0),
+                |d| live.is_live(d),
             );
             for h in hits {
                 merged.push(h.score, DocId(seg.global_of(h.doc)));
@@ -726,30 +741,79 @@ impl NewsLinkIndex {
     /// pass over all segments (β pinned so the raw value passes through
     /// the blend bit-exactly). Returns 0.0 when nothing matches — the
     /// same fold-over-nothing result as the exhaustive normalizer.
-    fn side_top1(&self, w: &SideWork<'_>, prune: &mut PruneStats) -> f64 {
-        let mut top1: TopK<(DocId, f64, f64)> = TopK::new(1);
+    ///
+    /// With `threads > 1` each segment runs its own top-1 heap on a
+    /// worker, pruning against a [`SharedFloor`] raised to the best score
+    /// any segment has seen; the per-segment maxima fold with `max`,
+    /// which is feed-order independent, so the result is bit-identical
+    /// to the sequential pass (the floor only discards documents
+    /// *strictly* below an already-witnessed score).
+    fn side_top1(
+        &self,
+        w: &SideWork<'_>,
+        threads: usize,
+        prune: &mut PruneStats,
+        parallel: &mut ParallelStats,
+    ) -> f64 {
         let beta = match w.side {
             Side::Bow => 0.0,
             Side::Bon => 1.0,
         };
-        for seg in &self.segments {
+        let workers = threads.min(self.segments.len());
+        if workers <= 1 || self.segments.len() < 2 {
+            let mut top1: TopK<(DocId, f64, f64)> = TopK::new(1);
+            for seg in &self.segments {
+                let spec = self.side_spec(seg, w);
+                let (bow, bon) = match w.side {
+                    Side::Bow => (Some(&spec), None),
+                    Side::Bon => (None, Some(&spec)),
+                };
+                let live = self.liveness(seg);
+                blended_scan(
+                    bow,
+                    bon,
+                    beta,
+                    &f64::NEG_INFINITY,
+                    |d| live.is_live(d),
+                    |d| d,
+                    &mut top1,
+                    prune,
+                );
+            }
+            return top1.into_sorted().first().map(|(s, _)| *s).unwrap_or(0.0);
+        }
+        let shared = SharedFloor::new();
+        let parts = crate::searcher::parallel_map(&self.segments, workers, |seg| {
             let spec = self.side_spec(seg, w);
             let (bow, bon) = match w.side {
                 Side::Bow => (Some(&spec), None),
                 Side::Bon => (None, Some(&spec)),
             };
+            let mut top1: TopK<(DocId, f64, f64)> = TopK::new(1);
+            let mut seg_prune = PruneStats::default();
+            let live = self.liveness(seg);
             blended_scan(
                 bow,
                 bon,
                 beta,
-                f64::NEG_INFINITY,
-                |d| !self.tombstones.contains(&seg.global_of(d)),
+                &shared,
+                |d| live.is_live(d),
                 |d| d,
                 &mut top1,
-                prune,
+                &mut seg_prune,
             );
+            let max = top1.into_sorted().first().map(|(s, _)| *s);
+            (max, seg_prune)
+        });
+        parallel.add(&shared.harvest(workers, self.segments.len()));
+        let mut best = 0.0f64;
+        for (max, seg_prune) in parts {
+            prune.add(&seg_prune);
+            if let Some(m) = max {
+                best = best.max(m);
+            }
         }
-        top1.into_sorted().first().map(|(s, _)| *s).unwrap_or(0.0)
+        best
     }
 
     /// Block-max pruned blended top-k over all live segments: Equation 3
@@ -775,7 +839,12 @@ impl NewsLinkIndex {
     /// max-normalization exactly (a max over a set is feed-order
     /// independent, so sharing the top-1 heap across segments is safe
     /// there). Returns `(score, (doc, bow, bon))` tuples sorted by
-    /// descending score plus the pruning work counters.
+    /// descending score plus the pruning and fan-out work counters.
+    ///
+    /// With `threads > 1` and multiple segments, segments are scanned
+    /// concurrently on scoped workers pruning against a [`SharedFloor`]
+    /// instead of left-to-right against the merged heap; see
+    /// [`Self::blended_merge`] for why the results stay bit-identical.
     #[allow(clippy::type_complexity)]
     pub(crate) fn blended_topk(
         &self,
@@ -784,42 +853,116 @@ impl NewsLinkIndex {
         bon_terms: &[String],
         normalize: bool,
         k: usize,
-    ) -> (Vec<(f64, (DocId, f64, f64))>, PruneStats) {
+        threads: usize,
+    ) -> (Vec<(f64, (DocId, f64, f64))>, PruneStats, ParallelStats) {
         let mut prune = PruneStats::default();
+        let mut parallel = ParallelStats::default();
         if k == 0 {
-            return (Vec::new(), prune);
+            return (Vec::new(), prune, parallel);
         }
         let bon_bm25 = Bm25 { k1: 1.2, b: 0.0 };
         let mut bow = self.side_work(Side::Bow, Bm25::default(), bow_terms, beta < 1.0);
         let mut bon = self.side_work(Side::Bon, bon_bm25, bon_terms, beta > 0.0);
         if normalize {
             for w in [&mut bow, &mut bon].into_iter().flatten() {
-                let max = self.side_top1(w, &mut prune);
+                let max = self.side_top1(w, threads, &mut prune, &mut parallel);
                 if max > 0.0 {
                     w.norm = max;
                 }
             }
         }
-        let mut merged: TopK<(DocId, f64, f64)> = TopK::new(k);
-        for seg in &self.segments {
-            let bow_spec = bow.as_ref().map(|w| self.side_spec(seg, w));
-            let bon_spec = bon.as_ref().map(|w| self.side_spec(seg, w));
+        let ranked = self.blended_merge(
+            beta,
+            bow.as_ref(),
+            bon.as_ref(),
+            k,
+            f64::NEG_INFINITY,
+            threads,
+            &mut prune,
+            &mut parallel,
+        );
+        (ranked, prune, parallel)
+    }
+
+    /// The shared engine under [`Self::blended_topk`] and
+    /// [`Self::blended_topk_overlay`]: scan every segment with a fresh
+    /// `TopK(k)` and merge the survivors in ascending segment order.
+    ///
+    /// Sequentially (`threads ≤ 1` or a single segment) each segment
+    /// prunes against the merged heap's k-th score after its left
+    /// neighbors, exactly as before. In parallel each worker prunes
+    /// against a [`SharedFloor`] — an atomic holding the best *full local
+    /// heap's* k-th score any segment has published so far, seeded with
+    /// the caller's external `floor`. Both floors are lower bounds on the
+    /// final merged k-th score, and [`blended_scan`]'s skip condition
+    /// discards only documents *strictly* below its floor, so the same
+    /// survivor set reaches the same fresh-heap-then-merge structure in
+    /// the same segment order: scores and tie order are bit-identical
+    /// regardless of worker interleaving (see DESIGN.md §6l).
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn blended_merge(
+        &self,
+        beta: f64,
+        bow: Option<&SideWork<'_>>,
+        bon: Option<&SideWork<'_>>,
+        k: usize,
+        floor: f64,
+        threads: usize,
+        prune: &mut PruneStats,
+        parallel: &mut ParallelStats,
+    ) -> Vec<(f64, (DocId, f64, f64))> {
+        let workers = threads.min(self.segments.len());
+        if workers <= 1 || self.segments.len() < 2 {
+            let mut merged: TopK<(DocId, f64, f64)> = TopK::new(k);
+            for seg in &self.segments {
+                let bow_spec = bow.map(|w| self.side_spec(seg, w));
+                let bon_spec = bon.map(|w| self.side_spec(seg, w));
+                let mut seg_topk: TopK<(DocId, f64, f64)> = TopK::new(k);
+                let live = self.liveness(seg);
+                blended_scan(
+                    bow_spec.as_ref(),
+                    bon_spec.as_ref(),
+                    beta,
+                    &merged.threshold().unwrap_or(f64::NEG_INFINITY).max(floor),
+                    |d| live.is_live(d),
+                    |d| DocId(seg.global_of(d)),
+                    &mut seg_topk,
+                    prune,
+                );
+                for (score, item) in seg_topk.into_sorted() {
+                    merged.push(score, item);
+                }
+            }
+            return merged.into_sorted();
+        }
+        let shared = SharedFloor::seeded(floor);
+        let parts = crate::searcher::parallel_map(&self.segments, workers, |seg| {
+            let bow_spec = bow.map(|w| self.side_spec(seg, w));
+            let bon_spec = bon.map(|w| self.side_spec(seg, w));
             let mut seg_topk: TopK<(DocId, f64, f64)> = TopK::new(k);
+            let mut seg_prune = PruneStats::default();
+            let live = self.liveness(seg);
             blended_scan(
                 bow_spec.as_ref(),
                 bon_spec.as_ref(),
                 beta,
-                merged.threshold().unwrap_or(f64::NEG_INFINITY),
-                |d| !self.tombstones.contains(&seg.global_of(d)),
+                &shared,
+                |d| live.is_live(d),
                 |d| DocId(seg.global_of(d)),
                 &mut seg_topk,
-                &mut prune,
+                &mut seg_prune,
             );
-            for (score, item) in seg_topk.into_sorted() {
+            (seg_topk.into_sorted(), seg_prune)
+        });
+        parallel.add(&shared.harvest(workers, self.segments.len()));
+        let mut merged: TopK<(DocId, f64, f64)> = TopK::new(k);
+        for (part, seg_prune) in parts {
+            prune.add(&seg_prune);
+            for (score, item) in part {
                 merged.push(score, item);
             }
         }
-        (merged.into_sorted(), prune)
+        merged.into_sorted()
     }
 
     /// One shard's contribution to the cluster overlay: this index's live
@@ -878,11 +1021,13 @@ impl NewsLinkIndex {
         &self,
         side: Side,
         overlay: &SideOverlay<'_>,
+        threads: usize,
         prune: &mut PruneStats,
+        parallel: &mut ParallelStats,
     ) -> f64 {
         let overlay = SideOverlay { norm: 1.0, ..*overlay };
         match self.side_work_from(side, &overlay, true) {
-            Some(w) => self.side_top1(&w, prune),
+            Some(w) => self.side_top1(&w, threads, prune, parallel),
             None => 0.0,
         }
     }
@@ -891,10 +1036,10 @@ impl NewsLinkIndex {
     /// the shard-side half of a scatter-gather search. Identical to
     /// [`Self::blended_topk`] except that collection statistics, document
     /// frequencies and normalization divisors come from the router's
-    /// cluster-wide totals, and `floor` seeds the merged-heap threshold
-    /// (scores at or below it can never survive the router's final merge,
-    /// so pruning against it is exact; pass `NEG_INFINITY` when no floor
-    /// is known).
+    /// cluster-wide totals, and `floor` seeds the merged-heap threshold —
+    /// or, with `threads > 1`, the [`SharedFloor`] — (scores at or below
+    /// it can never survive the router's final merge, so pruning against
+    /// it is exact; pass `NEG_INFINITY` when no floor is known).
     ///
     /// Because each shard pushes its per-segment survivors through the
     /// same fresh-heap-then-merge structure as the in-process path, the
@@ -910,33 +1055,26 @@ impl NewsLinkIndex {
         bon: &SideOverlay<'_>,
         k: usize,
         floor: f64,
-    ) -> (Vec<(f64, (DocId, f64, f64))>, PruneStats) {
+        threads: usize,
+    ) -> (Vec<(f64, (DocId, f64, f64))>, PruneStats, ParallelStats) {
         let mut prune = PruneStats::default();
+        let mut parallel = ParallelStats::default();
         if k == 0 {
-            return (Vec::new(), prune);
+            return (Vec::new(), prune, parallel);
         }
         let bow_w = self.side_work_from(Side::Bow, bow, beta < 1.0);
         let bon_w = self.side_work_from(Side::Bon, bon, beta > 0.0);
-        let mut merged: TopK<(DocId, f64, f64)> = TopK::new(k);
-        for seg in &self.segments {
-            let bow_spec = bow_w.as_ref().map(|w| self.side_spec(seg, w));
-            let bon_spec = bon_w.as_ref().map(|w| self.side_spec(seg, w));
-            let mut seg_topk: TopK<(DocId, f64, f64)> = TopK::new(k);
-            blended_scan(
-                bow_spec.as_ref(),
-                bon_spec.as_ref(),
-                beta,
-                merged.threshold().unwrap_or(f64::NEG_INFINITY).max(floor),
-                |d| !self.tombstones.contains(&seg.global_of(d)),
-                |d| DocId(seg.global_of(d)),
-                &mut seg_topk,
-                &mut prune,
-            );
-            for (score, item) in seg_topk.into_sorted() {
-                merged.push(score, item);
-            }
-        }
-        (merged.into_sorted(), prune)
+        let ranked = self.blended_merge(
+            beta,
+            bow_w.as_ref(),
+            bon_w.as_ref(),
+            k,
+            floor,
+            threads,
+            &mut prune,
+            &mut parallel,
+        );
+        (ranked, prune, parallel)
     }
 
     /// Exhaustive cursor-driven raw scores of one side, one vector per
@@ -957,11 +1095,8 @@ impl NewsLinkIndex {
         let scan_one = |seg: &IndexSegment| -> Vec<(DocId, f64)> {
             let spec = self.side_spec(seg, &w);
             let mut out = Vec::new();
-            side_scan(
-                &spec,
-                |d| !self.tombstones.contains(&seg.global_of(d)),
-                &mut out,
-            );
+            let live = self.liveness(seg);
+            side_scan(&spec, |d| live.is_live(d), &mut out);
             out.into_iter()
                 .map(|(d, s)| (DocId(seg.global_of(d)), s))
                 .collect()
@@ -974,10 +1109,40 @@ impl NewsLinkIndex {
     }
 }
 
-/// One side's resolved query state, shared across segments by the pruned
-/// evaluators: overlay statistics, query term frequencies (whose map
-/// iteration order *is* the canonical accumulation order), live document
-/// frequencies, and the normalization divisor.
+/// The per-segment document liveness test, resolved once per scan so a
+/// tombstone-free index never pays a hash probe per posting: `All` is a
+/// constant `true` the optimizer folds away, `Probe` consults the real
+/// tombstone set. Both admit exactly the same documents when the set is
+/// empty, so the choice cannot change any result.
+enum Liveness<'a> {
+    /// No tombstones: every document is live.
+    All,
+    /// Probe the tombstone set by the document's global id.
+    Probe {
+        tombstones: &'a FxHashSet<u32>,
+        seg: &'a IndexSegment,
+    },
+}
+
+impl Liveness<'_> {
+    /// Whether segment-local document `d` is live.
+    #[inline(always)]
+    fn is_live(&self, d: DocId) -> bool {
+        match self {
+            Liveness::All => true,
+            Liveness::Probe { tombstones, seg } => !tombstones.contains(&seg.global_of(d)),
+        }
+    }
+}
+
+/// One side's resolved query state, computed **exactly once per (side,
+/// query)** — overlay document frequencies in particular are integer
+/// sums over every segment's postings, so hoisting them here keeps the
+/// top-1 normalization pass and the main scan from re-walking the
+/// dictionaries — and shared across segments by the pruned evaluators:
+/// overlay statistics, query term frequencies (whose map iteration order
+/// *is* the canonical accumulation order), live document frequencies,
+/// and the normalization divisor.
 struct SideWork<'q> {
     side: Side,
     scorer: Bm25,
@@ -1133,6 +1298,99 @@ mod tests {
         }
     }
 
+    /// The empty-tombstone fast path ([`Liveness::All`]) and the hash
+    /// probe it replaces must admit the same documents: pruned results
+    /// are bit-identical under both, per segment.
+    #[test]
+    fn liveness_fast_path_matches_probe() {
+        let (g, li) = world();
+        let idx = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_segment_docs(2),
+            DOCS,
+        );
+        assert!(idx.tombstones.is_empty());
+        let terms: Vec<String> = ["kunar", "khyber", "pakistan", "taliban"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let w = idx
+            .side_work(Side::Bow, Bm25::default(), &terms, true)
+            .expect("live side");
+        let empty = FxHashSet::default();
+        let mut hits = 0;
+        for seg in &idx.segments {
+            let spec = idx.side_spec(seg, &w);
+            let run = |live: Liveness<'_>| {
+                let mut topk: TopK<(DocId, f64, f64)> = TopK::new(4);
+                let mut prune = PruneStats::default();
+                blended_scan(
+                    Some(&spec),
+                    None,
+                    0.0,
+                    &f64::NEG_INFINITY,
+                    |d| live.is_live(d),
+                    |d| DocId(seg.global_of(d)),
+                    &mut topk,
+                    &mut prune,
+                );
+                topk.into_sorted()
+            };
+            let fast = run(Liveness::All);
+            let probe = run(Liveness::Probe {
+                tombstones: &empty,
+                seg,
+            });
+            assert_eq!(fast.len(), probe.len());
+            hits += fast.len();
+            for (a, b) in fast.iter().zip(&probe) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1, b.1);
+            }
+        }
+        assert!(hits > 0);
+    }
+
+    /// Threaded segment fan-out under the shared floor reproduces the
+    /// sequential merged-threshold scan bit for bit — scores, docs and
+    /// tie order — and reports the fan-out in [`ParallelStats`].
+    #[test]
+    fn parallel_fan_out_matches_sequential() {
+        let (g, li) = world();
+        let bow_terms: Vec<String> = ["kunar", "khyber", "pakistan", "taliban"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let bon_terms: Vec<String> =
+            ["n0", "n1", "n2", "n3"].iter().map(|s| s.to_string()).collect();
+        let mut idx = index_corpus(
+            &g,
+            &li,
+            &NewsLinkConfig::default().with_segment_docs(1),
+            DOCS,
+        );
+        assert!(idx.segment_count() >= 4);
+        assert!(idx.delete(DocId(1)));
+        for beta in [0.0, 0.4, 1.0] {
+            for k in [1, 3, 100] {
+                let (seq, _, seq_par) =
+                    idx.blended_topk(beta, &bow_terms, &bon_terms, true, k, 1);
+                let (par, _, par_stats) =
+                    idx.blended_topk(beta, &bow_terms, &bon_terms, true, k, 4);
+                assert_eq!(seq_par, ParallelStats::default());
+                assert!(par_stats.workers >= 2, "beta={beta} k={k}");
+                assert_eq!(seq.len(), par.len(), "beta={beta} k={k}");
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.0.to_bits(), b.0.to_bits(), "score bits");
+                    assert_eq!(a.1 .0, b.1 .0, "doc / tie order");
+                    assert_eq!(a.1 .1.to_bits(), b.1 .1.to_bits(), "bow bits");
+                    assert_eq!(a.1 .2.to_bits(), b.1 .2.to_bits(), "bon bits");
+                }
+            }
+        }
+    }
+
     /// The scatter-gather algebra, exercised in-process: stripe the corpus
     /// across shard indexes, sum overlay statistics, take the max of the
     /// per-shard top-1 maxima as each side's divisor, run every shard's
@@ -1161,7 +1419,7 @@ mod tests {
             assert!(mono.delete(DocId(1)));
             assert!(shards[(1 % shard_count) as usize].delete(DocId(1)));
             for beta in [0.0, 0.2, 1.0] {
-                let expected = mono.blended_topk(beta, &bow_terms, &bon_terms, true, k).0;
+                let expected = mono.blended_topk(beta, &bow_terms, &bon_terms, true, k, 1).0;
 
                 // Phase 1: exact integer sums of per-shard statistics.
                 let mut totals = [(CollectionStats::default(), vec![0u32; bow_terms.len()]),
@@ -1190,9 +1448,10 @@ mod tests {
                         df: &totals[i].1,
                         norm: 1.0,
                     };
+                    let mut parallel = ParallelStats::default();
                     let max = shards
                         .iter()
-                        .map(|s| s.side_top1_overlay(side, &ov, &mut prune))
+                        .map(|s| s.side_top1_overlay(side, &ov, 1, &mut prune, &mut parallel))
                         .fold(0.0f64, f64::max);
                     if max > 0.0 {
                         norms[i] = max;
@@ -1214,8 +1473,8 @@ mod tests {
                 };
                 let mut union: Vec<(f64, (DocId, f64, f64))> = Vec::new();
                 for shard in &shards {
-                    let (hits, _) =
-                        shard.blended_topk_overlay(beta, &bow_ov, &bon_ov, k, f64::NEG_INFINITY);
+                    let (hits, _, _) =
+                        shard.blended_topk_overlay(beta, &bow_ov, &bon_ov, k, f64::NEG_INFINITY, 1);
                     union.extend(hits);
                 }
                 union.sort_by_key(|(_, (doc, _, _))| doc.0);

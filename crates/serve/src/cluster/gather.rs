@@ -26,7 +26,7 @@
 use std::time::{Duration, Instant};
 
 use newslink_core::{
-    DocId, Explanation, IndexStats, NewsLink, PruneStats, SearchRequest, SearchResponse,
+    DocId, Explanation, IndexStats, NewsLink, ParallelStats, PruneStats, SearchRequest, SearchResponse,
     SearchResult,
 };
 use newslink_util::TopK;
@@ -495,6 +495,7 @@ fn respond(
         explanations: outcome.explanations,
         timed_out: outcome.timed_out,
         prune: outcome.prune,
+        parallel: ParallelStats::default(),
     };
     let mut value = response.serialize_value();
     if let Value::Object(pairs) = &mut value {

@@ -297,6 +297,60 @@ impl<'a> IntoIterator for &'a PostingList {
     }
 }
 
+/// Batch-decode one block's `(doc_delta, tf)` varint pairs into the SoA
+/// scratch arrays in a single pass over the block's exact byte range.
+///
+/// This is the hot decode loop under every scoring scan. Working on the
+/// block's own sub-slice (instead of indexing the whole list's data with
+/// a running offset) narrows the bounds the compiler must reason about,
+/// and the single-byte fast path — the overwhelmingly common shape for
+/// both delta and tf once ids are block-local — is one load, one compare
+/// and one add, with the multi-byte continuation kept out of line.
+#[inline]
+fn decode_block_into(
+    bytes: &[u8],
+    mut prev: u32,
+    len: usize,
+    docs: &mut [u32; BLOCK_LEN],
+    tfs: &mut [u32; BLOCK_LEN],
+) {
+    let mut pos = 0usize;
+    for j in 0..len {
+        prev += read_varint_fast(bytes, &mut pos);
+        docs[j] = prev;
+        tfs[j] = read_varint_fast(bytes, &mut pos);
+    }
+}
+
+/// [`read_varint`] with the one-byte case inlined and the continuation
+/// cold: values below 128 decode without entering the shift loop.
+#[inline(always)]
+fn read_varint_fast(bytes: &[u8], pos: &mut usize) -> u32 {
+    let b = bytes[*pos];
+    *pos += 1;
+    if b & 0x80 == 0 {
+        return u32::from(b);
+    }
+    read_varint_cont(bytes, pos, b)
+}
+
+/// Multi-byte continuation of [`read_varint_fast`]; identical wire
+/// semantics to [`read_varint`], split out so the fast path stays small.
+#[cold]
+fn read_varint_cont(bytes: &[u8], pos: &mut usize, first: u8) -> u32 {
+    let mut out = u32::from(first & 0x7f);
+    let mut shift = 7u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        out |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return out;
+        }
+        shift += 7;
+    }
+}
+
 /// A DAAT cursor over a [`PostingList`] with block-skipping `seek`.
 ///
 /// The cursor keeps exactly one block decoded. [`PostingCursor::seek`]
@@ -336,18 +390,19 @@ impl<'a> PostingCursor<'a> {
     }
 
     fn decode_block(&mut self, block: usize) {
-        let mut pos = self.list.blocks[block].offset as usize;
-        let mut prev = if block == 0 {
+        let prev = if block == 0 {
             0
         } else {
             self.list.blocks[block - 1].last_doc
         };
         let len = self.list.block_len(block);
-        for j in 0..len {
-            prev += read_varint(&self.list.data, &mut pos);
-            self.docs[j] = prev;
-            self.tfs[j] = read_varint(&self.list.data, &mut pos);
-        }
+        decode_block_into(
+            self.list.block_bytes(block),
+            prev,
+            len,
+            &mut self.docs,
+            &mut self.tfs,
+        );
         self.block = block;
         self.len = len;
         self.pos = 0;

@@ -29,7 +29,8 @@ pub use codec::{
 };
 pub use live::{GlobalId, SegmentedIndex};
 pub use maxscore::{
-    blended_scan, maxscore_search, maxscore_search_with, side_scan, PruneStats, SideSpec,
+    blended_scan, maxscore_search, maxscore_search_with, side_scan, Floor, ParallelStats,
+    PruneStats, SharedFloor, SideSpec,
 };
 pub use positions::{PositionalBuilder, PositionalIndex};
 pub use search::{query_tf, score_segment, Hit, Searcher};

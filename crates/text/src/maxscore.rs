@@ -32,6 +32,8 @@
 //! bound arithmetic can never turn a mathematical upper bound into a
 //! hair-too-small one.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use newslink_util::{FxHashMap, TopK};
 
 use crate::dictionary::TermId;
@@ -70,6 +72,167 @@ impl PruneStats {
     }
 }
 
+/// Work counters for the intra-query parallel segment fan-out: how many
+/// workers a query's NS stage used and how much pruning the shared
+/// cross-segment floor bought. All zero when the scan ran sequentially.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ParallelStats {
+    /// Scoped worker threads the fan-out ran on (0 = sequential path).
+    pub workers: u64,
+    /// Segments scanned concurrently under the shared floor.
+    pub segments: u64,
+    /// Successful monotone raises of the shared pruning floor.
+    pub floor_raises: u64,
+    /// Candidates discarded where the shared floor — not the segment's
+    /// own heap threshold — was the binding bound.
+    pub floor_pruned: u64,
+    /// Posting blocks skipped whole during bound refinement of those
+    /// floor-discarded candidates: decode work the shared floor paid for.
+    pub floor_blocks_skipped: u64,
+}
+
+impl ParallelStats {
+    /// Fold another query's counters in (metrics aggregation).
+    pub fn add(&mut self, other: &ParallelStats) {
+        self.workers = self.workers.max(other.workers);
+        self.segments += other.segments;
+        self.floor_raises += other.floor_raises;
+        self.floor_pruned += other.floor_pruned;
+        self.floor_blocks_skipped += other.floor_blocks_skipped;
+    }
+}
+
+/// An externally supplied pruning floor consulted by [`blended_scan`]
+/// every time it re-derives its threshold `θ`.
+///
+/// The sequential path passes a plain `f64` (the merged heap's k-th
+/// score after the previous segments — constant for the duration of one
+/// segment's scan). The parallel path passes a [`SharedFloor`] so
+/// segments scanned concurrently prune against each other's *live*
+/// progress: `get` is re-read at every threshold check, and `raise` is
+/// offered each time a segment's own heap threshold rises.
+pub trait Floor {
+    /// The current floor value. Any candidate whose score upper bound
+    /// (inflated by [`SAFETY`]) is at or below `max(get(), local θ)` is
+    /// discarded — so implementations must only ever report values that
+    /// provably cannot survive the final merge (see [`SharedFloor`]).
+    fn get(&self) -> f64;
+    /// Offer a proven lower bound on the final merged k-th score (a full
+    /// local heap's threshold). Default: ignore (constant floors).
+    #[inline]
+    fn raise(&self, _kth: f64) {}
+    /// Record a candidate discarded because the external floor (not the
+    /// local heap) was the binding bound, along with the posting blocks
+    /// skipped whole while refining it. Default: ignore.
+    #[inline]
+    fn note_floor_prune(&self, _refine_blocks: u64) {}
+}
+
+/// A constant floor: the sequential cross-segment threshold.
+impl Floor for f64 {
+    #[inline]
+    fn get(&self) -> f64 {
+        *self
+    }
+}
+
+/// Lock-free shared pruning floor for concurrent segment scans: an
+/// `AtomicU64` holding the f64 bits of the best k-th score any segment's
+/// local heap has reached so far, raised monotonically via fetch-update.
+///
+/// **Why sharing it is exact** (the §6l safety argument, proven by the
+/// `parallel_prop` suite): a full local `TopK(k)`'s threshold is the
+/// k-th best score of real documents, all of which reach the final
+/// merge — so the merged k-th score can only be ≥ it, and the floor is
+/// always a lower bound on the final merged threshold. The scan discards
+/// a candidate only when `bound · SAFETY ≤ floor` with `bound ≥ score`,
+/// i.e. only documents *strictly* below the floor (ties survive: for a
+/// doc scoring exactly `floor > 0`, `bound · SAFETY > floor`). Such
+/// documents lose the final merge no matter the push order, and inside a
+/// local heap they are only ever eviction victims — never competing with
+/// an above-floor document for a tie — so which documents survive, and
+/// their tie order, is untouched. Memory ordering is `Relaxed`
+/// throughout: the floor is monotone and advisory, so a stale read is
+/// just a slightly weaker (still valid) earlier value.
+#[derive(Debug)]
+pub struct SharedFloor {
+    bits: AtomicU64,
+    raises: AtomicU64,
+    pruned: AtomicU64,
+    blocks: AtomicU64,
+}
+
+impl SharedFloor {
+    /// A floor starting at `f64::NEG_INFINITY` (no constraint).
+    pub fn new() -> Self {
+        Self::seeded(f64::NEG_INFINITY)
+    }
+
+    /// A floor pre-seeded with an externally proven threshold (e.g. a
+    /// router-supplied merge floor); the seed is not counted as a raise.
+    pub fn seeded(floor: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(floor.to_bits()),
+            raises: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            blocks: AtomicU64::new(0),
+        }
+    }
+
+    /// The current floor value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Drain the counters into a [`ParallelStats`] describing a fan-out
+    /// that ran on `workers` threads over `segments` segments.
+    pub fn harvest(&self, workers: usize, segments: usize) -> ParallelStats {
+        ParallelStats {
+            workers: workers as u64,
+            segments: segments as u64,
+            floor_raises: self.raises.load(Ordering::Relaxed),
+            floor_pruned: self.pruned.load(Ordering::Relaxed),
+            floor_blocks_skipped: self.blocks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for SharedFloor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Floor for SharedFloor {
+    #[inline]
+    fn get(&self) -> f64 {
+        self.value()
+    }
+
+    #[inline]
+    fn raise(&self, kth: f64) {
+        // Monotone max on the f64 *values* (not their bit patterns —
+        // negative floors order backwards as bits). Scores are finite and
+        // the seed is -inf, so total_cmp-free `>` is sufficient.
+        let raised = self
+            .bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                (kth > f64::from_bits(cur)).then(|| kth.to_bits())
+            })
+            .is_ok();
+        if raised {
+            self.raises.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn note_floor_prune(&self, refine_blocks: u64) {
+        self.pruned.fetch_add(1, Ordering::Relaxed);
+        self.blocks.fetch_add(refine_blocks, Ordering::Relaxed);
+    }
+}
+
 /// Upper bound of BM25's tf-saturation factor over all document lengths:
 /// `tf·(k1+1) / (tf + k1·(1-b))` — the saturation at the minimal length
 /// norm `1-b` (`doc_len = 0`). Exact (not just an upper bound) for
@@ -105,9 +268,9 @@ pub fn maxscore_search<T: AsRef<str>>(
 /// Per-query-term state for the single-side DAAT traversal.
 struct TermCursor<'i> {
     cursor: PostingCursor<'i>,
-    df: u32,
-    qtf: u32,
-    /// `qtf · idf` — multiply by a saturation bound for a score bound.
+    /// `qtf · idf` ([`Bm25::term_partial`]) — multiply by a saturation
+    /// bound for a score bound, or by the actual saturation for the
+    /// term's exact contribution.
     base: f64,
     /// Upper bound on this term's contribution to any document.
     max_contribution: f64,
@@ -157,8 +320,6 @@ pub fn maxscore_search_with<T: AsRef<str>>(
             let max_contribution = base * sat_bound(&scorer, postings.max_tf());
             Some(TermCursor {
                 cursor: postings.cursor(),
-                df,
-                qtf,
                 base,
                 max_contribution,
             })
@@ -233,13 +394,16 @@ pub fn maxscore_search_with<T: AsRef<str>>(
             }
         }
 
-        // Score essential terms for `doc`, advancing their cursors.
+        // Score essential terms for `doc`, advancing their cursors. The
+        // per-term `base` is exactly `qtf · idf`, so finishing from the
+        // partial is bit-identical to `contribution_with` and skips the
+        // per-posting idf recomputation.
         let mut score = 0.0;
         let doc_len = index.doc_len(doc);
         for c in cursors[first_essential..].iter_mut() {
             if let Some(p) = c.cursor.current() {
                 if p.doc == doc {
-                    score += scorer.contribution_with(stats, doc_len, p.tf, c.df, c.qtf);
+                    score += scorer.contribution_from_partial(stats, doc_len, p.tf, c.base);
                     c.cursor.advance();
                 }
             }
@@ -257,7 +421,7 @@ pub fn maxscore_search_with<T: AsRef<str>>(
             c.cursor.seek(doc);
             if let Some(p) = c.cursor.current() {
                 if p.doc == doc {
-                    score += scorer.contribution_with(stats, doc_len, p.tf, c.df, c.qtf);
+                    score += scorer.contribution_from_partial(stats, doc_len, p.tf, c.base);
                 }
             }
         }
@@ -303,8 +467,12 @@ struct BlendedCursor<'i> {
     /// 0 = BOW, 1 = BON.
     side: usize,
     scorer: Bm25,
-    qtf: u32,
-    df: u32,
+    /// `qtf · idf` ([`Bm25::term_partial`]) — the document-independent
+    /// factor of this term's raw contribution, folded once per term so
+    /// the scoring loop multiplies it by saturation per posting instead
+    /// of recomputing the idf (bit-identical: the product associates at
+    /// the same boundary).
+    partial: f64,
     /// `weight · qtf · idf / norm` — multiply by a saturation bound for
     /// a weighted normalized score bound.
     base: f64,
@@ -325,14 +493,20 @@ struct BlendedCursor<'i> {
 /// (Sharing `topk` across segments is fine when only the retained
 /// *values* matter, e.g. a top-1 max pass.)
 ///
-/// `floor` is an extra pruning threshold from *outside* this segment —
-/// pass the merged heap's current k-th score (or `f64::NEG_INFINITY`
-/// for none). Skipping a candidate whose bound is ≤ `floor` cannot
+/// `floor` is an extra pruning threshold from *outside* this segment,
+/// consulted through the [`Floor`] trait at every threshold check. The
+/// sequential path passes the merged heap's current k-th score as a
+/// plain `&f64` (or `&f64::NEG_INFINITY` for none); the parallel path
+/// passes a [`SharedFloor`] that concurrent segment scans raise against
+/// each other. Skipping a candidate whose bound is ≤ the floor cannot
 /// change the merged outcome: such a document would be rejected when
-/// the survivors are pushed into the (already full, min ≥ `floor`)
+/// the survivors are pushed into the (already full, min ≥ floor)
 /// merged heap, and inside this segment's heap ≤-floor entries are only
 /// ever eviction victims, so which above-floor documents survive — and
-/// their tie order — is unaffected by their presence.
+/// their tie order — is unaffected by their presence. Whenever this
+/// segment's own heap threshold rises it is offered back through
+/// [`Floor::raise`], making the pruning bidirectional under a shared
+/// floor.
 ///
 /// `map_doc` translates segment-local ids to global ones at push time;
 /// `live` filters tombstoned documents. A side passed as `None`
@@ -343,7 +517,7 @@ pub fn blended_scan(
     bow: Option<&SideSpec<'_>>,
     bon: Option<&SideSpec<'_>>,
     beta: f64,
-    floor: f64,
+    floor: &impl Floor,
     live: impl Fn(DocId) -> bool,
     map_doc: impl Fn(DocId) -> DocId,
     topk: &mut TopK<(DocId, f64, f64)>,
@@ -365,8 +539,7 @@ pub fn blended_scan(
                 cursor: list.cursor(),
                 side: si,
                 scorer: spec.scorer,
-                qtf,
-                df,
+                partial: spec.scorer.term_partial(spec.stats, df, qtf),
                 base,
                 wub,
             });
@@ -388,7 +561,7 @@ pub fn blended_scan(
     let mut first_essential = 0usize;
 
     loop {
-        let theta = topk.threshold().unwrap_or(f64::NEG_INFINITY).max(floor);
+        let theta = topk.threshold().unwrap_or(f64::NEG_INFINITY).max(floor.get());
         while first_essential < cursors.len()
             && prefix_bounds[first_essential + 1] * SAFETY <= theta
         {
@@ -423,10 +596,17 @@ pub fn blended_scan(
                 }
             }
             let mut abandoned = false;
+            let mut refine_blocks = 0u64;
             let mut j = first_essential;
             loop {
-                let theta = topk.threshold().unwrap_or(f64::NEG_INFINITY).max(floor);
-                if bound * SAFETY <= theta {
+                let local = topk.threshold().unwrap_or(f64::NEG_INFINITY);
+                let ext = floor.get();
+                if bound * SAFETY <= local.max(ext) {
+                    if ext > local {
+                        // The external (shared) floor, not this segment's
+                        // own heap, killed the candidate: credit it.
+                        floor.note_floor_prune(refine_blocks);
+                    }
                     abandoned = true;
                     break;
                 }
@@ -437,7 +617,9 @@ pub fn blended_scan(
                 let ci = order[j];
                 bound -= cursors[ci].wub;
                 let c = &mut cursors[ci];
+                let before = c.cursor.blocks_skipped();
                 c.cursor.seek(doc);
+                refine_blocks += c.cursor.blocks_skipped() - before;
                 if c.cursor.current_doc() == Some(doc) {
                     bound += c.base * sat_bound(&c.scorer, c.cursor.block_max_tf());
                 }
@@ -445,18 +627,19 @@ pub fn blended_scan(
             if !abandoned {
                 stats_out.scored += 1;
                 // Canonical-order accumulation: identical f64 sums to the
-                // exhaustive evaluator's per-document map entries.
+                // exhaustive evaluator's per-document map entries. The
+                // per-term `qtf · idf` partial is folded into the cursor;
+                // only the length-dependent saturation is computed here.
                 let mut raw = [0.0f64; 2];
                 for c in &cursors {
                     if let Some(p) = c.cursor.current() {
                         if p.doc == doc {
                             let spec = sides[c.side].expect("cursor from an active side");
-                            raw[c.side] += spec.scorer.contribution_with(
+                            raw[c.side] += spec.scorer.contribution_from_partial(
                                 spec.stats,
                                 spec.index.doc_len(doc),
                                 p.tf,
-                                c.df,
-                                c.qtf,
+                                c.partial,
                             );
                         }
                     }
@@ -464,8 +647,12 @@ pub fn blended_scan(
                 let bow_v = sides[0].map_or(0.0, |s| raw[0] / s.norm);
                 let bon_v = sides[1].map_or(0.0, |s| raw[1] / s.norm);
                 let score = (1.0 - beta) * bow_v + beta * bon_v;
-                if score > 0.0 {
-                    topk.push(score, (map_doc(doc), bow_v, bon_v));
+                if score > 0.0 && topk.push(score, (map_doc(doc), bow_v, bon_v)) {
+                    // A full heap's k-th score is a proven lower bound on
+                    // the final merged threshold: offer it to siblings.
+                    if let Some(kth) = topk.threshold() {
+                        floor.raise(kth);
+                    }
                 }
             }
         }
@@ -494,15 +681,17 @@ pub fn side_scan(
     live: impl Fn(DocId) -> bool,
     out: &mut Vec<(DocId, f64)>,
 ) {
-    let mut cursors: Vec<(PostingCursor<'_>, u32, u32)> = spec
+    // `qtf · idf` folded once per term (bit-identical to evaluating the
+    // whole product per posting — see [`Bm25::contribution_from_partial`]).
+    let mut cursors: Vec<(PostingCursor<'_>, f64)> = spec
         .terms
         .iter()
         .filter(|(list, _, _)| !list.is_empty())
-        .map(|&(list, qtf, df)| (list.cursor(), qtf, df))
+        .map(|&(list, qtf, df)| (list.cursor(), spec.scorer.term_partial(spec.stats, df, qtf)))
         .collect();
     loop {
         let mut pivot: Option<DocId> = None;
-        for (c, _, _) in &cursors {
+        for (c, _) in &cursors {
             if let Some(d) = c.current_doc() {
                 pivot = Some(match pivot {
                     Some(p) if p <= d => p,
@@ -513,15 +702,14 @@ pub fn side_scan(
         let Some(doc) = pivot else { break };
         if live(doc) {
             let mut raw = 0.0;
-            for (c, qtf, df) in &cursors {
+            for (c, partial) in &cursors {
                 if let Some(p) = c.current() {
                     if p.doc == doc {
-                        raw += spec.scorer.contribution_with(
+                        raw += spec.scorer.contribution_from_partial(
                             spec.stats,
                             spec.index.doc_len(doc),
                             p.tf,
-                            *df,
-                            *qtf,
+                            *partial,
                         );
                     }
                 }
@@ -530,7 +718,7 @@ pub fn side_scan(
                 out.push((doc, raw));
             }
         }
-        for (c, _, _) in cursors.iter_mut() {
+        for (c, _) in cursors.iter_mut() {
             if c.current_doc() == Some(doc) {
                 c.advance();
             }
@@ -754,7 +942,7 @@ mod tests {
                         Some(&spec),
                         None,
                         beta,
-                        f64::NEG_INFINITY,
+                        &f64::NEG_INFINITY,
                         |_| true,
                         |d| d,
                         &mut topk,
@@ -791,7 +979,7 @@ mod tests {
             Some(&spec),
             None,
             0.0,
-            f64::NEG_INFINITY,
+            &f64::NEG_INFINITY,
             |_| true,
             |d| d,
             &mut topk,

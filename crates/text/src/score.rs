@@ -66,6 +66,32 @@ impl Bm25 {
         df: u32,
         qtf: u32,
     ) -> f64 {
+        self.contribution_from_partial(stats, doc_len, tf, self.term_partial(stats, df, qtf))
+    }
+
+    /// The document-independent factor of a term's BM25 contribution:
+    /// `qtf · idf(N, df)`. Constant across every posting of a query term,
+    /// so the pruned evaluators fold it once per term instead of once per
+    /// posting.
+    pub fn term_partial(&self, stats: crate::inverted::CollectionStats, df: u32, qtf: u32) -> f64 {
+        qtf as f64 * self.idf(stats.docs, df)
+    }
+
+    /// Finish a contribution from a precomputed [`Self::term_partial`].
+    ///
+    /// `(qtf · idf) · sat` is exactly how `qtf as f64 * idf * sat`
+    /// associates (f64 `*` is left-associative), so splitting the product
+    /// at the term boundary is bit-identical to evaluating it whole —
+    /// these float operations are the single source of truth that
+    /// [`Self::contribution_with`] and the hot scan loops both delegate
+    /// to.
+    pub fn contribution_from_partial(
+        &self,
+        stats: crate::inverted::CollectionStats,
+        doc_len: u32,
+        tf: u32,
+        partial: f64,
+    ) -> f64 {
         if tf == 0 {
             return 0.0;
         }
@@ -73,7 +99,7 @@ impl Bm25 {
         let avg = stats.avg_doc_len().max(1e-9);
         let norm = 1.0 - self.b + self.b * (doc_len as f64 / avg);
         let sat = tf * (self.k1 + 1.0) / (tf + self.k1 * norm);
-        qtf as f64 * self.idf(stats.docs, df) * sat
+        partial * sat
     }
 }
 
@@ -219,6 +245,38 @@ mod tests {
                 let a = s.contribution(&idx, doc, tf, df, qtf);
                 let b = s.contribution_with(stats, idx.doc_len(doc), tf, df, qtf);
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn term_partial_split_is_bit_identical() {
+        // The hot-loop kernel folds `qtf · idf` once per term and
+        // multiplies by saturation per posting; the split must reproduce
+        // the whole product bit for bit for every BM25 parameterization
+        // the engine uses (prose b=0.75, node streams b=0).
+        let idx = sample();
+        let stats = crate::inverted::CollectionStats::from_index(&idx);
+        for scorer in [Bm25::default(), Bm25 { k1: 1.2, b: 0.0 }] {
+            for doc in 0..3u32 {
+                let doc_len = idx.doc_len(DocId(doc));
+                for (tf, df, qtf) in [(1u32, 1, 1), (2, 2, 1), (3, 1, 2), (7, 3, 3), (0, 1, 1)] {
+                    // The pre-split expression, written out literally.
+                    let whole = if tf == 0 {
+                        0.0
+                    } else {
+                        let tf = tf as f64;
+                        let avg = stats.avg_doc_len().max(1e-9);
+                        let norm = 1.0 - scorer.b + scorer.b * (doc_len as f64 / avg);
+                        let sat = tf * (scorer.k1 + 1.0) / (tf + scorer.k1 * norm);
+                        qtf as f64 * scorer.idf(stats.docs, df) * sat
+                    };
+                    let partial = scorer.term_partial(stats, df, qtf);
+                    let split = scorer.contribution_from_partial(stats, doc_len, tf, partial);
+                    assert_eq!(whole.to_bits(), split.to_bits());
+                    let via_with = scorer.contribution_with(stats, doc_len, tf, df, qtf);
+                    assert_eq!(whole.to_bits(), via_with.to_bits());
+                }
             }
         }
     }
